@@ -1,0 +1,51 @@
+//! Criterion benches for the accelerator models (papers Figs. 13b/13c,
+//! 14b/14c, Table 3): modeled GPU and FPGA runs of representative kernels
+//! — these time the *simulator* (functional execution + analytic model),
+//! tracking regressions in the modeling pipeline itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfg_fpga_sim::{run_fpga, vcu1525, FpgaMode};
+use sdfg_gpu_sim::{p100, run_gpu};
+use sdfg_transforms::{apply_first, FpgaTransform, GpuTransform, Params};
+use sdfg_workloads::kernels;
+
+fn bench_gpu_model(c: &mut Criterion) {
+    let w = kernels::mm(64);
+    let mut sdfg = w.sdfg.clone();
+    apply_first(&mut sdfg, &GpuTransform, &Params::new()).unwrap();
+    let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+    let mut grp = c.benchmark_group("accel/gpu_model");
+    grp.sample_size(10);
+    grp.warm_up_time(std::time::Duration::from_millis(500));
+    grp.measurement_time(std::time::Duration::from_millis(1500));
+    grp.bench_function("mm64_p100", |b| {
+        b.iter(|| {
+            let mut arrays = w.arrays.clone();
+            run_gpu(&sdfg, &p100(), &syms, &mut arrays).unwrap()
+        })
+    });
+    grp.finish();
+}
+
+fn bench_fpga_model(c: &mut Criterion) {
+    let w = kernels::jacobi2d(64, 4);
+    let mut sdfg = w.sdfg.clone();
+    apply_first(&mut sdfg, &FpgaTransform, &Params::new()).unwrap();
+    let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+    let mut grp = c.benchmark_group("accel/fpga_model");
+    grp.sample_size(10);
+    grp.warm_up_time(std::time::Duration::from_millis(500));
+    grp.measurement_time(std::time::Duration::from_millis(1500));
+    for mode in [FpgaMode::Pipelined, FpgaMode::NaiveHls] {
+        grp.bench_function(format!("jacobi64_{mode:?}"), |b| {
+            b.iter(|| {
+                let mut arrays = w.arrays.clone();
+                run_fpga(&sdfg, &vcu1525(), mode, &syms, &mut arrays).unwrap()
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_gpu_model, bench_fpga_model);
+criterion_main!(benches);

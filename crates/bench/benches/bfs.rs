@@ -1,0 +1,24 @@
+//! Criterion benches for BFS (paper Fig. 17): SDFG base, SDFG after the
+//! §6.3 transformation chain, and the tuned native baseline, across the
+//! five dataset regimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfg_workloads::{bfs, graphs};
+
+fn bench_bfs(c: &mut Criterion) {
+    let base = bfs::build_bfs();
+    let opt = bfs::build_bfs_optimized(64);
+    for (name, g) in graphs::paper_datasets(1) {
+        let mut grp = c.benchmark_group(format!("fig17/{name}"));
+        grp.sample_size(10);
+        grp.warm_up_time(std::time::Duration::from_millis(500));
+        grp.measurement_time(std::time::Duration::from_millis(1500));
+        grp.bench_function("sdfg", |b| b.iter(|| bfs::run_bfs(&base, &g, 0)));
+        grp.bench_function("sdfg_opt", |b| b.iter(|| bfs::run_bfs(&opt, &g, 0)));
+        grp.bench_function("native", |b| b.iter(|| bfs::bfs_baseline(&g, 0)));
+        grp.finish();
+    }
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

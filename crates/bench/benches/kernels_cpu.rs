@@ -1,0 +1,150 @@
+//! Criterion benches for the fundamental kernels (paper Fig. 14a):
+//! naive Rust vs SDFG executor vs tuned-library proxy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfg_workloads::{kernels, tuned};
+
+fn bench_mm(c: &mut Criterion) {
+    let n = 96usize;
+    let w = kernels::mm(n);
+    let (a, b) = (w.arrays["A"].clone(), w.arrays["B"].clone());
+    let mut g = c.benchmark_group("fig14a/mm");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; n * n];
+            tuned::gemm_naive(&a, &b, &mut out, n, n, n);
+            out
+        })
+    });
+    g.bench_function("sdfg", |bch| bch.iter(|| w.run_exec().unwrap()));
+    g.bench_function("tuned", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; n * n];
+            tuned::gemm_tuned(&a, &b, &mut out, n, n, n);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let (n, t) = (128usize, 8usize);
+    let w = kernels::jacobi2d(n, t);
+    let init = w.arrays["A"][..n * n].to_vec();
+    let mut g = c.benchmark_group("fig14a/jacobi");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            let mut a = init.clone();
+            let mut b = vec![0.0; n * n];
+            tuned::jacobi2d_naive(&mut a, &mut b, n, t);
+            a
+        })
+    });
+    g.bench_function("sdfg", |bch| bch.iter(|| w.run_exec().unwrap()));
+    g.bench_function("tuned", |bch| {
+        bch.iter(|| {
+            let mut a = init.clone();
+            let mut b = vec![0.0; n * n];
+            tuned::jacobi2d_tuned(&mut a, &mut b, n, t);
+            a
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let n = 256usize;
+    let w = kernels::histogram(n);
+    let img = w.arrays["img"].clone();
+    let mut g = c.benchmark_group("fig14a/histogram");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            let mut h = vec![0.0; 16];
+            tuned::histogram_naive(&img, &mut h, 16);
+            h
+        })
+    });
+    g.bench_function("sdfg", |bch| bch.iter(|| w.run_exec().unwrap()));
+    g.bench_function("tuned", |bch| {
+        bch.iter(|| {
+            let mut h = vec![0.0; 16];
+            tuned::histogram_tuned(&img, &mut h, 16);
+            h
+        })
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let n = 1usize << 17;
+    let w = kernels::query(n);
+    let col = w.arrays["col"].clone();
+    let mut g = c.benchmark_group("fig14a/query");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; col.len()];
+            tuned::query_naive(&col, &mut out, 0.0)
+        })
+    });
+    g.bench_function("sdfg", |bch| bch.iter(|| w.run_exec().unwrap()));
+    g.bench_function("tuned", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; col.len()];
+            tuned::query_tuned(&col, &mut out, 0.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let (rows, per) = (2048usize, 16usize);
+    let w = kernels::spmv(rows, per);
+    let (rp, ci, v, x) = (
+        w.arrays["A_row"].clone(),
+        w.arrays["A_col"].clone(),
+        w.arrays["A_val"].clone(),
+        w.arrays["x"].clone(),
+    );
+    let mut g = c.benchmark_group("fig14a/spmv");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            let mut y = vec![0.0; rows];
+            tuned::spmv_naive(&rp, &ci, &v, &x, &mut y);
+            y
+        })
+    });
+    g.bench_function("sdfg", |bch| bch.iter(|| w.run_exec().unwrap()));
+    g.bench_function("tuned", |bch| {
+        bch.iter(|| {
+            let mut y = vec![0.0; rows];
+            tuned::spmv_tuned(&rp, &ci, &v, &x, &mut y);
+            y
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mm,
+    bench_jacobi,
+    bench_histogram,
+    bench_query,
+    bench_spmv
+);
+criterion_main!(benches);

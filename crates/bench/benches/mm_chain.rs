@@ -1,0 +1,38 @@
+//! Criterion benches for the Fig. 15 GEMM transformation chain: every
+//! chain prefix, plus the naive/tuned baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfg_workloads::{mm_chain, tuned, workload::pseudo_random};
+
+fn bench_chain(c: &mut Criterion) {
+    let n = 96usize;
+    let mut g = c.benchmark_group("fig15/gemm_chain");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for step in 0..mm_chain::num_steps() {
+        let name = mm_chain::chain_steps()[step].0;
+        let w = mm_chain::build_step(step, n);
+        g.bench_function(name, |bch| bch.iter(|| w.run_exec().unwrap()));
+    }
+    let a = pseudo_random(n * n, 1);
+    let b = pseudo_random(n * n, 2);
+    g.bench_function("baseline_naive", |bch| {
+        bch.iter(|| {
+            let mut cc = vec![0.0; n * n];
+            tuned::gemm_naive(&a, &b, &mut cc, n, n, n);
+            cc
+        })
+    });
+    g.bench_function("baseline_tuned", |bch| {
+        bch.iter(|| {
+            let mut cc = vec![0.0; n * n];
+            tuned::gemm_tuned(&a, &b, &mut cc, n, n, n);
+            cc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

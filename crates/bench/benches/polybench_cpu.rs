@@ -1,0 +1,42 @@
+//! Criterion benches over the Polybench suite (paper Fig. 13a): SDFG
+//! executor vs the naive sequential reference, one group per kernel.
+//!
+//! The full 30-kernel sweep lives in the `harness fig13a` binary; here a
+//! representative cross-section keeps `cargo bench` wall time sane while
+//! still tracking every dataflow class (flat maps, triangular maps,
+//! WCR reductions, state-machine loops, sequential scans, DP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfg_workloads::polybench;
+
+const KERNELS: &[(&str, usize)] = &[
+    ("gemm", 40),
+    ("atax", 48),
+    ("bicg", 48),
+    ("syrk", 32),
+    ("jacobi-2d", 48),
+    ("fdtd-2d", 40),
+    ("lu", 28),
+    ("trisolv", 48),
+    ("floyd-warshall", 32),
+    ("nussinov", 28),
+    ("covariance", 32),
+    ("deriche", 32),
+];
+
+fn bench_polybench(c: &mut Criterion) {
+    for &(name, scale) in KERNELS {
+        let k = polybench::by_name(name).expect("kernel exists");
+        let w = (k.build)(scale);
+        let mut g = c.benchmark_group(format!("fig13a/{name}"));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_millis(1500));
+        g.bench_function("naive", |bch| bch.iter(|| (k.reference)(&w)));
+        g.bench_function("sdfg", |bch| bch.iter(|| w.run_exec().unwrap()));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_polybench);
+criterion_main!(benches);

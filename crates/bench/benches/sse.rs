@@ -1,0 +1,26 @@
+//! Criterion benches for the OMEN SSE case study (paper Table 2): the
+//! three implementation styles on identical inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfg_workloads::sse;
+
+fn bench_sse(c: &mut Criterion) {
+    let d = sse::SseDims::small(2);
+    let (dh, g, dd) = sse::inputs(&d);
+    let w = sse::build_sse_sdfg(&d);
+    let mut grp = c.benchmark_group("tab2/sse");
+    grp.sample_size(10);
+    grp.warm_up_time(std::time::Duration::from_millis(500));
+    grp.measurement_time(std::time::Duration::from_millis(1500));
+    grp.bench_function("omen_style", |b| {
+        b.iter(|| sse::omen_style(&d, &dh, &g, &dd))
+    });
+    grp.bench_function("numpy_style", |b| {
+        b.iter(|| sse::numpy_style(&d, &dh, &g, &dd))
+    });
+    grp.bench_function("dace_sdfg", |b| b.iter(|| w.run_exec().unwrap()));
+    grp.finish();
+}
+
+criterion_group!(benches, bench_sse);
+criterion_main!(benches);

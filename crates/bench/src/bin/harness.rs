@@ -1,0 +1,55 @@
+//! The evaluation harness: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! harness <experiment> [--scale S] [--reps R]
+//! experiments: fig13a fig13b fig13c fig14a fig14b fig14c fig15 fig17
+//!              tab2 tab3 tab5 all
+//! ```
+
+use sdfg_bench as x;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exp = args.first().map(String::as_str).unwrap_or("all");
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get("--scale", 0);
+    let reps = get("--reps", 3);
+    let run = |name: &str| {
+        let t0 = std::time::Instant::now();
+        match name {
+            "fig13a" => x::fig13a(if scale > 0 { scale } else { 100 }, reps),
+            "fig13b" => x::fig13b(if scale > 0 { scale } else { 100 }),
+            "fig13c" => x::fig13c(if scale > 0 { scale } else { 100 }),
+            "fig14a" => x::fig14a(reps),
+            "fig14b" => x::fig14b(),
+            "fig14c" => x::fig14c(),
+            "fig15" => x::fig15(&[64, 128, 192], reps),
+            "fig17" => x::fig17(if scale > 0 { scale } else { 1 }, reps),
+            "tab2" => x::tab2(if scale > 0 { scale } else { 8 }, reps),
+            "tab3" => x::tab3(4096),
+            "tab5" => x::tab5(if scale > 0 { scale } else { 1 }),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{name} took {:.1}s]", t0.elapsed().as_secs_f64());
+        println!();
+    };
+    if exp == "all" {
+        for name in [
+            "tab5", "fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15",
+            "fig17", "tab2", "tab3",
+        ] {
+            run(name);
+        }
+    } else {
+        run(exp);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sdfg-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5–§6)
+//! against this repository's substitutes (see DESIGN.md):
+//!
+//! | Experiment | Paper | Harness subcommand |
+//! |---|---|---|
+//! | Polybench CPU | Fig. 13a | `harness fig13a` |
+//! | Polybench GPU | Fig. 13b | `harness fig13b` |
+//! | Polybench FPGA | Fig. 13c | `harness fig13c` |
+//! | Fundamental kernels CPU | Fig. 14a | `harness fig14a` |
+//! | Fundamental kernels GPU | Fig. 14b | `harness fig14b` |
+//! | Fundamental kernels FPGA | Fig. 14c | `harness fig14c` |
+//! | GEMM transformation chain | Fig. 15 | `harness fig15` |
+//! | BFS on five graphs | Fig. 17 | `harness fig17` |
+//! | SSE runtimes | Table 2 | `harness tab2` |
+//! | SBSMM vs padded batched GEMM | Table 3 | `harness tab3` |
+//! | Graph dataset properties | Table 5 | `harness tab5` |
+//!
+//! `harness all` runs everything; results are recorded in EXPERIMENTS.md.
+//! The Criterion benches under `benches/` cover the same workloads with
+//! statistical rigor for regression tracking.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,205 @@
+//! Tasklet-language and symbolic-expression translation to C — the
+//! analogue of DaCe's Python-to-C++ converter (§3.2).
+
+use sdfg_lang::ast::{BinOp, Builtin, CmpOp, ExprAst, Stmt};
+use sdfg_symbolic::Expr;
+
+/// Renders a symbolic integer expression as C (floor semantics preserved
+/// for non-negative operands, which index arithmetic guarantees).
+pub fn sym_to_c(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => format!("{v}"),
+        Expr::Sym(s) => s.clone(),
+        Expr::Add(v) => {
+            let parts: Vec<String> = v.iter().map(sym_to_c).collect();
+            format!("({})", parts.join(" + "))
+        }
+        Expr::Mul(v) => {
+            let parts: Vec<String> = v.iter().map(sym_to_c).collect();
+            format!("({})", parts.join(" * "))
+        }
+        Expr::FloorDiv(a, b) => format!("({} / {})", sym_to_c(a), sym_to_c(b)),
+        Expr::Mod(a, b) => format!("({} % {})", sym_to_c(a), sym_to_c(b)),
+        Expr::Min(a, b) => format!("min({}, {})", sym_to_c(a), sym_to_c(b)),
+        Expr::Max(a, b) => format!("max({}, {})", sym_to_c(a), sym_to_c(b)),
+    }
+}
+
+/// Renders a tasklet body as C statements. `indent` is the leading
+/// whitespace applied to every line.
+pub fn tasklet_to_c(body: &[Stmt], indent: &str) -> String {
+    let mut out = String::new();
+    for s in body {
+        emit_stmt(s, indent, &mut out);
+    }
+    out
+}
+
+fn emit_stmt(s: &Stmt, indent: &str, out: &mut String) {
+    match s {
+        Stmt::Assign {
+            target,
+            index,
+            op,
+            value,
+        } => {
+            let lhs = match index {
+                Some(idx) => {
+                    let parts: Vec<String> = idx.iter().map(expr_to_c).collect();
+                    format!("{target}[{}]", parts.join("]["))
+                }
+                None => target.clone(),
+            };
+            let rhs = expr_to_c(value);
+            match op {
+                None => out.push_str(&format!("{indent}{lhs} = {rhs};\n")),
+                Some(BinOp::Add) => out.push_str(&format!("{indent}{lhs} += {rhs};\n")),
+                Some(BinOp::Sub) => out.push_str(&format!("{indent}{lhs} -= {rhs};\n")),
+                Some(BinOp::Mul) => out.push_str(&format!("{indent}{lhs} *= {rhs};\n")),
+                Some(BinOp::Div) => out.push_str(&format!("{indent}{lhs} /= {rhs};\n")),
+                Some(other) => {
+                    out.push_str(&format!("{indent}{lhs} = {lhs} {} {rhs};\n", c_binop(*other)))
+                }
+            }
+        }
+        Stmt::Push { stream, value } => {
+            out.push_str(&format!("{indent}{stream}.push({});\n", expr_to_c(value)));
+        }
+        Stmt::If { cond, then, els } => {
+            out.push_str(&format!("{indent}if ({}) {{\n", expr_to_c(cond)));
+            for t in then {
+                emit_stmt(t, &format!("{indent}    "), out);
+            }
+            if els.is_empty() {
+                out.push_str(&format!("{indent}}}\n"));
+            } else {
+                out.push_str(&format!("{indent}}} else {{\n"));
+                for e in els {
+                    emit_stmt(e, &format!("{indent}    "), out);
+                }
+                out.push_str(&format!("{indent}}}\n"));
+            }
+        }
+    }
+}
+
+fn c_binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::FloorDiv => "/",
+        BinOp::Mod => "%",
+        BinOp::Pow => "**", // handled via pow() in expr_to_c
+    }
+}
+
+/// Renders a tasklet expression as C.
+pub fn expr_to_c(e: &ExprAst) -> String {
+    match e {
+        ExprAst::Num(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        ExprAst::Name(n) => n.clone(),
+        ExprAst::Index(n, idx) => {
+            let parts: Vec<String> = idx.iter().map(expr_to_c).collect();
+            format!("{n}[{}]", parts.join("]["))
+        }
+        ExprAst::Bin(BinOp::Pow, a, b) => {
+            format!("pow({}, {})", expr_to_c(a), expr_to_c(b))
+        }
+        ExprAst::Bin(BinOp::FloorDiv, a, b) => {
+            format!("floor({} / {})", expr_to_c(a), expr_to_c(b))
+        }
+        ExprAst::Bin(BinOp::Mod, a, b) => {
+            format!("fmod_floor({}, {})", expr_to_c(a), expr_to_c(b))
+        }
+        ExprAst::Bin(op, a, b) => {
+            format!("({} {} {})", expr_to_c(a), c_binop(*op), expr_to_c(b))
+        }
+        ExprAst::Cmp(op, a, b) => {
+            let o = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            format!("({} {} {})", expr_to_c(a), o, expr_to_c(b))
+        }
+        ExprAst::Neg(a) => format!("(-{})", expr_to_c(a)),
+        ExprAst::Not(a) => format!("(!{})", expr_to_c(a)),
+        ExprAst::And(a, b) => format!("({} && {})", expr_to_c(a), expr_to_c(b)),
+        ExprAst::Or(a, b) => format!("({} || {})", expr_to_c(a), expr_to_c(b)),
+        ExprAst::Call(f, args) => {
+            let name = match f {
+                Builtin::Abs => "fabs",
+                Builtin::Sqrt => "sqrt",
+                Builtin::Exp => "exp",
+                Builtin::Log => "log",
+                Builtin::Sin => "sin",
+                Builtin::Cos => "cos",
+                Builtin::Floor => "floor",
+                Builtin::Ceil => "ceil",
+                Builtin::Min => "min",
+                Builtin::Max => "max",
+                Builtin::Int => "(long long)",
+            };
+            let parts: Vec<String> = args.iter().map(expr_to_c).collect();
+            if matches!(f, Builtin::Int) {
+                format!("((long long)({}))", parts.join(", "))
+            } else {
+                format!("{name}({})", parts.join(", "))
+            }
+        }
+        ExprAst::Ternary { cond, then, els } => format!(
+            "({} ? {} : {})",
+            expr_to_c(cond),
+            expr_to_c(then),
+            expr_to_c(els)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfg_lang::parse_tasklet;
+
+    #[test]
+    fn simple_statement() {
+        let body = parse_tasklet("c = a * 2 + b").unwrap();
+        assert_eq!(tasklet_to_c(&body, ""), "c = ((a * 2) + b);\n");
+    }
+
+    #[test]
+    fn branches_and_calls() {
+        let body = parse_tasklet("if a < b:\n    o = sqrt(a)\nelse:\n    o = a ** 2").unwrap();
+        let c = tasklet_to_c(&body, "  ");
+        assert!(c.contains("if ((a < b)) {"));
+        assert!(c.contains("o = sqrt(a);"));
+        assert!(c.contains("} else {"));
+        assert!(c.contains("pow(a, 2)"));
+    }
+
+    #[test]
+    fn push_and_augmented() {
+        let body = parse_tasklet("S.push(v + 1)\nacc += v").unwrap();
+        let c = tasklet_to_c(&body, "");
+        assert!(c.contains("S.push((v + 1));"));
+        assert!(c.contains("acc += v;"));
+    }
+
+    #[test]
+    fn symbolic_rendering() {
+        let e = sdfg_symbolic::parse_expr("2*i + N - 1").unwrap();
+        let c = sym_to_c(&e);
+        assert!(c.contains('N') && c.contains('i'));
+    }
+}

@@ -1,0 +1,36 @@
+//! # sdfg-codegen — code generation (paper §4.3 step ❷)
+//!
+//! "The code generation process of an SDFG is hierarchical, starting from
+//! top-level states and traversing into scopes. It begins by emitting
+//! external interface code and the top-level state machine. Within each
+//! state, nodes are traversed in topological order, and a platform-specific
+//! dispatcher is assigned to generate the respective code."
+//!
+//! This crate emits human-readable source text for three dispatchers:
+//!
+//! * [`cpu`] — C-like code with OpenMP-style pragmas: maps become parallel
+//!   loop nests, WCR memlets become `#pragma omp atomic`, the state machine
+//!   becomes `for`/`if` structures where detected (guarded-loop pattern)
+//!   with a `goto` fallback (§4.3: "emitting for-loops and branches when
+//!   detected, or using conditional goto statements as a fallback").
+//! * [`gpu`] — CUDA-style kernels for `GpuDevice` maps (grid from the map
+//!   range, `__syncthreads()` on thread-block scopes, `cudaMemcpy` for
+//!   host↔device copy states, atomics for WCR).
+//! * [`fpga`] — HLS-style module descriptions for `FpgaDevice` maps
+//!   (processing elements, `hls::stream` FIFOs, pipeline pragmas, unrolled
+//!   PE arrays).
+//!
+//! The generated sources are for inspection and testing — execution in this
+//! repository goes through `sdfg-exec` (CPU) and the `gpu-sim`/`fpga-sim`
+//! crates, which play the role of the "compiler invocation" step ❸.
+
+pub mod c_expr;
+pub mod cpu;
+pub mod fpga;
+pub mod gpu;
+pub mod statemachine;
+
+pub use cpu::generate_cpu;
+pub(crate) use cpu::flat_index as cpu_flat_index;
+pub use fpga::generate_fpga;
+pub use gpu::generate_gpu;

@@ -1,0 +1,215 @@
+//! Top-level state-machine emission: for-loop and branch detection with a
+//! goto fallback (§4.3 step ❷, "Between states, transitions are generated
+//! by emitting for-loops and branches when detected, or using conditional
+//! goto statements as a fallback").
+
+use sdfg_core::{BoolExpr, Sdfg, StateId};
+use sdfg_graph::EdgeId;
+
+/// Recognized guarded-loop structure over interstate edges.
+#[derive(Clone, Debug)]
+pub struct DetectedLoop {
+    /// Loop variable.
+    pub var: String,
+    /// Initialization expression text.
+    pub init: String,
+    /// Guard condition text (loop continues while true).
+    pub cond: String,
+    /// Update expression text (assigned to the variable each iteration).
+    pub update: String,
+    /// The guard state.
+    pub guard: StateId,
+    /// States forming the loop body, in execution order.
+    pub body: Vec<StateId>,
+    /// State following the loop.
+    pub exit: StateId,
+}
+
+/// Tries to detect the canonical guarded loop rooted at `guard`:
+///
+/// ```text
+///   pred --(var = init)--> guard --(cond)--> body... --(var = update)--> guard
+///                          guard --(not cond)--> exit
+/// ```
+pub fn detect_loop(sdfg: &Sdfg, guard: StateId) -> Option<DetectedLoop> {
+    // Exactly two outgoing edges with complementary-looking conditions.
+    let out: Vec<EdgeId> = sdfg.graph.out_edges(guard).collect();
+    if out.len() != 2 {
+        return None;
+    }
+    // Identify body branch (the one that leads back to the guard).
+    let leads_back = |start: StateId| -> Option<Vec<StateId>> {
+        // Follow unconditional single-successor chains until returning to
+        // the guard.
+        let mut chain = vec![start];
+        let mut cur = start;
+        for _ in 0..64 {
+            let outs: Vec<EdgeId> = sdfg.graph.out_edges(cur).collect();
+            if outs.len() != 1 {
+                return None;
+            }
+            let nxt = sdfg.graph.edge_dst(outs[0]);
+            if nxt == guard {
+                return Some(chain);
+            }
+            chain.push(nxt);
+            cur = nxt;
+        }
+        None
+    };
+    for (body_edge, exit_edge) in [(out[0], out[1]), (out[1], out[0])] {
+        let body_start = sdfg.graph.edge_dst(body_edge);
+        let exit = sdfg.graph.edge_dst(exit_edge);
+        let Some(body) = leads_back(body_start) else {
+            continue;
+        };
+        // The back edge must assign the loop variable.
+        let last = *body.last().unwrap();
+        let back = sdfg
+            .graph
+            .out_edges(last)
+            .find(|&e| sdfg.graph.edge_dst(e) == guard)?;
+        let back_assigns = &sdfg.graph.edge(back).assignments;
+        if back_assigns.len() != 1 {
+            continue;
+        }
+        let (var, update) = back_assigns[0].clone();
+        // An incoming init edge (from outside the loop) assigning var.
+        let init = sdfg.graph.in_edges(guard).find_map(|e| {
+            let src = sdfg.graph.edge_src(e);
+            if body.contains(&src) {
+                return None;
+            }
+            sdfg.graph
+                .edge(e)
+                .assignments
+                .iter()
+                .find(|(v, _)| *v == var)
+                .map(|(_, x)| x.to_string())
+        })?;
+        let cond = &sdfg.graph.edge(body_edge).condition;
+        // Exit condition should be the negation (not verified deeply).
+        let _ = &sdfg.graph.edge(exit_edge).condition;
+        return Some(DetectedLoop {
+            var,
+            init,
+            cond: cond.to_string(),
+            update: update.to_string(),
+            guard,
+            body,
+            exit,
+        });
+    }
+    None
+}
+
+/// Recognized two-way branch.
+#[derive(Clone, Debug)]
+pub struct DetectedBranch {
+    /// Condition for the then-branch.
+    pub cond: BoolExpr,
+    /// Then chain.
+    pub then: Vec<StateId>,
+    /// Else chain (may be empty when the false edge goes straight to merge).
+    pub els: Vec<StateId>,
+    /// The merge state.
+    pub merge: StateId,
+}
+
+/// Tries to detect a diamond branch rooted at `guard`.
+pub fn detect_branch(sdfg: &Sdfg, guard: StateId) -> Option<DetectedBranch> {
+    let out: Vec<EdgeId> = sdfg.graph.out_edges(guard).collect();
+    if out.len() != 2 {
+        return None;
+    }
+    let chase = |start: StateId| -> Option<(Vec<StateId>, StateId)> {
+        // Follow unconditional chains to a state with in-degree 2 (merge).
+        let mut chain = Vec::new();
+        let mut cur = start;
+        for _ in 0..64 {
+            if sdfg.graph.in_degree(cur) > 1 {
+                return Some((chain, cur));
+            }
+            chain.push(cur);
+            let outs: Vec<EdgeId> = sdfg.graph.out_edges(cur).collect();
+            if outs.len() != 1 || !sdfg.graph.edge(outs[0]).condition.is_always() {
+                return None;
+            }
+            cur = sdfg.graph.edge_dst(outs[0]);
+        }
+        None
+    };
+    let (then, m1) = chase(sdfg.graph.edge_dst(out[0]))?;
+    let (els, m2) = chase(sdfg.graph.edge_dst(out[1]))?;
+    if m1 != m2 {
+        return None;
+    }
+    Some(DetectedBranch {
+        cond: sdfg.graph.edge(out[0]).condition.clone(),
+        then,
+        els,
+        merge: m1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfg_core::DType;
+    use sdfg_frontend::{parse_program, SdfgBuilder};
+
+    #[test]
+    fn detects_builder_loop() {
+        let mut b = SdfgBuilder::new("l");
+        b.symbol("T");
+        b.array("A", &["4"], DType::F64);
+        let body = b.state("body");
+        b.mapped_tasklet(
+            body,
+            "t",
+            &[("i", "0:4")],
+            &[("a", "A", "i")],
+            "o = a + 1",
+            &[("o", "A", "i")],
+        );
+        let (_, guard, exit) = b.add_loop(body, "t", "0", "t < T", "1");
+        let sdfg = b.build().unwrap();
+        let l = detect_loop(&sdfg, guard).expect("loop detected");
+        assert_eq!(l.var, "t");
+        assert_eq!(l.init, "0");
+        assert_eq!(l.cond, "t < T");
+        assert_eq!(l.update, "t + 1");
+        assert_eq!(l.body, vec![body]);
+        assert_eq!(l.exit, exit);
+    }
+
+    #[test]
+    fn detects_frontend_branch() {
+        let src = r#"
+def f(A: dace.float64[4], C: dace.int64):
+    if C < 5:
+        for i in dace.map[0:4]:
+            A[i] = A[i] * 2
+    else:
+        for i in dace.map[0:4]:
+            A[i] = A[i] / 2
+"#;
+        let sdfg = parse_program(src).unwrap();
+        let guard = sdfg.start.unwrap();
+        let b = detect_branch(&sdfg, guard).expect("branch detected");
+        assert_eq!(b.then.len(), 1);
+        assert_eq!(b.els.len(), 1);
+    }
+
+    #[test]
+    fn non_loop_not_detected() {
+        let mut b = SdfgBuilder::new("x");
+        b.array("A", &["4"], DType::F64);
+        let s1 = b.state("one");
+        let s2 = b.state("two");
+        b.transition(s1, s2);
+        let sdfg = b.build().unwrap();
+        assert!(detect_loop(&sdfg, s1).is_none());
+        assert!(detect_branch(&sdfg, s1).is_none());
+    }
+}

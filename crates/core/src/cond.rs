@@ -1,0 +1,469 @@
+//! Boolean condition expressions for interstate edges.
+//!
+//! State transitions "define a condition, which can depend on data in
+//! containers, and a list of assignments to inter-state symbols" (§3.4).
+//! Conditions are boolean combinations of integer comparisons over
+//! [`Expr`]s; scalar containers are made visible to conditions by the
+//! execution layers under their container names.
+
+use sdfg_symbolic::{parse_expr, Env, EvalError, Expr, ParseError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Textual form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A boolean expression over symbolic integers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// Constant truth value.
+    Const(bool),
+    /// Integer comparison.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl Default for BoolExpr {
+    fn default() -> Self {
+        BoolExpr::Const(true)
+    }
+}
+
+impl BoolExpr {
+    /// The always-true condition (unconditional transition).
+    pub fn always() -> BoolExpr {
+        BoolExpr::Const(true)
+    }
+
+    /// Comparison constructor.
+    pub fn cmp(op: CmpOp, lhs: impl Into<Expr>, rhs: impl Into<Expr>) -> BoolExpr {
+        BoolExpr::Cmp(op, lhs.into(), rhs.into())
+    }
+
+    /// Evaluates under an environment.
+    pub fn eval(&self, env: &Env) -> Result<bool, EvalError> {
+        match self {
+            BoolExpr::Const(b) => Ok(*b),
+            BoolExpr::Cmp(op, a, b) => Ok(op.apply(a.eval(env)?, b.eval(env)?)),
+            BoolExpr::And(a, b) => Ok(a.eval(env)? && b.eval(env)?),
+            BoolExpr::Or(a, b) => Ok(a.eval(env)? || b.eval(env)?),
+            BoolExpr::Not(a) => Ok(!a.eval(env)?),
+        }
+    }
+
+    /// True if this is the constant `true` condition.
+    pub fn is_always(&self) -> bool {
+        matches!(self, BoolExpr::Const(true))
+    }
+
+    /// Free symbols of the condition.
+    pub fn free_symbols(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Cmp(_, a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            BoolExpr::Not(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// Renames a symbol throughout.
+    pub fn rename(&self, from: &str, to: &str) -> BoolExpr {
+        match self {
+            BoolExpr::Const(_) => self.clone(),
+            BoolExpr::Cmp(op, a, b) => BoolExpr::Cmp(*op, a.rename(from, to), b.rename(from, to)),
+            BoolExpr::And(a, b) => BoolExpr::And(
+                Box::new(a.rename(from, to)),
+                Box::new(b.rename(from, to)),
+            ),
+            BoolExpr::Or(a, b) => {
+                BoolExpr::Or(Box::new(a.rename(from, to)), Box::new(b.rename(from, to)))
+            }
+            BoolExpr::Not(a) => BoolExpr::Not(Box::new(a.rename(from, to))),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Children of `and`/`not` are parenthesized unless atomic.
+        match self {
+            BoolExpr::Const(true) => write!(f, "true"),
+            BoolExpr::Const(false) => write!(f, "false"),
+            BoolExpr::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            BoolExpr::And(a, b) => {
+                write_atom(f, a)?;
+                write!(f, " and ")?;
+                write_atom(f, b)
+            }
+            BoolExpr::Or(a, b) => write!(f, "{a} or {b}"),
+            BoolExpr::Not(a) => {
+                write!(f, "not ")?;
+                write_atom(f, a)
+            }
+        }
+    }
+}
+
+fn write_atom(f: &mut fmt::Formatter<'_>, e: &BoolExpr) -> fmt::Result {
+    match e {
+        BoolExpr::Or(..) | BoolExpr::And(..) => write!(f, "({e})"),
+        _ => write!(f, "{e}"),
+    }
+}
+
+/// Parses a condition such as `"i < N and fsz > 0"` or `"not (a == b)"`.
+///
+/// Grammar: `or` < `and` < `not` < comparison < arithmetic; a bare
+/// arithmetic expression `e` is shorthand for `e != 0`.
+pub fn parse_cond(src: &str) -> Result<BoolExpr, ParseError> {
+    let mut p = CondParser {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let e = p.or_expr()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError {
+            message: "trailing input in condition".into(),
+            offset: p.pos,
+        });
+    }
+    Ok(e)
+}
+
+struct CondParser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl CondParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Non-mutating: if the next non-whitespace text is the keyword `kw`
+    /// (not continuing as an identifier), returns the position just past it.
+    fn keyword_end(&self, kw: &str) -> Option<usize> {
+        let mut start = self.pos;
+        while start < self.bytes.len() && self.bytes[start].is_ascii_whitespace() {
+            start += 1;
+        }
+        let end = start + kw.len();
+        if end > self.bytes.len() || &self.src[start..end] != kw {
+            return None;
+        }
+        match self.bytes.get(end) {
+            Some(c) if (*c as char).is_ascii_alphanumeric() || *c == b'_' => None,
+            _ => Some(end),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.keyword_end(kw).is_some()
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(end) = self.keyword_end(kw) {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let rhs = self.not_expr()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.eat_keyword("not") {
+            return Ok(BoolExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<BoolExpr, ParseError> {
+        self.skip_ws();
+        if self.eat_keyword("true") || self.eat_keyword("True") {
+            return Ok(BoolExpr::Const(true));
+        }
+        if self.eat_keyword("false") || self.eat_keyword("False") {
+            return Ok(BoolExpr::Const(false));
+        }
+        // Boolean parenthesized group: "(...)" that contains boolean
+        // operators at depth 1; otherwise arithmetic parens.
+        if self.bytes.get(self.pos) == Some(&b'(') && self.paren_group_is_boolean() {
+            self.pos += 1;
+            let inner = self.or_expr()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b')') {
+                return Err(ParseError {
+                    message: "expected `)`".into(),
+                    offset: self.pos,
+                });
+            }
+            self.pos += 1;
+            return Ok(inner);
+        }
+        let lhs_src = self.arith_slice()?;
+        let lhs = parse_expr(lhs_src).map_err(|e| self.shift(e))?;
+        self.skip_ws();
+        let op = self.try_cmp_op();
+        let Some(op) = op else {
+            // Bare arithmetic expression: truthiness.
+            return Ok(BoolExpr::Cmp(CmpOp::Ne, lhs, Expr::zero()));
+        };
+        let rhs_src = self.arith_slice()?;
+        let rhs = parse_expr(rhs_src).map_err(|e| self.shift(e))?;
+        Ok(BoolExpr::Cmp(op, lhs, rhs))
+    }
+
+    fn shift(&self, mut e: ParseError) -> ParseError {
+        e.offset = self.pos;
+        e
+    }
+
+    /// Detects whether the parenthesized group starting at `pos` contains a
+    /// boolean operator or comparison at depth ≥ 1.
+    fn paren_group_is_boolean(&self) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                b'<' | b'>' | b'=' | b'!' => return true,
+                b'a' if self.src[i..].starts_with("and ") => return true,
+                b'o' if self.src[i..].starts_with("or ") => return true,
+                b'n' if self.src[i..].starts_with("not ") => return true,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// Consumes an arithmetic expression: everything up to a comparison
+    /// operator, boolean keyword, or unbalanced `)` at depth 0.
+    fn arith_slice(&mut self) -> Result<&str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'(' => depth += 1,
+                b')' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b'<' | b'>' | b'=' | b'!' if depth == 0 => break,
+                _ if depth == 0 => {
+                    // Keyword check only at a word boundary (not inside an
+                    // identifier like `band`).
+                    let at_word_boundary = self.pos == start
+                        || !((self.bytes[self.pos - 1] as char).is_ascii_alphanumeric()
+                            || self.bytes[self.pos - 1] == b'_');
+                    if at_word_boundary && (self.peek_keyword("and") || self.peek_keyword("or")) {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let slice = self.src[start..self.pos].trim();
+        if slice.is_empty() {
+            return Err(ParseError {
+                message: "expected arithmetic expression".into(),
+                offset: start,
+            });
+        }
+        Ok(slice)
+    }
+
+    fn try_cmp_op(&mut self) -> Option<CmpOp> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let (op, len) = if rest.starts_with("<=") {
+            (CmpOp::Le, 2)
+        } else if rest.starts_with(">=") {
+            (CmpOp::Ge, 2)
+        } else if rest.starts_with("==") {
+            (CmpOp::Eq, 2)
+        } else if rest.starts_with("!=") {
+            (CmpOp::Ne, 2)
+        } else if rest.starts_with('<') {
+            (CmpOp::Lt, 1)
+        } else if rest.starts_with('>') {
+            (CmpOp::Gt, 1)
+        } else {
+            return None;
+        };
+        self.pos += len;
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfg_symbolic::env;
+
+    #[test]
+    fn parse_and_eval() {
+        let c = parse_cond("i < N").unwrap();
+        assert!(c.eval(&env(&[("i", 3), ("N", 5)])).unwrap());
+        assert!(!c.eval(&env(&[("i", 5), ("N", 5)])).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let c = parse_cond("i < N and fsz > 0").unwrap();
+        assert!(c.eval(&env(&[("i", 0), ("N", 1), ("fsz", 2)])).unwrap());
+        assert!(!c.eval(&env(&[("i", 0), ("N", 1), ("fsz", 0)])).unwrap());
+        let o = parse_cond("a == 1 or b == 1").unwrap();
+        assert!(o.eval(&env(&[("a", 0), ("b", 1)])).unwrap());
+        let n = parse_cond("not (a == b)").unwrap();
+        assert!(n.eval(&env(&[("a", 1), ("b", 2)])).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_in_comparisons() {
+        let c = parse_cond("2*(i + 1) <= N % 7").unwrap();
+        assert!(c.eval(&env(&[("i", 0), ("N", 9)])).unwrap());
+    }
+
+    #[test]
+    fn bare_expression_is_truthiness() {
+        let c = parse_cond("fsz").unwrap();
+        assert!(c.eval(&env(&[("fsz", 3)])).unwrap());
+        assert!(!c.eval(&env(&[("fsz", 0)])).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_parens_not_boolean() {
+        let c = parse_cond("(a + 1) < b").unwrap();
+        assert!(c.eval(&env(&[("a", 1), ("b", 3)])).unwrap());
+    }
+
+    #[test]
+    fn constants() {
+        assert!(parse_cond("true").unwrap().eval(&env(&[])).unwrap());
+        assert!(!parse_cond("false").unwrap().eval(&env(&[])).unwrap());
+        assert!(BoolExpr::always().is_always());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for txt in [
+            "i < N and fsz > 0",
+            "a == 1 or b != 2",
+            "not (x < y)",
+            "true",
+            "(a < b or c < d) and e >= 0",
+        ] {
+            let c = parse_cond(txt).unwrap();
+            let again = parse_cond(&c.to_string()).unwrap();
+            assert_eq!(c, again, "roundtrip failed for `{txt}` -> `{c}`");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_cond("").is_err());
+        assert!(parse_cond("a <").is_err());
+        assert!(parse_cond("and b").is_err());
+        assert!(parse_cond("a < b extra +").is_err());
+    }
+
+    #[test]
+    fn rename_symbols() {
+        let c = parse_cond("t < T").unwrap().rename("t", "t0");
+        assert_eq!(c.to_string(), "t0 < T");
+        assert!(c.free_symbols().contains("t0"));
+    }
+}

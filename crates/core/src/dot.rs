@@ -1,0 +1,172 @@
+//! GraphViz (DOT) export — the textual equivalent of the paper's SDFG
+//! renderings (Fig. 2b, 6–10): access nodes are ovals, tasklets are
+//! octagons, scope entries/exits are trapezoids, states are clusters, and
+//! write-conflict-resolution memlets are dashed (per Fig. 9a).
+
+use crate::node::Node;
+use crate::sdfg::Sdfg;
+use std::fmt::Write as _;
+
+/// Renders the SDFG as a GraphViz digraph.
+pub fn to_dot(sdfg: &Sdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&sdfg.name));
+    let _ = writeln!(out, "  compound=true; rankdir=TB;");
+    for sid in sdfg.graph.node_ids() {
+        let state = sdfg.graph.node(sid);
+        let _ = writeln!(out, "  subgraph \"cluster_{}\" {{", sid.index());
+        let mut label = state.label.clone();
+        if sdfg.start == Some(sid) {
+            label.push_str(" (start)");
+        }
+        let _ = writeln!(out, "    label=\"{}\";", escape(&label));
+        for nid in state.graph.node_ids() {
+            let node = state.graph.node(nid);
+            let (shape, style) = match node {
+                Node::Access { data } => {
+                    let transient = sdfg
+                        .desc(data)
+                        .map(|d| d.transient())
+                        .unwrap_or(false);
+                    let is_stream = sdfg
+                        .desc(data)
+                        .map(|d| d.as_stream().is_some())
+                        .unwrap_or(false);
+                    if is_stream {
+                        ("oval", "dashed")
+                    } else if transient {
+                        ("oval", "dotted")
+                    } else {
+                        ("oval", "solid")
+                    }
+                }
+                Node::Tasklet { .. } => ("octagon", "solid"),
+                Node::MapEntry(_) | Node::ConsumeEntry(_) => ("trapezium", "solid"),
+                Node::MapExit { .. } | Node::ConsumeExit { .. } => ("invtrapezium", "solid"),
+                Node::Reduce { .. } => ("invtriangle", "solid"),
+                Node::NestedSdfg { .. } => ("doubleoctagon", "solid"),
+            };
+            let _ = writeln!(
+                out,
+                "    \"s{}_n{}\" [label=\"{}\", shape={}, style={}];",
+                sid.index(),
+                nid.index(),
+                escape(&node.label()),
+                shape,
+                style
+            );
+        }
+        for eid in state.graph.edge_ids() {
+            let (src, dst) = state.graph.edge_endpoints(eid);
+            let df = state.graph.edge(eid);
+            let style = if df.memlet.wcr.is_some() {
+                "dashed"
+            } else {
+                "solid"
+            };
+            let _ = writeln!(
+                out,
+                "    \"s{}_n{}\" -> \"s{}_n{}\" [label=\"{}\", style={}];",
+                sid.index(),
+                src.index(),
+                sid.index(),
+                dst.index(),
+                escape(&df.memlet.to_string()),
+                style
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Interstate edges between cluster anchor nodes.
+    for eid in sdfg.graph.edge_ids() {
+        let (src, dst) = sdfg.graph.edge_endpoints(eid);
+        let t = sdfg.graph.edge(eid);
+        let mut label = String::new();
+        if !t.condition.is_always() {
+            let _ = write!(label, "{}", t.condition);
+        }
+        for (s, e) in &t.assignments {
+            if !label.is_empty() {
+                label.push_str("; ");
+            }
+            let _ = write!(label, "{s} = {e}");
+        }
+        let (sanchor, danchor) = (anchor(sdfg, src), anchor(sdfg, dst));
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\", ltail=\"cluster_{}\", lhead=\"cluster_{}\", style=bold];",
+            sanchor,
+            danchor,
+            escape(&label),
+            src.index(),
+            dst.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A representative node inside a state cluster (or an invisible point for
+/// empty states).
+fn anchor(sdfg: &Sdfg, sid: crate::StateId) -> String {
+    let state = sdfg.graph.node(sid);
+    match state.graph.node_ids().next() {
+        Some(n) => format!("\"s{}_n{}\"", sid.index(), n.index()),
+        None => format!("\"s{}_empty\"", sid.index()),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlet::{Memlet, Wcr};
+    use crate::node::MapScope;
+    use crate::sdfg::InterstateEdge;
+    use crate::DType;
+    use sdfg_symbolic::SymRange;
+
+    #[test]
+    fn dot_contains_expected_elements() {
+        let mut s = Sdfg::new("demo");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        s.add_transient("tmp", &["N"], DType::F64);
+        let s1 = s.add_state("first");
+        let s2 = s.add_state("second");
+        s.add_transition(s1, s2, InterstateEdge::when("t < 5").assign("t", "t + 1"));
+        let st = s.state_mut(s1);
+        let a = st.add_access("A");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("work", &["x"], &["y"], "y = x");
+        let tmp = st.add_access("tmp");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        st.add_edge(
+            t,
+            Some("y"),
+            mx,
+            Some("IN_t"),
+            Memlet::parse("tmp", "i").with_wcr(Wcr::Sum),
+        );
+        st.add_edge(mx, Some("OUT_t"), tmp, None, Memlet::parse("tmp", "0:N"));
+        let dot = to_dot(&s);
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("cluster_"));
+        assert!(dot.contains("trapezium"));
+        assert!(dot.contains("octagon"));
+        assert!(dot.contains("style=dashed")); // WCR memlet
+        assert!(dot.contains("t < 5"));
+        assert!(dot.contains("t = t + 1"));
+        assert!(dot.contains("(start)"));
+        // Transient rendered dotted.
+        assert!(dot.contains("dotted"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Element types and storage locations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element data types supported by SDFG containers and tasklets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit unsigned integer (e.g. CSR row pointers in the paper's SpMV).
+    U32,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes (used for data-movement accounting).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 | DType::U32 => 4,
+            DType::F64 | DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// True for floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// True for integral types (including `Bool`).
+    pub fn is_integral(self) -> bool {
+        !self.is_float()
+    }
+
+    /// The C-like type name used by code generation.
+    pub fn ctype(self) -> &'static str {
+        match self {
+            DType::F32 => "float",
+            DType::F64 => "double",
+            DType::I32 => "int",
+            DType::I64 => "long long",
+            DType::U32 => "unsigned int",
+            DType::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "float32",
+            DType::F64 => "float64",
+            DType::I32 => "int32",
+            DType::I64 => "int64",
+            DType::U32 => "uint32",
+            DType::Bool => "bool",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Storage location of a data container (paper §3.1: "containers are tied
+/// to a specific storage location ... which may be on a GPU or even a
+/// file"). Validation rejects infeasible storage/schedule combinations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Storage {
+    /// Decided by the surrounding schedule at lowering time.
+    #[default]
+    Default,
+    /// CPU heap memory.
+    CpuHeap,
+    /// Thread-local / stack memory (scratchpads inside CPU maps).
+    CpuThreadLocal,
+    /// GPU device global memory.
+    GpuGlobal,
+    /// GPU on-chip shared memory (per thread block).
+    GpuShared,
+    /// Registers (innermost tiles after vectorization).
+    Register,
+    /// FPGA off-chip DRAM.
+    FpgaGlobal,
+    /// FPGA on-chip memory (BRAM).
+    FpgaLocal,
+}
+
+impl Storage {
+    /// True if a kernel running on `sched` may directly dereference data in
+    /// this storage.
+    pub fn accessible_from(self, sched: crate::node::Schedule) -> bool {
+        use crate::node::Schedule::*;
+        match self {
+            Storage::Default => true,
+            Storage::CpuHeap | Storage::CpuThreadLocal => {
+                matches!(sched, Sequential | CpuMulticore | Mpi)
+            }
+            Storage::GpuGlobal | Storage::GpuShared => {
+                matches!(sched, GpuDevice | GpuThreadBlock)
+            }
+            Storage::Register => true,
+            Storage::FpgaGlobal | Storage::FpgaLocal => matches!(sched, FpgaDevice),
+        }
+    }
+
+    /// True for on-device (non-host) storages.
+    pub fn is_device(self) -> bool {
+        matches!(
+            self,
+            Storage::GpuGlobal | Storage::GpuShared | Storage::FpgaGlobal | Storage::FpgaLocal
+        )
+    }
+}
+
+impl fmt::Display for Storage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Schedule;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn storage_accessibility() {
+        assert!(Storage::CpuHeap.accessible_from(Schedule::CpuMulticore));
+        assert!(!Storage::CpuHeap.accessible_from(Schedule::GpuDevice));
+        assert!(Storage::GpuGlobal.accessible_from(Schedule::GpuDevice));
+        assert!(!Storage::GpuGlobal.accessible_from(Schedule::Sequential));
+        assert!(Storage::Default.accessible_from(Schedule::FpgaDevice));
+    }
+}

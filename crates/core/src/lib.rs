@@ -1,0 +1,48 @@
+//! # sdfg-core — the Stateful Dataflow Multigraph IR
+//!
+//! This crate implements the intermediate representation of the paper
+//! *Stateful Dataflow Multigraphs* (SC'19, §3 and Appendix A): a directed
+//! graph of directed acyclic multigraphs.
+//!
+//! * The top level ([`Sdfg`]) is a **state machine**: nodes are [`State`]s,
+//!   edges are [`InterstateEdge`]s carrying a condition and symbol
+//!   assignments.
+//! * Each state is an acyclic **dataflow multigraph**: nodes ([`Node`]) are
+//!   data containers, tasklets, scopes (map/consume), reductions and nested
+//!   SDFGs; edges carry [`Memlet`]s — data-movement descriptors with a
+//!   symbolic subset, volume and optional write-conflict resolution.
+//!
+//! The crate also provides the structural machinery of §4.3 step ❶:
+//! [`validate`](validate::validate) (scope structure, memlet/descriptor
+//! consistency, schedule/storage feasibility) and
+//! [`propagate`](propagate::propagate_sdfg) (memlet ranges propagated
+//! outward through scopes using the image of the scope function on the
+//! union of internal subsets).
+//!
+//! Nothing here executes or optimizes — execution lives in `sdfg-interp`
+//! (reference semantics) and `sdfg-exec` (optimizing CPU runtime), and
+//! rewriting lives in `sdfg-transforms`.
+
+pub mod cond;
+pub mod desc;
+pub mod dot;
+pub mod dtype;
+pub mod memlet;
+pub mod node;
+pub mod propagate;
+pub mod scope;
+pub mod sdfg;
+pub mod serialize;
+pub mod validate;
+
+pub use cond::BoolExpr;
+pub use desc::{ArrayDesc, DataDesc, ScalarDesc, StreamDesc};
+pub use dtype::{DType, Storage};
+pub use memlet::{Memlet, Wcr};
+pub use node::{ConsumeScope, MapScope, Node, Schedule, TaskletLang};
+pub use sdfg::{InterstateEdge, Sdfg, State, StateId};
+pub use validate::{validate, ValidationError};
+
+// Re-export the substrate types users constantly need together with the IR.
+pub use sdfg_graph::{EdgeId, MultiGraph, NodeId};
+pub use sdfg_symbolic::{Expr, Subset, SymRange};

@@ -1,0 +1,223 @@
+//! Memlets: data-movement descriptors (paper Fig. 3 and Appendix A.1).
+//!
+//! A memlet annotates a dataflow edge with *what* moves: the referenced
+//! container, the subset of elements visible at the destination, an optional
+//! reindexing subset (for container-to-container copies), the symbolic
+//! number of accesses (used for performance modeling), and an optional
+//! write-conflict resolution function.
+
+use crate::dtype::DType;
+use sdfg_symbolic::{Expr, Subset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Write-conflict resolution: combines the old value at the destination with
+/// the newly written value (paper §3.3, "implemented as atomic operations,
+/// critical sections, or accumulator modules").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Wcr {
+    /// `old + new`.
+    Sum,
+    /// `old * new`.
+    Product,
+    /// `min(old, new)`.
+    Min,
+    /// `max(old, new)`.
+    Max,
+    /// Custom resolution written in the tasklet language, with formal
+    /// parameters `old` and `new` (e.g. `"old + new*new"`).
+    Custom(String),
+}
+
+impl Wcr {
+    /// Identity element for the reduction, when well-defined.
+    pub fn identity(&self, dtype: DType) -> Option<f64> {
+        match self {
+            Wcr::Sum => Some(0.0),
+            Wcr::Product => Some(1.0),
+            Wcr::Min => Some(if dtype.is_float() {
+                f64::INFINITY
+            } else {
+                i64::MAX as f64
+            }),
+            Wcr::Max => Some(if dtype.is_float() {
+                f64::NEG_INFINITY
+            } else {
+                i64::MIN as f64
+            }),
+            Wcr::Custom(_) => None,
+        }
+    }
+
+    /// Applies the resolution to concrete scalar values. `Custom` variants
+    /// are evaluated by the execution layers, not here.
+    pub fn apply(&self, old: f64, new: f64) -> Option<f64> {
+        match self {
+            Wcr::Sum => Some(old + new),
+            Wcr::Product => Some(old * new),
+            Wcr::Min => Some(old.min(new)),
+            Wcr::Max => Some(old.max(new)),
+            Wcr::Custom(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Wcr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Wcr::Sum => write!(f, "Sum"),
+            Wcr::Product => write!(f, "Product"),
+            Wcr::Min => write!(f, "Min"),
+            Wcr::Max => write!(f, "Max"),
+            Wcr::Custom(code) => write!(f, "lambda old, new: {code}"),
+        }
+    }
+}
+
+/// A data-movement descriptor attached to a dataflow edge.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Memlet {
+    /// Referenced container name; `None` for an *empty memlet* — a pure
+    /// ordering dependency that moves no data (used e.g. to keep systolic
+    /// PEs inside a map scope, Fig. 7).
+    pub data: Option<String>,
+    /// Subset of the container that moves.
+    pub subset: Subset,
+    /// For container-to-container copies: where the data lands in the
+    /// destination (the `reindex` function of Appendix A.1).
+    pub other_subset: Option<Subset>,
+    /// Symbolic number of accesses. Defaults to the subset volume.
+    pub volume: Expr,
+    /// True when the number of accesses is data-dependent ("dyn" in Fig. 8).
+    pub dynamic: bool,
+    /// Write-conflict resolution, if writes may conflict.
+    pub wcr: Option<Wcr>,
+}
+
+impl Memlet {
+    /// An empty memlet (ordering-only dependency).
+    pub fn empty() -> Memlet {
+        Memlet {
+            data: None,
+            subset: Subset::default(),
+            other_subset: None,
+            volume: Expr::zero(),
+            dynamic: false,
+            wcr: None,
+        }
+    }
+
+    /// A simple memlet moving `subset` of `data`, volume = subset volume.
+    pub fn new(data: impl Into<String>, subset: Subset) -> Memlet {
+        let volume = subset.volume();
+        Memlet {
+            data: Some(data.into()),
+            subset,
+            other_subset: None,
+            volume,
+            dynamic: false,
+            wcr: None,
+        }
+    }
+
+    /// Parses the subset from text: `Memlet::parse("A", "i, 0:N")`.
+    pub fn parse(data: impl Into<String>, subset: &str) -> Memlet {
+        let subset = Subset::parse(subset)
+            .unwrap_or_else(|e| panic!("invalid memlet subset `{subset}`: {e}"));
+        Memlet::new(data, subset)
+    }
+
+    /// Adds a write-conflict resolution.
+    pub fn with_wcr(mut self, wcr: Wcr) -> Memlet {
+        self.wcr = Some(wcr);
+        self
+    }
+
+    /// Marks the access count as dynamic (e.g. consume-scope feeds).
+    pub fn dynamic(mut self) -> Memlet {
+        self.dynamic = true;
+        self
+    }
+
+    /// Overrides the access count.
+    pub fn with_volume(mut self, volume: Expr) -> Memlet {
+        self.volume = volume;
+        self
+    }
+
+    /// Sets the destination subset for copies.
+    pub fn with_other_subset(mut self, other: Subset) -> Memlet {
+        self.other_subset = Some(other);
+        self
+    }
+
+    /// True if this memlet moves no data.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// Container name; panics on empty memlets.
+    pub fn data_name(&self) -> &str {
+        self.data.as_deref().expect("empty memlet has no data")
+    }
+}
+
+impl fmt::Display for Memlet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Some(data) = &self.data else {
+            return write!(f, "∅");
+        };
+        write!(f, "{data}")?;
+        if self.dynamic {
+            write!(f, "(dyn)")?;
+        } else if self.volume != self.subset.volume() {
+            write!(f, "({})", self.volume)?;
+        }
+        write!(f, "[{}]", self.subset)?;
+        if let Some(os) = &self.other_subset {
+            write!(f, " -> [{os}]")?;
+        }
+        if let Some(wcr) = &self.wcr {
+            write!(f, " (CR: {wcr})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_volume_is_subset_volume() {
+        let m = Memlet::parse("A", "0:N, k");
+        assert_eq!(m.volume, Expr::sym("N"));
+        assert!(!m.is_empty());
+        assert_eq!(m.data_name(), "A");
+    }
+
+    #[test]
+    fn empty_memlet() {
+        let m = Memlet::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.to_string(), "∅");
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = Memlet::parse("A", "i").with_wcr(Wcr::Sum);
+        assert_eq!(m.to_string(), "A[i] (CR: Sum)");
+        let d = Memlet::parse("S", "0").dynamic();
+        assert_eq!(d.to_string(), "S(dyn)[0]");
+        let v = Memlet::parse("b", "i").with_volume(Expr::int(1));
+        assert_eq!(v.to_string(), "b[i]"); // volume == subset volume: elided
+    }
+
+    #[test]
+    fn wcr_semantics() {
+        assert_eq!(Wcr::Sum.apply(2.0, 3.0), Some(5.0));
+        assert_eq!(Wcr::Min.apply(2.0, 3.0), Some(2.0));
+        assert_eq!(Wcr::Max.identity(DType::F64), Some(f64::NEG_INFINITY));
+        assert_eq!(Wcr::Custom("old".into()).apply(1.0, 2.0), None);
+    }
+}

@@ -1,0 +1,296 @@
+//! Dataflow-graph node types (paper Table 1 and Appendix A.1).
+
+use crate::memlet::Wcr;
+use crate::sdfg::Sdfg;
+use sdfg_symbolic::{Expr, SymRange};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a scope is lowered to a target (paper §3.3: "Maps are tied to
+/// schedules that determine how they translate to code").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Schedule {
+    /// Plain sequential loop.
+    Sequential,
+    /// OpenMP-style parallel loop over CPU cores (the default for top-level
+    /// maps).
+    #[default]
+    CpuMulticore,
+    /// CUDA-style kernel: the map range becomes the grid.
+    GpuDevice,
+    /// Thread-block schedule inside a GPU kernel (emits barriers).
+    GpuThreadBlock,
+    /// FPGA processing elements / pipelines.
+    FpgaDevice,
+    /// Distribute iterations across MPI ranks (produced by `MPITransform`).
+    Mpi,
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Language a tasklet body is written in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TaskletLang {
+    /// The built-in tasklet language (Python-like; executable by the
+    /// interpreter and the executor via the bytecode VM).
+    #[default]
+    Python,
+    /// External code emitted verbatim by code generation (paper Fig. 5);
+    /// not executable by the reference interpreter.
+    Cpp,
+}
+
+/// A map scope: parametric graph abstraction for parallelism (§3.3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MapScope {
+    /// Scope label (for diagnostics and DOT output).
+    pub label: String,
+    /// Parameter names, one per dimension.
+    pub params: Vec<String>,
+    /// Symbolic iteration ranges, one per parameter.
+    pub ranges: Vec<SymRange>,
+    /// Lowering schedule.
+    pub schedule: Schedule,
+    /// Fully unroll this map (FPGA PE replication, register tiles).
+    pub unroll: bool,
+    /// Vector width applied by the `Vectorization` transformation to the
+    /// innermost dimension (used by code generation and the accelerator
+    /// models; semantics-neutral for execution).
+    pub vector_len: Option<u32>,
+}
+
+impl MapScope {
+    /// Creates a map scope with the default (CPU multicore) schedule.
+    pub fn new(
+        label: impl Into<String>,
+        params: Vec<String>,
+        ranges: Vec<SymRange>,
+    ) -> MapScope {
+        assert_eq!(params.len(), ranges.len(), "map params/ranges mismatch");
+        MapScope {
+            label: label.into(),
+            params,
+            ranges,
+            schedule: Schedule::default(),
+            unroll: false,
+            vector_len: None,
+        }
+    }
+
+    /// Parameter/range pairs.
+    pub fn iter_dims(&self) -> impl Iterator<Item = (&String, &SymRange)> {
+        self.params.iter().zip(self.ranges.iter())
+    }
+
+    /// Symbolic total number of iterations.
+    pub fn num_iterations(&self) -> Expr {
+        Expr::mul(self.ranges.iter().map(|r| r.num_elements()))
+    }
+}
+
+/// A consume scope: dynamic mapping of computations on streams (§3.3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConsumeScope {
+    /// Scope label.
+    pub label: String,
+    /// Processing-element parameter name (e.g. `p`).
+    pub pe_param: String,
+    /// Number of processing elements.
+    pub num_pes: Expr,
+    /// Name of the local variable holding the popped stream element.
+    pub element: String,
+    /// Quiescence condition source (tasklet-language boolean over stream
+    /// state; the canonical `len(S) == 0` is spelled `"len == 0"`): when
+    /// true, processing stops. `None` = run until the stream is empty.
+    pub condition: Option<String>,
+    /// Lowering schedule.
+    pub schedule: Schedule,
+}
+
+/// A node in a state's dataflow multigraph.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Access node: names a data/stream/scalar container declared on the
+    /// SDFG. All dataflow in and out of memory goes through these.
+    Access {
+        /// Declared container name.
+        data: String,
+    },
+    /// Fine-grained computation (§3.2). Inputs/outputs are connector names;
+    /// the code reads only input connectors and writes only output
+    /// connectors.
+    Tasklet {
+        /// Label for diagnostics.
+        name: String,
+        /// Input connector names.
+        inputs: Vec<String>,
+        /// Output connector names.
+        outputs: Vec<String>,
+        /// Body source (remains immutable through transformations).
+        code: String,
+        /// Language of the body.
+        lang: TaskletLang,
+    },
+    /// Map scope entry. Paired with a [`Node::MapExit`].
+    MapEntry(MapScope),
+    /// Map scope exit; `entry` is the paired entry node.
+    MapExit {
+        /// Paired [`Node::MapEntry`] in the same state graph.
+        entry: sdfg_graph::NodeId,
+    },
+    /// Consume scope entry. Paired with a [`Node::ConsumeExit`].
+    ConsumeEntry(ConsumeScope),
+    /// Consume scope exit; `entry` is the paired entry node.
+    ConsumeExit {
+        /// Paired [`Node::ConsumeEntry`] in the same state graph.
+        entry: sdfg_graph::NodeId,
+    },
+    /// Library reduction node (Table 1): reduces the input memlet over the
+    /// given axes with the WCR function.
+    Reduce {
+        /// Reduction function.
+        wcr: Wcr,
+        /// Axes of the *input subset* to reduce over; `None` = all axes.
+        axes: Option<Vec<usize>>,
+        /// Identity value used to initialize the output (`None`: the output
+        /// is combined with its prior contents).
+        identity: Option<f64>,
+    },
+    /// Invoke a nested SDFG (Table 1 "Invoke"). Semantically a tasklet:
+    /// access to external memory only through memlets on connectors, which
+    /// map to the nested SDFG's non-transient containers by name.
+    NestedSdfg {
+        /// The nested SDFG.
+        sdfg: Box<Sdfg>,
+        /// Mapping from nested-SDFG symbols to expressions over outer
+        /// symbols (including scope parameters).
+        symbol_mapping: BTreeMap<String, Expr>,
+        /// Input connector names (nested container names).
+        inputs: Vec<String>,
+        /// Output connector names (nested container names).
+        outputs: Vec<String>,
+    },
+}
+
+impl Node {
+    /// Access-node constructor.
+    pub fn access(data: impl Into<String>) -> Node {
+        Node::Access { data: data.into() }
+    }
+
+    /// Tasklet constructor (built-in language).
+    pub fn tasklet(
+        name: impl Into<String>,
+        inputs: &[&str],
+        outputs: &[&str],
+        code: impl Into<String>,
+    ) -> Node {
+        Node::Tasklet {
+            name: name.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            code: code.into(),
+            lang: TaskletLang::Python,
+        }
+    }
+
+    /// True for scope entry nodes.
+    pub fn is_scope_entry(&self) -> bool {
+        matches!(self, Node::MapEntry(_) | Node::ConsumeEntry(_))
+    }
+
+    /// True for scope exit nodes.
+    pub fn is_scope_exit(&self) -> bool {
+        matches!(self, Node::MapExit { .. } | Node::ConsumeExit { .. })
+    }
+
+    /// The paired entry of a scope exit.
+    pub fn exit_entry(&self) -> Option<sdfg_graph::NodeId> {
+        match self {
+            Node::MapExit { entry } | Node::ConsumeExit { entry } => Some(*entry),
+            _ => None,
+        }
+    }
+
+    /// Access-node container name, if this is an access node.
+    pub fn access_data(&self) -> Option<&str> {
+        match self {
+            Node::Access { data } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Node::Access { data } => data.clone(),
+            Node::Tasklet { name, .. } => name.clone(),
+            Node::MapEntry(m) => format!(
+                "[{}]",
+                m.iter_dims()
+                    .map(|(p, r)| format!("{p}={r}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Node::MapExit { .. } => "map_exit".into(),
+            Node::ConsumeEntry(c) => format!("[{}=0:{}]", c.pe_param, c.num_pes),
+            Node::ConsumeExit { .. } => "consume_exit".into(),
+            Node::Reduce { wcr, axes, .. } => match axes {
+                Some(a) => format!("reduce({wcr}, axes={a:?})"),
+                None => format!("reduce({wcr})"),
+            },
+            Node::NestedSdfg { sdfg, .. } => format!("invoke {}", sdfg.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_scope_dims() {
+        let m = MapScope::new(
+            "m",
+            vec!["i".into(), "j".into()],
+            vec![SymRange::full("N"), SymRange::full("M")],
+        );
+        assert_eq!(m.num_iterations(), Expr::sym("M") * Expr::sym("N"));
+        assert_eq!(m.iter_dims().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn map_scope_arity_checked() {
+        MapScope::new("m", vec!["i".into()], vec![]);
+    }
+
+    #[test]
+    fn node_predicates() {
+        let t = Node::tasklet("t", &["a"], &["b"], "b = a");
+        assert!(!t.is_scope_entry());
+        let me = Node::MapEntry(MapScope::new("m", vec![], vec![]));
+        assert!(me.is_scope_entry());
+        let mx = Node::MapExit {
+            entry: sdfg_graph::NodeId(0),
+        };
+        assert!(mx.is_scope_exit());
+        assert_eq!(mx.exit_entry(), Some(sdfg_graph::NodeId(0)));
+        assert_eq!(Node::access("A").access_data(), Some("A"));
+    }
+
+    #[test]
+    fn labels() {
+        let m = Node::MapEntry(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        assert_eq!(m.label(), "[i=0:N]");
+    }
+}

@@ -1,0 +1,356 @@
+//! Memlet propagation (paper §4.3 step ❶): "memlet ranges are propagated
+//! from tasklets and containers outwards (through scopes) to obtain the
+//! overall data dependencies of each scope, using the image of the scope
+//! function (e.g., Map range) on the union of the internal memlet subsets."
+//!
+//! Propagation recomputes, for every edge that crosses a scope boundary via
+//! an `IN_x`/`OUT_x` connector pair, the outer memlet from the union of the
+//! inner memlets: the subset is the parameter-swept image, and the volume is
+//! the sum of inner volumes multiplied by the scope's iteration count.
+
+use crate::node::Node;
+use crate::scope::scope_tree;
+use crate::sdfg::{Sdfg, State, StateId};
+use sdfg_graph::NodeId;
+use sdfg_symbolic::expr::Assumptions;
+use sdfg_symbolic::{Expr, Subset};
+
+/// DaCe-style assumptions for an SDFG: declared size symbols are positive,
+/// everything else (map parameters, loop counters) is nonnegative.
+pub fn sdfg_assumptions(sdfg: &Sdfg) -> Assumptions {
+    Assumptions {
+        positive: sdfg.symbols.iter().cloned().collect(),
+        all_nonnegative: true,
+        all_positive: false,
+    }
+}
+
+/// Propagates memlets in every state of the SDFG (and nested SDFGs).
+pub fn propagate_sdfg(sdfg: &mut Sdfg) {
+    let assume = sdfg_assumptions(sdfg);
+    let sids: Vec<StateId> = sdfg.graph.node_ids().collect();
+    for sid in sids {
+        // Nested SDFGs first.
+        let nested_ids: Vec<NodeId> = sdfg
+            .graph
+            .node(sid)
+            .graph
+            .node_ids()
+            .filter(|&n| matches!(sdfg.graph.node(sid).graph.node(n), Node::NestedSdfg { .. }))
+            .collect();
+        for nid in nested_ids {
+            if let Node::NestedSdfg { sdfg: nested, .. } =
+                sdfg.graph.node_mut(sid).graph.node_mut(nid)
+            {
+                propagate_sdfg(nested);
+            }
+        }
+        propagate_state(sdfg.graph.node_mut(sid), &assume);
+    }
+}
+
+/// Propagates memlets through all scopes of one state, innermost first.
+pub fn propagate_state(state: &mut State, assume: &Assumptions) {
+    let Ok(tree) = scope_tree(state) else {
+        return; // malformed scopes are reported by validation
+    };
+    // Scope entries ordered by depth, innermost (deepest) first.
+    let mut entries: Vec<NodeId> = state
+        .graph
+        .node_ids()
+        .filter(|&n| state.graph.node(n).is_scope_entry())
+        .collect();
+    entries.sort_by_key(|&e| std::cmp::Reverse(tree.depth(e)));
+    for entry in entries {
+        let Some(exit) = state.exit_of(entry) else {
+            continue;
+        };
+        propagate_scope(state, entry, exit, assume);
+    }
+}
+
+/// The parameter/range pairs a scope sweeps.
+fn scope_params(state: &State, entry: NodeId) -> Vec<(String, sdfg_symbolic::SymRange)> {
+    match state.graph.node(entry) {
+        Node::MapEntry(m) => m
+            .params
+            .iter()
+            .cloned()
+            .zip(m.ranges.iter().cloned())
+            .collect(),
+        Node::ConsumeEntry(c) => vec![(
+            c.pe_param.clone(),
+            sdfg_symbolic::SymRange::new(Expr::zero(), c.num_pes.clone()),
+        )],
+        _ => Vec::new(),
+    }
+}
+
+fn propagate_scope(state: &mut State, entry: NodeId, exit: NodeId, assume: &Assumptions) {
+    let params = scope_params(state, entry);
+    let is_consume = matches!(state.graph.node(entry), Node::ConsumeEntry(_));
+    // Entry: inner edges leave via OUT_x; outer edges arrive via IN_x.
+    propagate_node(state, entry, &params, Direction::In, is_consume, assume);
+    // Exit: inner edges arrive via IN_x; outer edges leave via OUT_x.
+    propagate_node(state, exit, &params, Direction::Out, is_consume, assume);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// Propagating through a scope entry (outer edge is incoming).
+    In,
+    /// Propagating through a scope exit (outer edge is outgoing).
+    Out,
+}
+
+fn propagate_node(
+    state: &mut State,
+    node: NodeId,
+    params: &[(String, sdfg_symbolic::SymRange)],
+    dir: Direction,
+    dynamic_scope: bool,
+    assume: &Assumptions,
+) {
+    // Gather connector base names with an inner side.
+    let inner_edges: Vec<sdfg_graph::EdgeId> = match dir {
+        Direction::In => state.graph.out_edges(node).collect(),
+        Direction::Out => state.graph.in_edges(node).collect(),
+    };
+    let mut by_conn: std::collections::BTreeMap<String, Vec<sdfg_graph::EdgeId>> =
+        Default::default();
+    for e in inner_edges {
+        let df = state.graph.edge(e);
+        let conn = match dir {
+            Direction::In => df.src_conn.as_deref(),
+            Direction::Out => df.dst_conn.as_deref(),
+        };
+        let Some(conn) = conn else { continue };
+        let base = match dir {
+            Direction::In => conn.strip_prefix("OUT_"),
+            Direction::Out => conn.strip_prefix("IN_"),
+        };
+        let Some(base) = base else { continue };
+        if df.memlet.is_empty() {
+            continue;
+        }
+        by_conn.entry(base.to_string()).or_default().push(e);
+    }
+
+    let iterations = Expr::mul(params.iter().map(|(_, r)| r.num_elements()));
+
+    for (base, inner) in by_conn {
+        // Union of inner subsets (same data container by construction).
+        let mut union: Option<Subset> = None;
+        let mut volume = Expr::zero();
+        let mut wcr = None;
+        let mut dynamic = dynamic_scope;
+        let mut data: Option<String> = None;
+        for &e in &inner {
+            let m = &state.graph.edge(e).memlet;
+            data = m.data.clone();
+            union = Some(match union {
+                None => m.subset.clone(),
+                Some(u) => u.union(&m.subset),
+            });
+            volume = volume + m.volume.clone();
+            if m.wcr.is_some() {
+                wcr = m.wcr.clone();
+            }
+            dynamic |= m.dynamic;
+        }
+        let Some(mut subset) = union else { continue };
+        let Some(data) = data else { continue };
+        // Image under all scope parameters, refined with the caller's
+        // assumptions (size symbols positive, indices nonnegative).
+        // Innermost parameters first: sweeping `k ∈ k_tile : k_tile + T`
+        // introduces `k_tile` into the bounds, which the (earlier) outer
+        // parameter's sweep must then eliminate.
+        for (p, r) in params.iter().rev() {
+            subset = subset.image_under(p, r);
+        }
+        let subset = subset.refine(assume);
+        let volume = (volume * iterations.clone()).refine(assume);
+        // Rewrite the matching outer edge(s).
+        let outer_conn = match dir {
+            Direction::In => format!("IN_{base}"),
+            Direction::Out => format!("OUT_{base}"),
+        };
+        let outer_edges: Vec<sdfg_graph::EdgeId> = match dir {
+            Direction::In => state
+                .graph
+                .in_edges(node)
+                .filter(|&e| state.graph.edge(e).dst_conn.as_deref() == Some(&outer_conn))
+                .collect(),
+            Direction::Out => state
+                .graph
+                .out_edges(node)
+                .filter(|&e| state.graph.edge(e).src_conn.as_deref() == Some(&outer_conn))
+                .collect(),
+        };
+        for e in outer_edges {
+            let df = state.graph.edge_mut(e);
+            df.memlet.data = Some(data.clone());
+            df.memlet.subset = subset.clone();
+            df.memlet.volume = volume.clone();
+            df.memlet.dynamic = dynamic;
+            if dir == Direction::Out && wcr.is_some() {
+                df.memlet.wcr = wcr.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlet::{Memlet, Wcr};
+    use crate::node::MapScope;
+    use crate::DType;
+    use sdfg_symbolic::{env, SymRange};
+
+    fn test_assume() -> Assumptions {
+        Assumptions {
+            positive: ["N".to_string(), "M".to_string()].into_iter().collect(),
+            all_nonnegative: true,
+            all_positive: false,
+        }
+    }
+
+    /// Map over i in 1:N-1 reading A[i-1:i+2]; outer edge starts as a stub
+    /// and must be recomputed to A[0:N].
+    #[test]
+    fn stencil_propagation() {
+        let mut s = Sdfg::new("stencil");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        s.add_array("B", &["N"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let b = st.add_access("B");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(1, Expr::sym("N") - Expr::one())],
+        ));
+        let t = st.add_tasklet("t", &["w"], &["o"], "o = w");
+        // Outer memlet intentionally wrong (stub covering one element).
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0"));
+        st.add_edge(
+            me,
+            Some("OUT_A"),
+            t,
+            Some("w"),
+            Memlet::parse("A", "i - 1:i + 2"),
+        );
+        st.add_edge(t, Some("o"), mx, Some("IN_B"), Memlet::parse("B", "i"));
+        st.add_edge(mx, Some("OUT_B"), b, None, Memlet::parse("B", "0"));
+        propagate_state(s.state_mut(sid), &test_assume());
+        let st = s.state(sid);
+        let outer_in = st
+            .graph
+            .in_edges(me)
+            .map(|e| st.graph.edge(e).memlet.clone())
+            .next()
+            .unwrap();
+        // Image of [i-1, i+2) over i in [1, N-1) is [0, N).
+        let e = outer_in.subset.eval(&env(&[("N", 64)])).unwrap();
+        assert_eq!((e[0].0, e[0].1), (0, 64));
+        // Volume: 3 accesses per iteration × (N - 2) iterations.
+        assert_eq!(outer_in.volume.eval(&env(&[("N", 64)])).unwrap(), 3 * 62);
+        let outer_out = st
+            .graph
+            .out_edges(mx)
+            .map(|e| st.graph.edge(e).memlet.clone())
+            .next()
+            .unwrap();
+        let eo = outer_out.subset.eval(&env(&[("N", 64)])).unwrap();
+        assert_eq!((eo[0].0, eo[0].1), (1, 63));
+    }
+
+    #[test]
+    fn wcr_propagates_outward() {
+        let mut s = Sdfg::new("wcr");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        s.add_array("acc", &["1"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let out = st.add_access("acc");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("t", &["x"], &["y"], "y = x");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        st.add_edge(
+            t,
+            Some("y"),
+            mx,
+            Some("IN_acc"),
+            Memlet::parse("acc", "0").with_wcr(Wcr::Sum),
+        );
+        st.add_edge(mx, Some("OUT_acc"), out, None, Memlet::parse("acc", "0"));
+        propagate_state(s.state_mut(sid), &test_assume());
+        let st = s.state(sid);
+        let outer = st
+            .graph
+            .out_edges(mx)
+            .map(|e| &st.graph.edge(e).memlet)
+            .next()
+            .unwrap();
+        assert_eq!(outer.wcr, Some(Wcr::Sum));
+        assert_eq!(outer.volume.eval(&env(&[("N", 10)])).unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_scopes_propagate_inside_out() {
+        // outer map i in 0:N, inner map j in 0:M, tasklet reads A[i, j].
+        let mut s = Sdfg::new("nested");
+        s.add_symbol("N");
+        s.add_symbol("M");
+        s.add_array("A", &["N", "M"], DType::F64);
+        s.add_array("B", &["N", "M"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let b = st.add_access("B");
+        let (oe, ox) = st.add_map(MapScope::new(
+            "outer",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let (ie, ix) = st.add_map(MapScope::new(
+            "inner",
+            vec!["j".into()],
+            vec![SymRange::new(0, "M")],
+        ));
+        let t = st.add_tasklet("t", &["x"], &["y"], "y = x");
+        // All intermediate memlets are stubs; only the tasklet-level ones
+        // are authoritative.
+        st.add_edge(a, None, oe, Some("IN_A"), Memlet::parse("A", "0, 0"));
+        st.add_edge(oe, Some("OUT_A"), ie, Some("IN_A"), Memlet::parse("A", "0, 0"));
+        st.add_edge(ie, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i, j"));
+        st.add_edge(t, Some("y"), ix, Some("IN_B"), Memlet::parse("B", "i, j"));
+        st.add_edge(ix, Some("OUT_B"), ox, Some("IN_B"), Memlet::parse("B", "0, 0"));
+        st.add_edge(ox, Some("OUT_B"), b, None, Memlet::parse("B", "0, 0"));
+        propagate_state(s.state_mut(sid), &test_assume());
+        let st = s.state(sid);
+        let outer_in = st
+            .graph
+            .in_edges(oe)
+            .map(|e| &st.graph.edge(e).memlet)
+            .next()
+            .unwrap();
+        let ev = outer_in.subset.eval(&env(&[("N", 4), ("M", 6)])).unwrap();
+        assert_eq!((ev[0].0, ev[0].1), (0, 4));
+        assert_eq!((ev[1].0, ev[1].1), (0, 6));
+        assert_eq!(
+            outer_in.volume.eval(&env(&[("N", 4), ("M", 6)])).unwrap(),
+            24
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Scope analysis: which nodes belong to which map/consume scope.
+//!
+//! The paper defines an enclosed subgraph as "nodes dominated by a scope
+//! entry node and post-dominated by an exit node" (§3.3). Because exits are
+//! explicitly paired with entries in this IR, scope membership can be
+//! computed by a forward pass in topological order, which also verifies
+//! proper nesting (every path entering a scope goes through the entry).
+
+use crate::node::Node;
+use crate::sdfg::State;
+use sdfg_graph::NodeId;
+use std::collections::HashMap;
+
+/// Scope parent relation: for each node, the scope entry that immediately
+/// contains it (`None` = top level of the state).
+#[derive(Clone, Debug, Default)]
+pub struct ScopeTree {
+    /// node → immediately-enclosing scope entry.
+    pub parent: HashMap<NodeId, Option<NodeId>>,
+}
+
+/// Error produced when the scope structure is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScopeError {
+    /// Offending node.
+    pub node: NodeId,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scope error at {:?}: {}", self.node, self.message)
+    }
+}
+
+impl std::error::Error for ScopeError {}
+
+impl ScopeTree {
+    /// The immediately-enclosing scope entry of `n`.
+    pub fn scope_of(&self, n: NodeId) -> Option<NodeId> {
+        self.parent.get(&n).copied().flatten()
+    }
+
+    /// Chain of enclosing scope entries, innermost first.
+    pub fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.scope_of(n);
+        while let Some(e) = cur {
+            out.push(e);
+            cur = self.scope_of(e);
+        }
+        out
+    }
+
+    /// Nesting depth (0 = top level).
+    pub fn depth(&self, n: NodeId) -> usize {
+        self.ancestors(n).len()
+    }
+
+    /// All nodes whose immediate scope is `entry` (`None` = top level).
+    pub fn children(&self, entry: Option<NodeId>) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .parent
+            .iter()
+            .filter(|(_, p)| **p == entry)
+            .map(|(n, _)| *n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Computes the scope tree of a state.
+pub fn scope_tree(state: &State) -> Result<ScopeTree, ScopeError> {
+    let order = sdfg_graph::algo::topological_sort(&state.graph).map_err(|c| ScopeError {
+        node: c.witness,
+        message: "state dataflow graph is cyclic".into(),
+    })?;
+    let mut parent: HashMap<NodeId, Option<NodeId>> = HashMap::new();
+    for n in order {
+        let node = state.graph.node(n);
+        // Scope of n as implied by each predecessor.
+        let mut implied: Option<Option<NodeId>> = None;
+        for p in state.graph.predecessors(n) {
+            let p_node = state.graph.node(p);
+            let scope_from_p: Option<NodeId> = if p_node.is_scope_entry() {
+                if node.exit_entry() == Some(p) {
+                    // Empty scope: exit directly connected to its entry.
+                    parent[&p]
+                } else {
+                    Some(p)
+                }
+            } else if p_node.is_scope_exit() {
+                // Successor of an exit lives in the exit's parent scope.
+                parent[&p_node.exit_entry().expect("exit is paired")]
+            } else {
+                parent[&p]
+            };
+            // An exit closes its own scope: its parent is the entry's parent.
+            // Its predecessors must be inside the scope (or be the entry
+            // itself, for an empty scope).
+            let effective = if let Some(entry) = node.exit_entry() {
+                if scope_from_p == Some(entry) || p == entry {
+                    parent[&entry]
+                } else {
+                    return Err(ScopeError {
+                        node: n,
+                        message: format!(
+                            "scope exit reached from {:?}, which is not inside its scope",
+                            p
+                        ),
+                    });
+                }
+            } else {
+                scope_from_p
+            };
+            match implied {
+                None => implied = Some(effective),
+                Some(prev) if prev == effective => {}
+                Some(prev) => {
+                    return Err(ScopeError {
+                        node: n,
+                        message: format!(
+                            "predecessors imply conflicting scopes ({prev:?} vs {effective:?})"
+                        ),
+                    })
+                }
+            }
+        }
+        let scope = match implied {
+            Some(s) => s,
+            None => {
+                if node.is_scope_exit() {
+                    return Err(ScopeError {
+                        node: n,
+                        message: "scope exit has no predecessors".into(),
+                    });
+                }
+                None // source nodes are top-level
+            }
+        };
+        parent.insert(n, scope);
+    }
+    Ok(ScopeTree { parent })
+}
+
+/// Nodes strictly inside the scope of `entry` (excluding entry and exit),
+/// i.e. reachable from the entry without passing its exit, and from which
+/// the exit is reachable.
+pub fn scope_members(state: &State, entry: NodeId) -> Vec<NodeId> {
+    let tree = match scope_tree(state) {
+        Ok(t) => t,
+        Err(_) => return Vec::new(),
+    };
+    let mut out: Vec<NodeId> = tree
+        .parent
+        .iter()
+        .filter(|(n, _)| {
+            let mut anc = tree.ancestors(**n);
+            anc.retain(|&a| a == entry);
+            !anc.is_empty()
+        })
+        .map(|(n, _)| *n)
+        .filter(|&n| state.graph.node(n).exit_entry() != Some(entry))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The innermost schedule surrounding node `n` (`None` if top-level).
+pub fn enclosing_schedule(state: &State, tree: &ScopeTree, n: NodeId) -> Option<crate::Schedule> {
+    for entry in tree.ancestors(n) {
+        match state.graph.node(entry) {
+            Node::MapEntry(m) => return Some(m.schedule),
+            Node::ConsumeEntry(c) => return Some(c.schedule),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlet::Memlet;
+    use crate::node::MapScope;
+    use crate::sdfg::State;
+    use sdfg_symbolic::SymRange;
+
+    fn simple_map_state() -> (State, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut st = State::new("s");
+        let a = st.add_access("A");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("t", &["x"], &["y"], "y = x");
+        let b = st.add_access("B");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        st.add_edge(t, Some("y"), mx, Some("IN_B"), Memlet::parse("B", "i"));
+        st.add_edge(mx, Some("OUT_B"), b, None, Memlet::parse("B", "0:N"));
+        (st, a, me, t, mx, b)
+    }
+
+    #[test]
+    fn simple_scope_membership() {
+        let (st, a, me, t, mx, b) = simple_map_state();
+        let tree = scope_tree(&st).unwrap();
+        assert_eq!(tree.scope_of(a), None);
+        assert_eq!(tree.scope_of(me), None);
+        assert_eq!(tree.scope_of(t), Some(me));
+        assert_eq!(tree.scope_of(mx), None); // exit belongs to outer scope
+        assert_eq!(tree.scope_of(b), None);
+        assert_eq!(scope_members(&st, me), vec![t]);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut st = State::new("s");
+        let a = st.add_access("A");
+        let (oe, ox) = st.add_map(MapScope::new(
+            "outer",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let (ie, ix) = st.add_map(MapScope::new(
+            "inner",
+            vec!["j".into()],
+            vec![SymRange::new(0, "M")],
+        ));
+        let t = st.add_tasklet("t", &["x"], &["y"], "y = x");
+        let b = st.add_access("B");
+        st.add_edge(a, None, oe, Some("IN_A"), Memlet::parse("A", "0:N, 0:M"));
+        st.add_edge(oe, Some("OUT_A"), ie, Some("IN_A"), Memlet::parse("A", "i, 0:M"));
+        st.add_edge(ie, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i, j"));
+        st.add_edge(t, Some("y"), ix, Some("IN_B"), Memlet::parse("B", "i, j"));
+        st.add_edge(ix, Some("OUT_B"), ox, Some("IN_B"), Memlet::parse("B", "i, 0:M"));
+        st.add_edge(ox, Some("OUT_B"), b, None, Memlet::parse("B", "0:N, 0:M"));
+        let tree = scope_tree(&st).unwrap();
+        assert_eq!(tree.scope_of(ie), Some(oe));
+        assert_eq!(tree.scope_of(t), Some(ie));
+        assert_eq!(tree.depth(t), 2);
+        assert_eq!(tree.ancestors(t), vec![ie, oe]);
+        // outer scope contains inner entry/exit and tasklet.
+        let members = scope_members(&st, oe);
+        assert!(members.contains(&ie) && members.contains(&ix) && members.contains(&t));
+        assert!(!members.contains(&ox));
+    }
+
+    #[test]
+    fn conflicting_scopes_rejected() {
+        // Tasklet fed both from inside a scope and from outside it.
+        let mut st = State::new("bad");
+        let a = st.add_access("A");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("t", &["x", "z"], &["y"], "y = x + z");
+        let b = st.add_access("B");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        // Illegal: bypasses the scope entry.
+        st.add_edge(a, None, t, Some("z"), Memlet::parse("A", "0"));
+        st.add_edge(t, Some("y"), mx, Some("IN_B"), Memlet::parse("B", "i"));
+        st.add_edge(mx, Some("OUT_B"), b, None, Memlet::parse("B", "0:N"));
+        assert!(scope_tree(&st).is_err());
+    }
+
+    #[test]
+    fn empty_scope_entry_to_exit() {
+        let mut st = State::new("s");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        st.add_edge(me, None, mx, None, Memlet::empty());
+        let tree = scope_tree(&st).unwrap();
+        assert_eq!(tree.scope_of(mx), None);
+    }
+
+    #[test]
+    fn enclosing_schedule_lookup() {
+        let (st, _, me, t, _, _) = simple_map_state();
+        let tree = scope_tree(&st).unwrap();
+        assert_eq!(
+            enclosing_schedule(&st, &tree, t),
+            Some(crate::Schedule::CpuMulticore)
+        );
+        assert_eq!(enclosing_schedule(&st, &tree, me), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! Hand-rolled JSON export of SDFGs (the analogue of DaCe's `.sdfg` files).
+//!
+//! Only serialization is provided — the IR's source of truth is the builder
+//! API and frontends; the JSON form exists for inspection, diffing and
+//! external tooling. A minimal writer is used instead of a JSON dependency
+//! (the offline crate set has no `serde_json`).
+
+use crate::desc::DataDesc;
+use crate::node::Node;
+use crate::sdfg::Sdfg;
+use std::fmt::Write as _;
+
+/// Serializes an SDFG to a JSON string.
+pub fn to_json(sdfg: &Sdfg) -> String {
+    let mut w = JsonWriter::new();
+    write_sdfg(&mut w, sdfg);
+    w.out
+}
+
+struct JsonWriter {
+    out: String,
+    indent: usize,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+}
+
+/// Escapes a string for JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn q(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+fn write_sdfg(w: &mut JsonWriter, sdfg: &Sdfg) {
+    w.line("{");
+    w.indent += 1;
+    w.line(&format!("\"type\": \"SDFG\","));
+    w.line(&format!("\"name\": {},", q(&sdfg.name)));
+    let syms: Vec<String> = sdfg.symbols.iter().map(|s| q(s)).collect();
+    w.line(&format!("\"symbols\": [{}],", syms.join(", ")));
+    w.line("\"containers\": {");
+    w.indent += 1;
+    let n = sdfg.data.len();
+    for (i, (name, desc)) in sdfg.data.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        w.line(&format!("{}: {}{}", q(name), desc_json(desc), comma));
+    }
+    w.indent -= 1;
+    w.line("},");
+    w.line("\"states\": [");
+    w.indent += 1;
+    let sids: Vec<_> = sdfg.graph.node_ids().collect();
+    for (i, &sid) in sids.iter().enumerate() {
+        write_state(w, sdfg, sid);
+        if i + 1 < sids.len() {
+            w.out.pop(); // replace trailing newline with ",\n"
+            w.out.push_str(",\n");
+        }
+    }
+    w.indent -= 1;
+    w.line("],");
+    w.line("\"transitions\": [");
+    w.indent += 1;
+    let eids: Vec<_> = sdfg.graph.edge_ids().collect();
+    for (i, &eid) in eids.iter().enumerate() {
+        let (src, dst) = sdfg.graph.edge_endpoints(eid);
+        let t = sdfg.graph.edge(eid);
+        let assigns: Vec<String> = t
+            .assignments
+            .iter()
+            .map(|(s, e)| format!("{}: {}", q(s), q(&e.to_string())))
+            .collect();
+        let comma = if i + 1 < eids.len() { "," } else { "" };
+        w.line(&format!(
+            "{{\"src\": {}, \"dst\": {}, \"condition\": {}, \"assignments\": {{{}}}}}{}",
+            src.index(),
+            dst.index(),
+            q(&t.condition.to_string()),
+            assigns.join(", "),
+            comma
+        ));
+    }
+    w.indent -= 1;
+    w.line("],");
+    w.line(&format!(
+        "\"start_state\": {}",
+        sdfg.start.map(|s| s.index() as i64).unwrap_or(-1)
+    ));
+    w.indent -= 1;
+    w.line("}");
+}
+
+fn desc_json(desc: &DataDesc) -> String {
+    match desc {
+        DataDesc::Array(a) => {
+            let shape: Vec<String> = a.shape.iter().map(|e| q(&e.to_string())).collect();
+            let strides: Vec<String> = a.strides.iter().map(|e| q(&e.to_string())).collect();
+            format!(
+                "{{\"kind\": \"array\", \"dtype\": {}, \"shape\": [{}], \"strides\": [{}], \"storage\": {}, \"transient\": {}}}",
+                q(&a.dtype.to_string()),
+                shape.join(", "),
+                strides.join(", "),
+                q(&a.storage.to_string()),
+                a.transient
+            )
+        }
+        DataDesc::Stream(s) => {
+            let shape: Vec<String> = s.shape.iter().map(|e| q(&e.to_string())).collect();
+            format!(
+                "{{\"kind\": \"stream\", \"dtype\": {}, \"shape\": [{}], \"storage\": {}, \"transient\": {}}}",
+                q(&s.dtype.to_string()),
+                shape.join(", "),
+                q(&s.storage.to_string()),
+                s.transient
+            )
+        }
+        DataDesc::Scalar(s) => format!(
+            "{{\"kind\": \"scalar\", \"dtype\": {}, \"storage\": {}, \"transient\": {}}}",
+            q(&s.dtype.to_string()),
+            q(&s.storage.to_string()),
+            s.transient
+        ),
+    }
+}
+
+fn write_state(w: &mut JsonWriter, sdfg: &Sdfg, sid: crate::StateId) {
+    let state = sdfg.graph.node(sid);
+    w.line("{");
+    w.indent += 1;
+    w.line(&format!("\"id\": {},", sid.index()));
+    w.line(&format!("\"label\": {},", q(&state.label)));
+    w.line("\"nodes\": [");
+    w.indent += 1;
+    let nids: Vec<_> = state.graph.node_ids().collect();
+    for (i, &nid) in nids.iter().enumerate() {
+        let comma = if i + 1 < nids.len() { "," } else { "" };
+        w.line(&format!(
+            "{{\"id\": {}, {}}}{}",
+            nid.index(),
+            node_json(state.graph.node(nid)),
+            comma
+        ));
+    }
+    w.indent -= 1;
+    w.line("],");
+    w.line("\"edges\": [");
+    w.indent += 1;
+    let eids: Vec<_> = state.graph.edge_ids().collect();
+    for (i, &eid) in eids.iter().enumerate() {
+        let (src, dst) = state.graph.edge_endpoints(eid);
+        let df = state.graph.edge(eid);
+        let comma = if i + 1 < eids.len() { "," } else { "" };
+        w.line(&format!(
+            "{{\"src\": {}, \"src_conn\": {}, \"dst\": {}, \"dst_conn\": {}, \"memlet\": {}}}{}",
+            src.index(),
+            df.src_conn.as_deref().map(q).unwrap_or("null".into()),
+            dst.index(),
+            df.dst_conn.as_deref().map(q).unwrap_or("null".into()),
+            q(&df.memlet.to_string()),
+            comma
+        ));
+    }
+    w.indent -= 1;
+    w.line("]");
+    w.indent -= 1;
+    w.line("}");
+}
+
+fn node_json(node: &Node) -> String {
+    match node {
+        Node::Access { data } => format!("\"kind\": \"access\", \"data\": {}", q(data)),
+        Node::Tasklet {
+            name,
+            inputs,
+            outputs,
+            code,
+            lang,
+        } => {
+            let ins: Vec<String> = inputs.iter().map(|s| q(s)).collect();
+            let outs: Vec<String> = outputs.iter().map(|s| q(s)).collect();
+            format!(
+                "\"kind\": \"tasklet\", \"name\": {}, \"inputs\": [{}], \"outputs\": [{}], \"code\": {}, \"lang\": {}",
+                q(name),
+                ins.join(", "),
+                outs.join(", "),
+                q(code),
+                q(&format!("{lang:?}"))
+            )
+        }
+        Node::MapEntry(m) => {
+            let dims: Vec<String> = m
+                .iter_dims()
+                .map(|(p, r)| format!("{}: {}", q(p), q(&r.to_string())))
+                .collect();
+            format!(
+                "\"kind\": \"map_entry\", \"label\": {}, \"dims\": {{{}}}, \"schedule\": {}, \"unroll\": {}",
+                q(&m.label),
+                dims.join(", "),
+                q(&m.schedule.to_string()),
+                m.unroll
+            )
+        }
+        Node::MapExit { entry } => {
+            format!("\"kind\": \"map_exit\", \"entry\": {}", entry.index())
+        }
+        Node::ConsumeEntry(c) => format!(
+            "\"kind\": \"consume_entry\", \"label\": {}, \"pe\": {}, \"num_pes\": {}, \"condition\": {}",
+            q(&c.label),
+            q(&c.pe_param),
+            q(&c.num_pes.to_string()),
+            c.condition.as_deref().map(q).unwrap_or("null".into())
+        ),
+        Node::ConsumeExit { entry } => {
+            format!("\"kind\": \"consume_exit\", \"entry\": {}", entry.index())
+        }
+        Node::Reduce { wcr, axes, identity } => format!(
+            "\"kind\": \"reduce\", \"wcr\": {}, \"axes\": {}, \"identity\": {}",
+            q(&wcr.to_string()),
+            match axes {
+                Some(a) => format!("{a:?}"),
+                None => "null".into(),
+            },
+            match identity {
+                Some(v) => format!("{v}"),
+                None => "null".into(),
+            }
+        ),
+        Node::NestedSdfg { sdfg, inputs, outputs, .. } => {
+            let ins: Vec<String> = inputs.iter().map(|s| q(s)).collect();
+            let outs: Vec<String> = outputs.iter().map(|s| q(s)).collect();
+            format!(
+                "\"kind\": \"nested_sdfg\", \"name\": {}, \"inputs\": [{}], \"outputs\": [{}]",
+                q(&sdfg.name),
+                ins.join(", "),
+                outs.join(", ")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlet::Memlet;
+    use crate::node::MapScope;
+    use crate::DType;
+    use sdfg_symbolic::SymRange;
+
+    #[test]
+    fn json_has_all_sections() {
+        let mut s = Sdfg::new("json_demo");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        s.add_stream("S", DType::F64);
+        s.add_scalar("x", DType::I64, true);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("t", &["v"], &["o"], "o = v + 1");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("v"), Memlet::parse("A", "i"));
+        st.add_edge(t, Some("o"), mx, Some("IN_A"), Memlet::parse("A", "i"));
+        let aa = st.add_access("A");
+        st.add_edge(mx, Some("OUT_A"), aa, None, Memlet::parse("A", "0:N"));
+        let json = to_json(&s);
+        for needle in [
+            "\"type\": \"SDFG\"",
+            "\"name\": \"json_demo\"",
+            "\"kind\": \"array\"",
+            "\"kind\": \"stream\"",
+            "\"kind\": \"scalar\"",
+            "\"kind\": \"map_entry\"",
+            "\"kind\": \"tasklet\"",
+            "\"start_state\": 0",
+            "\"code\": \"o = v + 1\"",
+        ] {
+            assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

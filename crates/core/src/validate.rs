@@ -1,0 +1,547 @@
+//! SDFG validation (paper §4.3 step ❶): "a validation pass is run on the
+//! graph to ensure that scopes are correctly structured, memlets are
+//! connected properly, and map schedules and data storage locations are
+//! feasible".
+
+use crate::desc::DataDesc;
+use crate::node::Node;
+use crate::scope::{enclosing_schedule, scope_tree};
+use crate::sdfg::{Sdfg, StateId};
+use sdfg_graph::NodeId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A single validation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// The SDFG has states but no start state.
+    NoStartState,
+    /// A state's dataflow graph has a cycle.
+    CyclicState {
+        /// The cyclic state.
+        state: StateId,
+    },
+    /// An access node references an undeclared container.
+    UnknownData {
+        /// The state containing the node.
+        state: StateId,
+        /// The offending node.
+        node: NodeId,
+        /// The referenced name.
+        name: String,
+    },
+    /// A memlet references an undeclared container.
+    MemletUnknownData {
+        /// The state containing the edge.
+        state: StateId,
+        /// The referenced name.
+        name: String,
+    },
+    /// A memlet subset rank does not match the container rank.
+    MemletRankMismatch {
+        /// The state containing the edge.
+        state: StateId,
+        /// Container name.
+        name: String,
+        /// Container rank.
+        expected: usize,
+        /// Subset rank.
+        found: usize,
+    },
+    /// Scope structure is malformed.
+    BadScope {
+        /// The state containing the scope.
+        state: StateId,
+        /// Explanation.
+        message: String,
+    },
+    /// A scope entry has no (or more than one) paired exit.
+    UnpairedScope {
+        /// The state containing the scope.
+        state: StateId,
+        /// The entry node.
+        entry: NodeId,
+        /// Number of exits found.
+        exits: usize,
+    },
+    /// A tasklet connector is misused (unknown name, missing edge, or
+    /// duplicate input edge).
+    BadConnector {
+        /// The state containing the node.
+        state: StateId,
+        /// The tasklet node.
+        node: NodeId,
+        /// Explanation.
+        message: String,
+    },
+    /// Data in a given storage is not accessible from the schedule of the
+    /// scope it is used in (e.g. paged CPU memory inside a GPU kernel).
+    StorageScheduleMismatch {
+        /// The state containing the access.
+        state: StateId,
+        /// Container name.
+        name: String,
+        /// The storage of the container.
+        storage: crate::Storage,
+        /// The schedule of the surrounding scope.
+        schedule: crate::Schedule,
+    },
+    /// A nested SDFG connector does not name a container of the nested SDFG.
+    BadNestedConnector {
+        /// The state containing the node.
+        state: StateId,
+        /// Connector name.
+        connector: String,
+        /// Nested SDFG name.
+        nested: String,
+    },
+    /// An error inside a nested SDFG.
+    Nested {
+        /// Nested SDFG name.
+        name: String,
+        /// The inner error.
+        inner: Box<ValidationError>,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NoStartState => write!(f, "SDFG has states but no start state"),
+            ValidationError::CyclicState { state } => {
+                write!(f, "state {state:?} has cyclic dataflow")
+            }
+            ValidationError::UnknownData { state, node, name } => write!(
+                f,
+                "access node {node:?} in state {state:?} references undeclared data `{name}`"
+            ),
+            ValidationError::MemletUnknownData { state, name } => {
+                write!(f, "memlet in state {state:?} references undeclared data `{name}`")
+            }
+            ValidationError::MemletRankMismatch {
+                state,
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "memlet on `{name}` in state {state:?} has rank {found}, container has rank {expected}"
+            ),
+            ValidationError::BadScope { state, message } => {
+                write!(f, "malformed scope in state {state:?}: {message}")
+            }
+            ValidationError::UnpairedScope { state, entry, exits } => write!(
+                f,
+                "scope entry {entry:?} in state {state:?} has {exits} exits (expected 1)"
+            ),
+            ValidationError::BadConnector { state, node, message } => {
+                write!(f, "connector error on {node:?} in state {state:?}: {message}")
+            }
+            ValidationError::StorageScheduleMismatch {
+                state,
+                name,
+                storage,
+                schedule,
+            } => write!(
+                f,
+                "container `{name}` ({storage}) not accessible from {schedule} scope in state {state:?}"
+            ),
+            ValidationError::BadNestedConnector {
+                state,
+                connector,
+                nested,
+            } => write!(
+                f,
+                "nested SDFG `{nested}` in state {state:?} has connector `{connector}` naming no container"
+            ),
+            ValidationError::Nested { name, inner } => {
+                write!(f, "in nested SDFG `{name}`: {inner}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates an SDFG, collecting all errors.
+pub fn validate(sdfg: &Sdfg) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    if sdfg.graph.node_count() > 0 {
+        match sdfg.start {
+            Some(s) if sdfg.graph.contains_node(s) => {}
+            _ => errors.push(ValidationError::NoStartState),
+        }
+    }
+    for sid in sdfg.graph.node_ids() {
+        validate_state(sdfg, sid, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_state(sdfg: &Sdfg, sid: StateId, errors: &mut Vec<ValidationError>) {
+    let state = sdfg.graph.node(sid);
+    if sdfg_graph::algo::has_cycle(&state.graph) {
+        errors.push(ValidationError::CyclicState { state: sid });
+        return; // scope analysis needs acyclicity
+    }
+
+    // Access nodes reference declared data.
+    for nid in state.graph.node_ids() {
+        if let Some(name) = state.graph.node(nid).access_data() {
+            if !sdfg.data.contains_key(name) {
+                errors.push(ValidationError::UnknownData {
+                    state: sid,
+                    node: nid,
+                    name: name.to_string(),
+                });
+            }
+        }
+    }
+
+    // Memlets reference declared data with matching ranks.
+    for eid in state.graph.edge_ids() {
+        let df = state.graph.edge(eid);
+        let Some(name) = &df.memlet.data else { continue };
+        let Some(desc) = sdfg.data.get(name) else {
+            errors.push(ValidationError::MemletUnknownData {
+                state: sid,
+                name: name.clone(),
+            });
+            continue;
+        };
+        let expected = desc.rank();
+        let found = df.memlet.subset.rank();
+        let rank_ok = match desc {
+            // Scalars may be addressed with rank 0 or a single `0` index.
+            DataDesc::Scalar(_) => found <= 1,
+            // Streams: subset addresses the queue array; a plain queue
+            // (rank 0) may use rank 0 or 1.
+            DataDesc::Stream(_) => found == expected || (expected == 0 && found <= 1),
+            DataDesc::Array(_) => found == expected,
+        };
+        if !rank_ok {
+            errors.push(ValidationError::MemletRankMismatch {
+                state: sid,
+                name: name.clone(),
+                expected,
+                found,
+            });
+        }
+    }
+
+    // Scope pairing: each entry has exactly one exit.
+    for nid in state.graph.node_ids() {
+        if state.graph.node(nid).is_scope_entry() {
+            let exits = state
+                .graph
+                .node_ids()
+                .filter(|&x| state.graph.node(x).exit_entry() == Some(nid))
+                .count();
+            if exits != 1 {
+                errors.push(ValidationError::UnpairedScope {
+                    state: sid,
+                    entry: nid,
+                    exits,
+                });
+            }
+        }
+    }
+
+    // Scope structure.
+    let tree = match scope_tree(state) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(ValidationError::BadScope {
+                state: sid,
+                message: e.to_string(),
+            });
+            return;
+        }
+    };
+
+    // Tasklet connectors.
+    for nid in state.graph.node_ids() {
+        if let Node::Tasklet {
+            inputs, outputs, ..
+        } = state.graph.node(nid)
+        {
+            let ins: HashSet<&str> = inputs.iter().map(String::as_str).collect();
+            let outs: HashSet<&str> = outputs.iter().map(String::as_str).collect();
+            let mut seen_in: HashSet<String> = HashSet::new();
+            for eid in state.graph.in_edges(nid) {
+                let df = state.graph.edge(eid);
+                match &df.dst_conn {
+                    Some(c) if ins.contains(c.as_str()) => {
+                        if !seen_in.insert(c.clone()) {
+                            errors.push(ValidationError::BadConnector {
+                                state: sid,
+                                node: nid,
+                                message: format!("input connector `{c}` has multiple edges"),
+                            });
+                        }
+                    }
+                    Some(c) => errors.push(ValidationError::BadConnector {
+                        state: sid,
+                        node: nid,
+                        message: format!("unknown input connector `{c}`"),
+                    }),
+                    None if df.memlet.is_empty() => {} // ordering dependency
+                    None => errors.push(ValidationError::BadConnector {
+                        state: sid,
+                        node: nid,
+                        message: "data edge into tasklet without connector".into(),
+                    }),
+                }
+            }
+            for c in &ins {
+                if !seen_in.contains(*c) {
+                    errors.push(ValidationError::BadConnector {
+                        state: sid,
+                        node: nid,
+                        message: format!("input connector `{c}` has no edge"),
+                    });
+                }
+            }
+            let mut seen_out: HashSet<String> = HashSet::new();
+            for eid in state.graph.out_edges(nid) {
+                let df = state.graph.edge(eid);
+                match &df.src_conn {
+                    Some(c) if outs.contains(c.as_str()) => {
+                        seen_out.insert(c.clone());
+                    }
+                    Some(c) => errors.push(ValidationError::BadConnector {
+                        state: sid,
+                        node: nid,
+                        message: format!("unknown output connector `{c}`"),
+                    }),
+                    None if df.memlet.is_empty() => {}
+                    None => errors.push(ValidationError::BadConnector {
+                        state: sid,
+                        node: nid,
+                        message: "data edge out of tasklet without connector".into(),
+                    }),
+                }
+            }
+            for c in &outs {
+                if !seen_out.contains(*c) {
+                    errors.push(ValidationError::BadConnector {
+                        state: sid,
+                        node: nid,
+                        message: format!("output connector `{c}` has no edge"),
+                    });
+                }
+            }
+        }
+    }
+
+    // Storage/schedule feasibility: access nodes inside scopes must be
+    // reachable from that schedule.
+    for nid in state.graph.node_ids() {
+        let Some(name) = state.graph.node(nid).access_data() else {
+            continue;
+        };
+        let Some(desc) = sdfg.data.get(name) else {
+            continue;
+        };
+        if let Some(sched) = enclosing_schedule(state, &tree, nid) {
+            if !desc.storage().accessible_from(sched) {
+                errors.push(ValidationError::StorageScheduleMismatch {
+                    state: sid,
+                    name: name.to_string(),
+                    storage: desc.storage(),
+                    schedule: sched,
+                });
+            }
+        }
+    }
+
+    // Nested SDFGs: connectors must name nested containers; validate
+    // recursively.
+    for nid in state.graph.node_ids() {
+        if let Node::NestedSdfg {
+            sdfg: nested,
+            inputs,
+            outputs,
+            ..
+        } = state.graph.node(nid)
+        {
+            for c in inputs.iter().chain(outputs.iter()) {
+                if !nested.data.contains_key(c) {
+                    errors.push(ValidationError::BadNestedConnector {
+                        state: sid,
+                        connector: c.clone(),
+                        nested: nested.name.clone(),
+                    });
+                }
+            }
+            if let Err(inner) = validate(nested) {
+                for e in inner {
+                    errors.push(ValidationError::Nested {
+                        name: nested.name.clone(),
+                        inner: Box::new(e),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlet::Memlet;
+    use crate::node::MapScope;
+    use crate::{DType, Storage};
+    use sdfg_symbolic::SymRange;
+
+    fn valid_sdfg() -> Sdfg {
+        let mut s = Sdfg::new("ok");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        s.add_array("B", &["N"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let b = st.add_access("B");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("t", &["x"], &["y"], "y = x * 2");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        st.add_edge(t, Some("y"), mx, Some("IN_B"), Memlet::parse("B", "i"));
+        st.add_edge(mx, Some("OUT_B"), b, None, Memlet::parse("B", "0:N"));
+        s
+    }
+
+    #[test]
+    fn valid_passes() {
+        assert!(valid_sdfg().validate().is_ok());
+    }
+
+    #[test]
+    fn undeclared_access_detected() {
+        let mut s = valid_sdfg();
+        let sid = s.start.unwrap();
+        s.state_mut(sid).add_access("NOPE");
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownData { name, .. } if name == "NOPE")));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut s = valid_sdfg();
+        let sid = s.start.unwrap();
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let b = st.add_access("B");
+        st.add_plain_edge(a, b, Memlet::parse("A", "0:N, 0:N")); // A is 1-D
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MemletRankMismatch { expected: 1, found: 2, .. })));
+    }
+
+    #[test]
+    fn missing_connector_edge_detected() {
+        let mut s = Sdfg::new("bad");
+        s.add_array("A", &["4"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        // Tasklet declares two inputs but only one is connected.
+        let t = st.add_tasklet("t", &["x", "z"], &["y"], "y = x + z");
+        let b = st.add_access("A");
+        st.add_edge(a, None, t, Some("x"), Memlet::parse("A", "0"));
+        st.add_edge(t, Some("y"), b, None, Memlet::parse("A", "1"));
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::BadConnector { message, .. } if message.contains("`z`"))
+        ));
+    }
+
+    #[test]
+    fn gpu_schedule_rejects_cpu_storage() {
+        let mut s = valid_sdfg();
+        // Make the map a GPU kernel but keep a transient on the CPU heap.
+        s.add_transient("tmp", &["N"], DType::F64);
+        s.desc_mut("tmp").unwrap().set_storage(Storage::CpuHeap);
+        let sid = s.start.unwrap();
+        let st = s.state_mut(sid);
+        let me = st
+            .graph
+            .node_ids()
+            .find(|&n| st.graph.node(n).is_scope_entry())
+            .unwrap();
+        if let Node::MapEntry(m) = st.graph.node_mut(me) {
+            m.schedule = crate::Schedule::GpuDevice;
+        }
+        // Put a CPU-heap access inside the GPU scope.
+        let t = st
+            .graph
+            .node_ids()
+            .find(|&n| matches!(st.graph.node(n), Node::Tasklet { .. }))
+            .unwrap();
+        let tmp = st.add_access("tmp");
+        st.add_edge(t, Some("y"), tmp, None, Memlet::parse("tmp", "i"));
+        // tmp is now inside the map scope (fed from the tasklet): validation
+        // must flag CpuHeap-in-GpuDevice... but `y` now has two out-edges,
+        // which is allowed. Check the storage error appears.
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::StorageScheduleMismatch { name, .. } if name == "tmp")));
+    }
+
+    #[test]
+    fn cyclic_state_detected() {
+        let mut s = Sdfg::new("cyc");
+        s.add_array("A", &["4"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let t1 = st.add_tasklet("t1", &["a"], &["b"], "b = a");
+        let t2 = st.add_tasklet("t2", &["a"], &["b"], "b = a");
+        st.add_edge(t1, Some("b"), t2, Some("a"), Memlet::parse("A", "0"));
+        st.add_edge(t2, Some("b"), t1, Some("a"), Memlet::parse("A", "1"));
+        let errs = s.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::CyclicState { .. })));
+    }
+
+    #[test]
+    fn nested_sdfg_errors_propagate() {
+        let mut inner = Sdfg::new("inner");
+        inner.add_array("X", &["4"], DType::F64);
+        let isid = inner.add_state("s");
+        inner.state_mut(isid).add_access("UNDECLARED");
+
+        let mut outer = Sdfg::new("outer");
+        outer.add_array("A", &["4"], DType::F64);
+        let sid = outer.add_state("main");
+        let st = outer.state_mut(sid);
+        let a = st.add_access("A");
+        let n = st.add_node(Node::NestedSdfg {
+            sdfg: Box::new(inner),
+            symbol_mapping: Default::default(),
+            inputs: vec!["X".into()],
+            outputs: vec!["MISSING".into()],
+        });
+        st.add_edge(a, None, n, Some("X"), Memlet::parse("A", "0:4"));
+        let errs = outer.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadNestedConnector { connector, .. } if connector == "MISSING")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::Nested { .. })));
+    }
+}

@@ -1,0 +1,50 @@
+//! Quick performance sanity check for the executor's native path.
+use sdfg_exec::Executor;
+use sdfg_frontend::parse_program;
+use std::time::Instant;
+
+fn main() {
+    let src = r#"
+def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
+    for i, j, k in dace.map[0:M, 0:N, 0:K]:
+        C[i, j] += A[i, k] * B[k, j]
+"#;
+    let sdfg = parse_program(src).unwrap();
+    let n = 512usize;
+    let a: Vec<f64> = (0..n * n).map(|x| (x % 7) as f64).collect();
+    let b: Vec<f64> = (0..n * n).map(|x| (x % 5) as f64).collect();
+    let mut ex = Executor::new(&sdfg);
+    ex.set_symbol("M", n as i64).set_symbol("K", n as i64).set_symbol("N", n as i64);
+    ex.set_array("A", a).set_array("B", b).set_array("C", vec![0.0; n * n]);
+    let t0 = Instant::now();
+    let stats = ex.run().unwrap();
+    let dt = t0.elapsed();
+    let flops = 2.0 * (n as f64).powi(3);
+    println!(
+        "mm {n}^3: {:?}  {:.2} GF/s  native_points={} tasklet_points={}",
+        dt,
+        flops / dt.as_secs_f64() / 1e9,
+        stats.native_points,
+        stats.tasklet_points
+    );
+    let src2 = r#"
+def ew(X: dace.float64[N], Y: dace.float64[N]):
+    for i in dace.map[0:N]:
+        Y[i] = X[i] * 2 + 1
+"#;
+    let sdfg2 = parse_program(src2).unwrap();
+    let n2: i64 = 1 << 24;
+    let mut ex2 = Executor::new(&sdfg2);
+    ex2.set_symbol("N", n2);
+    ex2.set_array("X", vec![1.0; n2 as usize]);
+    ex2.set_array("Y", vec![0.0; n2 as usize]);
+    let t0 = Instant::now();
+    let st2 = ex2.run().unwrap();
+    let dt = t0.elapsed();
+    println!(
+        "ew 16M: {:?}  {:.2} GB/s  native={}",
+        dt,
+        (2.0 * 8.0 * n2 as f64) / dt.as_secs_f64() / 1e9,
+        st2.native_points
+    );
+}

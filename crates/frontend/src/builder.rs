@@ -1,0 +1,534 @@
+//! The SDFG builder API.
+
+use sdfg_core::sdfg::{Dataflow, InterstateEdge};
+use sdfg_core::{
+    DType, Memlet, Node, Schedule, Sdfg, State, StateId, Subset, SymRange, ValidationError, Wcr,
+};
+use sdfg_graph::NodeId;
+
+/// Handle to the nodes created by [`SdfgBuilder::mapped_tasklet`].
+#[derive(Clone, Copy, Debug)]
+pub struct MappedTasklet {
+    /// Map entry node.
+    pub entry: NodeId,
+    /// Map exit node.
+    pub exit: NodeId,
+    /// The tasklet node.
+    pub tasklet: NodeId,
+}
+
+/// Convenience builder that wraps an [`Sdfg`] under construction.
+pub struct SdfgBuilder {
+    /// The SDFG being built (public: escape hatch for anything the helper
+    /// methods don't cover).
+    pub sdfg: Sdfg,
+}
+
+impl SdfgBuilder {
+    /// Starts a new SDFG.
+    pub fn new(name: impl Into<String>) -> SdfgBuilder {
+        SdfgBuilder {
+            sdfg: Sdfg::new(name),
+        }
+    }
+
+    /// Declares a symbol.
+    pub fn symbol(&mut self, name: &str) -> &mut Self {
+        self.sdfg.add_symbol(name);
+        self
+    }
+
+    /// Declares an array.
+    pub fn array(&mut self, name: &str, shape: &[&str], dtype: DType) -> &mut Self {
+        self.sdfg.add_array(name, shape, dtype);
+        self
+    }
+
+    /// Declares a transient array.
+    pub fn transient(&mut self, name: &str, shape: &[&str], dtype: DType) -> &mut Self {
+        self.sdfg.add_transient(name, shape, dtype);
+        self
+    }
+
+    /// Declares a stream.
+    pub fn stream(&mut self, name: &str, dtype: DType) -> &mut Self {
+        self.sdfg.add_stream(name, dtype);
+        self
+    }
+
+    /// Declares a scalar.
+    pub fn scalar(&mut self, name: &str, dtype: DType, transient: bool) -> &mut Self {
+        self.sdfg.add_scalar(name, dtype, transient);
+        self
+    }
+
+    /// Adds a state.
+    pub fn state(&mut self, label: &str) -> StateId {
+        self.sdfg.add_state(label)
+    }
+
+    /// Adds an unconditional transition.
+    pub fn transition(&mut self, src: StateId, dst: StateId) {
+        self.sdfg.add_transition(src, dst, InterstateEdge::always());
+    }
+
+    /// One-call parallel tasklet: builds access nodes, a map over `ranges`,
+    /// the tasklet, and all memlets (outer memlets are derived by
+    /// propagation at `build()` time).
+    ///
+    /// * `ranges`: `&[("i", "0:N"), ("j", "0:M")]`
+    /// * `inputs`: `&[("a", "A", "i, j")]` — connector, container, subset
+    /// * `outputs`: `&[("c", "C", "i, j")]`
+    pub fn mapped_tasklet(
+        &mut self,
+        state: StateId,
+        name: &str,
+        ranges: &[(&str, &str)],
+        inputs: &[(&str, &str, &str)],
+        code: &str,
+        outputs: &[(&str, &str, &str)],
+    ) -> MappedTasklet {
+        let outs: Vec<(&str, &str, &str, Option<Wcr>)> = outputs
+            .iter()
+            .map(|(c, d, s)| (*c, *d, *s, None))
+            .collect();
+        self.mapped_tasklet_wcr(
+            state,
+            name,
+            ranges,
+            inputs,
+            code,
+            &outs,
+            Schedule::CpuMulticore,
+        )
+    }
+
+    /// [`Self::mapped_tasklet`] with per-output write-conflict resolution
+    /// and an explicit schedule.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mapped_tasklet_wcr(
+        &mut self,
+        state: StateId,
+        name: &str,
+        ranges: &[(&str, &str)],
+        inputs: &[(&str, &str, &str)],
+        code: &str,
+        outputs: &[(&str, &str, &str, Option<Wcr>)],
+        schedule: Schedule,
+    ) -> MappedTasklet {
+        let params: Vec<String> = ranges.iter().map(|(p, _)| p.to_string()).collect();
+        let rs: Vec<SymRange> = ranges
+            .iter()
+            .map(|(_, r)| parse_range(r))
+            .collect();
+        let st = self.sdfg.state_mut(state);
+        let mut scope = sdfg_core::node::MapScope::new(name, params, rs);
+        scope.schedule = schedule;
+        let (entry, exit) = st.add_map(scope);
+        let in_conns: Vec<&str> = inputs.iter().map(|(c, _, _)| *c).collect();
+        let out_conns: Vec<&str> = outputs.iter().map(|(c, _, _, _)| *c).collect();
+        let tasklet = st.add_tasklet(name, &in_conns, &out_conns, code);
+        for (conn, data, subset) in inputs {
+            let m = Memlet::parse(*data, subset);
+            thread_input(st, *data, &[entry], tasklet, conn, m);
+        }
+        for (conn, data, subset, wcr) in outputs {
+            let mut m = Memlet::parse(*data, subset);
+            if let Some(w) = wcr {
+                m = m.with_wcr(w.clone());
+            }
+            thread_output(st, *data, &[exit], tasklet, conn, m);
+        }
+        // A tasklet with no inputs still needs to live inside the scope.
+        if inputs.is_empty() {
+            st.add_edge(entry, None, tasklet, None, Memlet::empty());
+        }
+        if outputs.is_empty() {
+            st.add_edge(tasklet, None, exit, None, Memlet::empty());
+        }
+        MappedTasklet {
+            entry,
+            exit,
+            tasklet,
+        }
+    }
+
+    /// Copies `src[src_subset]` into `dst[dst_subset]` (access → access).
+    pub fn copy(
+        &mut self,
+        state: StateId,
+        src: &str,
+        src_subset: &str,
+        dst: &str,
+        dst_subset: &str,
+    ) {
+        let st = self.sdfg.state_mut(state);
+        let a = get_or_add_read(st, src);
+        let b = get_or_add_write(st, dst);
+        let m = Memlet::parse(src, src_subset)
+            .with_other_subset(Subset::parse(dst_subset).expect("invalid dst subset"));
+        st.add_plain_edge(a, b, m);
+    }
+
+    /// Adds a library Reduce node: `dst[dst_subset] = reduce(wcr, src[src_subset])`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &mut self,
+        state: StateId,
+        src: &str,
+        src_subset: &str,
+        dst: &str,
+        dst_subset: &str,
+        wcr: Wcr,
+        axes: Option<Vec<usize>>,
+        identity: Option<f64>,
+    ) -> NodeId {
+        let st = self.sdfg.state_mut(state);
+        let a = get_or_add_read(st, src);
+        let d = get_or_add_write(st, dst);
+        let r = st.add_node(Node::Reduce {
+            wcr,
+            axes,
+            identity,
+        });
+        st.add_edge(a, None, r, Some("IN"), Memlet::parse(src, src_subset));
+        st.add_edge(r, Some("OUT"), d, None, Memlet::parse(dst, dst_subset));
+        r
+    }
+
+    /// Wraps `body` in a `var = start; while cond { body; var += step }`
+    /// state-machine loop (guard-state construction). Returns
+    /// `(init, guard, exit)` states. If `body` was the start state, `init`
+    /// becomes the new start.
+    pub fn add_loop(
+        &mut self,
+        body: StateId,
+        var: &str,
+        start: &str,
+        cond: &str,
+        step: &str,
+    ) -> (StateId, StateId, StateId) {
+        let init = self.sdfg.add_state(format!("{var}_init"));
+        let guard = self.sdfg.add_state(format!("{var}_guard"));
+        let exit = self.sdfg.add_state(format!("{var}_exit"));
+        self.sdfg.add_transition(
+            init,
+            guard,
+            InterstateEdge::always().assign(var, start),
+        );
+        self.sdfg
+            .add_transition(guard, body, InterstateEdge::when(cond));
+        self.sdfg.add_transition(
+            body,
+            guard,
+            InterstateEdge::always().assign(var, format!("{var} + {step}").as_str()),
+        );
+        let neg = format!("not ({cond})");
+        self.sdfg
+            .add_transition(guard, exit, InterstateEdge::when(&neg));
+        if self.sdfg.start == Some(body) {
+            self.sdfg.start = Some(init);
+        }
+        (init, guard, exit)
+    }
+
+    /// Finishes: propagates memlets, validates, returns the SDFG.
+    pub fn build(mut self) -> Result<Sdfg, Vec<ValidationError>> {
+        sdfg_core::propagate::propagate_sdfg(&mut self.sdfg);
+        self.sdfg.validate()?;
+        Ok(self.sdfg)
+    }
+
+    /// Finishes without validation (for deliberately-invalid test inputs).
+    pub fn build_unvalidated(mut self) -> Sdfg {
+        sdfg_core::propagate::propagate_sdfg(&mut self.sdfg);
+        self.sdfg
+    }
+}
+
+/// Parses `"0:N"`, `"0:N:2"`, or a bare index expression.
+pub fn parse_range(src: &str) -> SymRange {
+    let s = Subset::parse(src).unwrap_or_else(|e| panic!("invalid range `{src}`: {e}"));
+    assert_eq!(s.dims.len(), 1, "range `{src}` must be one-dimensional");
+    s.dims.into_iter().next().unwrap()
+}
+
+/// Finds (or creates) a *read* access node for `data`. Read-after-write
+/// ordering: if the container was already written in this state, the
+/// written node is reused (the read sees the updated values and is
+/// sequenced after the write); otherwise an existing pure-read node is
+/// reused; otherwise a fresh node is created.
+pub fn get_or_add_read(st: &mut State, data: &str) -> NodeId {
+    let written = st
+        .graph
+        .node_ids()
+        .find(|&n| st.graph.node(n).access_data() == Some(data) && st.graph.in_degree(n) > 0);
+    if let Some(n) = written {
+        return n;
+    }
+    let read = st
+        .graph
+        .node_ids()
+        .find(|&n| st.graph.node(n).access_data() == Some(data) && st.graph.in_degree(n) == 0);
+    match read {
+        Some(n) => n,
+        None => st.add_access(data),
+    }
+}
+
+/// Finds (or creates) a *write* access node for `data`: one with at least
+/// one incoming edge, or a fresh node.
+pub fn get_or_add_write(st: &mut State, data: &str) -> NodeId {
+    let found = st
+        .graph
+        .node_ids()
+        .find(|&n| st.graph.node(n).access_data() == Some(data) && st.graph.in_degree(n) > 0);
+    match found {
+        Some(n) => n,
+        None => st.add_access(data),
+    }
+}
+
+/// Threads an input memlet from a (new or reused) read access node through
+/// the given scope-entry chain to `dst`'s connector `conn`. Outer memlets
+/// are stubs fixed up by propagation.
+pub fn thread_input(
+    st: &mut State,
+    data: &str,
+    entries: &[NodeId],
+    dst: NodeId,
+    conn: &str,
+    memlet: Memlet,
+) {
+    let access = get_or_add_read(st, data);
+    thread_input_from(st, access, data, entries, dst, conn, memlet);
+}
+
+/// Like [`thread_input`], from an explicit source access node.
+pub fn thread_input_from(
+    st: &mut State,
+    access: NodeId,
+    data: &str,
+    entries: &[NodeId],
+    dst: NodeId,
+    conn: &str,
+    memlet: Memlet,
+) {
+    let mut src = access;
+    let mut src_conn: Option<String> = None;
+    for &entry in entries {
+        let in_conn = format!("IN_{data}");
+        let out_conn = format!("OUT_{data}");
+        // Outer edge into this entry, if not already present from `src`.
+        let exists = st
+            .graph
+            .in_edges(entry)
+            .any(|e| st.graph.edge(e).dst_conn.as_deref() == Some(in_conn.as_str()));
+        if !exists {
+            st.add_edge(
+                src,
+                src_conn.as_deref(),
+                entry,
+                Some(&in_conn),
+                memlet.clone(), // stub; propagation recomputes
+            );
+        }
+        src = entry;
+        src_conn = Some(out_conn);
+    }
+    st.add_edge(src, src_conn.as_deref(), dst, Some(conn), memlet);
+}
+
+/// Threads an output memlet from `src`'s connector `conn` through the given
+/// scope-exit chain (innermost first) to a (new or reused) write access
+/// node.
+pub fn thread_output(
+    st: &mut State,
+    data: &str,
+    exits: &[NodeId],
+    src: NodeId,
+    conn: &str,
+    memlet: Memlet,
+) {
+    let access = get_or_add_write(st, data);
+    let mut cur = src;
+    let mut cur_conn: Option<String> = Some(conn.to_string());
+    for &exit in exits {
+        let in_conn = format!("IN_{data}");
+        let out_conn = format!("OUT_{data}");
+        st.add_edge(cur, cur_conn.as_deref(), exit, Some(&in_conn), memlet.clone());
+        // If this exit already forwards the container outward, the rest of
+        // the chain (including the access-node hop) is wired.
+        let exists = st
+            .graph
+            .out_edges(exit)
+            .any(|e| st.graph.edge(e).src_conn.as_deref() == Some(out_conn.as_str()));
+        if exists {
+            return;
+        }
+        cur = exit;
+        cur_conn = Some(out_conn);
+    }
+    st.add_edge(cur, cur_conn.as_deref(), access, None, memlet);
+}
+
+/// Removes duplicate outer edges produced by repeated threading (same
+/// connector pair between the same nodes).
+pub fn dedup_edges(st: &mut State) {
+    let mut seen: std::collections::HashSet<(NodeId, NodeId, Option<String>, Option<String>)> =
+        Default::default();
+    let edges: Vec<_> = st.graph.edge_ids().collect();
+    for e in edges {
+        let (s, d) = st.graph.edge_endpoints(e);
+        let df: &Dataflow = st.graph.edge(e);
+        let key = (s, d, df.src_conn.clone(), df.dst_conn.clone());
+        // Tasklet connectors must stay unique; scope connectors are the
+        // ones that can legitimately collide after threading.
+        let collapsible = df.src_conn.as_deref().is_some_and(|c| c.starts_with("OUT_"))
+            || df.dst_conn.as_deref().is_some_and(|c| c.starts_with("IN_"));
+        if collapsible && !seen.insert(key) {
+            st.graph.remove_edge(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_vector_add_validates() {
+        let mut b = SdfgBuilder::new("vadd");
+        b.symbol("N");
+        b.array("A", &["N"], DType::F64);
+        b.array("B", &["N"], DType::F64);
+        b.array("C", &["N"], DType::F64);
+        let st = b.state("main");
+        b.mapped_tasklet(
+            st,
+            "add",
+            &[("i", "0:N")],
+            &[("a", "A", "i"), ("b", "B", "i")],
+            "c = a + b",
+            &[("c", "C", "i")],
+        );
+        let sdfg = b.build().expect("valid");
+        let state = sdfg.state(sdfg.start.unwrap());
+        assert_eq!(state.graph.node_count(), 6);
+        // Propagation fixed the outer memlets to 0:N.
+        let me = state
+            .graph
+            .node_ids()
+            .find(|&n| state.graph.node(n).is_scope_entry())
+            .unwrap();
+        for e in state.graph.in_edges(me) {
+            let m = &state.graph.edge(e).memlet;
+            assert_eq!(m.subset.to_string(), "0:N");
+        }
+    }
+
+    #[test]
+    fn mapped_tasklet_with_wcr_reduction() {
+        let mut b = SdfgBuilder::new("dot");
+        b.symbol("N");
+        b.array("A", &["N"], DType::F64);
+        b.array("B", &["N"], DType::F64);
+        b.array("out", &["1"], DType::F64);
+        let st = b.state("main");
+        b.mapped_tasklet_wcr(
+            st,
+            "mul",
+            &[("i", "0:N")],
+            &[("a", "A", "i"), ("b", "B", "i")],
+            "o = a * b",
+            &[("o", "out", "0", Some(Wcr::Sum))],
+            Schedule::CpuMulticore,
+        );
+        let sdfg = b.build().expect("valid");
+        let state = sdfg.state(sdfg.start.unwrap());
+        // Outer output memlet carries the WCR.
+        let exit = state
+            .graph
+            .node_ids()
+            .find(|&n| state.graph.node(n).is_scope_exit())
+            .unwrap();
+        let outer = state.graph.out_edges(exit).next().unwrap();
+        assert_eq!(state.graph.edge(outer).memlet.wcr, Some(Wcr::Sum));
+    }
+
+    #[test]
+    fn two_inputs_same_container_share_scope_connector() {
+        // c[i] = A[i] * A[N-1-i]: both inputs route through one IN_A.
+        let mut b = SdfgBuilder::new("rev");
+        b.symbol("N");
+        b.array("A", &["N"], DType::F64);
+        b.array("C", &["N"], DType::F64);
+        let st = b.state("main");
+        b.mapped_tasklet(
+            st,
+            "t",
+            &[("i", "0:N")],
+            &[("x", "A", "i"), ("y", "A", "N - 1 - i")],
+            "c = x * y",
+            &[("c", "C", "i")],
+        );
+        let sdfg = b.build().expect("valid");
+        let state = sdfg.state(sdfg.start.unwrap());
+        let me = state
+            .graph
+            .node_ids()
+            .find(|&n| state.graph.node(n).is_scope_entry())
+            .unwrap();
+        assert_eq!(state.graph.in_degree(me), 1, "single outer IN_A edge");
+        assert_eq!(state.graph.out_degree(me), 2, "two inner edges");
+    }
+
+    #[test]
+    fn add_loop_builds_guarded_state_machine() {
+        let mut b = SdfgBuilder::new("loop");
+        b.symbol("T");
+        b.array("A", &["4"], DType::F64);
+        let body = b.state("body");
+        b.mapped_tasklet(
+            body,
+            "inc",
+            &[("i", "0:4")],
+            &[("a", "A", "i")],
+            "o = a + 1",
+            &[("o", "A", "i")],
+        );
+        let (init, guard, _exit) = b.add_loop(body, "t", "0", "t < T", "1");
+        let sdfg = b.build().expect("valid");
+        assert_eq!(sdfg.start, Some(init));
+        assert_eq!(sdfg.graph.node_count(), 4); // body + init + guard + exit
+        // guard has two outgoing transitions with complementary conditions.
+        assert_eq!(sdfg.graph.out_degree(guard), 2);
+    }
+
+    #[test]
+    fn copy_and_reduce_helpers() {
+        let mut b = SdfgBuilder::new("cr");
+        b.symbol("N");
+        b.array("A", &["N", "N"], DType::F64);
+        b.transient("tmp", &["N", "N"], DType::F64);
+        b.array("out", &["N"], DType::F64);
+        let st = b.state("main");
+        b.copy(st, "A", "0:N, 0:N", "tmp", "0:N, 0:N");
+        b.reduce(
+            st,
+            "tmp",
+            "0:N, 0:N",
+            "out",
+            "0:N",
+            Wcr::Sum,
+            Some(vec![1]),
+            Some(0.0),
+        );
+        let sdfg = b.build().expect("valid");
+        let state = sdfg.state(sdfg.start.unwrap());
+        assert!(state
+            .graph
+            .node_ids()
+            .any(|n| matches!(state.graph.node(n), Node::Reduce { .. })));
+    }
+}

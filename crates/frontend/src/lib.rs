@@ -1,0 +1,20 @@
+//! # sdfg-frontend — building SDFGs
+//!
+//! Two ways into the IR, mirroring the paper's §2.1:
+//!
+//! * [`SdfgBuilder`] — the low-level **builder API** ("a low-level (builder)
+//!   API to easily map other DSLs to SDFGs"). It adds the plumbing the raw
+//!   IR leaves to the user: threading memlets through scope chains with
+//!   `IN_*`/`OUT_*` connectors, one-call mapped tasklets, loop state
+//!   machines, and automatic propagation+validation on `build()`.
+//! * [`python`] — the **restricted Python-like frontend**: parses
+//!   `@dace.program`-decorated function sources (maps via
+//!   `for i in dace.map[0:N]`, explicit tasklets via `with dace.tasklet:`
+//!   with `<<`/`>>` memlets, assignment sugar, sequential `range` loops,
+//!   and indirect-access lowering per Appendix F) into SDFGs.
+
+pub mod builder;
+pub mod python;
+
+pub use builder::{MappedTasklet, SdfgBuilder};
+pub use python::{parse_program, FrontendError};

@@ -1,0 +1,355 @@
+//! Graph algorithms over [`MultiGraph`]: topological sort, cycle detection,
+//! weakly connected components, reachability, and (post-)dominators.
+
+use crate::multigraph::{MultiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Error returned by [`topological_sort`] when the graph has a cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node that participates in a cycle.
+    pub witness: NodeId,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a cycle through {:?}", self.witness)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Kahn's algorithm. Ties are broken by ascending `NodeId`, making the
+/// order deterministic (important for reproducible code generation).
+pub fn topological_sort<N, E>(g: &MultiGraph<N, E>) -> Result<Vec<NodeId>, CycleError> {
+    let mut indeg: HashMap<NodeId, usize> = g.node_ids().map(|n| (n, g.in_degree(n))).collect();
+    // BinaryHeap of Reverse would work; for small graphs a sorted vec is fine.
+    let mut ready: Vec<NodeId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a)); // pop from the back = smallest
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(n) = ready.pop() {
+        order.push(n);
+        let mut newly = Vec::new();
+        for s in g.successors(n) {
+            let d = indeg.get_mut(&s).expect("successor must be live");
+            *d -= 1;
+            if *d == 0 {
+                newly.push(s);
+            }
+        }
+        for s in newly {
+            let pos = ready.binary_search_by(|x| s.cmp(x)).unwrap_or_else(|p| p);
+            ready.insert(pos, s);
+        }
+    }
+    if order.len() != g.node_count() {
+        let witness = g
+            .node_ids()
+            .find(|n| !order.contains(n))
+            .expect("cycle witness exists");
+        return Err(CycleError { witness });
+    }
+    Ok(order)
+}
+
+/// True if the directed graph contains a cycle.
+pub fn has_cycle<N, E>(g: &MultiGraph<N, E>) -> bool {
+    topological_sort(g).is_err()
+}
+
+/// Weakly connected components, each sorted ascending; components ordered
+/// by their smallest node.
+pub fn weakly_connected_components<N, E>(g: &MultiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let mut seen: HashMap<NodeId, bool> = g.node_ids().map(|n| (n, false)).collect();
+    let mut comps = Vec::new();
+    for start in g.node_ids() {
+        if seen[&start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen.insert(start, true);
+        while let Some(n) = stack.pop() {
+            comp.push(n);
+            for m in g.successors(n).chain(g.predecessors(n)) {
+                if !seen[&m] {
+                    seen.insert(m, true);
+                    stack.push(m);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// Nodes reachable from `start` along edge direction (including `start`).
+pub fn reachable<N, E>(g: &MultiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_bound()];
+    let mut stack = vec![start];
+    let mut out = Vec::new();
+    seen[start.index()] = true;
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        for m in g.successors(n) {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                stack.push(m);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Immediate-dominator tree computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm. Returns `idom[n]` for every node reachable from
+/// `entry`; the entry maps to itself. Unreachable nodes are absent.
+pub fn dominators<N, E>(g: &MultiGraph<N, E>, entry: NodeId) -> HashMap<NodeId, NodeId> {
+    // Reverse postorder of the reachable subgraph.
+    let rpo = reverse_postorder(g, entry, false);
+    let index: HashMap<NodeId, usize> = rpo.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut idom: Vec<Option<usize>> = vec![None; rpo.len()];
+    idom[0] = Some(0);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, &n) in rpo.iter().enumerate().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for p in g.predecessors(n) {
+                let Some(&pi) = index.get(&p) else { continue };
+                if idom[pi].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => pi,
+                    Some(cur) => intersect(&idom, pi, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[i] != Some(ni) {
+                    idom[i] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    rpo.iter()
+        .enumerate()
+        .filter_map(|(i, &n)| idom[i].map(|d| (n, rpo[d])))
+        .collect()
+}
+
+/// Immediate post-dominators: dominators of the reversed graph rooted at
+/// `exit`.
+pub fn postdominators<N, E>(g: &MultiGraph<N, E>, exit: NodeId) -> HashMap<NodeId, NodeId> {
+    let rpo = reverse_postorder(g, exit, true);
+    let index: HashMap<NodeId, usize> = rpo.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut idom: Vec<Option<usize>> = vec![None; rpo.len()];
+    if rpo.is_empty() {
+        return HashMap::new();
+    }
+    idom[0] = Some(0);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, &n) in rpo.iter().enumerate().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for p in g.successors(n) {
+                let Some(&pi) = index.get(&p) else { continue };
+                if idom[pi].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => pi,
+                    Some(cur) => intersect(&idom, pi, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[i] != Some(ni) {
+                    idom[i] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    rpo.iter()
+        .enumerate()
+        .filter_map(|(i, &n)| idom[i].map(|d| (n, rpo[d])))
+        .collect()
+}
+
+/// Walks up the (partial) dominator tree to the common ancestor.
+fn intersect(idom: &[Option<usize>], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while a > b {
+            a = idom[a].expect("intersect: undefined idom");
+        }
+        while b > a {
+            b = idom[b].expect("intersect: undefined idom");
+        }
+    }
+    a
+}
+
+/// True if `dom` dominates `n` under the given immediate-dominator map
+/// (reflexive: every node dominates itself).
+pub fn dominates(idom: &HashMap<NodeId, NodeId>, dom: NodeId, mut n: NodeId) -> bool {
+    loop {
+        if n == dom {
+            return true;
+        }
+        match idom.get(&n) {
+            Some(&p) if p != n => n = p,
+            _ => return false,
+        }
+    }
+}
+
+fn reverse_postorder<N, E>(g: &MultiGraph<N, E>, entry: NodeId, reversed: bool) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_bound()];
+    let mut post = Vec::new();
+    // Iterative DFS with explicit phase tracking.
+    let mut stack: Vec<(NodeId, bool)> = vec![(entry, false)];
+    while let Some((n, processed)) = stack.pop() {
+        if processed {
+            post.push(n);
+            continue;
+        }
+        if visited[n.index()] {
+            continue;
+        }
+        visited[n.index()] = true;
+        stack.push((n, true));
+        let nexts: Vec<NodeId> = if reversed {
+            g.predecessors(n).collect()
+        } else {
+            g.successors(n).collect()
+        };
+        for m in nexts {
+            if !visited[m.index()] {
+                stack.push((m, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g_from(edges: &[(u32, u32)], n: u32) -> MultiGraph<(), ()> {
+        let mut g = MultiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in edges {
+            g.add_edge(ids[a as usize], ids[b as usize], ());
+        }
+        g
+    }
+
+    #[test]
+    fn toposort_diamond() {
+        let g = g_from(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn toposort_detects_cycles() {
+        let g = g_from(&[(0, 1), (1, 2), (2, 0)], 3);
+        assert!(topological_sort(&g).is_err());
+        assert!(has_cycle(&g));
+        let dag = g_from(&[(0, 1)], 2);
+        assert!(!has_cycle(&dag));
+    }
+
+    #[test]
+    fn toposort_respects_all_edges() {
+        // Random-ish DAG; check pairwise order constraint.
+        let edges = [(3, 1), (3, 0), (1, 4), (0, 4), (4, 2)];
+        let g = g_from(&edges, 5);
+        let order = topological_sort(&g).unwrap();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &(a, b) in &edges {
+            assert!(pos[&NodeId(a)] < pos[&NodeId(b)]);
+        }
+    }
+
+    #[test]
+    fn components() {
+        let g = g_from(&[(0, 1), (2, 3)], 5);
+        let comps = weakly_connected_components(&g);
+        assert_eq!(
+            comps,
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(2), NodeId(3)],
+                vec![NodeId(4)]
+            ]
+        );
+    }
+
+    #[test]
+    fn dominators_diamond() {
+        //    0
+        //   / \
+        //  1   2
+        //   \ /
+        //    3
+        let g = g_from(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let idom = dominators(&g, NodeId(0));
+        assert_eq!(idom[&NodeId(1)], NodeId(0));
+        assert_eq!(idom[&NodeId(2)], NodeId(0));
+        assert_eq!(idom[&NodeId(3)], NodeId(0)); // join dominated by fork, not branches
+        assert!(dominates(&idom, NodeId(0), NodeId(3)));
+        assert!(!dominates(&idom, NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn postdominators_diamond() {
+        let g = g_from(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let pdom = postdominators(&g, NodeId(3));
+        assert_eq!(pdom[&NodeId(1)], NodeId(3));
+        assert_eq!(pdom[&NodeId(2)], NodeId(3));
+        assert_eq!(pdom[&NodeId(0)], NodeId(3));
+    }
+
+    #[test]
+    fn dominators_chain_in_scope_shape() {
+        // map-entry(0) -> a(1) -> b(2) -> map-exit(3); plus 0 -> 2 memlet.
+        let g = g_from(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        let idom = dominators(&g, NodeId(0));
+        let pdom = postdominators(&g, NodeId(3));
+        // Scope membership test from the paper: dominated by entry and
+        // post-dominated by exit.
+        for n in [NodeId(1), NodeId(2)] {
+            assert!(dominates(&idom, NodeId(0), n));
+            assert!(dominates(&pdom, NodeId(3), n));
+        }
+    }
+
+    #[test]
+    fn reachable_ignores_unconnected() {
+        let g = g_from(&[(0, 1), (1, 2), (3, 4)], 5);
+        assert_eq!(
+            reachable(&g, NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn dominators_skip_unreachable() {
+        let g = g_from(&[(0, 1), (2, 1)], 3);
+        let idom = dominators(&g, NodeId(0));
+        assert!(idom.contains_key(&NodeId(1)));
+        assert!(!idom.contains_key(&NodeId(2)));
+    }
+}

@@ -1,0 +1,26 @@
+//! Graph substrate for SDFGs.
+//!
+//! An SDFG is "a directed graph of directed acyclic multigraphs" (paper §3):
+//! the top level is a state machine, and each state is a DAG multigraph of
+//! dataflow. Both levels are instances of [`MultiGraph`], a directed
+//! multigraph with stable node/edge identifiers and tombstone deletion, so
+//! identifiers held by transformations stay valid across rewrites.
+//!
+//! On top of the container, this crate provides the graph algorithms the
+//! paper's machinery needs:
+//!
+//! * [`algo::topological_sort`] — state dataflow is executed in topological
+//!   order (Appendix A.2.2).
+//! * [`algo::dominators`] / [`algo::postdominators`] — Map/Consume scopes
+//!   are "nodes dominated by a scope entry and post-dominated by an exit"
+//!   (§3.3).
+//! * [`algo::weakly_connected_components`] — separate components of a state
+//!   run concurrently (§3.3).
+//! * [`vf2`] — VF2-style subgraph matching, used to find transformation
+//!   pattern occurrences (§4.1, citing Cordella et al.).
+
+pub mod algo;
+pub mod multigraph;
+pub mod vf2;
+
+pub use multigraph::{EdgeId, MultiGraph, NodeId};

@@ -1,0 +1,354 @@
+//! A directed multigraph with stable identifiers.
+//!
+//! Nodes and edges are stored in slot vectors; deletion leaves a tombstone
+//! so that `NodeId`/`EdgeId` values held elsewhere (e.g. by a transformation
+//! match) never dangle onto a *different* element. Accessing a deleted
+//! element panics with a clear message — that is a bug in the caller.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`MultiGraph`]. Stable across mutations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`MultiGraph`]. Stable across mutations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl NodeId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EdgeSlot<E> {
+    src: NodeId,
+    dst: NodeId,
+    weight: E,
+}
+
+/// A directed multigraph: parallel edges and self-loops are allowed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiGraph<N, E> {
+    nodes: Vec<Option<N>>,
+    edges: Vec<Option<EdgeSlot<E>>>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl<N, E> Default for MultiGraph<N, E> {
+    fn default() -> Self {
+        MultiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+}
+
+impl<N, E> MultiGraph<N, E> {
+    /// Creates an empty multigraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(weight));
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Adds a directed edge `src -> dst` and returns its identifier.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
+        assert!(self.contains_node(src), "add_edge: src {src:?} not live");
+        assert!(self.contains_node(dst), "add_edge: dst {dst:?} not live");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Some(EdgeSlot { src, dst, weight }));
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        self.live_edges += 1;
+        id
+    }
+
+    /// True if the node exists and is live.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(|s| s.is_some())
+    }
+
+    /// True if the edge exists and is live.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.get(e.index()).is_some_and(|s| s.is_some())
+    }
+
+    /// Node payload. Panics if deleted.
+    pub fn node(&self, n: NodeId) -> &N {
+        self.nodes[n.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {n:?} was removed"))
+    }
+
+    /// Mutable node payload. Panics if deleted.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut N {
+        self.nodes[n.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {n:?} was removed"))
+    }
+
+    /// Edge payload. Panics if deleted.
+    pub fn edge(&self, e: EdgeId) -> &E {
+        self.edges[e.index()]
+            .as_ref()
+            .map(|s| &s.weight)
+            .unwrap_or_else(|| panic!("edge {e:?} was removed"))
+    }
+
+    /// Mutable edge payload. Panics if deleted.
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut E {
+        self.edges[e.index()]
+            .as_mut()
+            .map(|s| &mut s.weight)
+            .unwrap_or_else(|| panic!("edge {e:?} was removed"))
+    }
+
+    /// Source node of an edge.
+    pub fn edge_src(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("edge {e:?} was removed"))
+            .src
+    }
+
+    /// Destination node of an edge.
+    pub fn edge_dst(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("edge {e:?} was removed"))
+            .dst
+    }
+
+    /// `(src, dst)` endpoints of an edge.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let s = self.edges[e.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("edge {e:?} was removed"));
+        (s.src, s.dst)
+    }
+
+    /// Removes an edge; its id becomes invalid.
+    pub fn remove_edge(&mut self, e: EdgeId) -> E {
+        let slot = self.edges[e.index()]
+            .take()
+            .unwrap_or_else(|| panic!("edge {e:?} already removed"));
+        self.out_adj[slot.src.index()].retain(|&x| x != e);
+        self.in_adj[slot.dst.index()].retain(|&x| x != e);
+        self.live_edges -= 1;
+        slot.weight
+    }
+
+    /// Removes a node and all incident edges.
+    pub fn remove_node(&mut self, n: NodeId) -> N {
+        let weight = self.nodes[n.index()]
+            .take()
+            .unwrap_or_else(|| panic!("node {n:?} already removed"));
+        let incident: Vec<EdgeId> = self.out_adj[n.index()]
+            .iter()
+            .chain(self.in_adj[n.index()].iter())
+            .copied()
+            .collect();
+        for e in incident {
+            if self.contains_edge(e) {
+                self.remove_edge(e);
+            }
+        }
+        self.live_nodes -= 1;
+        weight
+    }
+
+    /// Live node identifiers, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
+    }
+
+    /// Live edge identifiers, ascending.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| EdgeId(i as u32)))
+    }
+
+    /// Outgoing edges of a node (insertion order).
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out_adj[n.index()].iter().copied()
+    }
+
+    /// Incoming edges of a node (insertion order).
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.in_adj[n.index()].iter().copied()
+    }
+
+    /// Out-degree.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out_adj[n.index()].len()
+    }
+
+    /// In-degree.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.in_adj[n.index()].len()
+    }
+
+    /// Successor nodes (with multiplicity, per parallel edge).
+    pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(n).map(move |e| self.edge_dst(e))
+    }
+
+    /// Predecessor nodes (with multiplicity, per parallel edge).
+    pub fn predecessors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(n).map(move |e| self.edge_src(e))
+    }
+
+    /// All parallel edges from `src` to `dst`.
+    pub fn edges_between(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out_edges(src)
+            .filter(move |&e| self.edge_dst(e) == dst)
+    }
+
+    /// Highest node slot ever allocated (for building side tables).
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (MultiGraph<&'static str, u32>, [NodeId; 4]) {
+        let mut g = MultiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.successors(a).count(), 2);
+        assert_eq!(g.predecessors(b).collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut g: MultiGraph<(), u32> = MultiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        assert_eq!(g.edges_between(a, b).count(), 2);
+        assert_eq!(g.successors(a).count(), 2);
+    }
+
+    #[test]
+    fn remove_edge_updates_adjacency() {
+        let (mut g, [a, b, _, _]) = diamond();
+        let e = g.edges_between(a, b).next().unwrap();
+        assert_eq!(g.remove_edge(e), 1);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(a), 1);
+        assert!(!g.contains_edge(e));
+    }
+
+    #[test]
+    fn remove_node_removes_incident_edges() {
+        let (mut g, [_, b, _, d]) = diamond();
+        g.remove_node(b);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.in_degree(d), 1);
+    }
+
+    #[test]
+    fn ids_stay_stable_after_removal() {
+        let (mut g, [a, b, c, d]) = diamond();
+        g.remove_node(b);
+        // Other ids still resolve to the same payloads.
+        assert_eq!(*g.node(a), "a");
+        assert_eq!(*g.node(c), "c");
+        assert_eq!(*g.node(d), "d");
+        // New nodes get fresh ids, never recycling b's.
+        let e = g.add_node("e");
+        assert_ne!(e, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "was removed")]
+    fn access_removed_node_panics() {
+        let (mut g, [a, ..]) = diamond();
+        g.remove_node(a);
+        let _ = g.node(a);
+    }
+
+    #[test]
+    fn self_loops() {
+        let mut g: MultiGraph<(), ()> = MultiGraph::new();
+        let a = g.add_node(());
+        let e = g.add_edge(a, a, ());
+        assert_eq!(g.edge_endpoints(e), (a, a));
+        g.remove_node(a);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

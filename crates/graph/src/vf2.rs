@@ -1,0 +1,476 @@
+//! VF2-style subgraph matching.
+//!
+//! The transformation engine of the paper finds pattern occurrences with
+//! "the VF2 algorithm to find isomorphic subgraphs" (§4.1). We implement
+//! backtracking search in the VF2 spirit: pattern nodes are matched one at a
+//! time in a connectivity-aware order, candidates are drawn from the
+//! neighborhood of already-matched nodes, and feasibility is checked against
+//! every pattern edge incident to the frontier.
+//!
+//! Two match semantics are offered:
+//!
+//! * **monomorphism** (default for transformations): every pattern edge must
+//!   have a distinct matching host edge, but the host may have extra edges
+//!   among matched nodes — e.g. the `RedundantArray` pattern (two access
+//!   nodes in a path) matches even when the host state has additional
+//!   unrelated edges.
+//! * **induced**: additionally, host edges between matched nodes must be
+//!   covered by pattern edges.
+
+use crate::multigraph::{MultiGraph, NodeId};
+use std::collections::HashMap;
+
+/// A single match: pattern node → host node.
+pub type Match = HashMap<NodeId, NodeId>;
+
+/// Options controlling the search.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchOptions {
+    /// Require induced subgraphs (no extra host edges between matched nodes).
+    pub induced: bool,
+    /// Stop after this many matches (`usize::MAX` for all).
+    pub limit: usize,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            induced: false,
+            limit: usize::MAX,
+        }
+    }
+}
+
+/// Finds occurrences of `pattern` in `host`.
+///
+/// `node_match(p, h)` and `edge_match(pe, he)` decide label compatibility.
+/// Matches are returned in a deterministic order (host candidates are tried
+/// in ascending `NodeId` order).
+pub fn find_subgraph_matches<PN, PE, N, E>(
+    pattern: &MultiGraph<PN, PE>,
+    host: &MultiGraph<N, E>,
+    node_match: &dyn Fn(NodeId, &PN, NodeId, &N) -> bool,
+    edge_match: &dyn Fn(&PE, &E) -> bool,
+    options: MatchOptions,
+) -> Vec<Match> {
+    let pat_nodes: Vec<NodeId> = pattern.node_ids().collect();
+    if pat_nodes.is_empty() || pat_nodes.len() > host.node_count() {
+        return Vec::new();
+    }
+    let order = connectivity_order(pattern, &pat_nodes);
+    let mut state = SearchState {
+        pattern,
+        host,
+        node_match,
+        edge_match,
+        options,
+        order,
+        mapping: HashMap::new(),
+        used: vec![false; host.node_bound()],
+        results: Vec::new(),
+    };
+    state.search(0);
+    state.results
+}
+
+/// Orders pattern nodes so that each node (after the first) is adjacent to an
+/// earlier one whenever the pattern is connected; disconnected parts follow.
+fn connectivity_order<PN, PE>(pattern: &MultiGraph<PN, PE>, nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut placed = vec![false; pattern.node_bound()];
+    // Start from the most constrained node (highest degree).
+    let mut remaining: Vec<NodeId> = nodes.to_vec();
+    remaining.sort_by_key(|&n| std::cmp::Reverse(pattern.in_degree(n) + pattern.out_degree(n)));
+    while order.len() < nodes.len() {
+        // Prefer an unplaced node adjacent to the placed set.
+        let next = remaining
+            .iter()
+            .copied()
+            .filter(|&n| !placed[n.index()])
+            .find(|&n| {
+                pattern
+                    .successors(n)
+                    .chain(pattern.predecessors(n))
+                    .any(|m| placed[m.index()])
+            })
+            .or_else(|| remaining.iter().copied().find(|&n| !placed[n.index()]));
+        let n = next.expect("some node remains");
+        placed[n.index()] = true;
+        order.push(n);
+    }
+    order
+}
+
+struct SearchState<'a, PN, PE, N, E> {
+    pattern: &'a MultiGraph<PN, PE>,
+    host: &'a MultiGraph<N, E>,
+    node_match: &'a dyn Fn(NodeId, &PN, NodeId, &N) -> bool,
+    edge_match: &'a dyn Fn(&PE, &E) -> bool,
+    options: MatchOptions,
+    order: Vec<NodeId>,
+    mapping: Match,
+    used: Vec<bool>,
+    results: Vec<Match>,
+}
+
+impl<PN, PE, N, E> SearchState<'_, PN, PE, N, E> {
+    fn search(&mut self, depth: usize) {
+        if self.results.len() >= self.options.limit {
+            return;
+        }
+        if depth == self.order.len() {
+            self.results.push(self.mapping.clone());
+            return;
+        }
+        let p = self.order[depth];
+        let candidates = self.candidates_for(p);
+        for h in candidates {
+            if self.used[h.index()] {
+                continue;
+            }
+            if !(self.node_match)(p, self.pattern.node(p), h, self.host.node(h)) {
+                continue;
+            }
+            if !self.edges_feasible(p, h) {
+                continue;
+            }
+            self.mapping.insert(p, h);
+            self.used[h.index()] = true;
+            self.search(depth + 1);
+            self.used[h.index()] = false;
+            self.mapping.remove(&p);
+            if self.results.len() >= self.options.limit {
+                return;
+            }
+        }
+    }
+
+    /// Host candidates for pattern node `p`: if `p` has a matched pattern
+    /// neighbor, restrict to the corresponding host neighborhood; otherwise
+    /// all host nodes.
+    fn candidates_for(&self, p: NodeId) -> Vec<NodeId> {
+        // Matched pattern predecessor: candidates are successors of its image.
+        for e in self.pattern.in_edges(p) {
+            let src = self.pattern.edge_src(e);
+            if let Some(&hsrc) = self.mapping.get(&src) {
+                let mut c: Vec<NodeId> = self.host.successors(hsrc).collect();
+                c.sort_unstable();
+                c.dedup();
+                return c;
+            }
+        }
+        for e in self.pattern.out_edges(p) {
+            let dst = self.pattern.edge_dst(e);
+            if let Some(&hdst) = self.mapping.get(&dst) {
+                let mut c: Vec<NodeId> = self.host.predecessors(hdst).collect();
+                c.sort_unstable();
+                c.dedup();
+                return c;
+            }
+        }
+        self.host.node_ids().collect()
+    }
+
+    /// Checks every pattern edge between `p` and already-matched nodes, with
+    /// multiplicity (distinct host edges per pattern edge, greedy matching).
+    fn edges_feasible(&self, p: NodeId, h: NodeId) -> bool {
+        // Self-loops: `p` is not yet in the mapping when it is placed, so
+        // they are invisible to the matched-neighbor walk below.
+        if !self.direction_feasible(p, p, h, h) {
+            return false;
+        }
+        if self.options.induced
+            && self.host.edges_between(h, h).count()
+                > self.pattern.edges_between(p, p).count()
+        {
+            return false;
+        }
+        // Outgoing pattern edges p -> q with q matched.
+        for q in self.matched_pattern_nodes_adjacent(p) {
+            let hq = self.mapping[&q];
+            if !self.multiedges_feasible(p, q, h, hq) {
+                return false;
+            }
+        }
+        if self.options.induced {
+            // No extra host edges between h and matched host nodes beyond
+            // what pattern edges account for — checked as exact counts.
+            for (&q, &hq) in &self.mapping {
+                let pf = self.pattern.edges_between(p, q).count();
+                let hf = self.host.edges_between(h, hq).count();
+                let pb = self.pattern.edges_between(q, p).count();
+                let hb = self.host.edges_between(hq, h).count();
+                if hf > pf || hb > pb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn matched_pattern_nodes_adjacent(&self, p: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .pattern
+            .successors(p)
+            .chain(self.pattern.predecessors(p))
+            .filter(|q| self.mapping.contains_key(q))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Greedy bipartite check: each pattern edge between (p,q) needs its own
+    /// compatible host edge between (h,hq), in both directions.
+    fn multiedges_feasible(&self, p: NodeId, q: NodeId, h: NodeId, hq: NodeId) -> bool {
+        self.direction_feasible(p, q, h, hq) && self.direction_feasible(q, p, hq, h)
+    }
+
+    fn direction_feasible(&self, pa: NodeId, pb: NodeId, ha: NodeId, hb: NodeId) -> bool {
+        let pedges: Vec<_> = self.pattern.edges_between(pa, pb).collect();
+        if pedges.is_empty() {
+            return true;
+        }
+        let hedges: Vec<_> = self.host.edges_between(ha, hb).collect();
+        if hedges.len() < pedges.len() {
+            return false;
+        }
+        // Greedy assignment (pattern edge predicates are usually uniform).
+        let mut taken = vec![false; hedges.len()];
+        'outer: for pe in &pedges {
+            for (i, he) in hedges.iter().enumerate() {
+                if !taken[i] && (self.edge_match)(self.pattern.edge(*pe), self.host.edge(*he)) {
+                    taken[i] = true;
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: u32) -> MultiGraph<u32, ()> {
+        let mut g = MultiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    fn any_node(_: NodeId, _: &u32, _: NodeId, _: &u32) -> bool {
+        true
+    }
+    fn any_edge(_: &(), _: &()) -> bool {
+        true
+    }
+
+    #[test]
+    fn self_loop_in_pattern_requires_host_self_loop() {
+        let mut pat: MultiGraph<u32, ()> = MultiGraph::new();
+        let pn = pat.add_node(0);
+        pat.add_edge(pn, pn, ());
+        // Host without a self-loop: no match.
+        let mut bare: MultiGraph<u32, ()> = MultiGraph::new();
+        bare.add_node(0);
+        let found =
+            find_subgraph_matches(&pat, &bare, &any_node, &any_edge, MatchOptions::default());
+        assert!(found.is_empty());
+        // Host with the self-loop: exactly one match.
+        let mut looped: MultiGraph<u32, ()> = MultiGraph::new();
+        let hn = looped.add_node(0);
+        looped.add_edge(hn, hn, ());
+        let found =
+            find_subgraph_matches(&pat, &looped, &any_node, &any_edge, MatchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0][&pn], hn);
+    }
+
+    #[test]
+    fn path_in_path() {
+        let pattern = path(2);
+        let host = path(4);
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &any_node,
+            &any_edge,
+            MatchOptions::default(),
+        );
+        // Three consecutive pairs.
+        assert_eq!(m.len(), 3);
+        for mm in &m {
+            let a = mm[&NodeId(0)];
+            let b = mm[&NodeId(1)];
+            assert!(host.edges_between(a, b).count() == 1);
+        }
+    }
+
+    #[test]
+    fn label_restriction() {
+        let pattern = path(2);
+        let host = path(4);
+        // Only match pattern node 0 onto host node 1.
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &|p, _, h, _| p != NodeId(0) || h == NodeId(1),
+            &any_edge,
+            MatchOptions::default(),
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][&NodeId(0)], NodeId(1));
+        assert_eq!(m[0][&NodeId(1)], NodeId(2));
+    }
+
+    #[test]
+    fn injectivity() {
+        // Pattern: two nodes, no edges; host: single node.
+        let mut pattern: MultiGraph<u32, ()> = MultiGraph::new();
+        pattern.add_node(0);
+        pattern.add_node(1);
+        let mut host: MultiGraph<u32, ()> = MultiGraph::new();
+        host.add_node(0);
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &any_node,
+            &any_edge,
+            MatchOptions::default(),
+        );
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn monomorphism_allows_extra_host_edges() {
+        // Pattern a->b; host has a->b and b->a (cycle).
+        let pattern = path(2);
+        let mut host: MultiGraph<u32, ()> = MultiGraph::new();
+        let a = host.add_node(0);
+        let b = host.add_node(1);
+        host.add_edge(a, b, ());
+        host.add_edge(b, a, ());
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &any_node,
+            &any_edge,
+            MatchOptions::default(),
+        );
+        assert_eq!(m.len(), 2); // both directions
+        let induced = find_subgraph_matches(
+            &pattern,
+            &host,
+            &any_node,
+            &any_edge,
+            MatchOptions {
+                induced: true,
+                limit: usize::MAX,
+            },
+        );
+        assert!(induced.is_empty()); // back edge is not in the pattern
+    }
+
+    #[test]
+    fn parallel_edge_multiplicity() {
+        // Pattern has a double edge a=>b; host must too.
+        let mut pattern: MultiGraph<u32, ()> = MultiGraph::new();
+        let pa = pattern.add_node(0);
+        let pb = pattern.add_node(1);
+        pattern.add_edge(pa, pb, ());
+        pattern.add_edge(pa, pb, ());
+        let single = path(2);
+        assert!(find_subgraph_matches(
+            &pattern,
+            &single,
+            &any_node,
+            &any_edge,
+            MatchOptions::default()
+        )
+        .is_empty());
+        let mut dbl: MultiGraph<u32, ()> = MultiGraph::new();
+        let a = dbl.add_node(0);
+        let b = dbl.add_node(1);
+        dbl.add_edge(a, b, ());
+        dbl.add_edge(a, b, ());
+        assert_eq!(
+            find_subgraph_matches(&pattern, &dbl, &any_node, &any_edge, MatchOptions::default())
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn edge_labels_checked() {
+        let mut pattern: MultiGraph<(), u8> = MultiGraph::new();
+        let pa = pattern.add_node(());
+        let pb = pattern.add_node(());
+        pattern.add_edge(pa, pb, 7);
+        let mut host: MultiGraph<(), u8> = MultiGraph::new();
+        let a = host.add_node(());
+        let b = host.add_node(());
+        let c = host.add_node(());
+        host.add_edge(a, b, 7);
+        host.add_edge(b, c, 9);
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &|_, _, _, _| true,
+            &|pe, he| pe == he,
+            MatchOptions::default(),
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][&pa], a);
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let pattern = path(1);
+        let host = path(10);
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &any_node,
+            &any_edge,
+            MatchOptions {
+                induced: false,
+                limit: 3,
+            },
+        );
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn triangle_in_clique() {
+        // Directed triangle pattern in a 4-clique (all ordered pairs).
+        let mut pattern: MultiGraph<(), ()> = MultiGraph::new();
+        let p: Vec<_> = (0..3).map(|_| pattern.add_node(())).collect();
+        pattern.add_edge(p[0], p[1], ());
+        pattern.add_edge(p[1], p[2], ());
+        pattern.add_edge(p[2], p[0], ());
+        let mut host: MultiGraph<(), ()> = MultiGraph::new();
+        let h: Vec<_> = (0..4).map(|_| host.add_node(())).collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    host.add_edge(h[i], h[j], ());
+                }
+            }
+        }
+        let m = find_subgraph_matches(
+            &pattern,
+            &host,
+            &|_, _, _, _| true,
+            &any_edge,
+            MatchOptions::default(),
+        );
+        // 4 choose 3 triangles × 3 rotations × 2 orientations... directed:
+        // each ordered 3-cycle; count = 4C3 * 2 cycles * 3 rotations = 24.
+        assert_eq!(m.len(), 24);
+    }
+}

@@ -1,0 +1,181 @@
+//! Properties of the VF2-style subgraph matcher.
+//!
+//! 1. *Soundness*: every returned match is a monomorphism — node labels
+//!    are compatible and each pattern edge has a host edge between the
+//!    mapped endpoints, counted with multiplicity (this is a multigraph).
+//! 2. *Completeness on planted patterns*: if the pattern is embedded into
+//!    a larger host verbatim (plus arbitrary noise nodes and edges), the
+//!    planted embedding is among the returned matches.
+//! 3. *Induced mode*: with `induced: true`, host edges between matched
+//!    node pairs are exactly covered by pattern edges.
+//! 4. *Determinism*: the matcher returns the same matches in the same
+//!    order when run twice.
+
+use proptest::prelude::*;
+use sdfg_graph::vf2::{find_subgraph_matches, Match, MatchOptions};
+use sdfg_graph::{MultiGraph, NodeId};
+use std::collections::HashMap;
+
+/// A generated directed multigraph: node labels plus labeled edges given
+/// as (src_index, dst_index, label).
+#[derive(Debug, Clone)]
+struct RawGraph {
+    labels: Vec<u8>,
+    edges: Vec<(usize, usize, u8)>,
+}
+
+fn raw_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = RawGraph> {
+    (1..=max_nodes).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(0u8..4, n),
+            proptest::collection::vec((0..n, 0..n, 0u8..3), 0..=max_edges),
+        )
+            .prop_map(|(labels, edges)| RawGraph { labels, edges })
+    })
+}
+
+fn build(raw: &RawGraph) -> (MultiGraph<u8, u8>, Vec<NodeId>) {
+    let mut g: MultiGraph<u8, u8> = MultiGraph::new();
+    let ids: Vec<NodeId> = raw.labels.iter().map(|&l| g.add_node(l)).collect();
+    for &(s, d, l) in &raw.edges {
+        g.add_edge(ids[s], ids[d], l);
+    }
+    (g, ids)
+}
+
+/// Counts edges with label `l` from `s` to `d`.
+fn edge_count(g: &MultiGraph<u8, u8>, s: NodeId, d: NodeId, l: u8) -> usize {
+    g.out_edges(s)
+        .filter(|&e| g.edge_dst(e) == d && *g.edge(e) == l)
+        .count()
+}
+
+/// Checks that `m` maps `pattern` into `host` as a monomorphism.
+fn is_monomorphism(
+    pattern: &MultiGraph<u8, u8>,
+    host: &MultiGraph<u8, u8>,
+    m: &Match,
+) -> bool {
+    // Injective on nodes, labels compatible.
+    let mut seen = std::collections::HashSet::new();
+    for p in pattern.node_ids() {
+        let Some(&h) = m.get(&p) else { return false };
+        if !seen.insert(h) || pattern.node(p) != host.node(h) {
+            return false;
+        }
+    }
+    // Each pattern edge needs a distinct host edge: multiplicity per
+    // (src, dst, label) must not exceed the host's.
+    let mut need: HashMap<(NodeId, NodeId, u8), usize> = HashMap::new();
+    for e in pattern.edge_ids() {
+        let (s, d) = pattern.edge_endpoints(e);
+        *need.entry((m[&s], m[&d], *pattern.edge(e))).or_default() += 1;
+    }
+    need.iter()
+        .all(|(&(s, d, l), &k)| edge_count(host, s, d, l) >= k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Soundness + determinism on arbitrary pattern/host pairs.
+    #[test]
+    fn matches_are_monomorphisms(
+        p in raw_graph(4, 5),
+        h in raw_graph(8, 16),
+    ) {
+        let (pg, _) = build(&p);
+        let (hg, _) = build(&h);
+        let opts = MatchOptions { limit: 200, ..MatchOptions::default() };
+        let nm = |_: NodeId, pl: &u8, _: NodeId, hl: &u8| pl == hl;
+        let em = |pl: &u8, hl: &u8| pl == hl;
+        let found = find_subgraph_matches(&pg, &hg, &nm, &em, opts);
+        for m in &found {
+            prop_assert!(is_monomorphism(&pg, &hg, m));
+        }
+        // Determinism.
+        let again = find_subgraph_matches(&pg, &hg, &nm, &em, opts);
+        prop_assert_eq!(found.len(), again.len());
+        for (a, b) in found.iter().zip(&again) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Completeness: a pattern planted verbatim inside a noisy host is
+    /// found, and the planted embedding itself is among the matches.
+    #[test]
+    fn planted_pattern_is_found(
+        p in raw_graph(4, 4),
+        noise in raw_graph(5, 8),
+        cross in proptest::collection::vec((0usize..4, 0usize..5, 0u8..3), 0..6),
+    ) {
+        let (pg, _) = build(&p);
+        // Host = copy of pattern + noise nodes/edges + cross edges from
+        // pattern copies to noise nodes (extra edges are fine for
+        // monomorphism semantics).
+        let mut hg: MultiGraph<u8, u8> = MultiGraph::new();
+        let planted: Vec<NodeId> = p.labels.iter().map(|&l| hg.add_node(l)).collect();
+        for &(s, d, l) in &p.edges {
+            hg.add_edge(planted[s], planted[d], l);
+        }
+        let extra: Vec<NodeId> = noise.labels.iter().map(|&l| hg.add_node(l)).collect();
+        for &(s, d, l) in &noise.edges {
+            hg.add_edge(extra[s], extra[d], l);
+        }
+        for &(s, d, l) in &cross {
+            if s < planted.len() && d < extra.len() {
+                hg.add_edge(planted[s], extra[d], l);
+            }
+        }
+        let nm = |_: NodeId, pl: &u8, _: NodeId, hl: &u8| pl == hl;
+        let em = |pl: &u8, hl: &u8| pl == hl;
+        let found = find_subgraph_matches(
+            &pg, &hg, &nm, &em, MatchOptions::default(),
+        );
+        let pat_ids: Vec<NodeId> = pg.node_ids().collect();
+        let hit = found.iter().any(|m| {
+            pat_ids.iter().enumerate().all(|(i, pid)| m[pid] == planted[i])
+        });
+        prop_assert!(hit, "planted embedding missing among {} matches", found.len());
+    }
+
+    /// Induced mode: host edges between matched pairs are exactly the
+    /// pattern's edges (per label, with multiplicity).
+    #[test]
+    fn induced_matches_have_no_extra_edges(
+        p in raw_graph(3, 4),
+        h in raw_graph(7, 14),
+    ) {
+        let (pg, _) = build(&p);
+        let (hg, _) = build(&h);
+        let nm = |_: NodeId, pl: &u8, _: NodeId, hl: &u8| pl == hl;
+        let em = |pl: &u8, hl: &u8| pl == hl;
+        let found = find_subgraph_matches(
+            &pg, &hg, &nm, &em,
+            MatchOptions { induced: true, limit: 100 },
+        );
+        for m in &found {
+            prop_assert!(is_monomorphism(&pg, &hg, m));
+            // Exact cover: per mapped (src, dst) pair and label, host
+            // multiplicity equals pattern multiplicity.
+            let mut pat: HashMap<(NodeId, NodeId, u8), usize> = HashMap::new();
+            for e in pg.edge_ids() {
+                let (s, d) = pg.edge_endpoints(e);
+                *pat.entry((m[&s], m[&d], *pg.edge(e))).or_default() += 1;
+            }
+            let mapped: Vec<NodeId> = m.values().copied().collect();
+            for &s in &mapped {
+                for e in hg.out_edges(s) {
+                    let d = hg.edge_dst(e);
+                    if mapped.contains(&d) {
+                        let k = pat.get(&(s, d, *hg.edge(e))).copied().unwrap_or(0);
+                        prop_assert!(
+                            edge_count(&hg, s, d, *hg.edge(e)) <= k,
+                            "extra host edge {s:?}->{d:?} in induced match"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # sdfg-interp — the reference SDFG interpreter
+//!
+//! A direct implementation of the operational semantics of the paper's
+//! Appendix A: state-machine evaluation at the top level, dataflow
+//! propagation in dependency order inside states, symbolic map expansion by
+//! enumeration, stream push/pop with queue sizes, consume-scope draining,
+//! write-conflict resolution, reductions, and nested-SDFG invocation.
+//!
+//! This is the **test oracle** of the repository: it is deliberately simple
+//! (single-threaded, window-copy based) and obviously faithful to the
+//! semantics. Performance execution lives in `sdfg-exec`, whose results are
+//! property-tested against this interpreter.
+//!
+//! All container element values are `f64` (matching the tasklet VM); this
+//! represents integers exactly up to 2^53, which covers every workload in
+//! the evaluation.
+//!
+//! ```
+//! use sdfg_frontend::SdfgBuilder;
+//! use sdfg_core::DType;
+//! use sdfg_interp::Interpreter;
+//!
+//! let mut b = SdfgBuilder::new("double");
+//! b.symbol("N");
+//! b.array("A", &["N"], DType::F64);
+//! let st = b.state("main");
+//! b.mapped_tasklet(st, "d", &[("i", "0:N")], &[("a", "A", "i")],
+//!                  "o = a * 2", &[("o", "A", "i")]);
+//! let sdfg = b.build().unwrap();
+//!
+//! let mut interp = Interpreter::new(&sdfg);
+//! interp.set_symbol("N", 4);
+//! interp.set_array("A", vec![1.0, 2.0, 3.0, 4.0]);
+//! interp.run().unwrap();
+//! assert_eq!(interp.array("A"), &[2.0, 4.0, 6.0, 8.0]);
+//! ```
+
+mod machine;
+
+pub use machine::{InterpError, Interpreter};

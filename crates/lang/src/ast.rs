@@ -1,0 +1,822 @@
+//! Lexer and parser for the tasklet language.
+//!
+//! The surface syntax is a restricted Python: statements separated by
+//! newlines (or `;`), blocks by indentation. The lexer produces explicit
+//! `Indent`/`Dedent` tokens from an indentation stack, exactly like
+//! CPython's tokenizer.
+
+use std::fmt;
+
+/// Parse/compile error with a line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, LangError> {
+    Err(LangError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%` (Python modulo)
+    Mod,
+    /// `**`
+    Pow,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Built-in functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Builtin {
+    /// `abs(x)`
+    Abs,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `exp(x)`
+    Exp,
+    /// `log(x)`
+    Log,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `min(a, b, ...)`
+    Min,
+    /// `max(a, b, ...)`
+    Max,
+    /// `int(x)` — truncation toward zero
+    Int,
+}
+
+impl Builtin {
+    fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "abs" => Builtin::Abs,
+            "sqrt" => Builtin::Sqrt,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "int" => Builtin::Int,
+            _ => return None,
+        })
+    }
+}
+
+/// Expression AST.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprAst {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable or connector reference.
+    Name(String),
+    /// Indexed access `name[e0, e1, ...]`.
+    Index(String, Vec<ExprAst>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<ExprAst>, Box<ExprAst>),
+    /// Comparison (yields 1.0/0.0).
+    Cmp(CmpOp, Box<ExprAst>, Box<ExprAst>),
+    /// Unary negation.
+    Neg(Box<ExprAst>),
+    /// Boolean `and` (short-circuit).
+    And(Box<ExprAst>, Box<ExprAst>),
+    /// Boolean `or` (short-circuit).
+    Or(Box<ExprAst>, Box<ExprAst>),
+    /// Boolean `not`.
+    Not(Box<ExprAst>),
+    /// Built-in call.
+    Call(Builtin, Vec<ExprAst>),
+    /// `then if cond else els`.
+    Ternary {
+        /// Condition.
+        cond: Box<ExprAst>,
+        /// Value when true.
+        then: Box<ExprAst>,
+        /// Value when false.
+        els: Box<ExprAst>,
+    },
+}
+
+/// Statement AST.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `target[index] op= value` (plain `=` when `op` is `None`).
+    Assign {
+        /// Assigned variable/connector.
+        target: String,
+        /// Optional index expressions.
+        index: Option<Vec<ExprAst>>,
+        /// Augmented-assignment operator (`+=` etc.).
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: ExprAst,
+    },
+    /// `stream.push(value)`.
+    Push {
+        /// Stream connector name.
+        stream: String,
+        /// Pushed value.
+        value: ExprAst,
+    },
+    /// `if`/`elif`/`else` chain (elif desugared into nested if).
+    If {
+        /// Condition.
+        cond: ExprAst,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// False branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+}
+
+// --- lexer -------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Op(&'static str),
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>, // (token, line)
+}
+
+fn lex(src: &str) -> Result<Lexer, LangError> {
+    let mut toks: Vec<(Tok, usize)> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    for (lineno0, raw_line) in src.lines().enumerate() {
+        let line_num = lineno0 + 1;
+        // Strip comments.
+        let line = match raw_line.find('#') {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indent = line.len() - line.trim_start_matches(' ').len();
+        if line.as_bytes().get(indent).is_some() && line[..indent].contains('\t') {
+            return err(line_num, "tabs are not allowed in indentation");
+        }
+        let cur = *indents.last().unwrap();
+        if indent > cur {
+            indents.push(indent);
+            toks.push((Tok::Indent, line_num));
+        } else {
+            while indent < *indents.last().unwrap() {
+                indents.pop();
+                toks.push((Tok::Dedent, line_num));
+            }
+            if indent != *indents.last().unwrap() {
+                return err(line_num, "inconsistent indentation");
+            }
+        }
+        lex_line(line.trim_end(), indent, line_num, &mut toks)?;
+        toks.push((Tok::Newline, line_num));
+    }
+    let last = src.lines().count();
+    while indents.len() > 1 {
+        indents.pop();
+        toks.push((Tok::Dedent, last));
+    }
+    toks.push((Tok::Eof, last));
+    Ok(Lexer { toks })
+}
+
+fn lex_line(
+    line: &str,
+    start: usize,
+    line_num: usize,
+    toks: &mut Vec<(Tok, usize)>,
+) -> Result<(), LangError> {
+    let bytes = line.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '0'..='9' | '.' if c != '.' || bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                let s = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_digit() {
+                        i += 1;
+                    } else if ch == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        i += 1;
+                    } else if (ch == 'e' || ch == 'E')
+                        && !seen_exp
+                        && i > s
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
+                    {
+                        seen_exp = true;
+                        i += 1;
+                        if bytes[i] == b'+' || bytes[i] == b'-' {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = line[s..i]
+                    .parse()
+                    .map_err(|_| LangError {
+                        line: line_num,
+                        message: format!("bad number `{}`", &line[s..i]),
+                    })?;
+                toks.push((Tok::Num(v), line_num));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(line[s..i].to_string()), line_num));
+            }
+            _ => {
+                let two = line.get(i..i + 2).unwrap_or("");
+                let op2 = ["**", "//", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/="]
+                    .iter()
+                    .find(|&&o| o == two);
+                if let Some(&o) = op2 {
+                    toks.push((Tok::Op(o), line_num));
+                    i += 2;
+                    continue;
+                }
+                let one: &'static str = match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ',' => ",",
+                    ':' => ":",
+                    ';' => ";",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '.' => ".",
+                    _ => return err(line_num, format!("unexpected character `{c}`")),
+                };
+                toks.push((Tok::Op(one), line_num));
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+// --- parser ------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Tok::Op(o) if *o == op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), LangError> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            err(self.line(), format!("expected `{op}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(i) if i == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof | Tok::Dedent => break,
+                Tok::Newline => {
+                    self.bump();
+                }
+                _ => {
+                    stmts.push(self.statement()?);
+                    // `;` separates statements on one line.
+                    while self.eat_op(";") {
+                        if matches!(self.peek(), Tok::Newline | Tok::Eof | Tok::Dedent) {
+                            break;
+                        }
+                        stmts.push(self.statement()?);
+                    }
+                }
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn suite(&mut self) -> Result<Vec<Stmt>, LangError> {
+        // `: NEWLINE INDENT block DEDENT` or `: simple_stmt`
+        self.expect_op(":")?;
+        if matches!(self.peek(), Tok::Newline) {
+            self.bump();
+            if !matches!(self.peek(), Tok::Indent) {
+                return err(self.line(), "expected an indented block");
+            }
+            self.bump();
+            let body = self.block()?;
+            if matches!(self.peek(), Tok::Dedent) {
+                self.bump();
+            }
+            Ok(body)
+        } else {
+            // Single inline statement.
+            let mut stmts = vec![self.statement()?];
+            while self.eat_op(";") {
+                if matches!(self.peek(), Tok::Newline | Tok::Eof) {
+                    break;
+                }
+                stmts.push(self.statement()?);
+            }
+            Ok(stmts)
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        if self.eat_keyword("if") {
+            return self.if_stmt();
+        }
+        if self.eat_keyword("pass") {
+            // Encode `pass` as an empty if-false (no dedicated node needed).
+            return Ok(Stmt::If {
+                cond: ExprAst::Num(0.0),
+                then: Vec::new(),
+                els: Vec::new(),
+            });
+        }
+        // Assignment or push.
+        let Tok::Ident(name) = self.bump() else {
+            return err(line, "expected a statement");
+        };
+        // `stream.push(expr)`
+        if self.eat_op(".") {
+            let Tok::Ident(method) = self.bump() else {
+                return err(line, "expected a method name after `.`");
+            };
+            if method != "push" {
+                return err(line, format!("unknown method `{method}` (only `push`)"));
+            }
+            self.expect_op("(")?;
+            let value = self.expr()?;
+            self.expect_op(")")?;
+            return Ok(Stmt::Push {
+                stream: name,
+                value,
+            });
+        }
+        // Optional index.
+        let index = if self.eat_op("[") {
+            let mut idx = vec![self.expr()?];
+            while self.eat_op(",") {
+                idx.push(self.expr()?);
+            }
+            self.expect_op("]")?;
+            Some(idx)
+        } else {
+            None
+        };
+        // Assignment operator.
+        let op = if self.eat_op("=") {
+            None
+        } else if self.eat_op("+=") {
+            Some(BinOp::Add)
+        } else if self.eat_op("-=") {
+            Some(BinOp::Sub)
+        } else if self.eat_op("*=") {
+            Some(BinOp::Mul)
+        } else if self.eat_op("/=") {
+            Some(BinOp::Div)
+        } else {
+            return err(line, "expected `=` or an augmented assignment");
+        };
+        let value = self.expr()?;
+        Ok(Stmt::Assign {
+            target: name,
+            index,
+            op,
+            value,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        let cond = self.expr()?;
+        let then = self.suite()?;
+        // Skip blank lines between branches.
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+        let els = if self.eat_keyword("elif") {
+            vec![self.if_stmt()?]
+        } else if self.eat_keyword("else") {
+            self.suite()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then, els })
+    }
+
+    // Expression grammar (Python precedence):
+    // ternary < or < and < not < comparison < add < mul < unary < power < atom
+    fn expr(&mut self) -> Result<ExprAst, LangError> {
+        let value = self.or_expr()?;
+        if self.eat_keyword("if") {
+            let cond = self.or_expr()?;
+            if !self.eat_keyword("else") {
+                return err(self.line(), "conditional expression requires `else`");
+            }
+            let els = self.expr()?;
+            return Ok(ExprAst::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(value),
+                els: Box::new(els),
+            });
+        }
+        Ok(value)
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = ExprAst::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let rhs = self.not_expr()?;
+            lhs = ExprAst::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<ExprAst, LangError> {
+        if self.eat_keyword("not") {
+            return Ok(ExprAst::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<ExprAst, LangError> {
+        let lhs = self.add_expr()?;
+        let op = if self.eat_op("<") {
+            CmpOp::Lt
+        } else if self.eat_op("<=") {
+            CmpOp::Le
+        } else if self.eat_op(">") {
+            CmpOp::Gt
+        } else if self.eat_op(">=") {
+            CmpOp::Ge
+        } else if self.eat_op("==") {
+            CmpOp::Eq
+        } else if self.eat_op("!=") {
+            CmpOp::Ne
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.add_expr()?;
+        Ok(ExprAst::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_op("+") {
+                let rhs = self.mul_expr()?;
+                lhs = ExprAst::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("-") {
+                let rhs = self.mul_expr()?;
+                lhs = ExprAst::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat_op("*") {
+                let rhs = self.unary()?;
+                lhs = ExprAst::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("/") {
+                let rhs = self.unary()?;
+                lhs = ExprAst::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("//") {
+                let rhs = self.unary()?;
+                lhs = ExprAst::Bin(BinOp::FloorDiv, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("%") {
+                let rhs = self.unary()?;
+                lhs = ExprAst::Bin(BinOp::Mod, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<ExprAst, LangError> {
+        if self.eat_op("-") {
+            return Ok(ExprAst::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_op("+") {
+            return self.unary();
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<ExprAst, LangError> {
+        let base = self.atom()?;
+        if self.eat_op("**") {
+            // Right-associative.
+            let exp = self.unary()?;
+            return Ok(ExprAst::Bin(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<ExprAst, LangError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(v) => Ok(ExprAst::Num(v)),
+            Tok::Ident(name) => {
+                if name == "True" {
+                    return Ok(ExprAst::Num(1.0));
+                }
+                if name == "False" {
+                    return Ok(ExprAst::Num(0.0));
+                }
+                if self.eat_op("(") {
+                    let Some(b) = Builtin::from_name(&name) else {
+                        return err(line, format!("unknown function `{name}`"));
+                    };
+                    let mut args = Vec::new();
+                    if !self.eat_op(")") {
+                        args.push(self.expr()?);
+                        while self.eat_op(",") {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_op(")")?;
+                    }
+                    check_arity(b, args.len(), line)?;
+                    return Ok(ExprAst::Call(b, args));
+                }
+                if self.eat_op("[") {
+                    let mut idx = vec![self.expr()?];
+                    while self.eat_op(",") {
+                        idx.push(self.expr()?);
+                    }
+                    self.expect_op("]")?;
+                    return Ok(ExprAst::Index(name, idx));
+                }
+                Ok(ExprAst::Name(name))
+            }
+            Tok::Op("(") => {
+                let e = self.expr()?;
+                self.expect_op(")")?;
+                Ok(e)
+            }
+            other => err(line, format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+fn check_arity(b: Builtin, n: usize, line: usize) -> Result<(), LangError> {
+    let ok = match b {
+        Builtin::Min | Builtin::Max => n >= 2,
+        _ => n == 1,
+    };
+    if ok {
+        Ok(())
+    } else {
+        err(line, format!("wrong number of arguments for {b:?}"))
+    }
+}
+
+/// Parses a tasklet body into a list of statements.
+pub fn parse_tasklet(src: &str) -> Result<Vec<Stmt>, LangError> {
+    let lexer = lex(src)?;
+    let mut p = Parser {
+        toks: lexer.toks,
+        pos: 0,
+    };
+    let body = p.block()?;
+    if !matches!(p.peek(), Tok::Eof) {
+        return err(p.line(), format!("unexpected token {:?}", p.peek()));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_assignment() {
+        let b = parse_tasklet("c = a + b").unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(matches!(
+            &b[0],
+            Stmt::Assign { target, op: None, index: None, .. } if target == "c"
+        ));
+    }
+
+    #[test]
+    fn parse_multi_statement_locals() {
+        let src = "t = a * a\nu = t + 1\nout = u * t";
+        let b = parse_tasklet(src).unwrap();
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn parse_semicolons() {
+        let b = parse_tasklet("x = 1; y = 2; z = x + y").unwrap();
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn parse_indexing() {
+        let b = parse_tasklet("out = w[0] * a + w[1] * b").unwrap();
+        assert_eq!(b.len(), 1);
+        let b2 = parse_tasklet("acc[0] += x").unwrap();
+        assert!(matches!(
+            &b2[0],
+            Stmt::Assign { index: Some(_), op: Some(BinOp::Add), .. }
+        ));
+    }
+
+    #[test]
+    fn parse_if_blocks() {
+        let src = "if a < b:\n    out = a\nelse:\n    out = b";
+        let b = parse_tasklet(src).unwrap();
+        assert_eq!(b.len(), 1);
+        let Stmt::If { then, els, .. } = &b[0] else {
+            panic!("not an if");
+        };
+        assert_eq!(then.len(), 1);
+        assert_eq!(els.len(), 1);
+    }
+
+    #[test]
+    fn parse_elif_chain() {
+        let src = "if a < 0:\n    s = -1\nelif a > 0:\n    s = 1\nelse:\n    s = 0";
+        let b = parse_tasklet(src).unwrap();
+        let Stmt::If { els, .. } = &b[0] else { panic!() };
+        assert!(matches!(&els[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parse_inline_if() {
+        let b = parse_tasklet("if a < b: out = a; flag = 1").unwrap();
+        let Stmt::If { then, .. } = &b[0] else { panic!() };
+        assert_eq!(then.len(), 2);
+    }
+
+    #[test]
+    fn parse_ternary() {
+        let b = parse_tasklet("out = a if a > b else b").unwrap();
+        let Stmt::Assign { value, .. } = &b[0] else { panic!() };
+        assert!(matches!(value, ExprAst::Ternary { .. }));
+    }
+
+    #[test]
+    fn parse_push() {
+        let b = parse_tasklet("S.push(v + 1)").unwrap();
+        assert!(matches!(&b[0], Stmt::Push { stream, .. } if stream == "S"));
+    }
+
+    #[test]
+    fn parse_builtins_and_power() {
+        let b = parse_tasklet("out = sqrt(x**2 + y**2) + min(a, b, c)").unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(parse_tasklet("out = nosuchfn(x)").is_err());
+        assert!(parse_tasklet("out = sqrt(x, y)").is_err());
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let src = "# compute\n\nc = a + b  # sum\n";
+        assert_eq!(parse_tasklet(src).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_numbers() {
+        let b = parse_tasklet("x = 1.5e-3 + 2. + .5 + 10").unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_tasklet("a = 1\nb = ]").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e2 = parse_tasklet("if a:\nout = 1").unwrap_err();
+        assert_eq!(e2.line, 2); // missing indent
+    }
+
+    #[test]
+    fn inconsistent_indentation_rejected() {
+        let src = "if a:\n        x = 1\n    y = 2";
+        assert!(parse_tasklet(src).is_err());
+    }
+}

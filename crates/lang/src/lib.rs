@@ -1,0 +1,43 @@
+//! # sdfg-lang — the tasklet language
+//!
+//! Tasklets are "stateless, arbitrary computational functions of any
+//! granularity" whose code "remains immutable" through transformations
+//! (paper §3.2). DaCe implements them in Python and converts them to C++;
+//! this crate is the Rust analogue: a small Python-like language that is
+//!
+//! 1. parsed once into an AST ([`ast`]),
+//! 2. compiled to a compact register bytecode ([`compile`]), and
+//! 3. executed by a reusable virtual machine ([`vm`]) — by the reference
+//!    interpreter, the optimizing executor, and the accelerator simulators.
+//!
+//! The language covers the tasklet bodies that appear in the paper and its
+//! workloads: arithmetic (`+ - * / // % **`), comparisons and boolean
+//! operators, conditional expressions (`a if c else b`), `if`/`elif`/`else`
+//! statements with indentation, local variables, augmented assignment,
+//! indexing into array-shaped connectors (`w[0]`, `A[i]`), math builtins
+//! (`abs`, `sqrt`, `exp`, `log`, `sin`, `cos`, `floor`, `ceil`, `min`,
+//! `max`), and `S.push(x)` on stream output connectors.
+//!
+//! All values are IEEE `f64`; integers are represented exactly up to 2^53
+//! (documented restriction — the workloads' index arithmetic fits easily).
+//!
+//! ```
+//! use sdfg_lang::TaskletProgram;
+//!
+//! let prog = TaskletProgram::compile(
+//!     "c = a * 2 + b", &["a".into(), "b".into()], &["c".into()]).unwrap();
+//! let mut vm = sdfg_lang::TaskletVm::new();
+//! let mut out = [0.0];
+//! vm.run_simple(&prog, &[&[3.0], &[4.0]], &mut [&mut out]).unwrap();
+//! assert_eq!(out[0], 10.0);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod recognize;
+pub mod vm;
+
+pub use ast::{parse_tasklet, LangError, Stmt};
+pub use compile::TaskletProgram;
+pub use recognize::{recognize, BinOpKind, Pattern};
+pub use vm::{OutPort, RuntimeError, TaskletVm};

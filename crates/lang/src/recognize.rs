@@ -1,0 +1,527 @@
+//! Tasklet pattern recognition.
+//!
+//! The paper's pipeline reaches native performance because the generated
+//! C++ is vectorized by the platform compiler. The Rust analogue: after the
+//! `Vectorization` transformation, the executor asks this module whether a
+//! tasklet body is one of a handful of canonical element-wise forms and, if
+//! so, dispatches a native (LLVM-autovectorized) micro-kernel instead of
+//! interpreting bytecode per element.
+
+use crate::ast::{BinOp, ExprAst, Stmt};
+
+/// Binary operation kinds with native kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+}
+
+/// One operand of a recognized pattern.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// Input connector by slot.
+    Input(usize),
+    /// Literal constant.
+    Const(f64),
+}
+
+/// A recognized canonical tasklet form. `out` is always output slot 0 and
+/// unindexed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pattern {
+    /// `out = a`
+    Copy {
+        /// Source input slot.
+        input: usize,
+    },
+    /// `out = a <op> b`
+    BinOp {
+        /// Operation.
+        op: BinOpKind,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `out = a * b + c` (fused multiply-add shape; also matches
+    /// `c + a * b`).
+    Fma {
+        /// Multiplicand input slot.
+        a: usize,
+        /// Multiplier input slot.
+        b: usize,
+        /// Addend input slot.
+        c: usize,
+    },
+    /// `out = mul * a + add` — affine scale/shift of one input (matches
+    /// all commutations).
+    Axpb {
+        /// Input slot.
+        input: usize,
+        /// Multiplier.
+        mul: f64,
+        /// Addend.
+        add: f64,
+    },
+}
+
+/// A product chain `out = scale · Π in[slots[i]]` — the shape of tensor
+/// contraction tasklets (e.g. the paper's Σ≷ kernel multiplies four
+/// operands). Variable arity, so recognized separately.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MulChain {
+    /// Input slots, in multiplication order.
+    pub slots: Vec<usize>,
+    /// Constant scale factor.
+    pub scale: f64,
+}
+
+/// Attempts to match a single-assignment tasklet as a scaled product of
+/// three or more inputs (one/two-input products are covered by
+/// [`Pattern`]).
+pub fn recognize_mulchain(body: &[Stmt], inputs: &[String], outputs: &[String]) -> Option<MulChain> {
+    if body.len() != 1 || outputs.len() != 1 {
+        return None;
+    }
+    let Stmt::Assign {
+        target,
+        index: None,
+        op: None,
+        value,
+    } = &body[0]
+    else {
+        return None;
+    };
+    if target != &outputs[0] {
+        return None;
+    }
+    let mut slots = Vec::new();
+    let mut scale = 1.0f64;
+    if !collect_product(value, inputs, &mut slots, &mut scale) {
+        return None;
+    }
+    if slots.len() < 3 {
+        return None;
+    }
+    Some(MulChain { slots, scale })
+}
+
+fn collect_product(
+    e: &ExprAst,
+    inputs: &[String],
+    slots: &mut Vec<usize>,
+    scale: &mut f64,
+) -> bool {
+    match e {
+        ExprAst::Num(v) => {
+            *scale *= v;
+            true
+        }
+        ExprAst::Name(n) => match inputs.iter().position(|i| i == n) {
+            Some(slot) => {
+                slots.push(slot);
+                true
+            }
+            None => false,
+        },
+        ExprAst::Neg(inner) => {
+            *scale = -*scale;
+            collect_product(inner, inputs, slots, scale)
+        }
+        ExprAst::Bin(BinOp::Mul, a, b) => {
+            collect_product(a, inputs, slots, scale) && collect_product(b, inputs, slots, scale)
+        }
+        _ => false,
+    }
+}
+
+/// A linear combination `out = bias + Σ coeffs[i].1 · in[coeffs[i].0]` —
+/// the shape of stencil tasklets. Not part of [`Pattern`] (variable arity);
+/// recognized separately by [`recognize_lincomb`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinComb {
+    /// `(input slot, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Constant bias.
+    pub bias: f64,
+}
+
+/// Attempts to match a single-assignment tasklet as a linear combination of
+/// its inputs (e.g. `o = 0.2 * (c + w + e + n + s)`).
+pub fn recognize_lincomb(body: &[Stmt], inputs: &[String], outputs: &[String]) -> Option<LinComb> {
+    if body.len() != 1 || outputs.len() != 1 {
+        return None;
+    }
+    let Stmt::Assign {
+        target,
+        index: None,
+        op: None,
+        value,
+    } = &body[0]
+    else {
+        return None;
+    };
+    if target != &outputs[0] {
+        return None;
+    }
+    let mut terms: Vec<(usize, f64)> = Vec::new();
+    let mut bias = 0.0f64;
+    if !collect_linear(value, 1.0, inputs, &mut terms, &mut bias) {
+        return None;
+    }
+    if terms.is_empty() {
+        return None;
+    }
+    // Merge duplicate slots.
+    terms.sort_by_key(|(s, _)| *s);
+    let mut merged: Vec<(usize, f64)> = Vec::new();
+    for (s, c) in terms {
+        match merged.last_mut() {
+            Some((ls, lc)) if *ls == s => *lc += c,
+            _ => merged.push((s, c)),
+        }
+    }
+    Some(LinComb {
+        terms: merged,
+        bias,
+    })
+}
+
+/// Recursively folds `factor * e` into terms/bias; returns false when the
+/// expression is not linear in the inputs.
+fn collect_linear(
+    e: &ExprAst,
+    factor: f64,
+    inputs: &[String],
+    terms: &mut Vec<(usize, f64)>,
+    bias: &mut f64,
+) -> bool {
+    match e {
+        ExprAst::Num(v) => {
+            *bias += factor * v;
+            true
+        }
+        ExprAst::Name(n) => match inputs.iter().position(|i| i == n) {
+            Some(slot) => {
+                terms.push((slot, factor));
+                true
+            }
+            None => false,
+        },
+        ExprAst::Neg(inner) => collect_linear(inner, -factor, inputs, terms, bias),
+        ExprAst::Bin(BinOp::Add, a, b) => {
+            collect_linear(a, factor, inputs, terms, bias)
+                && collect_linear(b, factor, inputs, terms, bias)
+        }
+        ExprAst::Bin(BinOp::Sub, a, b) => {
+            collect_linear(a, factor, inputs, terms, bias)
+                && collect_linear(b, -factor, inputs, terms, bias)
+        }
+        ExprAst::Bin(BinOp::Mul, a, b) => {
+            // One side must be a pure constant.
+            if let Some(c) = const_of(a) {
+                collect_linear(b, factor * c, inputs, terms, bias)
+            } else if let Some(c) = const_of(b) {
+                collect_linear(a, factor * c, inputs, terms, bias)
+            } else {
+                false
+            }
+        }
+        ExprAst::Bin(BinOp::Div, a, b) => match const_of(b) {
+            Some(c) if c != 0.0 => collect_linear(a, factor / c, inputs, terms, bias),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn const_of(e: &ExprAst) -> Option<f64> {
+    match e {
+        ExprAst::Num(v) => Some(*v),
+        ExprAst::Neg(inner) => const_of(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+/// Attempts to recognize the body of a compiled tasklet.
+///
+/// Requirements: exactly one statement, a plain (unindexed, non-augmented)
+/// assignment to the sole output connector, with operands that are plain
+/// (unindexed) input connector reads or constants.
+pub fn recognize(body: &[Stmt], inputs: &[String], outputs: &[String]) -> Option<Pattern> {
+    if body.len() != 1 || outputs.len() != 1 {
+        return None;
+    }
+    let Stmt::Assign {
+        target,
+        index: None,
+        op: None,
+        value,
+    } = &body[0]
+    else {
+        return None;
+    };
+    if target != &outputs[0] {
+        return None;
+    }
+    let operand = |e: &ExprAst| -> Option<Operand> {
+        match e {
+            ExprAst::Num(v) => Some(Operand::Const(*v)),
+            ExprAst::Name(n) => inputs.iter().position(|i| i == n).map(Operand::Input),
+            ExprAst::Neg(inner) => match &**inner {
+                ExprAst::Num(v) => Some(Operand::Const(-v)),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let input_slot = |e: &ExprAst| -> Option<usize> {
+        match operand(e) {
+            Some(Operand::Input(i)) => Some(i),
+            _ => None,
+        }
+    };
+    match value {
+        // out = a
+        e if input_slot(e).is_some() => Some(Pattern::Copy {
+            input: input_slot(e).unwrap(),
+        }),
+        // out = a op b  /  fma shapes
+        ExprAst::Bin(op, l, r) => {
+            let kind = match op {
+                BinOp::Add => BinOpKind::Add,
+                BinOp::Sub => BinOpKind::Sub,
+                BinOp::Mul => BinOpKind::Mul,
+                BinOp::Div => BinOpKind::Div,
+                _ => return None,
+            };
+            // FMA: out = x*y + z  or  out = z + x*y
+            if kind == BinOpKind::Add {
+                if let ExprAst::Bin(BinOp::Mul, x, y) = &**l {
+                    if let (Some(a), Some(b), Some(c)) =
+                        (input_slot(x), input_slot(y), input_slot(r))
+                    {
+                        return Some(Pattern::Fma { a, b, c });
+                    }
+                }
+                if let ExprAst::Bin(BinOp::Mul, x, y) = &**r {
+                    if let (Some(a), Some(b), Some(c)) =
+                        (input_slot(x), input_slot(y), input_slot(l))
+                    {
+                        return Some(Pattern::Fma { a, b, c });
+                    }
+                }
+            }
+            // Axpb: out = c1*x + c2 (and commutations, and c2 - c1*x-free
+            // subtract shapes via constant folding below).
+            if kind == BinOpKind::Add || kind == BinOpKind::Sub {
+                let sign = if kind == BinOpKind::Sub { -1.0 } else { 1.0 };
+                let scaled = |e: &ExprAst| -> Option<(usize, f64)> {
+                    match e {
+                        ExprAst::Bin(BinOp::Mul, x, y) => match (operand(x), operand(y)) {
+                            (Some(Operand::Input(i)), Some(Operand::Const(c)))
+                            | (Some(Operand::Const(c)), Some(Operand::Input(i))) => Some((i, c)),
+                            _ => None,
+                        },
+                        _ => input_slot(e).map(|i| (i, 1.0)),
+                    }
+                };
+                if let (Some((i, c1)), Some(Operand::Const(c2))) = (scaled(l), operand(r)) {
+                    return Some(Pattern::Axpb {
+                        input: i,
+                        mul: c1,
+                        add: sign * c2,
+                    });
+                }
+                if kind == BinOpKind::Add {
+                    if let (Some(Operand::Const(c2)), Some((i, c1))) = (operand(l), scaled(r)) {
+                        return Some(Pattern::Axpb {
+                            input: i,
+                            mul: c1,
+                            add: c2,
+                        });
+                    }
+                }
+            }
+            let a = operand(l)?;
+            let b = operand(r)?;
+            // At least one side must be an input; const-const would be a
+            // degenerate tasklet.
+            if matches!((a, b), (Operand::Const(_), Operand::Const(_))) {
+                return None;
+            }
+            Some(Pattern::BinOp { op: kind, a, b })
+        }
+        ExprAst::Call(crate::ast::Builtin::Min, args) if args.len() == 2 => {
+            let a = operand(&args[0])?;
+            let b = operand(&args[1])?;
+            Some(Pattern::BinOp {
+                op: BinOpKind::Min,
+                a,
+                b,
+            })
+        }
+        ExprAst::Call(crate::ast::Builtin::Max, args) if args.len() == 2 => {
+            let a = operand(&args[0])?;
+            let b = operand(&args[1])?;
+            Some(Pattern::BinOp {
+                op: BinOpKind::Max,
+                a,
+                b,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Applies a recognized binary op to scalars (used by native kernels).
+#[inline]
+pub fn apply_binop_kind(op: BinOpKind, x: f64, y: f64) -> f64 {
+    match op {
+        BinOpKind::Add => x + y,
+        BinOpKind::Sub => x - y,
+        BinOpKind::Mul => x * y,
+        BinOpKind::Div => x / y,
+        BinOpKind::Min => x.min(y),
+        BinOpKind::Max => x.max(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_tasklet;
+
+    fn rec(code: &str, ins: &[&str], outs: &[&str]) -> Option<Pattern> {
+        let body = parse_tasklet(code).unwrap();
+        let ins: Vec<String> = ins.iter().map(|s| s.to_string()).collect();
+        let outs: Vec<String> = outs.iter().map(|s| s.to_string()).collect();
+        recognize(&body, &ins, &outs)
+    }
+
+    #[test]
+    fn recognizes_copy() {
+        assert_eq!(rec("o = a", &["a"], &["o"]), Some(Pattern::Copy { input: 0 }));
+    }
+
+    #[test]
+    fn recognizes_binops() {
+        assert_eq!(
+            rec("o = a + b", &["a", "b"], &["o"]),
+            Some(Pattern::BinOp {
+                op: BinOpKind::Add,
+                a: Operand::Input(0),
+                b: Operand::Input(1)
+            })
+        );
+        assert_eq!(
+            rec("o = a * 2", &["a"], &["o"]),
+            Some(Pattern::BinOp {
+                op: BinOpKind::Mul,
+                a: Operand::Input(0),
+                b: Operand::Const(2.0)
+            })
+        );
+        assert_eq!(
+            rec("o = min(a, b)", &["a", "b"], &["o"]),
+            Some(Pattern::BinOp {
+                op: BinOpKind::Min,
+                a: Operand::Input(0),
+                b: Operand::Input(1)
+            })
+        );
+    }
+
+    #[test]
+    fn recognizes_fma_both_orders() {
+        assert_eq!(
+            rec("o = a * b + c", &["a", "b", "c"], &["o"]),
+            Some(Pattern::Fma { a: 0, b: 1, c: 2 })
+        );
+        assert_eq!(
+            rec("o = c + a * b", &["a", "b", "c"], &["o"]),
+            Some(Pattern::Fma { a: 0, b: 1, c: 2 })
+        );
+    }
+
+    #[test]
+    fn recognizes_axpb() {
+        assert_eq!(
+            rec("o = a * 2 + 1", &["a"], &["o"]),
+            Some(Pattern::Axpb { input: 0, mul: 2.0, add: 1.0 })
+        );
+        assert_eq!(
+            rec("o = 1 + 2 * a", &["a"], &["o"]),
+            Some(Pattern::Axpb { input: 0, mul: 2.0, add: 1.0 })
+        );
+        assert_eq!(
+            rec("o = a - 3", &["a"], &["o"]),
+            Some(Pattern::Axpb { input: 0, mul: 1.0, add: -3.0 })
+        );
+    }
+
+    #[test]
+    fn recognizes_lincomb_stencil() {
+        let body = parse_tasklet("o = 0.2 * (c + w + e + nn + s)").unwrap();
+        let ins: Vec<String> = ["c", "w", "e", "nn", "s"].iter().map(|s| s.to_string()).collect();
+        let lc = recognize_lincomb(&body, &ins, &["o".to_string()]).unwrap();
+        assert_eq!(lc.terms.len(), 5);
+        assert!(lc.terms.iter().all(|&(_, c)| (c - 0.2).abs() < 1e-12));
+        assert_eq!(lc.bias, 0.0);
+        // l - 2*c + r
+        let body2 = parse_tasklet("o = l - 2 * c + r").unwrap();
+        let ins2: Vec<String> = ["l", "c", "r"].iter().map(|s| s.to_string()).collect();
+        let lc2 = recognize_lincomb(&body2, &ins2, &["o".to_string()]).unwrap();
+        assert_eq!(lc2.terms, vec![(0, 1.0), (1, -2.0), (2, 1.0)]);
+        // Division by a constant is linear; by an input is not.
+        let b3 = parse_tasklet("o = (a + b) / 9").unwrap();
+        let ins3: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        assert!(recognize_lincomb(&b3, &ins3, &["o".to_string()]).is_some());
+        let b4 = parse_tasklet("o = a / b").unwrap();
+        assert!(recognize_lincomb(&b4, &ins3, &["o".to_string()]).is_none());
+        // Products of inputs are not linear.
+        let b5 = parse_tasklet("o = a * b").unwrap();
+        assert!(recognize_lincomb(&b5, &ins3, &["o".to_string()]).is_none());
+    }
+
+    #[test]
+    fn recognizes_mulchain() {
+        let ins: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let body = parse_tasklet("o = a * b * c * d").unwrap();
+        let mc = recognize_mulchain(&body, &ins, &["o".to_string()]).unwrap();
+        assert_eq!(mc.slots, vec![0, 1, 2, 3]);
+        assert_eq!(mc.scale, 1.0);
+        let body2 = parse_tasklet("o = 2 * a * -b * c").unwrap();
+        let mc2 = recognize_mulchain(&body2, &ins, &["o".to_string()]).unwrap();
+        assert_eq!(mc2.slots, vec![0, 1, 2]);
+        assert_eq!(mc2.scale, -2.0);
+        // Two-input products are Pattern::BinOp territory.
+        let body3 = parse_tasklet("o = a * b").unwrap();
+        assert!(recognize_mulchain(&body3, &ins, &["o".to_string()]).is_none());
+        // Sums disqualify.
+        let body4 = parse_tasklet("o = a * b * (c + d)").unwrap();
+        assert!(recognize_mulchain(&body4, &ins, &["o".to_string()]).is_none());
+    }
+
+    #[test]
+    fn rejects_complex_bodies() {
+        assert_eq!(rec("t = a + b\no = t * 2", &["a", "b"], &["o"]), None);
+        assert_eq!(rec("o = w[0] + w[1]", &["w"], &["o"]), None);
+        assert_eq!(rec("o = sqrt(a)", &["a"], &["o"]), None);
+        assert_eq!(rec("o = 1 + 2", &[], &["o"]), None);
+        assert_eq!(
+            rec("if a > 0: o = a", &["a"], &["o"]),
+            None
+        );
+    }
+}

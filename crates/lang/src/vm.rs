@@ -1,0 +1,446 @@
+//! The tasklet virtual machine.
+//!
+//! A [`TaskletVm`] owns a register file that is reused across executions —
+//! the executor keeps one VM per worker thread and runs the same compiled
+//! program for every map point.
+
+use crate::ast::{BinOp, Builtin, CmpOp};
+use crate::compile::{Instr, Offset, TaskletProgram};
+use std::fmt;
+
+/// Output connector port: a memory window, a stream to push into, or a
+/// write log.
+pub enum OutPort<'a> {
+    /// A (readable and writable) memory window.
+    Mem(&'a mut [f64]),
+    /// A stream: `push` appends.
+    Stream(&'a mut Vec<f64>),
+    /// Write log: stores append `(offset, value)` instead of writing — used
+    /// by the executor for sparse write-conflict-resolved outputs (e.g.
+    /// histogram bins), where only touched elements should be combined.
+    /// Reads (`LoadOut`) are not allowed on log ports.
+    Log(&'a mut Vec<(u32, f64)>),
+}
+
+/// Runtime failure during tasklet execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// Connector accessed out of bounds.
+    OutOfBounds {
+        /// Connector name.
+        conn: String,
+        /// Offending flat index.
+        index: i64,
+        /// Window length.
+        len: usize,
+    },
+    /// `push` on a memory port, or indexed store on a stream port.
+    PortKindMismatch {
+        /// Connector name.
+        conn: String,
+    },
+    /// Division/modulo by zero in integer-style ops.
+    DivisionByZero,
+    /// The program references SDFG symbols but none were supplied.
+    MissingSymbols {
+        /// First missing symbol name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfBounds { conn, index, len } => {
+                write!(f, "connector `{conn}`: index {index} out of bounds (len {len})")
+            }
+            RuntimeError::PortKindMismatch { conn } => {
+                write!(f, "connector `{conn}`: operation does not match port kind")
+            }
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::MissingSymbols { name } => {
+                write!(f, "symbol `{name}` required but not supplied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Reusable tasklet executor.
+#[derive(Default)]
+pub struct TaskletVm {
+    regs: Vec<f64>,
+}
+
+impl TaskletVm {
+    /// Creates a VM with an empty register file.
+    pub fn new() -> TaskletVm {
+        TaskletVm { regs: Vec::new() }
+    }
+
+    /// Runs a program. `ins[i]` is the window for input connector slot `i`;
+    /// `outs[i]` the port for output slot `i`.
+    pub fn run(
+        &mut self,
+        prog: &TaskletProgram,
+        ins: &[&[f64]],
+        outs: &mut [OutPort<'_>],
+    ) -> Result<(), RuntimeError> {
+        if let Some(name) = prog.symbols.first() {
+            return Err(RuntimeError::MissingSymbols { name: name.clone() });
+        }
+        self.run_with_syms(prog, ins, outs, &[])
+    }
+
+    /// Runs a program with SDFG symbol values (`syms[i]` corresponds to
+    /// `prog.symbols[i]`).
+    pub fn run_with_syms(
+        &mut self,
+        prog: &TaskletProgram,
+        ins: &[&[f64]],
+        outs: &mut [OutPort<'_>],
+        syms: &[f64],
+    ) -> Result<(), RuntimeError> {
+        debug_assert_eq!(ins.len(), prog.inputs.len(), "input arity mismatch");
+        debug_assert_eq!(outs.len(), prog.outputs.len(), "output arity mismatch");
+        if self.regs.len() < prog.n_regs as usize {
+            self.regs.resize(prog.n_regs as usize, 0.0);
+        }
+        let regs = &mut self.regs[..];
+        let mut pc = 0usize;
+        let code = &prog.instrs[..];
+        while pc < code.len() {
+            match code[pc] {
+                Instr::Const { d, v } => regs[d as usize] = v,
+                Instr::Mov { d, s } => regs[d as usize] = regs[s as usize],
+                Instr::Bin { op, d, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[d as usize] = apply_bin(op, x, y);
+                }
+                Instr::Cmp { op, d, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    let t = match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                    };
+                    regs[d as usize] = if t { 1.0 } else { 0.0 };
+                }
+                Instr::MinI { d, a, b } => {
+                    regs[d as usize] = regs[a as usize].min(regs[b as usize])
+                }
+                Instr::MaxI { d, a, b } => {
+                    regs[d as usize] = regs[a as usize].max(regs[b as usize])
+                }
+                Instr::Neg { d, a } => regs[d as usize] = -regs[a as usize],
+                Instr::Not { d, a } => {
+                    regs[d as usize] = if regs[a as usize] == 0.0 { 1.0 } else { 0.0 }
+                }
+                Instr::Call1 { f, d, a } => {
+                    let x = regs[a as usize];
+                    regs[d as usize] = match f {
+                        Builtin::Abs => x.abs(),
+                        Builtin::Sqrt => x.sqrt(),
+                        Builtin::Exp => x.exp(),
+                        Builtin::Log => x.ln(),
+                        Builtin::Sin => x.sin(),
+                        Builtin::Cos => x.cos(),
+                        Builtin::Floor => x.floor(),
+                        Builtin::Ceil => x.ceil(),
+                        Builtin::Int => x.trunc(),
+                        Builtin::Min | Builtin::Max => unreachable!("lowered to MinI/MaxI"),
+                    };
+                }
+                Instr::LoadSym { d, slot } => {
+                    regs[d as usize] = syms.get(slot as usize).copied().unwrap_or(0.0);
+                }
+                Instr::Load { d, slot, off } => {
+                    let window = ins[slot as usize];
+                    let idx = resolve(off, regs);
+                    if idx < 0 || idx as usize >= window.len() {
+                        return Err(RuntimeError::OutOfBounds {
+                            conn: prog.inputs[slot as usize].clone(),
+                            index: idx,
+                            len: window.len(),
+                        });
+                    }
+                    regs[d as usize] = window[idx as usize];
+                }
+                Instr::LoadOut { d, slot, off } => {
+                    let idx = resolve(off, regs);
+                    match &outs[slot as usize] {
+                        OutPort::Mem(w) => {
+                            if idx < 0 || idx as usize >= w.len() {
+                                return Err(RuntimeError::OutOfBounds {
+                                    conn: prog.outputs[slot as usize].clone(),
+                                    index: idx,
+                                    len: w.len(),
+                                });
+                            }
+                            regs[d as usize] = w[idx as usize];
+                        }
+                        OutPort::Stream(_) | OutPort::Log(_) => {
+                            return Err(RuntimeError::PortKindMismatch {
+                                conn: prog.outputs[slot as usize].clone(),
+                            })
+                        }
+                    }
+                }
+                Instr::Store { slot, off, s } => {
+                    let idx = resolve(off, regs);
+                    let v = regs[s as usize];
+                    match &mut outs[slot as usize] {
+                        OutPort::Mem(w) => {
+                            if idx < 0 || idx as usize >= w.len() {
+                                return Err(RuntimeError::OutOfBounds {
+                                    conn: prog.outputs[slot as usize].clone(),
+                                    index: idx,
+                                    len: w.len(),
+                                });
+                            }
+                            w[idx as usize] = v;
+                        }
+                        OutPort::Log(log) => {
+                            if idx < 0 || idx > u32::MAX as i64 {
+                                return Err(RuntimeError::OutOfBounds {
+                                    conn: prog.outputs[slot as usize].clone(),
+                                    index: idx,
+                                    len: u32::MAX as usize,
+                                });
+                            }
+                            log.push((idx as u32, v));
+                        }
+                        OutPort::Stream(_) => {
+                            return Err(RuntimeError::PortKindMismatch {
+                                conn: prog.outputs[slot as usize].clone(),
+                            })
+                        }
+                    }
+                }
+                Instr::Push { slot, s } => {
+                    let v = regs[s as usize];
+                    match &mut outs[slot as usize] {
+                        OutPort::Stream(q) => q.push(v),
+                        OutPort::Mem(_) | OutPort::Log(_) => {
+                            return Err(RuntimeError::PortKindMismatch {
+                                conn: prog.outputs[slot as usize].clone(),
+                            })
+                        }
+                    }
+                }
+                Instr::JumpIfZero { c, target } => {
+                    if regs[c as usize] == 0.0 {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpIfNonZero { c, target } => {
+                    if regs[c as usize] != 0.0 {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Instr::Jump { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper: all outputs are memory windows.
+    pub fn run_simple(
+        &mut self,
+        prog: &TaskletProgram,
+        ins: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) -> Result<(), RuntimeError> {
+        let mut ports: Vec<OutPort> = outs.iter_mut().map(|w| OutPort::Mem(w)).collect();
+        self.run(prog, ins, &mut ports)
+    }
+}
+
+#[inline]
+fn resolve(off: Offset, regs: &[f64]) -> i64 {
+    match off {
+        Offset::Const(c) => c as i64,
+        Offset::Reg(r) => regs[r as usize] as i64,
+    }
+}
+
+/// Python-style arithmetic semantics on f64.
+#[inline]
+pub fn apply_bin(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::FloorDiv => (x / y).floor(),
+        BinOp::Mod => x - (x / y).floor() * y,
+        BinOp::Pow => x.powf(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::TaskletProgram;
+
+    fn run1(code: &str, ins: &[(&str, &[f64])], out: &str) -> f64 {
+        let in_names: Vec<String> = ins.iter().map(|(n, _)| n.to_string()).collect();
+        let prog = TaskletProgram::compile(code, &in_names, &[out.to_string()]).unwrap();
+        let windows: Vec<&[f64]> = ins.iter().map(|(_, w)| *w).collect();
+        let mut vm = TaskletVm::new();
+        let mut o = [0.0f64];
+        vm.run_simple(&prog, &windows, &mut [&mut o]).unwrap();
+        o[0]
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run1("c = a + b", &[("a", &[2.0]), ("b", &[3.0])], "c"), 5.0);
+        assert_eq!(run1("c = a ** 2 + 1", &[("a", &[3.0])], "c"), 10.0);
+        assert_eq!(run1("c = 7 // 2", &[], "c"), 3.0);
+        assert_eq!(run1("c = -7 // 2", &[], "c"), -4.0);
+        assert_eq!(run1("c = -7 % 2", &[], "c"), 1.0);
+        assert_eq!(run1("c = 7 / 2", &[], "c"), 3.5);
+    }
+
+    #[test]
+    fn locals_and_multiple_statements() {
+        let v = run1("t = a * a\nu = t + t\nc = u - 1", &[("a", &[3.0])], "c");
+        assert_eq!(v, 17.0);
+    }
+
+    #[test]
+    fn stencil_weights() {
+        // The Fig. 2 Laplace tasklet shape: window dot constant weights.
+        let v = run1(
+            "c = w[0] - 2 * w[1] + w[2]",
+            &[("w", &[1.0, 2.0, 4.0])],
+            "c",
+        );
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn dynamic_indexing() {
+        let v = run1(
+            "c = x[int(i)]",
+            &[("x", &[10.0, 20.0, 30.0]), ("i", &[2.0])],
+            "c",
+        );
+        assert_eq!(v, 30.0);
+    }
+
+    #[test]
+    fn branches() {
+        let code = "if a < b:\n    c = a\nelse:\n    c = b";
+        assert_eq!(run1(code, &[("a", &[1.0]), ("b", &[5.0])], "c"), 1.0);
+        assert_eq!(run1(code, &[("a", &[9.0]), ("b", &[5.0])], "c"), 5.0);
+    }
+
+    #[test]
+    fn ternary_and_booleans() {
+        assert_eq!(
+            run1("c = 1 if a > 0 and b > 0 else 0", &[("a", &[1.0]), ("b", &[0.0])], "c"),
+            0.0
+        );
+        assert_eq!(
+            run1("c = 1 if a > 0 or b > 0 else 0", &[("a", &[1.0]), ("b", &[0.0])], "c"),
+            1.0
+        );
+        assert_eq!(run1("c = not a", &[("a", &[0.0])], "c"), 1.0);
+    }
+
+    #[test]
+    fn short_circuit_avoids_division_by_zero_semantics() {
+        // b != 0 and a / b > 1 — with b = 0 the division is skipped.
+        let v = run1(
+            "c = 1 if b != 0 and a / b > 1 else 0",
+            &[("a", &[4.0]), ("b", &[0.0])],
+            "c",
+        );
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(run1("c = sqrt(abs(a))", &[("a", &[-16.0])], "c"), 4.0);
+        assert_eq!(run1("c = max(a, b, 0)", &[("a", &[-3.0]), ("b", &[-5.0])], "c"), 0.0);
+        assert_eq!(run1("c = min(a, 2)", &[("a", &[7.0])], "c"), 2.0);
+        assert_eq!(run1("c = floor(2.7) + ceil(2.2)", &[], "c"), 5.0);
+    }
+
+    #[test]
+    fn augmented_assignment_to_output() {
+        let prog =
+            TaskletProgram::compile("c += a", &["a".into()], &["c".into()]).unwrap();
+        let mut vm = TaskletVm::new();
+        let mut o = [10.0f64];
+        vm.run_simple(&prog, &[&[5.0]], &mut [&mut o]).unwrap();
+        assert_eq!(o[0], 15.0);
+    }
+
+    #[test]
+    fn stream_push_and_conditional_push() {
+        // The Fibonacci consume tasklet shape (Fig. 8).
+        let code = "if v < 2:\n    out.push(v)\nelse:\n    S.push(v - 1)\n    S.push(v - 2)";
+        let prog = TaskletProgram::compile(
+            code,
+            &["v".into()],
+            &["out".into(), "S".into()],
+        )
+        .unwrap();
+        let mut vm = TaskletVm::new();
+        let mut out_q = Vec::new();
+        let mut s_q = Vec::new();
+        {
+            let mut ports = [OutPort::Stream(&mut out_q), OutPort::Stream(&mut s_q)];
+            vm.run(&prog, &[&[5.0]], &mut ports).unwrap();
+        }
+        assert!(out_q.is_empty());
+        assert_eq!(s_q, vec![4.0, 3.0]);
+        {
+            let mut ports = [OutPort::Stream(&mut out_q), OutPort::Stream(&mut s_q)];
+            vm.run(&prog, &[&[1.0]], &mut ports).unwrap();
+        }
+        assert_eq!(out_q, vec![1.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let prog = TaskletProgram::compile("c = x[5]", &["x".into()], &["c".into()]).unwrap();
+        let mut vm = TaskletVm::new();
+        let mut o = [0.0f64];
+        let e = vm.run_simple(&prog, &[&[1.0, 2.0]], &mut [&mut o]).unwrap_err();
+        assert!(matches!(e, RuntimeError::OutOfBounds { index: 5, len: 2, .. }));
+    }
+
+    #[test]
+    fn push_to_mem_port_rejected() {
+        let prog = TaskletProgram::compile("c.push(1)", &[], &["c".into()]).unwrap();
+        let mut vm = TaskletVm::new();
+        let mut o = [0.0f64];
+        let e = vm.run_simple(&prog, &[], &mut [&mut o]).unwrap_err();
+        assert!(matches!(e, RuntimeError::PortKindMismatch { .. }));
+    }
+
+    #[test]
+    fn vm_register_file_reused() {
+        let prog = TaskletProgram::compile("c = a * 2", &["a".into()], &["c".into()]).unwrap();
+        let mut vm = TaskletVm::new();
+        for i in 0..100 {
+            let mut o = [0.0f64];
+            vm.run_simple(&prog, &[&[i as f64]], &mut [&mut o]).unwrap();
+            assert_eq!(o[0], 2.0 * i as f64);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Text syntax for symbolic expressions.
+//!
+//! Grammar (Python-flavoured, matching the memlet/range syntax of the paper):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := unary (('*' | '//' | '%') unary)*
+//! unary   := '-' unary | atom
+//! atom    := INT | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+//!
+//! Recognized functions: `min`, `max`, `ceil_div` (each binary, folding
+//! n-ary argument lists left-to-right). A single `/` is accepted as floor
+//! division for convenience since all arithmetic here is integral.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// Error from [`parse_expr`], with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Int(i64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    SlashSlash,
+    Percent,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            '%' => {
+                toks.push((Tok::Percent, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '/' => {
+                // `//` preferred; single `/` treated as floor division too.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    toks.push((Tok::SlashSlash, i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::SlashSlash, i));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    message: format!("integer literal out of range `{}`", &src[start..i]),
+                    offset: start,
+                })?;
+                toks.push((Tok::Int(v), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            got => Err(ParseError {
+                message: format!("expected {tok:?}, found {got:?}"),
+                offset: off,
+            }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = lhs + rhs;
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = lhs - rhs;
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    let rhs = self.unary()?;
+                    lhs = lhs * rhs;
+                }
+                Some(Tok::SlashSlash) => {
+                    self.bump();
+                    let rhs = self.unary()?;
+                    lhs = lhs.floor_div_by(rhs);
+                }
+                Some(Tok::Percent) => {
+                    self.bump();
+                    let rhs = self.unary()?;
+                    lhs = lhs.modulo(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(Tok::Minus)) {
+            self.bump();
+            return Ok(self.unary()?.neg());
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Ident(name)) => {
+                if matches!(self.peek(), Some(Tok::LParen)) {
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while matches!(self.peek(), Some(Tok::Comma)) {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    apply_function(&name, args, off)
+                } else {
+                    Ok(Expr::sym(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            got => Err(ParseError {
+                message: format!("expected expression, found {got:?}"),
+                offset: off,
+            }),
+        }
+    }
+}
+
+fn apply_function(name: &str, args: Vec<Expr>, off: usize) -> Result<Expr, ParseError> {
+    let fold = |args: Vec<Expr>, f: fn(Expr, Expr) -> Expr| -> Result<Expr, ParseError> {
+        let mut it = args.into_iter();
+        let first = it.next().ok_or(ParseError {
+            message: "function needs at least one argument".into(),
+            offset: off,
+        })?;
+        Ok(it.fold(first, f))
+    };
+    match name {
+        "min" | "Min" => fold(args, Expr::min2),
+        "max" | "Max" => fold(args, Expr::max2),
+        "ceil_div" | "ceiling_div" => {
+            if args.len() != 2 {
+                return Err(ParseError {
+                    message: "ceil_div takes exactly two arguments".into(),
+                    offset: off,
+                });
+            }
+            let mut it = args.into_iter();
+            let a = it.next().unwrap();
+            let b = it.next().unwrap();
+            Ok(a.ceil_div_by(b))
+        }
+        other => Err(ParseError {
+            message: format!("unknown function `{other}`"),
+            offset: off,
+        }),
+    }
+}
+
+/// Parses a symbolic integer expression from text.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError {
+            message: "trailing input".into(),
+            offset: p.offset(),
+        });
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env;
+
+    #[test]
+    fn parses_basic_arithmetic() {
+        let e = parse_expr("2*N + i - 1").unwrap();
+        assert_eq!(e.eval(&env(&[("N", 10), ("i", 4)])).unwrap(), 23);
+    }
+
+    #[test]
+    fn parses_precedence_and_parens() {
+        let e = parse_expr("2*(N + i) - 1").unwrap();
+        assert_eq!(e.eval(&env(&[("N", 10), ("i", 4)])).unwrap(), 27);
+        let f = parse_expr("N + i*2 % 3").unwrap();
+        assert_eq!(f.eval(&env(&[("N", 10), ("i", 4)])).unwrap(), 12);
+    }
+
+    #[test]
+    fn parses_floor_div() {
+        let e = parse_expr("(N + 1) // 2").unwrap();
+        assert_eq!(e.eval(&env(&[("N", 9)])).unwrap(), 5);
+        // single slash also floor-divides
+        let f = parse_expr("N / 2").unwrap();
+        assert_eq!(f.eval(&env(&[("N", 9)])).unwrap(), 4);
+    }
+
+    #[test]
+    fn parses_min_max() {
+        let e = parse_expr("min(N, 16)").unwrap();
+        assert_eq!(e.eval(&env(&[("N", 9)])).unwrap(), 9);
+        let f = parse_expr("max(a, b, c)").unwrap();
+        assert_eq!(f.eval(&env(&[("a", 1), ("b", 7), ("c", 3)])).unwrap(), 7);
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        let e = parse_expr("-x + 3").unwrap();
+        assert_eq!(e.eval(&env(&[("x", 10)])).unwrap(), -7);
+        let f = parse_expr("--x").unwrap();
+        assert_eq!(f.eval(&env(&[("x", 10)])).unwrap(), 10);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("a +").is_err());
+        assert!(parse_expr("foo(1)").is_err());
+        assert!(parse_expr("1 2").is_err());
+        assert!(parse_expr("(a").is_err());
+        assert!(parse_expr("a ? b").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_into_input() {
+        let err = parse_expr("a + $").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+}

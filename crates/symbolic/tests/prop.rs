@@ -1,0 +1,123 @@
+//! Property tests for the symbolic engine: simplification must be
+//! value-preserving, idempotent, and canonical (equal values from equal
+//! structure), and the range algebra must be conservative.
+
+use proptest::prelude::*;
+use sdfg_symbolic::{Env, Expr, Subset, SymRange};
+
+const SYMS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Random raw (non-canonicalized) expression trees.
+fn raw_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::Int),
+        (0usize..SYMS.len()).prop_map(|i| Expr::Sym(SYMS[i].to_string())),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Add),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Expr::Mul),
+            (inner.clone(), 1i64..8)
+                .prop_map(|(a, b)| Expr::FloorDiv(Box::new(a), Box::new(Expr::Int(b)))),
+            (inner.clone(), 1i64..8)
+                .prop_map(|(a, b)| Expr::Mod(Box::new(a), Box::new(Expr::Int(b)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn env_strategy() -> impl Strategy<Value = Env> {
+    prop::collection::vec(-50i64..50, SYMS.len()).prop_map(|vals| {
+        SYMS.iter()
+            .zip(vals)
+            .map(|(s, v)| (s.to_string(), v))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_value(e in raw_expr(), env in env_strategy()) {
+        let simplified = e.simplify();
+        let v1 = e.eval(&env);
+        let v2 = simplified.eval(&env);
+        prop_assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn simplify_is_idempotent(e in raw_expr()) {
+        let once = e.simplify();
+        let twice = once.simplify();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(e in raw_expr()) {
+        let canon = e.simplify();
+        let text = canon.to_string();
+        let back = sdfg_symbolic::parse_expr(&text).unwrap();
+        prop_assert_eq!(canon, back, "text was `{}`", text);
+    }
+
+    #[test]
+    fn addition_commutes_canonically(e1 in raw_expr(), e2 in raw_expr()) {
+        let a = e1.clone().simplify() + e2.clone().simplify();
+        let b = e2.simplify() + e1.simplify();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subs_then_eval_equals_extended_env(e in raw_expr(), env in env_strategy(), v in -20i64..20) {
+        // e[a := v] evaluated without `a` == e evaluated with a=v
+        let substituted = e.simplify().subs("a", &Expr::Int(v));
+        let mut env2 = env.clone();
+        env2.insert("a".into(), v);
+        prop_assert_eq!(substituted.eval(&env2), e.eval(&env2));
+    }
+
+    #[test]
+    fn range_union_contains_both(s1 in 0i64..30, l1 in 1i64..20, s2 in 0i64..30, l2 in 1i64..20) {
+        let a = SymRange::new(s1, s1 + l1);
+        let b = SymRange::new(s2, s2 + l2);
+        let u = a.union(&b);
+        let env = Env::new();
+        let (us, ue, _, _) = u.eval(&env).unwrap();
+        prop_assert!(us <= s1 && ue >= s1 + l1);
+        prop_assert!(us <= s2 && ue >= s2 + l2);
+    }
+
+    #[test]
+    fn image_contains_every_point(start in 0i64..10, len in 1i64..12, coeff in -3i64..4, off in -5i64..6) {
+        // access index `coeff*i + off` for i in start..start+len: the image
+        // bounding range must contain every concrete access.
+        let access = Expr::Int(coeff) * Expr::sym("i") + Expr::Int(off);
+        let sub = Subset::new(vec![SymRange::index(access.clone())]);
+        let prange = SymRange::new(start, start + len);
+        let img = sub.image_under("i", &prange);
+        let env = Env::new();
+        let (lo, hi, _, _) = img.dims[0].eval(&env).unwrap();
+        for i in start..start + len {
+            let mut e = Env::new();
+            e.insert("i".into(), i);
+            let v = access.eval(&e).unwrap();
+            prop_assert!(lo <= v && v < hi, "point {} outside image [{}, {})", v, lo, hi);
+        }
+    }
+
+    #[test]
+    fn volume_matches_enumeration(start in -5i64..10, len in 0i64..15, step in 1i64..4) {
+        let r = SymRange::strided(start, start + len, step);
+        let env = Env::new();
+        let n = r.eval_len(&env).unwrap();
+        let mut count = 0;
+        let mut i = start;
+        while i < start + len {
+            count += 1;
+            i += step;
+        }
+        prop_assert_eq!(n, count);
+    }
+}

@@ -1,0 +1,190 @@
+//! Transformation chains: recorded sequences of (transformation, params)
+//! that can be saved to text and replayed — DIODE's "optimization version
+//! control" (§4.2), which lets a performance engineer diverge from a
+//! mid-point of a chain when retuning for a different architecture.
+
+use crate::framework::{apply_first, by_name, Params, TransformError};
+use sdfg_core::Sdfg;
+use std::fmt;
+
+/// One recorded application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    /// Transformation name (registry key).
+    pub name: String,
+    /// Parameters.
+    pub params: Params,
+}
+
+/// A replayable sequence of transformation applications.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Chain {
+    /// The steps, in application order.
+    pub steps: Vec<Step>,
+}
+
+impl Chain {
+    /// Empty chain.
+    pub fn new() -> Chain {
+        Chain::default()
+    }
+
+    /// Appends a step (builder style).
+    pub fn then(mut self, name: &str, params: &[(&str, &str)]) -> Chain {
+        self.steps.push(Step {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Applies every step in order (first match each). Errors if a step's
+    /// transformation is unknown, fails, or has no match.
+    pub fn apply(&self, sdfg: &mut Sdfg) -> Result<(), TransformError> {
+        for (i, step) in self.steps.iter().enumerate() {
+            let t = by_name(&step.name).ok_or_else(|| {
+                TransformError::new(format!("unknown transformation `{}`", step.name))
+            })?;
+            let applied = apply_first(sdfg, t.as_ref(), &step.params)?;
+            if !applied {
+                return Err(TransformError::new(format!(
+                    "step {i}: `{}` found no match",
+                    step.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies only the first `n` steps (diverging from a mid-point).
+    pub fn apply_prefix(&self, sdfg: &mut Sdfg, n: usize) -> Result<(), TransformError> {
+        Chain {
+            steps: self.steps[..n.min(self.steps.len())].to_vec(),
+        }
+        .apply(sdfg)
+    }
+
+    /// Serializes to the line-oriented text format:
+    /// `MapTiling tile_sizes=32,32 dims=0,1`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&s.name);
+            for (k, v) in &s.params {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format (inverse of [`Chain::to_text`]).
+    pub fn from_text(text: &str) -> Result<Chain, TransformError> {
+        let mut steps = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap().to_string();
+            let mut params = Params::new();
+            for p in parts {
+                let Some((k, v)) = p.split_once('=') else {
+                    return Err(TransformError::new(format!(
+                        "line {}: malformed parameter `{p}`",
+                        lineno + 1
+                    )));
+                };
+                params.insert(k.to_string(), v.to_string());
+            }
+            steps.push(Step { name, params });
+        }
+        Ok(Chain { steps })
+    }
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfg_core::DType;
+    use sdfg_frontend::SdfgBuilder;
+
+    fn sample() -> Sdfg {
+        let mut b = SdfgBuilder::new("c");
+        b.symbol("N");
+        b.array("A", &["N"], DType::F64);
+        let st = b.state("main");
+        b.mapped_tasklet(
+            st,
+            "t",
+            &[("i", "0:N")],
+            &[("a", "A", "i")],
+            "o = a + 1",
+            &[("o", "A", "i")],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_roundtrip_text() {
+        let c = Chain::new()
+            .then("MapTiling", &[("tile_sizes", "16")])
+            .then("Vectorization", &[("width", "4")]);
+        let text = c.to_text();
+        let back = Chain::from_text(&text).unwrap();
+        assert_eq!(c, back);
+        // Comments and blanks tolerated.
+        let with_comments = format!("# tuned for xeon\n\n{text}");
+        assert_eq!(Chain::from_text(&with_comments).unwrap(), c);
+    }
+
+    #[test]
+    fn chain_applies_in_order() {
+        let mut sdfg = sample();
+        let c = Chain::new()
+            .then("MapTiling", &[("tile_sizes", "8")])
+            .then("Vectorization", &[("width", "4")]);
+        c.apply(&mut sdfg).unwrap();
+        sdfg.validate().expect("valid after chain");
+        let st = sdfg.state(sdfg.start.unwrap());
+        let me = crate::helpers::map_entries(st)[0];
+        let sc = crate::helpers::scope_of(st, me);
+        assert_eq!(sc.params.len(), 2); // tiled
+        assert_eq!(sc.vector_len, Some(4)); // vectorized
+    }
+
+    #[test]
+    fn chain_prefix_diverges_midpoint() {
+        let mut sdfg = sample();
+        let c = Chain::new()
+            .then("MapTiling", &[("tile_sizes", "8")])
+            .then("Vectorization", &[("width", "4")]);
+        c.apply_prefix(&mut sdfg, 1).unwrap();
+        let st = sdfg.state(sdfg.start.unwrap());
+        let me = crate::helpers::map_entries(st)[0];
+        assert_eq!(crate::helpers::scope_of(st, me).vector_len, None);
+    }
+
+    #[test]
+    fn chain_errors_are_reported() {
+        let mut sdfg = sample();
+        let bad = Chain::new().then("NoSuch", &[]);
+        assert!(bad.apply(&mut sdfg).is_err());
+        let nomatch = Chain::new().then("MapCollapse", &[]); // nothing nested
+        assert!(nomatch.apply(&mut sdfg).is_err());
+        assert!(Chain::from_text("MapTiling sizes").is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Hardware-mapping transformations (Appendix B): offload an entire CPU
+//! SDFG to an accelerator, with explicit copy states — exactly the
+//! `GPUTransform`/`FPGATransform` the paper applies to all of Polybench
+//! (§5) — plus `MPITransform`.
+
+use crate::framework::{Params, TMatch, TransformError, Transformation};
+use sdfg_core::desc::DataDesc;
+use sdfg_core::sdfg::InterstateEdge;
+use sdfg_core::{Memlet, Node, Schedule, Sdfg, Storage, Subset};
+use std::collections::BTreeMap;
+
+/// Shared implementation: wrap the SDFG with copy-in/copy-out states and
+/// retarget schedules/storage.
+fn offload(
+    sdfg: &mut Sdfg,
+    prefix: &str,
+    device_storage: Storage,
+    schedule_map: fn(Schedule) -> Schedule,
+) -> Result<(), TransformError> {
+    // Device clones of all non-transient arrays.
+    let mut clones: BTreeMap<String, String> = BTreeMap::new();
+    let originals: Vec<(String, DataDesc)> = sdfg
+        .data
+        .iter()
+        .filter(|(_, d)| matches!(d, DataDesc::Array(_)) && !d.transient())
+        .map(|(n, d)| (n.clone(), d.clone()))
+        .collect();
+    for (name, desc) in &originals {
+        let dev_name = sdfg.fresh_data_name(&format!("{prefix}_{name}"));
+        let mut dev = desc.clone();
+        dev.set_transient(true);
+        dev.set_storage(device_storage);
+        sdfg.data.insert(dev_name.clone(), dev);
+        clones.insert(name.clone(), dev_name);
+    }
+    // Existing transients move to device storage too.
+    for (_, d) in sdfg.data.iter_mut() {
+        if d.transient() && d.storage() == Storage::Default {
+            d.set_storage(device_storage);
+        }
+    }
+    // Rewrite compute states: access nodes and memlets use the clones;
+    // map schedules are retargeted.
+    let state_ids: Vec<_> = sdfg.graph.node_ids().collect();
+    for sid in &state_ids {
+        let st = sdfg.graph.node_mut(*sid);
+        for n in st.graph.node_ids().collect::<Vec<_>>() {
+            match st.graph.node_mut(n) {
+                Node::Access { data } => {
+                    if let Some(c) = clones.get(data) {
+                        *data = c.clone();
+                    }
+                }
+                Node::MapEntry(m) => {
+                    m.schedule = schedule_map(m.schedule);
+                }
+                Node::ConsumeEntry(c) => {
+                    c.schedule = schedule_map(c.schedule);
+                }
+                _ => {}
+            }
+        }
+        for e in st.graph.edge_ids().collect::<Vec<_>>() {
+            let df = st.graph.edge_mut(e);
+            if let Some(d) = &df.memlet.data {
+                if let Some(c) = clones.get(d) {
+                    df.memlet.data = Some(c.clone());
+                }
+            }
+            // Scope connectors keep container-derived names.
+            df.src_conn = df.src_conn.take().map(|c| retag_conn(c, &clones));
+            df.dst_conn = df.dst_conn.take().map(|c| retag_conn(c, &clones));
+        }
+    }
+    // Copy-in state before the start.
+    let old_start = sdfg
+        .start
+        .ok_or_else(|| TransformError::new("SDFG has no start state"))?;
+    let copy_in = sdfg.add_state(format!("{prefix}_copyin"));
+    sdfg.graph
+        .add_edge(copy_in, old_start, InterstateEdge::always());
+    sdfg.start = Some(copy_in);
+    {
+        let shapes: Vec<(String, String, Vec<sdfg_symbolic::Expr>)> = originals
+            .iter()
+            .map(|(n, d)| (n.clone(), clones[n].clone(), d.shape().to_vec()))
+            .collect();
+        let st = sdfg.state_mut(copy_in);
+        for (host, dev, shape) in shapes {
+            let h = st.add_access(&host);
+            let d = st.add_access(&dev);
+            let sub = Subset::full(&shape);
+            st.add_plain_edge(h, d, Memlet::new(&host, sub.clone()).with_other_subset(sub));
+        }
+    }
+    // Copy-out state after every terminal state.
+    let copy_out = sdfg.add_state(format!("{prefix}_copyout"));
+    let terminals: Vec<_> = state_ids
+        .iter()
+        .copied()
+        .filter(|&s| sdfg.graph.out_degree(s) == 0 && s != copy_out)
+        .collect();
+    for t in terminals {
+        sdfg.graph.add_edge(t, copy_out, InterstateEdge::always());
+    }
+    {
+        let shapes: Vec<(String, String, Vec<sdfg_symbolic::Expr>)> = originals
+            .iter()
+            .map(|(n, d)| (n.clone(), clones[n].clone(), d.shape().to_vec()))
+            .collect();
+        let st = sdfg.state_mut(copy_out);
+        for (host, dev, shape) in shapes {
+            let d = st.add_access(&dev);
+            let h = st.add_access(&host);
+            let sub = Subset::full(&shape);
+            st.add_plain_edge(d, h, Memlet::new(&dev, sub.clone()).with_other_subset(sub));
+        }
+    }
+    Ok(())
+}
+
+fn retag_conn(c: String, clones: &BTreeMap<String, String>) -> String {
+    for (from, to) in clones {
+        if let Some(rest) = c.strip_prefix("IN_") {
+            if rest == from {
+                return format!("IN_{to}");
+            }
+        }
+        if let Some(rest) = c.strip_prefix("OUT_") {
+            if rest == from {
+                return format!("OUT_{to}");
+            }
+        }
+    }
+    c
+}
+
+fn whole_sdfg_match(sdfg: &Sdfg, marker: Storage) -> Vec<TMatch> {
+    // Applicable once: when no container already lives on that device.
+    let already = sdfg.data.values().any(|d| d.storage() == marker);
+    if already || sdfg.graph.node_count() == 0 {
+        return Vec::new();
+    }
+    vec![TMatch::in_state(sdfg.start.unwrap_or(sdfg_graph::NodeId(0)))]
+}
+
+/// `GPUTransform` — converts a CPU SDFG to run on a GPU, copying memory to
+/// the device and executing kernels (paper §5: "we apply ... GPUTransform").
+pub struct GpuTransform;
+
+impl Transformation for GpuTransform {
+    fn name(&self) -> &'static str {
+        "GPUTransform"
+    }
+
+    fn find(&self, sdfg: &Sdfg) -> Vec<TMatch> {
+        whole_sdfg_match(sdfg, Storage::GpuGlobal)
+    }
+
+    fn apply(&self, sdfg: &mut Sdfg, _m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+        offload(sdfg, "gpu", Storage::GpuGlobal, |s| match s {
+            Schedule::CpuMulticore => Schedule::GpuDevice,
+            other => other,
+        })
+    }
+}
+
+/// `FPGATransform` — converts a CPU SDFG to be fully invoked on an FPGA.
+pub struct FpgaTransform;
+
+impl Transformation for FpgaTransform {
+    fn name(&self) -> &'static str {
+        "FPGATransform"
+    }
+
+    fn find(&self, sdfg: &Sdfg) -> Vec<TMatch> {
+        whole_sdfg_match(sdfg, Storage::FpgaGlobal)
+    }
+
+    fn apply(&self, sdfg: &mut Sdfg, _m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+        offload(sdfg, "fpga", Storage::FpgaGlobal, |s| match s {
+            Schedule::CpuMulticore => Schedule::FpgaDevice,
+            other => other,
+        })
+    }
+}
+
+/// `MPITransform` — converts top-level CPU maps to distribute iterations
+/// across ranks.
+pub struct MpiTransform;
+
+impl Transformation for MpiTransform {
+    fn name(&self) -> &'static str {
+        "MPITransform"
+    }
+
+    fn find(&self, sdfg: &Sdfg) -> Vec<TMatch> {
+        let mut out = Vec::new();
+        for sid in sdfg.graph.node_ids() {
+            let st = sdfg.graph.node(sid);
+            let Ok(tree) = sdfg_core::scope::scope_tree(st) else {
+                continue;
+            };
+            for n in crate::helpers::map_entries(st) {
+                if tree.scope_of(n).is_none()
+                    && crate::helpers::scope_of(st, n).schedule == Schedule::CpuMulticore
+                {
+                    out.push(TMatch::in_state(sid).with("map", n));
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+        let st = sdfg.state_mut(m.state);
+        crate::helpers::scope_of_mut(st, m.node("map")).schedule = Schedule::Mpi;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_first;
+    use sdfg_core::DType;
+    use sdfg_frontend::SdfgBuilder;
+
+    fn sample() -> Sdfg {
+        let mut b = SdfgBuilder::new("g");
+        b.symbol("N");
+        b.array("A", &["N"], DType::F64);
+        b.array("B", &["N"], DType::F64);
+        let st = b.state("main");
+        b.mapped_tasklet(
+            st,
+            "t",
+            &[("i", "0:N")],
+            &[("a", "A", "i")],
+            "o = a * 3 + 1",
+            &[("o", "B", "i")],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gpu_transform_adds_copies_and_retargets() {
+        let mut sdfg = sample();
+        assert!(apply_first(&mut sdfg, &GpuTransform, &Params::new()).unwrap());
+        sdfg.validate().expect("valid after GPUTransform");
+        // 3 states now: copyin, compute, copyout.
+        assert_eq!(sdfg.graph.node_count(), 3);
+        assert!(sdfg.desc("gpu_A").is_some());
+        assert!(sdfg.desc("gpu_B").is_some());
+        assert_eq!(sdfg.desc("gpu_A").unwrap().storage(), Storage::GpuGlobal);
+        // The map runs on the device.
+        let compute = sdfg
+            .state_ids()
+            .into_iter()
+            .find(|&s| !crate::helpers::map_entries(sdfg.state(s)).is_empty())
+            .unwrap();
+        let st = sdfg.state(compute);
+        let me = crate::helpers::map_entries(st)[0];
+        assert_eq!(crate::helpers::scope_of(st, me).schedule, Schedule::GpuDevice);
+        // Second application finds nothing (idempotent).
+        assert!(GpuTransform.find(&sdfg).is_empty());
+        // Semantics preserved end-to-end.
+        let mut it = sdfg_interp::Interpreter::new(&sdfg);
+        it.set_symbol("N", 4);
+        it.set_array("A", vec![1.0, 2.0, 3.0, 4.0]);
+        it.set_array("B", vec![0.0; 4]);
+        it.run().unwrap();
+        assert_eq!(it.array("B"), &[4.0, 7.0, 10.0, 13.0]);
+    }
+
+    #[test]
+    fn fpga_transform_full_offload() {
+        let mut sdfg = sample();
+        assert!(apply_first(&mut sdfg, &FpgaTransform, &Params::new()).unwrap());
+        sdfg.validate().expect("valid after FPGATransform");
+        assert_eq!(sdfg.desc("fpga_A").unwrap().storage(), Storage::FpgaGlobal);
+        let mut it = sdfg_interp::Interpreter::new(&sdfg);
+        it.set_symbol("N", 3);
+        it.set_array("A", vec![1.0, 2.0, 3.0]);
+        it.set_array("B", vec![0.0; 3]);
+        it.run().unwrap();
+        assert_eq!(it.array("B"), &[4.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    fn mpi_transform_retags_schedule() {
+        let mut sdfg = sample();
+        assert!(apply_first(&mut sdfg, &MpiTransform, &Params::new()).unwrap());
+        let st = sdfg.state(sdfg.start.unwrap());
+        let me = crate::helpers::map_entries(st)[0];
+        assert_eq!(crate::helpers::scope_of(st, me).schedule, Schedule::Mpi);
+    }
+
+    #[test]
+    fn gpu_transform_with_state_machine_loop() {
+        // The Laplace program: loop body must stay on device, copies at the
+        // boundary only.
+        let src = r#"
+def laplace(A: dace.float64[2, N], T: dace.int64):
+    for t in range(T):
+        for i in dace.map[1:N - 1]:
+            with dace.tasklet:
+                l << A[t % 2, i - 1]
+                c << A[t % 2, i]
+                r << A[t % 2, i + 1]
+                out >> A[(t + 1) % 2, i]
+                out = l - 2 * c + r
+"#;
+        let mut sdfg = sdfg_frontend::parse_program(src).unwrap();
+        let baseline = {
+            let mut it = sdfg_interp::Interpreter::new(&sdfg);
+            it.set_symbol("N", 16).set_symbol("T", 4);
+            let mut a = vec![0.0; 32];
+            a[5] = 1.0;
+            it.set_array("A", a);
+            it.run().unwrap();
+            it.array("A").to_vec()
+        };
+        assert!(apply_first(&mut sdfg, &GpuTransform, &Params::new()).unwrap());
+        sdfg.validate().expect("valid");
+        let mut it = sdfg_interp::Interpreter::new(&sdfg);
+        it.set_symbol("N", 16).set_symbol("T", 4);
+        let mut a = vec![0.0; 32];
+        a[5] = 1.0;
+        it.set_array("A", a);
+        it.run().unwrap();
+        assert_eq!(it.array("A"), baseline.as_slice());
+    }
+}

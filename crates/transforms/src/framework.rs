@@ -1,0 +1,189 @@
+//! The transformation framework: matches, parameters, the trait, and the
+//! registry.
+
+use sdfg_core::{Sdfg, StateId};
+use sdfg_graph::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A located pattern occurrence: the state plus role-named nodes.
+#[derive(Clone, Debug)]
+pub struct TMatch {
+    /// State containing the occurrence (for single-state patterns).
+    pub state: StateId,
+    /// Role name → matched node.
+    pub nodes: BTreeMap<String, NodeId>,
+    /// For multi-state patterns: additional states by role.
+    pub states: BTreeMap<String, StateId>,
+}
+
+impl TMatch {
+    /// Creates a match in a state.
+    pub fn in_state(state: StateId) -> TMatch {
+        TMatch {
+            state,
+            nodes: BTreeMap::new(),
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a role binding (builder style).
+    pub fn with(mut self, role: &str, node: NodeId) -> TMatch {
+        self.nodes.insert(role.to_string(), node);
+        self
+    }
+
+    /// Looks up a role.
+    pub fn node(&self, role: &str) -> NodeId {
+        self.nodes[role]
+    }
+}
+
+/// String-keyed transformation parameters (tile sizes, dimension choices).
+pub type Params = BTreeMap<String, String>;
+
+/// Error applying a transformation.
+#[derive(Clone, Debug)]
+pub struct TransformError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl TransformError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> TransformError {
+        TransformError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A data-centric graph transformation (paper §4.1).
+pub trait Transformation {
+    /// Registry name (used in chains).
+    fn name(&self) -> &'static str;
+
+    /// Finds all occurrences of the pattern in the SDFG.
+    fn find(&self, sdfg: &Sdfg) -> Vec<TMatch>;
+
+    /// Applies the rewrite at a match, with parameters.
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params)
+        -> Result<(), TransformError>;
+
+    /// True for *strict* transformations (can only improve the graph; safe
+    /// to apply greedily, like DaCe's strict-transformation pass).
+    fn strict(&self) -> bool {
+        false
+    }
+}
+
+/// All transformations in the standard library (Appendix B + D).
+pub fn registry() -> Vec<Box<dyn Transformation>> {
+    vec![
+        Box::new(crate::map_transforms::MapCollapse),
+        Box::new(crate::map_transforms::MapExpansion),
+        Box::new(crate::map_transforms::MapFusion),
+        Box::new(crate::map_transforms::MapInterchange),
+        Box::new(crate::map_transforms::MapReduceFusion),
+        Box::new(crate::map_transforms::MapTiling),
+        Box::new(crate::data_transforms::DoubleBuffering),
+        Box::new(crate::data_transforms::LocalStorage),
+        Box::new(crate::data_transforms::LocalStream),
+        Box::new(crate::data_transforms::Vectorization),
+        Box::new(crate::data_transforms::RedundantArray),
+        Box::new(crate::flow_transforms::MapToForLoop),
+        Box::new(crate::flow_transforms::StateFusion),
+        Box::new(crate::flow_transforms::InlineSdfg),
+        Box::new(crate::device_transforms::FpgaTransform),
+        Box::new(crate::device_transforms::GpuTransform),
+        Box::new(crate::device_transforms::MpiTransform),
+    ]
+}
+
+/// Looks up a transformation by name.
+pub fn by_name(name: &str) -> Option<Box<dyn Transformation>> {
+    registry().into_iter().find(|t| t.name() == name)
+}
+
+/// Applies the first match of `t` (with `params`); returns whether a match
+/// existed. After application, memlets are re-propagated.
+pub fn apply_first(
+    sdfg: &mut Sdfg,
+    t: &dyn Transformation,
+    params: &Params,
+) -> Result<bool, TransformError> {
+    let matches = t.find(sdfg);
+    let Some(m) = matches.first() else {
+        return Ok(false);
+    };
+    t.apply(sdfg, m, params)?;
+    sdfg_core::propagate::propagate_sdfg(sdfg);
+    Ok(true)
+}
+
+/// Greedily applies all strict transformations until fixpoint (bounded) —
+/// DaCe applies these automatically after frontend parsing.
+pub fn apply_strict(sdfg: &mut Sdfg) -> Result<usize, TransformError> {
+    let strict: Vec<Box<dyn Transformation>> =
+        registry().into_iter().filter(|t| t.strict()).collect();
+    let mut total = 0usize;
+    for _round in 0..64 {
+        let mut applied = false;
+        for t in &strict {
+            if apply_first(sdfg, t.as_ref(), &Params::new())? {
+                applied = true;
+                total += 1;
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_16_plus_redundant() {
+        let names: Vec<&str> = registry().iter().map(|t| t.name()).collect();
+        for expected in [
+            "MapCollapse",
+            "MapExpansion",
+            "MapFusion",
+            "MapInterchange",
+            "MapReduceFusion",
+            "MapTiling",
+            "DoubleBuffering",
+            "LocalStorage",
+            "LocalStream",
+            "Vectorization",
+            "RedundantArray",
+            "MapToForLoop",
+            "StateFusion",
+            "InlineSDFG",
+            "FPGATransform",
+            "GPUTransform",
+            "MPITransform",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn by_name_resolves() {
+        assert!(by_name("MapTiling").is_some());
+        assert!(by_name("NoSuchTransform").is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Synthetic graph generators matching the regimes of the paper's BFS
+//! datasets (Appendix E, Table 5): road networks (tiny degree, huge
+//! diameter), social networks (skewed degree, small diameter), and
+//! Kronecker/RMAT graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in CSR form.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Row pointers (`nodes + 1` entries).
+    pub rowptr: Vec<u32>,
+    /// Column indices (`edges` entries).
+    pub col: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn nodes(&self) -> usize {
+        self.rowptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Builds CSR from an edge list (`(src, dst)` pairs), deduplicated.
+    pub fn from_edges(n: usize, mut edges: Vec<(u32, u32)>) -> Csr {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut rowptr = vec![0u32; n + 1];
+        for &(s, _) in &edges {
+            rowptr[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let col = edges.into_iter().map(|(_, d)| d).collect();
+        Csr { rowptr, col }
+    }
+
+    /// Degree statistics (Table 5 columns).
+    pub fn stats(&self) -> GraphStats {
+        let n = self.nodes();
+        let degrees = (0..n).map(|i| (self.rowptr[i + 1] - self.rowptr[i]) as usize);
+        let max_degree = degrees.clone().max().unwrap_or(0);
+        GraphStats {
+            nodes: n,
+            edges: self.edges(),
+            avg_degree: self.edges() as f64 / n.max(1) as f64,
+            max_degree,
+        }
+    }
+
+    /// Row pointers as `f64` (SDFG container payload).
+    pub fn rowptr_f64(&self) -> Vec<f64> {
+        self.rowptr.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Column indices as `f64`.
+    pub fn col_f64(&self) -> Vec<f64> {
+        self.col.iter().map(|&v| v as f64).collect()
+    }
+}
+
+/// Table 5-style properties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+}
+
+/// Road-network-like graph: a `w × h` lattice with 4-neighborhood and a
+/// fraction of edges removed — average degree ≈ 2–4, enormous diameter
+/// (the `usa`/`osm-eur` regime where the paper's SDFG beats Galois).
+pub fn road(w: usize, h: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = w * h;
+    let mut edges = Vec::with_capacity(4 * n);
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            // Drop ~30% of lattice links to look like a road network.
+            if x + 1 < w && rng.gen_bool(0.7) {
+                edges.push((id(x, y), id(x + 1, y)));
+                edges.push((id(x + 1, y), id(x, y)));
+            }
+            if y + 1 < h && rng.gen_bool(0.7) {
+                edges.push((id(x, y), id(x, y + 1)));
+                edges.push((id(x, y + 1), id(x, y)));
+            }
+        }
+    }
+    // Keep connectivity along the first row/column as a backbone.
+    for x in 1..w {
+        edges.push((id(x - 1, 0), id(x, 0)));
+        edges.push((id(x, 0), id(x - 1, 0)));
+    }
+    for y in 1..h {
+        edges.push((id(0, y - 1), id(0, y)));
+        edges.push((id(0, y), id(0, y - 1)));
+    }
+    Csr::from_edges(n, edges)
+}
+
+/// RMAT/Kronecker generator (the `kron`/`twitter` regime: skewed degrees,
+/// tiny diameter). `scale` = log2(nodes).
+pub fn rmat(scale: u32, edge_factor: usize, skew: f64, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partition probabilities; `skew` shifts mass into the (0,0) quadrant.
+    let a = skew;
+    let rest = (1.0 - a) / 3.0;
+    let mut edges = Vec::with_capacity(m + n);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (sbit, dbit) = if r < a {
+                (0, 0)
+            } else if r < a + rest {
+                (0, 1)
+            } else if r < a + 2.0 * rest {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sbit << level;
+            dst |= dbit << level;
+        }
+        edges.push((src as u32, dst as u32));
+    }
+    // Ring backbone so BFS reaches every vertex.
+    for v in 0..n {
+        edges.push((v as u32, ((v + 1) % n) as u32));
+    }
+    Csr::from_edges(n, edges)
+}
+
+/// Preferential-attachment graph (the `soc-LiveJournal` regime).
+pub fn preferential(n: usize, m_per_node: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut targets: Vec<u32> = Vec::with_capacity(n * m_per_node);
+    let mut edges = Vec::with_capacity(2 * n * m_per_node);
+    for v in 0..n {
+        for _ in 0..m_per_node {
+            let t = if v == 0 || targets.is_empty() || rng.gen_bool(0.1) {
+                rng.gen_range(0..n.max(1)) as u32
+            } else {
+                // Sample proportional to degree: pick an endpoint of a
+                // random existing edge.
+                targets[rng.gen_range(0..targets.len())]
+            };
+            edges.push((v as u32, t));
+            edges.push((t, v as u32));
+            targets.push(t);
+            targets.push(v as u32);
+        }
+    }
+    Csr::from_edges(n, edges)
+}
+
+/// The five Appendix E datasets, scaled for a laptop run. Returns
+/// `(name, graph)` pairs in the paper's order.
+pub fn paper_datasets(scale: usize) -> Vec<(&'static str, Csr)> {
+    let s = scale.max(1);
+    vec![
+        ("kron", rmat(11 + s.ilog2(), 12, 0.57, 7)),
+        ("osmeur", road(64 * s, 48 * s, 5)),
+        ("soclj", preferential(3000 * s, 7, 11)),
+        ("twitter", rmat(11 + s.ilog2(), 16, 0.65, 13)),
+        ("usa", road(48 * s, 32 * s, 3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_sorted_and_deduped() {
+        let g = Csr::from_edges(3, vec![(1, 2), (0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.nodes(), 3);
+        assert_eq!(g.edges(), 3);
+        assert_eq!(g.rowptr, vec![0, 1, 2, 3]);
+        assert_eq!(g.col, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn road_graph_has_small_degree() {
+        let g = road(40, 30, 1);
+        let st = g.stats();
+        assert_eq!(st.nodes, 1200);
+        assert!(st.avg_degree > 1.5 && st.avg_degree < 4.5, "{st:?}");
+        assert!(st.max_degree <= 8);
+    }
+
+    #[test]
+    fn rmat_graph_is_skewed() {
+        let g = rmat(10, 8, 0.57, 2);
+        let st = g.stats();
+        assert_eq!(st.nodes, 1024);
+        // Heavy-tailed: max degree far above average.
+        assert!(
+            st.max_degree as f64 > 8.0 * st.avg_degree,
+            "expected skew, got {st:?}"
+        );
+    }
+
+    #[test]
+    fn preferential_graph_is_skewed() {
+        let g = preferential(2000, 5, 3);
+        let st = g.stats();
+        assert!(st.max_degree as f64 > 5.0 * st.avg_degree, "{st:?}");
+    }
+
+    #[test]
+    fn datasets_table() {
+        for (name, g) in paper_datasets(1) {
+            let st = g.stats();
+            assert!(st.nodes > 500, "{name} too small: {st:?}");
+            assert!(st.edges > st.nodes, "{name}: {st:?}");
+        }
+    }
+}

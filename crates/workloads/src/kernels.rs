@@ -1,0 +1,446 @@
+//! The five fundamental kernels of §6.1 (Fig. 14) as SDFGs.
+
+use crate::workload::{pseudo_random, Workload};
+use sdfg_core::node::MapScope;
+use sdfg_core::{DType, Memlet, Schedule, Sdfg, Subset, SymRange, Wcr};
+use sdfg_frontend::parse_program;
+use sdfg_symbolic::Expr;
+
+/// Matrix multiplication `C = A·B` (paper: 2048², scaled by `n`).
+pub fn mm(n: usize) -> Workload {
+    let src = r#"
+def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
+    for i, j, k in dace.map[0:M, 0:N, 0:K]:
+        C[i, j] += A[i, k] * B[k, j]
+"#;
+    let sdfg = parse_program(src).expect("mm parses");
+    Workload::new("mm", sdfg)
+        .symbol("M", n as i64)
+        .symbol("K", n as i64)
+        .symbol("N", n as i64)
+        .array("A", pseudo_random(n * n, 11))
+        .array("B", pseudo_random(n * n, 13))
+        .array("C", vec![0.0; n * n])
+        .check("C")
+}
+
+/// Reference for [`mm`].
+pub fn mm_reference(w: &Workload) -> Vec<f64> {
+    let n = w.sym("N") as usize;
+    let mut c = vec![0.0; n * n];
+    crate::tuned::gemm_naive(&w.arrays["A"], &w.arrays["B"], &mut c, n, n, n);
+    c
+}
+
+/// Jacobi 2-D 5-point stencil with a sequential time loop (paper: 2048²,
+/// T=1024; scaled). Double-buffered in a leading dimension of size 2 with
+/// zero boundaries.
+pub fn jacobi2d(n: usize, t_steps: usize) -> Workload {
+    let src = r#"
+def jacobi(A: dace.float64[2, N, N], T: dace.int64):
+    for t in range(T):
+        for i, j in dace.map[1:N - 1, 1:N - 1]:
+            with dace.tasklet:
+                c << A[t % 2, i, j]
+                w << A[t % 2, i, j - 1]
+                e << A[t % 2, i, j + 1]
+                nn << A[t % 2, i - 1, j]
+                s << A[t % 2, i + 1, j]
+                out >> A[(t + 1) % 2, i, j]
+                out = 0.2 * (c + w + e + nn + s)
+"#;
+    let sdfg = parse_program(src).expect("jacobi parses");
+    let mut a = vec![0.0; 2 * n * n];
+    let init = pseudo_random(n * n, 17);
+    // Interior initialized; boundary zero in both buffers.
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            a[i * n + j] = init[i * n + j];
+        }
+    }
+    Workload::new("jacobi2d", sdfg)
+        .symbol("N", n as i64)
+        .symbol("T", t_steps as i64)
+        .array("A", a)
+        .check("A")
+}
+
+/// Reference for [`jacobi2d`]: returns the full double buffer.
+pub fn jacobi2d_reference(w: &Workload) -> Vec<f64> {
+    let n = w.sym("N") as usize;
+    let t = w.sym("T") as usize;
+    let full = &w.arrays["A"];
+    let mut bufs = [full[..n * n].to_vec(), full[n * n..].to_vec()];
+    for step in 0..t {
+        let (src, dst) = (step % 2, (step + 1) % 2);
+        let (a, b) = if src == 0 {
+            let (x, y) = bufs.split_at_mut(1);
+            (&x[0], &mut y[0])
+        } else {
+            let (x, y) = bufs.split_at_mut(1);
+            (&y[0], &mut x[0])
+        };
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[i * n + j] = 0.2
+                    * (a[i * n + j]
+                        + a[i * n + j - 1]
+                        + a[i * n + j + 1]
+                        + a[(i - 1) * n + j]
+                        + a[(i + 1) * n + j]);
+            }
+        }
+        let _ = dst;
+    }
+    let mut out = bufs[0].clone();
+    out.extend_from_slice(&bufs[1]);
+    out
+}
+
+/// Histogram of an `n × n` image into 16 bins, tiled with a scope-local
+/// accumulator merged through a Sum-WCR write-back — the structure of the
+/// paper's vectorized CPU/FPGA histogram (§6.1).
+pub fn histogram(n: usize) -> Workload {
+    const BINS: usize = 16;
+    const TILE: i64 = 64;
+    let mut sdfg = Sdfg::new("histogram");
+    sdfg.add_symbol("N");
+    sdfg.add_array("img", &["N", "N"], DType::F64);
+    sdfg.add_array("hist", &["16"], DType::F64);
+    sdfg.add_transient("lhist", &["16"], DType::F64);
+    let sid = sdfg.add_state("main");
+    let st = sdfg.state_mut(sid);
+    let img = st.add_access("img");
+    let hist = st.add_access("hist");
+    // Outer tile map (parallel), inner sequential sweep into the local
+    // histogram, then a bulk WCR write-back per tile.
+    let mut outer = MapScope::new(
+        "tiles",
+        vec!["ti".into()],
+        vec![SymRange::strided(0, "N", TILE)],
+    );
+    outer.schedule = Schedule::CpuMulticore;
+    let (oe, ox) = st.add_map(outer);
+    let mut inner = MapScope::new(
+        "pixels",
+        vec!["i".into(), "j".into()],
+        vec![
+            SymRange::new(
+                Expr::sym("ti"),
+                (Expr::sym("ti") + Expr::int(TILE)).min2(Expr::sym("N")),
+            ),
+            SymRange::new(0, "N"),
+        ],
+    );
+    inner.schedule = Schedule::Sequential;
+    let (ie, ix) = st.add_map(inner);
+    let t = st.add_tasklet(
+        "bin",
+        &["a"],
+        &["out"],
+        "b = int(abs(a)) % 16\nout[int(b)] = 1",
+    );
+    let lh = st.add_access("lhist");
+    st.add_edge(img, None, oe, Some("IN_img"), Memlet::parse("img", "0:N, 0:N"));
+    st.add_edge(
+        oe,
+        Some("OUT_img"),
+        ie,
+        Some("IN_img"),
+        Memlet::parse("img", "ti:min(ti + 64, N), 0:N"),
+    );
+    st.add_edge(ie, Some("OUT_img"), t, Some("a"), Memlet::parse("img", "i, j"));
+    st.add_edge(
+        t,
+        Some("out"),
+        ix,
+        Some("IN_lhist"),
+        Memlet::parse("lhist", "0:16").with_wcr(Wcr::Sum).dynamic(),
+    );
+    st.add_edge(
+        ix,
+        Some("OUT_lhist"),
+        lh,
+        None,
+        Memlet::parse("lhist", "0:16").with_wcr(Wcr::Sum),
+    );
+    // Per-tile write-back of the local histogram (access → outer exit).
+    st.add_edge(
+        lh,
+        None,
+        ox,
+        Some("IN_hist"),
+        Memlet::new("hist", Subset::parse("0:16").unwrap())
+            .with_wcr(Wcr::Sum)
+            .with_other_subset(Subset::parse("0:16").unwrap()),
+    );
+    st.add_edge(
+        ox,
+        Some("OUT_hist"),
+        hist,
+        None,
+        Memlet::parse("hist", "0:16").with_wcr(Wcr::Sum),
+    );
+    sdfg.validate().expect("valid histogram sdfg");
+    sdfg_core::propagate::propagate_sdfg(&mut sdfg);
+    let img_data: Vec<f64> = pseudo_random(n * n, 23)
+        .into_iter()
+        .map(|v| (v.abs() * 255.0).floor())
+        .collect();
+    Workload::new("histogram", sdfg)
+        .symbol("N", n as i64)
+        .array("img", img_data)
+        .array("hist", vec![0.0; BINS])
+        .check("hist")
+}
+
+/// Reference for [`histogram`].
+pub fn histogram_reference(w: &Workload) -> Vec<f64> {
+    let mut h = vec![0.0; 16];
+    crate::tuned::histogram_naive(&w.arrays["img"], &mut h, 16);
+    h
+}
+
+/// Query: filters a column (> 0 selects ~50% of the uniform input),
+/// streaming matches into a compacted output and counting them (§6.1).
+pub fn query(n: usize) -> Workload {
+    let mut sdfg = Sdfg::new("query");
+    sdfg.add_symbol("N");
+    sdfg.add_array("col", &["N"], DType::F64);
+    sdfg.add_stream("S", DType::F64);
+    sdfg.add_array("out", &["N"], DType::F64);
+    sdfg.add_array("count", &["1"], DType::F64);
+    let filter = sdfg.add_state("filter");
+    {
+        let st = sdfg.state_mut(filter);
+        let col = st.add_access("col");
+        let cnt = st.add_access("count");
+        let s_acc = st.add_access("S");
+        let mut m = MapScope::new("scan", vec!["i".into()], vec![SymRange::new(0, "N")]);
+        m.schedule = Schedule::CpuMulticore;
+        let (me, mx) = st.add_map(m);
+        let t = st.add_tasklet(
+            "pred",
+            &["x"],
+            &["S_out", "c"],
+            "if x > 0:\n    S_out.push(x)\n    c = 1\nelse:\n    c = 0",
+        );
+        st.add_edge(col, None, me, Some("IN_col"), Memlet::parse("col", "0:N"));
+        st.add_edge(me, Some("OUT_col"), t, Some("x"), Memlet::parse("col", "i"));
+        // The stream flows through the exit (keeping the scope body a pure
+        // tasklet — the executor's fast path).
+        st.add_edge(t, Some("S_out"), mx, Some("IN_S"), Memlet::parse("S", "0").dynamic());
+        st.add_edge(mx, Some("OUT_S"), s_acc, None, Memlet::parse("S", "0").dynamic());
+        st.add_edge(
+            t,
+            Some("c"),
+            mx,
+            Some("IN_count"),
+            Memlet::parse("count", "0").with_wcr(Wcr::Sum),
+        );
+        st.add_edge(
+            mx,
+            Some("OUT_count"),
+            cnt,
+            None,
+            Memlet::parse("count", "0").with_wcr(Wcr::Sum),
+        );
+    }
+    let drain = sdfg.add_state("drain");
+    sdfg.add_transition(filter, drain, sdfg_core::sdfg::InterstateEdge::always());
+    {
+        let st = sdfg.state_mut(drain);
+        let s_acc = st.add_access("S");
+        let out = st.add_access("out");
+        st.add_plain_edge(
+            s_acc,
+            out,
+            Memlet::parse("S", "0")
+                .dynamic()
+                .with_other_subset(Subset::parse("0:N").unwrap()),
+        );
+    }
+    sdfg.validate().expect("valid query sdfg");
+    Workload::new("query", sdfg)
+        .symbol("N", n as i64)
+        .array("col", pseudo_random(n, 31))
+        .array("out", vec![0.0; n])
+        .array("count", vec![0.0])
+        .check("count")
+}
+
+/// Reference for [`query`]: the match count.
+pub fn query_reference(w: &Workload) -> f64 {
+    w.arrays["col"].iter().filter(|&&v| v > 0.0).count() as f64
+}
+
+/// Sparse matrix-vector multiplication on CSR (§6.1; Fig. 4's program with
+/// the Appendix F indirection): outer map over rows, dynamic-range inner
+/// map over each row's nonzeros, gather through `x[col[j]]`.
+pub fn spmv(rows: usize, nnz_per_row: usize) -> Workload {
+    let mut sdfg = Sdfg::new("spmv");
+    sdfg.add_symbol("H");
+    sdfg.add_symbol("nnz");
+    sdfg.add_array("A_row", &["H + 1"], DType::F64);
+    sdfg.add_array("A_col", &["nnz"], DType::F64);
+    sdfg.add_array("A_val", &["nnz"], DType::F64);
+    sdfg.add_array("x", &["H"], DType::F64);
+    sdfg.add_array("b", &["H"], DType::F64);
+    sdfg.add_scalar("Lb", DType::F64, true);
+    sdfg.add_scalar("Le", DType::F64, true);
+    let sid = sdfg.add_state("main");
+    let st = sdfg.state_mut(sid);
+    let a_row = st.add_access("A_row");
+    let a_col = st.add_access("A_col");
+    let a_val = st.add_access("A_val");
+    let x = st.add_access("x");
+    let b = st.add_access("b");
+    let mut outer = MapScope::new("rows", vec!["i".into()], vec![SymRange::new(0, "H")]);
+    outer.schedule = Schedule::CpuMulticore;
+    let (oe, ox) = st.add_map(outer);
+    // Row-pointer indirection tasklet.
+    let rp = st.add_tasklet("rowptr", &["r0", "r1"], &["lb", "le"], "lb = r0\nle = r1");
+    let lb = st.add_access("Lb");
+    let le = st.add_access("Le");
+    let mut inner = MapScope::new(
+        "nnz_of_row",
+        vec!["j".into()],
+        vec![SymRange::new(Expr::sym("begin"), Expr::sym("end"))],
+    );
+    inner.schedule = Schedule::Sequential;
+    let (ie, ix) = st.add_map(inner);
+    let t = st.add_tasklet("mul", &["a", "c", "xv"], &["o"], "o = a * xv[int(c)]");
+    // Row pointers into the indirection tasklet.
+    st.add_edge(a_row, None, oe, Some("IN_A_row"), Memlet::parse("A_row", "0:H + 1"));
+    st.add_edge(oe, Some("OUT_A_row"), rp, Some("r0"), Memlet::parse("A_row", "i"));
+    // Second read of the same container through the same scope connector.
+    st.add_edge(oe, Some("OUT_A_row"), rp, Some("r1"), Memlet::parse("A_row", "i + 1"));
+    st.add_edge(rp, Some("lb"), lb, None, Memlet::parse("Lb", "0"));
+    st.add_edge(rp, Some("le"), le, None, Memlet::parse("Le", "0"));
+    // Dynamic-range connectors of the inner map.
+    st.add_edge(lb, None, ie, Some("begin"), Memlet::parse("Lb", "0"));
+    st.add_edge(le, None, ie, Some("end"), Memlet::parse("Le", "0"));
+    // Values and columns flow through both scopes.
+    sdfg_frontend::builder::thread_input(st, "A_val", &[oe, ie], t, "a", Memlet::parse("A_val", "j"));
+    sdfg_frontend::builder::thread_input(st, "A_col", &[oe, ie], t, "c", Memlet::parse("A_col", "j"));
+    sdfg_frontend::builder::thread_input(
+        st,
+        "x",
+        &[oe, ie],
+        t,
+        "xv",
+        Memlet::parse("x", "0:H").with_volume(Expr::one()).dynamic(),
+    );
+    // Output with WCR through both exits.
+    sdfg_frontend::builder::thread_output(
+        st,
+        "b",
+        &[ix, ox],
+        t,
+        "o",
+        Memlet::parse("b", "i").with_wcr(Wcr::Sum),
+    );
+    // Re-wire stray duplicate access nodes created by threading helpers.
+    sdfg_frontend::builder::dedup_edges(st);
+    let _ = (a_col, a_val, x, b);
+    sdfg.validate().expect("valid spmv sdfg");
+    sdfg_core::propagate::propagate_sdfg(&mut sdfg);
+    // CSR inputs: `nnz_per_row` pseudo-random columns per row.
+    let nnz = rows * nnz_per_row;
+    let mut rowptr = Vec::with_capacity(rows + 1);
+    let mut col = Vec::with_capacity(nnz);
+    for i in 0..rows {
+        rowptr.push((i * nnz_per_row) as f64);
+        for d in 0..nnz_per_row {
+            col.push(((i * 31 + d * 97 + 7) % rows) as f64);
+        }
+    }
+    rowptr.push(nnz as f64);
+    Workload::new("spmv", sdfg)
+        .symbol("H", rows as i64)
+        .symbol("nnz", nnz as i64)
+        .array("A_row", rowptr)
+        .array("A_col", col)
+        .array("A_val", pseudo_random(nnz, 41))
+        .array("x", pseudo_random(rows, 43))
+        .array("b", vec![0.0; rows])
+        .check("b")
+}
+
+/// Reference for [`spmv`].
+pub fn spmv_reference(w: &Workload) -> Vec<f64> {
+    let rows = w.sym("H") as usize;
+    let mut y = vec![0.0; rows];
+    crate::tuned::spmv_naive(
+        &w.arrays["A_row"],
+        &w.arrays["A_col"],
+        &w.arrays["A_val"],
+        &w.arrays["x"],
+        &mut y,
+    );
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::assert_allclose;
+    use std::collections::HashMap;
+
+    fn check(w: &Workload, reference: HashMap<String, Vec<f64>>) {
+        let (got, _, _) = w.run_exec().expect("exec runs");
+        assert_allclose(&w.check, &got, &reference, 1e-9);
+        let interp = w.run_interp().expect("interp runs");
+        assert_allclose(&w.check, &interp, &reference, 1e-9);
+    }
+
+    #[test]
+    fn mm_correct() {
+        let w = mm(24);
+        let mut r = HashMap::new();
+        r.insert("C".to_string(), mm_reference(&w));
+        check(&w, r);
+    }
+
+    #[test]
+    fn jacobi_correct() {
+        let w = jacobi2d(20, 4);
+        let mut r = HashMap::new();
+        r.insert("A".to_string(), jacobi2d_reference(&w));
+        check(&w, r);
+    }
+
+    #[test]
+    fn histogram_correct() {
+        let w = histogram(50);
+        let mut r = HashMap::new();
+        r.insert("hist".to_string(), histogram_reference(&w));
+        check(&w, r);
+    }
+
+    #[test]
+    fn query_correct() {
+        let w = query(500);
+        let (got, _, _) = w.run_exec().unwrap();
+        assert_eq!(got["count"][0], query_reference(&w));
+        // All matches present in the output (order unspecified).
+        let cnt = got["count"][0] as usize;
+        let mut vals: Vec<f64> = got["out"][..cnt].to_vec();
+        vals.sort_by(f64::total_cmp);
+        let mut expect: Vec<f64> = w.arrays["col"]
+            .iter()
+            .copied()
+            .filter(|&v| v > 0.0)
+            .collect();
+        expect.sort_by(f64::total_cmp);
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn spmv_correct() {
+        let w = spmv(60, 5);
+        let mut r = HashMap::new();
+        r.insert("b".to_string(), spmv_reference(&w));
+        check(&w, r);
+    }
+}

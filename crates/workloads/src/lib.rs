@@ -1,0 +1,30 @@
+//! # sdfg-workloads — the paper's evaluation workloads
+//!
+//! Everything §5 and §6 run, rebuilt on the Rust SDFG stack:
+//!
+//! * [`polybench`] — all 30 Polybench kernels as SDFGs (Fig. 13), each with
+//!   a naive sequential Rust reference (the "general-purpose compiler"
+//!   proxy).
+//! * [`kernels`] — the five fundamental kernels of §6.1 (Fig. 14): matrix
+//!   multiplication, Jacobi stencil, histogram, query, SpMV.
+//! * [`tuned`] — hand-optimized native baselines standing in for MKL /
+//!   CUBLAS / Galois ("expert-tuned library" proxies).
+//! * [`mm_chain`] — the §6.2 GEMM transformation chain (Fig. 15).
+//! * [`graphs`] — synthetic graph generators matching the regimes of the
+//!   paper's datasets (Appendix E, Table 5) and CSR utilities.
+//! * [`bfs`] — the §6.3 data-driven push BFS as an SDFG (Fig. 16), its
+//!   transformation chain, and a tuned parallel baseline.
+//! * [`sse`] — the §6.4 OMEN Scattering Self-Energies case study
+//!   (Tables 2–3): three implementations with the paper's structural
+//!   differences, plus the SBSMM-vs-padded-batched-GEMM GPU comparison.
+
+pub mod bfs;
+pub mod graphs;
+pub mod kernels;
+pub mod mm_chain;
+pub mod polybench;
+pub mod sse;
+pub mod tuned;
+pub mod workload;
+
+pub use workload::Workload;

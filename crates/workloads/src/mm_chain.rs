@@ -1,0 +1,145 @@
+//! The §6.2 case study (Fig. 15): optimizing matrix multiplication from
+//! the naive map-reduce SDFG (Fig. 9b) with a chain of data-centric
+//! transformations, approaching the tuned-library proxy.
+
+use crate::workload::{pseudo_random, Workload};
+use sdfg_core::{DType, Sdfg, Wcr};
+use sdfg_frontend::SdfgBuilder;
+use sdfg_transforms::Chain;
+
+/// Builds the unoptimized map-reduce GEMM of Fig. 9b: a parallel map
+/// producing the full `tmp[M, N, K]` product tensor, reduced over `k` by a
+/// library Reduce node.
+pub fn build_mapreduce_mm() -> Sdfg {
+    let mut b = SdfgBuilder::new("mm_mapreduce");
+    b.symbol("M");
+    b.symbol("N");
+    b.symbol("K");
+    b.array("A", &["M", "K"], DType::F64);
+    b.array("B", &["K", "N"], DType::F64);
+    b.array("C", &["M", "N"], DType::F64);
+    b.transient("tmp", &["M", "N", "K"], DType::F64);
+    let st = b.state("main");
+    b.mapped_tasklet(
+        st,
+        "mult",
+        &[("i", "0:M"), ("j", "0:N"), ("k", "0:K")],
+        &[("a", "A", "i, k"), ("bb", "B", "k, j")],
+        "o = a * bb",
+        &[("o", "tmp", "i, j, k")],
+    );
+    b.reduce(
+        st,
+        "tmp",
+        "0:M, 0:N, 0:K",
+        "C",
+        "0:M, 0:N",
+        Wcr::Sum,
+        Some(vec![2]),
+        Some(0.0),
+    );
+    b.build().expect("valid map-reduce MM")
+}
+
+/// The Fig. 15 transformation chain, in application order. Each entry is
+/// `(step name, chain prefix)` so benches can measure every intermediate
+/// point ("not all transformations yield immediate speedups, yet they are
+/// necessary to expose the next steps").
+pub fn chain_steps() -> Vec<(&'static str, Chain)> {
+    let full = Chain::new()
+        // ❶ Fuse the product map with the reduction into a WCR memlet.
+        .then("MapReduceFusion", &[])
+        // ❷ Reorder the map so the unit-stride dimension is innermost.
+        .then("MapInterchange", &[("order", "0,2,1")])
+        // ❸ Tile for the cache hierarchy.
+        .then("MapTiling", &[("tile_sizes", "64,64,64"), ("dims", "0,1,2")])
+        // ❹ Split tile loops from intra-tile loops.
+        .then("MapExpansion", &[])
+        // ❺ Pack the B tile into contiguous local storage.
+        .then("LocalStorage", &[("data", "B")])
+        // ❻ Vectorize the innermost dimension.
+        .then("Vectorization", &[("width", "4")]);
+    let names = [
+        "Unoptimized",
+        "MapReduceFusion",
+        "LoopReorder",
+        "Tiling",
+        "MapExpansion",
+        "LocalStorage(B)",
+        "Vectorization",
+    ];
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (
+                *name,
+                Chain {
+                    steps: full.steps[..i].to_vec(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Builds the workload at a given chain prefix.
+pub fn build_step(step: usize, n: usize) -> Workload {
+    let steps = chain_steps();
+    let (name, chain) = &steps[step.min(steps.len() - 1)];
+    let mut sdfg = build_mapreduce_mm();
+    chain.apply(&mut sdfg).expect("chain applies");
+    sdfg.validate().expect("valid after chain prefix");
+    Workload::new(format!("mm_chain/{name}"), sdfg)
+        .symbol("M", n as i64)
+        .symbol("K", n as i64)
+        .symbol("N", n as i64)
+        .array("A", pseudo_random(n * n, 51))
+        .array("B", pseudo_random(n * n, 53))
+        .array("C", vec![0.0; n * n])
+        .check("C")
+}
+
+/// Number of chain points (including "Unoptimized").
+pub fn num_steps() -> usize {
+    chain_steps().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::assert_allclose;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_chain_prefix_is_correct() {
+        let n = 20usize;
+        let base = build_step(0, n);
+        let mut c_ref = vec![0.0; n * n];
+        crate::tuned::gemm_naive(&base.arrays["A"], &base.arrays["B"], &mut c_ref, n, n, n);
+        let reference = HashMap::from([("C".to_string(), c_ref)]);
+        for step in 0..num_steps() {
+            let w = build_step(step, n);
+            let (got, _, _) = w
+                .run_exec()
+                .unwrap_or_else(|e| panic!("step {step} ({}) failed: {e}", w.name));
+            assert_allclose(&w.check, &got, &reference, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fusion_removes_the_cubic_transient() {
+        let mut sdfg = build_mapreduce_mm();
+        assert!(sdfg.desc("tmp").is_some());
+        chain_steps()[1].1.apply(&mut sdfg).unwrap();
+        assert!(sdfg.desc("tmp").is_none(), "tmp eliminated by fusion");
+    }
+
+    #[test]
+    fn local_storage_step_adds_packing_buffer() {
+        let w = build_step(5, 16);
+        assert!(
+            w.sdfg.desc("local_B").is_some(),
+            "B packed into local storage"
+        );
+    }
+}

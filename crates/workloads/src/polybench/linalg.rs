@@ -1,0 +1,634 @@
+//! BLAS-like Polybench kernels: flat/triangular parallel maps with WCR
+//! reductions. All built through the restricted-Python frontend (§2.1);
+//! α = 1.5 and β = 1.2 (the Polybench defaults) are inlined as constants.
+
+use super::{init1, init2};
+use crate::workload::Workload;
+use sdfg_core::Sdfg;
+use sdfg_frontend::parse_program;
+use std::collections::HashMap;
+
+const ALPHA: f64 = 1.5;
+const BETA: f64 = 1.2;
+
+fn build(src: &str) -> Sdfg {
+    parse_program(src).unwrap_or_else(|e| panic!("polybench program parse error: {e}"))
+}
+
+fn mark_transient(sdfg: &mut Sdfg, names: &[&str]) {
+    for n in names {
+        sdfg.desc_mut(n)
+            .unwrap_or_else(|| panic!("no container `{n}`"))
+            .set_transient(true);
+    }
+}
+
+// --- gemm ----------------------------------------------------------------------
+
+/// `gemm`: C = α·A·B + β·C.
+pub fn gemm(n: usize) -> Workload {
+    let src = r#"
+def gemm(A: dace.float64[NI, NK], B: dace.float64[NK, NJ], C: dace.float64[NI, NJ]):
+    for i, j in dace.map[0:NI, 0:NJ]:
+        C[i, j] = C[i, j] * 1.2
+    for i, j, k in dace.map[0:NI, 0:NJ, 0:NK]:
+        C[i, j] += 1.5 * A[i, k] * B[k, j]
+"#;
+    let (ni, nj, nk) = (n, n + n / 5, n + n / 10);
+    Workload::new("gemm", build(src))
+        .symbol("NI", ni as i64)
+        .symbol("NJ", nj as i64)
+        .symbol("NK", nk as i64)
+        .array("A", init2(ni, nk, |i, k| ((i * k + 1) % ni) as f64 / ni as f64))
+        .array("B", init2(nk, nj, |k, j| ((k * (j + 1)) % nj) as f64 / nj as f64))
+        .array("C", init2(ni, nj, |i, j| ((i * (j + 2)) % nj) as f64 / nj as f64))
+        .check("C")
+}
+
+/// Reference for [`gemm`].
+pub fn gemm_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (ni, nj, nk) = (
+        w.sym("NI") as usize,
+        w.sym("NJ") as usize,
+        w.sym("NK") as usize,
+    );
+    let (a, b) = (&w.arrays["A"], &w.arrays["B"]);
+    let mut c = w.arrays["C"].clone();
+    for v in c.iter_mut() {
+        *v *= BETA;
+    }
+    for i in 0..ni {
+        for j in 0..nj {
+            for k in 0..nk {
+                c[i * nj + j] += ALPHA * a[i * nk + k] * b[k * nj + j];
+            }
+        }
+    }
+    HashMap::from([("C".to_string(), c)])
+}
+
+// --- 2mm -----------------------------------------------------------------------
+
+/// `2mm`: D = α·A·B·C + β·D.
+pub fn mm2(n: usize) -> Workload {
+    let src = r#"
+def mm2(A: dace.float64[NI, NK], B: dace.float64[NK, NJ], C: dace.float64[NJ, NL],
+        D: dace.float64[NI, NL], tmp: dace.float64[NI, NJ]):
+    for i, j, k in dace.map[0:NI, 0:NJ, 0:NK]:
+        tmp[i, j] += 1.5 * A[i, k] * B[k, j]
+    for i, l in dace.map[0:NI, 0:NL]:
+        D[i, l] = D[i, l] * 1.2
+    for i, l, j in dace.map[0:NI, 0:NL, 0:NJ]:
+        D[i, l] += tmp[i, j] * C[j, l]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["tmp"]);
+    let (ni, nj, nk, nl) = (n, n + 1, n + 2, n + 3);
+    Workload::new("2mm", sdfg)
+        .symbol("NI", ni as i64)
+        .symbol("NJ", nj as i64)
+        .symbol("NK", nk as i64)
+        .symbol("NL", nl as i64)
+        .array("A", init2(ni, nk, |i, j| ((i * j + 1) % ni) as f64 / ni as f64))
+        .array("B", init2(nk, nj, |i, j| ((i * (j + 1)) % nj) as f64 / nj as f64))
+        .array("C", init2(nj, nl, |i, j| ((i * (j + 3) + 1) % nl) as f64 / nl as f64))
+        .array("D", init2(ni, nl, |i, j| ((i * (j + 2)) % nk) as f64 / nk as f64))
+        .check("D")
+}
+
+/// Reference for [`mm2`].
+pub fn mm2_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (ni, nj, nk, nl) = (
+        w.sym("NI") as usize,
+        w.sym("NJ") as usize,
+        w.sym("NK") as usize,
+        w.sym("NL") as usize,
+    );
+    let (a, b, c) = (&w.arrays["A"], &w.arrays["B"], &w.arrays["C"]);
+    let mut tmp = vec![0.0; ni * nj];
+    for i in 0..ni {
+        for j in 0..nj {
+            for k in 0..nk {
+                tmp[i * nj + j] += ALPHA * a[i * nk + k] * b[k * nj + j];
+            }
+        }
+    }
+    let mut d = w.arrays["D"].clone();
+    for v in d.iter_mut() {
+        *v *= BETA;
+    }
+    for i in 0..ni {
+        for l in 0..nl {
+            for j in 0..nj {
+                d[i * nl + l] += tmp[i * nj + j] * c[j * nl + l];
+            }
+        }
+    }
+    HashMap::from([("D".to_string(), d)])
+}
+
+// --- 3mm -----------------------------------------------------------------------
+
+/// `3mm`: G = (A·B)·(C·D).
+pub fn mm3(n: usize) -> Workload {
+    let src = r#"
+def mm3(A: dace.float64[NI, NK], B: dace.float64[NK, NJ], C: dace.float64[NJ, NM],
+        D: dace.float64[NM, NL], G: dace.float64[NI, NL],
+        E: dace.float64[NI, NJ], F: dace.float64[NJ, NL]):
+    for i, j, k in dace.map[0:NI, 0:NJ, 0:NK]:
+        E[i, j] += A[i, k] * B[k, j]
+    for j, l, m in dace.map[0:NJ, 0:NL, 0:NM]:
+        F[j, l] += C[j, m] * D[m, l]
+    for i, l, j in dace.map[0:NI, 0:NL, 0:NJ]:
+        G[i, l] += E[i, j] * F[j, l]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["E", "F"]);
+    let (ni, nj, nk, nl, nm) = (n, n + 1, n + 2, n + 3, n + 4);
+    Workload::new("3mm", sdfg)
+        .symbol("NI", ni as i64)
+        .symbol("NJ", nj as i64)
+        .symbol("NK", nk as i64)
+        .symbol("NL", nl as i64)
+        .symbol("NM", nm as i64)
+        .array("A", init2(ni, nk, |i, j| ((i * j + 1) % ni) as f64 * 0.2))
+        .array("B", init2(nk, nj, |i, j| ((i * (j + 1) + 2) % nj) as f64 * 0.15))
+        .array("C", init2(nj, nm, |i, j| (i * (j + 3) % nl) as f64 * 0.11))
+        .array("D", init2(nm, nl, |i, j| ((i * (j + 2) + 2) % nk) as f64 * 0.09))
+        .array("G", vec![0.0; ni * nl])
+        .check("G")
+}
+
+/// Reference for [`mm3`].
+pub fn mm3_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (ni, nj, nk, nl, nm) = (
+        w.sym("NI") as usize,
+        w.sym("NJ") as usize,
+        w.sym("NK") as usize,
+        w.sym("NL") as usize,
+        w.sym("NM") as usize,
+    );
+    let (a, b, c, d) = (
+        &w.arrays["A"],
+        &w.arrays["B"],
+        &w.arrays["C"],
+        &w.arrays["D"],
+    );
+    let mut e = vec![0.0; ni * nj];
+    for i in 0..ni {
+        for j in 0..nj {
+            for k in 0..nk {
+                e[i * nj + j] += a[i * nk + k] * b[k * nj + j];
+            }
+        }
+    }
+    let mut f = vec![0.0; nj * nl];
+    for j in 0..nj {
+        for l in 0..nl {
+            for m in 0..nm {
+                f[j * nl + l] += c[j * nm + m] * d[m * nl + l];
+            }
+        }
+    }
+    let mut g = vec![0.0; ni * nl];
+    for i in 0..ni {
+        for l in 0..nl {
+            for j in 0..nj {
+                g[i * nl + l] += e[i * nj + j] * f[j * nl + l];
+            }
+        }
+    }
+    HashMap::from([("G".to_string(), g)])
+}
+
+// --- atax ----------------------------------------------------------------------
+
+/// `atax`: y = Aᵀ(A·x).
+pub fn atax(n: usize) -> Workload {
+    let src = r#"
+def atax(A: dace.float64[M, N], x: dace.float64[N], y: dace.float64[N],
+         tmp: dace.float64[M]):
+    for i, j in dace.map[0:M, 0:N]:
+        tmp[i] += A[i, j] * x[j]
+    for i, j in dace.map[0:M, 0:N]:
+        y[j] += A[i, j] * tmp[i]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["tmp"]);
+    let (m, nn) = (n, n + n / 4);
+    Workload::new("atax", sdfg)
+        .symbol("M", m as i64)
+        .symbol("N", nn as i64)
+        .array("A", init2(m, nn, |i, j| ((i + j) % nn) as f64 / (5 * m) as f64))
+        .array("x", init1(nn, |i| 1.0 + i as f64 / nn as f64))
+        .array("y", vec![0.0; nn])
+        .check("y")
+}
+
+/// Reference for [`atax`].
+pub fn atax_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (m, n) = (w.sym("M") as usize, w.sym("N") as usize);
+    let (a, x) = (&w.arrays["A"], &w.arrays["x"]);
+    let mut tmp = vec![0.0; m];
+    for i in 0..m {
+        for j in 0..n {
+            tmp[i] += a[i * n + j] * x[j];
+        }
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..m {
+        for j in 0..n {
+            y[j] += a[i * n + j] * tmp[i];
+        }
+    }
+    HashMap::from([("y".to_string(), y)])
+}
+
+// --- bicg ----------------------------------------------------------------------
+
+/// `bicg`: s = rᵀ·A, q = A·p.
+pub fn bicg(n: usize) -> Workload {
+    let src = r#"
+def bicg(A: dace.float64[N, M], r: dace.float64[N], p: dace.float64[M],
+         s: dace.float64[M], q: dace.float64[N]):
+    for i, j in dace.map[0:N, 0:M]:
+        s[j] += r[i] * A[i, j]
+    for i, j in dace.map[0:N, 0:M]:
+        q[i] += A[i, j] * p[j]
+"#;
+    let (nn, m) = (n, n + n / 5);
+    Workload::new("bicg", build(src))
+        .symbol("N", nn as i64)
+        .symbol("M", m as i64)
+        .array("A", init2(nn, m, |i, j| ((i * (j + 1)) % nn) as f64 / nn as f64))
+        .array("r", init1(nn, |i| (i % nn) as f64 / nn as f64))
+        .array("p", init1(m, |i| (i % m) as f64 / m as f64))
+        .array("s", vec![0.0; m])
+        .array("q", vec![0.0; nn])
+        .check("s")
+        .check("q")
+}
+
+/// Reference for [`bicg`].
+pub fn bicg_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (n, m) = (w.sym("N") as usize, w.sym("M") as usize);
+    let (a, r, p) = (&w.arrays["A"], &w.arrays["r"], &w.arrays["p"]);
+    let mut s = vec![0.0; m];
+    let mut q = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..m {
+            s[j] += r[i] * a[i * m + j];
+            q[i] += a[i * m + j] * p[j];
+        }
+    }
+    HashMap::from([("s".to_string(), s), ("q".to_string(), q)])
+}
+
+// --- mvt -----------------------------------------------------------------------
+
+/// `mvt`: x1 += A·y1, x2 += Aᵀ·y2.
+pub fn mvt(n: usize) -> Workload {
+    let src = r#"
+def mvt(A: dace.float64[N, N], x1: dace.float64[N], x2: dace.float64[N],
+        y1: dace.float64[N], y2: dace.float64[N]):
+    for i, j in dace.map[0:N, 0:N]:
+        x1[i] += A[i, j] * y1[j]
+    for i, j in dace.map[0:N, 0:N]:
+        x2[i] += A[j, i] * y2[j]
+"#;
+    Workload::new("mvt", build(src))
+        .symbol("N", n as i64)
+        .array("A", init2(n, n, |i, j| ((i * j) % n) as f64 / n as f64))
+        .array("x1", init1(n, |i| (i % n) as f64 / n as f64))
+        .array("x2", init1(n, |i| ((i + 1) % n) as f64 / n as f64))
+        .array("y1", init1(n, |i| ((i + 3) % n) as f64 / n as f64))
+        .array("y2", init1(n, |i| ((i + 4) % n) as f64 / n as f64))
+        .check("x1")
+        .check("x2")
+}
+
+/// Reference for [`mvt`].
+pub fn mvt_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let a = &w.arrays["A"];
+    let mut x1 = w.arrays["x1"].clone();
+    let mut x2 = w.arrays["x2"].clone();
+    for i in 0..n {
+        for j in 0..n {
+            x1[i] += a[i * n + j] * w.arrays["y1"][j];
+            x2[i] += a[j * n + i] * w.arrays["y2"][j];
+        }
+    }
+    HashMap::from([("x1".to_string(), x1), ("x2".to_string(), x2)])
+}
+
+// --- gesummv -------------------------------------------------------------------
+
+/// `gesummv`: y = α·A·x + β·B·x.
+pub fn gesummv(n: usize) -> Workload {
+    let src = r#"
+def gesummv(A: dace.float64[N, N], B: dace.float64[N, N], x: dace.float64[N],
+            y: dace.float64[N], ta: dace.float64[N], tb: dace.float64[N]):
+    for i, j in dace.map[0:N, 0:N]:
+        ta[i] += A[i, j] * x[j]
+    for i, j in dace.map[0:N, 0:N]:
+        tb[i] += B[i, j] * x[j]
+    for i in dace.map[0:N]:
+        y[i] = 1.5 * ta[i] + 1.2 * tb[i]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["ta", "tb"]);
+    Workload::new("gesummv", sdfg)
+        .symbol("N", n as i64)
+        .array("A", init2(n, n, |i, j| ((i * j + 1) % n) as f64 / n as f64))
+        .array("B", init2(n, n, |i, j| ((i * j + 2) % n) as f64 / n as f64))
+        .array("x", init1(n, |i| (i % n) as f64 / n as f64))
+        .array("y", vec![0.0; n])
+        .check("y")
+}
+
+/// Reference for [`gesummv`].
+pub fn gesummv_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let (a, b, x) = (&w.arrays["A"], &w.arrays["B"], &w.arrays["x"]);
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let (mut ta, mut tb) = (0.0, 0.0);
+        for j in 0..n {
+            ta += a[i * n + j] * x[j];
+            tb += b[i * n + j] * x[j];
+        }
+        y[i] = ALPHA * ta + BETA * tb;
+    }
+    HashMap::from([("y".to_string(), y)])
+}
+
+// --- gemver --------------------------------------------------------------------
+
+/// `gemver`: rank-2 update, two matrix-vector products.
+pub fn gemver(n: usize) -> Workload {
+    let src = r#"
+def gemver(A: dace.float64[N, N], u1: dace.float64[N], v1: dace.float64[N],
+           u2: dace.float64[N], v2: dace.float64[N], w: dace.float64[N],
+           x: dace.float64[N], y: dace.float64[N], z: dace.float64[N]):
+    for i, j in dace.map[0:N, 0:N]:
+        A[i, j] = A[i, j] + u1[i] * v1[j] + u2[i] * v2[j]
+    for i, j in dace.map[0:N, 0:N]:
+        x[i] += 1.2 * A[j, i] * y[j]
+    for i in dace.map[0:N]:
+        x[i] = x[i] + z[i]
+    for i, j in dace.map[0:N, 0:N]:
+        w[i] += 1.5 * A[i, j] * x[j]
+"#;
+    Workload::new("gemver", build(src))
+        .symbol("N", n as i64)
+        .array("A", init2(n, n, |i, j| ((i * j) % n) as f64 / n as f64))
+        .array("u1", init1(n, |i| i as f64 / n as f64))
+        .array("v1", init1(n, |i| (i + 1) as f64 / n as f64 / 2.0))
+        .array("u2", init1(n, |i| (i + 2) as f64 / n as f64 / 4.0))
+        .array("v2", init1(n, |i| (i + 3) as f64 / n as f64 / 6.0))
+        .array("w", vec![0.0; n])
+        .array("x", vec![0.0; n])
+        .array("y", init1(n, |i| (i + 4) as f64 / n as f64 / 8.0))
+        .array("z", init1(n, |i| (i + 5) as f64 / n as f64 / 9.0))
+        .check("w")
+}
+
+/// Reference for [`gemver`].
+pub fn gemver_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let mut a = w.arrays["A"].clone();
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] +=
+                w.arrays["u1"][i] * w.arrays["v1"][j] + w.arrays["u2"][i] * w.arrays["v2"][j];
+        }
+    }
+    let mut x = w.arrays["x"].clone();
+    for i in 0..n {
+        for j in 0..n {
+            x[i] += BETA * a[j * n + i] * w.arrays["y"][j];
+        }
+    }
+    for i in 0..n {
+        x[i] += w.arrays["z"][i];
+    }
+    let mut ww = w.arrays["w"].clone();
+    for i in 0..n {
+        for j in 0..n {
+            ww[i] += ALPHA * a[i * n + j] * x[j];
+        }
+    }
+    HashMap::from([("w".to_string(), ww)])
+}
+
+// --- syrk / syr2k (triangular updates) -------------------------------------------
+
+/// `syrk`: C(lower) = α·A·Aᵀ + β·C.
+pub fn syrk(n: usize) -> Workload {
+    let src = r#"
+def syrk(A: dace.float64[N, M], C: dace.float64[N, N]):
+    for i, j in dace.map[0:N, 0:i + 1]:
+        C[i, j] = C[i, j] * 1.2
+    for i, j, k in dace.map[0:N, 0:i + 1, 0:M]:
+        C[i, j] += 1.5 * A[i, k] * A[j, k]
+"#;
+    let (nn, m) = (n, n + n / 5);
+    Workload::new("syrk", build(src))
+        .symbol("N", nn as i64)
+        .symbol("M", m as i64)
+        .array("A", init2(nn, m, |i, j| ((i * j + 1) % nn) as f64 / nn as f64))
+        .array("C", init2(nn, nn, |i, j| ((i * j + 2) % m) as f64 / m as f64))
+        .check("C")
+}
+
+/// Reference for [`syrk`].
+pub fn syrk_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (n, m) = (w.sym("N") as usize, w.sym("M") as usize);
+    let a = &w.arrays["A"];
+    let mut c = w.arrays["C"].clone();
+    for i in 0..n {
+        for j in 0..=i {
+            c[i * n + j] *= BETA;
+            for k in 0..m {
+                c[i * n + j] += ALPHA * a[i * m + k] * a[j * m + k];
+            }
+        }
+    }
+    HashMap::from([("C".to_string(), c)])
+}
+
+/// `syr2k`: C(lower) = α·(A·Bᵀ + B·Aᵀ) + β·C.
+pub fn syr2k(n: usize) -> Workload {
+    let src = r#"
+def syr2k(A: dace.float64[N, M], B: dace.float64[N, M], C: dace.float64[N, N]):
+    for i, j in dace.map[0:N, 0:i + 1]:
+        C[i, j] = C[i, j] * 1.2
+    for i, j, k in dace.map[0:N, 0:i + 1, 0:M]:
+        C[i, j] += 1.5 * A[j, k] * B[i, k] + 1.5 * B[j, k] * A[i, k]
+"#;
+    let (nn, m) = (n, n + n / 5);
+    Workload::new("syr2k", build(src))
+        .symbol("N", nn as i64)
+        .symbol("M", m as i64)
+        .array("A", init2(nn, m, |i, j| ((i * j + 1) % nn) as f64 / nn as f64))
+        .array("B", init2(nn, m, |i, j| ((i * j + 2) % m) as f64 / m as f64))
+        .array("C", init2(nn, nn, |i, j| ((i * j + 3) % nn) as f64 / nn as f64))
+        .check("C")
+}
+
+/// Reference for [`syr2k`].
+pub fn syr2k_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (n, m) = (w.sym("N") as usize, w.sym("M") as usize);
+    let (a, b) = (&w.arrays["A"], &w.arrays["B"]);
+    let mut c = w.arrays["C"].clone();
+    for i in 0..n {
+        for j in 0..=i {
+            c[i * n + j] *= BETA;
+            for k in 0..m {
+                c[i * n + j] +=
+                    ALPHA * a[j * m + k] * b[i * m + k] + ALPHA * b[j * m + k] * a[i * m + k];
+            }
+        }
+    }
+    HashMap::from([("C".to_string(), c)])
+}
+
+// --- symm ----------------------------------------------------------------------
+
+/// `symm`: C = α·A·B + β·C with symmetric A (lower stored).
+pub fn symm(n: usize) -> Workload {
+    let src = r#"
+def symm(A: dace.float64[M, M], B: dace.float64[M, N], C: dace.float64[M, N]):
+    for i, j in dace.map[0:M, 0:N]:
+        C[i, j] = 1.2 * C[i, j] + 1.5 * B[i, j] * A[i, i]
+    for i, j, k in dace.map[0:M, 0:N, 0:i]:
+        with dace.tasklet:
+            bij << B[i, j]
+            bkj << B[k, j]
+            aik << A[i, k]
+            o1 >> C(1, dace.sum)[k, j]
+            o2 >> C(1, dace.sum)[i, j]
+            o1 = 1.5 * bij * aik
+            o2 = 1.5 * bkj * aik
+"#;
+    let (m, nn) = (n, n + n / 5);
+    Workload::new("symm", build(src))
+        .symbol("M", m as i64)
+        .symbol("N", nn as i64)
+        .array("A", init2(m, m, |i, j| ((i + j) % 100) as f64 / m as f64))
+        .array("B", init2(m, nn, |i, j| ((nn + i - j) % 100) as f64 / m as f64))
+        .array("C", init2(m, nn, |i, j| ((i + j) % 100) as f64 / m as f64))
+        .check("C")
+}
+
+/// Reference for [`symm`] (Polybench 4.2 semantics).
+pub fn symm_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (m, n) = (w.sym("M") as usize, w.sym("N") as usize);
+    let (a, b) = (&w.arrays["A"], &w.arrays["B"]);
+    let mut c = w.arrays["C"].clone();
+    for i in 0..m {
+        for j in 0..n {
+            let mut temp2 = 0.0;
+            for k in 0..i {
+                c[k * n + j] += ALPHA * b[i * n + j] * a[i * m + k];
+                temp2 += b[k * n + j] * a[i * m + k];
+            }
+            c[i * n + j] = BETA * c[i * n + j]
+                + ALPHA * b[i * n + j] * a[i * m + i]
+                + ALPHA * temp2;
+        }
+    }
+    HashMap::from([("C".to_string(), c)])
+}
+
+// --- trmm ----------------------------------------------------------------------
+
+/// `trmm`: B = α·Aᵀ·B with unit-lower-triangular A.
+pub fn trmm(n: usize) -> Workload {
+    let src = r#"
+def trmm(A: dace.float64[M, M], B: dace.float64[M, N], Borig: dace.float64[M, N]):
+    for i, j in dace.map[0:M, 0:N]:
+        Borig[i, j] = B[i, j]
+    for i, j, k in dace.map[0:M, 0:N, i + 1:M]:
+        B[i, j] += A[k, i] * Borig[k, j]
+    for i, j in dace.map[0:M, 0:N]:
+        B[i, j] = B[i, j] * 1.5
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["Borig"]);
+    let (m, nn) = (n, n + n / 5);
+    Workload::new("trmm", sdfg)
+        .symbol("M", m as i64)
+        .symbol("N", nn as i64)
+        .array("A", init2(m, m, |i, j| ((i * j) % m) as f64 / m as f64))
+        .array("B", init2(m, nn, |i, j| ((nn + i - j) % nn) as f64 / nn as f64))
+        .check("B")
+}
+
+/// Reference for [`trmm`].
+pub fn trmm_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (m, n) = (w.sym("M") as usize, w.sym("N") as usize);
+    let a = &w.arrays["A"];
+    let mut b = w.arrays["B"].clone();
+    for i in 0..m {
+        for j in 0..n {
+            for k in i + 1..m {
+                b[i * n + j] += a[k * m + i] * w.arrays["B"][k * n + j];
+            }
+            b[i * n + j] *= ALPHA;
+        }
+    }
+    HashMap::from([("B".to_string(), b)])
+}
+
+// --- doitgen -------------------------------------------------------------------
+
+/// `doitgen`: multiresolution analysis kernel.
+pub fn doitgen(n: usize) -> Workload {
+    let src = r#"
+def doitgen(A: dace.float64[R, Q, P], C4: dace.float64[P, P],
+            sum3: dace.float64[R, Q, P]):
+    for r, q, p, s in dace.map[0:R, 0:Q, 0:P, 0:P]:
+        sum3[r, q, p] += A[r, q, s] * C4[s, p]
+    for r, q, p in dace.map[0:R, 0:Q, 0:P]:
+        A[r, q, p] = sum3[r, q, p]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["sum3"]);
+    let (r, q, p) = (n, n + 1, n + 2);
+    Workload::new("doitgen", sdfg)
+        .symbol("R", r as i64)
+        .symbol("Q", q as i64)
+        .symbol("P", p as i64)
+        .array(
+            "A",
+            super::init2(r * q, p, |iq, j| ((iq * j) % p) as f64 / p as f64),
+        )
+        .array("C4", init2(p, p, |i, j| ((i * j) % p) as f64 / p as f64))
+        .check("A")
+}
+
+/// Reference for [`doitgen`].
+pub fn doitgen_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (r, q, p) = (
+        w.sym("R") as usize,
+        w.sym("Q") as usize,
+        w.sym("P") as usize,
+    );
+    let c4 = &w.arrays["C4"];
+    let mut a = w.arrays["A"].clone();
+    let mut sum = vec![0.0; p];
+    for rr in 0..r {
+        for qq in 0..q {
+            for pp in 0..p {
+                sum[pp] = 0.0;
+                for s in 0..p {
+                    sum[pp] += a[(rr * q + qq) * p + s] * c4[s * p + pp];
+                }
+            }
+            a[(rr * q + qq) * p..(rr * q + qq) * p + p].copy_from_slice(&sum);
+        }
+    }
+    HashMap::from([("A".to_string(), a)])
+}

@@ -1,0 +1,263 @@
+//! Statistics, dynamic programming and path kernels.
+
+use super::init2;
+use crate::workload::Workload;
+use sdfg_core::Sdfg;
+use sdfg_frontend::parse_program;
+use std::collections::HashMap;
+
+fn build(src: &str) -> Sdfg {
+    parse_program(src).unwrap_or_else(|e| panic!("polybench misc parse error: {e}"))
+}
+
+// --- covariance ------------------------------------------------------------------
+
+/// `covariance`: column means, centering, covariance matrix.
+pub fn covariance(n: usize) -> Workload {
+    let src = r#"
+def covariance(data: dace.float64[NP, M], cov: dace.float64[M, M],
+               mean: dace.float64[M]):
+    for i, j in dace.map[0:NP, 0:M]:
+        mean[j] += data[i, j] / NP
+    for i, j in dace.map[0:NP, 0:M]:
+        data[i, j] = data[i, j] - mean[j]
+    for i, j in dace.map[0:M, 0:i + 1]:
+        for k in dace.map[0:NP]:
+            cov[i, j] += data[k, i] * data[k, j] / (NP - 1)
+    for i, j in dace.map[0:M, 0:i + 1]:
+        cov[j, i] = cov[i, j]
+"#;
+    let mut sdfg = build(src);
+    sdfg.desc_mut("mean").unwrap().set_transient(true);
+    let (np, m) = (n + n / 4, n);
+    Workload::new("covariance", sdfg)
+        .symbol("NP", np as i64)
+        .symbol("M", m as i64)
+        .array("data", init2(np, m, |i, j| ((i * j) % np) as f64 / m as f64))
+        .array("cov", vec![0.0; m * m])
+        .check("cov")
+}
+
+/// Reference for [`covariance`].
+pub fn covariance_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (np, m) = (w.sym("NP") as usize, w.sym("M") as usize);
+    let mut data = w.arrays["data"].clone();
+    let mut mean = vec![0.0; m];
+    for i in 0..np {
+        for j in 0..m {
+            mean[j] += data[i * m + j] / np as f64;
+        }
+    }
+    for i in 0..np {
+        for j in 0..m {
+            data[i * m + j] -= mean[j];
+        }
+    }
+    let mut cov = vec![0.0; m * m];
+    for i in 0..m {
+        for j in 0..=i {
+            for k in 0..np {
+                cov[i * m + j] += data[k * m + i] * data[k * m + j] / (np as f64 - 1.0);
+            }
+            cov[j * m + i] = cov[i * m + j];
+        }
+    }
+    HashMap::from([("cov".to_string(), cov)])
+}
+
+// --- correlation ----------------------------------------------------------------
+
+/// `correlation`: means, standard deviations, normalization, correlation
+/// matrix. The stddev guard (`stddev <= 0.1 → 1.0`) uses a conditional
+/// tasklet.
+pub fn correlation(n: usize) -> Workload {
+    let src = r#"
+def correlation(data: dace.float64[NP, M], corr: dace.float64[M, M],
+                mean: dace.float64[M], stddev: dace.float64[M]):
+    for i, j in dace.map[0:NP, 0:M]:
+        mean[j] += data[i, j] / NP
+    for i, j in dace.map[0:NP, 0:M]:
+        stddev[j] += (data[i, j] - mean[j]) * (data[i, j] - mean[j]) / NP
+    for j in dace.map[0:M]:
+        with dace.tasklet:
+            s << stddev[j]
+            o >> stddev[j]
+            r = sqrt(s)
+            o = 1.0 if r <= 0.1 else r
+    for i, j in dace.map[0:NP, 0:M]:
+        data[i, j] = (data[i, j] - mean[j]) / (sqrt(NP) * stddev[j])
+    for i in dace.map[0:M]:
+        corr[i, i] = 1.0
+    for i, j in dace.map[0:M, 0:i]:
+        for k in dace.map[0:NP]:
+            corr[i, j] += data[k, i] * data[k, j]
+    for i, j in dace.map[0:M, 0:i]:
+        corr[j, i] = corr[i, j]
+"#;
+    let mut sdfg = build(src);
+    sdfg.desc_mut("mean").unwrap().set_transient(true);
+    sdfg.desc_mut("stddev").unwrap().set_transient(true);
+    let (np, m) = (n + n / 4, n);
+    Workload::new("correlation", sdfg)
+        .symbol("NP", np as i64)
+        .symbol("M", m as i64)
+        .array(
+            "data",
+            init2(np, m, |i, j| (i * j) as f64 / np as f64 + i as f64),
+        )
+        .array("corr", vec![0.0; m * m])
+        .check("corr")
+}
+
+/// Reference for [`correlation`].
+pub fn correlation_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (np, m) = (w.sym("NP") as usize, w.sym("M") as usize);
+    let npf = np as f64;
+    let mut data = w.arrays["data"].clone();
+    let mut mean = vec![0.0; m];
+    for i in 0..np {
+        for j in 0..m {
+            mean[j] += data[i * m + j] / npf;
+        }
+    }
+    let mut stddev = vec![0.0; m];
+    for i in 0..np {
+        for j in 0..m {
+            stddev[j] += (data[i * m + j] - mean[j]) * (data[i * m + j] - mean[j]) / npf;
+        }
+    }
+    for s in stddev.iter_mut() {
+        let r = s.sqrt();
+        *s = if r <= 0.1 { 1.0 } else { r };
+    }
+    for i in 0..np {
+        for j in 0..m {
+            data[i * m + j] = (data[i * m + j] - mean[j]) / (npf.sqrt() * stddev[j]);
+        }
+    }
+    let mut corr = vec![0.0; m * m];
+    for i in 0..m {
+        corr[i * m + i] = 1.0;
+        for j in 0..i {
+            for k in 0..np {
+                corr[i * m + j] += data[k * m + i] * data[k * m + j];
+            }
+            corr[j * m + i] = corr[i * m + j];
+        }
+    }
+    HashMap::from([("corr".to_string(), corr)])
+}
+
+// --- floyd-warshall --------------------------------------------------------------
+
+/// `floyd-warshall`: all-pairs shortest paths — the classic `k` state loop
+/// around a parallel min-plus map.
+pub fn floyd_warshall(n: usize) -> Workload {
+    let src = r#"
+def floyd_warshall(P: dace.float64[N, N]):
+    for k in range(N):
+        for i, j in dace.map[0:N, 0:N]:
+            P[i, j] = min(P[i, j], P[i, k] + P[k, j])
+"#;
+    let mut p = init2(n, n, |i, j| {
+        let v = (i * j % 7 + 1) as f64;
+        if (i + j) % 13 == 0 || i == j {
+            if i == j {
+                0.0
+            } else {
+                999.0
+            }
+        } else {
+            v
+        }
+    });
+    for i in 0..n {
+        p[i * n + i] = 0.0;
+    }
+    Workload::new("floyd-warshall", build(src))
+        .symbol("N", n as i64)
+        .array("P", p)
+        .check("P")
+}
+
+/// Reference for [`floyd_warshall`].
+pub fn floyd_warshall_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let mut p = w.arrays["P"].clone();
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = p[i * n + k] + p[k * n + j];
+                if via < p[i * n + j] {
+                    p[i * n + j] = via;
+                }
+            }
+        }
+    }
+    HashMap::from([("P".to_string(), p)])
+}
+
+// --- nussinov --------------------------------------------------------------------
+
+/// `nussinov`: RNA secondary-structure dynamic programming over
+/// anti-diagonals, with a Max-WCR inner map for the split point.
+pub fn nussinov(n: usize) -> Workload {
+    let src = r#"
+def nussinov(seq: dace.float64[N], table: dace.float64[N, N]):
+    for i in range(N - 2, -1, -1):
+        for j in range(i + 1, N):
+            with dace.tasklet:
+                cur << table[i, j]
+                left << table[i, j - 1]
+                o >> table[i, j]
+                o = max(cur, left)
+            with dace.tasklet:
+                cur << table[i, j]
+                down << table[i + 1, j]
+                o >> table[i, j]
+                o = max(cur, down)
+            if j > i + 1:
+                with dace.tasklet:
+                    cur << table[i, j]
+                    diag << table[i + 1, j - 1]
+                    si << seq[i]
+                    sj << seq[j]
+                    o >> table[i, j]
+                    m = 1 if si + sj == 3 else 0
+                    o = max(cur, diag + m)
+            for k in dace.map[i + 1:j]:
+                with dace.tasklet:
+                    a << table[i, k]
+                    b << table[k + 1, j]
+                    o >> table(1, dace.max)[i, j]
+                    o = a + b
+"#;
+    let seq: Vec<f64> = (0..n).map(|i| ((i + 1) % 4) as f64).collect();
+    Workload::new("nussinov", build(src))
+        .symbol("N", n as i64)
+        .array("seq", seq)
+        .array("table", vec![0.0; n * n])
+        .check("table")
+}
+
+/// Reference for [`nussinov`] (Polybench 4.2).
+pub fn nussinov_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let seq = &w.arrays["seq"];
+    let mut table = vec![0.0f64; n * n];
+    for i in (0..n.saturating_sub(1)).rev() {
+        for j in i + 1..n {
+            table[i * n + j] = table[i * n + j].max(table[i * n + j - 1]);
+            table[i * n + j] = table[i * n + j].max(table[(i + 1) * n + j]);
+            if j > i + 1 {
+                let m = if seq[i] + seq[j] == 3.0 { 1.0 } else { 0.0 };
+                table[i * n + j] = table[i * n + j].max(table[(i + 1) * n + j - 1] + m);
+            }
+            for k in i + 1..j {
+                table[i * n + j] =
+                    table[i * n + j].max(table[i * n + k] + table[(k + 1) * n + j]);
+            }
+        }
+    }
+    HashMap::from([("table".to_string(), table)])
+}

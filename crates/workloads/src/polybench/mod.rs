@@ -1,0 +1,139 @@
+//! The Polybench suite (§5, Fig. 13): all 30 kernels as SDFGs, each paired
+//! with a naive sequential Rust reference implementation (the
+//! general-purpose-compiler proxy of the substitution table in DESIGN.md).
+//!
+//! Kernels are grouped the way their dataflow behaves:
+//!
+//! * [`linalg`] — BLAS-like kernels: flat (possibly triangular) parallel
+//!   maps with write-conflict-resolution reductions.
+//! * [`solvers`] — factorizations and recurrences: state-machine loops
+//!   around parallel inner maps (`lu`, `cholesky`, `trisolv`, ...).
+//! * [`stencils`] — iterative stencils and sweeps: time loops around
+//!   parallel maps; in-place/scan kernels (`seidel-2d`, `adi`, `deriche`)
+//!   use sequentially-scheduled maps (the `MapToForLoop` lowering).
+//! * [`misc`] — statistics, dynamic programming and path kernels.
+//!
+//! Every kernel builds at a parametric `scale`; the registry [`all`] is
+//! what the Fig. 13 harness and the test suite iterate over.
+
+pub mod linalg;
+pub mod misc;
+pub mod solvers;
+pub mod stencils;
+
+use crate::workload::Workload;
+use std::collections::HashMap;
+
+/// A Polybench kernel: builder plus reference implementation.
+pub struct PolyKernel {
+    /// Kernel name (Polybench spelling).
+    pub name: &'static str,
+    /// Builds the SDFG workload at a given scale.
+    pub build: fn(usize) -> Workload,
+    /// Computes the reference results for the checked containers.
+    pub reference: fn(&Workload) -> HashMap<String, Vec<f64>>,
+}
+
+/// The full suite (30 kernels), in the paper's Fig. 13 order.
+pub fn all() -> Vec<PolyKernel> {
+    vec![
+        PolyKernel { name: "2mm", build: linalg::mm2, reference: linalg::mm2_ref },
+        PolyKernel { name: "3mm", build: linalg::mm3, reference: linalg::mm3_ref },
+        PolyKernel { name: "adi", build: stencils::adi, reference: stencils::adi_ref },
+        PolyKernel { name: "atax", build: linalg::atax, reference: linalg::atax_ref },
+        PolyKernel { name: "bicg", build: linalg::bicg, reference: linalg::bicg_ref },
+        PolyKernel { name: "cholesky", build: solvers::cholesky, reference: solvers::cholesky_ref },
+        PolyKernel { name: "correlation", build: misc::correlation, reference: misc::correlation_ref },
+        PolyKernel { name: "covariance", build: misc::covariance, reference: misc::covariance_ref },
+        PolyKernel { name: "deriche", build: stencils::deriche, reference: stencils::deriche_ref },
+        PolyKernel { name: "doitgen", build: linalg::doitgen, reference: linalg::doitgen_ref },
+        PolyKernel { name: "durbin", build: solvers::durbin, reference: solvers::durbin_ref },
+        PolyKernel { name: "fdtd-2d", build: stencils::fdtd2d, reference: stencils::fdtd2d_ref },
+        PolyKernel { name: "floyd-warshall", build: misc::floyd_warshall, reference: misc::floyd_warshall_ref },
+        PolyKernel { name: "gemm", build: linalg::gemm, reference: linalg::gemm_ref },
+        PolyKernel { name: "gemver", build: linalg::gemver, reference: linalg::gemver_ref },
+        PolyKernel { name: "gesummv", build: linalg::gesummv, reference: linalg::gesummv_ref },
+        PolyKernel { name: "gramschmidt", build: solvers::gramschmidt, reference: solvers::gramschmidt_ref },
+        PolyKernel { name: "heat-3d", build: stencils::heat3d, reference: stencils::heat3d_ref },
+        PolyKernel { name: "jacobi-1d", build: stencils::jacobi1d, reference: stencils::jacobi1d_ref },
+        PolyKernel { name: "jacobi-2d", build: stencils::jacobi2d, reference: stencils::jacobi2d_ref },
+        PolyKernel { name: "lu", build: solvers::lu, reference: solvers::lu_ref },
+        PolyKernel { name: "ludcmp", build: solvers::ludcmp, reference: solvers::ludcmp_ref },
+        PolyKernel { name: "mvt", build: linalg::mvt, reference: linalg::mvt_ref },
+        PolyKernel { name: "nussinov", build: misc::nussinov, reference: misc::nussinov_ref },
+        PolyKernel { name: "seidel-2d", build: stencils::seidel2d, reference: stencils::seidel2d_ref },
+        PolyKernel { name: "symm", build: linalg::symm, reference: linalg::symm_ref },
+        PolyKernel { name: "syr2k", build: linalg::syr2k, reference: linalg::syr2k_ref },
+        PolyKernel { name: "syrk", build: linalg::syrk, reference: linalg::syrk_ref },
+        PolyKernel { name: "trisolv", build: solvers::trisolv, reference: solvers::trisolv_ref },
+        PolyKernel { name: "trmm", build: linalg::trmm, reference: linalg::trmm_ref },
+    ]
+}
+
+/// Looks up a kernel by name.
+pub fn by_name(name: &str) -> Option<PolyKernel> {
+    all().into_iter().find(|k| k.name == name)
+}
+
+// --- polybench-style deterministic initialization -----------------------------
+
+/// 2-D array initialized with a Polybench-style formula.
+pub fn init2(n: usize, m: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n * m);
+    for i in 0..n {
+        for j in 0..m {
+            v.push(f(i, j));
+        }
+    }
+    v
+}
+
+/// 1-D array initialized with a formula.
+pub fn init1(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+    (0..n).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::assert_allclose;
+
+    /// Every kernel: SDFG execution (optimizing executor) must match the
+    /// naive Rust reference at a small scale. This is the "compiler error"
+    /// column of Fig. 13 never happening to us.
+    #[test]
+    fn all_kernels_match_reference_exec() {
+        for k in all() {
+            let w = (k.build)(10);
+            let reference = (k.reference)(&w);
+            let (got, _, _) = w
+                .run_exec()
+                .unwrap_or_else(|e| panic!("{}: exec failed: {e}", k.name));
+            assert!(!w.check.is_empty(), "{}: no checked containers", k.name);
+            assert_allclose(&w.check, &got, &reference, 1e-7);
+        }
+    }
+
+    /// A subset also runs on the reference interpreter (slower; sanity that
+    /// the executor isn't systematically wrong together with the builder).
+    #[test]
+    fn sample_kernels_match_reference_interp() {
+        for name in ["gemm", "atax", "jacobi-2d", "lu", "floyd-warshall", "trisolv"] {
+            let k = by_name(name).unwrap();
+            let w = (k.build)(8);
+            let reference = (k.reference)(&w);
+            let got = w
+                .run_interp()
+                .unwrap_or_else(|e| panic!("{name}: interp failed: {e}"));
+            assert_allclose(&w.check, &got, &reference, 1e-7);
+        }
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(all().len(), 30);
+        let mut names: Vec<&str> = all().iter().map(|k| k.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 30, "duplicate kernel names");
+    }
+}

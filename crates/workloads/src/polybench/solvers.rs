@@ -1,0 +1,343 @@
+//! Factorizations and sequential recurrences: state-machine loops (Fig. 2b
+//! structure) wrapping parallel inner maps.
+
+use super::init2;
+use crate::workload::Workload;
+use sdfg_core::Sdfg;
+use sdfg_frontend::parse_program;
+use std::collections::HashMap;
+
+fn build(src: &str) -> Sdfg {
+    parse_program(src).unwrap_or_else(|e| panic!("polybench solver parse error: {e}"))
+}
+
+fn mark_transient(sdfg: &mut Sdfg, names: &[&str]) {
+    for n in names {
+        sdfg.desc_mut(n).unwrap().set_transient(true);
+    }
+}
+
+/// Symmetric positive-definite test matrix (diagonally dominant).
+fn spd(n: usize) -> Vec<f64> {
+    let mut a = init2(n, n, |i, j| {
+        if j <= i {
+            (-(j as f64) % n as f64) / n as f64 + 1.0
+        } else {
+            0.0
+        }
+    });
+    for i in 0..n {
+        a[i * n + i] = 1.0;
+    }
+    // A·Aᵀ is SPD.
+    let mut b = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                b[i * n + j] += a[i * n + k] * a[j * n + k];
+            }
+        }
+    }
+    b
+}
+
+// --- lu ------------------------------------------------------------------------
+
+/// `lu`: in-place LU decomposition without pivoting.
+pub fn lu(n: usize) -> Workload {
+    let src = r#"
+def lu(A: dace.float64[N, N]):
+    for k in range(N):
+        for i in dace.map[k + 1:N]:
+            A[i, k] = A[i, k] / A[k, k]
+        for i, j in dace.map[k + 1:N, k + 1:N]:
+            A[i, j] += -A[i, k] * A[k, j]
+"#;
+    Workload::new("lu", build(src))
+        .symbol("N", n as i64)
+        .array("A", spd(n))
+        .check("A")
+}
+
+/// Reference for [`lu`].
+pub fn lu_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let mut a = w.arrays["A"].clone();
+    for k in 0..n {
+        for i in k + 1..n {
+            a[i * n + k] /= a[k * n + k];
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+            }
+        }
+    }
+    HashMap::from([("A".to_string(), a)])
+}
+
+// --- cholesky ------------------------------------------------------------------
+
+/// `cholesky`: in-place lower Cholesky factorization.
+pub fn cholesky(n: usize) -> Workload {
+    let src = r#"
+def cholesky(A: dace.float64[N, N]):
+    for i in range(N):
+        for j in range(i):
+            for k in dace.map[0:j]:
+                A[i, j] += -A[i, k] * A[j, k]
+            A[i, j] = A[i, j] / A[j, j]
+        for k in dace.map[0:i]:
+            A[i, i] += -A[i, k] * A[i, k]
+        A[i, i] = sqrt(A[i, i])
+"#;
+    Workload::new("cholesky", build(src))
+        .symbol("N", n as i64)
+        .array("A", spd(n))
+        .check("A")
+}
+
+/// Reference for [`cholesky`].
+pub fn cholesky_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let mut a = w.arrays["A"].clone();
+    for i in 0..n {
+        for j in 0..i {
+            for k in 0..j {
+                a[i * n + j] -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] /= a[j * n + j];
+        }
+        for k in 0..i {
+            a[i * n + i] -= a[i * n + k] * a[i * n + k];
+        }
+        a[i * n + i] = a[i * n + i].sqrt();
+    }
+    HashMap::from([("A".to_string(), a)])
+}
+
+// --- ludcmp --------------------------------------------------------------------
+
+/// `ludcmp`: LU factorization plus forward/backward triangular solves.
+pub fn ludcmp(n: usize) -> Workload {
+    let src = r#"
+def ludcmp(A: dace.float64[N, N], b: dace.float64[N], x: dace.float64[N],
+           y: dace.float64[N]):
+    for k in range(N):
+        for i in dace.map[k + 1:N]:
+            A[i, k] = A[i, k] / A[k, k]
+        for i, j in dace.map[k + 1:N, k + 1:N]:
+            A[i, j] += -A[i, k] * A[k, j]
+    for i in range(N):
+        y[i] = b[i]
+        for j in dace.map[0:i]:
+            y[i] += -A[i, j] * y[j]
+    for ii in range(N - 1, -1, -1):
+        x[ii] = y[ii]
+        for j in dace.map[ii + 1:N]:
+            x[ii] += -A[ii, j] * x[j]
+        x[ii] = x[ii] / A[ii, ii]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["y"]);
+    Workload::new("ludcmp", sdfg)
+        .symbol("N", n as i64)
+        .array("A", spd(n))
+        .array("b", super::init1(n, |i| (i + 1) as f64 / n as f64 / 2.0 + 4.0))
+        .array("x", vec![0.0; n])
+        .check("x")
+}
+
+/// Reference for [`ludcmp`].
+pub fn ludcmp_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let mut a = w.arrays["A"].clone();
+    for k in 0..n {
+        for i in k + 1..n {
+            a[i * n + k] /= a[k * n + k];
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+            }
+        }
+    }
+    let b = &w.arrays["b"];
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        y[i] = b[i];
+        for j in 0..i {
+            y[i] -= a[i * n + j] * y[j];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        x[i] = y[i];
+        for j in i + 1..n {
+            x[i] -= a[i * n + j] * x[j];
+        }
+        x[i] /= a[i * n + i];
+    }
+    HashMap::from([("x".to_string(), x)])
+}
+
+// --- trisolv -------------------------------------------------------------------
+
+/// `trisolv`: forward substitution `L·x = b`.
+pub fn trisolv(n: usize) -> Workload {
+    let src = r#"
+def trisolv(L: dace.float64[N, N], b: dace.float64[N], x: dace.float64[N]):
+    for i in range(N):
+        x[i] = b[i]
+        for j in dace.map[0:i]:
+            x[i] += -L[i, j] * x[j]
+        x[i] = x[i] / L[i, i]
+"#;
+    let l = init2(n, n, |i, j| {
+        if j <= i {
+            ((i + n - j) % n) as f64 / n as f64 + 1.0
+        } else {
+            0.0
+        }
+    });
+    Workload::new("trisolv", build(src))
+        .symbol("N", n as i64)
+        .array("L", l)
+        .array("b", super::init1(n, |i| -(i as f64) % n as f64 + 0.5))
+        .array("x", vec![0.0; n])
+        .check("x")
+}
+
+/// Reference for [`trisolv`].
+pub fn trisolv_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let (l, b) = (&w.arrays["L"], &w.arrays["b"]);
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        x[i] = b[i];
+        for j in 0..i {
+            x[i] -= l[i * n + j] * x[j];
+        }
+        x[i] /= l[i * n + i];
+    }
+    HashMap::from([("x".to_string(), x)])
+}
+
+// --- durbin --------------------------------------------------------------------
+
+/// `durbin`: Levinson-Durbin Toeplitz solver — a fully sequential
+/// recurrence over states with small parallel inner maps.
+pub fn durbin(n: usize) -> Workload {
+    let src = r#"
+def durbin(r: dace.float64[N], y: dace.float64[N], z: dace.float64[N],
+           alpha: dace.float64[1], beta: dace.float64[1], s: dace.float64[1]):
+    alpha[0] = -r[0]
+    beta[0] = 1.0
+    y[0] = -r[0]
+    for k in range(1, N):
+        beta[0] = (1 - alpha[0] * alpha[0]) * beta[0]
+        s[0] = 0.0
+        for i in dace.map[0:k]:
+            s[0] += r[k - i - 1] * y[i]
+        alpha[0] = -(r[k] + s[0]) / beta[0]
+        for i in dace.map[0:k]:
+            z[i] = y[i] + alpha[0] * y[k - i - 1]
+        for i in dace.map[0:k]:
+            y[i] = z[i]
+        y[k] = alpha[0]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["z", "alpha", "beta", "s"]);
+    Workload::new("durbin", sdfg)
+        .symbol("N", n as i64)
+        .array("r", super::init1(n, |i| (n + 1 - i) as f64 / (2 * n) as f64))
+        .array("y", vec![0.0; n])
+        .check("y")
+}
+
+/// Reference for [`durbin`].
+pub fn durbin_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let r = &w.arrays["r"];
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut alpha = -r[0];
+    let mut beta = 1.0;
+    y[0] = -r[0];
+    for k in 1..n {
+        beta = (1.0 - alpha * alpha) * beta;
+        let mut sum = 0.0;
+        for i in 0..k {
+            sum += r[k - i - 1] * y[i];
+        }
+        alpha = -(r[k] + sum) / beta;
+        for i in 0..k {
+            z[i] = y[i] + alpha * y[k - i - 1];
+        }
+        y[..k].copy_from_slice(&z[..k]);
+        y[k] = alpha;
+    }
+    HashMap::from([("y".to_string(), y)])
+}
+
+// --- gramschmidt ---------------------------------------------------------------
+
+/// `gramschmidt`: modified Gram-Schmidt QR factorization.
+pub fn gramschmidt(n: usize) -> Workload {
+    let src = r#"
+def gramschmidt(A: dace.float64[M, N], Q: dace.float64[M, N],
+                R: dace.float64[N, N], nrm: dace.float64[1]):
+    for k in range(N):
+        nrm[0] = 0.0
+        for i in dace.map[0:M]:
+            nrm[0] += A[i, k] * A[i, k]
+        R[k, k] = sqrt(nrm[0])
+        for i in dace.map[0:M]:
+            Q[i, k] = A[i, k] / R[k, k]
+        for j, i in dace.map[k + 1:N, 0:M]:
+            R[k, j] += Q[i, k] * A[i, j]
+        for j, i in dace.map[k + 1:N, 0:M]:
+            A[i, j] += -Q[i, k] * R[k, j]
+"#;
+    let mut sdfg = build(src);
+    mark_transient(&mut sdfg, &["nrm"]);
+    let (m, nn) = (n + n / 5, n);
+    Workload::new("gramschmidt", sdfg)
+        .symbol("M", m as i64)
+        .symbol("N", nn as i64)
+        .array(
+            "A",
+            init2(m, nn, |i, j| (((i * j) % m) as f64 / m as f64) * 100.0 + 10.0),
+        )
+        .array("Q", vec![0.0; m * nn])
+        .array("R", vec![0.0; nn * nn])
+        .check("R")
+        .check("Q")
+}
+
+/// Reference for [`gramschmidt`].
+pub fn gramschmidt_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (m, n) = (w.sym("M") as usize, w.sym("N") as usize);
+    let mut a = w.arrays["A"].clone();
+    let mut q = vec![0.0; m * n];
+    let mut r = vec![0.0; n * n];
+    for k in 0..n {
+        let mut nrm = 0.0;
+        for i in 0..m {
+            nrm += a[i * n + k] * a[i * n + k];
+        }
+        r[k * n + k] = nrm.sqrt();
+        for i in 0..m {
+            q[i * n + k] = a[i * n + k] / r[k * n + k];
+        }
+        for j in k + 1..n {
+            for i in 0..m {
+                r[k * n + j] += q[i * n + k] * a[i * n + j];
+            }
+            for i in 0..m {
+                a[i * n + j] -= q[i * n + k] * r[k * n + j];
+            }
+        }
+    }
+    HashMap::from([("R".to_string(), r), ("Q".to_string(), q)])
+}

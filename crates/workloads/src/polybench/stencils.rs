@@ -1,0 +1,669 @@
+//! Iterative stencils and sweep kernels. Scan/recurrence kernels
+//! (`seidel-2d`, `adi`, `deriche`) use sequentially-scheduled maps — the
+//! `MapToForLoop` lowering of §4 — because their iterations are
+//! order-dependent; tasklets read map parameters as symbols for boundary
+//! guards (the DaCe idiom).
+
+use super::{init1, init2};
+use crate::workload::Workload;
+use sdfg_core::{Node, Schedule, Sdfg};
+use sdfg_frontend::parse_program;
+use std::collections::HashMap;
+
+fn build(src: &str) -> Sdfg {
+    parse_program(src).unwrap_or_else(|e| panic!("polybench stencil parse error: {e}"))
+}
+
+/// Marks every map in the SDFG sequential (ordered execution).
+fn sequentialize_all(sdfg: &mut Sdfg) {
+    for sid in sdfg.state_ids() {
+        let st = sdfg.state_mut(sid);
+        for n in st.graph.node_ids().collect::<Vec<_>>() {
+            if let Node::MapEntry(m) = st.graph.node_mut(n) {
+                m.schedule = Schedule::Sequential;
+            }
+        }
+    }
+}
+
+/// Marks maps nested inside other maps sequential (inner scans stay
+/// ordered; the outer row/column map stays parallel).
+fn sequentialize_inner(sdfg: &mut Sdfg) {
+    for sid in sdfg.state_ids() {
+        let tree = sdfg_core::scope::scope_tree(sdfg.state(sid)).expect("valid scopes");
+        let st = sdfg.state_mut(sid);
+        for n in st.graph.node_ids().collect::<Vec<_>>() {
+            if tree.scope_of(n).is_some() {
+                if let Node::MapEntry(m) = st.graph.node_mut(n) {
+                    m.schedule = Schedule::Sequential;
+                }
+            }
+        }
+    }
+}
+
+// --- jacobi-1d -----------------------------------------------------------------
+
+/// `jacobi-1d`: two alternating 3-point averages.
+pub fn jacobi1d(n: usize) -> Workload {
+    let src = r#"
+def jacobi1d(A: dace.float64[N], B: dace.float64[N], T: dace.int64):
+    for t in range(T):
+        for i in dace.map[1:N - 1]:
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1])
+        for i in dace.map[1:N - 1]:
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1])
+"#;
+    let nn = n * 12; // 1-D kernels need more elements to be meaningful
+    Workload::new("jacobi-1d", build(src))
+        .symbol("N", nn as i64)
+        .symbol("T", 6)
+        .array("A", init1(nn, |i| (i as f64 + 2.0) / nn as f64))
+        .array("B", init1(nn, |i| (i as f64 + 3.0) / nn as f64))
+        .check("A")
+        .check("B")
+}
+
+/// Reference for [`jacobi1d`].
+pub fn jacobi1d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let t = w.sym("T") as usize;
+    let mut a = w.arrays["A"].clone();
+    let mut b = w.arrays["B"].clone();
+    for _ in 0..t {
+        for i in 1..n - 1 {
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+        }
+        for i in 1..n - 1 {
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+        }
+    }
+    HashMap::from([("A".to_string(), a), ("B".to_string(), b)])
+}
+
+// --- jacobi-2d -----------------------------------------------------------------
+
+/// `jacobi-2d`: alternating 5-point averages on two arrays.
+pub fn jacobi2d(n: usize) -> Workload {
+    let src = r#"
+def jacobi2d(A: dace.float64[N, N], B: dace.float64[N, N], T: dace.int64):
+    for t in range(T):
+        for i, j in dace.map[1:N - 1, 1:N - 1]:
+            B[i, j] = 0.2 * (A[i, j] + A[i, j - 1] + A[i, j + 1] + A[i + 1, j] + A[i - 1, j])
+        for i, j in dace.map[1:N - 1, 1:N - 1]:
+            A[i, j] = 0.2 * (B[i, j] + B[i, j - 1] + B[i, j + 1] + B[i + 1, j] + B[i - 1, j])
+"#;
+    Workload::new("jacobi-2d", build(src))
+        .symbol("N", n as i64)
+        .symbol("T", 4)
+        .array("A", init2(n, n, |i, j| (i * (j + 2)) as f64 / n as f64))
+        .array("B", init2(n, n, |i, j| (i * (j + 3)) as f64 / n as f64))
+        .check("A")
+        .check("B")
+}
+
+/// Reference for [`jacobi2d`].
+pub fn jacobi2d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let t = w.sym("T") as usize;
+    let mut a = w.arrays["A"].clone();
+    let mut b = w.arrays["B"].clone();
+    for _ in 0..t {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[i * n + j] = 0.2
+                    * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                        + a[(i - 1) * n + j]);
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i * n + j] = 0.2
+                    * (b[i * n + j] + b[i * n + j - 1] + b[i * n + j + 1] + b[(i + 1) * n + j]
+                        + b[(i - 1) * n + j]);
+            }
+        }
+    }
+    HashMap::from([("A".to_string(), a), ("B".to_string(), b)])
+}
+
+// --- heat-3d -------------------------------------------------------------------
+
+/// `heat-3d`: 3-D 7-point heat equation, double-buffered.
+pub fn heat3d(n: usize) -> Workload {
+    let src = r#"
+def heat3d(A: dace.float64[N, N, N], B: dace.float64[N, N, N], T: dace.int64):
+    for t in range(T):
+        for i, j, k in dace.map[1:N - 1, 1:N - 1, 1:N - 1]:
+            B[i, j, k] = 0.125 * (A[i + 1, j, k] - 2 * A[i, j, k] + A[i - 1, j, k]) \
+                + 0.125 * (A[i, j + 1, k] - 2 * A[i, j, k] + A[i, j - 1, k]) \
+                + 0.125 * (A[i, j, k + 1] - 2 * A[i, j, k] + A[i, j, k - 1]) \
+                + A[i, j, k]
+        for i, j, k in dace.map[1:N - 1, 1:N - 1, 1:N - 1]:
+            A[i, j, k] = 0.125 * (B[i + 1, j, k] - 2 * B[i, j, k] + B[i - 1, j, k]) \
+                + 0.125 * (B[i, j + 1, k] - 2 * B[i, j, k] + B[i, j - 1, k]) \
+                + 0.125 * (B[i, j, k + 1] - 2 * B[i, j, k] + B[i, j, k - 1]) \
+                + B[i, j, k]
+"#;
+    // Line continuations are not part of the frontend: flatten them here.
+    let src = src.replace("\\\n", " ");
+    let nn = n.min(30).max(6);
+    let init = |i: usize, j: usize, k: usize| (i + j + (nn - k)) as f64 * 10.0 / nn as f64;
+    let mut a = vec![0.0; nn * nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            for k in 0..nn {
+                a[(i * nn + j) * nn + k] = init(i, j, k);
+            }
+        }
+    }
+    Workload::new("heat-3d", build(&src))
+        .symbol("N", nn as i64)
+        .symbol("T", 3)
+        .array("A", a.clone())
+        .array("B", a)
+        .check("A")
+        .check("B")
+}
+
+/// Reference for [`heat3d`].
+pub fn heat3d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let t = w.sym("T") as usize;
+    let mut a = w.arrays["A"].clone();
+    let mut b = w.arrays["B"].clone();
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    for _ in 0..t {
+        for (src, dst) in [(0, 1), (1, 0)] {
+            let (s, d): (&mut Vec<f64>, &mut Vec<f64>) = if src == 0 {
+                let (x, y) = (&mut a, &mut b);
+                (x, y)
+            } else {
+                let (x, y) = (&mut b, &mut a);
+                (x, y)
+            };
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    for k in 1..n - 1 {
+                        d[idx(i, j, k)] = 0.125
+                            * (s[idx(i + 1, j, k)] - 2.0 * s[idx(i, j, k)] + s[idx(i - 1, j, k)])
+                            + 0.125
+                                * (s[idx(i, j + 1, k)] - 2.0 * s[idx(i, j, k)]
+                                    + s[idx(i, j - 1, k)])
+                            + 0.125
+                                * (s[idx(i, j, k + 1)] - 2.0 * s[idx(i, j, k)]
+                                    + s[idx(i, j, k - 1)])
+                            + s[idx(i, j, k)];
+                    }
+                }
+            }
+            let _ = dst;
+        }
+    }
+    HashMap::from([("A".to_string(), a), ("B".to_string(), b)])
+}
+
+// --- fdtd-2d -------------------------------------------------------------------
+
+/// `fdtd-2d`: 2-D finite-difference time-domain kernel.
+pub fn fdtd2d(n: usize) -> Workload {
+    let src = r#"
+def fdtd2d(ex: dace.float64[NX, NY], ey: dace.float64[NX, NY],
+           hz: dace.float64[NX, NY], fict: dace.float64[T], T: dace.int64):
+    for t in range(T):
+        for j in dace.map[0:NY]:
+            ey[0, j] = fict[t]
+        for i, j in dace.map[1:NX, 0:NY]:
+            ey[i, j] = ey[i, j] - 0.5 * (hz[i, j] - hz[i - 1, j])
+        for i, j in dace.map[0:NX, 1:NY]:
+            ex[i, j] = ex[i, j] - 0.5 * (hz[i, j] - hz[i, j - 1])
+        for i, j in dace.map[0:NX - 1, 0:NY - 1]:
+            hz[i, j] = hz[i, j] - 0.7 * (ex[i, j + 1] - ex[i, j] + ey[i + 1, j] - ey[i, j])
+"#;
+    let (nx, ny, t) = (n, n + n / 5, 5usize);
+    Workload::new("fdtd-2d", build(src))
+        .symbol("NX", nx as i64)
+        .symbol("NY", ny as i64)
+        .symbol("T", t as i64)
+        .array("ex", init2(nx, ny, |i, j| i as f64 * (j + 1) as f64 / nx as f64))
+        .array("ey", init2(nx, ny, |i, j| i as f64 * (j + 2) as f64 / ny as f64))
+        .array("hz", init2(nx, ny, |i, j| i as f64 * (j + 3) as f64 / nx as f64))
+        .array("fict", init1(t, |i| i as f64))
+        .check("ex")
+        .check("ey")
+        .check("hz")
+}
+
+/// Reference for [`fdtd2d`].
+pub fn fdtd2d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (nx, ny, t) = (
+        w.sym("NX") as usize,
+        w.sym("NY") as usize,
+        w.sym("T") as usize,
+    );
+    let mut ex = w.arrays["ex"].clone();
+    let mut ey = w.arrays["ey"].clone();
+    let mut hz = w.arrays["hz"].clone();
+    let fict = &w.arrays["fict"];
+    for step in 0..t {
+        for j in 0..ny {
+            ey[j] = fict[step];
+        }
+        for i in 1..nx {
+            for j in 0..ny {
+                ey[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[(i - 1) * ny + j]);
+            }
+        }
+        for i in 0..nx {
+            for j in 1..ny {
+                ex[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[i * ny + j - 1]);
+            }
+        }
+        for i in 0..nx - 1 {
+            for j in 0..ny - 1 {
+                hz[i * ny + j] -= 0.7
+                    * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j]
+                        - ey[i * ny + j]);
+            }
+        }
+    }
+    HashMap::from([
+        ("ex".to_string(), ex),
+        ("ey".to_string(), ey),
+        ("hz".to_string(), hz),
+    ])
+}
+
+// --- seidel-2d -----------------------------------------------------------------
+
+/// `seidel-2d`: in-place Gauss-Seidel sweep — fully ordered, so every map
+/// is sequentially scheduled.
+pub fn seidel2d(n: usize) -> Workload {
+    let src = r#"
+def seidel2d(A: dace.float64[N, N], T: dace.int64):
+    for t in range(T):
+        for i in dace.map[1:N - 1]:
+            for j in dace.map[1:N - 1]:
+                with dace.tasklet:
+                    a << A[i - 1, j - 1]
+                    b << A[i - 1, j]
+                    c << A[i - 1, j + 1]
+                    d << A[i, j - 1]
+                    e << A[i, j]
+                    f << A[i, j + 1]
+                    g << A[i + 1, j - 1]
+                    h << A[i + 1, j]
+                    m << A[i + 1, j + 1]
+                    o >> A[i, j]
+                    o = (a + b + c + d + e + f + g + h + m) / 9
+"#;
+    let mut sdfg = build(src);
+    sequentialize_all(&mut sdfg);
+    Workload::new("seidel-2d", sdfg)
+        .symbol("N", n as i64)
+        .symbol("T", 3)
+        .array("A", init2(n, n, |i, j| (i as f64 * (j + 2) as f64 + 2.0) / n as f64))
+        .check("A")
+}
+
+/// Reference for [`seidel2d`].
+pub fn seidel2d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let t = w.sym("T") as usize;
+    let mut a = w.arrays["A"].clone();
+    for _ in 0..t {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i * n + j] = (a[(i - 1) * n + j - 1]
+                    + a[(i - 1) * n + j]
+                    + a[(i - 1) * n + j + 1]
+                    + a[i * n + j - 1]
+                    + a[i * n + j]
+                    + a[i * n + j + 1]
+                    + a[(i + 1) * n + j - 1]
+                    + a[(i + 1) * n + j]
+                    + a[(i + 1) * n + j + 1])
+                    / 9.0;
+            }
+        }
+    }
+    HashMap::from([("A".to_string(), a)])
+}
+
+// --- adi -----------------------------------------------------------------------
+
+/// `adi`: alternating-direction implicit solver. Rows/columns are
+/// independent (parallel outer map); the tridiagonal recurrences inside are
+/// sequential scans.
+pub fn adi(n: usize) -> Workload {
+    // Polybench 4.2 coefficient setup.
+    let nn = n.max(4);
+    let tsteps = 3usize;
+    let dx = 1.0 / nn as f64;
+    let dy = 1.0 / nn as f64;
+    let dt = 1.0 / tsteps as f64;
+    let b1 = 2.0;
+    let b2 = 1.0;
+    let mul1 = b1 * dt / (dx * dx);
+    let mul2 = b2 * dt / (dy * dy);
+    let a = -mul1 / 2.0;
+    let b = 1.0 + mul1;
+    let c = a;
+    let d = -mul2 / 2.0;
+    let e = 1.0 + mul2;
+    let f = d;
+    let src = format!(
+        r#"
+def adi(u: dace.float64[N, N], v: dace.float64[N, N], p: dace.float64[N, N],
+        q: dace.float64[N, N], T: dace.int64):
+    for t in range(T):
+        for i in dace.map[1:N - 1]:
+            v[0, i] = 1.0
+        for i in dace.map[1:N - 1]:
+            p[i, 0] = 0.0
+        for i in dace.map[1:N - 1]:
+            q[i, 0] = v[0, i]
+        for i in dace.map[1:N - 1]:
+            for j in dace.map[1:N - 1]:
+                with dace.tasklet:
+                    pm << p[i, j - 1]
+                    qm << q[i, j - 1]
+                    um << u[j, i - 1]
+                    uc << u[j, i]
+                    up << u[j, i + 1]
+                    po >> p[i, j]
+                    qo >> q[i, j]
+                    po = -{c} / ({a} * pm + {b})
+                    qo = (-{d} * um + (1.0 + 2.0 * {d}) * uc - {f} * up - {a} * qm) / ({a} * pm + {b})
+        for i in dace.map[1:N - 1]:
+            v[N - 1, i] = 1.0
+        for i in dace.map[1:N - 1]:
+            for jj in dace.map[0:N - 2]:
+                with dace.tasklet:
+                    pj << p[i, N - 2 - jj]
+                    qj << q[i, N - 2 - jj]
+                    vn << v[N - 1 - jj, i]
+                    vo >> v[N - 2 - jj, i]
+                    vo = pj * vn + qj
+        for i in dace.map[1:N - 1]:
+            u[i, 0] = 1.0
+        for i in dace.map[1:N - 1]:
+            p[i, 0] = 0.0
+        for i in dace.map[1:N - 1]:
+            q[i, 0] = u[i, 0]
+        for i in dace.map[1:N - 1]:
+            for j in dace.map[1:N - 1]:
+                with dace.tasklet:
+                    pm << p[i, j - 1]
+                    qm << q[i, j - 1]
+                    vm << v[i - 1, j]
+                    vc << v[i, j]
+                    vp << v[i + 1, j]
+                    po >> p[i, j]
+                    qo >> q[i, j]
+                    po = -{f} / ({d} * pm + {e})
+                    qo = (-{a} * vm + (1.0 + 2.0 * {a}) * vc - {c} * vp - {d} * qm) / ({d} * pm + {e})
+        for i in dace.map[1:N - 1]:
+            u[i, N - 1] = 1.0
+        for i in dace.map[1:N - 1]:
+            for jj in dace.map[0:N - 2]:
+                with dace.tasklet:
+                    pj << p[i, N - 2 - jj]
+                    qj << q[i, N - 2 - jj]
+                    un << u[i, N - 1 - jj]
+                    uo >> u[i, N - 2 - jj]
+                    uo = pj * un + qj
+"#,
+        a = a,
+        b = b,
+        c = c,
+        d = d,
+        e = e,
+        f = f
+    );
+    let mut sdfg = build(&src);
+    sequentialize_inner(&mut sdfg);
+    for name in ["v", "p", "q"] {
+        sdfg.desc_mut(name).unwrap().set_transient(true);
+    }
+    Workload::new("adi", sdfg)
+        .symbol("N", nn as i64)
+        .symbol("T", tsteps as i64)
+        .array("u", init2(nn, nn, |i, j| (i + nn - j) as f64 / nn as f64))
+        .check("u")
+}
+
+/// Reference for [`adi`] (Polybench 4.2 order).
+pub fn adi_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let n = w.sym("N") as usize;
+    let tsteps = w.sym("T") as usize;
+    let dx = 1.0 / n as f64;
+    let dy = 1.0 / n as f64;
+    let dt = 1.0 / tsteps as f64;
+    let b1 = 2.0;
+    let b2 = 1.0;
+    let mul1 = b1 * dt / (dx * dx);
+    let mul2 = b2 * dt / (dy * dy);
+    let a = -mul1 / 2.0;
+    let b = 1.0 + mul1;
+    let c = a;
+    let d = -mul2 / 2.0;
+    let e = 1.0 + mul2;
+    let f = d;
+    let mut u = w.arrays["u"].clone();
+    let mut v = vec![0.0; n * n];
+    let mut p = vec![0.0; n * n];
+    let mut q = vec![0.0; n * n];
+    for _ in 0..tsteps {
+        // Column sweep.
+        for i in 1..n - 1 {
+            v[i] = 1.0;
+            p[i * n] = 0.0;
+            q[i * n] = v[i];
+            for j in 1..n - 1 {
+                p[i * n + j] = -c / (a * p[i * n + j - 1] + b);
+                q[i * n + j] = (-d * u[j * n + i - 1] + (1.0 + 2.0 * d) * u[j * n + i]
+                    - f * u[j * n + i + 1]
+                    - a * q[i * n + j - 1])
+                    / (a * p[i * n + j - 1] + b);
+            }
+            v[(n - 1) * n + i] = 1.0;
+            for j in (1..n - 1).rev() {
+                v[j * n + i] = p[i * n + j] * v[(j + 1) * n + i] + q[i * n + j];
+            }
+        }
+        // Row sweep.
+        for i in 1..n - 1 {
+            u[i * n] = 1.0;
+            p[i * n] = 0.0;
+            q[i * n] = u[i * n];
+            for j in 1..n - 1 {
+                p[i * n + j] = -f / (d * p[i * n + j - 1] + e);
+                q[i * n + j] = (-a * v[(i - 1) * n + j] + (1.0 + 2.0 * a) * v[i * n + j]
+                    - c * v[(i + 1) * n + j]
+                    - d * q[i * n + j - 1])
+                    / (d * p[i * n + j - 1] + e);
+            }
+            u[i * n + n - 1] = 1.0;
+            for j in (1..n - 1).rev() {
+                u[i * n + j] = p[i * n + j] * u[i * n + j + 1] + q[i * n + j];
+            }
+        }
+    }
+    HashMap::from([("u".to_string(), u)])
+}
+
+// --- deriche -------------------------------------------------------------------
+
+/// `deriche`: recursive Gaussian edge-detection filter — four sequential
+/// scans (rows forward/backward, columns down/up) plus combination maps.
+/// Boundary handling uses map parameters read as tasklet symbols.
+pub fn deriche(n: usize) -> Workload {
+    let alpha = 0.25f64;
+    let k = (1.0 - (-alpha).exp()) * (1.0 - (-alpha).exp())
+        / (1.0 + 2.0 * alpha * (-alpha).exp() - (-2.0 * alpha).exp());
+    let a1 = k;
+    let a2 = k * (-alpha).exp() * (alpha - 1.0);
+    let a3 = k * (-alpha).exp() * (alpha + 1.0);
+    let a4 = -k * (-2.0 * alpha).exp();
+    let a5 = a1;
+    let a6 = a2;
+    let a7 = a3;
+    let a8 = a4;
+    let b1 = 2.0f64.powf(-alpha);
+    let b2 = -(-2.0 * alpha).exp();
+    let src = format!(
+        r#"
+def deriche(imgIn: dace.float64[W, H], imgOut: dace.float64[W, H],
+            y1: dace.float64[W, H], y2: dace.float64[W, H]):
+    for i in dace.map[0:W]:
+        for j in dace.map[0:H]:
+            with dace.tasklet:
+                xc << imgIn[i, j]
+                xm << imgIn[i, max(j - 1, 0)]
+                ym1 << y1[i, max(j - 1, 0)]
+                ym2 << y1[i, max(j - 2, 0)]
+                o >> y1[i, j]
+                xmv = xm if j >= 1 else 0
+                y1v = ym1 if j >= 1 else 0
+                y2v = ym2 if j >= 2 else 0
+                o = {a1} * xc + {a2} * xmv + {b1} * y1v + {b2} * y2v
+    for i in dace.map[0:W]:
+        for jj in dace.map[0:H]:
+            with dace.tasklet:
+                xp1 << imgIn[i, min(H - jj, H - 1)]
+                xp2 << imgIn[i, min(H - jj + 1, H - 1)]
+                yp1 << y2[i, min(H - jj, H - 1)]
+                yp2 << y2[i, min(H - jj + 1, H - 1)]
+                o >> y2[i, H - 1 - jj]
+                x1v = xp1 if jj >= 1 else 0
+                x2v = xp2 if jj >= 2 else 0
+                y1v = yp1 if jj >= 1 else 0
+                y2v = yp2 if jj >= 2 else 0
+                o = {a3} * x1v + {a4} * x2v + {b1} * y1v + {b2} * y2v
+    for i, j in dace.map[0:W, 0:H]:
+        imgOut[i, j] = y1[i, j] + y2[i, j]
+    for j in dace.map[0:H]:
+        for i in dace.map[0:W]:
+            with dace.tasklet:
+                xc << imgOut[i, j]
+                xm << imgOut[max(i - 1, 0), j]
+                ym1 << y1[max(i - 1, 0), j]
+                ym2 << y1[max(i - 2, 0), j]
+                o >> y1[i, j]
+                xmv = xm if i >= 1 else 0
+                y1v = ym1 if i >= 1 else 0
+                y2v = ym2 if i >= 2 else 0
+                o = {a5} * xc + {a6} * xmv + {b1} * y1v + {b2} * y2v
+    for j in dace.map[0:H]:
+        for ii in dace.map[0:W]:
+            with dace.tasklet:
+                xp1 << imgOut[min(W - ii, W - 1), j]
+                xp2 << imgOut[min(W - ii + 1, W - 1), j]
+                yp1 << y2[min(W - ii, W - 1), j]
+                yp2 << y2[min(W - ii + 1, W - 1), j]
+                o >> y2[W - 1 - ii, j]
+                x1v = xp1 if ii >= 1 else 0
+                x2v = xp2 if ii >= 2 else 0
+                y1v = yp1 if ii >= 1 else 0
+                y2v = yp2 if ii >= 2 else 0
+                o = {a7} * x1v + {a8} * x2v + {b1} * y1v + {b2} * y2v
+    for i, j in dace.map[0:W, 0:H]:
+        imgOut[i, j] = y1[i, j] + y2[i, j]
+"#,
+        a1 = a1,
+        a2 = a2,
+        a3 = a3,
+        a4 = a4,
+        a5 = a5,
+        a6 = a6,
+        a7 = a7,
+        a8 = a8,
+        b1 = b1,
+        b2 = b2
+    );
+    let mut sdfg = build(&src);
+    sequentialize_inner(&mut sdfg);
+    for name in ["y1", "y2"] {
+        sdfg.desc_mut(name).unwrap().set_transient(true);
+    }
+    let (wdim, h) = (n, n + n / 5);
+    Workload::new("deriche", sdfg)
+        .symbol("W", wdim as i64)
+        .symbol("H", h as i64)
+        .array(
+            "imgIn",
+            init2(wdim, h, |i, j| ((313 * i + 991 * j) % 65536) as f64 / 65535.0),
+        )
+        .array("imgOut", vec![0.0; wdim * h])
+        .check("imgOut")
+}
+
+/// Reference for [`deriche`].
+pub fn deriche_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
+    let (wd, h) = (w.sym("W") as usize, w.sym("H") as usize);
+    let alpha = 0.25f64;
+    let k = (1.0 - (-alpha).exp()) * (1.0 - (-alpha).exp())
+        / (1.0 + 2.0 * alpha * (-alpha).exp() - (-2.0 * alpha).exp());
+    let (a1, a5) = (k, k);
+    let (a2, a6) = (
+        k * (-alpha).exp() * (alpha - 1.0),
+        k * (-alpha).exp() * (alpha - 1.0),
+    );
+    let (a3, a7) = (
+        k * (-alpha).exp() * (alpha + 1.0),
+        k * (-alpha).exp() * (alpha + 1.0),
+    );
+    let (a4, a8) = (-k * (-2.0 * alpha).exp(), -k * (-2.0 * alpha).exp());
+    let b1 = 2.0f64.powf(-alpha);
+    let b2 = -(-2.0 * alpha).exp();
+    let img = &w.arrays["imgIn"];
+    let mut y1 = vec![0.0; wd * h];
+    let mut y2 = vec![0.0; wd * h];
+    for i in 0..wd {
+        let (mut ym1, mut ym2, mut xm1) = (0.0, 0.0, 0.0);
+        for j in 0..h {
+            y1[i * h + j] = a1 * img[i * h + j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+            xm1 = img[i * h + j];
+            ym2 = ym1;
+            ym1 = y1[i * h + j];
+        }
+    }
+    for i in 0..wd {
+        let (mut yp1, mut yp2, mut xp1, mut xp2) = (0.0, 0.0, 0.0, 0.0);
+        for j in (0..h).rev() {
+            y2[i * h + j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+            xp2 = xp1;
+            xp1 = img[i * h + j];
+            yp2 = yp1;
+            yp1 = y2[i * h + j];
+        }
+    }
+    let mut out = vec![0.0; wd * h];
+    for p in 0..wd * h {
+        out[p] = y1[p] + y2[p];
+    }
+    for j in 0..h {
+        let (mut tm1, mut ym11, mut ym21) = (0.0, 0.0, 0.0);
+        for i in 0..wd {
+            y1[i * h + j] = a5 * out[i * h + j] + a6 * tm1 + b1 * ym11 + b2 * ym21;
+            tm1 = out[i * h + j];
+            ym21 = ym11;
+            ym11 = y1[i * h + j];
+        }
+    }
+    for j in 0..h {
+        let (mut tp1, mut tp2, mut yp11, mut yp21) = (0.0, 0.0, 0.0, 0.0);
+        for i in (0..wd).rev() {
+            y2[i * h + j] = a7 * tp1 + a8 * tp2 + b1 * yp11 + b2 * yp21;
+            tp2 = tp1;
+            tp1 = out[i * h + j];
+            yp21 = yp11;
+            yp11 = y2[i * h + j];
+        }
+    }
+    for p in 0..wd * h {
+        out[p] = y1[p] + y2[p];
+    }
+    HashMap::from([("imgOut".to_string(), out)])
+}

@@ -1,0 +1,49 @@
+//! Graph analytics on SDFGs: the §6.3 breadth-first search on the paper's
+//! five dataset regimes (Appendix E), base and transformed, against the
+//! tuned native baseline.
+//!
+//! ```text
+//! cargo run --release --example bfs_analytics [scale]
+//! ```
+
+use dace::workloads::{bfs, graphs};
+use std::time::Instant;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let base = bfs::build_bfs();
+    let opt = bfs::build_bfs_optimized(64);
+    println!(
+        "{:<10} {:>9} {:>10} {:>11} {:>11} {:>11}  result",
+        "graph", "nodes", "edges", "sdfg[ms]", "opt[ms]", "native[ms]"
+    );
+    for (name, g) in graphs::paper_datasets(scale) {
+        let st = g.stats();
+        let t0 = Instant::now();
+        let d_base = bfs::run_bfs(&base, &g, 0);
+        let t_base = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let d_opt = bfs::run_bfs(&opt, &g, 0);
+        let t_opt = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let d_ref = bfs::bfs_baseline(&g, 0);
+        let t_ref = t0.elapsed().as_secs_f64();
+        let ok = d_base == d_ref && d_opt == d_ref;
+        let reached = d_ref.iter().filter(|&&d| d < bfs::UNREACHED).count();
+        println!(
+            "{:<10} {:>9} {:>10} {:>11.2} {:>11.2} {:>11.2}  {} ({} reached)",
+            name,
+            st.nodes,
+            st.edges,
+            t_base * 1e3,
+            t_opt * 1e3,
+            t_ref * 1e3,
+            if ok { "OK" } else { "MISMATCH" },
+            reached
+        );
+        assert!(ok, "{name}: depths disagree");
+    }
+}

@@ -1,0 +1,54 @@
+//! # dace-rs — Stateful Dataflow Multigraphs in Rust
+//!
+//! Umbrella crate re-exporting the whole SDFG stack. See the individual
+//! crates for details:
+//!
+//! * [`symbolic`] — symbolic integer math (shapes, ranges, memlet subsets)
+//! * [`graph`] — multigraphs, VF2 subgraph isomorphism, dominators
+//! * [`core`] — the SDFG intermediate representation
+//! * [`lang`] — the tasklet language and its bytecode VM
+//! * [`frontend`] — builder API and the restricted Python-like frontend
+//! * [`interp`] — reference interpreter (operational semantics)
+//! * [`exec`] — optimizing parallel CPU executor
+//! * [`transforms`] — data-centric graph transformations
+//! * [`codegen`] — source code generation (CPU / GPU / FPGA dispatchers)
+//! * [`gpu_sim`] / [`fpga_sim`] — simulated accelerator targets
+//! * [`workloads`] — the paper's evaluation workloads
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dace::frontend::SdfgBuilder;
+//! use dace::core::DType;
+//!
+//! // c[i] = a[i] + b[i] over a parametric map
+//! let mut b = SdfgBuilder::new("axpy");
+//! b.symbol("N");
+//! b.array("A", &["N"], DType::F64);
+//! b.array("B", &["N"], DType::F64);
+//! b.array("C", &["N"], DType::F64);
+//! let st = b.state("main");
+//! b.mapped_tasklet(
+//!     st,
+//!     "add",
+//!     &[("i", "0:N")],
+//!     &[("a", "A", "i"), ("b", "B", "i")],
+//!     "c = a + b",
+//!     &[("c", "C", "i")],
+//! );
+//! let sdfg = b.build().expect("valid SDFG");
+//! assert_eq!(sdfg.name, "axpy");
+//! ```
+
+pub use sdfg_codegen as codegen;
+pub use sdfg_core as core;
+pub use sdfg_exec as exec;
+pub use sdfg_fpga_sim as fpga_sim;
+pub use sdfg_frontend as frontend;
+pub use sdfg_gpu_sim as gpu_sim;
+pub use sdfg_graph as graph;
+pub use sdfg_interp as interp;
+pub use sdfg_lang as lang;
+pub use sdfg_symbolic as symbolic;
+pub use sdfg_transforms as transforms;
+pub use sdfg_workloads as workloads;
