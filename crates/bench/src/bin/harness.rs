@@ -1,10 +1,16 @@
 //! The evaluation harness: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! harness <experiment> [--scale S] [--reps R]
+//! harness <experiment> [--scale S] [--reps R] [--profile]
 //! experiments: fig13a fig13b fig13c fig14a fig14b fig14c fig15 fig17
 //!              tab2 tab3 tab5 all
 //! ```
+//!
+//! With `--profile`, the harness instead runs the Polybench kernels under
+//! forced instrumentation: it prints a sorted hot-path table per kernel
+//! and writes `trace-<kernel>.json` Chrome trace files (viewable in
+//! `chrome://tracing`). Pass a kernel name as the experiment (e.g.
+//! `harness gemm --profile`) to profile just that kernel.
 
 use sdfg_bench as x;
 
@@ -20,6 +26,17 @@ fn main() {
     };
     let scale = get("--scale", 0);
     let reps = get("--reps", 3);
+    if args.iter().any(|a| a == "--profile") {
+        // Known experiment names profile the whole suite; anything else
+        // is treated as a single Polybench kernel name.
+        const EXPERIMENTS: [&str; 12] = [
+            "all", "fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15",
+            "fig17", "tab2", "tab3", "tab5",
+        ];
+        let only = if EXPERIMENTS.contains(&exp) { "" } else { exp };
+        x::profiled(only, if scale > 0 { scale } else { 100 });
+        return;
+    }
     let run = |name: &str| {
         let t0 = std::time::Instant::now();
         match name {

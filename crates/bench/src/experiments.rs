@@ -555,3 +555,47 @@ pub fn tab5(scale: usize) {
         );
     }
 }
+
+/// `--profile` mode: runs each Polybench kernel once with instrumentation
+/// forced on every state and map scope, prints the sorted hot-path table,
+/// and writes one Chrome trace-event JSON per kernel (load the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>).
+///
+/// `only` restricts the run to a single kernel by name (empty = all).
+pub fn profiled(only: &str, scale: usize) {
+    println!("# Profiled run (scale {scale}, forced timers)");
+    let mut matched = false;
+    for k in polybench::all() {
+        if !only.is_empty() && k.name != only {
+            continue;
+        }
+        matched = true;
+        let w = (k.build)(scale);
+        let (_, _, _, report) = match w.run_exec_profiled() {
+            Ok(r) => r,
+            Err(e) => {
+                println!("## {}: failed: {e}", k.name);
+                continue;
+            }
+        };
+        println!(
+            "## {} — wall {:.3} ms, {} workers, map coverage {:.1}%",
+            k.name,
+            report.wall.as_secs_f64() * 1e3,
+            report.workers,
+            report.map_coverage() * 100.0
+        );
+        print!("{}", report.hot_path_table());
+        let path = format!("trace-{}.json", k.name);
+        match std::fs::write(&path, report.chrome_trace()) {
+            Ok(()) => println!("chrome trace written to {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+        println!();
+    }
+    if !matched {
+        let names: Vec<&str> = polybench::all().iter().map(|k| k.name).collect();
+        eprintln!("no kernel named `{only}`; known kernels: {}", names.join(", "));
+        std::process::exit(2);
+    }
+}

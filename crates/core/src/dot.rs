@@ -5,21 +5,62 @@
 
 use crate::node::Node;
 use crate::sdfg::Sdfg;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Renders the SDFG as a GraphViz digraph.
 pub fn to_dot(sdfg: &Sdfg) -> String {
+    render(sdfg, None)
+}
+
+/// Profile heat for the DOT overlay: wall-time share (`0.0..=1.0`) per
+/// state id and per `(state, map-entry node)`, as produced by
+/// `sdfg_profile::InstrumentationReport::heat`.
+pub struct ProfileHeat<'a> {
+    /// Time share per state id.
+    pub states: &'a HashMap<u32, f64>,
+    /// Time share per `(state id, map-entry node id)`.
+    pub maps: &'a HashMap<(u32, u32), f64>,
+}
+
+/// Renders the SDFG with nodes colored by their share of run wall time:
+/// hot states/maps are filled red, cool ones stay white, and each heated
+/// label is annotated with its percentage.
+pub fn to_dot_with_profile(sdfg: &Sdfg, heat: &ProfileHeat<'_>) -> String {
+    render(sdfg, Some(heat))
+}
+
+/// White → red fill for a `0.0..=1.0` time share.
+fn heat_color(share: f64) -> String {
+    let cool = (255.0 * (1.0 - share.clamp(0.0, 1.0))) as u8;
+    format!("#ff{cool:02x}{cool:02x}")
+}
+
+fn render(sdfg: &Sdfg, heat: Option<&ProfileHeat<'_>>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(&sdfg.name));
     let _ = writeln!(out, "  compound=true; rankdir=TB;");
     for sid in sdfg.graph.node_ids() {
         let state = sdfg.graph.node(sid);
         let _ = writeln!(out, "  subgraph \"cluster_{}\" {{", sid.index());
-        let mut label = state.label.clone();
+        // Escape first: the heat suffix below uses a DOT `\n` escape that
+        // must survive verbatim.
+        let mut label = escape(&state.label);
         if sdfg.start == Some(sid) {
             label.push_str(" (start)");
         }
-        let _ = writeln!(out, "    label=\"{}\";", escape(&label));
+        let state_share = heat.and_then(|h| h.states.get(&(sid.index() as u32)).copied());
+        if let Some(share) = state_share {
+            let _ = write!(label, "\\n{:.1}% of wall", share * 100.0);
+        }
+        let _ = writeln!(out, "    label=\"{}\";", label);
+        if let Some(share) = state_share {
+            let _ = writeln!(
+                out,
+                "    style=filled; fillcolor=\"{}\";",
+                heat_color(share)
+            );
+        }
         for nid in state.graph.node_ids() {
             let node = state.graph.node(nid);
             let (shape, style) = match node {
@@ -46,15 +87,46 @@ pub fn to_dot(sdfg: &Sdfg) -> String {
                 Node::Reduce { .. } => ("invtriangle", "solid"),
                 Node::NestedSdfg { .. } => ("doubleoctagon", "solid"),
             };
-            let _ = writeln!(
-                out,
-                "    \"s{}_n{}\" [label=\"{}\", shape={}, style={}];",
-                sid.index(),
-                nid.index(),
-                escape(&node.label()),
-                shape,
-                style
-            );
+            let map_share = match node {
+                Node::MapEntry(_) => heat.and_then(|h| {
+                    h.maps
+                        .get(&(sid.index() as u32, nid.index() as u32))
+                        .copied()
+                }),
+                _ => None,
+            };
+            let mut label = escape(&node.label());
+            let mut extra = String::new();
+            if let Some(share) = map_share {
+                let _ = write!(label, "\\n{:.1}% of wall", share * 100.0);
+                let _ = write!(
+                    extra,
+                    ", style=\"filled,{}\", fillcolor=\"{}\"",
+                    style,
+                    heat_color(share)
+                );
+            }
+            if map_share.is_some() {
+                let _ = writeln!(
+                    out,
+                    "    \"s{}_n{}\" [label=\"{}\", shape={}{}];",
+                    sid.index(),
+                    nid.index(),
+                    label,
+                    shape,
+                    extra
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "    \"s{}_n{}\" [label=\"{}\", shape={}, style={}];",
+                    sid.index(),
+                    nid.index(),
+                    label,
+                    shape,
+                    style
+                );
+            }
         }
         for eid in state.graph.edge_ids() {
             let (src, dst) = state.graph.edge_endpoints(eid);
@@ -168,5 +240,44 @@ mod tests {
         assert!(dot.contains("(start)"));
         // Transient rendered dotted.
         assert!(dot.contains("dotted"));
+    }
+
+    #[test]
+    fn heat_overlay_colors_hot_scopes() {
+        let mut s = Sdfg::new("hot");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        let s1 = s.add_state("main");
+        let st = s.state_mut(s1);
+        let a = st.add_access("A");
+        let (me, mx) = st.add_map(MapScope::new(
+            "m",
+            vec!["i".into()],
+            vec![SymRange::new(0, "N")],
+        ));
+        let t = st.add_tasklet("w", &["x"], &["y"], "y = x");
+        st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        st.add_edge(t, Some("y"), mx, Some("IN_A"), Memlet::parse("A", "i"));
+        let aa = st.add_access("A");
+        st.add_edge(mx, Some("OUT_A"), aa, None, Memlet::parse("A", "0:N"));
+
+        let mut states = HashMap::new();
+        states.insert(s1.index() as u32, 0.95);
+        let mut maps = HashMap::new();
+        maps.insert((s1.index() as u32, me.index() as u32), 0.90);
+        let dot = to_dot_with_profile(
+            &s,
+            &ProfileHeat {
+                states: &states,
+                maps: &maps,
+            },
+        );
+        assert!(dot.contains("95.0% of wall"), "state share in:\n{dot}");
+        assert!(dot.contains("90.0% of wall"), "map share in:\n{dot}");
+        assert!(dot.contains("fillcolor=\"#ff"), "heat fill in:\n{dot}");
+        assert!(dot.contains("style=filled"), "cluster filled in:\n{dot}");
+        // Plain renderer unchanged by the overlay machinery.
+        assert!(!to_dot(&s).contains("% of wall"));
     }
 }

@@ -39,7 +39,7 @@ pub use cond::BoolExpr;
 pub use desc::{ArrayDesc, DataDesc, ScalarDesc, StreamDesc};
 pub use dtype::{DType, Storage};
 pub use memlet::{Memlet, Wcr};
-pub use node::{ConsumeScope, MapScope, Node, Schedule, TaskletLang};
+pub use node::{ConsumeScope, Instrument, MapScope, Node, Schedule, TaskletLang};
 pub use sdfg::{InterstateEdge, Sdfg, State, StateId};
 pub use validate::{validate, ValidationError};
 

@@ -33,6 +33,59 @@ impl fmt::Display for Schedule {
     }
 }
 
+impl std::str::FromStr for Schedule {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Schedule, String> {
+        Ok(match s {
+            "Sequential" => Schedule::Sequential,
+            "CpuMulticore" => Schedule::CpuMulticore,
+            "GpuDevice" => Schedule::GpuDevice,
+            "GpuThreadBlock" => Schedule::GpuThreadBlock,
+            "FpgaDevice" => Schedule::FpgaDevice,
+            "Mpi" => Schedule::Mpi,
+            other => return Err(format!("unknown schedule `{other}`")),
+        })
+    }
+}
+
+/// Instrumentation requested for a state or map scope (paper §8:
+/// performance-centric development requires measuring where time goes
+/// without rewriting the program).
+///
+/// The annotation travels with the SDFG through serialization and
+/// transformations; the execution engines honor it when profiling is
+/// enabled. `Counter` counts scope entries without ever reading a
+/// clock, so it is safe on extremely hot scopes; `Timer` records full
+/// wall-clock statistics and timeline spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Instrument {
+    /// No instrumentation (the default; zero overhead).
+    #[default]
+    None,
+    /// Count entries only — no clock reads on the hot path.
+    Counter,
+    /// Full wall-clock timing plus timeline spans.
+    Timer,
+}
+
+impl fmt::Display for Instrument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::str::FromStr for Instrument {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Instrument, String> {
+        Ok(match s {
+            "None" => Instrument::None,
+            "Counter" => Instrument::Counter,
+            "Timer" => Instrument::Timer,
+            other => return Err(format!("unknown instrument mode `{other}`")),
+        })
+    }
+}
+
 /// Language a tasklet body is written in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum TaskletLang {
@@ -62,6 +115,8 @@ pub struct MapScope {
     /// innermost dimension (used by code generation and the accelerator
     /// models; semantics-neutral for execution).
     pub vector_len: Option<u32>,
+    /// Instrumentation requested for this scope (semantics-neutral).
+    pub instrument: Instrument,
 }
 
 impl MapScope {
@@ -79,6 +134,7 @@ impl MapScope {
             schedule: Schedule::default(),
             unroll: false,
             vector_len: None,
+            instrument: Instrument::default(),
         }
     }
 

@@ -35,6 +35,9 @@ pub struct State {
     pub label: String,
     /// The dataflow multigraph.
     pub graph: MultiGraph<Node, Dataflow>,
+    /// Instrumentation requested for this state (semantics-neutral; see
+    /// [`crate::node::Instrument`]).
+    pub instrument: crate::node::Instrument,
 }
 
 impl State {
@@ -43,6 +46,7 @@ impl State {
         State {
             label: label.into(),
             graph: MultiGraph::new(),
+            instrument: crate::node::Instrument::default(),
         }
     }
 

@@ -82,6 +82,12 @@ impl SharedBuffer {
     }
 
     /// Raw mutable slice view (single-threaded phases only).
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no other reference (shared or mutable)
+    /// to the buffer's contents exists for the lifetime of the returned
+    /// slice — i.e. only call this from single-threaded phases.
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn as_mut_slice(&self) -> &mut [f64] {

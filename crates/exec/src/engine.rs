@@ -6,14 +6,19 @@ use crate::buffer::SharedBuffer;
 use parking_lot::Mutex;
 use sdfg_core::desc::DataDesc;
 use sdfg_core::scope::ScopeTree;
-use sdfg_core::{Node, Schedule, Sdfg, StateId, Subset, Wcr};
+use sdfg_core::{Instrument, Node, Schedule, Sdfg, StateId, Subset, Wcr};
 use sdfg_graph::{EdgeId, NodeId};
 use sdfg_lang::recognize::{apply_binop_kind, Operand, Pattern};
 use sdfg_lang::{LangError, OutPort, RuntimeError, TaskletProgram, TaskletVm};
+use sdfg_profile::{
+    InstrumentationReport, Mode as ProfMode, ProfileCollector, Profiling, Span, SpanKey, Tier,
+    WorkerProfile,
+};
 use sdfg_symbolic::{Env, EvalError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Executor failure.
 #[derive(Debug)]
@@ -145,6 +150,79 @@ pub struct Executor<'s> {
     pub max_transitions: usize,
     /// Statistics from the last `run`.
     pub stats: Stats,
+    /// Profiling switch for the next `run` (default off).
+    pub profiling: Profiling,
+    /// Instrumentation report from the last profiled `run`.
+    pub last_report: Option<InstrumentationReport>,
+}
+
+/// Pre-resolved profiling plan: per-scope modes are looked up once per
+/// state execution / map launch, never per point. `None` in `Ctx::prof`
+/// is the zero-overhead path.
+struct Prof {
+    collector: ProfileCollector,
+    state_modes: HashMap<u32, ProfMode>,
+    map_modes: HashMap<(u32, u32), ProfMode>,
+    next_worker: AtomicU32,
+}
+
+impl Prof {
+    /// Resolves SDFG annotations against the engine switch.
+    fn build(sdfg: &Sdfg, profiling: Profiling) -> Option<Prof> {
+        if profiling == Profiling::Off {
+            return None;
+        }
+        let resolve = |ann: Instrument| -> ProfMode {
+            match (profiling, ann) {
+                (Profiling::ForceTimers, _) => ProfMode::Timer,
+                (_, Instrument::Timer) => ProfMode::Timer,
+                (_, Instrument::Counter) => ProfMode::Counter,
+                (_, Instrument::None) => ProfMode::Off,
+            }
+        };
+        let collector = ProfileCollector::new();
+        let mut state_modes = HashMap::new();
+        let mut map_modes = HashMap::new();
+        for sid in sdfg.graph.node_ids() {
+            let state = sdfg.graph.node(sid);
+            let sm = resolve(state.instrument);
+            if sm != ProfMode::Off {
+                state_modes.insert(sid.0, sm);
+                collector.register_label(SpanKey::State(sid.0), state.label.clone());
+            }
+            for nid in state.graph.node_ids() {
+                if let Node::MapEntry(m) = state.graph.node(nid) {
+                    let mm = resolve(m.instrument);
+                    if mm != ProfMode::Off {
+                        map_modes.insert((sid.0, nid.0), mm);
+                        collector.register_label(
+                            SpanKey::Map {
+                                state: sid.0,
+                                node: nid.0,
+                            },
+                            format!("{} {}", m.label, state.graph.node(nid).label()),
+                        );
+                    }
+                }
+            }
+        }
+        Some(Prof {
+            collector,
+            state_modes,
+            map_modes,
+            next_worker: AtomicU32::new(0),
+        })
+    }
+
+    #[inline]
+    fn state_mode(&self, sid: u32) -> ProfMode {
+        self.state_modes.get(&sid).copied().unwrap_or(ProfMode::Off)
+    }
+
+    #[inline]
+    fn map_mode(&self, key: (u32, u32)) -> ProfMode {
+        self.map_modes.get(&key).copied().unwrap_or(ProfMode::Off)
+    }
 }
 
 /// Shared run context.
@@ -157,6 +235,8 @@ struct Ctx<'s> {
     streams: HashMap<String, Mutex<VecDeque<f64>>>,
     stats: AtomicStats,
     nthreads: usize,
+    /// Profiling plan; `None` when profiling is off.
+    prof: Option<Prof>,
 }
 
 impl Ctx<'_> {
@@ -201,10 +281,20 @@ struct Worker<'c, 's> {
     /// (keeps atomics out of inner loops).
     st_points: u64,
     st_native: u64,
+    /// Lock-free profile, absorbed by the collector at `flush_stats`.
+    /// `None` when profiling is off.
+    prof: Option<Box<WorkerProfile>>,
+    /// Innermost enclosing Timer-mode map: tier attribution target.
+    cur_map: Option<(u32, u32)>,
 }
 
 impl<'c, 's> Worker<'c, 's> {
     fn new(ctx: &'c Ctx<'s>, env: Env) -> Self {
+        let prof = ctx.prof.as_ref().map(|p| {
+            Box::new(WorkerProfile::new(
+                p.next_worker.fetch_add(1, Ordering::Relaxed),
+            ))
+        });
         Worker {
             ctx,
             vm: TaskletVm::new(),
@@ -220,10 +310,13 @@ impl<'c, 's> Worker<'c, 's> {
             map_cache: HashMap::new(),
             st_points: 0,
             st_native: 0,
+            prof,
+            cur_map: None,
         }
     }
 
-    /// Flushes locally-accumulated statistics to the shared counters.
+    /// Flushes locally-accumulated statistics to the shared counters and
+    /// hands the worker's profile to the collector (one lock, once).
     fn flush_stats(&mut self) {
         if self.st_points > 0 {
             self.ctx
@@ -238,6 +331,35 @@ impl<'c, 's> Worker<'c, 's> {
                 .native_points
                 .fetch_add(self.st_native, Ordering::Relaxed);
             self.st_native = 0;
+        }
+        if let (Some(wp), Some(p)) = (self.prof.take(), self.ctx.prof.as_ref()) {
+            if !wp.is_empty() {
+                p.collector.absorb(*wp);
+            }
+        }
+    }
+
+    /// Starts a tier measurement: `Some((start_ns, tasklet points so
+    /// far))` only inside a Timer-instrumented map. One branch otherwise.
+    #[inline]
+    fn tier_clock(&self) -> Option<(u64, u64)> {
+        match (&self.cur_map, &self.ctx.prof) {
+            (Some(_), Some(p)) => Some((p.collector.now_ns(), self.st_points)),
+            _ => None,
+        }
+    }
+
+    /// Closes a tier measurement opened by [`Worker::tier_clock`]; point
+    /// count is the `st_points` delta, so it works for whole-chunk native
+    /// loops and per-point fallbacks alike.
+    #[inline]
+    fn tier_record(&mut self, t0: Option<(u64, u64)>, tier: Tier) {
+        let Some((start, p0)) = t0 else { return };
+        let Some(p) = &self.ctx.prof else { return };
+        let ns = p.collector.now_ns().saturating_sub(start);
+        let points = self.st_points.saturating_sub(p0);
+        if let (Some(key), Some(wp)) = (self.cur_map, self.prof.as_mut()) {
+            wp.tiers.entry(key).or_default().add(tier, points, ns);
         }
     }
 
@@ -339,7 +461,15 @@ impl<'s> Executor<'s> {
                 .unwrap_or(1),
             max_transitions: 10_000_000,
             stats: Stats::default(),
+            profiling: Profiling::default(),
+            last_report: None,
         }
+    }
+
+    /// Sets the profiling switch for subsequent `run`s.
+    pub fn enable_profiling(&mut self, profiling: Profiling) -> &mut Self {
+        self.profiling = profiling;
+        self
     }
 
     /// Binds a symbol.
@@ -384,6 +514,7 @@ impl<'s> Executor<'s> {
                 .collect(),
             stats: AtomicStats::default(),
             nthreads: self.nthreads.max(1),
+            prof: Prof::build(self.sdfg, self.profiling),
         };
         let result = self.drive(&ctx);
         // Move storage back even on error.
@@ -398,6 +529,10 @@ impl<'s> Executor<'s> {
             .map(|(k, v)| (k, v.into_inner()))
             .collect();
         self.stats = ctx.stats.snapshot();
+        self.last_report = ctx.prof.take().map(|p| {
+            let wall = Duration::from_nanos(p.collector.now_ns());
+            p.collector.finish(wall)
+        });
         result?;
         Ok(self.stats.clone())
     }
@@ -502,17 +637,48 @@ fn exec_state(ctx: &Ctx, sid: StateId, symbols: &Env) -> Result<(), ExecError> {
         sdfg_core::scope::scope_tree(state).map_err(|e| ExecError::BadGraph(e.to_string()))?;
     let order = state.topological_order();
     let mut worker = Worker::new(ctx, symbols.clone());
+    let mode = match &ctx.prof {
+        Some(p) => p.state_mode(sid.0),
+        None => ProfMode::Off,
+    };
+    let start = match (mode, &ctx.prof) {
+        (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
+        _ => None,
+    };
+    let mut result = Ok(());
     for n in order {
         if tree.scope_of(n).is_none() {
             let r = exec_node(ctx, sid, &tree, n, &mut worker, None);
             if r.is_err() {
-                worker.flush_stats();
-                return r;
+                result = r;
+                break;
+            }
+        }
+    }
+    match mode {
+        ProfMode::Off => {}
+        ProfMode::Counter => {
+            if let Some(wp) = worker.prof.as_mut() {
+                wp.states.entry(sid.0).or_default().bump();
+            }
+        }
+        ProfMode::Timer => {
+            if let (Some(p), Some(s)) = (&ctx.prof, start) {
+                let dur = p.collector.now_ns().saturating_sub(s);
+                if let Some(wp) = worker.prof.as_mut() {
+                    wp.states.entry(sid.0).or_default().record(dur);
+                    wp.timeline.push(Span {
+                        key: SpanKey::State(sid.0),
+                        worker: wp.worker,
+                        start_ns: s,
+                        dur_ns: dur,
+                    });
+                }
             }
         }
     }
     worker.flush_stats();
-    Ok(())
+    result
 }
 
 /// Executes one node in the current worker. `stream_override` carries a
@@ -659,6 +825,9 @@ fn copy_window(
     ctx.stats
         .elements_copied
         .fetch_add(window.len() as u64, Ordering::Relaxed);
+    if let Some(wp) = worker.prof.as_mut() {
+        wp.bytes_moved += window.len() as u64 * std::mem::size_of::<f64>() as u64;
+    }
     let full;
     let dsub = match dst_subset {
         Some(s) => s,
@@ -1281,13 +1450,9 @@ fn run_tasklet_point(
         let mut scalar_slots: Vec<[f64; 1]> = prepared
             .iter()
             .map(|p| match p {
-                PreparedOut::ScalarDirect { off, wcr, data, .. } => {
-                    if wcr.is_none() {
-                        // Preserve read-modify-write semantics.
-                        [worker.buf(data).map(|b| b.read(*off)).unwrap_or(0.0)]
-                    } else {
-                        [0.0]
-                    }
+                PreparedOut::ScalarDirect { off, wcr: None, data, .. } => {
+                    // Preserve read-modify-write semantics.
+                    [worker.buf(data).map(|b| b.read(*off)).unwrap_or(0.0)]
                 }
                 _ => [0.0],
             })
@@ -1431,11 +1596,15 @@ fn run_tasklet_point(
     Ok(())
 }
 
+/// Per-dimension `(begin, end, step, tile)` bounds plus strides for one
+/// output window.
+type WindowDims = (Vec<(i64, i64, i64, i64)>, Vec<i64>);
+
 fn window_dims(
     worker: &Worker,
     port: &OutPortPlan,
     point: &[i64],
-) -> Result<(Vec<(i64, i64, i64, i64)>, Vec<i64>), ExecError> {
+) -> Result<WindowDims, ExecError> {
     match &port.window {
         WindowPlan::Window {
             dims,
@@ -1656,6 +1825,46 @@ fn exec_map(
     worker: &mut Worker,
 ) -> Result<(), ExecError> {
     ctx.stats.map_launches.fetch_add(1, Ordering::Relaxed);
+    let pkey = (sid.0, entry.0);
+    let pmode = match &ctx.prof {
+        Some(p) => p.map_mode(pkey),
+        None => ProfMode::Off,
+    };
+    let pstart = match (pmode, &ctx.prof) {
+        (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
+        _ => None,
+    };
+    let saved_cur_map = worker.cur_map;
+    if pmode == ProfMode::Timer {
+        worker.cur_map = Some(pkey);
+    }
+    // Closes the map measurement on the success paths (the restore of
+    // `cur_map` itself lives in `pop`, which runs on every exit).
+    let prof_close = |w: &mut Worker| match pmode {
+        ProfMode::Off => {}
+        ProfMode::Counter => {
+            if let Some(wp) = w.prof.as_mut() {
+                wp.maps.entry(pkey).or_default().bump();
+            }
+        }
+        ProfMode::Timer => {
+            if let (Some(p), Some(s)) = (&ctx.prof, pstart) {
+                let dur = p.collector.now_ns().saturating_sub(s);
+                if let Some(wp) = w.prof.as_mut() {
+                    wp.maps.entry(pkey).or_default().record(dur);
+                    wp.timeline.push(Span {
+                        key: SpanKey::Map {
+                            state: pkey.0,
+                            node: pkey.1,
+                        },
+                        worker: wp.worker,
+                        start_ns: s,
+                        dur_ns: dur,
+                    });
+                }
+            }
+        }
+    };
     let state = ctx.sdfg.state(sid);
     // Parallelism decision (made before compiling bodies so the WCR race
     // analysis knows the chunked parameter). NOTE: compile caching means
@@ -1714,6 +1923,7 @@ fn exec_map(
         w.point.truncate(base);
         w.pcounts.truncate(base);
         w.chunk_param = saved_chunk;
+        w.cur_map = saved_cur_map;
     };
     let (d0s, d0e, d0st, _) = ranges[0].eval(&worker.env)?;
     if d0st <= 0 {
@@ -1723,6 +1933,7 @@ fn exec_map(
     let n0 = ((d0e - d0s) + d0st - 1).div_euclid(d0st).max(0) as usize;
     if n0 == 0 {
         pop(worker);
+        prof_close(worker);
         return Ok(());
     }
     if !parallel || n0 == 1 {
@@ -1740,6 +1951,9 @@ fn exec_map(
         };
         worker.nested = was_nested;
         pop(worker);
+        if r.is_ok() {
+            prof_close(worker);
+        }
         return r;
     }
     ctx.stats.parallel_regions.fetch_add(1, Ordering::Relaxed);
@@ -1769,12 +1983,35 @@ fn exec_map(
                 w.pcounts = pcounts;
                 w.chunk_param = Some(base);
                 w.point = vec![0; w.pstack.len()];
+                // Timeline span per worker chunk (the parent records the
+                // aggregate launch; tiers attribute to this map here too).
+                let cstart = match (pmode, &ctx.prof) {
+                    (ProfMode::Timer, Some(p)) => {
+                        w.cur_map = Some(pkey);
+                        Some(p.collector.now_ns())
+                    }
+                    _ => None,
+                };
                 if let Err(e) = run_map_serial(
                     ctx, sid, tree, params, ranges, body, &mut w, base, lo, hi, d0st,
                 ) {
                     let mut slot = first_err.lock();
                     if slot.is_none() {
                         *slot = Some(e);
+                    }
+                }
+                if let (Some(s), Some(p)) = (cstart, &ctx.prof) {
+                    let dur = p.collector.now_ns().saturating_sub(s);
+                    if let Some(wp) = w.prof.as_mut() {
+                        wp.timeline.push(Span {
+                            key: SpanKey::Map {
+                                state: pkey.0,
+                                node: pkey.1,
+                            },
+                            worker: wp.worker,
+                            start_ns: s,
+                            dur_ns: dur,
+                        });
                     }
                 }
                 w.flush_stats();
@@ -1784,7 +2021,10 @@ fn exec_map(
     pop(worker);
     match first_err.get_mut().take() {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => {
+            prof_close(worker);
+            Ok(())
+        }
     }
 }
 
@@ -1868,10 +2108,17 @@ fn run_map_fast(
         // Symbolic plans, which env_free_bounds excluded).
         let mut handled = false;
         if let Some(t) = &single {
-            handled = try_native_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some()
-                || try_vm_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some();
+            let t0 = worker.tier_clock();
+            if try_native_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
+                worker.tier_record(t0, Tier::NativeKernel);
+                handled = true;
+            } else if try_vm_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
+                worker.tier_record(t0, Tier::AffineVm);
+                handled = true;
+            }
         }
         if !handled {
+            let t0 = worker.tier_clock();
             let mut v = is_;
             while v < ie_ {
                 worker.point[base + nd - 1] = v;
@@ -1880,6 +2127,7 @@ fn run_map_fast(
                 }
                 v += ist;
             }
+            worker.tier_record(t0, Tier::Symbolic);
         }
         // Odometer over the outer dims.
         if nd == 1 {
@@ -1934,15 +2182,26 @@ fn run_map_serial(
         if let MapBody::Tasklets(ts) = body {
             if ts.len() == 1 {
                 let t = ts[0].1.clone();
+                let t0 = worker.tier_clock();
                 if try_native_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
+                    worker.tier_record(t0, Tier::NativeKernel);
                     return Ok(());
                 }
                 if try_vm_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
+                    worker.tier_record(t0, Tier::AffineVm);
                     return Ok(());
                 }
             }
         }
     }
+    // Single-dimension tasklet bodies falling through run per point on
+    // the symbolic path; multi-dimension nests attribute tiers at the
+    // innermost level (`map_inner_dims`).
+    let t0 = if params.len() == 1 && matches!(body, MapBody::Tasklets(_)) {
+        worker.tier_clock()
+    } else {
+        None
+    };
     let mut v = lo;
     while v < hi {
         worker.point[base] = v;
@@ -1950,6 +2209,7 @@ fn run_map_serial(
         map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, 1)?;
         v += step;
     }
+    worker.tier_record(t0, Tier::Symbolic);
     Ok(())
 }
 
@@ -1978,15 +2238,25 @@ fn map_inner_dims(
         if let MapBody::Tasklets(ts) = body {
             if ts.len() == 1 {
                 let t = ts[0].1.clone();
+                let t0 = worker.tier_clock();
                 if try_native_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
+                    worker.tier_record(t0, Tier::NativeKernel);
                     return Ok(());
                 }
                 if try_vm_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
+                    worker.tier_record(t0, Tier::AffineVm);
                     return Ok(());
                 }
             }
         }
     }
+    // Innermost rows that fall through run on the per-point symbolic
+    // path; outer dimensions recurse without attributing time.
+    let t0 = if dim == params.len() - 1 && matches!(body, MapBody::Tasklets(_)) {
+        worker.tier_clock()
+    } else {
+        None
+    };
     let mut v = s;
     while v < e {
         worker.point[base + dim] = v;
@@ -1994,6 +2264,7 @@ fn map_inner_dims(
         map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, dim + 1)?;
         v += st;
     }
+    worker.tier_record(t0, Tier::Symbolic);
     Ok(())
 }
 
@@ -2062,6 +2333,9 @@ fn run_map_body(
                 ctx.stats
                     .elements_copied
                     .fetch_add(window.len() as u64, Ordering::Relaxed);
+                if let Some(wp) = worker.prof.as_mut() {
+                    wp.bytes_moved += window.len() as u64 * std::mem::size_of::<f64>() as u64;
+                }
                 scatter_symbolic(worker, &global, &m.subset, &window, m.wcr.as_ref())?;
             }
             Ok(())
@@ -2463,8 +2737,9 @@ fn try_vm_loop(
     for p in &bt.ins {
         in_bufs.push(getbuf(p.slot, &p.data)?);
     }
-    let mut out_bufs: Vec<(Option<&SharedBuffer>, Option<fn(f64, f64) -> f64>, bool, bool)> =
-        Vec::with_capacity(bt.outs.len());
+    // (buffer, wcr combiner, atomic?, log?) per output.
+    type OutBufRef<'a> = (Option<&'a SharedBuffer>, Option<fn(f64, f64) -> f64>, bool, bool);
+    let mut out_bufs: Vec<OutBufRef> = Vec::with_capacity(bt.outs.len());
     for (k, o) in bt.outs.iter().enumerate() {
         let f = match &o.wcr {
             None => None,

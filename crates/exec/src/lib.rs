@@ -31,3 +31,6 @@ pub mod buffer;
 pub mod engine;
 
 pub use engine::{ExecError, Executor, Stats};
+// Re-export the profiling vocabulary so callers can enable instrumentation
+// and consume reports without naming `sdfg-profile` directly.
+pub use sdfg_profile::{InstrumentationReport, Profiling};

@@ -356,7 +356,7 @@ fn filter_stream_sdfg(thresh: f64) -> sdfg_core::Sdfg {
             "pred",
             &["x"],
             &["S_out"],
-            &format!("if x > {thresh}:\n    S_out.push(x)"),
+            format!("if x > {thresh}:\n    S_out.push(x)"),
         );
         st.add_edge(col, None, me, Some("IN_col"), Memlet::parse("col", "0:N"));
         st.add_edge(me, Some("OUT_col"), t, Some("x"), Memlet::parse("col", "i"));

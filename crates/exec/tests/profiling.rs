@@ -1,0 +1,214 @@
+//! Instrumentation-layer integration tests: parallel-merge determinism,
+//! the counter-only (clock-free) path, forced-timer reports on both
+//! engines, and the zero-overhead disabled path.
+
+use sdfg_core::{DType, Instrument, Node, Sdfg};
+use sdfg_exec::{Executor, Profiling};
+use sdfg_frontend::SdfgBuilder;
+use sdfg_interp::Interpreter;
+
+/// `T` loop iterations around one parallel map over `N` elements.
+fn looped_kernel() -> Sdfg {
+    let mut b = SdfgBuilder::new("looped");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("A", &["N"], DType::F64);
+    let body = b.state("body");
+    b.mapped_tasklet(
+        body,
+        "scale",
+        &[("i", "0:N")],
+        &[("a", "A", "i")],
+        "o = a * 2",
+        &[("o", "A", "i")],
+    );
+    b.add_loop(body, "t", "0", "t < T", "1");
+    b.build().expect("valid SDFG")
+}
+
+/// Sets the given instrumentation on every state and map entry.
+fn annotate(sdfg: &mut Sdfg, ins: Instrument) {
+    let sids: Vec<_> = sdfg.graph.node_ids().collect();
+    for sid in sids {
+        let state = sdfg.state_mut(sid);
+        state.instrument = ins;
+        let nids: Vec<_> = state.graph.node_ids().collect();
+        for nid in nids {
+            if let Node::MapEntry(m) = state.graph.node_mut(nid) {
+                m.instrument = ins;
+            }
+        }
+    }
+}
+
+fn run(sdfg: &Sdfg, profiling: Profiling, nthreads: usize) -> Executor<'_> {
+    let mut ex = Executor::new(sdfg);
+    ex.enable_profiling(profiling);
+    ex.nthreads = nthreads;
+    ex.set_symbol("N", 64).set_symbol("T", 5);
+    ex.set_array("A", vec![1.0; 64]);
+    ex.run().expect("exec runs");
+    ex
+}
+
+#[test]
+fn state_visits_from_parallel_regions_are_deterministic_sorted_summed() {
+    let sdfg = looped_kernel();
+    let a = run(&sdfg, Profiling::Off, 4);
+    let b = run(&sdfg, Profiling::Off, 4);
+    // Sorted by state id.
+    let keys: Vec<u32> = a.stats.state_visits.iter().map(|(k, _)| *k).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "state_visits sorted and unique");
+    // Visit counts sum to the total number of state executions.
+    let total: u64 = a.stats.state_visits.iter().map(|(_, n)| *n).sum();
+    assert_eq!(total, a.stats.states_executed);
+    // body ×5, init ×1, guard ×6, exit ×1.
+    assert_eq!(a.stats.states_executed, 13);
+    // Deterministic across runs (merge order of worker flushes varies).
+    assert_eq!(a.stats.state_visits, b.stats.state_visits);
+    assert_eq!(a.stats.tasklet_points, 5 * 64);
+}
+
+#[test]
+fn force_timers_produces_full_report() {
+    let sdfg = looped_kernel();
+    let ex = run(&sdfg, Profiling::ForceTimers, 4);
+    let report = ex.last_report.as_ref().expect("report present");
+    // Every executed state has a timed stat; the map was launched 5 times.
+    let state_count: u64 = report.states.values().map(|s| s.count).sum();
+    assert_eq!(state_count, ex.stats.states_executed);
+    let map = report.maps.values().next().expect("map stat");
+    assert_eq!(report.maps.len(), 1);
+    assert_eq!(map.count, 5);
+    assert!(map.total_ns > 0, "timed map has wall time");
+    assert!(map.min_ns <= map.max_ns);
+    // Tier breakdown accounts for every tasklet point.
+    let tier_points: u64 = report
+        .tiers
+        .values()
+        .map(|t| t.points.iter().sum::<u64>())
+        .sum();
+    assert_eq!(tier_points, ex.stats.tasklet_points);
+    // Timeline spans exist and the renderers run.
+    assert!(!report.timeline.is_empty());
+    let table = report.hot_path_table();
+    assert!(table.contains("scale") || table.contains("map"), "{table}");
+    let trace = report.chrome_trace();
+    assert!(trace.contains("\"ph\":\"X\""));
+    assert!(report.map_coverage() > 0.0);
+}
+
+#[test]
+fn report_counts_are_deterministic_across_runs() {
+    let sdfg = looped_kernel();
+    let a = run(&sdfg, Profiling::ForceTimers, 4);
+    let b = run(&sdfg, Profiling::ForceTimers, 4);
+    let ra = a.last_report.as_ref().unwrap();
+    let rb = b.last_report.as_ref().unwrap();
+    let counts = |r: &sdfg_exec::InstrumentationReport| {
+        (
+            r.states.iter().map(|(k, s)| (*k, s.count)).collect::<Vec<_>>(),
+            r.maps.iter().map(|(k, s)| (*k, s.count)).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(counts(ra), counts(rb));
+}
+
+#[test]
+fn counter_mode_counts_without_reading_the_clock() {
+    // Mid-size kernel so a stray per-point timer call would be obvious in
+    // the report (65536 points); `Counter` must record entry counts only.
+    let mut b = SdfgBuilder::new("mid");
+    b.symbol("N");
+    b.array("A", &["N*N"], DType::F64);
+    let st = b.state("main");
+    b.mapped_tasklet(
+        st,
+        "sq",
+        &[("i", "0:N"), ("j", "0:N")],
+        &[("a", "A", "i*N + j")],
+        "o = a * a",
+        &[("o", "A", "i*N + j")],
+    );
+    let mut sdfg = b.build().expect("valid SDFG");
+    annotate(&mut sdfg, Instrument::Counter);
+    let mut ex = Executor::new(&sdfg);
+    ex.enable_profiling(Profiling::Annotated);
+    ex.set_symbol("N", 256);
+    ex.set_array("A", vec![1.5; 256 * 256]);
+    ex.run().expect("exec runs");
+    let report = ex.last_report.as_ref().expect("report present");
+    // Counts recorded…
+    assert_eq!(report.states.values().map(|s| s.count).sum::<u64>(), 1);
+    assert_eq!(report.maps.values().map(|s| s.count).sum::<u64>(), 1);
+    // …but the clock-dependent channels are untouched: no spans, no tier
+    // timings, zero recorded nanoseconds anywhere.
+    assert!(report.timeline.is_empty(), "counter mode records no spans");
+    assert!(report.tiers.is_empty(), "counter mode records no tiers");
+    for s in report.states.values().chain(report.maps.values()) {
+        assert_eq!(s.total_ns, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+}
+
+#[test]
+fn disabled_profiling_reports_nothing_and_annotations_are_inert() {
+    let mut sdfg = looped_kernel();
+    annotate(&mut sdfg, Instrument::Timer);
+    let unannotated = looped_kernel();
+    let plain = run(&unannotated, Profiling::Off, 2);
+    let annotated = run(&sdfg, Profiling::Off, 2);
+    assert!(annotated.last_report.is_none(), "off = no report");
+    // Annotations change nothing about execution when profiling is off.
+    assert_eq!(plain.stats.tasklet_points, annotated.stats.tasklet_points);
+    assert_eq!(plain.stats.map_launches, annotated.stats.map_launches);
+    assert_eq!(plain.array("A"), annotated.array("A"));
+}
+
+#[test]
+fn annotated_mode_honors_per_scope_selection() {
+    // Timer on the map only: the report sees the map, not the states.
+    let mut sdfg = looped_kernel();
+    let sids: Vec<_> = sdfg.graph.node_ids().collect();
+    for sid in sids {
+        let state = sdfg.state_mut(sid);
+        let nids: Vec<_> = state.graph.node_ids().collect();
+        for nid in nids {
+            if let Node::MapEntry(m) = state.graph.node_mut(nid) {
+                m.instrument = Instrument::Timer;
+            }
+        }
+    }
+    let ex = run(&sdfg, Profiling::Annotated, 2);
+    let report = ex.last_report.as_ref().unwrap();
+    assert!(report.states.is_empty());
+    assert_eq!(report.maps.values().map(|s| s.count).sum::<u64>(), 5);
+}
+
+#[test]
+fn interpreter_profiles_as_worker_zero() {
+    let sdfg = looped_kernel();
+    let mut it = Interpreter::new(&sdfg);
+    it.enable_profiling(Profiling::ForceTimers);
+    it.set_symbol("N", 64).set_symbol("T", 5);
+    it.set_array("A", vec![1.0; 64]);
+    it.run().expect("interp runs");
+    let report = it.last_report.as_ref().expect("report present");
+    assert_eq!(report.workers, 1);
+    assert_eq!(report.states.values().map(|s| s.count).sum::<u64>(), 13);
+    assert_eq!(report.maps.values().map(|s| s.count).sum::<u64>(), 5);
+    assert!(report.timeline.iter().all(|s| s.worker == 0));
+    assert!(report.map_total().as_nanos() > 0);
+    // Executor and interpreter agree on the data as well as the shape of
+    // the report.
+    let ex = run(&sdfg, Profiling::ForceTimers, 2);
+    let ex_report = ex.last_report.as_ref().unwrap();
+    assert_eq!(
+        ex_report.maps.keys().collect::<Vec<_>>(),
+        report.maps.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(it.array("A"), ex.array("A"));
+}

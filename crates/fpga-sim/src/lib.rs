@@ -107,12 +107,14 @@ pub fn run_fpga(
     }
     let env: Env = symbols.iter().map(|(s, v)| (s.to_string(), *v)).collect();
     let visits: HashMap<u32, u64> = stats.state_visits.iter().copied().collect();
-    let mut rep = FpgaReport::default();
-    rep.fifos = sdfg
-        .data
-        .values()
-        .filter(|d| matches!(d, DataDesc::Stream(_)))
-        .count() as u64;
+    let mut rep = FpgaReport {
+        fifos: sdfg
+            .data
+            .values()
+            .filter(|d| matches!(d, DataDesc::Stream(_)))
+            .count() as u64,
+        ..FpgaReport::default()
+    };
     for sid in sdfg.graph.node_ids() {
         let nv = *visits.get(&sid.0).unwrap_or(&0);
         if nv == 0 {

@@ -130,14 +130,14 @@ impl SdfgBuilder {
         let tasklet = st.add_tasklet(name, &in_conns, &out_conns, code);
         for (conn, data, subset) in inputs {
             let m = Memlet::parse(*data, subset);
-            thread_input(st, *data, &[entry], tasklet, conn, m);
+            thread_input(st, data, &[entry], tasklet, conn, m);
         }
         for (conn, data, subset, wcr) in outputs {
             let mut m = Memlet::parse(*data, subset);
             if let Some(w) = wcr {
                 m = m.with_wcr(w.clone());
             }
-            thread_output(st, *data, &[exit], tasklet, conn, m);
+            thread_output(st, data, &[exit], tasklet, conn, m);
         }
         // A tasklet with no inputs still needs to live inside the scope.
         if inputs.is_empty() {

@@ -487,8 +487,11 @@ impl Frontend {
         s: &Block,
         scopes: &[(NodeId, NodeId)],
     ) -> Result<(), FrontendError> {
-        let mut inputs: Vec<(String, String, String, Option<Expr>)> = Vec::new(); // conn, data, subset, volume
-        let mut outputs: Vec<(String, String, String, Option<Wcr>, Option<Expr>)> = Vec::new();
+        // conn, data, subset, volume (+ WCR for outputs)
+        type TaskletIn = (String, String, String, Option<Expr>);
+        type TaskletOut = (String, String, String, Option<Wcr>, Option<Expr>);
+        let mut inputs: Vec<TaskletIn> = Vec::new();
+        let mut outputs: Vec<TaskletOut> = Vec::new();
         let mut body_lines: Vec<String> = Vec::new();
         for child in &s.children {
             let t = &child.text;

@@ -38,3 +38,6 @@
 mod machine;
 
 pub use machine::{InterpError, Interpreter};
+// Re-export the profiling vocabulary so callers can enable instrumentation
+// and consume reports without naming `sdfg-profile` directly.
+pub use sdfg_profile::{InstrumentationReport, Profiling};

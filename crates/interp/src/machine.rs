@@ -1,12 +1,17 @@
 //! The interpreter engine.
 
 use sdfg_core::desc::DataDesc;
-use sdfg_core::{Node, Sdfg, StateId, Subset, Wcr};
+use sdfg_core::{Instrument, Node, Sdfg, StateId, Subset, Wcr};
 use sdfg_graph::{EdgeId, NodeId};
 use sdfg_lang::{LangError, OutPort, RuntimeError, TaskletProgram, TaskletVm};
+use sdfg_profile::{
+    InstrumentationReport, Mode as ProfMode, ProfileCollector, Profiling, Span, SpanKey,
+    WorkerProfile,
+};
 use sdfg_symbolic::{Env, EvalError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::time::Duration;
 
 /// Interpreter failure.
 #[derive(Debug)]
@@ -136,6 +141,79 @@ pub struct Interpreter<'s> {
     vm: TaskletVm,
     /// Maximum number of state transitions before aborting (default 10M).
     pub max_transitions: usize,
+    /// Profiling switch for the next `run` (default off).
+    pub profiling: Profiling,
+    /// Instrumentation report from the last profiled `run`.
+    pub last_report: Option<InstrumentationReport>,
+    /// Live profiling state during a `run`; the interpreter is
+    /// single-threaded, so everything records as worker 0.
+    prof: Option<InterpProf>,
+}
+
+/// Pre-resolved per-scope modes plus the single worker profile.
+struct InterpProf {
+    collector: ProfileCollector,
+    state_modes: HashMap<u32, ProfMode>,
+    map_modes: HashMap<(u32, u32), ProfMode>,
+    wp: WorkerProfile,
+}
+
+impl InterpProf {
+    fn build(sdfg: &Sdfg, profiling: Profiling) -> Option<InterpProf> {
+        if profiling == Profiling::Off {
+            return None;
+        }
+        let resolve = |ann: Instrument| -> ProfMode {
+            match (profiling, ann) {
+                (Profiling::ForceTimers, _) => ProfMode::Timer,
+                (_, Instrument::Timer) => ProfMode::Timer,
+                (_, Instrument::Counter) => ProfMode::Counter,
+                (_, Instrument::None) => ProfMode::Off,
+            }
+        };
+        let collector = ProfileCollector::new();
+        let mut state_modes = HashMap::new();
+        let mut map_modes = HashMap::new();
+        for sid in sdfg.graph.node_ids() {
+            let state = sdfg.graph.node(sid);
+            let sm = resolve(state.instrument);
+            if sm != ProfMode::Off {
+                state_modes.insert(sid.0, sm);
+                collector.register_label(SpanKey::State(sid.0), state.label.clone());
+            }
+            for nid in state.graph.node_ids() {
+                if let Node::MapEntry(m) = state.graph.node(nid) {
+                    let mm = resolve(m.instrument);
+                    if mm != ProfMode::Off {
+                        map_modes.insert((sid.0, nid.0), mm);
+                        collector.register_label(
+                            SpanKey::Map {
+                                state: sid.0,
+                                node: nid.0,
+                            },
+                            format!("{} {}", m.label, state.graph.node(nid).label()),
+                        );
+                    }
+                }
+            }
+        }
+        Some(InterpProf {
+            collector,
+            state_modes,
+            map_modes,
+            wp: WorkerProfile::new(0),
+        })
+    }
+
+    #[inline]
+    fn state_mode(&self, sid: u32) -> ProfMode {
+        self.state_modes.get(&sid).copied().unwrap_or(ProfMode::Off)
+    }
+
+    #[inline]
+    fn map_mode(&self, key: (u32, u32)) -> ProfMode {
+        self.map_modes.get(&key).copied().unwrap_or(ProfMode::Off)
+    }
 }
 
 impl<'s> Interpreter<'s> {
@@ -149,7 +227,16 @@ impl<'s> Interpreter<'s> {
             programs: HashMap::new(),
             vm: TaskletVm::new(),
             max_transitions: 10_000_000,
+            profiling: Profiling::default(),
+            last_report: None,
+            prof: None,
         }
+    }
+
+    /// Sets the profiling switch for subsequent `run`s.
+    pub fn enable_profiling(&mut self, profiling: Profiling) -> &mut Self {
+        self.profiling = profiling;
+        self
     }
 
     /// Binds a symbol.
@@ -174,6 +261,20 @@ impl<'s> Interpreter<'s> {
     /// Runs the SDFG to completion.
     pub fn run(&mut self) -> Result<(), InterpError> {
         self.prepare()?;
+        self.prof = InterpProf::build(self.sdfg, self.profiling);
+        let result = self.run_states();
+        if let Some(p) = self.prof.take() {
+            let InterpProf { collector, wp, .. } = p;
+            let wall = Duration::from_nanos(collector.now_ns());
+            if !wp.is_empty() {
+                collector.absorb(wp);
+            }
+            self.last_report = Some(collector.finish(wall));
+        }
+        result
+    }
+
+    fn run_states(&mut self) -> Result<(), InterpError> {
         let Some(start) = self.sdfg.start else {
             return Ok(());
         };
@@ -280,6 +381,14 @@ impl<'s> Interpreter<'s> {
     }
 
     fn exec_state(&mut self, sid: StateId) -> Result<(), InterpError> {
+        let mode = match &self.prof {
+            Some(p) => p.state_mode(sid.0),
+            None => ProfMode::Off,
+        };
+        let start = match (mode, &self.prof) {
+            (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
+            _ => None,
+        };
         let state = self.sdfg.state(sid);
         let tree = sdfg_core::scope::scope_tree(state)
             .map_err(|e| InterpError::BadGraph(e.to_string()))?;
@@ -290,7 +399,38 @@ impl<'s> Interpreter<'s> {
                 self.exec_node(sid, &tree, n, &env, None)?;
             }
         }
+        self.prof_scope(mode, start, SpanKey::State(sid.0));
         Ok(())
+    }
+
+    /// Records one scope entry into the worker-0 profile.
+    fn prof_scope(&mut self, mode: ProfMode, start: Option<u64>, key: SpanKey) {
+        let Some(p) = self.prof.as_mut() else { return };
+        match mode {
+            ProfMode::Off => {}
+            ProfMode::Counter => {
+                let stat = match key {
+                    SpanKey::State(s) => p.wp.states.entry(s).or_default(),
+                    SpanKey::Map { state, node } => p.wp.maps.entry((state, node)).or_default(),
+                };
+                stat.bump();
+            }
+            ProfMode::Timer => {
+                let Some(s) = start else { return };
+                let dur = p.collector.now_ns().saturating_sub(s);
+                let stat = match key {
+                    SpanKey::State(st) => p.wp.states.entry(st).or_default(),
+                    SpanKey::Map { state, node } => p.wp.maps.entry((state, node)).or_default(),
+                };
+                stat.record(dur);
+                p.wp.timeline.push(Span {
+                    key,
+                    worker: 0,
+                    start_ns: s,
+                    dur_ns: dur,
+                });
+            }
+        }
     }
 
     /// Executes one node. `stream_override` supplies the popped element for
@@ -523,10 +663,10 @@ impl<'s> Interpreter<'s> {
             } else {
                 let dims = m.subset.eval(env)?;
                 let len = count_elems(&dims);
-                if m.wcr.is_some() {
+                if let Some(w) = &m.wcr {
                     // Identity prefill (per element type).
                     let dtype = self.sdfg.desc(&data).map(|d| d.dtype()).unwrap();
-                    let wcr = CompiledWcr::compile(m.wcr.as_ref().unwrap())?;
+                    let wcr = CompiledWcr::compile(w)?;
                     vec![wcr.identity(dtype).unwrap_or(0.0); len]
                 } else {
                     // Prefill with current contents (partial writes, `+=`).
@@ -589,6 +729,14 @@ impl<'s> Interpreter<'s> {
         entry: NodeId,
         env: &Env,
     ) -> Result<(), InterpError> {
+        let pmode = match &self.prof {
+            Some(p) => p.map_mode((sid.0, entry.0)),
+            None => ProfMode::Off,
+        };
+        let pstart = match (pmode, &self.prof) {
+            (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
+            _ => None,
+        };
         let state = self.sdfg.state(sid);
         let Node::MapEntry(scope) = state.graph.node(entry) else {
             unreachable!()
@@ -651,7 +799,28 @@ impl<'s> Interpreter<'s> {
         }
         // Enumerate the iteration space as a recursive loop nest so that
         // inner ranges may reference outer parameters (triangular maps).
-        self.map_dim(sid, tree, &params, &ranges, 0, &mut env, &children, &owned, &writebacks)
+        let r = self.map_dim(
+            sid,
+            tree,
+            &params,
+            &ranges,
+            0,
+            &mut env,
+            &children,
+            &owned,
+            &writebacks,
+        );
+        if r.is_ok() {
+            self.prof_scope(
+                pmode,
+                pstart,
+                SpanKey::Map {
+                    state: sid.0,
+                    node: entry.0,
+                },
+            );
+        }
+        r
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -731,6 +900,9 @@ impl<'s> Interpreter<'s> {
                 .cloned()
                 .ok_or_else(|| InterpError::MissingArray(local.clone()))?,
         };
+        if let Some(p) = self.prof.as_mut() {
+            p.wp.bytes_moved += window.len() as u64 * std::mem::size_of::<f64>() as u64;
+        }
         match &m.wcr {
             Some(w) => {
                 let cw = CompiledWcr::compile(w)?;
@@ -770,11 +942,7 @@ impl<'s> Interpreter<'s> {
         let mut iter = 0i64;
         // Sequential drain (PEs are a parallelism hint; semantics are
         // order-insensitive by construction).
-        loop {
-            let Some(v) = self.streams.entry(stream_name.clone()).or_default().pop_front()
-            else {
-                break;
-            };
+        while let Some(v) = self.streams.entry(stream_name.clone()).or_default().pop_front() {
             env.insert(pe_param.clone(), iter);
             iter += 1;
             for &c in &children {
@@ -831,7 +999,7 @@ impl<'s> Interpreter<'s> {
         ];
         let mut initialized = vec![identity.is_some() || matches!(wcr, CompiledWcr::Builtin(_)); out_len];
         // Iterate the full input space.
-        let total: usize = sizes.iter().product::<usize>().max(0);
+        let total: usize = sizes.iter().product::<usize>();
         let mut strides_out = vec![1usize; out_sizes.len()];
         for d in (0..out_sizes.len().saturating_sub(1)).rev() {
             strides_out[d] = strides_out[d + 1] * out_sizes[d + 1];
@@ -840,14 +1008,13 @@ impl<'s> Interpreter<'s> {
         for d in (0..rank.saturating_sub(1)).rev() {
             in_strides[d] = in_strides[d + 1] * sizes[d + 1];
         }
-        for flat in 0..total {
+        for (flat, &v) in window.iter().enumerate().take(total) {
             // Decompose flat into multi-index.
             let mut out_pos = 0usize;
             for (k, &d) in keep_axes.iter().enumerate() {
                 let coord = (flat / in_strides[d]) % sizes[d];
                 out_pos += coord * strides_out[k];
             }
-            let v = window[flat];
             if initialized[out_pos] {
                 acc[out_pos] = wcr.apply(&mut self.vm, acc[out_pos], v)?;
             } else {

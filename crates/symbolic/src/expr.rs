@@ -153,11 +153,13 @@ impl Expr {
     }
 
     /// `self - other` (simplified).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::add([self, other.neg()])
     }
 
     /// Negation (simplified).
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::mul([Expr::Int(-1), self])
     }

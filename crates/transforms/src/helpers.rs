@@ -194,6 +194,40 @@ pub fn fresh_param(sdfg: &Sdfg, base: &str) -> String {
     unreachable!()
 }
 
+/// Stable dependency sort of map parameters: a parameter whose range
+/// references another parameter of the same map must be bound (listed)
+/// after it. Order among independent parameters is preserved. Cyclic
+/// references (invalid anyway) are left as-is and caught by validation.
+pub fn dependency_sort_params(params: &mut Vec<String>, ranges: &mut Vec<sdfg_symbolic::SymRange>) {
+    let n = params.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let mut picked = None;
+        for (slot, &i) in remaining.iter().enumerate() {
+            let mut syms = std::collections::BTreeSet::new();
+            ranges[i].collect_symbols(&mut syms);
+            let depends = remaining
+                .iter()
+                .any(|&j| j != i && syms.contains(&params[j]));
+            if !depends {
+                picked = Some(slot);
+                break;
+            }
+        }
+        // A cycle: bail out, keeping the residual order.
+        let Some(slot) = picked else {
+            order.extend(remaining.iter().copied());
+            break;
+        };
+        order.push(remaining.remove(slot));
+    }
+    let new_params: Vec<String> = order.iter().map(|&i| params[i].clone()).collect();
+    let new_ranges: Vec<sdfg_symbolic::SymRange> = order.iter().map(|&i| ranges[i].clone()).collect();
+    *params = new_params;
+    *ranges = new_ranges;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,38 +304,4 @@ mod tests {
         assert_eq!(fresh_param(&s, "i"), "i_0"); // `i` is a map param
         assert_eq!(fresh_param(&s, "q"), "q");
     }
-}
-
-/// Stable dependency sort of map parameters: a parameter whose range
-/// references another parameter of the same map must be bound (listed)
-/// after it. Order among independent parameters is preserved. Cyclic
-/// references (invalid anyway) are left as-is and caught by validation.
-pub fn dependency_sort_params(params: &mut Vec<String>, ranges: &mut Vec<sdfg_symbolic::SymRange>) {
-    let n = params.len();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    while !remaining.is_empty() {
-        let mut picked = None;
-        for (slot, &i) in remaining.iter().enumerate() {
-            let mut syms = std::collections::BTreeSet::new();
-            ranges[i].collect_symbols(&mut syms);
-            let depends = remaining
-                .iter()
-                .any(|&j| j != i && syms.contains(&params[j]));
-            if !depends {
-                picked = Some(slot);
-                break;
-            }
-        }
-        // A cycle: bail out, keeping the residual order.
-        let Some(slot) = picked else {
-            order.extend(remaining.iter().copied());
-            break;
-        };
-        order.push(remaining.remove(slot));
-    }
-    let new_params: Vec<String> = order.iter().map(|&i| params[i].clone()).collect();
-    let new_ranges: Vec<sdfg_symbolic::SymRange> = order.iter().map(|&i| ranges[i].clone()).collect();
-    *params = new_params;
-    *ranges = new_ranges;
 }

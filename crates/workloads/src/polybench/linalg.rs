@@ -410,8 +410,8 @@ pub fn gemver_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
             x[i] += BETA * a[j * n + i] * w.arrays["y"][j];
         }
     }
-    for i in 0..n {
-        x[i] += w.arrays["z"][i];
+    for (xi, zi) in x.iter_mut().zip(&w.arrays["z"]) {
+        *xi += zi;
     }
     let mut ww = w.arrays["w"].clone();
     for i in 0..n {

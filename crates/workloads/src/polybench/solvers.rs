@@ -265,7 +265,7 @@ pub fn durbin_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
     let mut beta = 1.0;
     y[0] = -r[0];
     for k in 1..n {
-        beta = (1.0 - alpha * alpha) * beta;
+        beta *= 1.0 - alpha * alpha;
         let mut sum = 0.0;
         for i in 0..k {
             sum += r[k - i - 1] * y[i];

@@ -147,7 +147,7 @@ def heat3d(A: dace.float64[N, N, N], B: dace.float64[N, N, N], T: dace.int64):
 "#;
     // Line continuations are not part of the frontend: flatten them here.
     let src = src.replace("\\\n", " ");
-    let nn = n.min(30).max(6);
+    let nn = n.clamp(6, 30);
     let init = |i: usize, j: usize, k: usize| (i + j + (nn - k)) as f64 * 10.0 / nn as f64;
     let mut a = vec![0.0; nn * nn * nn];
     for i in 0..nn {
@@ -245,10 +245,8 @@ pub fn fdtd2d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
     let mut ey = w.arrays["ey"].clone();
     let mut hz = w.arrays["hz"].clone();
     let fict = &w.arrays["fict"];
-    for step in 0..t {
-        for j in 0..ny {
-            ey[j] = fict[step];
-        }
+    for &f in fict.iter().take(t) {
+        ey[..ny].fill(f);
         for i in 1..nx {
             for j in 0..ny {
                 ey[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[(i - 1) * ny + j]);

@@ -204,11 +204,11 @@ pub fn query_tuned(col: &[f64], out: &mut [f64], threshold: f64) -> usize {
     let out_ptr = out.as_mut_ptr() as usize;
     let out_len = out.len();
     std::thread::scope(|s| {
-        for t in 0..counts.len() {
+        for (t, &start) in offsets[..counts.len()].iter().enumerate() {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(col.len());
             let part = if lo < hi { &col[lo..hi] } else { &[][..] };
-            let mut off = offsets[t];
+            let mut off = start;
             s.spawn(move || {
                 // SAFETY: threads write disjoint [offsets[t], offsets[t+1]).
                 let out =

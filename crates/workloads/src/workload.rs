@@ -1,7 +1,7 @@
 //! The uniform workload wrapper used by tests, examples and benches.
 
 use sdfg_core::Sdfg;
-use sdfg_exec::{ExecError, Executor, Stats};
+use sdfg_exec::{ExecError, Executor, InstrumentationReport, Profiling, Stats};
 use sdfg_interp::{InterpError, Interpreter};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -19,6 +19,13 @@ pub struct Workload {
     /// Containers whose contents define the result (for verification).
     pub check: Vec<String>,
 }
+
+/// What [`Workload::run_exec`] returns: outputs, stats and wall time.
+pub type ExecRun = (HashMap<String, Vec<f64>>, Stats, Duration);
+
+/// What [`Workload::run_exec_profiled`] returns: outputs, stats, wall time
+/// and the instrumentation report.
+pub type ProfiledExecRun = (HashMap<String, Vec<f64>>, Stats, Duration, InstrumentationReport);
 
 impl Workload {
     /// Creates a workload.
@@ -52,7 +59,7 @@ impl Workload {
 
     /// Runs on the optimizing executor; returns outputs, stats and wall
     /// time.
-    pub fn run_exec(&self) -> Result<(HashMap<String, Vec<f64>>, Stats, Duration), ExecError> {
+    pub fn run_exec(&self) -> Result<ExecRun, ExecError> {
         let mut ex = Executor::new(&self.sdfg);
         for (s, v) in &self.symbols {
             ex.set_symbol(s, *v);
@@ -64,6 +71,25 @@ impl Workload {
         let stats = ex.run()?;
         let dt = t0.elapsed();
         Ok((std::mem::take(&mut ex.arrays), stats, dt))
+    }
+
+    /// Runs on the optimizing executor with instrumentation forced on
+    /// every state and map scope; returns outputs, stats, wall time and
+    /// the instrumentation report (hot-path table, Chrome trace, heat).
+    pub fn run_exec_profiled(&self) -> Result<ProfiledExecRun, ExecError> {
+        let mut ex = Executor::new(&self.sdfg);
+        ex.enable_profiling(Profiling::ForceTimers);
+        for (s, v) in &self.symbols {
+            ex.set_symbol(s, *v);
+        }
+        for (n, d) in &self.arrays {
+            ex.set_array(n, d.clone());
+        }
+        let t0 = Instant::now();
+        let stats = ex.run()?;
+        let dt = t0.elapsed();
+        let report = ex.last_report.take().expect("profiled run produces a report");
+        Ok((std::mem::take(&mut ex.arrays), stats, dt, report))
     }
 
     /// Runs on the reference interpreter; returns outputs.

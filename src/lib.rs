@@ -10,6 +10,7 @@
 //! * [`frontend`] — builder API and the restricted Python-like frontend
 //! * [`interp`] — reference interpreter (operational semantics)
 //! * [`exec`] — optimizing parallel CPU executor
+//! * [`profile`] — instrumentation reports (hot paths, Chrome traces)
 //! * [`transforms`] — data-centric graph transformations
 //! * [`codegen`] — source code generation (CPU / GPU / FPGA dispatchers)
 //! * [`gpu_sim`] / [`fpga_sim`] — simulated accelerator targets
@@ -49,6 +50,7 @@ pub use sdfg_gpu_sim as gpu_sim;
 pub use sdfg_graph as graph;
 pub use sdfg_interp as interp;
 pub use sdfg_lang as lang;
+pub use sdfg_profile as profile;
 pub use sdfg_symbolic as symbolic;
 pub use sdfg_transforms as transforms;
 pub use sdfg_workloads as workloads;

@@ -1,0 +1,192 @@
+//! Offline stub of `criterion`.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! workspace's benches use, backed by a simple wall-clock runner: each
+//! `bench_function` warms up for the configured time, then runs the
+//! configured number of samples and prints mean / min / max. No
+//! statistics, plots, or result persistence — just enough to run
+//! `cargo bench` offline and eyeball relative numbers.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to the closure given to `Bencher::iter`; times the iterations
+/// of one sample.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `iters` consecutive calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[bench group] {name}");
+        let (sample_size, warm_up, measurement) = (
+            self.default_sample_size,
+            self.default_warm_up,
+            self.default_measurement,
+        );
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            warm_up,
+            measurement,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget (used here to cap iterations
+    /// per sample, not as an exact budget).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` samples of one
+    /// iteration each, printing mean / min / max wall-clock times.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up: repeat single iterations until the budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+        }
+        // Measurement.
+        let mut times = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+            times.push(b.elapsed);
+            // Respect the time budget loosely so long benches finish.
+            if measure_start.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+        let n = times.len().max(1) as u32;
+        let total: Duration = times.iter().sum();
+        let mean = total / n;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        eprintln!(
+            "  {}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+            self.name,
+            times.len()
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmarks against a default
+/// `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_benchmark() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        g.finish();
+        assert!(count >= 3);
+    }
+}

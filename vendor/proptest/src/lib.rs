@@ -1,0 +1,576 @@
+//! Offline stub of `proptest`.
+//!
+//! A miniature, deterministic property-testing engine covering the API
+//! surface the workspace uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
+//! [`collection::vec`], [`sample::select`], integer-range strategies,
+//! tuple strategies, `prop_oneof!`, and the `proptest!` test macro with
+//! an optional `#![proptest_config(..)]` attribute.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its test name, case index
+//!   and seed; the run is deterministic per test name, so a failure is
+//!   reproducible by re-running the test.
+//! - **Deterministic seeding.** The RNG seed is a hash of the test's
+//!   `module_path!() + name`, so the same cases are generated on every
+//!   run and on every machine.
+//! - Value generation is uniform where real proptest biases toward edge
+//!   cases.
+
+/// Test-runner plumbing: the RNG, the config, and seeding helpers.
+pub mod runner {
+    /// Configuration for a `proptest!` block.
+    ///
+    /// Only `cases` is interpreted; the other fields exist so struct
+    /// literals written against real proptest keep compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per property.
+        pub cases: u32,
+        /// Ignored (kept for API compatibility).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default config overriding only the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// SplitMix64 generator used for all value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// FNV-1a hash of a test path — the per-test base seed.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// The [`Strategy`] trait and its combinators.
+pub mod strategy {
+    use super::runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds out of it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` is the leaf; `f` builds one
+        /// level of branch on top of an inner strategy. `depth` bounds
+        /// the recursion; the size/branch hints are accepted for
+        /// compatibility but not interpreted.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            Recursive {
+                leaf: self.boxed(),
+                grow: Rc::new(move |inner| f(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] (implementation detail of
+    /// [`BoxedStrategy`]).
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        leaf: BoxedStrategy<T>,
+        grow: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                leaf: self.leaf.clone(),
+                grow: Rc::clone(&self.grow),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // Stop at the depth bound; otherwise take the leaf with
+            // probability 1/4 so trees vary in height.
+            if self.depth == 0 || rng.below(4) == 0 {
+                return self.leaf.generate(rng);
+            }
+            let inner = Recursive {
+                leaf: self.leaf.clone(),
+                grow: Rc::clone(&self.grow),
+                depth: self.depth - 1,
+            }
+            .boxed();
+            (self.grow)(inner).generate(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives — the engine behind
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given (already boxed) alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e as i128 - s as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (s as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::runner::TestRng;
+    use super::strategy::Strategy;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length in a [`SizeRange`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length falls within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use super::runner::TestRng;
+    use super::strategy::Strategy;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Picks uniformly among `values` (cloned up front, so any slice
+    /// lifetime is accepted).
+    pub fn select<T: Clone>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select {
+            items: values.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.items.len() as u64) as usize;
+            self.items[i].clone()
+        }
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// Re-exported so `$crate::Rc` resolves inside macro expansions if ever
+// needed; harmless otherwise.
+#[doc(hidden)]
+pub use std::rc::Rc as __Rc;
+
+/// Uniform choice among strategies with a common `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assertion macros — no shrinking, so these are plain assertions.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are generated from
+/// strategies. Supports an optional leading
+/// `#![proptest_config(<expr>)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let __base = $crate::runner::name_seed(__path);
+            for __case in 0..__config.cases {
+                let __seed =
+                    __base ^ (__case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut __rng = $crate::runner::TestRng::new(__seed);
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let ($($arg,)+) = ($(
+                            $crate::strategy::Strategy::generate(
+                                &$strat,
+                                &mut __rng,
+                            ),
+                        )+);
+                        $body
+                    }),
+                );
+                if let Err(__e) = __result {
+                    eprintln!(
+                        "[proptest] {} failed at case {}/{} (seed {:#018x}); \
+                         cases are deterministic per test name",
+                        __path, __case, __config.cases, __seed
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::runner::TestRng;
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0i64..100, 3..=5);
+        let a: Vec<i64> = s.generate(&mut TestRng::new(42));
+        let b: Vec<i64> = s.generate(&mut TestRng::new(42));
+        assert_eq!(a, b);
+        assert!((3..=5).contains(&a.len()));
+        assert!(a.iter().all(|&v| (0..100).contains(&v)));
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        use crate::runner::TestRng;
+        use crate::strategy::Strategy;
+        let leaf = (0i64..10).prop_map(|v| v.to_string());
+        let s = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 4096);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_runs(x in 0i64..50, v in prop::collection::vec(0u8..4, 0..6)) {
+            prop_assert!((0..50).contains(&x));
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(v.iter().filter(|&&b| b > 3).count(), 0);
+        }
+    }
+}

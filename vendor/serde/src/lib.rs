@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bounds compile. The derives (from the sibling
+//! `serde_derive` stub) expand to nothing; no serde data model is
+//! implemented. SDFG JSON I/O lives in `sdfg-core::serialize` instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

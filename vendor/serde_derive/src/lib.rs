@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The repository's IR types carry `#[derive(Serialize, Deserialize)]` for
+//! interoperability, but nothing in the workspace performs serde-based
+//! (de)serialization — SDFG JSON I/O is hand-rolled in `sdfg-core`
+//! (`serialize.rs`). Since the build environment has no access to
+//! crates.io, this stub accepts the derives and expands to nothing, which
+//! keeps the annotations compiling without pulling in `syn`/`quote`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to no items.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to no items.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
