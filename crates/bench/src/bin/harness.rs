@@ -11,6 +11,17 @@
 //! and writes `trace-<kernel>.json` Chrome trace files (viewable in
 //! `chrome://tracing`). Pass a kernel name as the experiment (e.g.
 //! `harness gemm --profile`) to profile just that kernel.
+//!
+//! With `--bench`, the harness runs the warm/cold plan-cache benchmark:
+//!
+//! ```text
+//! harness --bench [--kernels gemm,atax,bicg] [--scale S] [--reps R]
+//!         [--warmup W] [--json] [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! `--json` writes one `BENCH_<kernel>.json` per kernel; `--baseline`
+//! gates warm times against the committed baseline and exits non-zero on
+//! regression (what CI's `bench-smoke` job does).
 
 use sdfg_bench as x;
 
@@ -24,14 +35,38 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
+    let get_str = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
     let scale = get("--scale", 0);
     let reps = get("--reps", 3);
+    if args.iter().any(|a| a == "--bench") {
+        let mut cfg = x::bench_json::BenchConfig::default();
+        if let Some(list) = get_str("--kernels") {
+            cfg.kernels = list.split(',').map(str::to_string).collect();
+        }
+        if scale > 0 {
+            cfg.scale = scale;
+        }
+        cfg.reps = get("--reps", cfg.reps);
+        cfg.warmup = get("--warmup", cfg.warmup);
+        cfg.json = args.iter().any(|a| a == "--json");
+        cfg.baseline = get_str("--baseline");
+        cfg.write_baseline = get_str("--write-baseline");
+        if !x::bench_json::run_bench(&cfg) {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--profile") {
         // Known experiment names profile the whole suite; anything else
         // is treated as a single Polybench kernel name.
         const EXPERIMENTS: [&str; 12] = [
-            "all", "fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15",
-            "fig17", "tab2", "tab3", "tab5",
+            "all", "fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15", "fig17",
+            "tab2", "tab3", "tab5",
         ];
         let only = if EXPERIMENTS.contains(&exp) { "" } else { exp };
         x::profiled(only, if scale > 0 { scale } else { 100 });
@@ -61,8 +96,8 @@ fn main() {
     };
     if exp == "all" {
         for name in [
-            "tab5", "fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15",
-            "fig17", "tab2", "tab3",
+            "tab5", "fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15", "fig17",
+            "tab2", "tab3",
         ] {
             run(name);
         }

@@ -31,7 +31,10 @@ fn exec_seconds(w: &Workload, reps: usize) -> f64 {
 /// optimizing executor.
 pub fn fig13a(scale: usize, reps: usize) {
     println!("# Fig. 13a — Polybench CPU (scale {scale})");
-    println!("{:<16} {:>12} {:>12} {:>9}", "kernel", "naive[ms]", "sdfg[ms]", "ratio");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "kernel", "naive[ms]", "sdfg[ms]", "ratio"
+    );
     for k in polybench::all() {
         let w = (k.build)(scale);
         // Verify once.
@@ -324,8 +327,20 @@ pub fn fig14c() {
             continue;
         }
         let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
-        let p = run_fpga(&sdfg, &vcu1525(), FpgaMode::Pipelined, &syms, &mut w.arrays.clone());
-        let n = run_fpga(&sdfg, &vcu1525(), FpgaMode::NaiveHls, &syms, &mut w.arrays.clone());
+        let p = run_fpga(
+            &sdfg,
+            &vcu1525(),
+            FpgaMode::Pipelined,
+            &syms,
+            &mut w.arrays.clone(),
+        );
+        let n = run_fpga(
+            &sdfg,
+            &vcu1525(),
+            FpgaMode::NaiveHls,
+            &syms,
+            &mut w.arrays.clone(),
+        );
         if let (Ok(p), Ok(n)) = (p, n) {
             println!(
                 "{:<10} {:>14.3} {:>14.3} {:>9.1}x",
@@ -361,8 +376,14 @@ pub fn fig15(sizes: &[usize], reps: usize) {
         println!();
     }
     for (label, f) in [
-        ("naive (gcc proxy)", tuned::gemm_naive as fn(&[f64], &[f64], &mut [f64], usize, usize, usize)),
-        ("tuned (MKL proxy)", tuned::gemm_tuned as fn(&[f64], &[f64], &mut [f64], usize, usize, usize)),
+        (
+            "naive (gcc proxy)",
+            tuned::gemm_naive as fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+        ),
+        (
+            "tuned (MKL proxy)",
+            tuned::gemm_tuned as fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+        ),
     ] {
         print!("{label:<18}");
         for &n in sizes {
@@ -465,8 +486,7 @@ pub fn tab2(scale: usize, reps: usize) {
     // including temporary allocation.
     let py_dispatch = 10e-6;
     let tensor_bytes = blocks * (d.n * d.n) as f64 * 8.0;
-    let g_numpy =
-        blocks * 20.0 * py_dispatch + 8.0 * tensor_bytes / dev.mem_bandwidth;
+    let g_numpy = blocks * 20.0 * py_dispatch + 8.0 * tensor_bytes / dev.mem_bandwidth;
     // DaCe: one fused kernel at the roofline.
     let g_dace = dev.launch_overhead
         + (useful_flops / dev.peak_flops).max(2.0 * tensor_bytes / dev.mem_bandwidth / 4.0);
@@ -515,8 +535,7 @@ pub fn tab3(batch: usize) {
     for dev in [p100(), v100()] {
         for (label, p) in [("padded (CUBLAS proxy)", pad), ("SBSMM (specialized)", n)] {
             let w = sse::build_batched_gemm(batch, n, p);
-            let syms: Vec<(&str, i64)> =
-                w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+            let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
             let mut sdfg = w.sdfg.clone();
             if !apply_first(&mut sdfg, &GpuTransform, &Params::new()).unwrap_or(false) {
                 continue;
@@ -595,7 +614,10 @@ pub fn profiled(only: &str, scale: usize) {
     }
     if !matched {
         let names: Vec<&str> = polybench::all().iter().map(|k| k.name).collect();
-        eprintln!("no kernel named `{only}`; known kernels: {}", names.join(", "));
+        eprintln!(
+            "no kernel named `{only}`; known kernels: {}",
+            names.join(", ")
+        );
         std::process::exit(2);
     }
 }

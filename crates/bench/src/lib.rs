@@ -20,7 +20,12 @@
 //! `harness all` runs everything; results are recorded in EXPERIMENTS.md.
 //! The Criterion benches under `benches/` cover the same workloads with
 //! statistical rigor for regression tracking.
+//!
+//! `harness --bench` runs the warm/cold plan-cache protocol instead (see
+//! [`bench_json`]): JSON results per kernel plus a perf-regression gate
+//! against `bench/baseline.json` — the mode CI's `bench-smoke` job runs.
 
+pub mod bench_json;
 pub mod experiments;
 
 pub use experiments::*;

@@ -57,9 +57,10 @@ fn emit_stmt(s: &Stmt, indent: &str, out: &mut String) {
                 Some(BinOp::Sub) => out.push_str(&format!("{indent}{lhs} -= {rhs};\n")),
                 Some(BinOp::Mul) => out.push_str(&format!("{indent}{lhs} *= {rhs};\n")),
                 Some(BinOp::Div) => out.push_str(&format!("{indent}{lhs} /= {rhs};\n")),
-                Some(other) => {
-                    out.push_str(&format!("{indent}{lhs} = {lhs} {} {rhs};\n", c_binop(*other)))
-                }
+                Some(other) => out.push_str(&format!(
+                    "{indent}{lhs} = {lhs} {} {rhs};\n",
+                    c_binop(*other)
+                )),
             }
         }
         Stmt::Push { stream, value } => {

@@ -30,7 +30,7 @@ pub mod fpga;
 pub mod gpu;
 pub mod statemachine;
 
-pub use cpu::generate_cpu;
 pub(crate) use cpu::flat_index as cpu_flat_index;
+pub use cpu::generate_cpu;
 pub use fpga::generate_fpga;
 pub use gpu::generate_gpu;

@@ -128,10 +128,9 @@ impl BoolExpr {
         match self {
             BoolExpr::Const(_) => self.clone(),
             BoolExpr::Cmp(op, a, b) => BoolExpr::Cmp(*op, a.rename(from, to), b.rename(from, to)),
-            BoolExpr::And(a, b) => BoolExpr::And(
-                Box::new(a.rename(from, to)),
-                Box::new(b.rename(from, to)),
-            ),
+            BoolExpr::And(a, b) => {
+                BoolExpr::And(Box::new(a.rename(from, to)), Box::new(b.rename(from, to)))
+            }
             BoolExpr::Or(a, b) => {
                 BoolExpr::Or(Box::new(a.rename(from, to)), Box::new(b.rename(from, to)))
             }

@@ -65,10 +65,7 @@ fn render(sdfg: &Sdfg, heat: Option<&ProfileHeat<'_>>) -> String {
             let node = state.graph.node(nid);
             let (shape, style) = match node {
                 Node::Access { data } => {
-                    let transient = sdfg
-                        .desc(data)
-                        .map(|d| d.transient())
-                        .unwrap_or(false);
+                    let transient = sdfg.desc(data).map(|d| d.transient()).unwrap_or(false);
                     let is_stream = sdfg
                         .desc(data)
                         .map(|d| d.as_stream().is_some())

@@ -121,11 +121,7 @@ pub struct MapScope {
 
 impl MapScope {
     /// Creates a map scope with the default (CPU multicore) schedule.
-    pub fn new(
-        label: impl Into<String>,
-        params: Vec<String>,
-        ranges: Vec<SymRange>,
-    ) -> MapScope {
+    pub fn new(label: impl Into<String>, params: Vec<String>, ranges: Vec<SymRange>) -> MapScope {
         assert_eq!(params.len(), ranges.len(), "map params/ranges mismatch");
         MapScope {
             label: label.into(),

@@ -332,10 +332,22 @@ mod tests {
         // All intermediate memlets are stubs; only the tasklet-level ones
         // are authoritative.
         st.add_edge(a, None, oe, Some("IN_A"), Memlet::parse("A", "0, 0"));
-        st.add_edge(oe, Some("OUT_A"), ie, Some("IN_A"), Memlet::parse("A", "0, 0"));
+        st.add_edge(
+            oe,
+            Some("OUT_A"),
+            ie,
+            Some("IN_A"),
+            Memlet::parse("A", "0, 0"),
+        );
         st.add_edge(ie, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i, j"));
         st.add_edge(t, Some("y"), ix, Some("IN_B"), Memlet::parse("B", "i, j"));
-        st.add_edge(ix, Some("OUT_B"), ox, Some("IN_B"), Memlet::parse("B", "0, 0"));
+        st.add_edge(
+            ix,
+            Some("OUT_B"),
+            ox,
+            Some("IN_B"),
+            Memlet::parse("B", "0, 0"),
+        );
         st.add_edge(ox, Some("OUT_B"), b, None, Memlet::parse("B", "0, 0"));
         propagate_state(s.state_mut(sid), &test_assume());
         let st = s.state(sid);

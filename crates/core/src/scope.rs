@@ -234,10 +234,22 @@ mod tests {
         let t = st.add_tasklet("t", &["x"], &["y"], "y = x");
         let b = st.add_access("B");
         st.add_edge(a, None, oe, Some("IN_A"), Memlet::parse("A", "0:N, 0:M"));
-        st.add_edge(oe, Some("OUT_A"), ie, Some("IN_A"), Memlet::parse("A", "i, 0:M"));
+        st.add_edge(
+            oe,
+            Some("OUT_A"),
+            ie,
+            Some("IN_A"),
+            Memlet::parse("A", "i, 0:M"),
+        );
         st.add_edge(ie, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i, j"));
         st.add_edge(t, Some("y"), ix, Some("IN_B"), Memlet::parse("B", "i, j"));
-        st.add_edge(ix, Some("OUT_B"), ox, Some("IN_B"), Memlet::parse("B", "i, 0:M"));
+        st.add_edge(
+            ix,
+            Some("OUT_B"),
+            ox,
+            Some("IN_B"),
+            Memlet::parse("B", "i, 0:M"),
+        );
         st.add_edge(ox, Some("OUT_B"), b, None, Memlet::parse("B", "0:N, 0:M"));
         let tree = scope_tree(&st).unwrap();
         assert_eq!(tree.scope_of(ie), Some(oe));

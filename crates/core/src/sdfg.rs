@@ -318,7 +318,7 @@ impl Sdfg {
         unreachable!()
     }
 
-    /// Validates the SDFG (see [`crate::validate`]).
+    /// Validates the SDFG (see [`mod@crate::validate`]).
     pub fn validate(&self) -> Result<(), Vec<crate::validate::ValidationError>> {
         crate::validate::validate(self)
     }

@@ -311,63 +311,147 @@ fn node_json(node: &Node) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------------
+
+/// Streaming 64-bit FNV-1a hasher. Unlike `std::hash`, the algorithm is
+/// pinned — digests are stable across processes, platforms and Rust
+/// versions, so they can key on-disk artifacts and cross-run caches.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Stable 64-bit content hash of an SDFG.
+///
+/// The hash is FNV-1a over the canonical serialized form ([`to_json`]), so
+/// its domain is exactly what serialization captures: the program name,
+/// declared symbols, container descriptors (shape/stride/storage/transient
+/// expressions), every state's nodes and memlets (including tasklet source,
+/// map schedules and instrumentation annotations), interstate transitions,
+/// and the start state — nested SDFGs included, since they serialize
+/// inline. It deliberately excludes runtime bindings: symbol *values*,
+/// array contents and thread counts are not part of the program identity
+/// and key execution plans separately.
+///
+/// Determinism: `to_json` iterates `BTreeSet`/`BTreeMap` collections and
+/// graph ids in index order, so structurally equal SDFGs hash equally in
+/// any process. Any serialized structural edit (adding a node, changing a
+/// memlet subset) changes the digest.
+pub fn content_hash(sdfg: &Sdfg) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(to_json(sdfg).as_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
 // Deserialization
 // ---------------------------------------------------------------------------
 
 /// A parsed JSON value. Objects keep key order (the writer emits map dims
 /// in parameter order, which must survive).
+///
+/// Public so tooling built on this workspace (e.g. the bench harness's
+/// baseline files) can parse small JSON documents without growing a
+/// dependency; [`parse_json`] is the entry point.
 #[derive(Clone, Debug, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number (always carried as `f64`).
     Num(f64),
+    /// A string (unescaped).
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, in source key order.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Looks up a key in an object (`None` for other variants).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn str_field(&self, key: &str) -> Result<&str, String> {
+    /// Required string field of an object.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
         match self.get(key) {
             Some(Json::Str(s)) => Ok(s),
             other => Err(format!("expected string field `{key}`, got {other:?}")),
         }
     }
 
-    fn num_field(&self, key: &str) -> Result<f64, String> {
+    /// Required numeric field of an object.
+    pub fn num_field(&self, key: &str) -> Result<f64, String> {
         match self.get(key) {
             Some(Json::Num(n)) => Ok(*n),
             other => Err(format!("expected number field `{key}`, got {other:?}")),
         }
     }
 
-    fn bool_field(&self, key: &str) -> Result<bool, String> {
+    /// Required boolean field of an object.
+    pub fn bool_field(&self, key: &str) -> Result<bool, String> {
         match self.get(key) {
             Some(Json::Bool(b)) => Ok(*b),
             other => Err(format!("expected bool field `{key}`, got {other:?}")),
         }
     }
 
-    fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Json], String> {
+    /// Required array field of an object.
+    pub fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Json], String> {
         match self.get(key) {
             Some(Json::Arr(a)) => Ok(a),
             other => Err(format!("expected array field `{key}`, got {other:?}")),
         }
     }
 
-    fn obj_field<'a>(&'a self, key: &str) -> Result<&'a [(String, Json)], String> {
+    /// Required object field of an object.
+    pub fn obj_field<'a>(&'a self, key: &str) -> Result<&'a [(String, Json)], String> {
         match self.get(key) {
             Some(Json::Obj(o)) => Ok(o),
             other => Err(format!("expected object field `{key}`, got {other:?}")),
         }
     }
+}
+
+/// Parses a standalone JSON document into a [`Json`] value.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = JsonParser::new(src);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
 }
 
 struct JsonParser<'a> {
@@ -402,7 +486,9 @@ impl<'a> JsonParser<'a> {
             }
             other => Err(format!(
                 "expected `{}` at byte {}, found {:?}",
-                b as char, self.pos, other.map(|c| c as char)
+                b as char,
+                self.pos,
+                other.map(|c| c as char)
             )),
         }
     }
@@ -434,7 +520,10 @@ impl<'a> JsonParser<'a> {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.src.len()
-            && matches!(self.src[self.pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            && matches!(
+                self.src[self.pos],
+                b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'
+            )
         {
             self.pos += 1;
         }
@@ -608,9 +697,8 @@ pub fn parse_memlet(src: &str) -> Result<Memlet, String> {
         let inner = tail
             .strip_suffix(']')
             .ok_or_else(|| format!("unterminated other-subset in `{src}`"))?;
-        other_subset = Some(
-            Subset::parse(inner).map_err(|e| format!("bad other-subset `{inner}`: {e:?}"))?,
-        );
+        other_subset =
+            Some(Subset::parse(inner).map_err(|e| format!("bad other-subset `{inner}`: {e:?}"))?);
         s = s[..pos].trim_end();
     }
     // Head: name [ "(" dyn-or-volume ")" ] "[" subset "]"
@@ -755,8 +843,7 @@ fn node_from_json(v: &Json) -> Result<Node, String> {
                 let Json::Str(r) = r else {
                     return Err(format!("expected range string for dim `{p}`"));
                 };
-                let sub =
-                    Subset::parse(r).map_err(|e| format!("bad map range `{r}`: {e:?}"))?;
+                let sub = Subset::parse(r).map_err(|e| format!("bad map range `{r}`: {e:?}"))?;
                 if sub.dims.len() != 1 {
                     return Err(format!("map range `{r}` is not one-dimensional"));
                 }
@@ -950,12 +1037,7 @@ fn sdfg_from_value(v: &Json) -> Result<Sdfg, String> {
 
 /// Deserializes an SDFG from the JSON produced by [`to_json`].
 pub fn from_json(src: &str) -> Result<Sdfg, String> {
-    let mut p = JsonParser::new(src);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.src.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
+    let v = parse_json(src)?;
     sdfg_from_value(&v)
 }
 
@@ -1109,7 +1191,13 @@ mod tests {
             identity: Some(-1.5),
         });
         let sacc = st.add_access("S");
-        st.add_edge(sacc, None, ce, Some("IN_stream"), Memlet::parse("S", "0").dynamic());
+        st.add_edge(
+            sacc,
+            None,
+            ce,
+            Some("IN_stream"),
+            Memlet::parse("S", "0").dynamic(),
+        );
         st.add_edge(ce, Some("OUT_stream"), r, None, Memlet::parse("S", "0"));
         st.add_edge(r, None, cx, Some("IN_A"), Memlet::parse("A", "0, 0"));
         st.add_edge(cx, Some("OUT_A"), a, None, Memlet::parse("A", "0:N, 0"));
@@ -1150,7 +1238,12 @@ mod tests {
             .node_ids()
             .find(|&i| matches!(st.node(i), Node::NestedSdfg { .. }))
             .unwrap();
-        let Node::NestedSdfg { sdfg, symbol_mapping, .. } = st.node(nid) else {
+        let Node::NestedSdfg {
+            sdfg,
+            symbol_mapping,
+            ..
+        } = st.node(nid)
+        else {
             unreachable!()
         };
         assert_eq!(sdfg.name, "inner");
@@ -1159,5 +1252,71 @@ mod tests {
             Instrument::Counter
         );
         assert_eq!(symbol_mapping["K"], crate::Expr::sym("N"));
+    }
+
+    #[test]
+    fn content_hash_is_stable() {
+        // Structurally identical SDFGs built independently hash equally,
+        // and a serialization round trip is hash-neutral.
+        let a = instrumented_sdfg();
+        let b = instrumented_sdfg();
+        assert_eq!(content_hash(&a), content_hash(&b));
+        let back = from_json(&to_json(&a)).expect("round trips");
+        assert_eq!(content_hash(&a), content_hash(&back));
+    }
+
+    #[test]
+    fn content_hash_sees_structural_edits() {
+        let base = instrumented_sdfg();
+        let h0 = content_hash(&base);
+
+        // Adding a node changes the digest.
+        let mut with_node = instrumented_sdfg();
+        let sid = with_node.start.unwrap();
+        with_node.state_mut(sid).add_access("A");
+        assert_ne!(content_hash(&with_node), h0, "added node must rehash");
+
+        // Changing one memlet subset changes the digest.
+        let mut with_memlet = instrumented_sdfg();
+        let sid = with_memlet.start.unwrap();
+        let st = with_memlet.state_mut(sid);
+        let e = st
+            .graph
+            .edge_ids()
+            .find(|&e| st.graph.edge(e).memlet.to_string() == "A[i]")
+            .expect("per-point memlet present");
+        st.graph.edge_mut(e).memlet = Memlet::parse("A", "i + 1");
+        assert_ne!(content_hash(&with_memlet), h0, "edited memlet must rehash");
+
+        // Symbol *names* are part of the identity...
+        let mut with_symbol = instrumented_sdfg();
+        with_symbol.add_symbol("M");
+        assert_ne!(
+            content_hash(&with_symbol),
+            h0,
+            "declared symbol must rehash"
+        );
+    }
+
+    #[test]
+    fn fnv64_reference_vectors() {
+        // Published FNV-1a test vectors pin the algorithm.
+        let digest = |s: &str| {
+            let mut h = Fnv64::new();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf29ce484222325);
+        assert_eq!(digest("a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn parse_json_value_api() {
+        let v = parse_json(r#"{"a": 1.5, "b": [true, null], "c": "x"}"#).unwrap();
+        assert_eq!(v.num_field("a").unwrap(), 1.5);
+        assert_eq!(v.arr_field("b").unwrap().len(), 2);
+        assert_eq!(v.str_field("c").unwrap(), "x");
+        assert!(parse_json("{} junk").is_err());
     }
 }

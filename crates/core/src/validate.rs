@@ -205,7 +205,9 @@ fn validate_state(sdfg: &Sdfg, sid: StateId, errors: &mut Vec<ValidationError>) 
     // Memlets reference declared data with matching ranks.
     for eid in state.graph.edge_ids() {
         let df = state.graph.edge(eid);
-        let Some(name) = &df.memlet.data else { continue };
+        let Some(name) = &df.memlet.data else {
+            continue;
+        };
         let Some(desc) = sdfg.data.get(name) else {
             errors.push(ValidationError::MemletUnknownData {
                 state: sid,
@@ -445,9 +447,14 @@ mod tests {
         let b = st.add_access("B");
         st.add_plain_edge(a, b, Memlet::parse("A", "0:N, 0:N")); // A is 1-D
         let errs = s.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::MemletRankMismatch { expected: 1, found: 2, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::MemletRankMismatch {
+                expected: 1,
+                found: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -496,9 +503,9 @@ mod tests {
         // must flag CpuHeap-in-GpuDevice... but `y` now has two out-edges,
         // which is allowed. Check the storage error appears.
         let errs = s.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::StorageScheduleMismatch { name, .. } if name == "tmp")));
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::StorageScheduleMismatch { name, .. } if name == "tmp")
+        ));
     }
 
     #[test]

@@ -14,8 +14,12 @@ def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
     let a: Vec<f64> = (0..n * n).map(|x| (x % 7) as f64).collect();
     let b: Vec<f64> = (0..n * n).map(|x| (x % 5) as f64).collect();
     let mut ex = Executor::new(&sdfg);
-    ex.set_symbol("M", n as i64).set_symbol("K", n as i64).set_symbol("N", n as i64);
-    ex.set_array("A", a).set_array("B", b).set_array("C", vec![0.0; n * n]);
+    ex.set_symbol("M", n as i64)
+        .set_symbol("K", n as i64)
+        .set_symbol("N", n as i64);
+    ex.set_array("A", a)
+        .set_array("B", b)
+        .set_array("C", vec![0.0; n * n]);
     let t0 = Instant::now();
     let stats = ex.run().unwrap();
     let dt = t0.elapsed();

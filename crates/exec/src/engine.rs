@@ -3,6 +3,8 @@
 
 use crate::affine::{solve, Solved};
 use crate::buffer::SharedBuffer;
+use crate::plan::{CompileCtx, ExecutionPlan, PlanCache, PlanKey, StatePlan};
+use crate::pool::BufferPool;
 use parking_lot::Mutex;
 use sdfg_core::desc::DataDesc;
 use sdfg_core::scope::ScopeTree;
@@ -15,7 +17,7 @@ use sdfg_profile::{
     WorkerProfile,
 };
 use sdfg_symbolic::{Env, EvalError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
@@ -126,8 +128,12 @@ impl AtomicStats {
             parallel_regions: self.parallel_regions.load(Ordering::Relaxed),
             states_executed: self.states_executed.load(Ordering::Relaxed),
             state_visits: {
-                let mut v: Vec<(u32, u64)> =
-                    self.state_visits.lock().iter().map(|(&k, &n)| (k, n)).collect();
+                let mut v: Vec<(u32, u64)> = self
+                    .state_visits
+                    .lock()
+                    .iter()
+                    .map(|(&k, &n)| (k, n))
+                    .collect();
                 v.sort_unstable();
                 v
             },
@@ -154,6 +160,20 @@ pub struct Executor<'s> {
     pub profiling: Profiling,
     /// Instrumentation report from the last profiled `run`.
     pub last_report: Option<InstrumentationReport>,
+    /// Cross-run plan cache (private per executor by default; shareable
+    /// via [`Executor::with_plan_cache`]).
+    plan_cache: std::sync::Arc<PlanCache>,
+    /// Transient/scratch buffer pool (shareable via
+    /// [`Executor::with_buffer_pool`]).
+    pool: std::sync::Arc<BufferPool>,
+    /// Memoized content hash of `sdfg` — sound to compute once because the
+    /// executor holds the SDFG behind an immutable borrow for its whole
+    /// lifetime.
+    sdfg_hash: Option<u64>,
+    /// Transient containers this executor allocated itself (as opposed to
+    /// arrays the caller bound): these are reset per run and returned to
+    /// the pool on drop; caller-provided storage is never touched.
+    owned_transients: HashSet<String>,
 }
 
 /// Pre-resolved profiling plan: per-scope modes are looked up once per
@@ -237,6 +257,14 @@ struct Ctx<'s> {
     nthreads: usize,
     /// Profiling plan; `None` when profiling is off.
     prof: Option<Prof>,
+    /// The execution plan for this (SDFG, symbol bindings) pair: workers
+    /// consult and populate it so lowering survives across runs.
+    plan: std::sync::Arc<ExecutionPlan>,
+    /// The cache the plan came from, inherited by nested SDFG executors.
+    plan_cache: std::sync::Arc<PlanCache>,
+    /// Scratch allocator for worker-local transients, shared with the
+    /// executor's transient storage.
+    pool: std::sync::Arc<BufferPool>,
 }
 
 impl Ctx<'_> {
@@ -337,6 +365,11 @@ impl<'c, 's> Worker<'c, 's> {
                 p.collector.absorb(*wp);
             }
         }
+        // The worker's lifetime is over: park its thread-local transient
+        // buffers for the next launch (zeroed again on acquire).
+        for (_, buf) in self.locals.drain() {
+            self.ctx.pool.release(buf.into_inner());
+        }
     }
 
     /// Starts a tier measurement: `Some((start_ns, tasklet points so
@@ -373,13 +406,39 @@ impl<'c, 's> Worker<'c, 's> {
         if let Some(bt) = self.prog_cache.get(&(sid.0, n.0)) {
             return Ok(bt.clone());
         }
+        // Shared (cross-run, cross-worker) cache: reused only under an
+        // equal compile context, so a hit is always semantics-preserving.
+        let key = (sid.0, n.0);
+        let cctx = self.compile_ctx();
+        if let Some(bt) = self.ctx.plan.tasklet(key, &cctx) {
+            self.prog_cache.insert(key, bt.clone());
+            return Ok(bt);
+        }
         let mut bt = compile_body_tasklet(self.ctx, sid, n, &self.pstack.clone(), &self.env)?;
         for o in bt.outs.iter_mut() {
             o.atomic = self.needs_atomic(o);
         }
         let bt = std::sync::Arc::new(bt);
-        self.prog_cache.insert((sid.0, n.0), bt.clone());
+        self.ctx.plan.insert_tasklet(key, cctx, bt.clone());
+        self.prog_cache.insert(key, bt.clone());
         Ok(bt)
+    }
+
+    /// Fingerprint of everything compilation reads beyond the graph (see
+    /// [`CompileCtx`]): the symbol environment, parameter stack, iteration
+    /// counts, chunked parameter and local-transient overlays.
+    fn compile_ctx(&self) -> CompileCtx {
+        let mut env: Vec<(String, i64)> = self.env.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        env.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut locals: Vec<String> = self.locals.keys().cloned().collect();
+        locals.sort_unstable();
+        CompileCtx {
+            env,
+            pstack: self.pstack.clone(),
+            pcounts: self.pcounts.clone(),
+            chunk: self.chunk_param,
+            locals,
+        }
     }
 
     /// Race analysis for a WCR output port: atomic hardware is required
@@ -418,8 +477,9 @@ impl<'c, 's> Worker<'c, 's> {
                 return true;
             };
             let n = self.pcounts.get(d).copied().unwrap_or(i64::MAX / 4);
-            span = span.saturating_add(c.unsigned_abs().min(i64::MAX as u64 / 4) as i64
-                * (n.max(1) - 1).min(i64::MAX / 8));
+            span = span.saturating_add(
+                c.unsigned_abs().min(i64::MAX as u64 / 4) as i64 * (n.max(1) - 1).min(i64::MAX / 8),
+            );
             if span < 0 {
                 return true;
             }
@@ -463,7 +523,55 @@ impl<'s> Executor<'s> {
             stats: Stats::default(),
             profiling: Profiling::default(),
             last_report: None,
+            plan_cache: std::sync::Arc::new(PlanCache::new()),
+            pool: std::sync::Arc::new(BufferPool::new()),
+            sdfg_hash: None,
+            owned_transients: HashSet::new(),
         }
+    }
+
+    /// Shares a plan cache with other executors, so lowering one SDFG once
+    /// serves every executor running it (service-style traffic). The
+    /// content-hash key keeps distinct programs from colliding.
+    pub fn with_plan_cache(&mut self, cache: std::sync::Arc<PlanCache>) -> &mut Self {
+        self.plan_cache = cache;
+        self
+    }
+
+    /// Shares a buffer pool with other executors, recycling transient and
+    /// scratch allocations across them.
+    pub fn with_buffer_pool(&mut self, pool: std::sync::Arc<BufferPool>) -> &mut Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The plan cache this executor consults.
+    pub fn plan_cache(&self) -> &std::sync::Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// The buffer pool this executor allocates transients from.
+    pub fn buffer_pool(&self) -> &std::sync::Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Plan-cache hit/miss counters (cumulative for the cache, which may
+    /// be shared).
+    pub fn cache_stats(&self) -> crate::plan::CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Buffer-pool counters (cumulative for the pool, which may be shared).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Stable content hash of the SDFG (memoized after the first call).
+    pub fn content_hash(&mut self) -> u64 {
+        let sdfg = self.sdfg;
+        *self
+            .sdfg_hash
+            .get_or_insert_with(|| sdfg_core::serialize::content_hash(sdfg))
     }
 
     /// Sets the profiling switch for subsequent `run`s.
@@ -478,8 +586,11 @@ impl<'s> Executor<'s> {
         self
     }
 
-    /// Provides an array.
+    /// Provides an array. Binding a name the executor had auto-allocated
+    /// transfers ownership to the caller: the data is no longer reset or
+    /// pooled between runs.
     pub fn set_array(&mut self, name: &str, data: Vec<f64>) -> &mut Self {
+        self.owned_transients.remove(name);
         self.arrays.insert(name.to_string(), data);
         self
     }
@@ -492,16 +603,27 @@ impl<'s> Executor<'s> {
     }
 
     /// Runs the SDFG; returns execution statistics.
+    ///
+    /// Repeat runs reuse the lowered plan: the plan cache is keyed by the
+    /// SDFG's content hash plus the symbol bindings, so the second `run`
+    /// with unchanged bindings skips scope derivation, tasklet compilation
+    /// and map planning entirely.
     pub fn run(&mut self) -> Result<Stats, ExecError> {
         self.prepare()?;
+        let key = PlanKey::new(self.content_hash(), &self.symbols);
+        let (plan, _cached) = self.plan_cache.lookup(key);
         // Move arrays into shared buffers (slot-indexed for hot paths).
-        let mut bufs = Vec::with_capacity(self.arrays.len());
-        let mut buf_index = HashMap::with_capacity(self.arrays.len());
-        let mut names = Vec::with_capacity(self.arrays.len());
-        for (k, v) in self.arrays.drain() {
-            buf_index.insert(k.clone(), bufs.len());
-            names.push(k);
-            bufs.push(SharedBuffer::new(v));
+        // Slots are assigned in sorted-name order so they are deterministic
+        // run to run; `ensure_layout` drops slot-dependent plan artifacts
+        // if the bound-array set ever changes.
+        let mut names: Vec<String> = self.arrays.keys().cloned().collect();
+        names.sort_unstable();
+        plan.ensure_layout(&names);
+        let mut bufs = Vec::with_capacity(names.len());
+        let mut buf_index = HashMap::with_capacity(names.len());
+        for (i, k) in names.iter().enumerate() {
+            buf_index.insert(k.clone(), i);
+            bufs.push(SharedBuffer::new(self.arrays.remove(k).unwrap()));
         }
         let mut ctx = Ctx {
             sdfg: self.sdfg,
@@ -515,6 +637,9 @@ impl<'s> Executor<'s> {
             stats: AtomicStats::default(),
             nthreads: self.nthreads.max(1),
             prof: Prof::build(self.sdfg, self.profiling),
+            plan,
+            plan_cache: self.plan_cache.clone(),
+            pool: self.pool.clone(),
         };
         let result = self.drive(&ctx);
         // Move storage back even on error.
@@ -529,9 +654,19 @@ impl<'s> Executor<'s> {
             .map(|(k, v)| (k, v.into_inner()))
             .collect();
         self.stats = ctx.stats.snapshot();
+        let cache_stats = self.plan_cache.stats();
+        let pool_stats = self.pool.stats();
         self.last_report = ctx.prof.take().map(|p| {
             let wall = Duration::from_nanos(p.collector.now_ns());
-            p.collector.finish(wall)
+            let mut report = p.collector.finish(wall);
+            report.exec = sdfg_profile::ExecCounters {
+                plan_cache_hits: cache_stats.hits,
+                plan_cache_misses: cache_stats.misses,
+                pool_acquires: pool_stats.acquires,
+                pool_reuses: pool_stats.reuses,
+                pool_bytes_reused: pool_stats.bytes_reused,
+            };
+            report
         });
         result?;
         Ok(self.stats.clone())
@@ -582,30 +717,70 @@ impl<'s> Executor<'s> {
                         size = size.saturating_mul(d.eval(&self.symbols)?.max(0));
                     }
                     let size = size as usize;
-                    match self.arrays.get(name) {
+                    let owned = self.owned_transients.contains(name);
+                    match self.arrays.get_mut(name) {
                         Some(v) if v.len() != size => {
-                            return Err(ExecError::SizeMismatch {
-                                name: name.clone(),
-                                expected: size,
-                                got: v.len(),
-                            })
+                            if a.transient && owned {
+                                // Symbol-driven reshape of an executor-owned
+                                // transient: recycle the storage.
+                                self.pool.release(std::mem::take(v));
+                                *v = self.pool.acquire(size);
+                            } else {
+                                return Err(ExecError::SizeMismatch {
+                                    name: name.clone(),
+                                    expected: size,
+                                    got: v.len(),
+                                });
+                            }
                         }
-                        Some(_) => {}
+                        Some(v) => {
+                            // Reset-not-free: executor-owned transients are
+                            // zeroed in place so every run starts from the
+                            // state a fresh allocation (and the reference
+                            // interpreter) would see. Caller-provided
+                            // arrays are never touched.
+                            if a.transient && owned {
+                                v.fill(0.0);
+                            }
+                        }
                         None if a.transient => {
-                            self.arrays.insert(name.clone(), vec![0.0; size]);
+                            self.arrays.insert(name.clone(), self.pool.acquire(size));
+                            self.owned_transients.insert(name.clone());
                         }
                         None => return Err(ExecError::MissingArray(name.clone())),
                     }
                 }
-                DataDesc::Scalar(_) => {
-                    self.arrays.entry(name.clone()).or_insert_with(|| vec![0.0]);
-                }
+                DataDesc::Scalar(sc) => match self.arrays.get_mut(name) {
+                    Some(v) => {
+                        if sc.transient && self.owned_transients.contains(name) {
+                            v.fill(0.0);
+                        }
+                    }
+                    None => {
+                        self.arrays.insert(name.clone(), vec![0.0]);
+                        if sc.transient {
+                            self.owned_transients.insert(name.clone());
+                        }
+                    }
+                },
                 DataDesc::Stream(_) => {
                     self.streams.entry(name.clone()).or_default();
                 }
             }
         }
         Ok(())
+    }
+}
+
+impl Drop for Executor<'_> {
+    fn drop(&mut self) {
+        // Executor-owned transients go back to the pool for whoever shares
+        // it next; caller-provided arrays stay with the caller.
+        for name in std::mem::take(&mut self.owned_transients) {
+            if let Some(v) = self.arrays.remove(&name) {
+                self.pool.release(v);
+            }
+        }
     }
 }
 
@@ -633,9 +808,18 @@ fn interstate_env(ctx: &Ctx, symbols: &Env) -> Env {
 
 fn exec_state(ctx: &Ctx, sid: StateId, symbols: &Env) -> Result<(), ExecError> {
     let state = ctx.sdfg.state(sid);
-    let tree =
-        sdfg_core::scope::scope_tree(state).map_err(|e| ExecError::BadGraph(e.to_string()))?;
-    let order = state.topological_order();
+    // Structural plan (scope tree + topological order): derived once per
+    // (SDFG, bindings) pair, reused on every later execution of the state.
+    let splan = match ctx.plan.state(sid.0) {
+        Some(p) => p,
+        None => {
+            let tree = sdfg_core::scope::scope_tree(state)
+                .map_err(|e| ExecError::BadGraph(e.to_string()))?;
+            let order = state.topological_order();
+            ctx.plan.insert_state(sid.0, StatePlan { tree, order })
+        }
+    };
+    let tree = &splan.tree;
     let mut worker = Worker::new(ctx, symbols.clone());
     let mode = match &ctx.prof {
         Some(p) => p.state_mode(sid.0),
@@ -646,9 +830,9 @@ fn exec_state(ctx: &Ctx, sid: StateId, symbols: &Env) -> Result<(), ExecError> {
         _ => None,
     };
     let mut result = Ok(());
-    for n in order {
+    for &n in &splan.order {
         if tree.scope_of(n).is_none() {
-            let r = exec_node(ctx, sid, &tree, n, &mut worker, None);
+            let r = exec_node(ctx, sid, tree, n, &mut worker, None);
             if r.is_err() {
                 result = r;
                 break;
@@ -731,7 +915,14 @@ fn exec_access(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Resul
             continue;
         }
         // Copy global window → whole local buffer (or other_subset).
-        copy_window(ctx, worker, &src_data, &m.subset, &dst_name, m.other_subset.as_ref())?;
+        copy_window(
+            ctx,
+            worker,
+            &src_data,
+            &m.subset,
+            &dst_name,
+            m.other_subset.as_ref(),
+        )?;
     }
     // Copies OUT of this node into other access nodes.
     let out_edges: Vec<EdgeId> = state.graph.out_edges(n).collect();
@@ -748,9 +939,14 @@ fn exec_access(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Resul
         let src_is_stream = matches!(ctx.sdfg.desc(&dst_name), Some(DataDesc::Stream(_)));
         let dst_is_stream = matches!(ctx.sdfg.desc(&dst_data), Some(DataDesc::Stream(_)));
         match (src_is_stream, dst_is_stream) {
-            (false, false) => {
-                copy_window(ctx, worker, &dst_name, &m.subset, &dst_data, m.other_subset.as_ref())?
-            }
+            (false, false) => copy_window(
+                ctx,
+                worker,
+                &dst_name,
+                &m.subset,
+                &dst_data,
+                m.other_subset.as_ref(),
+            )?,
             (false, true) => {
                 let window = gather_symbolic(worker, &dst_name, &m.subset)?;
                 ctx.streams
@@ -781,10 +977,8 @@ fn exec_access(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Resul
                     }
                 }
                 if m.dynamic && window.len() < capacity {
-                    let prefix = Subset::new(vec![sdfg_symbolic::SymRange::new(
-                        0,
-                        window.len() as i64,
-                    )]);
+                    let prefix =
+                        Subset::new(vec![sdfg_symbolic::SymRange::new(0, window.len() as i64)]);
                     scatter_symbolic(worker, &dst_data, &prefix, &window, None)?;
                 } else {
                     scatter_symbolic(worker, &dst_data, &dst_subset, &window, None)?;
@@ -915,16 +1109,10 @@ fn wcr_fn(w: &Wcr) -> Result<fn(f64, f64) -> f64, ExecError> {
     })
 }
 
-
 /// True when every access to `data` in the whole SDFG lies inside the
 /// scope of `entry` in state `sid` — only then does the container have
 /// scope lifetime (fresh per iteration, thread-private).
-fn scope_owns_container(
-    sdfg: &Sdfg,
-    sid: StateId,
-    members: &[NodeId],
-    data: &str,
-) -> bool {
+fn scope_owns_container(sdfg: &Sdfg, sid: StateId, members: &[NodeId], data: &str) -> bool {
     for other_sid in sdfg.graph.node_ids() {
         let other = sdfg.graph.node(other_sid);
         for n in other.graph.node_ids() {
@@ -942,7 +1130,9 @@ fn count_elems(dims: &[(i64, i64, i64, i64)]) -> usize {
     let mut n = 1usize;
     for &(s, e, st, t) in dims {
         let len = if st > 0 { ((e - s) + st - 1) / st } else { 0 };
-        n = n.saturating_mul(len.max(0) as usize).saturating_mul(t.max(1) as usize);
+        n = n
+            .saturating_mul(len.max(0) as usize)
+            .saturating_mul(t.max(1) as usize);
     }
     n
 }
@@ -1047,11 +1237,25 @@ enum NativePlan {
     MulChain(sdfg_lang::recognize::MulChain),
 }
 
-struct BodyTasklet {
+pub(crate) struct BodyTasklet {
     prog: TaskletProgram,
     ins: Vec<InPort>,
     outs: Vec<OutPortPlan>,
     native: Option<NativePlan>,
+}
+
+#[cfg(test)]
+impl BodyTasklet {
+    /// Minimal instance for plan-cache unit tests.
+    pub(crate) fn test_dummy() -> BodyTasklet {
+        BodyTasklet {
+            prog: TaskletProgram::compile("o = 1", &[], &["o".to_string()])
+                .expect("trivial tasklet compiles"),
+            ins: Vec::new(),
+            outs: Vec::new(),
+            native: None,
+        }
+    }
 }
 
 /// Compiles a tasklet node's ports against the given map parameters.
@@ -1141,7 +1345,11 @@ fn plan_native(prog: &TaskletProgram, ins: &[InPort], outs: &[OutPortPlan]) -> O
     if !outs[0].window.is_scalar_fast() {
         return None;
     }
-    if outs[0].wcr.as_ref().is_some_and(|w| matches!(w, Wcr::Custom(_))) {
+    if outs[0]
+        .wcr
+        .as_ref()
+        .is_some_and(|w| matches!(w, Wcr::Custom(_)))
+    {
         return None;
     }
     if !ins.iter().all(|p| !p.stream && p.window.is_scalar_fast()) {
@@ -1151,7 +1359,8 @@ fn plan_native(prog: &TaskletProgram, ins: &[InPort], outs: &[OutPortPlan]) -> O
     {
         return Some(NativePlan::Pattern(pattern));
     }
-    if let Some(lc) = sdfg_lang::recognize::recognize_lincomb(&prog.body, &prog.inputs, &prog.outputs)
+    if let Some(lc) =
+        sdfg_lang::recognize::recognize_lincomb(&prog.body, &prog.inputs, &prog.outputs)
     {
         return Some(NativePlan::LinComb(lc));
     }
@@ -1192,8 +1401,7 @@ fn plan_window(
     let is_index = subset.dims.iter().all(|r| {
         r.tile.is_one()
             && r.step.is_one()
-            && (r.end.clone() - r.start.clone())
-                .sym_cmp(&sdfg_symbolic::Expr::one(), &assume)
+            && (r.end.clone() - r.start.clone()).sym_cmp(&sdfg_symbolic::Expr::one(), &assume)
                 == Some(std::cmp::Ordering::Equal)
     });
     if is_index && subset.dims.len() == strides.len() {
@@ -1450,7 +1658,12 @@ fn run_tasklet_point(
         let mut scalar_slots: Vec<[f64; 1]> = prepared
             .iter()
             .map(|p| match p {
-                PreparedOut::ScalarDirect { off, wcr: None, data, .. } => {
+                PreparedOut::ScalarDirect {
+                    off,
+                    wcr: None,
+                    data,
+                    ..
+                } => {
                     // Preserve read-modify-write semantics.
                     [worker.buf(data).map(|b| b.read(*off)).unwrap_or(0.0)]
                 }
@@ -1500,7 +1713,9 @@ fn run_tasklet_point(
                 let _ = slot_iter.next();
                 let _ = log_iter.next();
             }
-            worker.vm.run_with_syms(&body.prog, &ins, &mut ports, &syms)?;
+            worker
+                .vm
+                .run_with_syms(&body.prog, &ins, &mut ports, &syms)?;
         }
         // Scatter.
         for (i, p) in prepared.into_iter().enumerate() {
@@ -1567,9 +1782,9 @@ fn run_tasklet_point(
                     let _ = atomic; // sparse WCR stays atomic (offsets are
                                     // data-dependent; the race analysis
                                     // cannot clear them)
-                    // Map window-relative offsets to global offsets. Fast
-                    // path: contiguous full window (row-major, stride-1
-                    // innermost) — global = base + rel.
+                                    // Map window-relative offsets to global offsets. Fast
+                                    // path: contiguous full window (row-major, stride-1
+                                    // innermost) — global = base + rel.
                     let f = wcr_fn(&wcr)?;
                     let b = worker.buf(&data)?;
                     let contiguous = is_contiguous(&base_dims, &strides);
@@ -1693,8 +1908,9 @@ enum MapBody {
     },
 }
 
-/// Everything launch-invariant about one map scope, cached per worker.
-struct MapPlan {
+/// Everything launch-invariant about one map scope, cached per worker and
+/// (context-verified) across runs in the shared execution plan.
+pub(crate) struct MapPlan {
     params: Vec<String>,
     ranges: Vec<sdfg_symbolic::SymRange>,
     #[allow(dead_code)] // kept for diagnostics/debug printing
@@ -1715,6 +1931,15 @@ fn build_map_plan(
 ) -> Result<std::sync::Arc<MapPlan>, ExecError> {
     if let Some(p) = worker.map_cache.get(&(sid.0, entry.0)) {
         return Ok(p.clone());
+    }
+    // Shared cache probe: a map plan bakes in environment-derived values
+    // (iteration counts, window offsets, local-transient sizes, atomic
+    // flags), so reuse is gated on an equal compile context.
+    let shared_key = (sid.0, entry.0);
+    let cctx = worker.compile_ctx();
+    if let Some(p) = ctx.plan.map(shared_key, &cctx) {
+        worker.map_cache.insert(shared_key, p.clone());
+        return Ok(p);
     }
     let state = ctx.sdfg.state(sid);
     let Node::MapEntry(scope) = state.graph.node(entry) else {
@@ -1813,7 +2038,8 @@ fn build_map_plan(
         pcounts,
         body,
     });
-    worker.map_cache.insert((sid.0, entry.0), plan.clone());
+    ctx.plan.insert_map(shared_key, cctx, plan.clone());
+    worker.map_cache.insert(shared_key, plan.clone());
     Ok(plan)
 }
 
@@ -2040,8 +2266,7 @@ fn env_free_bounds(plan: &MapPlan, worker: &Worker) -> Option<Vec<(i64, i64, i64
             return None;
         }
         let fast = |w: &WindowPlan| {
-            matches!(w, WindowPlan::Scalar(sv) if sv.is_fast())
-                || matches!(w, WindowPlan::Full)
+            matches!(w, WindowPlan::Scalar(sv) if sv.is_fast()) || matches!(w, WindowPlan::Full)
         };
         if !bt.ins.iter().all(|p| !p.stream && fast(&p.window)) {
             return None;
@@ -2101,7 +2326,11 @@ fn run_map_fast(
         worker.point[base + d] = s;
     }
     let (is_, ie_, ist) = bounds[nd - 1];
-    let single = if ts.len() == 1 { Some(ts[0].1.clone()) } else { None };
+    let single = if ts.len() == 1 {
+        Some(ts[0].1.clone())
+    } else {
+        None
+    };
     loop {
         // Innermost dimension through the fast loops; fall back to
         // per-point execution (still env-light: env only consulted by
@@ -2170,10 +2399,10 @@ fn run_map_serial(
     } = body
     {
         for (name, size) in local_transients {
-            worker
-                .locals
-                .entry(name.clone())
-                .or_insert_with(|| SharedBuffer::new(vec![0.0; *size]));
+            if !worker.locals.contains_key(name) {
+                let buf = SharedBuffer::new(worker.ctx.pool.acquire(*size));
+                worker.locals.insert(name.clone(), buf);
+            }
         }
     }
     // Single-dimension tasklet body: attempt the native loop over the whole
@@ -2738,7 +2967,12 @@ fn try_vm_loop(
         in_bufs.push(getbuf(p.slot, &p.data)?);
     }
     // (buffer, wcr combiner, atomic?, log?) per output.
-    type OutBufRef<'a> = (Option<&'a SharedBuffer>, Option<fn(f64, f64) -> f64>, bool, bool);
+    type OutBufRef<'a> = (
+        Option<&'a SharedBuffer>,
+        Option<fn(f64, f64) -> f64>,
+        bool,
+        bool,
+    );
     let mut out_bufs: Vec<OutBufRef> = Vec::with_capacity(bt.outs.len());
     for (k, o) in bt.outs.iter().enumerate() {
         let f = match &o.wcr {
@@ -3065,8 +3299,7 @@ fn run_elementwise(
             if s == 1 && out_step == 1 && wcr.is_none() && b >= 0 && out_base >= 0 {
                 let src = buf.as_slice();
                 if (b as usize + n) <= src.len() && (out_base as usize + n) <= out_buf.len() {
-                    let dstslice =
-                        unsafe { &mut out_buf.as_mut_slice()[out_base as usize..][..n] };
+                    let dstslice = unsafe { &mut out_buf.as_mut_slice()[out_base as usize..][..n] };
                     dstslice.copy_from_slice(&src[b as usize..][..n]);
                     return Ok(());
                 }
@@ -3159,7 +3392,10 @@ fn run_elementwise(
                 }
             }
             for k in 0..n {
-                emit(k, mul * buf.read((b + k as i64 * stp).max(0) as usize) + add);
+                emit(
+                    k,
+                    mul * buf.read((b + k as i64 * stp).max(0) as usize) + add,
+                );
             }
         }
     }
@@ -3298,6 +3534,10 @@ fn exec_nested(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Resul
     };
     let mut sub = Executor::new(nested);
     sub.nthreads = 1; // nested parallelism is sequentialized
+                      // Inherit the caller's plan cache and buffer pool so repeated outer
+                      // runs also amortize the nested SDFG's lowering and allocations.
+    sub.plan_cache = ctx.plan_cache.clone();
+    sub.pool = ctx.pool.clone();
     for (sym, expr) in symbol_mapping {
         let v = expr.eval(&worker.env)?;
         sub.symbols.insert(sym.clone(), v);

@@ -7,7 +7,7 @@
 //! tiers per tasklet body:
 //!
 //! 1. **Native kernels** — when the tasklet matches a canonical form
-//!    ([`sdfg_lang::recognize`]) and its memlets are affine, the inner loop
+//!    ([`mod@sdfg_lang::recognize`]) and its memlets are affine, the inner loop
 //!    is a tight Rust loop over raw strides that LLVM auto-vectorizes.
 //! 2. **Affine VM loops** — otherwise, memlet subsets are pre-solved into
 //!    affine functions of the map parameters ([`affine`]) and the bytecode
@@ -29,8 +29,12 @@
 pub mod affine;
 pub mod buffer;
 pub mod engine;
+pub mod plan;
+pub mod pool;
 
 pub use engine::{ExecError, Executor, Stats};
+pub use plan::{CacheStats, PlanCache};
+pub use pool::{BufferPool, PoolStats};
 // Re-export the profiling vocabulary so callers can enable instrumentation
 // and consume reports without naming `sdfg-profile` directly.
 pub use sdfg_profile::{InstrumentationReport, Profiling};

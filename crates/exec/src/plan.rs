@@ -1,0 +1,333 @@
+//! Cross-run execution-plan caching.
+//!
+//! The paper's model is compile-once/run-many: §4's lowering pipeline is
+//! paid when an SDFG is first seen, and subsequent invocations dispatch a
+//! cached executable. This module gives the executor the same shape. A
+//! [`PlanCache`] maps a [`PlanKey`] — the stable content hash of the SDFG
+//! (`sdfg_core::serialize::content_hash`) plus the initial symbol
+//! bindings — to an `ExecutionPlan` holding everything lowering produces:
+//! per-state scope trees and topological orders, compiled tasklet bodies,
+//! and map plans.
+//!
+//! # Soundness
+//!
+//! Two distinct mechanisms guard reuse:
+//!
+//! * **The key.** The content hash covers program structure only; any
+//!   serialized edit (node added, memlet changed) yields a different key,
+//!   so a mutated SDFG can never alias a stale plan. Symbol bindings are
+//!   part of the key because lowering constant-folds them into window
+//!   offsets and iteration counts.
+//! * **The compile context.** Tasklet and map compilation additionally
+//!   read per-worker state that is not part of the key: the evolving
+//!   symbol environment (interstate assignments, dynamic-range
+//!   connectors), the enclosing map-parameter stack, iteration counts and
+//!   the chunked parameter feeding the WCR race analysis, and the set of
+//!   thread-local transient overlays. Each cached artifact therefore
+//!   stores the `CompileCtx` it was compiled under, and is only reused
+//!   on an *equal* context — equality, not hashing, so collisions cannot
+//!   change semantics. A mismatch silently falls back to compiling, which
+//!   is always correct.
+//!
+//! Plans also record the deterministic container→slot layout of the run
+//! that populated them; if a later run binds a different set of arrays,
+//! slot-dependent artifacts are dropped (see `ExecutionPlan::ensure_layout`).
+
+use crate::engine::{BodyTasklet, MapPlan};
+use parking_lot::Mutex;
+use sdfg_core::scope::ScopeTree;
+use sdfg_graph::NodeId;
+use sdfg_symbolic::Env;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Variants retained per (state, node): bounds memory when a program point
+/// is compiled under many distinct contexts (e.g. a long interstate loop).
+const MAX_VARIANTS: usize = 64;
+
+/// Identity of a lowered plan: program content hash + initial symbol
+/// bindings (sorted for a canonical representation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// `sdfg_core::serialize::content_hash` of the program.
+    pub sdfg_hash: u64,
+    /// Initial symbol bindings, sorted by name.
+    pub symbols: Vec<(String, i64)>,
+}
+
+impl PlanKey {
+    /// Builds a key from a content hash and an environment.
+    pub fn new(sdfg_hash: u64, symbols: &Env) -> PlanKey {
+        let mut symbols: Vec<(String, i64)> =
+            symbols.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        symbols.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        PlanKey { sdfg_hash, symbols }
+    }
+}
+
+/// Plan-cache counters (cumulative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an existing plan.
+    pub hits: u64,
+    /// Lookups that created a fresh plan.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, `0.0..=1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shareable cache of lowered execution plans.
+///
+/// Every [`crate::Executor`] owns one by default; share a single cache
+/// across executors (via `Executor::with_plan_cache`) to amortize lowering
+/// over service-style traffic running the same SDFG repeatedly.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Fetches (or creates) the plan for `key`; the flag reports whether
+    /// the lookup hit an existing plan.
+    pub(crate) fn lookup(&self, key: PlanKey) -> (Arc<ExecutionPlan>, bool) {
+        let mut plans = self.plans.lock();
+        match plans.get(&key) {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (p.clone(), true)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let p = Arc::new(ExecutionPlan::default());
+                plans.insert(key, p.clone());
+                (p, false)
+            }
+        }
+    }
+
+    /// Number of distinct plans held.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// True when no plans are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every plan (counters are kept).
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything tasklet/map compilation reads beyond the graph structure:
+/// reuse of a cached artifact is gated on equality of this fingerprint.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CompileCtx {
+    /// Worker symbol environment (sorted snapshot).
+    pub env: Vec<(String, i64)>,
+    /// Enclosing map-parameter names, outermost first.
+    pub pstack: Vec<String>,
+    /// Iteration counts per stacked parameter (WCR race analysis input).
+    pub pcounts: Vec<i64>,
+    /// Index of the chunk-partitioned parameter, if inside a parallel region.
+    pub chunk: Option<usize>,
+    /// Names of thread-local transient overlays (sorted).
+    pub locals: Vec<String>,
+}
+
+/// Compiled variants for one program point, each tagged with the context
+/// it was compiled under.
+type Variants<T> = Mutex<HashMap<(u32, u32), Vec<(CompileCtx, Arc<T>)>>>;
+
+/// Structural plan for one state: scope tree + topological order. Depends
+/// only on the graph, so it is valid for the plan's whole lifetime.
+pub(crate) struct StatePlan {
+    pub tree: ScopeTree,
+    pub order: Vec<NodeId>,
+}
+
+/// The cached lowering of one (SDFG, symbol bindings) pair.
+#[derive(Default)]
+pub(crate) struct ExecutionPlan {
+    /// Container→slot layout (sorted names) of the populating run.
+    layout: Mutex<Option<Vec<String>>>,
+    /// Per-state structural plans, keyed by state id.
+    states: Mutex<HashMap<u32, Arc<StatePlan>>>,
+    /// Compiled tasklet bodies, keyed by (state, node), with the context
+    /// each variant was compiled under.
+    tasklets: Variants<BodyTasklet>,
+    /// Compiled map plans, same keying scheme.
+    maps: Variants<MapPlan>,
+}
+
+impl ExecutionPlan {
+    /// Validates the run's slot layout against the plan's. On first use the
+    /// layout is recorded; on a mismatch (the bound-array set changed
+    /// between runs) every slot-dependent artifact is dropped so stale
+    /// slots can never be dereferenced. State plans survive — they are
+    /// layout-independent.
+    pub fn ensure_layout(&self, names: &[String]) {
+        let mut layout = self.layout.lock();
+        match layout.as_deref() {
+            Some(l) if l == names => {}
+            Some(_) => {
+                self.tasklets.lock().clear();
+                self.maps.lock().clear();
+                *layout = Some(names.to_vec());
+            }
+            None => *layout = Some(names.to_vec()),
+        }
+    }
+
+    /// Cached structural plan for a state.
+    pub fn state(&self, sid: u32) -> Option<Arc<StatePlan>> {
+        self.states.lock().get(&sid).cloned()
+    }
+
+    /// Records (get-or-insert) a state's structural plan.
+    pub fn insert_state(&self, sid: u32, plan: StatePlan) -> Arc<StatePlan> {
+        self.states
+            .lock()
+            .entry(sid)
+            .or_insert_with(|| Arc::new(plan))
+            .clone()
+    }
+
+    /// Cached tasklet body compiled under an equal context.
+    pub fn tasklet(&self, key: (u32, u32), ctx: &CompileCtx) -> Option<Arc<BodyTasklet>> {
+        let map = self.tasklets.lock();
+        let variants = map.get(&key)?;
+        variants
+            .iter()
+            .find(|(c, _)| c == ctx)
+            .map(|(_, bt)| bt.clone())
+    }
+
+    /// Records a compiled tasklet body (skipped past the variant cap).
+    pub fn insert_tasklet(&self, key: (u32, u32), ctx: CompileCtx, body: Arc<BodyTasklet>) {
+        let mut map = self.tasklets.lock();
+        let variants = map.entry(key).or_default();
+        if variants.len() < MAX_VARIANTS && !variants.iter().any(|(c, _)| *c == ctx) {
+            variants.push((ctx, body));
+        }
+    }
+
+    /// Cached map plan compiled under an equal context.
+    pub fn map(&self, key: (u32, u32), ctx: &CompileCtx) -> Option<Arc<MapPlan>> {
+        let map = self.maps.lock();
+        let variants = map.get(&key)?;
+        variants
+            .iter()
+            .find(|(c, _)| c == ctx)
+            .map(|(_, p)| p.clone())
+    }
+
+    /// Records a compiled map plan (skipped past the variant cap).
+    pub fn insert_map(&self, key: (u32, u32), ctx: CompileCtx, plan: Arc<MapPlan>) {
+        let mut map = self.maps.lock();
+        let variants = map.entry(key).or_default();
+        if variants.len() < MAX_VARIANTS && !variants.iter().any(|(c, _)| *c == ctx) {
+            variants.push((ctx, plan));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64, syms: &[(&str, i64)]) -> PlanKey {
+        let mut env = Env::new();
+        for (k, v) in syms {
+            env.insert((*k).to_string(), *v);
+        }
+        PlanKey::new(h, &env)
+    }
+
+    #[test]
+    fn symbol_bindings_partition_plans() {
+        let cache = PlanCache::new();
+        let (_, hit) = cache.lookup(key(1, &[("N", 8)]));
+        assert!(!hit);
+        let (_, hit) = cache.lookup(key(1, &[("N", 8)]));
+        assert!(hit, "same hash + same bindings hits");
+        let (_, hit) = cache.lookup(key(1, &[("N", 16)]));
+        assert!(!hit, "different bindings must miss");
+        let (_, hit) = cache.lookup(key(2, &[("N", 8)]));
+        assert!(!hit, "different content hash must miss");
+        assert_eq!(cache.len(), 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_key_is_order_insensitive() {
+        let a = key(7, &[("A", 1), ("B", 2)]);
+        let b = key(7, &[("B", 2), ("A", 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layout_change_drops_compiled_artifacts() {
+        let plan = ExecutionPlan::default();
+        let names = vec!["A".to_string(), "B".to_string()];
+        plan.ensure_layout(&names);
+        plan.insert_state(
+            0,
+            StatePlan {
+                tree: ScopeTree::default(),
+                order: Vec::new(),
+            },
+        );
+        let ctx = CompileCtx {
+            env: Vec::new(),
+            pstack: Vec::new(),
+            pcounts: Vec::new(),
+            chunk: None,
+            locals: Vec::new(),
+        };
+        plan.insert_tasklet(
+            (0, 1),
+            ctx.clone(),
+            Arc::new(crate::engine::BodyTasklet::test_dummy()),
+        );
+        assert!(plan.tasklet((0, 1), &ctx).is_some());
+        // Same layout: artifacts survive.
+        plan.ensure_layout(&names);
+        assert!(plan.tasklet((0, 1), &ctx).is_some());
+        // New array bound → slots shift → compiled artifacts are dropped,
+        // structural state plans survive.
+        plan.ensure_layout(&["A".to_string(), "B".to_string(), "C".to_string()]);
+        assert!(plan.tasklet((0, 1), &ctx).is_none());
+        assert!(plan.state(0).is_some());
+    }
+}

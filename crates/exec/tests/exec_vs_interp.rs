@@ -260,7 +260,10 @@ fn stats_report_native_points() {
     ex.set_array("C", vec![0.0; 4096]);
     let stats = ex.run().unwrap();
     assert_eq!(stats.tasklet_points, 4096);
-    assert_eq!(stats.native_points, 4096, "simple add must take the native path");
+    assert_eq!(
+        stats.native_points, 4096,
+        "simple add must take the native path"
+    );
     assert!(ex.array("C").iter().all(|&v| v == 3.0));
 }
 
@@ -360,8 +363,20 @@ fn filter_stream_sdfg(thresh: f64) -> sdfg_core::Sdfg {
         );
         st.add_edge(col, None, me, Some("IN_col"), Memlet::parse("col", "0:N"));
         st.add_edge(me, Some("OUT_col"), t, Some("x"), Memlet::parse("col", "i"));
-        st.add_edge(t, Some("S_out"), mx, Some("IN_S"), Memlet::parse("S", "0").dynamic());
-        st.add_edge(mx, Some("OUT_S"), s_acc, None, Memlet::parse("S", "0").dynamic());
+        st.add_edge(
+            t,
+            Some("S_out"),
+            mx,
+            Some("IN_S"),
+            Memlet::parse("S", "0").dynamic(),
+        );
+        st.add_edge(
+            mx,
+            Some("OUT_S"),
+            s_acc,
+            None,
+            Memlet::parse("S", "0").dynamic(),
+        );
     }
     let drain = sdfg.add_state("drain");
     sdfg.add_transition(filter, drain, sdfg_core::sdfg::InterstateEdge::always());

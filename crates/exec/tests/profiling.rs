@@ -110,8 +110,14 @@ fn report_counts_are_deterministic_across_runs() {
     let rb = b.last_report.as_ref().unwrap();
     let counts = |r: &sdfg_exec::InstrumentationReport| {
         (
-            r.states.iter().map(|(k, s)| (*k, s.count)).collect::<Vec<_>>(),
-            r.maps.iter().map(|(k, s)| (*k, s.count)).collect::<Vec<_>>(),
+            r.states
+                .iter()
+                .map(|(k, s)| (*k, s.count))
+                .collect::<Vec<_>>(),
+            r.maps
+                .iter()
+                .map(|(k, s)| (*k, s.count))
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(counts(ra), counts(rb));

@@ -166,7 +166,10 @@ fn model_state(
                 }
             }
             Node::MapEntry(scope)
-                if matches!(scope.schedule, Schedule::FpgaDevice | Schedule::CpuMulticore) =>
+                if matches!(
+                    scope.schedule,
+                    Schedule::FpgaDevice | Schedule::CpuMulticore
+                ) =>
             {
                 let (c, p) = model_module(sdfg, sid, n, board, mode, env)?;
                 // Separate connected components run concurrently
@@ -297,8 +300,14 @@ mod tests {
     #[test]
     fn functional_and_timed() {
         let (sdfg, mut arrays) = axpy_fpga(1000);
-        let rep = run_fpga(&sdfg, &vcu1525(), FpgaMode::Pipelined, &[("N", 1000)], &mut arrays)
-            .unwrap();
+        let rep = run_fpga(
+            &sdfg,
+            &vcu1525(),
+            FpgaMode::Pipelined,
+            &[("N", 1000)],
+            &mut arrays,
+        )
+        .unwrap();
         for (i, v) in arrays["Y"].iter().enumerate() {
             assert_eq!(*v, 3.0 * i as f64 + 1.0);
         }

@@ -88,10 +88,8 @@ impl SdfgBuilder {
         code: &str,
         outputs: &[(&str, &str, &str)],
     ) -> MappedTasklet {
-        let outs: Vec<(&str, &str, &str, Option<Wcr>)> = outputs
-            .iter()
-            .map(|(c, d, s)| (*c, *d, *s, None))
-            .collect();
+        let outs: Vec<(&str, &str, &str, Option<Wcr>)> =
+            outputs.iter().map(|(c, d, s)| (*c, *d, *s, None)).collect();
         self.mapped_tasklet_wcr(
             state,
             name,
@@ -117,10 +115,7 @@ impl SdfgBuilder {
         schedule: Schedule,
     ) -> MappedTasklet {
         let params: Vec<String> = ranges.iter().map(|(p, _)| p.to_string()).collect();
-        let rs: Vec<SymRange> = ranges
-            .iter()
-            .map(|(_, r)| parse_range(r))
-            .collect();
+        let rs: Vec<SymRange> = ranges.iter().map(|(_, r)| parse_range(r)).collect();
         let st = self.sdfg.state_mut(state);
         let mut scope = sdfg_core::node::MapScope::new(name, params, rs);
         scope.schedule = schedule;
@@ -211,11 +206,8 @@ impl SdfgBuilder {
         let init = self.sdfg.add_state(format!("{var}_init"));
         let guard = self.sdfg.add_state(format!("{var}_guard"));
         let exit = self.sdfg.add_state(format!("{var}_exit"));
-        self.sdfg.add_transition(
-            init,
-            guard,
-            InterstateEdge::always().assign(var, start),
-        );
+        self.sdfg
+            .add_transition(init, guard, InterstateEdge::always().assign(var, start));
         self.sdfg
             .add_transition(guard, body, InterstateEdge::when(cond));
         self.sdfg.add_transition(
@@ -356,7 +348,13 @@ pub fn thread_output(
     for &exit in exits {
         let in_conn = format!("IN_{data}");
         let out_conn = format!("OUT_{data}");
-        st.add_edge(cur, cur_conn.as_deref(), exit, Some(&in_conn), memlet.clone());
+        st.add_edge(
+            cur,
+            cur_conn.as_deref(),
+            exit,
+            Some(&in_conn),
+            memlet.clone(),
+        );
         // If this exit already forwards the container outward, the rest of
         // the chain (including the access-node hop) is wired.
         let exists = st
@@ -384,7 +382,10 @@ pub fn dedup_edges(st: &mut State) {
         let key = (s, d, df.src_conn.clone(), df.dst_conn.clone());
         // Tasklet connectors must stay unique; scope connectors are the
         // ones that can legitimately collide after threading.
-        let collapsible = df.src_conn.as_deref().is_some_and(|c| c.starts_with("OUT_"))
+        let collapsible = df
+            .src_conn
+            .as_deref()
+            .is_some_and(|c| c.starts_with("OUT_"))
             || df.dst_conn.as_deref().is_some_and(|c| c.starts_with("IN_"));
         if collapsible && !seen.insert(key) {
             st.graph.remove_edge(e);
@@ -501,7 +502,7 @@ mod tests {
         let sdfg = b.build().expect("valid");
         assert_eq!(sdfg.start, Some(init));
         assert_eq!(sdfg.graph.node_count(), 4); // body + init + guard + exit
-        // guard has two outgoing transitions with complementary conditions.
+                                                // guard has two outgoing transitions with complementary conditions.
         assert_eq!(sdfg.graph.out_degree(guard), 2);
     }
 

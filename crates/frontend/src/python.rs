@@ -24,9 +24,7 @@
 //! like the paper's frontend ("if the syntax is unsupported, an error is
 //! raised").
 
-use crate::builder::{
-    dedup_edges, parse_range, thread_input, thread_output, SdfgBuilder,
-};
+use crate::builder::{dedup_edges, parse_range, thread_input, thread_output, SdfgBuilder};
 use sdfg_core::sdfg::InterstateEdge;
 use sdfg_core::{DType, Memlet, Sdfg, StateId, Subset, Wcr};
 use sdfg_graph::NodeId;
@@ -125,7 +123,11 @@ fn build_blocks(src: &str) -> Result<Vec<Block>, FrontendError> {
         out
     }
     let mut pos = 0;
-    Ok(nest(&raws, &mut pos, raws.first().map(|r| r.indent).unwrap_or(0)))
+    Ok(nest(
+        &raws,
+        &mut pos,
+        raws.first().map(|r| r.indent).unwrap_or(0),
+    ))
 }
 
 /// Net paren/bracket depth of a line (positive = unbalanced open).
@@ -173,7 +175,10 @@ pub fn parse_program(src: &str) -> Result<Sdfg, FrontendError> {
     let mut sdfg = fe.b.build_unvalidated();
     if let Err(errs) = sdfg.validate() {
         let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
-        return err(def.line, format!("generated SDFG is invalid: {}", msgs.join("; ")));
+        return err(
+            def.line,
+            format!("generated SDFG is invalid: {}", msgs.join("; ")),
+        );
     }
     sdfg_core::propagate::propagate_sdfg(&mut sdfg);
     Ok(sdfg)
@@ -204,7 +209,10 @@ fn parse_signature(text: &str, line: usize) -> Result<(String, Vec<Param>), Fron
             continue;
         }
         let Some((pname, ann)) = piece.split_once(':') else {
-            return err(line, format!("parameter `{piece}` needs a dace type annotation"));
+            return err(
+                line,
+                format!("parameter `{piece}` needs a dace type annotation"),
+            );
         };
         let ann = ann.trim();
         let ann = ann.strip_prefix("dace.").unwrap_or(ann);
@@ -329,11 +337,18 @@ impl Frontend {
             .strip_prefix("range(")
             .and_then(|x| x.strip_suffix(")"))
         else {
-            return err(s.line, format!("unsupported iterator `{iter}` (use range or dace.map)"));
+            return err(
+                s.line,
+                format!("unsupported iterator `{iter}` (use range or dace.map)"),
+            );
         };
         let parts: Vec<&str> = split_top_level(args, ',');
         let (start, end, step) = match parts.len() {
-            1 => ("0".to_string(), parts[0].trim().to_string(), "1".to_string()),
+            1 => (
+                "0".to_string(),
+                parts[0].trim().to_string(),
+                "1".to_string(),
+            ),
             2 => (
                 parts[0].trim().to_string(),
                 parts[1].trim().to_string(),
@@ -604,9 +619,7 @@ impl Frontend {
         let arr_conn = format!("__{conn}_arr");
         final_inputs.push((
             arr_conn.clone(),
-            Memlet::new(data, full)
-                .with_volume(Expr::one())
-                .dynamic(),
+            Memlet::new(data, full).with_volume(Expr::one()).dynamic(),
         ));
         // Each dimension index: rewrite inner container refs to connectors.
         let mut flat_terms: Vec<String> = Vec::new();
@@ -701,7 +714,10 @@ impl Frontend {
             Some(BinOp::Add) => Some(Wcr::Sum),
             Some(BinOp::Mul) => Some(Wcr::Product),
             Some(other) => {
-                return err(s.line, format!("unsupported augmented assignment {other:?}"))
+                return err(
+                    s.line,
+                    format!("unsupported augmented assignment {other:?}"),
+                )
             }
         };
         // Collect input connectors from the RHS.
@@ -720,7 +736,10 @@ impl Frontend {
                 if desc.rank() == 0 {
                     Subset::index([Expr::zero()])
                 } else {
-                    return err(s.line, format!("assignment to whole array `{target}` unsupported"));
+                    return err(
+                        s.line,
+                        format!("assignment to whole array `{target}` unsupported"),
+                    );
                 }
             }
         };
@@ -814,7 +833,10 @@ impl Frontend {
                     return err(line, format!("array `{name}` used without subscript"));
                 }
                 let conn = format!("__in{}", inputs.len());
-                inputs.push((conn.clone(), Memlet::new(&name, Subset::index([Expr::zero()]))));
+                inputs.push((
+                    conn.clone(),
+                    Memlet::new(&name, Subset::index([Expr::zero()])),
+                ));
                 ExprAst::Name(conn)
             }
             ExprAst::Bin(op, a, b) => ExprAst::Bin(
@@ -827,12 +849,8 @@ impl Frontend {
                 Box::new(self.collect_reads(*a, inputs, line)?),
                 Box::new(self.collect_reads(*b, inputs, line)?),
             ),
-            ExprAst::Neg(a) => {
-                ExprAst::Neg(Box::new(self.collect_reads(*a, inputs, line)?))
-            }
-            ExprAst::Not(a) => {
-                ExprAst::Not(Box::new(self.collect_reads(*a, inputs, line)?))
-            }
+            ExprAst::Neg(a) => ExprAst::Neg(Box::new(self.collect_reads(*a, inputs, line)?)),
+            ExprAst::Not(a) => ExprAst::Not(Box::new(self.collect_reads(*a, inputs, line)?)),
             ExprAst::And(a, b) => ExprAst::And(
                 Box::new(self.collect_reads(*a, inputs, line)?),
                 Box::new(self.collect_reads(*b, inputs, line)?),
@@ -874,9 +892,7 @@ fn split_memlet(text: &str, op: &str) -> Option<(String, String)> {
     let (lhs, rhs) = text.split_once(op)?;
     let lhs = lhs.trim();
     if lhs.is_empty()
-        || !lhs
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || !lhs.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         || lhs.chars().next().is_some_and(|c| c.is_ascii_digit())
     {
         return None;
@@ -914,10 +930,12 @@ fn parse_memlet_rhs(
             let vol = if vol_text == "-1" || vol_text == "dyn" {
                 None // dynamic marker; handled by caller via subset override
             } else {
-                Some(sdfg_symbolic::parse_expr(vol_text).map_err(|e| FrontendError {
-                    line,
-                    message: format!("bad memlet volume `{vol_text}`: {e}"),
-                })?)
+                Some(
+                    sdfg_symbolic::parse_expr(vol_text).map_err(|e| FrontendError {
+                        line,
+                        message: format!("bad memlet volume `{vol_text}`: {e}"),
+                    })?,
+                )
             };
             let wcr = if parts.len() > 1 {
                 Some(parse_wcr(parts[1].trim(), line)?)
@@ -1210,13 +1228,13 @@ def spmv(A_row: dace.uint32[H1], A_col: dace.uint32[nnz],
         let Node::Tasklet { code, inputs, .. } = st.graph.node(t) else {
             unreachable!()
         };
-        assert!(code.contains("__in_x_arr[int("), "gather preamble in: {code}");
+        assert!(
+            code.contains("__in_x_arr[int("),
+            "gather preamble in: {code}"
+        );
         assert!(inputs.iter().any(|c| c.starts_with("__in_x_i")));
         // Dynamic memlet on the x read.
-        assert!(st
-            .graph
-            .edge_ids()
-            .any(|e| st.graph.edge(e).memlet.dynamic));
+        assert!(st.graph.edge_ids().any(|e| st.graph.edge(e).memlet.dynamic));
     }
 
     #[test]
@@ -1272,7 +1290,9 @@ def g(A: dace.float64[N], out: dace.float64[1]):
 
     #[test]
     fn unsupported_syntax_errors() {
-        assert!(parse_program("def f(A: dace.float64[N]):\n    while True:\n        pass").is_err());
+        assert!(
+            parse_program("def f(A: dace.float64[N]):\n    while True:\n        pass").is_err()
+        );
         assert!(parse_program("x = 3").is_err()); // no def
         let e = parse_program(
             "def f(A: dace.float64[N]):\n    for i in dace.map[0:N]:\n        for t in range(3):\n            A[i] = 1",

@@ -123,10 +123,7 @@ pub fn run_gpu(
         arrays.insert(n.clone(), d.clone());
     }
     // Model.
-    let env: Env = symbols
-        .iter()
-        .map(|(s, v)| (s.to_string(), *v))
-        .collect();
+    let env: Env = symbols.iter().map(|(s, v)| (s.to_string(), *v)).collect();
     let visits: HashMap<u32, u64> = stats.state_visits.iter().copied().collect();
     let mut rep = GpuReport::default();
     for sid in sdfg.graph.node_ids() {
@@ -184,8 +181,14 @@ fn model_state(
                         .map(|d| d.dtype().size_bytes() as f64)
                         .unwrap_or(8.0);
                     let moved = elems * elem_bytes;
-                    let src_dev = sdfg.desc(data).map(|d| d.storage().is_device()).unwrap_or(false);
-                    let dst_dev = sdfg.desc(dd).map(|d| d.storage().is_device()).unwrap_or(false);
+                    let src_dev = sdfg
+                        .desc(data)
+                        .map(|d| d.storage().is_device())
+                        .unwrap_or(false);
+                    let dst_dev = sdfg
+                        .desc(dd)
+                        .map(|d| d.storage().is_device())
+                        .unwrap_or(false);
                     if src_dev != dst_dev {
                         pcie += moved;
                         copy_t += moved / dev.pcie_bandwidth;
@@ -224,11 +227,7 @@ fn model_kernel(
     // Iteration count: evaluated symbolically with parameters swept — use
     // the propagated num_iterations. Parameters of outer scopes are not
     // present here because GPU kernels sit at the top level.
-    let iters = scope
-        .num_iterations()
-        .eval(env)
-        .unwrap_or(0)
-        .max(0) as f64;
+    let iters = scope.num_iterations().eval(env).unwrap_or(0).max(0) as f64;
     let innermost = scope.params.last().cloned().unwrap_or_default();
     let mut flops_per_iter = 0.0;
     let mut bytes_per_iter = 0.0;
@@ -310,7 +309,9 @@ fn is_coalesced(m: &sdfg_core::Memlet, innermost: &str) -> bool {
 /// FLOP estimate of one tasklet statement.
 fn flops_of_stmt(s: &Stmt) -> f64 {
     match s {
-        Stmt::Assign { op, value, .. } => flops_of_expr(value) + if op.is_some() { 1.0 } else { 0.0 },
+        Stmt::Assign { op, value, .. } => {
+            flops_of_expr(value) + if op.is_some() { 1.0 } else { 0.0 }
+        }
         Stmt::Push { value, .. } => flops_of_expr(value),
         Stmt::If { cond, then, els } => {
             flops_of_expr(cond)

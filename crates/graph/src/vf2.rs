@@ -180,8 +180,7 @@ impl<PN, PE, N, E> SearchState<'_, PN, PE, N, E> {
             return false;
         }
         if self.options.induced
-            && self.host.edges_between(h, h).count()
-                > self.pattern.edges_between(p, p).count()
+            && self.host.edges_between(h, h).count() > self.pattern.edges_between(p, p).count()
         {
             return false;
         }
@@ -399,8 +398,14 @@ mod tests {
         dbl.add_edge(a, b, ());
         dbl.add_edge(a, b, ());
         assert_eq!(
-            find_subgraph_matches(&pattern, &dbl, &any_node, &any_edge, MatchOptions::default())
-                .len(),
+            find_subgraph_matches(
+                &pattern,
+                &dbl,
+                &any_node,
+                &any_edge,
+                MatchOptions::default()
+            )
+            .len(),
             1
         );
     }

@@ -51,11 +51,7 @@ fn edge_count(g: &MultiGraph<u8, u8>, s: NodeId, d: NodeId, l: u8) -> usize {
 }
 
 /// Checks that `m` maps `pattern` into `host` as a monomorphism.
-fn is_monomorphism(
-    pattern: &MultiGraph<u8, u8>,
-    host: &MultiGraph<u8, u8>,
-    m: &Match,
-) -> bool {
+fn is_monomorphism(pattern: &MultiGraph<u8, u8>, host: &MultiGraph<u8, u8>, m: &Match) -> bool {
     // Injective on nodes, labels compatible.
     let mut seen = std::collections::HashSet::new();
     for p in pattern.node_ids() {

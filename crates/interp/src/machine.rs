@@ -539,9 +539,10 @@ impl<'s> Interpreter<'s> {
                         window.push(q.pop_front().unwrap_or(0.0));
                     }
                     // Partial drains scatter only the drained prefix.
-                    let prefix = sdfg_symbolic::Subset::new(vec![
-                        sdfg_symbolic::SymRange::new(0, count as i64),
-                    ]);
+                    let prefix = sdfg_symbolic::Subset::new(vec![sdfg_symbolic::SymRange::new(
+                        0,
+                        count as i64,
+                    )]);
                     let target = if memlet.dynamic && count < capacity {
                         &prefix
                     } else {
@@ -864,7 +865,17 @@ impl<'s> Interpreter<'s> {
         let mut v = s;
         while v < e {
             env.insert(params[dim].clone(), v);
-            self.map_dim(sid, tree, params, ranges, dim + 1, env, children, owned, writebacks)?;
+            self.map_dim(
+                sid,
+                tree,
+                params,
+                ranges,
+                dim + 1,
+                env,
+                children,
+                owned,
+                writebacks,
+            )?;
             v += st;
         }
         env.remove(&params[dim]);
@@ -930,9 +941,7 @@ impl<'s> Interpreter<'s> {
             .in_edges(entry)
             .filter_map(|e| state.graph.edge(e).memlet.data.clone())
             .find(|d| matches!(self.sdfg.desc(d), Some(DataDesc::Stream(_))))
-            .ok_or_else(|| {
-                InterpError::BadGraph("consume scope without an input stream".into())
-            })?;
+            .ok_or_else(|| InterpError::BadGraph("consume scope without an input stream".into()))?;
         let order = state.topological_order();
         let children: Vec<NodeId> = order
             .into_iter()
@@ -942,7 +951,12 @@ impl<'s> Interpreter<'s> {
         let mut iter = 0i64;
         // Sequential drain (PEs are a parallelism hint; semantics are
         // order-insensitive by construction).
-        while let Some(v) = self.streams.entry(stream_name.clone()).or_default().pop_front() {
+        while let Some(v) = self
+            .streams
+            .entry(stream_name.clone())
+            .or_default()
+            .pop_front()
+        {
             env.insert(pe_param.clone(), iter);
             iter += 1;
             for &c in &children {
@@ -997,7 +1011,8 @@ impl<'s> Interpreter<'s> {
                 .unwrap_or(0.0);
             out_len
         ];
-        let mut initialized = vec![identity.is_some() || matches!(wcr, CompiledWcr::Builtin(_)); out_len];
+        let mut initialized =
+            vec![identity.is_some() || matches!(wcr, CompiledWcr::Builtin(_)); out_len];
         // Iterate the full input space.
         let total: usize = sizes.iter().product::<usize>();
         let mut strides_out = vec![1usize; out_sizes.len()];
@@ -1165,16 +1180,10 @@ impl<'s> Interpreter<'s> {
     }
 }
 
-
 /// True when every access to `data` in the whole SDFG lies inside the
 /// scope of `entry` in state `sid` — only then does the container have
 /// scope lifetime (fresh per iteration, thread-private).
-fn scope_owns_container(
-    sdfg: &Sdfg,
-    sid: StateId,
-    members: &[NodeId],
-    data: &str,
-) -> bool {
+fn scope_owns_container(sdfg: &Sdfg, sid: StateId, members: &[NodeId], data: &str) -> bool {
     for other_sid in sdfg.graph.node_ids() {
         let other = sdfg.graph.node(other_sid);
         for n in other.graph.node_ids() {
@@ -1193,17 +1202,15 @@ fn count_elems(dims: &[(i64, i64, i64, i64)]) -> usize {
     let mut n = 1usize;
     for &(s, e, st, t) in dims {
         let len = if st > 0 { ((e - s) + st - 1) / st } else { 0 };
-        n = n.saturating_mul(len.max(0) as usize).saturating_mul(t.max(1) as usize);
+        n = n
+            .saturating_mul(len.max(0) as usize)
+            .saturating_mul(t.max(1) as usize);
     }
     n
 }
 
 /// Iterates flat element offsets of a strided subset in row-major order.
-fn for_each_offset(
-    dims: &[(i64, i64, i64, i64)],
-    strides: &[i64],
-    mut f: impl FnMut(usize),
-) {
+fn for_each_offset(dims: &[(i64, i64, i64, i64)], strides: &[i64], mut f: impl FnMut(usize)) {
     if dims.is_empty() {
         f(0);
         return;
@@ -1327,7 +1334,7 @@ def laplace(A: dace.float64[2, N], T: dace.int64):
         it.set_array("A", a.clone());
         it.run().unwrap();
         let out = &it.array("A")[n..]; // buffer 1
-        // Laplace of an impulse: [.., 1, -2, 1, ..]
+                                       // Laplace of an impulse: [.., 1, -2, 1, ..]
         assert_eq!(out[2], 1.0);
         assert_eq!(out[3], -2.0);
         assert_eq!(out[4], 1.0);
@@ -1338,8 +1345,8 @@ def laplace(A: dace.float64[2, N], T: dace.int64):
         it2.set_array("A", a);
         it2.run().unwrap();
         let out2 = &it2.array("A")[..n]; // buffer 0 again
-        // step2[i] = s1[i-1] - 2*s1[i] + s1[i+1]; s1 = [0,0,1,-2,1,0,0,0]
-        // step2[3] = 1 - 2*(-2) + 1 = 6.
+                                         // step2[i] = s1[i-1] - 2*s1[i] + s1[i+1]; s1 = [0,0,1,-2,1,0,0,0]
+                                         // step2[3] = 1 - 2*(-2) + 1 = 6.
         assert_eq!(out2[3], 6.0);
     }
 
@@ -1488,8 +1495,20 @@ def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
             );
             let s_push = st.add_access("S");
             let out = st.add_access("out");
-            st.add_edge(s_in, None, ce, Some("IN_stream"), Memlet::parse("S", "0").dynamic());
-            st.add_edge(ce, Some("OUT_stream"), t, Some("val"), Memlet::parse("S", "0").dynamic());
+            st.add_edge(
+                s_in,
+                None,
+                ce,
+                Some("IN_stream"),
+                Memlet::parse("S", "0").dynamic(),
+            );
+            st.add_edge(
+                ce,
+                Some("OUT_stream"),
+                t,
+                Some("val"),
+                Memlet::parse("S", "0").dynamic(),
+            );
             st.add_edge(
                 t,
                 Some("res"),
@@ -1504,7 +1523,13 @@ def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
                 None,
                 Memlet::parse("out", "0").with_wcr(Wcr::Sum),
             );
-            st.add_edge(t, Some("S_out"), s_push, None, Memlet::parse("S", "0").dynamic());
+            st.add_edge(
+                t,
+                Some("S_out"),
+                s_push,
+                None,
+                Memlet::parse("S", "0").dynamic(),
+            );
         }
         sdfg.validate().expect("valid fib sdfg");
         let mut it = Interpreter::new(&sdfg);
@@ -1548,8 +1573,20 @@ def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
             outputs: vec!["X".into()],
         });
         st.add_edge(a_r, None, me, Some("IN_A"), Memlet::parse("A", "0:2, 0:4"));
-        st.add_edge(me, Some("OUT_A"), nested, Some("X"), Memlet::parse("A", "r, 0:4"));
-        st.add_edge(nested, Some("X"), mx, Some("IN_A"), Memlet::parse("A", "r, 0:4"));
+        st.add_edge(
+            me,
+            Some("OUT_A"),
+            nested,
+            Some("X"),
+            Memlet::parse("A", "r, 0:4"),
+        );
+        st.add_edge(
+            nested,
+            Some("X"),
+            mx,
+            Some("IN_A"),
+            Memlet::parse("A", "r, 0:4"),
+        );
         st.add_edge(mx, Some("OUT_A"), a_w, None, Memlet::parse("A", "0:2, 0:4"));
         sdfg.validate().expect("valid");
         let mut it = Interpreter::new(&sdfg);
@@ -1616,7 +1653,14 @@ def mm(A: dace.float64[M, K], B: dace.float64[K, N], C: dace.float64[M, N]):
         it.set_symbol("N", 8);
         it.set_array("A", vec![0.0; 4]);
         let e = it.run().unwrap_err();
-        assert!(matches!(e, InterpError::SizeMismatch { expected: 8, got: 4, .. }));
+        assert!(matches!(
+            e,
+            InterpError::SizeMismatch {
+                expected: 8,
+                got: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

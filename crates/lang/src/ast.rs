@@ -277,12 +277,10 @@ fn lex_line(
                         break;
                     }
                 }
-                let v: f64 = line[s..i]
-                    .parse()
-                    .map_err(|_| LangError {
-                        line: line_num,
-                        message: format!("bad number `{}`", &line[s..i]),
-                    })?;
+                let v: f64 = line[s..i].parse().map_err(|_| LangError {
+                    line: line_num,
+                    message: format!("bad number `{}`", &line[s..i]),
+                })?;
                 toks.push((Tok::Num(v), line_num));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -368,7 +366,10 @@ impl Parser {
         if self.eat_op(op) {
             Ok(())
         } else {
-            err(self.line(), format!("expected `{op}`, found {:?}", self.peek()))
+            err(
+                self.line(),
+                format!("expected `{op}`, found {:?}", self.peek()),
+            )
         }
     }
 
@@ -742,7 +743,11 @@ mod tests {
         let b2 = parse_tasklet("acc[0] += x").unwrap();
         assert!(matches!(
             &b2[0],
-            Stmt::Assign { index: Some(_), op: Some(BinOp::Add), .. }
+            Stmt::Assign {
+                index: Some(_),
+                op: Some(BinOp::Add),
+                ..
+            }
         ));
     }
 
@@ -762,21 +767,27 @@ mod tests {
     fn parse_elif_chain() {
         let src = "if a < 0:\n    s = -1\nelif a > 0:\n    s = 1\nelse:\n    s = 0";
         let b = parse_tasklet(src).unwrap();
-        let Stmt::If { els, .. } = &b[0] else { panic!() };
+        let Stmt::If { els, .. } = &b[0] else {
+            panic!()
+        };
         assert!(matches!(&els[0], Stmt::If { .. }));
     }
 
     #[test]
     fn parse_inline_if() {
         let b = parse_tasklet("if a < b: out = a; flag = 1").unwrap();
-        let Stmt::If { then, .. } = &b[0] else { panic!() };
+        let Stmt::If { then, .. } = &b[0] else {
+            panic!()
+        };
         assert_eq!(then.len(), 2);
     }
 
     #[test]
     fn parse_ternary() {
         let b = parse_tasklet("out = a if a > b else b").unwrap();
-        let Stmt::Assign { value, .. } = &b[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &b[0] else {
+            panic!()
+        };
         assert!(matches!(value, ExprAst::Ternary { .. }));
     }
 

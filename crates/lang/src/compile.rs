@@ -598,8 +598,8 @@ mod tests {
 
     #[test]
     fn compiles_simple_program() {
-        let p = TaskletProgram::compile("c = a + b", &["a".into(), "b".into()], &["c".into()])
-            .unwrap();
+        let p =
+            TaskletProgram::compile("c = a + b", &["a".into(), "b".into()], &["c".into()]).unwrap();
         assert!(p.n_regs >= 3);
         assert!(p
             .instrs

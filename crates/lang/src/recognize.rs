@@ -89,7 +89,11 @@ pub struct MulChain {
 /// Attempts to match a single-assignment tasklet as a scaled product of
 /// three or more inputs (one/two-input products are covered by
 /// [`Pattern`]).
-pub fn recognize_mulchain(body: &[Stmt], inputs: &[String], outputs: &[String]) -> Option<MulChain> {
+pub fn recognize_mulchain(
+    body: &[Stmt],
+    inputs: &[String],
+    outputs: &[String],
+) -> Option<MulChain> {
     if body.len() != 1 || outputs.len() != 1 {
         return None;
     }
@@ -411,7 +415,10 @@ mod tests {
 
     #[test]
     fn recognizes_copy() {
-        assert_eq!(rec("o = a", &["a"], &["o"]), Some(Pattern::Copy { input: 0 }));
+        assert_eq!(
+            rec("o = a", &["a"], &["o"]),
+            Some(Pattern::Copy { input: 0 })
+        );
     }
 
     #[test]
@@ -458,22 +465,37 @@ mod tests {
     fn recognizes_axpb() {
         assert_eq!(
             rec("o = a * 2 + 1", &["a"], &["o"]),
-            Some(Pattern::Axpb { input: 0, mul: 2.0, add: 1.0 })
+            Some(Pattern::Axpb {
+                input: 0,
+                mul: 2.0,
+                add: 1.0
+            })
         );
         assert_eq!(
             rec("o = 1 + 2 * a", &["a"], &["o"]),
-            Some(Pattern::Axpb { input: 0, mul: 2.0, add: 1.0 })
+            Some(Pattern::Axpb {
+                input: 0,
+                mul: 2.0,
+                add: 1.0
+            })
         );
         assert_eq!(
             rec("o = a - 3", &["a"], &["o"]),
-            Some(Pattern::Axpb { input: 0, mul: 1.0, add: -3.0 })
+            Some(Pattern::Axpb {
+                input: 0,
+                mul: 1.0,
+                add: -3.0
+            })
         );
     }
 
     #[test]
     fn recognizes_lincomb_stencil() {
         let body = parse_tasklet("o = 0.2 * (c + w + e + nn + s)").unwrap();
-        let ins: Vec<String> = ["c", "w", "e", "nn", "s"].iter().map(|s| s.to_string()).collect();
+        let ins: Vec<String> = ["c", "w", "e", "nn", "s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let lc = recognize_lincomb(&body, &ins, &["o".to_string()]).unwrap();
         assert_eq!(lc.terms.len(), 5);
         assert!(lc.terms.iter().all(|&(_, c)| (c - 0.2).abs() < 1e-12));
@@ -519,9 +541,6 @@ mod tests {
         assert_eq!(rec("o = w[0] + w[1]", &["w"], &["o"]), None);
         assert_eq!(rec("o = sqrt(a)", &["a"], &["o"]), None);
         assert_eq!(rec("o = 1 + 2", &[], &["o"]), None);
-        assert_eq!(
-            rec("if a > 0: o = a", &["a"], &["o"]),
-            None
-        );
+        assert_eq!(rec("if a > 0: o = a", &["a"], &["o"]), None);
     }
 }

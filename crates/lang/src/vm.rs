@@ -52,7 +52,10 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::OutOfBounds { conn, index, len } => {
-                write!(f, "connector `{conn}`: index {index} out of bounds (len {len})")
+                write!(
+                    f,
+                    "connector `{conn}`: index {index} out of bounds (len {len})"
+                )
             }
             RuntimeError::PortKindMismatch { conn } => {
                 write!(f, "connector `{conn}`: operation does not match port kind")
@@ -350,11 +353,19 @@ mod tests {
     #[test]
     fn ternary_and_booleans() {
         assert_eq!(
-            run1("c = 1 if a > 0 and b > 0 else 0", &[("a", &[1.0]), ("b", &[0.0])], "c"),
+            run1(
+                "c = 1 if a > 0 and b > 0 else 0",
+                &[("a", &[1.0]), ("b", &[0.0])],
+                "c"
+            ),
             0.0
         );
         assert_eq!(
-            run1("c = 1 if a > 0 or b > 0 else 0", &[("a", &[1.0]), ("b", &[0.0])], "c"),
+            run1(
+                "c = 1 if a > 0 or b > 0 else 0",
+                &[("a", &[1.0]), ("b", &[0.0])],
+                "c"
+            ),
             1.0
         );
         assert_eq!(run1("c = not a", &[("a", &[0.0])], "c"), 1.0);
@@ -374,15 +385,17 @@ mod tests {
     #[test]
     fn builtins() {
         assert_eq!(run1("c = sqrt(abs(a))", &[("a", &[-16.0])], "c"), 4.0);
-        assert_eq!(run1("c = max(a, b, 0)", &[("a", &[-3.0]), ("b", &[-5.0])], "c"), 0.0);
+        assert_eq!(
+            run1("c = max(a, b, 0)", &[("a", &[-3.0]), ("b", &[-5.0])], "c"),
+            0.0
+        );
         assert_eq!(run1("c = min(a, 2)", &[("a", &[7.0])], "c"), 2.0);
         assert_eq!(run1("c = floor(2.7) + ceil(2.2)", &[], "c"), 5.0);
     }
 
     #[test]
     fn augmented_assignment_to_output() {
-        let prog =
-            TaskletProgram::compile("c += a", &["a".into()], &["c".into()]).unwrap();
+        let prog = TaskletProgram::compile("c += a", &["a".into()], &["c".into()]).unwrap();
         let mut vm = TaskletVm::new();
         let mut o = [10.0f64];
         vm.run_simple(&prog, &[&[5.0]], &mut [&mut o]).unwrap();
@@ -393,12 +406,8 @@ mod tests {
     fn stream_push_and_conditional_push() {
         // The Fibonacci consume tasklet shape (Fig. 8).
         let code = "if v < 2:\n    out.push(v)\nelse:\n    S.push(v - 1)\n    S.push(v - 2)";
-        let prog = TaskletProgram::compile(
-            code,
-            &["v".into()],
-            &["out".into(), "S".into()],
-        )
-        .unwrap();
+        let prog =
+            TaskletProgram::compile(code, &["v".into()], &["out".into(), "S".into()]).unwrap();
         let mut vm = TaskletVm::new();
         let mut out_q = Vec::new();
         let mut s_q = Vec::new();
@@ -420,8 +429,17 @@ mod tests {
         let prog = TaskletProgram::compile("c = x[5]", &["x".into()], &["c".into()]).unwrap();
         let mut vm = TaskletVm::new();
         let mut o = [0.0f64];
-        let e = vm.run_simple(&prog, &[&[1.0, 2.0]], &mut [&mut o]).unwrap_err();
-        assert!(matches!(e, RuntimeError::OutOfBounds { index: 5, len: 2, .. }));
+        let e = vm
+            .run_simple(&prog, &[&[1.0, 2.0]], &mut [&mut o])
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            RuntimeError::OutOfBounds {
+                index: 5,
+                len: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl ScopeStat {
     pub fn record(&mut self, ns: u64) {
         self.count += 1;
         self.total_ns += ns;
-        self.min_ns = if self.count == 1 { ns } else { self.min_ns.min(ns) };
+        self.min_ns = if self.count == 1 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
         self.max_ns = self.max_ns.max(ns);
     }
 
@@ -127,7 +131,11 @@ impl ScopeStat {
         let had = self.count > 0;
         self.count += other.count;
         self.total_ns += other.total_ns;
-        self.min_ns = if had { self.min_ns.min(other.min_ns) } else { other.min_ns };
+        self.min_ns = if had {
+            self.min_ns.min(other.min_ns)
+        } else {
+            other.min_ns
+        };
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 
@@ -200,7 +208,10 @@ pub struct WorkerProfile {
 impl WorkerProfile {
     /// A profile for worker `worker`.
     pub fn new(worker: u32) -> WorkerProfile {
-        WorkerProfile { worker, ..Default::default() }
+        WorkerProfile {
+            worker,
+            ..Default::default()
+        }
     }
 
     /// True when nothing was recorded.
@@ -306,7 +317,32 @@ impl ProfileCollector {
             bytes_moved: m.bytes_moved,
             workers: m.workers,
             labels,
+            exec: ExecCounters::default(),
         }
+    }
+}
+
+/// Executor-level cache/pool counters attached to a report by the engine
+/// (zero for interpreter runs). Cumulative over the executor's lifetime,
+/// not per-run, so repeat invocations show the hit rate climbing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Plan-cache lookups that found an existing lowered plan.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that created a fresh plan.
+    pub plan_cache_misses: u64,
+    /// Buffer-pool acquisitions.
+    pub pool_acquires: u64,
+    /// Acquisitions served by recycling a released buffer.
+    pub pool_reuses: u64,
+    /// Bytes of requested storage served from recycled buffers.
+    pub pool_bytes_reused: u64,
+}
+
+impl ExecCounters {
+    /// True when no executor counters were recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == ExecCounters::default()
     }
 }
 
@@ -329,6 +365,8 @@ pub struct InstrumentationReport {
     pub workers: u32,
     /// Scope labels registered during planning.
     pub labels: HashMap<SpanKey, String>,
+    /// Plan-cache and buffer-pool counters (executor runs only).
+    pub exec: ExecCounters,
 }
 
 impl InstrumentationReport {
@@ -388,11 +426,15 @@ impl InstrumentationReport {
             .states
             .iter()
             .map(|(k, s)| (SpanKey::State(*k), s))
-            .chain(
-                self.maps
-                    .iter()
-                    .map(|(k, s)| (SpanKey::Map { state: k.0, node: k.1 }, s)),
-            )
+            .chain(self.maps.iter().map(|(k, s)| {
+                (
+                    SpanKey::Map {
+                        state: k.0,
+                        node: k.1,
+                    },
+                    s,
+                )
+            }))
             .collect();
         rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
 
@@ -419,11 +461,31 @@ impl InstrumentationReport {
                 "{:<32} {:>6} {:>10} {:>10} {:>10} {:>10} {:>7}\n",
                 truncate(&label, 32),
                 s.count,
-                if timed { format!("{:.3}", s.total_ns as f64 / 1e6) } else { "-".into() },
-                if timed { format!("{:.2}", s.mean_ns() as f64 / 1e3) } else { "-".into() },
-                if timed { format!("{:.2}", s.min_ns as f64 / 1e3) } else { "-".into() },
-                if timed { format!("{:.2}", s.max_ns as f64 / 1e3) } else { "-".into() },
-                if timed { format!("{:.1}", s.total_ns as f64 / wall_ns * 100.0) } else { "-".into() },
+                if timed {
+                    format!("{:.3}", s.total_ns as f64 / 1e6)
+                } else {
+                    "-".into()
+                },
+                if timed {
+                    format!("{:.2}", s.mean_ns() as f64 / 1e3)
+                } else {
+                    "-".into()
+                },
+                if timed {
+                    format!("{:.2}", s.min_ns as f64 / 1e3)
+                } else {
+                    "-".into()
+                },
+                if timed {
+                    format!("{:.2}", s.max_ns as f64 / 1e3)
+                } else {
+                    "-".into()
+                },
+                if timed {
+                    format!("{:.1}", s.total_ns as f64 / wall_ns * 100.0)
+                } else {
+                    "-".into()
+                },
             ));
             if let SpanKey::Map { state, node } = key {
                 if let Some(t) = self.tiers.get(&(*state, *node)) {
@@ -456,6 +518,17 @@ impl InstrumentationReport {
             self.state_total().as_secs_f64() * 1e3,
             human_bytes(self.bytes_moved)
         ));
+        if !self.exec.is_empty() {
+            let e = &self.exec;
+            out.push_str(&format!(
+                "plan cache {} hit / {} miss | pool {} of {} acquires recycled ({})\n",
+                e.plan_cache_hits,
+                e.plan_cache_misses,
+                e.pool_reuses,
+                e.pool_acquires,
+                human_bytes(e.pool_bytes_reused)
+            ));
+        }
         out
     }
 
@@ -580,17 +653,36 @@ mod tests {
         c.register_label(SpanKey::Map { state: 0, node: 2 }, "mult[i,j]");
         let mut w0 = wp(0);
         w0.maps.entry((0, 2)).or_default().record(100);
-        w0.tiers.entry((0, 2)).or_default().add(Tier::AffineVm, 64, 100);
-        w0.timeline.push(Span { key: SpanKey::Map { state: 0, node: 2 }, worker: 0, start_ns: 50, dur_ns: 100 });
+        w0.tiers
+            .entry((0, 2))
+            .or_default()
+            .add(Tier::AffineVm, 64, 100);
+        w0.timeline.push(Span {
+            key: SpanKey::Map { state: 0, node: 2 },
+            worker: 0,
+            start_ns: 50,
+            dur_ns: 100,
+        });
         let mut w1 = wp(1);
         w1.maps.entry((0, 2)).or_default().record(200);
-        w1.tiers.entry((0, 2)).or_default().add(Tier::AffineVm, 64, 200);
-        w1.timeline.push(Span { key: SpanKey::Map { state: 0, node: 2 }, worker: 1, start_ns: 40, dur_ns: 200 });
+        w1.tiers
+            .entry((0, 2))
+            .or_default()
+            .add(Tier::AffineVm, 64, 200);
+        w1.timeline.push(Span {
+            key: SpanKey::Map { state: 0, node: 2 },
+            worker: 1,
+            start_ns: 40,
+            dur_ns: 200,
+        });
         c.absorb(w1);
         c.absorb(w0);
         let r = c.finish(Duration::from_nanos(400));
         let m = r.maps[&(0, 2)];
-        assert_eq!((m.count, m.total_ns, m.min_ns, m.max_ns), (2, 300, 100, 200));
+        assert_eq!(
+            (m.count, m.total_ns, m.min_ns, m.max_ns),
+            (2, 300, 100, 200)
+        );
         assert_eq!(r.tiers[&(0, 2)].points[Tier::AffineVm as usize], 128);
         assert_eq!(r.workers, 2);
         // Timeline sorted by start regardless of absorb order.
@@ -603,7 +695,12 @@ mod tests {
         let c = ProfileCollector::new();
         c.register_label(SpanKey::State(0), "st\"art");
         let mut w = wp(0);
-        w.timeline.push(Span { key: SpanKey::State(0), worker: 0, start_ns: 0, dur_ns: 1500 });
+        w.timeline.push(Span {
+            key: SpanKey::State(0),
+            worker: 0,
+            start_ns: 0,
+            dur_ns: 1500,
+        });
         c.absorb(w);
         let trace = c.finish(Duration::from_micros(2)).chrome_trace();
         assert!(trace.starts_with("[\n"));

@@ -387,10 +387,7 @@ impl Expr {
                     None
                 }
             }
-            Expr::Min(a, b) => Some(
-                a.lower_bound(assumptions)?
-                    .min(b.lower_bound(assumptions)?),
-            ),
+            Expr::Min(a, b) => Some(a.lower_bound(assumptions)?.min(b.lower_bound(assumptions)?)),
             Expr::Max(a, b) => match (a.lower_bound(assumptions), b.lower_bound(assumptions)) {
                 (Some(x), Some(y)) => Some(x.max(y)),
                 (Some(x), None) | (None, Some(x)) => Some(x),
@@ -518,9 +515,7 @@ impl Expr {
             (Expr::FloorDiv(a1, b1), Expr::FloorDiv(a2, b2))
             | (Expr::Mod(a1, b1), Expr::Mod(a2, b2))
             | (Expr::Min(a1, b1), Expr::Min(a2, b2))
-            | (Expr::Max(a1, b1), Expr::Max(a2, b2)) => {
-                a1.cmp_key(a2).then_with(|| b1.cmp_key(b2))
-            }
+            | (Expr::Max(a1, b1), Expr::Max(a2, b2)) => a1.cmp_key(a2).then_with(|| b1.cmp_key(b2)),
             _ => self.kind_rank().cmp(&other.kind_rank()),
         }
     }

@@ -136,10 +136,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|(_, o)| *o)
-            .unwrap_or(self.len)
+        self.toks.get(self.pos).map(|(_, o)| *o).unwrap_or(self.len)
     }
 
     fn bump(&mut self) -> Option<Tok> {

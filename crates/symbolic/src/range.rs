@@ -273,7 +273,10 @@ impl Subset {
             let pieces: Vec<&str> = split_top_level(part, ':');
             match pieces.len() {
                 1 => dims.push(SymRange::index(parse_expr(pieces[0])?)),
-                2 => dims.push(SymRange::new(parse_expr(pieces[0])?, parse_expr(pieces[1])?)),
+                2 => dims.push(SymRange::new(
+                    parse_expr(pieces[0])?,
+                    parse_expr(pieces[1])?,
+                )),
                 3 => dims.push(SymRange::strided(
                     parse_expr(pieces[0])?,
                     parse_expr(pieces[1])?,

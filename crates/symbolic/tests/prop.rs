@@ -21,10 +21,8 @@ fn raw_expr() -> impl Strategy<Value = Expr> {
                 .prop_map(|(a, b)| Expr::FloorDiv(Box::new(a), Box::new(Expr::Int(b)))),
             (inner.clone(), 1i64..8)
                 .prop_map(|(a, b)| Expr::Mod(Box::new(a), Box::new(Expr::Int(b)))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
         ]
     })
 }

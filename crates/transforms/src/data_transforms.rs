@@ -150,7 +150,10 @@ fn param_free_upper(
 ) -> Result<Expr, TransformError> {
     let is_free = |e: &Expr| {
         let syms = e.free_symbols();
-        !outer_params.iter().chain(inner_params).any(|p| syms.contains(p))
+        !outer_params
+            .iter()
+            .chain(inner_params)
+            .any(|p| syms.contains(p))
     };
     if is_free(extent) {
         return Ok(extent.clone());
@@ -268,11 +271,7 @@ impl Transformation for LocalStream {
                     let global = !sdfg.desc(d).unwrap().transient()
                         || crate::helpers::access_count(sdfg, d) > 1;
                     if global {
-                        out.push(
-                            TMatch::in_state(sid)
-                                .with("tasklet", n)
-                                .with("target", dst),
-                        );
+                        out.push(TMatch::in_state(sid).with("tasklet", n).with("target", dst));
                     }
                 }
             }
@@ -297,7 +296,14 @@ impl Transformation for LocalStream {
                         )
                 })
                 .ok_or_else(|| TransformError::new("push edge vanished"))?;
-            (edge, st.graph.edge(e_data_name(st, edge)).memlet.data_name().to_string())
+            (
+                edge,
+                st.graph
+                    .edge(e_data_name(st, edge))
+                    .memlet
+                    .data_name()
+                    .to_string(),
+            )
         };
         let dtype = sdfg.desc(&stream_data).unwrap().dtype();
         let local_name = sdfg.fresh_data_name(&format!("L{stream_data}"));
@@ -333,7 +339,13 @@ impl Transformation for LocalStream {
                 None,
                 Memlet::parse(&local_name, "0").dynamic(),
             );
-            state.add_edge(local_acc, None, y, cont_df.dst_conn.as_deref(), cont_df.memlet.clone());
+            state.add_edge(
+                local_acc,
+                None,
+                y,
+                cont_df.dst_conn.as_deref(),
+                cont_df.memlet.clone(),
+            );
             let _ = df;
         } else {
             // Direct access target: tasklet → localS → S (drain-append).
@@ -380,7 +392,9 @@ impl Transformation for DoubleBuffering {
                 if !is_transient_access(sdfg, st, n) {
                     continue;
                 }
-                let Some(d) = st.graph.node(n).access_data() else { continue };
+                let Some(d) = st.graph.node(n).access_data() else {
+                    continue;
+                };
                 if !matches!(sdfg.desc(d), Some(DataDesc::Array(_))) {
                     continue;
                 }
@@ -464,9 +478,11 @@ impl Transformation for DoubleBuffering {
                     // explicit with the alternation prefix.
                     let src_dims = df.memlet.subset.dims.clone();
                     let mut dims = vec![alternating.clone()];
-                    dims.extend(src_dims.iter().map(|r| {
-                        SymRange::new(Expr::zero(), r.end.clone() - r.start.clone())
-                    }));
+                    dims.extend(
+                        src_dims
+                            .iter()
+                            .map(|r| SymRange::new(Expr::zero(), r.end.clone() - r.start.clone())),
+                    );
                     df.memlet.other_subset = Some(Subset::new(dims));
                 }
             }
@@ -503,10 +519,7 @@ impl Transformation for Vectorization {
             for n in crate::helpers::map_entries(st) {
                 // Innermost: no nested scope entries among members.
                 let members = sdfg_core::scope::scope_members(st, n);
-                if members
-                    .iter()
-                    .any(|&c| st.graph.node(c).is_scope_entry())
-                {
+                if members.iter().any(|&c| st.graph.node(c).is_scope_entry()) {
                     continue;
                 }
                 let _ = &tree;
@@ -721,7 +734,12 @@ mod tests {
         let mut tp = Params::new();
         tp.insert("tile_sizes".into(), "8".into());
         apply_first(&mut sdfg, &crate::map_transforms::MapTiling, &tp).unwrap();
-        apply_first(&mut sdfg, &crate::map_transforms::MapExpansion, &Params::new()).unwrap();
+        apply_first(
+            &mut sdfg,
+            &crate::map_transforms::MapExpansion,
+            &Params::new(),
+        )
+        .unwrap();
         sdfg.validate().expect("valid after tiling+expansion");
         let mut lp = Params::new();
         lp.insert("data".into(), "A".into());
@@ -731,7 +749,7 @@ mod tests {
         let desc = sdfg.desc("local_A").unwrap();
         assert_eq!(desc.shape().len(), 1);
         assert_eq!(desc.shape()[0], Expr::int(8)); // tile-sized
-        // Semantics preserved (boundary tiles too: N not divisible by 8).
+                                                   // Semantics preserved (boundary tiles too: N not divisible by 8).
         let mut it = sdfg_interp::Interpreter::new(&sdfg);
         it.set_symbol("N", 21);
         it.set_array("A", (0..21).map(|x| x as f64).collect());
@@ -817,7 +835,13 @@ mod tests {
             st.add_edge(buf, None, ie, Some("IN_buf"), Memlet::parse("buf", "0:4"));
             st.add_edge(ie, Some("OUT_buf"), t, Some("x"), Memlet::parse("buf", "c"));
             st.add_edge(t, Some("y"), ix, Some("IN_B"), Memlet::parse("B", "r, c"));
-            st.add_edge(ix, Some("OUT_B"), mx, Some("IN_B"), Memlet::parse("B", "r, 0:4"));
+            st.add_edge(
+                ix,
+                Some("OUT_B"),
+                mx,
+                Some("IN_B"),
+                Memlet::parse("B", "r, 0:4"),
+            );
             st.add_edge(mx, Some("OUT_B"), out, None, Memlet::parse("B", "0:N, 0:4"));
         }
         let mut sdfg = b.build_unvalidated();
@@ -867,7 +891,13 @@ mod tests {
         let cnt = st.add_access("count");
         st.add_edge(a, None, me, Some("IN_A"), Memlet::parse("A", "0:N"));
         st.add_edge(me, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
-        st.add_edge(t, Some("S_out"), s_acc, None, Memlet::parse("S", "0").dynamic());
+        st.add_edge(
+            t,
+            Some("S_out"),
+            s_acc,
+            None,
+            Memlet::parse("S", "0").dynamic(),
+        );
         st.add_edge(
             t,
             Some("c"),

@@ -141,7 +141,9 @@ fn whole_sdfg_match(sdfg: &Sdfg, marker: Storage) -> Vec<TMatch> {
     if already || sdfg.graph.node_count() == 0 {
         return Vec::new();
     }
-    vec![TMatch::in_state(sdfg.start.unwrap_or(sdfg_graph::NodeId(0)))]
+    vec![TMatch::in_state(
+        sdfg.start.unwrap_or(sdfg_graph::NodeId(0)),
+    )]
 }
 
 /// `GPUTransform` — converts a CPU SDFG to run on a GPU, copying memory to
@@ -261,7 +263,10 @@ mod tests {
             .unwrap();
         let st = sdfg.state(compute);
         let me = crate::helpers::map_entries(st)[0];
-        assert_eq!(crate::helpers::scope_of(st, me).schedule, Schedule::GpuDevice);
+        assert_eq!(
+            crate::helpers::scope_of(st, me).schedule,
+            Schedule::GpuDevice
+        );
         // Second application finds nothing (idempotent).
         assert!(GpuTransform.find(&sdfg).is_empty());
         // Semantics preserved end-to-end.

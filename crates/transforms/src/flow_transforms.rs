@@ -70,7 +70,9 @@ impl Transformation for StateFusion {
             // s2 writing something s1 touches is only safe when s1 merely
             // produced it (write→write or read-in-s1/write-in-s2 reorder
             // hazards are conservatively rejected).
-            let conflict = written2.iter().any(|d| accessed1.contains(d) && !written1.contains(d))
+            let conflict = written2
+                .iter()
+                .any(|d| accessed1.contains(d) && !written1.contains(d))
                 || written2.iter().any(|d| written1.contains(d));
             if conflict {
                 continue;
@@ -96,13 +98,10 @@ impl Transformation for StateFusion {
             // s1 write node for sequencing.
             if let Node::Access { data } = &node {
                 if second.graph.in_degree(n) == 0 {
-                    let existing = first
-                        .graph
-                        .node_ids()
-                        .find(|&w| {
-                            first.graph.node(w).access_data() == Some(data.as_str())
-                                && first.graph.in_degree(w) > 0
-                        });
+                    let existing = first.graph.node_ids().find(|&w| {
+                        first.graph.node(w).access_data() == Some(data.as_str())
+                            && first.graph.in_degree(w) > 0
+                    });
                     if let Some(w) = existing {
                         remap.insert(n, w);
                         continue;
@@ -114,8 +113,7 @@ impl Transformation for StateFusion {
         }
         // Fix scope-exit pairings in the cloned nodes.
         for (&old, &new) in remap.clone().iter() {
-            if let Node::MapExit { entry } | Node::ConsumeExit { entry } =
-                first.graph.node_mut(new)
+            if let Node::MapExit { entry } | Node::ConsumeExit { entry } = first.graph.node_mut(new)
             {
                 if let Some(&ne) = remap.get(entry) {
                     *entry = ne;
@@ -192,19 +190,15 @@ impl Transformation for InlineSdfg {
                     continue;
                 }
                 // All memlets must start at zero and cover whole containers.
-                let whole = st
-                    .graph
-                    .in_edges(n)
-                    .chain(st.graph.out_edges(n))
-                    .all(|e| {
-                        let mlet = &st.graph.edge(e).memlet;
-                        !mlet.is_empty()
-                            && mlet
-                                .subset
-                                .dims
-                                .iter()
-                                .all(|r| r.start.is_zero() && r.step.is_one())
-                    });
+                let whole = st.graph.in_edges(n).chain(st.graph.out_edges(n)).all(|e| {
+                    let mlet = &st.graph.edge(e).memlet;
+                    !mlet.is_empty()
+                        && mlet
+                            .subset
+                            .dims
+                            .iter()
+                            .all(|r| r.start.is_zero() && r.step.is_one())
+                });
                 if whole {
                     out.push(TMatch::in_state(sid).with("nested", n));
                 }
@@ -269,8 +263,7 @@ impl Transformation for InlineSdfg {
             remap.insert(n, state.graph.add_node(node));
         }
         for (&_old, &new) in remap.clone().iter() {
-            if let Node::MapExit { entry } | Node::ConsumeExit { entry } =
-                state.graph.node_mut(new)
+            if let Node::MapExit { entry } | Node::ConsumeExit { entry } = state.graph.node_mut(new)
             {
                 if let Some(&ne) = remap.get(entry) {
                     *entry = ne;

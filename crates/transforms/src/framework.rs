@@ -75,8 +75,7 @@ pub trait Transformation {
     fn find(&self, sdfg: &Sdfg) -> Vec<TMatch>;
 
     /// Applies the rewrite at a match, with parameters.
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params)
-        -> Result<(), TransformError>;
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), TransformError>;
 
     /// True for *strict* transformations (can only improve the graph; safe
     /// to apply greedily, like DaCe's strict-transformation pass).

@@ -92,9 +92,7 @@ pub fn redirect_edge_dst(state: &mut State, e: EdgeId, new_dst: NodeId, new_conn
     let mut df: Dataflow = state.graph.edge(e).clone();
     df.dst_conn = new_conn;
     state.graph.remove_edge(e);
-    state
-        .graph
-        .add_edge(src, new_dst, df);
+    state.graph.add_edge(src, new_dst, df);
 }
 
 /// Redirects an edge to a new source (keeping payload).
@@ -103,9 +101,7 @@ pub fn redirect_edge_src(state: &mut State, e: EdgeId, new_src: NodeId, new_conn
     let mut df: Dataflow = state.graph.edge(e).clone();
     df.src_conn = new_conn;
     state.graph.remove_edge(e);
-    state
-        .graph
-        .add_edge(new_src, dst, df);
+    state.graph.add_edge(new_src, dst, df);
 }
 
 /// All map entries of a state, with their scopes.
@@ -161,10 +157,9 @@ pub fn rename_memlet_data(state: &mut State, edges: &[EdgeId], from: &str, to: &
 /// Finds a read access node (in-degree 0) for `data`, creating one if
 /// absent.
 pub fn find_read_access(state: &mut State, data: &str) -> NodeId {
-    let found = state
-        .graph
-        .node_ids()
-        .find(|&n| state.graph.node(n).access_data() == Some(data) && state.graph.in_degree(n) == 0);
+    let found = state.graph.node_ids().find(|&n| {
+        state.graph.node(n).access_data() == Some(data) && state.graph.in_degree(n) == 0
+    });
     match found {
         Some(n) => n,
         None => state.add_access(data),
@@ -223,7 +218,8 @@ pub fn dependency_sort_params(params: &mut Vec<String>, ranges: &mut Vec<sdfg_sy
         order.push(remaining.remove(slot));
     }
     let new_params: Vec<String> = order.iter().map(|&i| params[i].clone()).collect();
-    let new_ranges: Vec<sdfg_symbolic::SymRange> = order.iter().map(|&i| ranges[i].clone()).collect();
+    let new_ranges: Vec<sdfg_symbolic::SymRange> =
+        order.iter().map(|&i| ranges[i].clone()).collect();
     *params = new_params;
     *ranges = new_ranges;
 }

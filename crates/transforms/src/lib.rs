@@ -30,7 +30,9 @@ pub mod helpers;
 pub mod map_transforms;
 
 pub use chain::Chain;
-pub use data_transforms::{DoubleBuffering, LocalStorage, LocalStream, RedundantArray, Vectorization};
+pub use data_transforms::{
+    DoubleBuffering, LocalStorage, LocalStream, RedundantArray, Vectorization,
+};
 pub use device_transforms::{FpgaTransform, GpuTransform, MpiTransform};
 pub use flow_transforms::{InlineSdfg, MapToForLoop, StateFusion};
 pub use framework::{

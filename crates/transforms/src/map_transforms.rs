@@ -70,12 +70,16 @@ impl Transformation for MapTiling {
                 let tp = crate::helpers::fresh_param(sdfg, &format!("{}_tile", scope_params[d]));
                 let r = &scope_ranges[d];
                 let coarse_step = r.step.clone() * Expr::int(t);
-                new_params.push((d, tp.clone(), SymRange {
-                    start: r.start.clone(),
-                    end: r.end.clone(),
-                    step: coarse_step.clone(),
-                    tile: Expr::one(),
-                }));
+                new_params.push((
+                    d,
+                    tp.clone(),
+                    SymRange {
+                        start: r.start.clone(),
+                        end: r.end.clone(),
+                        step: coarse_step.clone(),
+                        tile: Expr::one(),
+                    },
+                ));
                 // Inner range: i ∈ tp : min(tp + s*T, e) : s
                 new_ranges.push((
                     d,
@@ -302,9 +306,16 @@ impl Transformation for MapCollapse {
                 let inner = m["inner"];
                 // Inner must be the only successor scope: every outer
                 // out-edge leads to the inner entry.
-                let ok = st.graph.out_edges(outer).all(|e| st.graph.edge_dst(e) == inner);
+                let ok = st
+                    .graph
+                    .out_edges(outer)
+                    .all(|e| st.graph.edge_dst(e) == inner);
                 if ok {
-                    out.push(TMatch::in_state(sid).with("outer", outer).with("inner", inner));
+                    out.push(
+                        TMatch::in_state(sid)
+                            .with("outer", outer)
+                            .with("inner", inner),
+                    );
                 }
             }
         }
@@ -338,7 +349,9 @@ impl Transformation for MapCollapse {
             redirect_edge_src(state, e, outer, conn);
         }
         // Remove bridge edges outer → inner.
-        let bridges: Vec<EdgeId> = state.graph.out_edges(outer)
+        let bridges: Vec<EdgeId> = state
+            .graph
+            .out_edges(outer)
             .filter(|&e| state.graph.edge_dst(e) == inner)
             .collect();
         for e in bridges {
@@ -350,7 +363,9 @@ impl Transformation for MapCollapse {
             let conn = state.graph.edge(e).dst_conn.clone();
             redirect_edge_dst(state, e, outer_exit, conn);
         }
-        let bridges: Vec<EdgeId> = state.graph.in_edges(outer_exit)
+        let bridges: Vec<EdgeId> = state
+            .graph
+            .in_edges(outer_exit)
             .filter(|&e| state.graph.edge_src(e) == inner_exit)
             .collect();
         for e in bridges {
@@ -542,16 +557,17 @@ fn insert_init_state(
         params.clone(),
         ranges,
     ));
-    let t = st.add_tasklet(
-        "init",
-        &[],
-        &["o"],
-        format!("o = {identity}"),
-    );
+    let t = st.add_tasklet("init", &[], &["o"], format!("o = {identity}"));
     let acc = st.add_access(data);
     st.add_edge(me, None, t, None, Memlet::empty());
     let idx = Subset::index(params.iter().map(|p| Expr::sym(p.clone())));
-    st.add_edge(t, Some("o"), mx, Some(&format!("IN_{data}")), Memlet::new(data, idx));
+    st.add_edge(
+        t,
+        Some("o"),
+        mx,
+        Some(&format!("IN_{data}")),
+        Memlet::new(data, idx),
+    );
     st.add_edge(
         mx,
         Some(&format!("OUT_{data}")),
@@ -706,9 +722,7 @@ impl Transformation for MapFusion {
             df.memlet = Memlet::parse(&scalar_name, "0");
             df.dst_conn = None;
             state.graph.remove_edge(e);
-            state
-                .graph
-                .add_edge(src, scalar_acc, df);
+            state.graph.add_edge(src, scalar_acc, df);
         }
         let cons_edges: Vec<EdgeId> = state
             .graph
@@ -834,9 +848,7 @@ mod tests {
         let src = "def p(A: dace.float64[N], C: dace.float64[N]):\n    for i in dace.map[0:N]:\n        C[i] = A[i]\n";
         let mut s = sdfg_frontend::parse_program(src).unwrap();
         for _ in 0..2 {
-            assert!(
-                crate::framework::apply_first(&mut s, &MapTiling, &Params::new()).unwrap()
-            );
+            assert!(crate::framework::apply_first(&mut s, &MapTiling, &Params::new()).unwrap());
         }
         sdfg_core::validate(&s).unwrap();
         let mut it = sdfg_interp::Interpreter::new(&s);
@@ -971,7 +983,9 @@ mod tests {
         let bmat: Vec<f64> = (0..kk * nn).map(|x| (x % 3) as f64 - 1.0).collect();
         let run = |sdfg: &Sdfg| {
             let mut it = sdfg_interp::Interpreter::new(sdfg);
-            it.set_symbol("M", mm).set_symbol("K", kk).set_symbol("N", nn);
+            it.set_symbol("M", mm)
+                .set_symbol("K", kk)
+                .set_symbol("N", nn);
             it.set_array("A", a.clone());
             it.set_array("B", bmat.clone());
             it.set_array("C", vec![0.0; (mm * nn) as usize]);

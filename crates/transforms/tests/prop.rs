@@ -199,7 +199,11 @@ fn run_exec(sdfg: &Sdfg, n: usize, ins: &[(String, Vec<f64>)], check: &str) -> V
 fn default_params(name: &str, p: &Program) -> Params {
     let mut params = Params::new();
     if name == "MapInterchange" {
-        let order = if p.src.contains("for i, j in") { "1,0" } else { "0" };
+        let order = if p.src.contains("for i, j in") {
+            "1,0"
+        } else {
+            "0"
+        };
         params.insert("order".to_string(), order.to_string());
     }
     params

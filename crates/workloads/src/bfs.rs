@@ -39,11 +39,7 @@ pub fn build_bfs() -> Sdfg {
     let done = sdfg.add_state("done");
     // Host seeds depth/frontier; the first level has one vertex.
     sdfg.add_transition(seed, body, InterstateEdge::always().assign("fsz", "1"));
-    sdfg.add_transition(
-        body,
-        drain,
-        InterstateEdge::always().assign("fsz", "len_S"),
-    );
+    sdfg.add_transition(body, drain, InterstateEdge::always().assign("fsz", "len_S"));
     sdfg.add_transition(drain, body, InterstateEdge::when("fsz > 0"));
     sdfg.add_transition(drain, done, InterstateEdge::when("not (fsz > 0)"));
 
@@ -64,14 +60,23 @@ pub fn build_bfs() -> Sdfg {
             &["lb", "le", "ldu"],
             "u = int(fr)\nlb = rows[u]\nle = rows[u + 1]\nldu = dg[u]",
         );
-        thread_input(st, "frontier", &[oe], t1, "fr", Memlet::parse("frontier", "f"));
+        thread_input(
+            st,
+            "frontier",
+            &[oe],
+            t1,
+            "fr",
+            Memlet::parse("frontier", "f"),
+        );
         thread_input(
             st,
             "G_row",
             &[oe],
             t1,
             "rows",
-            Memlet::parse("G_row", "0:V + 1").with_volume(Expr::int(2)).dynamic(),
+            Memlet::parse("G_row", "0:V + 1")
+                .with_volume(Expr::int(2))
+                .dynamic(),
         );
         thread_input(
             st,
@@ -79,7 +84,9 @@ pub fn build_bfs() -> Sdfg {
             &[oe],
             t1,
             "dg",
-            Memlet::parse("depth", "0:V").with_volume(Expr::one()).dynamic(),
+            Memlet::parse("depth", "0:V")
+                .with_volume(Expr::one())
+                .dynamic(),
         );
         let lb = st.add_access("Lb");
         let le = st.add_access("Le");
@@ -104,7 +111,14 @@ pub fn build_bfs() -> Sdfg {
             &["S_out", "dw"],
             "v = int(cv)\nnd = du + 1\nif dall[v] > nd:\n    S_out.push(v)\n    dw[v] = nd",
         );
-        thread_input(st, "G_col", &[oe, ie], t2, "cv", Memlet::parse("G_col", "nid"));
+        thread_input(
+            st,
+            "G_col",
+            &[oe, ie],
+            t2,
+            "cv",
+            Memlet::parse("G_col", "nid"),
+        );
         thread_input_from(st, ldu, "Ldu", &[ie], t2, "du", Memlet::parse("Ldu", "0"));
         thread_input(
             st,
@@ -112,7 +126,9 @@ pub fn build_bfs() -> Sdfg {
             &[oe, ie],
             t2,
             "dall",
-            Memlet::parse("depth", "0:V").with_volume(Expr::one()).dynamic(),
+            Memlet::parse("depth", "0:V")
+                .with_volume(Expr::one())
+                .dynamic(),
         );
         thread_output(
             st,
@@ -172,7 +188,10 @@ pub fn run_bfs(sdfg: &Sdfg, g: &Csr, source: u32) -> Vec<f64> {
 pub fn build_bfs_optimized(tile: usize) -> Sdfg {
     let mut sdfg = build_bfs();
     let chain = sdfg_transforms::Chain::new()
-        .then("MapTiling", &[("tile_sizes", &tile.to_string()), ("dims", "0")])
+        .then(
+            "MapTiling",
+            &[("tile_sizes", &tile.to_string()), ("dims", "0")],
+        )
         .then("LocalStream", &[]);
     chain.apply(&mut sdfg).expect("bfs chain applies");
     sdfg.validate().expect("valid optimized BFS");
@@ -191,7 +210,10 @@ pub fn bfs_baseline(g: &Csr, source: u32) -> Vec<f64> {
     while !frontier.is_empty() {
         level += 1.0;
         for &u in &frontier {
-            let (b, e) = (g.rowptr[u as usize] as usize, g.rowptr[u as usize + 1] as usize);
+            let (b, e) = (
+                g.rowptr[u as usize] as usize,
+                g.rowptr[u as usize + 1] as usize,
+            );
             for &v in &g.col[b..e] {
                 if depth[v as usize] > level {
                     depth[v as usize] = level;
@@ -258,7 +280,8 @@ mod tests {
         let mut frontier = vec![0.0; v];
         frontier[0] = 0.0;
         let mut it = sdfg_interp::Interpreter::new(&sdfg);
-        it.set_symbol("V", v as i64).set_symbol("E", g.edges() as i64);
+        it.set_symbol("V", v as i64)
+            .set_symbol("E", g.edges() as i64);
         it.set_array("G_row", g.rowptr_f64());
         it.set_array("G_col", g.col_f64());
         it.set_array("depth", depth);

@@ -141,7 +141,13 @@ pub fn histogram(n: usize) -> Workload {
         "b = int(abs(a)) % 16\nout[int(b)] = 1",
     );
     let lh = st.add_access("lhist");
-    st.add_edge(img, None, oe, Some("IN_img"), Memlet::parse("img", "0:N, 0:N"));
+    st.add_edge(
+        img,
+        None,
+        oe,
+        Some("IN_img"),
+        Memlet::parse("img", "0:N, 0:N"),
+    );
     st.add_edge(
         oe,
         Some("OUT_img"),
@@ -149,7 +155,13 @@ pub fn histogram(n: usize) -> Workload {
         Some("IN_img"),
         Memlet::parse("img", "ti:min(ti + 64, N), 0:N"),
     );
-    st.add_edge(ie, Some("OUT_img"), t, Some("a"), Memlet::parse("img", "i, j"));
+    st.add_edge(
+        ie,
+        Some("OUT_img"),
+        t,
+        Some("a"),
+        Memlet::parse("img", "i, j"),
+    );
     st.add_edge(
         t,
         Some("out"),
@@ -229,8 +241,20 @@ pub fn query(n: usize) -> Workload {
         st.add_edge(me, Some("OUT_col"), t, Some("x"), Memlet::parse("col", "i"));
         // The stream flows through the exit (keeping the scope body a pure
         // tasklet — the executor's fast path).
-        st.add_edge(t, Some("S_out"), mx, Some("IN_S"), Memlet::parse("S", "0").dynamic());
-        st.add_edge(mx, Some("OUT_S"), s_acc, None, Memlet::parse("S", "0").dynamic());
+        st.add_edge(
+            t,
+            Some("S_out"),
+            mx,
+            Some("IN_S"),
+            Memlet::parse("S", "0").dynamic(),
+        );
+        st.add_edge(
+            mx,
+            Some("OUT_S"),
+            s_acc,
+            None,
+            Memlet::parse("S", "0").dynamic(),
+        );
         st.add_edge(
             t,
             Some("c"),
@@ -311,18 +335,50 @@ pub fn spmv(rows: usize, nnz_per_row: usize) -> Workload {
     let (ie, ix) = st.add_map(inner);
     let t = st.add_tasklet("mul", &["a", "c", "xv"], &["o"], "o = a * xv[int(c)]");
     // Row pointers into the indirection tasklet.
-    st.add_edge(a_row, None, oe, Some("IN_A_row"), Memlet::parse("A_row", "0:H + 1"));
-    st.add_edge(oe, Some("OUT_A_row"), rp, Some("r0"), Memlet::parse("A_row", "i"));
+    st.add_edge(
+        a_row,
+        None,
+        oe,
+        Some("IN_A_row"),
+        Memlet::parse("A_row", "0:H + 1"),
+    );
+    st.add_edge(
+        oe,
+        Some("OUT_A_row"),
+        rp,
+        Some("r0"),
+        Memlet::parse("A_row", "i"),
+    );
     // Second read of the same container through the same scope connector.
-    st.add_edge(oe, Some("OUT_A_row"), rp, Some("r1"), Memlet::parse("A_row", "i + 1"));
+    st.add_edge(
+        oe,
+        Some("OUT_A_row"),
+        rp,
+        Some("r1"),
+        Memlet::parse("A_row", "i + 1"),
+    );
     st.add_edge(rp, Some("lb"), lb, None, Memlet::parse("Lb", "0"));
     st.add_edge(rp, Some("le"), le, None, Memlet::parse("Le", "0"));
     // Dynamic-range connectors of the inner map.
     st.add_edge(lb, None, ie, Some("begin"), Memlet::parse("Lb", "0"));
     st.add_edge(le, None, ie, Some("end"), Memlet::parse("Le", "0"));
     // Values and columns flow through both scopes.
-    sdfg_frontend::builder::thread_input(st, "A_val", &[oe, ie], t, "a", Memlet::parse("A_val", "j"));
-    sdfg_frontend::builder::thread_input(st, "A_col", &[oe, ie], t, "c", Memlet::parse("A_col", "j"));
+    sdfg_frontend::builder::thread_input(
+        st,
+        "A_val",
+        &[oe, ie],
+        t,
+        "a",
+        Memlet::parse("A_val", "j"),
+    );
+    sdfg_frontend::builder::thread_input(
+        st,
+        "A_col",
+        &[oe, ie],
+        t,
+        "c",
+        Memlet::parse("A_col", "j"),
+    );
     sdfg_frontend::builder::thread_input(
         st,
         "x",

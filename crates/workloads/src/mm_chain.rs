@@ -52,7 +52,10 @@ pub fn chain_steps() -> Vec<(&'static str, Chain)> {
         // ❷ Reorder the map so the unit-stride dimension is innermost.
         .then("MapInterchange", &[("order", "0,2,1")])
         // ❸ Tile for the cache hierarchy.
-        .then("MapTiling", &[("tile_sizes", "64,64,64"), ("dims", "0,1,2")])
+        .then(
+            "MapTiling",
+            &[("tile_sizes", "64,64,64"), ("dims", "0,1,2")],
+        )
         // ❹ Split tile loops from intra-tile loops.
         .then("MapExpansion", &[])
         // ❺ Pack the B tile into contiguous local storage.

@@ -39,9 +39,18 @@ def gemm(A: dace.float64[NI, NK], B: dace.float64[NK, NJ], C: dace.float64[NI, N
         .symbol("NI", ni as i64)
         .symbol("NJ", nj as i64)
         .symbol("NK", nk as i64)
-        .array("A", init2(ni, nk, |i, k| ((i * k + 1) % ni) as f64 / ni as f64))
-        .array("B", init2(nk, nj, |k, j| ((k * (j + 1)) % nj) as f64 / nj as f64))
-        .array("C", init2(ni, nj, |i, j| ((i * (j + 2)) % nj) as f64 / nj as f64))
+        .array(
+            "A",
+            init2(ni, nk, |i, k| ((i * k + 1) % ni) as f64 / ni as f64),
+        )
+        .array(
+            "B",
+            init2(nk, nj, |k, j| ((k * (j + 1)) % nj) as f64 / nj as f64),
+        )
+        .array(
+            "C",
+            init2(ni, nj, |i, j| ((i * (j + 2)) % nj) as f64 / nj as f64),
+        )
         .check("C")
 }
 
@@ -89,10 +98,22 @@ def mm2(A: dace.float64[NI, NK], B: dace.float64[NK, NJ], C: dace.float64[NJ, NL
         .symbol("NJ", nj as i64)
         .symbol("NK", nk as i64)
         .symbol("NL", nl as i64)
-        .array("A", init2(ni, nk, |i, j| ((i * j + 1) % ni) as f64 / ni as f64))
-        .array("B", init2(nk, nj, |i, j| ((i * (j + 1)) % nj) as f64 / nj as f64))
-        .array("C", init2(nj, nl, |i, j| ((i * (j + 3) + 1) % nl) as f64 / nl as f64))
-        .array("D", init2(ni, nl, |i, j| ((i * (j + 2)) % nk) as f64 / nk as f64))
+        .array(
+            "A",
+            init2(ni, nk, |i, j| ((i * j + 1) % ni) as f64 / ni as f64),
+        )
+        .array(
+            "B",
+            init2(nk, nj, |i, j| ((i * (j + 1)) % nj) as f64 / nj as f64),
+        )
+        .array(
+            "C",
+            init2(nj, nl, |i, j| ((i * (j + 3) + 1) % nl) as f64 / nl as f64),
+        )
+        .array(
+            "D",
+            init2(ni, nl, |i, j| ((i * (j + 2)) % nk) as f64 / nk as f64),
+        )
         .check("D")
 }
 
@@ -152,9 +173,15 @@ def mm3(A: dace.float64[NI, NK], B: dace.float64[NK, NJ], C: dace.float64[NJ, NM
         .symbol("NL", nl as i64)
         .symbol("NM", nm as i64)
         .array("A", init2(ni, nk, |i, j| ((i * j + 1) % ni) as f64 * 0.2))
-        .array("B", init2(nk, nj, |i, j| ((i * (j + 1) + 2) % nj) as f64 * 0.15))
+        .array(
+            "B",
+            init2(nk, nj, |i, j| ((i * (j + 1) + 2) % nj) as f64 * 0.15),
+        )
         .array("C", init2(nj, nm, |i, j| (i * (j + 3) % nl) as f64 * 0.11))
-        .array("D", init2(nm, nl, |i, j| ((i * (j + 2) + 2) % nk) as f64 * 0.09))
+        .array(
+            "D",
+            init2(nm, nl, |i, j| ((i * (j + 2) + 2) % nk) as f64 * 0.09),
+        )
         .array("G", vec![0.0; ni * nl])
         .check("G")
 }
@@ -219,7 +246,10 @@ def atax(A: dace.float64[M, N], x: dace.float64[N], y: dace.float64[N],
     Workload::new("atax", sdfg)
         .symbol("M", m as i64)
         .symbol("N", nn as i64)
-        .array("A", init2(m, nn, |i, j| ((i + j) % nn) as f64 / (5 * m) as f64))
+        .array(
+            "A",
+            init2(m, nn, |i, j| ((i + j) % nn) as f64 / (5 * m) as f64),
+        )
         .array("x", init1(nn, |i| 1.0 + i as f64 / nn as f64))
         .array("y", vec![0.0; nn])
         .check("y")
@@ -260,7 +290,10 @@ def bicg(A: dace.float64[N, M], r: dace.float64[N], p: dace.float64[M],
     Workload::new("bicg", build(src))
         .symbol("N", nn as i64)
         .symbol("M", m as i64)
-        .array("A", init2(nn, m, |i, j| ((i * (j + 1)) % nn) as f64 / nn as f64))
+        .array(
+            "A",
+            init2(nn, m, |i, j| ((i * (j + 1)) % nn) as f64 / nn as f64),
+        )
         .array("r", init1(nn, |i| (i % nn) as f64 / nn as f64))
         .array("p", init1(m, |i| (i % m) as f64 / m as f64))
         .array("s", vec![0.0; m])
@@ -437,8 +470,14 @@ def syrk(A: dace.float64[N, M], C: dace.float64[N, N]):
     Workload::new("syrk", build(src))
         .symbol("N", nn as i64)
         .symbol("M", m as i64)
-        .array("A", init2(nn, m, |i, j| ((i * j + 1) % nn) as f64 / nn as f64))
-        .array("C", init2(nn, nn, |i, j| ((i * j + 2) % m) as f64 / m as f64))
+        .array(
+            "A",
+            init2(nn, m, |i, j| ((i * j + 1) % nn) as f64 / nn as f64),
+        )
+        .array(
+            "C",
+            init2(nn, nn, |i, j| ((i * j + 2) % m) as f64 / m as f64),
+        )
         .check("C")
 }
 
@@ -471,9 +510,18 @@ def syr2k(A: dace.float64[N, M], B: dace.float64[N, M], C: dace.float64[N, N]):
     Workload::new("syr2k", build(src))
         .symbol("N", nn as i64)
         .symbol("M", m as i64)
-        .array("A", init2(nn, m, |i, j| ((i * j + 1) % nn) as f64 / nn as f64))
-        .array("B", init2(nn, m, |i, j| ((i * j + 2) % m) as f64 / m as f64))
-        .array("C", init2(nn, nn, |i, j| ((i * j + 3) % nn) as f64 / nn as f64))
+        .array(
+            "A",
+            init2(nn, m, |i, j| ((i * j + 1) % nn) as f64 / nn as f64),
+        )
+        .array(
+            "B",
+            init2(nn, m, |i, j| ((i * j + 2) % m) as f64 / m as f64),
+        )
+        .array(
+            "C",
+            init2(nn, nn, |i, j| ((i * j + 3) % nn) as f64 / nn as f64),
+        )
         .check("C")
 }
 
@@ -517,7 +565,10 @@ def symm(A: dace.float64[M, M], B: dace.float64[M, N], C: dace.float64[M, N]):
         .symbol("M", m as i64)
         .symbol("N", nn as i64)
         .array("A", init2(m, m, |i, j| ((i + j) % 100) as f64 / m as f64))
-        .array("B", init2(m, nn, |i, j| ((nn + i - j) % 100) as f64 / m as f64))
+        .array(
+            "B",
+            init2(m, nn, |i, j| ((nn + i - j) % 100) as f64 / m as f64),
+        )
         .array("C", init2(m, nn, |i, j| ((i + j) % 100) as f64 / m as f64))
         .check("C")
 }
@@ -534,9 +585,8 @@ pub fn symm_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
                 c[k * n + j] += ALPHA * b[i * n + j] * a[i * m + k];
                 temp2 += b[k * n + j] * a[i * m + k];
             }
-            c[i * n + j] = BETA * c[i * n + j]
-                + ALPHA * b[i * n + j] * a[i * m + i]
-                + ALPHA * temp2;
+            c[i * n + j] =
+                BETA * c[i * n + j] + ALPHA * b[i * n + j] * a[i * m + i] + ALPHA * temp2;
         }
     }
     HashMap::from([("C".to_string(), c)])
@@ -562,7 +612,10 @@ def trmm(A: dace.float64[M, M], B: dace.float64[M, N], Borig: dace.float64[M, N]
         .symbol("M", m as i64)
         .symbol("N", nn as i64)
         .array("A", init2(m, m, |i, j| ((i * j) % m) as f64 / m as f64))
-        .array("B", init2(m, nn, |i, j| ((nn + i - j) % nn) as f64 / nn as f64))
+        .array(
+            "B",
+            init2(m, nn, |i, j| ((nn + i - j) % nn) as f64 / nn as f64),
+        )
         .check("B")
 }
 

@@ -33,7 +33,10 @@ def covariance(data: dace.float64[NP, M], cov: dace.float64[M, M],
     Workload::new("covariance", sdfg)
         .symbol("NP", np as i64)
         .symbol("M", m as i64)
-        .array("data", init2(np, m, |i, j| ((i * j) % np) as f64 / m as f64))
+        .array(
+            "data",
+            init2(np, m, |i, j| ((i * j) % np) as f64 / m as f64),
+        )
         .array("cov", vec![0.0; m * m])
         .check("cov")
 }
@@ -254,8 +257,7 @@ pub fn nussinov_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
                 table[i * n + j] = table[i * n + j].max(table[(i + 1) * n + j - 1] + m);
             }
             for k in i + 1..j {
-                table[i * n + j] =
-                    table[i * n + j].max(table[i * n + k] + table[(k + 1) * n + j]);
+                table[i * n + j] = table[i * n + j].max(table[i * n + k] + table[(k + 1) * n + j]);
             }
         }
     }

@@ -37,36 +37,156 @@ pub struct PolyKernel {
 /// The full suite (30 kernels), in the paper's Fig. 13 order.
 pub fn all() -> Vec<PolyKernel> {
     vec![
-        PolyKernel { name: "2mm", build: linalg::mm2, reference: linalg::mm2_ref },
-        PolyKernel { name: "3mm", build: linalg::mm3, reference: linalg::mm3_ref },
-        PolyKernel { name: "adi", build: stencils::adi, reference: stencils::adi_ref },
-        PolyKernel { name: "atax", build: linalg::atax, reference: linalg::atax_ref },
-        PolyKernel { name: "bicg", build: linalg::bicg, reference: linalg::bicg_ref },
-        PolyKernel { name: "cholesky", build: solvers::cholesky, reference: solvers::cholesky_ref },
-        PolyKernel { name: "correlation", build: misc::correlation, reference: misc::correlation_ref },
-        PolyKernel { name: "covariance", build: misc::covariance, reference: misc::covariance_ref },
-        PolyKernel { name: "deriche", build: stencils::deriche, reference: stencils::deriche_ref },
-        PolyKernel { name: "doitgen", build: linalg::doitgen, reference: linalg::doitgen_ref },
-        PolyKernel { name: "durbin", build: solvers::durbin, reference: solvers::durbin_ref },
-        PolyKernel { name: "fdtd-2d", build: stencils::fdtd2d, reference: stencils::fdtd2d_ref },
-        PolyKernel { name: "floyd-warshall", build: misc::floyd_warshall, reference: misc::floyd_warshall_ref },
-        PolyKernel { name: "gemm", build: linalg::gemm, reference: linalg::gemm_ref },
-        PolyKernel { name: "gemver", build: linalg::gemver, reference: linalg::gemver_ref },
-        PolyKernel { name: "gesummv", build: linalg::gesummv, reference: linalg::gesummv_ref },
-        PolyKernel { name: "gramschmidt", build: solvers::gramschmidt, reference: solvers::gramschmidt_ref },
-        PolyKernel { name: "heat-3d", build: stencils::heat3d, reference: stencils::heat3d_ref },
-        PolyKernel { name: "jacobi-1d", build: stencils::jacobi1d, reference: stencils::jacobi1d_ref },
-        PolyKernel { name: "jacobi-2d", build: stencils::jacobi2d, reference: stencils::jacobi2d_ref },
-        PolyKernel { name: "lu", build: solvers::lu, reference: solvers::lu_ref },
-        PolyKernel { name: "ludcmp", build: solvers::ludcmp, reference: solvers::ludcmp_ref },
-        PolyKernel { name: "mvt", build: linalg::mvt, reference: linalg::mvt_ref },
-        PolyKernel { name: "nussinov", build: misc::nussinov, reference: misc::nussinov_ref },
-        PolyKernel { name: "seidel-2d", build: stencils::seidel2d, reference: stencils::seidel2d_ref },
-        PolyKernel { name: "symm", build: linalg::symm, reference: linalg::symm_ref },
-        PolyKernel { name: "syr2k", build: linalg::syr2k, reference: linalg::syr2k_ref },
-        PolyKernel { name: "syrk", build: linalg::syrk, reference: linalg::syrk_ref },
-        PolyKernel { name: "trisolv", build: solvers::trisolv, reference: solvers::trisolv_ref },
-        PolyKernel { name: "trmm", build: linalg::trmm, reference: linalg::trmm_ref },
+        PolyKernel {
+            name: "2mm",
+            build: linalg::mm2,
+            reference: linalg::mm2_ref,
+        },
+        PolyKernel {
+            name: "3mm",
+            build: linalg::mm3,
+            reference: linalg::mm3_ref,
+        },
+        PolyKernel {
+            name: "adi",
+            build: stencils::adi,
+            reference: stencils::adi_ref,
+        },
+        PolyKernel {
+            name: "atax",
+            build: linalg::atax,
+            reference: linalg::atax_ref,
+        },
+        PolyKernel {
+            name: "bicg",
+            build: linalg::bicg,
+            reference: linalg::bicg_ref,
+        },
+        PolyKernel {
+            name: "cholesky",
+            build: solvers::cholesky,
+            reference: solvers::cholesky_ref,
+        },
+        PolyKernel {
+            name: "correlation",
+            build: misc::correlation,
+            reference: misc::correlation_ref,
+        },
+        PolyKernel {
+            name: "covariance",
+            build: misc::covariance,
+            reference: misc::covariance_ref,
+        },
+        PolyKernel {
+            name: "deriche",
+            build: stencils::deriche,
+            reference: stencils::deriche_ref,
+        },
+        PolyKernel {
+            name: "doitgen",
+            build: linalg::doitgen,
+            reference: linalg::doitgen_ref,
+        },
+        PolyKernel {
+            name: "durbin",
+            build: solvers::durbin,
+            reference: solvers::durbin_ref,
+        },
+        PolyKernel {
+            name: "fdtd-2d",
+            build: stencils::fdtd2d,
+            reference: stencils::fdtd2d_ref,
+        },
+        PolyKernel {
+            name: "floyd-warshall",
+            build: misc::floyd_warshall,
+            reference: misc::floyd_warshall_ref,
+        },
+        PolyKernel {
+            name: "gemm",
+            build: linalg::gemm,
+            reference: linalg::gemm_ref,
+        },
+        PolyKernel {
+            name: "gemver",
+            build: linalg::gemver,
+            reference: linalg::gemver_ref,
+        },
+        PolyKernel {
+            name: "gesummv",
+            build: linalg::gesummv,
+            reference: linalg::gesummv_ref,
+        },
+        PolyKernel {
+            name: "gramschmidt",
+            build: solvers::gramschmidt,
+            reference: solvers::gramschmidt_ref,
+        },
+        PolyKernel {
+            name: "heat-3d",
+            build: stencils::heat3d,
+            reference: stencils::heat3d_ref,
+        },
+        PolyKernel {
+            name: "jacobi-1d",
+            build: stencils::jacobi1d,
+            reference: stencils::jacobi1d_ref,
+        },
+        PolyKernel {
+            name: "jacobi-2d",
+            build: stencils::jacobi2d,
+            reference: stencils::jacobi2d_ref,
+        },
+        PolyKernel {
+            name: "lu",
+            build: solvers::lu,
+            reference: solvers::lu_ref,
+        },
+        PolyKernel {
+            name: "ludcmp",
+            build: solvers::ludcmp,
+            reference: solvers::ludcmp_ref,
+        },
+        PolyKernel {
+            name: "mvt",
+            build: linalg::mvt,
+            reference: linalg::mvt_ref,
+        },
+        PolyKernel {
+            name: "nussinov",
+            build: misc::nussinov,
+            reference: misc::nussinov_ref,
+        },
+        PolyKernel {
+            name: "seidel-2d",
+            build: stencils::seidel2d,
+            reference: stencils::seidel2d_ref,
+        },
+        PolyKernel {
+            name: "symm",
+            build: linalg::symm,
+            reference: linalg::symm_ref,
+        },
+        PolyKernel {
+            name: "syr2k",
+            build: linalg::syr2k,
+            reference: linalg::syr2k_ref,
+        },
+        PolyKernel {
+            name: "syrk",
+            build: linalg::syrk,
+            reference: linalg::syrk_ref,
+        },
+        PolyKernel {
+            name: "trisolv",
+            build: solvers::trisolv,
+            reference: solvers::trisolv_ref,
+        },
+        PolyKernel {
+            name: "trmm",
+            build: linalg::trmm,
+            reference: linalg::trmm_ref,
+        },
     ]
 }
 
@@ -118,7 +238,14 @@ mod tests {
     /// the executor isn't systematically wrong together with the builder).
     #[test]
     fn sample_kernels_match_reference_interp() {
-        for name in ["gemm", "atax", "jacobi-2d", "lu", "floyd-warshall", "trisolv"] {
+        for name in [
+            "gemm",
+            "atax",
+            "jacobi-2d",
+            "lu",
+            "floyd-warshall",
+            "trisolv",
+        ] {
             let k = by_name(name).unwrap();
             let w = (k.build)(8);
             let reference = (k.reference)(&w);

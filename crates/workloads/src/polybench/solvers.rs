@@ -143,7 +143,10 @@ def ludcmp(A: dace.float64[N, N], b: dace.float64[N], x: dace.float64[N],
     Workload::new("ludcmp", sdfg)
         .symbol("N", n as i64)
         .array("A", spd(n))
-        .array("b", super::init1(n, |i| (i + 1) as f64 / n as f64 / 2.0 + 4.0))
+        .array(
+            "b",
+            super::init1(n, |i| (i + 1) as f64 / n as f64 / 2.0 + 4.0),
+        )
         .array("x", vec![0.0; n])
         .check("x")
 }
@@ -250,7 +253,10 @@ def durbin(r: dace.float64[N], y: dace.float64[N], z: dace.float64[N],
     mark_transient(&mut sdfg, &["z", "alpha", "beta", "s"]);
     Workload::new("durbin", sdfg)
         .symbol("N", n as i64)
-        .array("r", super::init1(n, |i| (n + 1 - i) as f64 / (2 * n) as f64))
+        .array(
+            "r",
+            super::init1(n, |i| (n + 1 - i) as f64 / (2 * n) as f64),
+        )
         .array("y", vec![0.0; n])
         .check("y")
 }
@@ -307,7 +313,9 @@ def gramschmidt(A: dace.float64[M, N], Q: dace.float64[M, N],
         .symbol("N", nn as i64)
         .array(
             "A",
-            init2(m, nn, |i, j| (((i * j) % m) as f64 / m as f64) * 100.0 + 10.0),
+            init2(m, nn, |i, j| {
+                (((i * j) % m) as f64 / m as f64) * 100.0 + 10.0
+            }),
         )
         .array("Q", vec![0.0; m * nn])
         .array("R", vec![0.0; nn * nn])

@@ -112,14 +112,20 @@ pub fn jacobi2d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 b[i * n + j] = 0.2
-                    * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1] + a[(i + 1) * n + j]
+                    * (a[i * n + j]
+                        + a[i * n + j - 1]
+                        + a[i * n + j + 1]
+                        + a[(i + 1) * n + j]
                         + a[(i - 1) * n + j]);
             }
         }
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 a[i * n + j] = 0.2
-                    * (b[i * n + j] + b[i * n + j - 1] + b[i * n + j + 1] + b[(i + 1) * n + j]
+                    * (b[i * n + j]
+                        + b[i * n + j - 1]
+                        + b[i * n + j + 1]
+                        + b[(i + 1) * n + j]
                         + b[(i - 1) * n + j]);
             }
         }
@@ -225,9 +231,18 @@ def fdtd2d(ex: dace.float64[NX, NY], ey: dace.float64[NX, NY],
         .symbol("NX", nx as i64)
         .symbol("NY", ny as i64)
         .symbol("T", t as i64)
-        .array("ex", init2(nx, ny, |i, j| i as f64 * (j + 1) as f64 / nx as f64))
-        .array("ey", init2(nx, ny, |i, j| i as f64 * (j + 2) as f64 / ny as f64))
-        .array("hz", init2(nx, ny, |i, j| i as f64 * (j + 3) as f64 / nx as f64))
+        .array(
+            "ex",
+            init2(nx, ny, |i, j| i as f64 * (j + 1) as f64 / nx as f64),
+        )
+        .array(
+            "ey",
+            init2(nx, ny, |i, j| i as f64 * (j + 2) as f64 / ny as f64),
+        )
+        .array(
+            "hz",
+            init2(nx, ny, |i, j| i as f64 * (j + 3) as f64 / nx as f64),
+        )
         .array("fict", init1(t, |i| i as f64))
         .check("ex")
         .check("ey")
@@ -260,8 +275,7 @@ pub fn fdtd2d_ref(w: &Workload) -> HashMap<String, Vec<f64>> {
         for i in 0..nx - 1 {
             for j in 0..ny - 1 {
                 hz[i * ny + j] -= 0.7
-                    * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j]
-                        - ey[i * ny + j]);
+                    * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j] - ey[i * ny + j]);
             }
         }
     }
@@ -300,7 +314,10 @@ def seidel2d(A: dace.float64[N, N], T: dace.int64):
     Workload::new("seidel-2d", sdfg)
         .symbol("N", n as i64)
         .symbol("T", 3)
-        .array("A", init2(n, n, |i, j| (i as f64 * (j + 2) as f64 + 2.0) / n as f64))
+        .array(
+            "A",
+            init2(n, n, |i, j| (i as f64 * (j + 2) as f64 + 2.0) / n as f64),
+        )
         .check("A")
 }
 
@@ -591,7 +608,9 @@ def deriche(imgIn: dace.float64[W, H], imgOut: dace.float64[W, H],
         .symbol("H", h as i64)
         .array(
             "imgIn",
-            init2(wdim, h, |i, j| ((313 * i + 991 * j) % 65536) as f64 / 65535.0),
+            init2(wdim, h, |i, j| {
+                ((313 * i + 991 * j) % 65536) as f64 / 65535.0
+            }),
         )
         .array("imgOut", vec![0.0; wdim * h])
         .check("imgOut")

@@ -276,16 +276,13 @@ def sbsmm(X: dace.float64[B, P, P], Y: dace.float64[B, P, P],
             }
         }
     }
-    Workload::new(
-        format!("sbsmm_b{batch}_n{n}_p{pad}"),
-        sdfg,
-    )
-    .symbol("B", batch as i64)
-    .symbol("P", pad as i64)
-    .array("X", x)
-    .array("Y", y)
-    .array("Z", vec![0.0; batch * pad * pad])
-    .check("Z")
+    Workload::new(format!("sbsmm_b{batch}_n{n}_p{pad}"), sdfg)
+        .symbol("B", batch as i64)
+        .symbol("P", pad as i64)
+        .array("X", x)
+        .array("Y", y)
+        .array("Z", vec![0.0; batch * pad * pad])
+        .check("Z")
 }
 
 #[cfg(test)]
@@ -306,7 +303,10 @@ mod tests {
         let w = build_sse_sdfg(&d);
         let (got, _, _) = w.run_exec().expect("sse sdfg runs");
         for (i, (a, c)) in got["Sigma"].iter().zip(&want).enumerate() {
-            assert!((a - c).abs() < 1e-7 * (1.0 + c.abs()), "sdfg[{i}]: {a} vs {c}");
+            assert!(
+                (a - c).abs() < 1e-7 * (1.0 + c.abs()),
+                "sdfg[{i}]: {a} vs {c}"
+            );
         }
     }
 

@@ -38,9 +38,7 @@ pub fn gemm_tuned(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: us
             }
             s.spawn(move || {
                 // SAFETY: threads own disjoint row ranges of C.
-                let c = unsafe {
-                    std::slice::from_raw_parts_mut(c_ptr as *mut f64, m * n)
-                };
+                let c = unsafe { std::slice::from_raw_parts_mut(c_ptr as *mut f64, m * n) };
                 for i0 in (lo..hi).step_by(MC) {
                     let i1 = (i0 + MC).min(hi);
                     for k0 in (0..k).step_by(KC) {
@@ -104,16 +102,14 @@ pub fn jacobi2d_tuned(a: &mut Vec<f64>, b: &mut Vec<f64>, n: usize, t_steps: usi
                 s.spawn(move || {
                     // SAFETY: disjoint destination rows; source read-only.
                     let a = unsafe { std::slice::from_raw_parts(src as *const f64, n * n) };
-                    let b =
-                        unsafe { std::slice::from_raw_parts_mut(dst as *mut f64, n * n) };
+                    let b = unsafe { std::slice::from_raw_parts_mut(dst as *mut f64, n * n) };
                     for i in lo..hi {
                         let up = &a[(i - 1) * n..i * n];
                         let mid = &a[i * n..(i + 1) * n];
                         let down = &a[(i + 1) * n..(i + 2) * n];
                         let out = &mut b[i * n..(i + 1) * n];
                         for j in 1..n - 1 {
-                            out[j] =
-                                0.2 * (mid[j] + mid[j - 1] + mid[j + 1] + up[j] + down[j]);
+                            out[j] = 0.2 * (mid[j] + mid[j - 1] + mid[j + 1] + up[j] + down[j]);
                         }
                     }
                 });
@@ -211,8 +207,7 @@ pub fn query_tuned(col: &[f64], out: &mut [f64], threshold: f64) -> usize {
             let mut off = start;
             s.spawn(move || {
                 // SAFETY: threads write disjoint [offsets[t], offsets[t+1]).
-                let out =
-                    unsafe { std::slice::from_raw_parts_mut(out_ptr as *mut f64, out_len) };
+                let out = unsafe { std::slice::from_raw_parts_mut(out_ptr as *mut f64, out_len) };
                 for &v in part {
                     if v > threshold {
                         out[off] = v;
@@ -226,13 +221,7 @@ pub fn query_tuned(col: &[f64], out: &mut [f64], threshold: f64) -> usize {
 }
 
 /// Naive CSR SpMV.
-pub fn spmv_naive(
-    rowptr: &[f64],
-    col: &[f64],
-    val: &[f64],
-    x: &[f64],
-    y: &mut [f64],
-) {
+pub fn spmv_naive(rowptr: &[f64], col: &[f64], val: &[f64], x: &[f64], y: &mut [f64]) {
     let rows = rowptr.len() - 1;
     for i in 0..rows {
         let (b, e) = (rowptr[i] as usize, rowptr[i + 1] as usize);

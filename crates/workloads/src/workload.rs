@@ -25,7 +25,12 @@ pub type ExecRun = (HashMap<String, Vec<f64>>, Stats, Duration);
 
 /// What [`Workload::run_exec_profiled`] returns: outputs, stats, wall time
 /// and the instrumentation report.
-pub type ProfiledExecRun = (HashMap<String, Vec<f64>>, Stats, Duration, InstrumentationReport);
+pub type ProfiledExecRun = (
+    HashMap<String, Vec<f64>>,
+    Stats,
+    Duration,
+    InstrumentationReport,
+);
 
 impl Workload {
     /// Creates a workload.
@@ -55,6 +60,21 @@ impl Workload {
     pub fn check(mut self, name: &str) -> Workload {
         self.check.push(name.to_string());
         self
+    }
+
+    /// Builds an executor with this workload's symbols and arrays bound,
+    /// without running it. Callers that invoke `run` repeatedly on the
+    /// returned executor exercise the plan cache and buffer pool (the
+    /// bench harness's warm-run protocol).
+    pub fn executor(&self) -> Executor<'_> {
+        let mut ex = Executor::new(&self.sdfg);
+        for (s, v) in &self.symbols {
+            ex.set_symbol(s, *v);
+        }
+        for (n, d) in &self.arrays {
+            ex.set_array(n, d.clone());
+        }
+        ex
     }
 
     /// Runs on the optimizing executor; returns outputs, stats and wall
@@ -88,7 +108,10 @@ impl Workload {
         let t0 = Instant::now();
         let stats = ex.run()?;
         let dt = t0.elapsed();
-        let report = ex.last_report.take().expect("profiled run produces a report");
+        let report = ex
+            .last_report
+            .take()
+            .expect("profiled run produces a report");
         Ok((std::mem::take(&mut ex.arrays), stats, dt, report))
     }
 
@@ -141,7 +164,9 @@ pub fn assert_allclose(
 /// Deterministic pseudo-random array in `[-1, 1)` (plain LCG; keeps
 /// workloads reproducible without threading a RNG through every builder).
 pub fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     (0..len)
         .map(|_| {
             state = state

@@ -31,8 +31,14 @@ fn main() {
     let a = pseudo_random(n * n, 1);
     let b = pseudo_random(n * n, 2);
     for (name, f) in [
-        ("naive (gcc proxy)", tuned::gemm_naive as fn(&[f64], &[f64], &mut [f64], usize, usize, usize)),
-        ("tuned (MKL proxy)", tuned::gemm_tuned as fn(&[f64], &[f64], &mut [f64], usize, usize, usize)),
+        (
+            "naive (gcc proxy)",
+            tuned::gemm_naive as fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+        ),
+        (
+            "tuned (MKL proxy)",
+            tuned::gemm_tuned as fn(&[f64], &[f64], &mut [f64], usize, usize, usize),
+        ),
     ] {
         let mut c = vec![0.0; n * n];
         let t0 = Instant::now();

@@ -48,8 +48,8 @@ fn main() {
     let mut fpga_sdfg = w.sdfg.clone();
     apply_first(&mut fpga_sdfg, &FpgaTransform, &Params::new()).expect("fpga transform");
     let mut fa = w.arrays.clone();
-    let pipe = run_fpga(&fpga_sdfg, &vcu1525(), FpgaMode::Pipelined, &syms, &mut fa)
-        .expect("fpga model");
+    let pipe =
+        run_fpga(&fpga_sdfg, &vcu1525(), FpgaMode::Pipelined, &syms, &mut fa).expect("fpga model");
     assert_eq!(fa["A"], cpu_out["A"], "FPGA results match CPU");
     let naive = run_fpga(
         &fpga_sdfg,

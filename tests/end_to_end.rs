@@ -113,13 +113,23 @@ fn one_source_three_targets() {
     let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
 
     let mut gpu_sdfg = w.sdfg.clone();
-    apply_first(&mut gpu_sdfg, &dace::transforms::GpuTransform, &Params::new()).unwrap();
+    apply_first(
+        &mut gpu_sdfg,
+        &dace::transforms::GpuTransform,
+        &Params::new(),
+    )
+    .unwrap();
     let mut gpu_arrays: HashMap<String, Vec<f64>> = w.arrays.clone();
     dace::gpu_sim::run_gpu(&gpu_sdfg, &dace::gpu_sim::p100(), &syms, &mut gpu_arrays).unwrap();
     assert_eq!(gpu_arrays["C"], cpu["C"]);
 
     let mut fpga_sdfg = w.sdfg.clone();
-    apply_first(&mut fpga_sdfg, &dace::transforms::FpgaTransform, &Params::new()).unwrap();
+    apply_first(
+        &mut fpga_sdfg,
+        &dace::transforms::FpgaTransform,
+        &Params::new(),
+    )
+    .unwrap();
     let mut fpga_arrays = w.arrays.clone();
     dace::fpga_sim::run_fpga(
         &fpga_sdfg,
@@ -204,11 +214,41 @@ fn paper_fig8_fibonacci_consume() {
         );
         let s_push = st.add_access("S");
         let out = st.add_access("out");
-        st.add_edge(s_in, None, ce, Some("IN_stream"), Memlet::parse("S", "0").dynamic());
-        st.add_edge(ce, Some("OUT_stream"), t, Some("val"), Memlet::parse("S", "0").dynamic());
-        st.add_edge(t, Some("res"), cx, Some("IN_out"), Memlet::parse("out", "0").with_wcr(Wcr::Sum));
-        st.add_edge(cx, Some("OUT_out"), out, None, Memlet::parse("out", "0").with_wcr(Wcr::Sum));
-        st.add_edge(t, Some("S_out"), s_push, None, Memlet::parse("S", "0").dynamic());
+        st.add_edge(
+            s_in,
+            None,
+            ce,
+            Some("IN_stream"),
+            Memlet::parse("S", "0").dynamic(),
+        );
+        st.add_edge(
+            ce,
+            Some("OUT_stream"),
+            t,
+            Some("val"),
+            Memlet::parse("S", "0").dynamic(),
+        );
+        st.add_edge(
+            t,
+            Some("res"),
+            cx,
+            Some("IN_out"),
+            Memlet::parse("out", "0").with_wcr(Wcr::Sum),
+        );
+        st.add_edge(
+            cx,
+            Some("OUT_out"),
+            out,
+            None,
+            Memlet::parse("out", "0").with_wcr(Wcr::Sum),
+        );
+        st.add_edge(
+            t,
+            Some("S_out"),
+            s_push,
+            None,
+            Memlet::parse("S", "0").dynamic(),
+        );
     }
     sdfg.validate().expect("valid");
     let mut ex = Executor::new(&sdfg);

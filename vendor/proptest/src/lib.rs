@@ -90,7 +90,7 @@ pub mod runner {
     }
 }
 
-/// The [`Strategy`] trait and its combinators.
+/// The `Strategy` trait and its combinators.
 pub mod strategy {
     use super::runner::TestRng;
     use std::rc::Rc;
