@@ -17,6 +17,7 @@
 //! baseline's `min_speedup` warm-over-cold ratio.
 
 use sdfg_core::serialize::parse_json;
+use sdfg_exec::OptLevel;
 use sdfg_workloads::polybench;
 use std::time::Instant;
 
@@ -48,6 +49,10 @@ pub struct BenchConfig {
     pub baseline: Option<String>,
     /// Write a fresh baseline file from this run's numbers.
     pub write_baseline: Option<String>,
+    /// Also measure optimized warm runs at this level (`--opt`). When not
+    /// `None`, the run additionally gates that at least one kernel's
+    /// optimized warm time beats its unoptimized warm time.
+    pub opt: OptLevel,
 }
 
 impl Default for BenchConfig {
@@ -60,6 +65,7 @@ impl Default for BenchConfig {
             json: false,
             baseline: None,
             write_baseline: None,
+            opt: OptLevel::None,
         }
     }
 }
@@ -78,6 +84,11 @@ pub struct BenchResult {
     pub pool_reuse_rate: f64,
     /// Bytes served from recycled buffers.
     pub pool_bytes_reused: u64,
+    /// Best warm-run time through the optimization pipeline, milliseconds
+    /// (`--opt` runs only).
+    pub opt_warm_ms: Option<f64>,
+    /// Transformations the pipeline fired for this kernel (`--opt` only).
+    pub opt_passes: Option<usize>,
 }
 
 impl BenchResult {
@@ -89,6 +100,15 @@ impl BenchResult {
             self.cold_ms / self.warm_ms
         }
     }
+
+    /// Unoptimized-warm over optimized-warm speedup (>1 = the pipeline
+    /// helped), when an optimized measurement exists.
+    pub fn opt_speedup(&self) -> Option<f64> {
+        match self.opt_warm_ms {
+            Some(o) if o > 0.0 => Some(self.warm_ms / o),
+            _ => None,
+        }
+    }
 }
 
 /// Best-of-N: the minimum is the standard low-variance estimator for
@@ -98,8 +118,17 @@ fn best_ms(xs: Vec<f64>) -> f64 {
     xs.into_iter().fold(f64::INFINITY, f64::min)
 }
 
-/// Measures one kernel under the warm/cold protocol.
-pub fn bench_kernel(name: &str, scale: usize, reps: usize, warmup: usize) -> BenchResult {
+/// Measures one kernel under the warm/cold protocol. With an opt level,
+/// a third measurement runs the same workload through the automatic
+/// optimization pipeline (same warmup, same executor-reuse discipline) so
+/// optimized and unoptimized warm times are directly comparable.
+pub fn bench_kernel(
+    name: &str,
+    scale: usize,
+    reps: usize,
+    warmup: usize,
+    opt: OptLevel,
+) -> BenchResult {
     let kernel = polybench::all()
         .into_iter()
         .find(|k| k.name == name)
@@ -131,6 +160,27 @@ pub fn bench_kernel(name: &str, scale: usize, reps: usize, warmup: usize) -> Ben
     let cache = ex.cache_stats();
     let pool = ex.pool_stats();
 
+    // Optimized warm: same protocol, with the pipeline applied on the
+    // first run (its cost is warmup, like lowering).
+    let (opt_warm_ms, opt_passes) = if opt == OptLevel::None {
+        (None, None)
+    } else {
+        let mut ox = w.executor();
+        ox.set_opt_level(opt);
+        for _ in 0..warmup.max(1) {
+            ox.run().expect("optimized warmup run");
+        }
+        let opt_warm: Vec<f64> = (0..reps.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                ox.run().expect("optimized warm run");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let passes = ox.opt_report().map(|r| r.applied.len()).unwrap_or(0);
+        (Some(best_ms(opt_warm)), Some(passes))
+    };
+
     BenchResult {
         kernel: name.to_string(),
         cold_ms: best_ms(cold),
@@ -138,15 +188,17 @@ pub fn bench_kernel(name: &str, scale: usize, reps: usize, warmup: usize) -> Ben
         cache_hit_rate: cache.hit_rate(),
         pool_reuse_rate: pool.reuse_rate(),
         pool_bytes_reused: pool.bytes_reused,
+        opt_warm_ms,
+        opt_passes,
     }
 }
 
 fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
-    format!(
+    let mut out = format!(
         "{{\n  \"kernel\": \"{}\",\n  \"scale\": {},\n  \"reps\": {},\n  \"warmup\": {},\n  \
          \"cold_ms\": {:.6},\n  \"warm_ms\": {:.6},\n  \"speedup\": {:.3},\n  \
          \"plan_cache_hit_rate\": {:.4},\n  \"pool_reuse_rate\": {:.4},\n  \
-         \"pool_bytes_reused\": {}\n}}\n",
+         \"pool_bytes_reused\": {}",
         r.kernel,
         cfg.scale,
         cfg.reps,
@@ -157,7 +209,19 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
         r.cache_hit_rate,
         r.pool_reuse_rate,
         r.pool_bytes_reused,
-    )
+    );
+    if let (Some(opt_warm), Some(passes)) = (r.opt_warm_ms, r.opt_passes) {
+        out.push_str(&format!(
+            ",\n  \"opt_level\": \"{}\",\n  \"opt_warm_ms\": {:.6},\n  \
+             \"opt_speedup\": {:.3},\n  \"opt_passes\": {}",
+            cfg.opt.as_str(),
+            opt_warm,
+            r.opt_speedup().unwrap_or(0.0),
+            passes,
+        ));
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 fn baseline_json(results: &[BenchResult], cfg: &BenchConfig, min_speedup: f64) -> String {
@@ -231,24 +295,64 @@ pub fn gate(results: &[BenchResult], baseline_src: &str) -> Result<Vec<String>, 
     Ok(failures)
 }
 
+/// Gates `--opt` results: at least one kernel's optimized warm time must
+/// beat (strictly) its unoptimized warm time. Returns failure messages
+/// (empty = pass).
+pub fn opt_gate(results: &[BenchResult]) -> Vec<String> {
+    let measured: Vec<&BenchResult> = results.iter().filter(|r| r.opt_warm_ms.is_some()).collect();
+    if measured.is_empty() {
+        return vec!["no kernel produced an optimized measurement".into()];
+    }
+    if measured.iter().any(|r| r.opt_warm_ms.unwrap() < r.warm_ms) {
+        return Vec::new();
+    }
+    measured
+        .iter()
+        .map(|r| {
+            format!(
+                "{}: optimized warm {:.3} ms did not beat unoptimized warm {:.3} ms",
+                r.kernel,
+                r.opt_warm_ms.unwrap(),
+                r.warm_ms
+            )
+        })
+        .collect()
+}
+
 /// Runs the `--bench` mode end to end; returns `false` when the
 /// regression gate fails.
 pub fn run_bench(cfg: &BenchConfig) -> bool {
     println!(
-        "bench: scale {} | {} reps (best-of) | {} warmup\n",
-        cfg.scale, cfg.reps, cfg.warmup
+        "bench: scale {} | {} reps (best-of) | {} warmup{}\n",
+        cfg.scale,
+        cfg.reps,
+        cfg.warmup,
+        if cfg.opt == OptLevel::None {
+            String::new()
+        } else {
+            format!(" | opt {}", cfg.opt.as_str())
+        }
     );
+    let opt_cols = if cfg.opt == OptLevel::None {
+        String::new()
+    } else {
+        format!(" {:>10} {:>8}", "opt ms", "opt spd")
+    };
     println!(
-        "{:<16} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "{:<16} {:>10} {:>10} {:>9} {:>10} {:>10}{opt_cols}",
         "kernel", "cold ms", "warm ms", "speedup", "cache hit", "pool reuse"
     );
     let results: Vec<BenchResult> = cfg
         .kernels
         .iter()
         .map(|name| {
-            let r = bench_kernel(name, cfg.scale, cfg.reps, cfg.warmup);
+            let r = bench_kernel(name, cfg.scale, cfg.reps, cfg.warmup, cfg.opt);
+            let opt_cols = match (r.opt_warm_ms, r.opt_speedup()) {
+                (Some(o), Some(s)) => format!(" {o:>10.3} {s:>7.2}x"),
+                _ => String::new(),
+            };
             println!(
-                "{:<16} {:>10.3} {:>10.3} {:>8.2}x {:>9.1}% {:>9.1}%",
+                "{:<16} {:>10.3} {:>10.3} {:>8.2}x {:>9.1}% {:>9.1}%{opt_cols}",
                 r.kernel,
                 r.cold_ms,
                 r.warm_ms,
@@ -265,6 +369,20 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
         })
         .collect();
 
+    let mut ok = true;
+    if cfg.opt != OptLevel::None {
+        let failures = opt_gate(&results);
+        if failures.is_empty() {
+            println!("\nopt gate: PASS (>=1 kernel optimized-warm beats unoptimized-warm)");
+        } else {
+            println!("\nopt gate: FAIL");
+            for f in &failures {
+                println!("  {f}");
+            }
+            ok = false;
+        }
+    }
+
     if let Some(path) = &cfg.write_baseline {
         std::fs::write(path, baseline_json(&results, cfg, DEFAULT_MIN_SPEEDUP))
             .expect("write baseline");
@@ -277,23 +395,21 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
         match gate(&results, &src) {
             Ok(failures) if failures.is_empty() => {
                 println!("\nbench gate: PASS (vs {path})");
-                true
             }
             Ok(failures) => {
                 println!("\nbench gate: FAIL (vs {path})");
                 for f in &failures {
                     println!("  {f}");
                 }
-                false
+                ok = false;
             }
             Err(e) => {
                 println!("\nbench gate: FAIL — malformed baseline `{path}`: {e}");
-                false
+                ok = false;
             }
         }
-    } else {
-        true
     }
+    ok
 }
 
 #[cfg(test)]
@@ -308,7 +424,46 @@ mod tests {
             cache_hit_rate: 0.9,
             pool_reuse_rate: 0.9,
             pool_bytes_reused: 1024,
+            opt_warm_ms: None,
+            opt_passes: None,
         }
+    }
+
+    fn opt_result(kernel: &str, warm: f64, opt_warm: f64) -> BenchResult {
+        BenchResult {
+            opt_warm_ms: Some(opt_warm),
+            opt_passes: Some(2),
+            ..result(kernel, warm * 10.0, warm)
+        }
+    }
+
+    #[test]
+    fn opt_gate_needs_one_winner() {
+        // One kernel faster optimized: pass, even if another is slower.
+        let pass = vec![opt_result("atax", 1.0, 0.8), opt_result("bicg", 1.0, 1.2)];
+        assert!(opt_gate(&pass).is_empty());
+        // Equal is not strictly faster.
+        let tie = vec![opt_result("atax", 1.0, 1.0)];
+        assert_eq!(opt_gate(&tie).len(), 1);
+        // No optimized measurements at all: fail loudly.
+        assert_eq!(opt_gate(&[result("atax", 1.0, 0.1)]).len(), 1);
+    }
+
+    #[test]
+    fn kernel_json_includes_opt_fields_only_when_measured() {
+        let cfg = BenchConfig {
+            opt: OptLevel::Aggressive,
+            ..BenchConfig::default()
+        };
+        let with = kernel_json(&opt_result("atax", 1.0, 0.5), &cfg);
+        assert!(with.contains("\"opt_warm_ms\": 0.500000"), "{with}");
+        assert!(with.contains("\"opt_level\": \"aggressive\""), "{with}");
+        assert!(with.contains("\"opt_speedup\": 2.000"), "{with}");
+        let without = kernel_json(&result("atax", 1.0, 0.5), &cfg);
+        assert!(!without.contains("opt_warm_ms"), "{without}");
+        // Both stay parseable by the in-tree JSON reader.
+        parse_json(&with).unwrap();
+        parse_json(&without).unwrap();
     }
 
     #[test]

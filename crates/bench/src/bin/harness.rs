@@ -22,8 +22,23 @@
 //! `--json` writes one `BENCH_<kernel>.json` per kernel; `--baseline`
 //! gates warm times against the committed baseline and exits non-zero on
 //! regression (what CI's `bench-smoke` job does).
+//!
+//! With `--opt[=strict|aggressive]`, runs go through the automatic
+//! optimization pipeline (strict fixpoint, then cost-hint-driven
+//! heuristics at `aggressive`, the default level):
+//!
+//! ```text
+//! harness atax bicg --opt            # print optimization reports,
+//!                                    # verify vs the interpreter
+//! harness atax bicg --opt --profile  # + hot-path table per kernel
+//! harness atax bicg --opt --bench    # + optimized-warm vs unoptimized-
+//!                                    # warm gate (CI's `opt-smoke` job)
+//! ```
+//!
+//! Kernel names may be given positionally or via `--kernels a,b`.
 
 use sdfg_bench as x;
+use sdfg_exec::OptLevel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,12 +56,46 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    // `--opt` alone means aggressive; `--opt=strict` selects a level.
+    let opt: Option<OptLevel> = args.iter().find_map(|a| {
+        if a == "--opt" {
+            Some(OptLevel::Aggressive)
+        } else {
+            a.strip_prefix("--opt=").map(|lvl| {
+                OptLevel::parse(lvl).unwrap_or_else(|| {
+                    eprintln!("unknown opt level `{lvl}` (none|strict|aggressive)");
+                    std::process::exit(2);
+                })
+            })
+        }
+    });
+    // Positional (non-flag, non-flag-value) args are kernel names in the
+    // bench/opt modes and the experiment name otherwise.
+    const VALUE_FLAGS: [&str; 6] = [
+        "--scale",
+        "--reps",
+        "--warmup",
+        "--kernels",
+        "--baseline",
+        "--write-baseline",
+    ];
+    let positionals: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let flag_value = *i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+            !a.starts_with("--") && !flag_value
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
     let scale = get("--scale", 0);
     let reps = get("--reps", 3);
     if args.iter().any(|a| a == "--bench") {
         let mut cfg = x::bench_json::BenchConfig::default();
         if let Some(list) = get_str("--kernels") {
             cfg.kernels = list.split(',').map(str::to_string).collect();
+        } else if !positionals.is_empty() {
+            cfg.kernels = positionals.clone();
         }
         if scale > 0 {
             cfg.scale = scale;
@@ -56,9 +105,26 @@ fn main() {
         cfg.json = args.iter().any(|a| a == "--json");
         cfg.baseline = get_str("--baseline");
         cfg.write_baseline = get_str("--write-baseline");
+        if let Some(level) = opt {
+            cfg.opt = level;
+        }
         if !x::bench_json::run_bench(&cfg) {
             std::process::exit(1);
         }
+        return;
+    }
+    if let Some(level) = opt {
+        let kernels = if let Some(list) = get_str("--kernels") {
+            list.split(',').map(str::to_string).collect()
+        } else {
+            positionals
+        };
+        x::optimized(
+            &kernels,
+            if scale > 0 { scale } else { 24 },
+            level,
+            args.iter().any(|a| a == "--profile"),
+        );
         return;
     }
     if args.iter().any(|a| a == "--profile") {

@@ -621,3 +621,60 @@ pub fn profiled(only: &str, scale: usize) {
         std::process::exit(2);
     }
 }
+
+/// The `harness <kernels...> --opt` mode: runs each kernel through the
+/// automatic optimization pipeline, prints the optimization report (which
+/// transformations fired where, what was skipped and why), and verifies
+/// the optimized executor against the reference interpreter on the
+/// untransformed SDFG. With `profile`, also prints the hot-path table of
+/// the optimized run under forced timers.
+pub fn optimized(only: &[String], scale: usize, level: sdfg_exec::OptLevel, profile: bool) {
+    println!("# Optimized run (scale {scale}, level {})", level.as_str());
+    let mut matched = false;
+    for k in polybench::all() {
+        if !only.is_empty() && !only.iter().any(|n| n == k.name) {
+            continue;
+        }
+        matched = true;
+        let w = (k.build)(scale);
+        let want = match w.run_interp() {
+            Ok(r) => r,
+            Err(e) => {
+                println!("## {}: interpreter failed: {e}", k.name);
+                continue;
+            }
+        };
+        let mut ex = w.executor();
+        ex.set_opt_level(level);
+        if profile {
+            ex.enable_profiling(sdfg_exec::Profiling::ForceTimers);
+        }
+        let t0 = Instant::now();
+        if let Err(e) = ex.run() {
+            println!("## {}: optimized run failed: {e}", k.name);
+            continue;
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let got = std::mem::take(&mut ex.arrays);
+        sdfg_workloads::workload::assert_allclose(&w.check, &got, &want, 1e-9);
+        println!(
+            "## {} — wall {wall_ms:.3} ms, outputs match interpreter",
+            k.name
+        );
+        match ex.opt_report() {
+            Some(r) => print!("{r}"),
+            None => println!("(no optimization report)"),
+        }
+        if profile {
+            if let Some(report) = ex.last_report.as_ref() {
+                print!("{}", report.hot_path_table());
+            }
+        }
+        println!();
+    }
+    if !matched {
+        let names: Vec<&str> = polybench::all().iter().map(|k| k.name).collect();
+        eprintln!("no kernel matched; known kernels: {}", names.join(", "));
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the automatic optimization pipeline across the
+//! bundled Polybench kernels: fixpoint termination, semantic equivalence
+//! of optimized SDFGs against the reference interpreter, and plan-cache
+//! re-keying on the optimized graph's content hash.
+
+use sdfg_exec::{OptLevel, PlanCache};
+use sdfg_transforms::optimize_with_env;
+use sdfg_workloads::polybench;
+use sdfg_workloads::workload::assert_allclose;
+use std::collections::HashMap;
+
+const SCALE: usize = 8;
+
+fn env_of(w: &sdfg_workloads::workload::Workload) -> HashMap<String, i64> {
+    w.symbols.iter().cloned().collect()
+}
+
+/// The pipeline reaches a fixpoint (does not loop or hit the round guard)
+/// on every bundled kernel, leaves the SDFG valid, and a second pipeline
+/// run finds no strict work left.
+#[test]
+fn fixpoint_terminates_on_all_polybench_seeds() {
+    for k in polybench::all() {
+        let w = (k.build)(SCALE);
+        let env = env_of(&w);
+        let mut sdfg = w.sdfg.clone();
+        let report = optimize_with_env(&mut sdfg, OptLevel::Aggressive, &env)
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", k.name));
+        sdfg.validate()
+            .unwrap_or_else(|e| panic!("{}: invalid after pipeline: {e:?}", k.name));
+        assert_eq!(report.states_after, sdfg.graph.node_count(), "{}", k.name);
+        let again = optimize_with_env(&mut sdfg, OptLevel::Aggressive, &env)
+            .unwrap_or_else(|e| panic!("{}: second pipeline run failed: {e}", k.name));
+        assert_eq!(
+            again.strict_applied, 0,
+            "{}: strict phase not at fixpoint after one pipeline run",
+            k.name
+        );
+    }
+}
+
+/// Strict-only optimization also terminates everywhere and never touches
+/// heuristics.
+#[test]
+fn strict_level_terminates_on_all_polybench_seeds() {
+    for k in polybench::all() {
+        let w = (k.build)(SCALE);
+        let mut sdfg = w.sdfg.clone();
+        let report = optimize_with_env(&mut sdfg, OptLevel::Strict, &env_of(&w))
+            .unwrap_or_else(|e| panic!("{}: strict pipeline failed: {e}", k.name));
+        assert_eq!(report.heuristic_applied, 0, "{}", k.name);
+        sdfg.validate()
+            .unwrap_or_else(|e| panic!("{}: invalid after strict: {e:?}", k.name));
+    }
+}
+
+/// Acceptance criterion: the optimized executor produces outputs identical
+/// to the reference interpreter (run on the untransformed SDFG) for every
+/// bundled kernel, at both opt levels.
+#[test]
+fn optimized_outputs_match_interpreter_on_all_kernels() {
+    for k in polybench::all() {
+        let w = (k.build)(SCALE);
+        let want = w
+            .run_interp()
+            .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", k.name));
+        for level in [OptLevel::Strict, OptLevel::Aggressive] {
+            let mut ex = w.executor();
+            ex.set_opt_level(level);
+            ex.run()
+                .unwrap_or_else(|e| panic!("{}: optimized run failed: {e}", k.name));
+            let got = std::mem::take(&mut ex.arrays);
+            assert_allclose(&w.check, &got, &want, 1e-9);
+        }
+    }
+}
+
+/// Optimized and unoptimized executors agree with each other too (same
+/// workload, same bindings — only the opt level differs).
+#[test]
+fn optimized_executor_matches_unoptimized_executor() {
+    for k in polybench::all() {
+        let w = (k.build)(SCALE);
+        let mut plain = w.executor();
+        plain.run().unwrap();
+        let want = std::mem::take(&mut plain.arrays);
+        let mut opt = w.executor();
+        opt.set_opt_level(OptLevel::Aggressive);
+        opt.run().unwrap();
+        let got = std::mem::take(&mut opt.arrays);
+        assert_allclose(&w.check, &got, &want, 1e-12);
+    }
+}
+
+/// Optimizing re-keys the plan cache: a shared cache that is warm for the
+/// unoptimized graph misses once for the optimized graph (different
+/// content hash), then hits on repeat runs.
+#[test]
+fn plan_cache_misses_and_rekeys_after_optimization() {
+    let kernel = polybench::all()
+        .into_iter()
+        .find(|k| k.name == "atax")
+        .expect("atax is bundled");
+    let w = (kernel.build)(SCALE);
+    let cache = std::sync::Arc::new(PlanCache::new());
+
+    let mut plain = w.executor();
+    plain.with_plan_cache(cache.clone());
+    let unopt_hash = plain.content_hash();
+    plain.run().unwrap();
+    plain.run().unwrap();
+    let warm = cache.stats();
+    assert!(warm.hits >= 1, "second unoptimized run should hit");
+
+    let mut opt = w.executor();
+    opt.with_plan_cache(cache.clone());
+    opt.set_opt_level(OptLevel::Aggressive);
+    opt.run().unwrap();
+    let rekeyed = cache.stats();
+    let opt_hash = opt.content_hash();
+    let report = opt.opt_report().expect("pipeline ran");
+    assert!(report.changed(), "pipeline should rewrite atax");
+    assert_ne!(
+        unopt_hash, opt_hash,
+        "optimized graph must hash differently"
+    );
+    assert_eq!(report.hash_after, opt_hash);
+    assert_eq!(report.hash_before, unopt_hash);
+    assert_eq!(
+        rekeyed.misses,
+        warm.misses + 1,
+        "optimized graph must miss the warm cache exactly once"
+    );
+
+    opt.run().unwrap();
+    let rewarmed = cache.stats();
+    assert!(rewarmed.hits > rekeyed.hits, "optimized plan is cached too");
+    assert_eq!(rewarmed.misses, rekeyed.misses);
+
+    // Dropping back to no optimization restores the original cache key.
+    opt.set_opt_level(OptLevel::None);
+    assert_eq!(opt.content_hash(), unopt_hash);
+}

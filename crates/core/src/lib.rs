@@ -27,6 +27,7 @@ pub mod cond;
 pub mod desc;
 pub mod dot;
 pub mod dtype;
+pub mod error;
 pub mod memlet;
 pub mod node;
 pub mod propagate;
@@ -38,6 +39,7 @@ pub mod validate;
 pub use cond::BoolExpr;
 pub use desc::{ArrayDesc, DataDesc, ScalarDesc, StreamDesc};
 pub use dtype::{DType, Storage};
+pub use error::SdfgError;
 pub use memlet::{Memlet, Wcr};
 pub use node::{ConsumeScope, Instrument, MapScope, Node, Schedule, TaskletLang};
 pub use sdfg::{InterstateEdge, Sdfg, State, StateId};

@@ -17,6 +17,7 @@ use sdfg_profile::{
     WorkerProfile,
 };
 use sdfg_symbolic::{Env, EvalError};
+use sdfg_transforms::{optimize_with_env, OptLevel, OptimizationReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -48,6 +49,9 @@ pub enum ExecError {
     StepLimit(usize),
     /// Structural problem.
     BadGraph(String),
+    /// The automatic optimization pipeline failed (the original SDFG is
+    /// left untouched; the run is aborted rather than silently degraded).
+    Optimization(String),
 }
 
 impl fmt::Display for ExecError {
@@ -65,11 +69,20 @@ impl fmt::Display for ExecError {
             ExecError::ExternalTasklet(n) => write!(f, "external tasklet `{n}`"),
             ExecError::StepLimit(n) => write!(f, "exceeded {n} transitions"),
             ExecError::BadGraph(m) => write!(f, "malformed graph: {m}"),
+            ExecError::Optimization(m) => write!(f, "optimization: {m}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<ExecError> for sdfg_core::SdfgError {
+    fn from(e: ExecError) -> Self {
+        sdfg_core::SdfgError::Exec {
+            message: e.to_string(),
+        }
+    }
+}
 
 impl From<EvalError> for ExecError {
     fn from(e: EvalError) -> Self {
@@ -166,10 +179,19 @@ pub struct Executor<'s> {
     /// Transient/scratch buffer pool (shareable via
     /// [`Executor::with_buffer_pool`]).
     pool: std::sync::Arc<BufferPool>,
-    /// Memoized content hash of `sdfg` — sound to compute once because the
-    /// executor holds the SDFG behind an immutable borrow for its whole
-    /// lifetime.
+    /// Memoized content hash of the *active* graph — sound to compute once
+    /// because the caller's SDFG sits behind an immutable borrow for the
+    /// executor's whole lifetime, and the optimized copy is rebuilt (and
+    /// this memo cleared) whenever the opt level changes.
     sdfg_hash: Option<u64>,
+    /// Requested optimization level for `run` (default: none).
+    opt_level: OptLevel,
+    /// The optimized copy of the SDFG, built lazily on the first `run`
+    /// after [`Executor::set_opt_level`]. `None` means "execute the
+    /// caller's graph as-is". Boxed so the executor stays cheap to move.
+    opt_sdfg: Option<Box<Sdfg>>,
+    /// Report from the pipeline run that produced `opt_sdfg`.
+    opt_report: Option<OptimizationReport>,
     /// Transient containers this executor allocated itself (as opposed to
     /// arrays the caller bound): these are reset per run and returned to
     /// the pool on drop; caller-provided storage is never touched.
@@ -526,8 +548,51 @@ impl<'s> Executor<'s> {
             plan_cache: std::sync::Arc::new(PlanCache::new()),
             pool: std::sync::Arc::new(BufferPool::new()),
             sdfg_hash: None,
+            opt_level: OptLevel::None,
+            opt_sdfg: None,
+            opt_report: None,
             owned_transients: HashSet::new(),
         }
+    }
+
+    /// Selects the optimization level for subsequent `run`s. The pipeline
+    /// runs once, lazily, at the start of the next `run` (so cost hints see
+    /// the symbol bindings in effect then); changing the level discards the
+    /// optimized copy and the content-hash memo, so the plan cache re-keys
+    /// on the optimized graph's hash.
+    pub fn set_opt_level(&mut self, level: OptLevel) -> &mut Self {
+        if level != self.opt_level {
+            self.opt_level = level;
+            self.opt_sdfg = None;
+            self.opt_report = None;
+            self.sdfg_hash = None;
+        }
+        self
+    }
+
+    /// The optimization level in effect.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Report from the optimization pipeline, once a `run` has triggered it.
+    pub fn opt_report(&self) -> Option<&OptimizationReport> {
+        self.opt_report.as_ref()
+    }
+
+    /// Builds the optimized copy if the opt level asks for one and it does
+    /// not exist yet. On pipeline failure the original SDFG stays active.
+    fn ensure_optimized(&mut self) -> Result<(), ExecError> {
+        if self.opt_level == OptLevel::None || self.opt_sdfg.is_some() {
+            return Ok(());
+        }
+        let mut opt = Box::new(self.sdfg.clone());
+        let report = optimize_with_env(&mut opt, self.opt_level, &self.symbols)
+            .map_err(|e| ExecError::Optimization(e.to_string()))?;
+        self.sdfg_hash = None;
+        self.opt_report = Some(report);
+        self.opt_sdfg = Some(opt);
+        Ok(())
     }
 
     /// Shares a plan cache with other executors, so lowering one SDFG once
@@ -566,9 +631,14 @@ impl<'s> Executor<'s> {
         self.pool.stats()
     }
 
-    /// Stable content hash of the SDFG (memoized after the first call).
+    /// Stable content hash of the *active* graph — the optimized copy when
+    /// one exists, the caller's SDFG otherwise (memoized after the first
+    /// call). This is the plan-cache key, so optimizing re-keys the cache.
     pub fn content_hash(&mut self) -> u64 {
-        let sdfg = self.sdfg;
+        let sdfg: &Sdfg = match &self.opt_sdfg {
+            Some(b) => b,
+            None => self.sdfg,
+        };
         *self
             .sdfg_hash
             .get_or_insert_with(|| sdfg_core::serialize::content_hash(sdfg))
@@ -609,9 +679,17 @@ impl<'s> Executor<'s> {
     /// with unchanged bindings skips scope derivation, tasklet compilation
     /// and map planning entirely.
     pub fn run(&mut self) -> Result<Stats, ExecError> {
+        self.ensure_optimized()?;
         self.prepare()?;
         let key = PlanKey::new(self.content_hash(), &self.symbols);
         let (plan, _cached) = self.plan_cache.lookup(key);
+        // The graph this run executes: the optimized copy when one exists.
+        // Borrowing the `opt_sdfg` field directly (not through a helper)
+        // keeps the later per-field writes below legal.
+        let sdfg: &Sdfg = match &self.opt_sdfg {
+            Some(b) => b,
+            None => self.sdfg,
+        };
         // Move arrays into shared buffers (slot-indexed for hot paths).
         // Slots are assigned in sorted-name order so they are deterministic
         // run to run; `ensure_layout` drops slot-dependent plan artifacts
@@ -626,7 +704,7 @@ impl<'s> Executor<'s> {
             bufs.push(SharedBuffer::new(self.arrays.remove(k).unwrap()));
         }
         let mut ctx = Ctx {
-            sdfg: self.sdfg,
+            sdfg,
             bufs,
             buf_index,
             streams: self
@@ -636,7 +714,7 @@ impl<'s> Executor<'s> {
                 .collect(),
             stats: AtomicStats::default(),
             nthreads: self.nthreads.max(1),
-            prof: Prof::build(self.sdfg, self.profiling),
+            prof: Prof::build(sdfg, self.profiling),
             plan,
             plan_cache: self.plan_cache.clone(),
             pool: self.pool.clone(),
@@ -672,8 +750,8 @@ impl<'s> Executor<'s> {
         Ok(self.stats.clone())
     }
 
-    fn drive(&self, ctx: &Ctx<'s>) -> Result<(), ExecError> {
-        let Some(start) = self.sdfg.start else {
+    fn drive(&self, ctx: &Ctx<'_>) -> Result<(), ExecError> {
+        let Some(start) = ctx.sdfg.start else {
             return Ok(());
         };
         let mut symbols = self.symbols.clone();
@@ -689,10 +767,10 @@ impl<'s> Executor<'s> {
             *ctx.stats.state_visits.lock().entry(cur.0).or_insert(0) += 1;
             let env = interstate_env(ctx, &symbols);
             let mut next = None;
-            for e in self.sdfg.graph.out_edges(cur) {
-                let t = self.sdfg.graph.edge(e);
+            for e in ctx.sdfg.graph.out_edges(cur) {
+                let t = ctx.sdfg.graph.edge(e);
                 if t.condition.eval(&env)? {
-                    next = Some((self.sdfg.graph.edge_dst(e), t.assignments.clone()));
+                    next = Some((ctx.sdfg.graph.edge_dst(e), t.assignments.clone()));
                     break;
                 }
             }
@@ -709,7 +787,13 @@ impl<'s> Executor<'s> {
     }
 
     fn prepare(&mut self) -> Result<(), ExecError> {
-        for (name, desc) in &self.sdfg.data {
+        // Allocate per the active graph: the optimizer may have removed
+        // transients (RedundantArray) the original graph would allocate.
+        let sdfg: &Sdfg = match &self.opt_sdfg {
+            Some(b) => b,
+            None => self.sdfg,
+        };
+        for (name, desc) in &sdfg.data {
             match desc {
                 DataDesc::Array(a) => {
                     let mut size = 1i64;

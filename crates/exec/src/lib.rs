@@ -35,6 +35,7 @@ pub mod pool;
 pub use engine::{ExecError, Executor, Stats};
 pub use plan::{CacheStats, PlanCache};
 pub use pool::{BufferPool, PoolStats};
+pub use sdfg_transforms::{OptLevel, OptimizationReport};
 // Re-export the profiling vocabulary so callers can enable instrumentation
 // and consume reports without naming `sdfg-profile` directly.
 pub use sdfg_profile::{InstrumentationReport, Profiling};

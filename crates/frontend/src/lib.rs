@@ -17,4 +17,5 @@ pub mod builder;
 pub mod python;
 
 pub use builder::{MappedTasklet, SdfgBuilder};
-pub use python::{parse_program, FrontendError};
+pub use python::parse_program;
+pub use sdfg_core::SdfgError;

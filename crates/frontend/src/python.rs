@@ -26,31 +26,13 @@
 
 use crate::builder::{dedup_edges, parse_range, thread_input, thread_output, SdfgBuilder};
 use sdfg_core::sdfg::InterstateEdge;
-use sdfg_core::{DType, Memlet, Sdfg, StateId, Subset, Wcr};
+use sdfg_core::{DType, Memlet, Sdfg, SdfgError, StateId, Subset, Wcr};
 use sdfg_graph::NodeId;
 use sdfg_lang::ast::{parse_tasklet, BinOp, CmpOp, ExprAst, Stmt};
 use sdfg_symbolic::Expr;
-use std::fmt;
 
-/// Error from the Python-like frontend.
-#[derive(Clone, Debug, PartialEq)]
-pub struct FrontendError {
-    /// 1-based source line (0 when unknown).
-    pub line: usize,
-    /// Explanation.
-    pub message: String,
-}
-
-impl fmt::Display for FrontendError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for FrontendError {}
-
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, FrontendError> {
-    Err(FrontendError {
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SdfgError> {
+    Err(SdfgError::Frontend {
         line,
         message: message.into(),
     })
@@ -65,7 +47,7 @@ struct Block {
     children: Vec<Block>,
 }
 
-fn build_blocks(src: &str) -> Result<Vec<Block>, FrontendError> {
+fn build_blocks(src: &str) -> Result<Vec<Block>, SdfgError> {
     struct Raw {
         indent: usize,
         text: String,
@@ -155,12 +137,12 @@ fn strip_comment(line: &str) -> &str {
 // --- entry point ---------------------------------------------------------------
 
 /// Parses a `@dace.program` function source into a validated SDFG.
-pub fn parse_program(src: &str) -> Result<Sdfg, FrontendError> {
+pub fn parse_program(src: &str) -> Result<Sdfg, SdfgError> {
     let blocks = build_blocks(src)?;
     let def = blocks
         .iter()
         .find(|b| b.text.starts_with("def "))
-        .ok_or(FrontendError {
+        .ok_or(SdfgError::Frontend {
             line: 1,
             message: "no `def` found".into(),
         })?;
@@ -190,14 +172,14 @@ struct Param {
     shape: Option<Vec<String>>,
 }
 
-fn parse_signature(text: &str, line: usize) -> Result<(String, Vec<Param>), FrontendError> {
+fn parse_signature(text: &str, line: usize) -> Result<(String, Vec<Param>), SdfgError> {
     let rest = text.strip_prefix("def ").unwrap();
-    let open = rest.find('(').ok_or(FrontendError {
+    let open = rest.find('(').ok_or(SdfgError::Frontend {
         line,
         message: "expected `(` in signature".into(),
     })?;
     let name = rest[..open].trim().to_string();
-    let close = rest.rfind(')').ok_or(FrontendError {
+    let close = rest.rfind(')').ok_or(SdfgError::Frontend {
         line,
         message: "expected `)` in signature".into(),
     })?;
@@ -236,7 +218,7 @@ fn parse_signature(text: &str, line: usize) -> Result<(String, Vec<Param>), Fron
     Ok((name, params))
 }
 
-fn dtype_of(name: &str, line: usize) -> Result<DType, FrontendError> {
+fn dtype_of(name: &str, line: usize) -> Result<DType, SdfgError> {
     Ok(match name {
         "float64" => DType::F64,
         "float32" => DType::F32,
@@ -248,7 +230,7 @@ fn dtype_of(name: &str, line: usize) -> Result<DType, FrontendError> {
     })
 }
 
-fn declare_param(b: &mut SdfgBuilder, p: &Param, line: usize) -> Result<(), FrontendError> {
+fn declare_param(b: &mut SdfgBuilder, p: &Param, line: usize) -> Result<(), SdfgError> {
     let dtype = dtype_of(&p.dtype_name, line)?;
     match &p.shape {
         Some(shape) => {
@@ -256,7 +238,7 @@ fn declare_param(b: &mut SdfgBuilder, p: &Param, line: usize) -> Result<(), Fron
             b.array(&p.name, &refs, dtype);
             // Shape symbols are declared implicitly.
             for dim in shape {
-                let e = sdfg_symbolic::parse_expr(dim).map_err(|pe| FrontendError {
+                let e = sdfg_symbolic::parse_expr(dim).map_err(|pe| SdfgError::Frontend {
                     line,
                     message: format!("bad shape `{dim}`: {pe}"),
                 })?;
@@ -286,7 +268,7 @@ struct Frontend {
 impl Frontend {
     /// Processes a statement sequence into a chain of states; returns the
     /// (first, last) states of the chain.
-    fn process_body(&mut self, stmts: &[Block]) -> Result<(StateId, StateId), FrontendError> {
+    fn process_body(&mut self, stmts: &[Block]) -> Result<(StateId, StateId), SdfgError> {
         let mut first: Option<StateId> = None;
         let mut last: Option<StateId> = None;
         let mut i = 0;
@@ -327,7 +309,7 @@ impl Frontend {
     }
 
     /// `for v in range(...)` → guarded state-machine loop around the body.
-    fn range_loop(&mut self, s: &Block, rest: &str) -> Result<(StateId, StateId), FrontendError> {
+    fn range_loop(&mut self, s: &Block, rest: &str) -> Result<(StateId, StateId), SdfgError> {
         let Some((var, iter)) = rest.split_once(" in ") else {
             return err(s.line, "malformed `for` statement");
         };
@@ -397,7 +379,7 @@ impl Frontend {
         &mut self,
         s: &Block,
         else_block: Option<&Block>,
-    ) -> Result<(StateId, StateId), FrontendError> {
+    ) -> Result<(StateId, StateId), SdfgError> {
         let cond_text = s
             .text
             .strip_prefix("if ")
@@ -434,7 +416,7 @@ impl Frontend {
     }
 
     /// A dataflow statement gets its own state.
-    fn dataflow_state(&mut self, s: &Block) -> Result<(StateId, StateId), FrontendError> {
+    fn dataflow_state(&mut self, s: &Block) -> Result<(StateId, StateId), SdfgError> {
         let state = self.b.state(&format!("l{}", s.line));
         let mut scopes: Vec<(NodeId, NodeId)> = Vec::new();
         self.process_flow(state, s, &mut scopes)?;
@@ -447,7 +429,7 @@ impl Frontend {
         state: StateId,
         s: &Block,
         scopes: &mut Vec<(NodeId, NodeId)>,
-    ) -> Result<(), FrontendError> {
+    ) -> Result<(), SdfgError> {
         if let Some(rest) = s.text.strip_prefix("for ") {
             let Some((vars, iter)) = rest.split_once(" in ") else {
                 return err(s.line, "malformed `for` statement");
@@ -501,7 +483,7 @@ impl Frontend {
         state: StateId,
         s: &Block,
         scopes: &[(NodeId, NodeId)],
-    ) -> Result<(), FrontendError> {
+    ) -> Result<(), SdfgError> {
         // conn, data, subset, volume (+ WCR for outputs)
         type TaskletIn = (String, String, String, Option<Expr>);
         type TaskletOut = (String, String, String, Option<Wcr>, Option<Expr>);
@@ -599,14 +581,14 @@ impl Frontend {
         final_inputs: &mut Vec<(String, Memlet)>,
         preamble: &mut Vec<String>,
         line: usize,
-    ) -> Result<(), FrontendError> {
+    ) -> Result<(), SdfgError> {
         // Parse the subset as a tasklet-language expression list.
         let pieces: Vec<&str> = split_top_level(subset, ',');
         let desc = self
             .b
             .sdfg
             .desc(data)
-            .ok_or(FrontendError {
+            .ok_or(SdfgError::Frontend {
                 line,
                 message: format!("indirect access into unknown container `{data}`"),
             })?
@@ -653,7 +635,7 @@ impl Frontend {
         base_conn: &str,
         final_inputs: &mut Vec<(String, Memlet)>,
         line: usize,
-    ) -> Result<ExprAst, FrontendError> {
+    ) -> Result<ExprAst, SdfgError> {
         Ok(match e {
             ExprAst::Index(name, idxs) if self.b.sdfg.data.contains_key(&name) => {
                 let mut sym_idx = Vec::new();
@@ -686,8 +668,8 @@ impl Frontend {
         state: StateId,
         s: &Block,
         scopes: &[(NodeId, NodeId)],
-    ) -> Result<(), FrontendError> {
-        let stmts = parse_tasklet(&s.text).map_err(|e| FrontendError {
+    ) -> Result<(), SdfgError> {
+        let stmts = parse_tasklet(&s.text).map_err(|e| SdfgError::Frontend {
             line: s.line,
             message: format!("unsupported statement: {e}"),
         })?;
@@ -772,7 +754,7 @@ impl Frontend {
         e: ExprAst,
         inputs: &mut Vec<(String, Memlet)>,
         line: usize,
-    ) -> Result<ExprAst, FrontendError> {
+    ) -> Result<ExprAst, SdfgError> {
         Ok(match e {
             ExprAst::Index(name, idxs) if self.b.sdfg.data.contains_key(&name) => {
                 // Indirect read inside the index? Handle via ast_to_sym
@@ -905,8 +887,8 @@ fn split_memlet(text: &str, op: &str) -> Option<(String, String)> {
 fn parse_memlet_rhs(
     rhs: &str,
     line: usize,
-) -> Result<(String, String, Option<Expr>, Option<Wcr>), FrontendError> {
-    let bracket = rhs.find('[').ok_or(FrontendError {
+) -> Result<(String, String, Option<Expr>, Option<Wcr>), SdfgError> {
+    let bracket = rhs.find('[').ok_or(SdfgError::Frontend {
         line,
         message: format!("memlet `{rhs}` needs a `[subset]`"),
     })?;
@@ -931,7 +913,7 @@ fn parse_memlet_rhs(
                 None // dynamic marker; handled by caller via subset override
             } else {
                 Some(
-                    sdfg_symbolic::parse_expr(vol_text).map_err(|e| FrontendError {
+                    sdfg_symbolic::parse_expr(vol_text).map_err(|e| SdfgError::Frontend {
                         line,
                         message: format!("bad memlet volume `{vol_text}`: {e}"),
                     })?,
@@ -949,7 +931,7 @@ fn parse_memlet_rhs(
     Ok((data, subset, vol, wcr))
 }
 
-fn parse_wcr(text: &str, line: usize) -> Result<Wcr, FrontendError> {
+fn parse_wcr(text: &str, line: usize) -> Result<Wcr, SdfgError> {
     match text {
         "dace.sum" | "sum" => Ok(Wcr::Sum),
         "dace.product" | "product" | "dace.prod" => Ok(Wcr::Product),
@@ -1017,8 +999,8 @@ fn split_top_level(src: &str, sep: char) -> Vec<&str> {
 }
 
 /// Parses one index expression with the tasklet-language grammar.
-fn parse_index_expr(src: &str, line: usize) -> Result<ExprAst, FrontendError> {
-    let stmts = parse_tasklet(&format!("__t = {src}")).map_err(|e| FrontendError {
+fn parse_index_expr(src: &str, line: usize) -> Result<ExprAst, SdfgError> {
+    let stmts = parse_tasklet(&format!("__t = {src}")).map_err(|e| SdfgError::Frontend {
         line,
         message: format!("bad index expression `{src}`: {e}"),
     })?;
@@ -1029,7 +1011,7 @@ fn parse_index_expr(src: &str, line: usize) -> Result<ExprAst, FrontendError> {
 }
 
 /// Converts an affine tasklet-language expression to a symbolic [`Expr`].
-fn ast_to_sym(e: &ExprAst, line: usize) -> Result<Expr, FrontendError> {
+fn ast_to_sym(e: &ExprAst, line: usize) -> Result<Expr, SdfgError> {
     Ok(match e {
         ExprAst::Num(v) => {
             if v.fract() != 0.0 {
@@ -1061,7 +1043,7 @@ fn ast_to_sym(e: &ExprAst, line: usize) -> Result<Expr, FrontendError> {
 }
 
 /// Converts a symbolic expression back into tasklet-language source.
-fn sym_to_ast(e: &Expr, line: usize) -> Result<ExprAst, FrontendError> {
+fn sym_to_ast(e: &Expr, line: usize) -> Result<ExprAst, SdfgError> {
     parse_index_expr(&e.to_string(), line)
 }
 
@@ -1298,7 +1280,7 @@ def g(A: dace.float64[N], out: dace.float64[1]):
             "def f(A: dace.float64[N]):\n    for i in dace.map[0:N]:\n        for t in range(3):\n            A[i] = 1",
         )
         .unwrap_err();
-        assert!(e.message.contains("nested SDFG"));
+        assert!(e.to_string().contains("nested SDFG"));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! control" (§4.2), which lets a performance engineer diverge from a
 //! mid-point of a chain when retuning for a different architecture.
 
-use crate::framework::{apply_first, by_name, Params, TransformError};
-use sdfg_core::Sdfg;
+use crate::framework::{by_name, ParamValue, Params, TMatch};
+use sdfg_core::{Sdfg, SdfgError, StateId};
+use sdfg_graph::NodeId;
 use std::fmt;
 
 /// One recorded application.
@@ -14,6 +15,96 @@ pub struct Step {
     pub name: String,
     /// Parameters.
     pub params: Params,
+}
+
+/// One transformation that actually fired: where it matched and which nodes
+/// played which roles. Returned by [`Chain::apply`] and accumulated by the
+/// automatic pipeline; `harness --opt --profile` prints these.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppliedStep {
+    /// Transformation name.
+    pub transform: String,
+    /// State the match anchored in.
+    pub state: StateId,
+    /// Role name → matched node, in role order.
+    pub node_roles: Vec<(String, NodeId)>,
+    /// Role name → matched state (multi-state patterns), in role order.
+    pub state_roles: Vec<(String, StateId)>,
+}
+
+impl AppliedStep {
+    /// Records the match a transformation was applied at.
+    pub fn from_match(transform: &str, m: &TMatch) -> AppliedStep {
+        AppliedStep {
+            transform: transform.to_string(),
+            state: m.state,
+            node_roles: m.nodes.iter().map(|(r, &n)| (r.clone(), n)).collect(),
+            state_roles: m.states.iter().map(|(r, &s)| (r.clone(), s)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for AppliedStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ state {}", self.transform, self.state.0)?;
+        let mut sep = " (";
+        for (role, n) in &self.node_roles {
+            write!(f, "{sep}{role}=n{}", n.0)?;
+            sep = ", ";
+        }
+        for (role, s) in &self.state_roles {
+            write!(f, "{sep}{role}=s{}", s.0)?;
+            sep = ", ";
+        }
+        if sep == ", " {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a chain (or pipeline phase) actually did: one entry per fired
+/// transformation, in application order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ApplyReport {
+    /// Fired applications, in order.
+    pub steps: Vec<AppliedStep>,
+}
+
+impl ApplyReport {
+    /// Empty report.
+    pub fn new() -> ApplyReport {
+        ApplyReport::default()
+    }
+
+    /// Number of fired applications.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a fired application.
+    pub fn push(&mut self, step: AppliedStep) {
+        self.steps.push(step);
+    }
+
+    /// Appends all of `other`'s applications.
+    pub fn extend(&mut self, other: ApplyReport) {
+        self.steps.extend(other.steps);
+    }
+}
+
+impl fmt::Display for ApplyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>3}. {s}", i + 1)?;
+        }
+        Ok(())
+    }
 }
 
 /// A replayable sequence of transformation applications.
@@ -29,38 +120,45 @@ impl Chain {
         Chain::default()
     }
 
-    /// Appends a step (builder style).
+    /// Appends a step (builder style). Textual parameter values are parsed
+    /// into their typed form ([`ParamValue::from_text`]).
     pub fn then(mut self, name: &str, params: &[(&str, &str)]) -> Chain {
+        let mut p = Params::new();
+        for (k, v) in params {
+            p.set_text(k, v);
+        }
         self.steps.push(Step {
             name: name.to_string(),
-            params: params
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
+            params: p,
         });
         self
     }
 
-    /// Applies every step in order (first match each). Errors if a step's
-    /// transformation is unknown, fails, or has no match.
-    pub fn apply(&self, sdfg: &mut Sdfg) -> Result<(), TransformError> {
+    /// Applies every step in order (first match each), returning where each
+    /// one fired. Errors if a step's transformation is unknown, fails, or
+    /// has no match.
+    pub fn apply(&self, sdfg: &mut Sdfg) -> Result<ApplyReport, SdfgError> {
+        let mut report = ApplyReport::new();
         for (i, step) in self.steps.iter().enumerate() {
-            let t = by_name(&step.name).ok_or_else(|| {
-                TransformError::new(format!("unknown transformation `{}`", step.name))
+            let t = by_name(&step.name).ok_or_else(|| SdfgError::UnknownTransform {
+                name: step.name.clone(),
             })?;
-            let applied = apply_first(sdfg, t.as_ref(), &step.params)?;
-            if !applied {
-                return Err(TransformError::new(format!(
-                    "step {i}: `{}` found no match",
-                    step.name
-                )));
-            }
+            let matches = t.find(sdfg);
+            let Some(m) = matches.first() else {
+                return Err(SdfgError::NoMatch {
+                    name: step.name.clone(),
+                    step: Some(i),
+                });
+            };
+            t.apply(sdfg, m, &step.params)?;
+            sdfg_core::propagate::propagate_sdfg(sdfg);
+            report.push(AppliedStep::from_match(&step.name, m));
         }
-        Ok(())
+        Ok(report)
     }
 
     /// Applies only the first `n` steps (diverging from a mid-point).
-    pub fn apply_prefix(&self, sdfg: &mut Sdfg, n: usize) -> Result<(), TransformError> {
+    pub fn apply_prefix(&self, sdfg: &mut Sdfg, n: usize) -> Result<ApplyReport, SdfgError> {
         Chain {
             steps: self.steps[..n.min(self.steps.len())].to_vec(),
         }
@@ -73,11 +171,11 @@ impl Chain {
         let mut out = String::new();
         for s in &self.steps {
             out.push_str(&s.name);
-            for (k, v) in &s.params {
+            for (k, v) in s.params.iter() {
                 out.push(' ');
                 out.push_str(k);
                 out.push('=');
-                out.push_str(v);
+                out.push_str(&v.to_text());
             }
             out.push('\n');
         }
@@ -85,7 +183,7 @@ impl Chain {
     }
 
     /// Parses the text format (inverse of [`Chain::to_text`]).
-    pub fn from_text(text: &str) -> Result<Chain, TransformError> {
+    pub fn from_text(text: &str) -> Result<Chain, SdfgError> {
         let mut steps = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -97,12 +195,12 @@ impl Chain {
             let mut params = Params::new();
             for p in parts {
                 let Some((k, v)) = p.split_once('=') else {
-                    return Err(TransformError::new(format!(
-                        "line {}: malformed parameter `{p}`",
-                        lineno + 1
-                    )));
+                    return Err(SdfgError::ParamParse {
+                        param: format!("line {}", lineno + 1),
+                        text: p.to_string(),
+                    });
                 };
-                params.insert(k.to_string(), v.to_string());
+                params.set(k, ParamValue::from_text(v));
             }
             steps.push(Step { name, params });
         }
@@ -152,18 +250,24 @@ mod tests {
     }
 
     #[test]
-    fn chain_applies_in_order() {
+    fn chain_applies_in_order_and_reports() {
         let mut sdfg = sample();
         let c = Chain::new()
             .then("MapTiling", &[("tile_sizes", "8")])
             .then("Vectorization", &[("width", "4")]);
-        c.apply(&mut sdfg).unwrap();
+        let report = c.apply(&mut sdfg).unwrap();
         sdfg.validate().expect("valid after chain");
         let st = sdfg.state(sdfg.start.unwrap());
         let me = crate::helpers::map_entries(st)[0];
         let sc = crate::helpers::scope_of(st, me);
         assert_eq!(sc.params.len(), 2); // tiled
         assert_eq!(sc.vector_len, Some(4)); // vectorized
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.steps[0].transform, "MapTiling");
+        assert_eq!(report.steps[1].transform, "Vectorization");
+        let rendered = report.to_string();
+        assert!(rendered.contains("MapTiling @ state"), "{rendered}");
+        assert!(rendered.contains("map=n"), "{rendered}");
     }
 
     #[test]
@@ -172,19 +276,23 @@ mod tests {
         let c = Chain::new()
             .then("MapTiling", &[("tile_sizes", "8")])
             .then("Vectorization", &[("width", "4")]);
-        c.apply_prefix(&mut sdfg, 1).unwrap();
+        let report = c.apply_prefix(&mut sdfg, 1).unwrap();
+        assert_eq!(report.len(), 1);
         let st = sdfg.state(sdfg.start.unwrap());
         let me = crate::helpers::map_entries(st)[0];
         assert_eq!(crate::helpers::scope_of(st, me).vector_len, None);
     }
 
     #[test]
-    fn chain_errors_are_reported() {
+    fn chain_errors_carry_codes() {
         let mut sdfg = sample();
         let bad = Chain::new().then("NoSuch", &[]);
-        assert!(bad.apply(&mut sdfg).is_err());
+        assert_eq!(bad.apply(&mut sdfg).unwrap_err().code(), "SDFG-T002");
         let nomatch = Chain::new().then("MapCollapse", &[]); // nothing nested
-        assert!(nomatch.apply(&mut sdfg).is_err());
-        assert!(Chain::from_text("MapTiling sizes").is_err());
+        assert_eq!(nomatch.apply(&mut sdfg).unwrap_err().code(), "SDFG-T003");
+        assert_eq!(
+            Chain::from_text("MapTiling sizes").unwrap_err().code(),
+            "SDFG-P002"
+        );
     }
 }

@@ -1,12 +1,12 @@
 //! Data transformations (Appendix B, "Data transformations") plus the
 //! `RedundantArray` strict transformation of Appendix D.
 
-use crate::framework::{Params, TMatch, TransformError, Transformation};
+use crate::framework::{CostHint, Params, TMatch, Transformation};
 use crate::helpers::{find_pattern, is_access, is_map_entry, is_transient_access, Pattern};
 use sdfg_core::desc::{ArrayDesc, DataDesc, StreamDesc};
-use sdfg_core::{Memlet, Node, Sdfg, Subset, SymRange};
+use sdfg_core::{Memlet, Node, Sdfg, SdfgError, Subset, SymRange};
 use sdfg_graph::EdgeId;
-use sdfg_symbolic::Expr;
+use sdfg_symbolic::{Env, Expr};
 
 /// `LocalStorage` — introduces a transient for caching data between two
 /// scopes (Fig. 11b): the edge `outer(OUT_x) → consumer` gains an
@@ -39,10 +39,10 @@ impl Transformation for LocalStorage {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), TransformError> {
-        let outer = m.node("outer");
-        let inner = m.node("inner");
-        let want_data = params.get("data");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), SdfgError> {
+        let outer = m.try_node("outer")?;
+        let inner = m.try_node("inner")?;
+        let want_data = params.str("data")?;
         // Pick the edge: outer(OUT_x) → inner carrying `data`.
         let (edge, data, window) = {
             let st = sdfg.state(m.state);
@@ -57,7 +57,7 @@ impl Transformation for LocalStorage {
                 }
                 let d = df.memlet.data_name().to_string();
                 if let Some(w) = want_data {
-                    if &d != w {
+                    if d != w {
                         continue;
                     }
                 }
@@ -65,14 +65,14 @@ impl Transformation for LocalStorage {
                 break;
             }
             found.ok_or_else(|| {
-                TransformError::new("no matching edge between the scopes for LocalStorage")
+                SdfgError::transform("no matching edge between the scopes for LocalStorage")
             })?
         };
         // Local array shaped by a parameter-free upper bound of the window.
         let local_name = sdfg.fresh_data_name(&format!("local_{data}"));
         let dtype = sdfg
             .desc(&data)
-            .ok_or_else(|| TransformError::new(format!("unknown container `{data}`")))?
+            .ok_or_else(|| SdfgError::transform(format!("unknown container `{data}`")))?
             .dtype();
         let inner_params: Vec<String> = {
             let st = sdfg.state(m.state);
@@ -147,7 +147,7 @@ fn param_free_upper(
     extent: &Expr,
     outer_params: &[String],
     inner_params: &[String],
-) -> Result<Expr, TransformError> {
+) -> Result<Expr, SdfgError> {
     let is_free = |e: &Expr| {
         let syms = e.free_symbols();
         !outer_params
@@ -216,7 +216,7 @@ fn param_free_upper(
             return Ok(cand);
         }
     }
-    Err(TransformError::new(format!(
+    Err(SdfgError::transform(format!(
         "cannot derive a parameter-free size for extent `{extent}`"
     )))
 }
@@ -279,9 +279,9 @@ impl Transformation for LocalStream {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let tasklet = m.node("tasklet");
-        let target = m.node("target");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let tasklet = m.try_node("tasklet")?;
+        let target = m.try_node("target")?;
         let (edge, stream_data) = {
             let st = sdfg.state(m.state);
             let edge = st
@@ -295,7 +295,7 @@ impl Transformation for LocalStream {
                             Some(DataDesc::Stream(_))
                         )
                 })
-                .ok_or_else(|| TransformError::new("push edge vanished"))?;
+                .ok_or_else(|| SdfgError::transform("push edge vanished"))?;
             (
                 edge,
                 st.graph
@@ -327,7 +327,7 @@ impl Transformation for LocalStream {
                 .graph
                 .out_edges(target)
                 .find(|&e2| state.graph.edge(e2).src_conn.as_deref() == Some(out_conn.as_str()))
-                .ok_or_else(|| TransformError::new("stream edge not forwarded by exit"))?;
+                .ok_or_else(|| SdfgError::transform("stream edge not forwarded by exit"))?;
             let cont_df = state.graph.edge(cont).clone();
             let (_, y) = state.graph.edge_endpoints(cont);
             state.graph.remove_edge(cont);
@@ -410,27 +410,27 @@ impl Transformation for DoubleBuffering {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), TransformError> {
-        let acc = m.node("buffer");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), SdfgError> {
+        let acc = m.try_node("buffer")?;
         let data = {
             let st = sdfg.state(m.state);
             st.graph.node(acc).access_data().unwrap().to_string()
         };
         // Alternation parameter.
-        let param = match params.get("param") {
-            Some(p) => p.clone(),
+        let param = match params.str("param")? {
+            Some(p) => p.to_string(),
             None => {
                 let st = sdfg.state(m.state);
                 let tree = sdfg_core::scope::scope_tree(st)
-                    .map_err(|e| TransformError::new(e.to_string()))?;
+                    .map_err(|e| SdfgError::transform(e.to_string()))?;
                 let entry = tree
                     .scope_of(acc)
-                    .ok_or_else(|| TransformError::new("buffer not inside a scope"))?;
+                    .ok_or_else(|| SdfgError::transform("buffer not inside a scope"))?;
                 crate::helpers::scope_of(st, entry)
                     .params
                     .last()
                     .cloned()
-                    .ok_or_else(|| TransformError::new("scope has no parameters"))?
+                    .ok_or_else(|| SdfgError::transform("scope has no parameters"))?
             }
         };
         // Extend the shape with a leading [2].
@@ -439,7 +439,7 @@ impl Transformation for DoubleBuffering {
                 a.shape.insert(0, Expr::int(2));
                 a.reset_strides();
             }
-            _ => return Err(TransformError::new("buffer is not an array")),
+            _ => return Err(SdfgError::transform("buffer is not an array")),
         }
         // Rewrite every memlet on this container (in this state): prefix
         // subsets with `param % 2`.
@@ -517,6 +517,11 @@ impl Transformation for Vectorization {
                 continue;
             };
             for n in crate::helpers::map_entries(st) {
+                // Already vectorized: skip, so matching is idempotent (the
+                // automatic pipeline re-finds until no matches remain).
+                if crate::helpers::scope_of(st, n).vector_len.is_some() {
+                    continue;
+                }
                 // Innermost: no nested scope entries among members.
                 let members = sdfg_core::scope::scope_members(st, n);
                 if members.iter().any(|&c| st.graph.node(c).is_scope_entry()) {
@@ -529,12 +534,18 @@ impl Transformation for Vectorization {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), TransformError> {
-        let width: u32 = params
-            .get("width")
-            .map(|w| w.parse().unwrap_or(4))
-            .unwrap_or(4);
-        let entry = m.node("map");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), SdfgError> {
+        // A non-integer `width` is a hard error now — the old string API
+        // silently fell back to 4 here.
+        let width = params.int_or("width", 4)?;
+        if width <= 0 {
+            return Err(SdfgError::ParamParse {
+                param: "width".to_string(),
+                text: width.to_string(),
+            });
+        }
+        let width = width as u32;
+        let entry = m.try_node("map")?;
         // Contiguity check: the innermost parameter must appear only in the
         // last dimension of each memlet subset, with coefficient 1 (or not
         // at all).
@@ -545,7 +556,7 @@ impl Transformation for Vectorization {
                 .params
                 .last()
                 .cloned()
-                .ok_or_else(|| TransformError::new("empty map"))?;
+                .ok_or_else(|| SdfgError::transform("empty map"))?;
             (lp, sdfg_core::scope::scope_members(st, entry))
         };
         {
@@ -566,7 +577,7 @@ impl Transformation for Vectorization {
                 for (d, r) in mlet.subset.dims.iter().enumerate() {
                     let uses = r.start.has_symbol(&last_param) || r.end.has_symbol(&last_param);
                     if uses && d + 1 != rank {
-                        return Err(TransformError::new(format!(
+                        return Err(SdfgError::transform(format!(
                             "access `{mlet}` is not contiguous in `{last_param}`"
                         )));
                     }
@@ -576,7 +587,7 @@ impl Transformation for Vectorization {
                         let probe1 = r.start.subs(&last_param, &Expr::int(1));
                         let diff = probe1 - probe0;
                         if diff != Expr::one() && diff != Expr::zero() {
-                            return Err(TransformError::new(format!(
+                            return Err(SdfgError::transform(format!(
                                 "access `{mlet}` has stride {diff} in `{last_param}`"
                             )));
                         }
@@ -587,6 +598,12 @@ impl Transformation for Vectorization {
         let st = sdfg.state_mut(m.state);
         crate::helpers::scope_of_mut(st, entry).vector_len = Some(width);
         Ok(())
+    }
+
+    fn cost_hint(&self, _sdfg: &Sdfg, _m: &TMatch, _env: &Env) -> CostHint {
+        // Metadata-only on this runtime (the CPU engine's inner loops are
+        // auto-vectorized regardless); harmless either way.
+        CostHint::Neutral
     }
 }
 
@@ -642,9 +659,9 @@ impl Transformation for RedundantArray {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let a = m.node("in_array");
-        let b = m.node("out_array");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let a = m.try_node("in_array")?;
+        let b = m.try_node("out_array")?;
         let state = sdfg.state_mut(m.state);
         let a_data = state.graph.node(a).access_data().unwrap().to_string();
         let b_data = state.graph.node(b).access_data().unwrap().to_string();
@@ -731,8 +748,7 @@ mod tests {
         );
         let mut sdfg = b.build().unwrap();
         // Tile then expand to create the two-scope structure.
-        let mut tp = Params::new();
-        tp.insert("tile_sizes".into(), "8".into());
+        let tp = Params::new().with("tile_sizes", 8i64);
         apply_first(&mut sdfg, &crate::map_transforms::MapTiling, &tp).unwrap();
         apply_first(
             &mut sdfg,
@@ -741,8 +757,7 @@ mod tests {
         )
         .unwrap();
         sdfg.validate().expect("valid after tiling+expansion");
-        let mut lp = Params::new();
-        lp.insert("data".into(), "A".into());
+        let lp = Params::new().with("data", "A");
         apply_first(&mut sdfg, &LocalStorage, &lp).unwrap();
         sdfg.validate().expect("valid after LocalStorage");
         assert!(sdfg.desc("local_A").is_some());
@@ -775,8 +790,7 @@ mod tests {
             &[("o", "B", "i")],
         );
         let mut sdfg = b.build().unwrap();
-        let mut p = Params::new();
-        p.insert("width".into(), "8".into());
+        let p = Params::new().with("width", 8i64);
         assert!(apply_first(&mut sdfg, &Vectorization, &p).unwrap());
         let st = sdfg.state(sdfg.start.unwrap());
         let me = crate::helpers::map_entries(st)[0];
@@ -855,8 +869,7 @@ mod tests {
             it.array("B").to_vec()
         };
         let before = run(&sdfg);
-        let mut p = Params::new();
-        p.insert("param".into(), "r".into());
+        let p = Params::new().with("param", "r");
         assert!(apply_first(&mut sdfg, &DoubleBuffering, &p).unwrap());
         sdfg.validate().expect("valid after double buffering");
         // Shape extended to [2, 4].

@@ -3,9 +3,10 @@
 //! `GPUTransform`/`FPGATransform` the paper applies to all of Polybench
 //! (§5) — plus `MPITransform`.
 
-use crate::framework::{Params, TMatch, TransformError, Transformation};
+use crate::framework::{Params, TMatch, Transformation};
 use sdfg_core::desc::DataDesc;
 use sdfg_core::sdfg::InterstateEdge;
+use sdfg_core::SdfgError;
 use sdfg_core::{Memlet, Node, Schedule, Sdfg, Storage, Subset};
 use std::collections::BTreeMap;
 
@@ -16,7 +17,7 @@ fn offload(
     prefix: &str,
     device_storage: Storage,
     schedule_map: fn(Schedule) -> Schedule,
-) -> Result<(), TransformError> {
+) -> Result<(), SdfgError> {
     // Device clones of all non-transient arrays.
     let mut clones: BTreeMap<String, String> = BTreeMap::new();
     let originals: Vec<(String, DataDesc)> = sdfg
@@ -75,7 +76,7 @@ fn offload(
     // Copy-in state before the start.
     let old_start = sdfg
         .start
-        .ok_or_else(|| TransformError::new("SDFG has no start state"))?;
+        .ok_or_else(|| SdfgError::transform("SDFG has no start state"))?;
     let copy_in = sdfg.add_state(format!("{prefix}_copyin"));
     sdfg.graph
         .add_edge(copy_in, old_start, InterstateEdge::always());
@@ -159,7 +160,7 @@ impl Transformation for GpuTransform {
         whole_sdfg_match(sdfg, Storage::GpuGlobal)
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, _m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, _m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
         offload(sdfg, "gpu", Storage::GpuGlobal, |s| match s {
             Schedule::CpuMulticore => Schedule::GpuDevice,
             other => other,
@@ -179,7 +180,7 @@ impl Transformation for FpgaTransform {
         whole_sdfg_match(sdfg, Storage::FpgaGlobal)
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, _m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, _m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
         offload(sdfg, "fpga", Storage::FpgaGlobal, |s| match s {
             Schedule::CpuMulticore => Schedule::FpgaDevice,
             other => other,
@@ -214,9 +215,10 @@ impl Transformation for MpiTransform {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let entry = m.try_node("map")?;
         let st = sdfg.state_mut(m.state);
-        crate::helpers::scope_of_mut(st, m.node("map")).schedule = Schedule::Mpi;
+        crate::helpers::scope_of_mut(st, entry).schedule = Schedule::Mpi;
         Ok(())
     }
 }

@@ -1,11 +1,18 @@
 //! Control-flow transformations (Appendix B, "Control-flow
 //! transformations").
 
-use crate::framework::{Params, TMatch, TransformError, Transformation};
+use crate::framework::{CostHint, Params, TMatch, Transformation};
 use sdfg_core::sdfg::Dataflow;
-use sdfg_core::{Node, Schedule, Sdfg, StateId};
+use sdfg_core::{Node, Schedule, Sdfg, SdfgError, StateId};
 use sdfg_graph::{EdgeId, NodeId};
+use sdfg_symbolic::Env;
 use std::collections::HashMap;
+
+/// Iteration-count threshold below which a top-level multicore map is
+/// cheaper to run sequentially than to split across worker threads (the
+/// per-run cost of spawning a thread scope outweighs the per-point work for
+/// small maps; see `MapToForLoop::cost_hint`).
+pub const SEQUENTIALIZE_BELOW_POINTS: i64 = 4096;
 
 /// `MapToForLoop` — converts a map to sequential loop semantics. The map's
 /// schedule becomes [`Schedule::Sequential`], which every backend lowers to
@@ -31,10 +38,45 @@ impl Transformation for MapToForLoop {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let entry = m.try_node("map")?;
         let st = sdfg.state_mut(m.state);
-        crate::helpers::scope_of_mut(st, m.node("map")).schedule = Schedule::Sequential;
+        crate::helpers::scope_of_mut(st, entry).schedule = Schedule::Sequential;
         Ok(())
+    }
+
+    fn cost_hint(&self, sdfg: &Sdfg, m: &TMatch, env: &Env) -> CostHint {
+        let Ok(entry) = m.try_node("map") else {
+            return CostHint::Unknown;
+        };
+        let st = sdfg.state(m.state);
+        let sc = crate::helpers::scope_of(st, entry);
+        // Only top-level CPU-multicore maps spawn worker threads; anything
+        // else already runs serially, so sequentializing buys nothing and
+        // costs portability metadata.
+        if sc.schedule != Schedule::CpuMulticore {
+            return CostHint::Unprofitable;
+        }
+        let Ok(tree) = sdfg_core::scope::scope_tree(st) else {
+            return CostHint::Unknown;
+        };
+        if tree.scope_of(entry).is_some() {
+            return CostHint::Unprofitable;
+        }
+        // With concrete symbol bindings, a small iteration space means the
+        // thread-scope spawn dominates the per-point work.
+        let mut points: i64 = 1;
+        for r in &sc.ranges {
+            match r.eval_len(env) {
+                Ok(l) => points = points.saturating_mul(l.max(0)),
+                Err(_) => return CostHint::Unknown,
+            }
+        }
+        if points < SEQUENTIALIZE_BELOW_POINTS {
+            CostHint::Beneficial
+        } else {
+            CostHint::Unprofitable
+        }
     }
 }
 
@@ -85,9 +127,19 @@ impl Transformation for StateFusion {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let s1 = m.states["first"];
-        let s2 = m.states["second"];
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let s1 = *m
+            .states
+            .get("first")
+            .ok_or_else(|| SdfgError::RoleMissing {
+                role: "first".to_string(),
+            })?;
+        let s2 = *m
+            .states
+            .get("second")
+            .ok_or_else(|| SdfgError::RoleMissing {
+                role: "second".to_string(),
+            })?;
         // Clone s2's graph content into s1.
         let second = sdfg.graph.node(s2).clone();
         let first = sdfg.graph.node_mut(s1);
@@ -207,8 +259,8 @@ impl Transformation for InlineSdfg {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let nid = m.node("nested");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let nid = m.try_node("nested")?;
         let (inner, _symmap, conn_map) = {
             let st = sdfg.state(m.state);
             let Node::NestedSdfg {
@@ -217,7 +269,7 @@ impl Transformation for InlineSdfg {
                 ..
             } = st.graph.node(nid)
             else {
-                return Err(TransformError::new("role `nested` is not a NestedSdfg"));
+                return Err(SdfgError::transform("role `nested` is not a NestedSdfg"));
             };
             // connector (inner container) → outer container name.
             let mut conn_map: HashMap<String, String> = HashMap::new();
@@ -249,7 +301,7 @@ impl Transformation for InlineSdfg {
             .graph
             .node_ids()
             .next()
-            .ok_or_else(|| TransformError::new("nested SDFG has no states"))?;
+            .ok_or_else(|| SdfgError::transform("nested SDFG has no states"))?;
         let inner_state = inner.graph.node(inner_state_id).clone();
         let state = sdfg.state_mut(m.state);
         let mut remap: HashMap<NodeId, NodeId> = HashMap::new();

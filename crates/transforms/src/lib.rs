@@ -28,16 +28,21 @@ pub mod flow_transforms;
 pub mod framework;
 pub mod helpers;
 pub mod map_transforms;
+pub mod pipeline;
 
-pub use chain::Chain;
+pub use chain::{AppliedStep, ApplyReport, Chain};
 pub use data_transforms::{
     DoubleBuffering, LocalStorage, LocalStream, RedundantArray, Vectorization,
 };
 pub use device_transforms::{FpgaTransform, GpuTransform, MpiTransform};
 pub use flow_transforms::{InlineSdfg, MapToForLoop, StateFusion};
 pub use framework::{
-    apply_first, apply_strict, registry, Params, TMatch, TransformError, Transformation,
+    apply_first, apply_strict, registry, CostHint, ParamValue, Params, TMatch, Transformation,
 };
+// The workspace-wide error type (transformation failures are `SdfgError`
+// since the typed-params redesign; the old `TransformError` is gone).
 pub use map_transforms::{
     MapCollapse, MapExpansion, MapFusion, MapInterchange, MapReduceFusion, MapTiling,
 };
+pub use pipeline::{optimize, optimize_with_env, OptLevel, OptimizationReport, SkippedMatch};
+pub use sdfg_core::SdfgError;

@@ -1,23 +1,14 @@
 //! Map-scope transformations (Appendix B, "Map transformations").
 
-use crate::framework::{Params, TMatch, TransformError, Transformation};
+use crate::framework::{CostHint, Params, TMatch, Transformation};
 use crate::helpers::{
     find_pattern, is_access, is_map_entry, is_map_exit, is_reduce, is_transient_access,
     redirect_edge_dst, redirect_edge_src, scope_of, scope_of_mut, Pattern,
 };
 use sdfg_core::sdfg::InterstateEdge;
-use sdfg_core::{Memlet, Node, Sdfg, StateId, Subset, SymRange, Wcr};
+use sdfg_core::{Memlet, Node, Sdfg, SdfgError, StateId, Subset, SymRange, Wcr};
 use sdfg_graph::EdgeId;
-use sdfg_symbolic::Expr;
-
-fn parse_usize_list(p: &Params, key: &str) -> Option<Vec<usize>> {
-    p.get(key).map(|v| {
-        v.split(',')
-            .filter(|s| !s.trim().is_empty())
-            .map(|s| s.trim().parse().expect("integer list"))
-            .collect()
-    })
-}
+use sdfg_symbolic::{Env, Expr};
 
 /// `MapTiling` — applies orthogonal tiling to a map.
 ///
@@ -45,15 +36,21 @@ impl Transformation for MapTiling {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), SdfgError> {
         let tile_sizes: Vec<i64> = params
-            .get("tile_sizes")
-            .map(|v| v.split(',').map(|s| s.trim().parse().unwrap()).collect())
+            .dims("tile_sizes")?
+            .map(|ds| ds.into_iter().map(|d| d as i64).collect())
             .unwrap_or_else(|| vec![32]);
-        let entry = m.node("map");
+        if tile_sizes.is_empty() {
+            return Err(SdfgError::ParamParse {
+                param: "tile_sizes".to_string(),
+                text: "<empty list>".to_string(),
+            });
+        }
+        let entry = m.try_node("map")?;
         // Fresh tile-parameter names must be chosen against the whole SDFG.
         let ndims = scope_of(sdfg.state(m.state), entry).params.len();
-        let dims = parse_usize_list(params, "dims").unwrap_or_else(|| (0..ndims).collect());
+        let dims = params.dims("dims")?.unwrap_or_else(|| (0..ndims).collect());
         let mut new_params = Vec::new();
         let mut new_ranges = Vec::new();
         {
@@ -61,7 +58,7 @@ impl Transformation for MapTiling {
             let scope_ranges: Vec<SymRange> = scope_of(sdfg.state(m.state), entry).ranges.clone();
             for (k, &d) in dims.iter().enumerate() {
                 if d >= ndims {
-                    return Err(TransformError::new(format!("dimension {d} out of range")));
+                    return Err(SdfgError::transform(format!("dimension {d} out of range")));
                 }
                 let t = tile_sizes[k.min(tile_sizes.len() - 1)];
                 if t <= 1 {
@@ -108,6 +105,12 @@ impl Transformation for MapTiling {
         crate::helpers::dependency_sort_params(&mut scope.params, &mut scope.ranges);
         Ok(())
     }
+
+    fn cost_hint(&self, _sdfg: &Sdfg, _m: &TMatch, _env: &Env) -> CostHint {
+        // This runtime executes maps directly (no cache-blocking codegen
+        // behind it), so tiling only adds loop-nest overhead here.
+        CostHint::Unprofitable
+    }
 }
 
 /// `MapInterchange` — permutes map dimensions (within one multi-dimensional
@@ -134,18 +137,19 @@ impl Transformation for MapInterchange {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), TransformError> {
-        let entry = m.node("map");
-        let order = parse_usize_list(params, "order")
-            .ok_or_else(|| TransformError::new("MapInterchange requires `order`"))?;
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, params: &Params) -> Result<(), SdfgError> {
+        let entry = m.try_node("map")?;
+        let order = params
+            .dims("order")?
+            .ok_or_else(|| SdfgError::transform("MapInterchange requires `order`"))?;
         let scope = scope_of_mut(sdfg.state_mut(m.state), entry);
         if order.len() != scope.params.len() {
-            return Err(TransformError::new("order length mismatch"));
+            return Err(SdfgError::transform("order length mismatch"));
         }
         let mut seen = vec![false; order.len()];
         for &o in &order {
             if o >= order.len() || seen[o] {
-                return Err(TransformError::new("order must be a permutation"));
+                return Err(SdfgError::transform("order must be a permutation"));
             }
             seen[o] = true;
         }
@@ -161,7 +165,7 @@ impl Transformation for MapInterchange {
             };
             for later in order[pos + 1..].iter() {
                 if syms.contains(&old_params[*later]) {
-                    return Err(TransformError::new(format!(
+                    return Err(SdfgError::transform(format!(
                         "range of `{}` depends on `{}`, which would come later",
                         old_params[o], old_params[*later]
                     )));
@@ -198,12 +202,12 @@ impl Transformation for MapExpansion {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let entry = m.node("map");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let entry = m.try_node("map")?;
         let state = sdfg.state_mut(m.state);
         let exit = state
             .exit_of(entry)
-            .ok_or_else(|| TransformError::new("unpaired map"))?;
+            .ok_or_else(|| SdfgError::transform("unpaired map"))?;
         let (outer_label, inner_params, inner_ranges, schedule) = {
             let sc = scope_of(state, entry);
             (
@@ -322,16 +326,16 @@ impl Transformation for MapCollapse {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let outer = m.node("outer");
-        let inner = m.node("inner");
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let outer = m.try_node("outer")?;
+        let inner = m.try_node("inner")?;
         let state = sdfg.state_mut(m.state);
         let outer_exit = state
             .exit_of(outer)
-            .ok_or_else(|| TransformError::new("unpaired outer map"))?;
+            .ok_or_else(|| SdfgError::transform("unpaired outer map"))?;
         let inner_exit = state
             .exit_of(inner)
-            .ok_or_else(|| TransformError::new("unpaired inner map"))?;
+            .ok_or_else(|| SdfgError::transform("unpaired inner map"))?;
         // Merge dims.
         let (ip, ir) = {
             let isc = scope_of(state, inner);
@@ -375,6 +379,12 @@ impl Transformation for MapCollapse {
         state.graph.remove_node(inner_exit);
         Ok(())
     }
+
+    fn cost_hint(&self, _sdfg: &Sdfg, _m: &TMatch, _env: &Env) -> CostHint {
+        // One flat iteration space means one scope setup instead of a
+        // nested per-point scope, and more parallelism to split.
+        CostHint::Beneficial
+    }
 }
 
 /// `MapReduceFusion` — fuses a map writing a transient with an immediately
@@ -417,12 +427,12 @@ impl Transformation for MapReduceFusion {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
         let (exit, tmp, reduce, outacc) = (
-            m.node("exit"),
-            m.node("tmp"),
-            m.node("reduce"),
-            m.node("out"),
+            m.try_node("exit")?,
+            m.try_node("tmp")?,
+            m.try_node("reduce")?,
+            m.try_node("out")?,
         );
         let (wcr, axes, identity, out_data, out_subset, tmp_data) = {
             let st = sdfg.state(m.state);
@@ -432,13 +442,13 @@ impl Transformation for MapReduceFusion {
                 identity,
             } = st.graph.node(reduce)
             else {
-                return Err(TransformError::new("role `reduce` is not a Reduce"));
+                return Err(SdfgError::transform("role `reduce` is not a Reduce"));
             };
             let out_edge = st
                 .graph
                 .out_edges(reduce)
                 .next()
-                .ok_or_else(|| TransformError::new("reduce without output"))?;
+                .ok_or_else(|| SdfgError::transform("reduce without output"))?;
             let out_m = st.graph.edge(out_edge).memlet.clone();
             (
                 wcr.clone(),
@@ -534,7 +544,7 @@ fn insert_init_state(
     data: &str,
     subset: &Subset,
     identity: f64,
-) -> Result<(), TransformError> {
+) -> Result<(), SdfgError> {
     let init = sdfg.add_state(format!("init_{data}"));
     // Redirect incoming transitions of `sid` to `init`.
     let incoming: Vec<EdgeId> = sdfg.graph.in_edges(sid).collect();
@@ -646,6 +656,20 @@ impl Transformation for MapFusion {
                 if st.graph.in_degree(m["tmp"]) != 1 || st.graph.out_degree(m["tmp"]) != 1 {
                     continue;
                 }
+                // A WCR write into the intermediate means each element
+                // accumulates across iterations of the first map and must
+                // be complete before the second map reads it — fusing
+                // per-point would read partial sums. Reject.
+                let wcr_write = st.graph.in_edges(exit1).any(|e| {
+                    let mm = &st.graph.edge(e).memlet;
+                    mm.data.as_deref() == Some(data) && mm.wcr.is_some()
+                }) || st
+                    .graph
+                    .in_edges(m["tmp"])
+                    .any(|e| st.graph.edge(e).memlet.wcr.is_some());
+                if wcr_write {
+                    continue;
+                }
                 out.push(TMatch {
                     state: sid,
                     nodes: m,
@@ -656,15 +680,19 @@ impl Transformation for MapFusion {
         out
     }
 
-    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), TransformError> {
-        let (exit1, tmp, entry2) = (m.node("exit1"), m.node("tmp"), m.node("entry2"));
+    fn apply(&self, sdfg: &mut Sdfg, m: &TMatch, _params: &Params) -> Result<(), SdfgError> {
+        let (exit1, tmp, entry2) = (
+            m.try_node("exit1")?,
+            m.try_node("tmp")?,
+            m.try_node("entry2")?,
+        );
         let sid = m.state;
         let (entry1, exit2, tmp_data, p1, p2) = {
             let st = sdfg.state(sid);
             let entry1 = st.graph.node(exit1).exit_entry().unwrap();
             let exit2 = st
                 .exit_of(entry2)
-                .ok_or_else(|| TransformError::new("unpaired second map"))?;
+                .ok_or_else(|| SdfgError::transform("unpaired second map"))?;
             (
                 entry1,
                 exit2,
@@ -790,6 +818,12 @@ impl Transformation for MapFusion {
         sdfg.data.remove(&tmp_data);
         Ok(())
     }
+
+    fn cost_hint(&self, _sdfg: &Sdfg, _m: &TMatch, _env: &Env) -> CostHint {
+        // Removes a full pass over the intermediate array and replaces it
+        // with a register-sized scalar — strictly less data movement.
+        CostHint::Beneficial
+    }
 }
 
 #[cfg(test)]
@@ -829,8 +863,7 @@ mod tests {
     fn tiling_preserves_semantics() {
         let mut sdfg = double_map_sdfg();
         let before = run_both(&sdfg, 37, (0..37).map(|x| x as f64).collect());
-        let mut params = Params::new();
-        params.insert("tile_sizes".into(), "8".into());
+        let params = Params::new().with("tile_sizes", 8i64);
         assert!(apply_first(&mut sdfg, &MapTiling, &params).unwrap());
         sdfg.validate().expect("valid after tiling");
         // Map now has 2 dims.
@@ -874,15 +907,13 @@ mod tests {
             &[("o", "A", "i, j")],
         );
         let mut sdfg = b.build().unwrap();
-        let mut params = Params::new();
-        params.insert("order".into(), "1,0".into());
+        let params = Params::new().with("order", vec![1usize, 0]);
         assert!(apply_first(&mut sdfg, &MapInterchange, &params).unwrap());
         let st = sdfg.state(sdfg.start.unwrap());
         let me = crate::helpers::map_entries(st)[0];
         assert_eq!(scope_of(st, me).params, vec!["j", "i"]);
         // Bad permutation rejected.
-        let mut bad = Params::new();
-        bad.insert("order".into(), "0,0".into());
+        let bad = Params::new().with("order", vec![0usize, 0]);
         assert!(apply_first(&mut sdfg, &MapInterchange, &bad).is_err());
     }
 
@@ -901,8 +932,7 @@ mod tests {
             &[("o", "A", "i, j")],
         );
         let mut sdfg = b.build().unwrap();
-        let mut params = Params::new();
-        params.insert("order".into(), "1,0".into());
+        let params = Params::new().with("order", vec![1usize, 0]);
         assert!(apply_first(&mut sdfg, &MapInterchange, &params).is_err());
     }
 

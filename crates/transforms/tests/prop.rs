@@ -204,7 +204,7 @@ fn default_params(name: &str, p: &Program) -> Params {
         } else {
             "0"
         };
-        params.insert("order".to_string(), order.to_string());
+        params.set_text("order", order);
     }
     params
 }

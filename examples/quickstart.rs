@@ -23,8 +23,7 @@ def saxpy(X: dace.float64[N], Y: dace.float64[N]):
     println!("{}", dace::core::dot::to_dot(&sdfg));
 
     // 2. The performance engineer transforms the dataflow (§4).
-    let mut params = Params::new();
-    params.insert("tile_sizes".into(), "256".into());
+    let params = Params::new().with("tile_sizes", 256i64);
     apply_first(&mut sdfg, &MapTiling, &params).expect("tiling applies");
     println!("== After MapTiling (map dimensions doubled) ==");
     let chain = Chain::new().then("Vectorization", &[("width", "4")]);
