@@ -16,6 +16,7 @@
 //! [`TOLERANCE`] over its baseline, or if no kernel reaches the
 //! baseline's `min_speedup` warm-over-cold ratio.
 
+use crate::targets::{run_workload_targeted, target_json_fields, Target, TargetRun};
 use sdfg_core::serialize::parse_json;
 use sdfg_exec::OptLevel;
 use sdfg_workloads::polybench;
@@ -53,6 +54,10 @@ pub struct BenchConfig {
     /// `None`, the run additionally gates that at least one kernel's
     /// optimized warm time beats its unoptimized warm time.
     pub opt: OptLevel,
+    /// Route each kernel through the heterogeneous runtime for this
+    /// target (`--target`): adds an interpreter-verified run and
+    /// per-backend statistics to the JSON, and gates on verification.
+    pub target: Target,
 }
 
 impl Default for BenchConfig {
@@ -66,6 +71,7 @@ impl Default for BenchConfig {
             baseline: None,
             write_baseline: None,
             opt: OptLevel::None,
+            target: Target::Cpu,
         }
     }
 }
@@ -89,6 +95,8 @@ pub struct BenchResult {
     pub opt_warm_ms: Option<f64>,
     /// Transformations the pipeline fired for this kernel (`--opt` only).
     pub opt_passes: Option<usize>,
+    /// The interpreter-verified heterogeneous run (`--target` only).
+    pub target_run: Option<TargetRun>,
 }
 
 impl BenchResult {
@@ -128,6 +136,7 @@ pub fn bench_kernel(
     reps: usize,
     warmup: usize,
     opt: OptLevel,
+    target: Target,
 ) -> BenchResult {
     let kernel = polybench::all()
         .into_iter()
@@ -181,6 +190,14 @@ pub fn bench_kernel(
         (Some(best_ms(opt_warm)), Some(passes))
     };
 
+    // Targeted: one heterogeneous-runtime run, verified bit-for-bit
+    // against the interpreter, carrying per-backend statistics.
+    let target_run = if target == Target::Cpu {
+        None
+    } else {
+        Some(run_workload_targeted(&w, target).unwrap_or_else(|e| panic!("targeted run: {e}")))
+    };
+
     BenchResult {
         kernel: name.to_string(),
         cold_ms: best_ms(cold),
@@ -190,6 +207,7 @@ pub fn bench_kernel(
         pool_bytes_reused: pool.bytes_reused,
         opt_warm_ms,
         opt_passes,
+        target_run,
     }
 }
 
@@ -219,6 +237,9 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
             r.opt_speedup().unwrap_or(0.0),
             passes,
         ));
+    }
+    if let Some(run) = &r.target_run {
+        out.push_str(&format!(",\n  {}", target_json_fields(run)));
     }
     out.push_str("\n}\n");
     out
@@ -346,7 +367,7 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
         .kernels
         .iter()
         .map(|name| {
-            let r = bench_kernel(name, cfg.scale, cfg.reps, cfg.warmup, cfg.opt);
+            let r = bench_kernel(name, cfg.scale, cfg.reps, cfg.warmup, cfg.opt, cfg.target);
             let opt_cols = match (r.opt_warm_ms, r.opt_speedup()) {
                 (Some(o), Some(s)) => format!(" {o:>10.3} {s:>7.2}x"),
                 _ => String::new(),
@@ -370,6 +391,24 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
         .collect();
 
     let mut ok = true;
+    if cfg.target != Target::Cpu {
+        let bad: Vec<&BenchResult> = results
+            .iter()
+            .filter(|r| r.target_run.as_ref().is_some_and(|t| !t.verified()))
+            .collect();
+        if bad.is_empty() {
+            println!(
+                "\ntarget gate: PASS (all kernels match the interpreter on `{}`)",
+                cfg.target.as_str()
+            );
+        } else {
+            println!("\ntarget gate: FAIL");
+            for r in bad {
+                println!("  {}: outputs diverge from the interpreter", r.kernel);
+            }
+            ok = false;
+        }
+    }
     if cfg.opt != OptLevel::None {
         let failures = opt_gate(&results);
         if failures.is_empty() {
@@ -426,6 +465,7 @@ mod tests {
             pool_bytes_reused: 1024,
             opt_warm_ms: None,
             opt_passes: None,
+            target_run: None,
         }
     }
 

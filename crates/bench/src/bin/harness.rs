@@ -35,6 +35,18 @@
 //!                                    # warm gate (CI's `opt-smoke` job)
 //! ```
 //!
+//! With `--target cpu|gpu|fpga|hetero`, kernels run through the
+//! heterogeneous runtime instead: each state is dispatched to the
+//! backend its schedule selects (GPU roofline model, FPGA cycle model,
+//! CPU pool), outputs are verified bit-for-bit against the reference
+//! interpreter, and one `BENCH_<kernel>.json` with per-backend stats is
+//! written per kernel:
+//!
+//! ```text
+//! harness gemm --target gpu          # GPUTransform + GPU-sim dispatch
+//! harness --bench --target fpga      # warm/cold protocol + target gate
+//! ```
+//!
 //! Kernel names may be given positionally or via `--kernels a,b`.
 
 use sdfg_bench as x;
@@ -71,13 +83,14 @@ fn main() {
     });
     // Positional (non-flag, non-flag-value) args are kernel names in the
     // bench/opt modes and the experiment name otherwise.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--scale",
         "--reps",
         "--warmup",
         "--kernels",
         "--baseline",
         "--write-baseline",
+        "--target",
     ];
     let positionals: Vec<String> = args
         .iter()
@@ -90,6 +103,12 @@ fn main() {
         .collect();
     let scale = get("--scale", 0);
     let reps = get("--reps", 3);
+    let target: Option<x::Target> = get_str("--target").map(|t| {
+        x::Target::parse(&t).unwrap_or_else(|| {
+            eprintln!("unknown target `{t}` (cpu|gpu|fpga|hetero)");
+            std::process::exit(2);
+        })
+    });
     if args.iter().any(|a| a == "--bench") {
         let mut cfg = x::bench_json::BenchConfig::default();
         if let Some(list) = get_str("--kernels") {
@@ -108,9 +127,21 @@ fn main() {
         if let Some(level) = opt {
             cfg.opt = level;
         }
+        if let Some(t) = target {
+            cfg.target = t;
+        }
         if !x::bench_json::run_bench(&cfg) {
             std::process::exit(1);
         }
+        return;
+    }
+    if let Some(t) = target {
+        let kernels = if let Some(list) = get_str("--kernels") {
+            list.split(',').map(str::to_string).collect()
+        } else {
+            positionals.clone()
+        };
+        x::targeted(&kernels, if scale > 0 { scale } else { 24 }, t, true);
         return;
     }
     if let Some(level) = opt {

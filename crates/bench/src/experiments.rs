@@ -1,12 +1,58 @@
 //! The experiment implementations behind the `harness` binary.
 
-use sdfg_fpga_sim::{run_fpga, vcu1525, FpgaMode};
-use sdfg_gpu_sim::{p100, run_gpu, v100, DeviceProfile};
+use sdfg_core::desc::DataDesc;
+use sdfg_core::Sdfg;
+use sdfg_exec::{ExecError, Runtime};
+use sdfg_fpga_sim::{vcu1525, FpgaMode, FpgaReport, FpgaSimBackend};
+use sdfg_gpu_sim::{p100, v100, DeviceProfile, GpuReport, GpuSimBackend};
 use sdfg_transforms::{apply_first, FpgaTransform, GpuTransform, Params};
 use sdfg_workloads::workload::Workload;
 use sdfg_workloads::{bfs, graphs, kernels, mm_chain, polybench, sse, tuned};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Runs an already-lowered SDFG under the GPU model through the
+/// heterogeneous runtime, marshalling the workload's symbols and inputs.
+/// Returns the folded report and the arrays after the run.
+fn gpu_model(
+    w: &Workload,
+    sdfg: &Sdfg,
+    dev: &DeviceProfile,
+) -> Result<(GpuReport, HashMap<String, Vec<f64>>), ExecError> {
+    let mut rt = Runtime::new(sdfg).with_backend(Box::new(GpuSimBackend::new(dev.clone())));
+    for (s, v) in &w.symbols {
+        rt.executor().set_symbol(s, *v);
+    }
+    for (n, d) in &w.arrays {
+        rt.executor().set_array(n, d.clone());
+    }
+    let rep = rt.run()?;
+    let arrays = std::mem::take(&mut rt.executor().arrays);
+    Ok((GpuReport::from_runtime(&rep), arrays))
+}
+
+/// The FPGA-model counterpart of [`gpu_model`].
+fn fpga_model(
+    w: &Workload,
+    sdfg: &Sdfg,
+    mode: FpgaMode,
+) -> Result<(FpgaReport, HashMap<String, Vec<f64>>), ExecError> {
+    let mut rt = Runtime::new(sdfg).with_backend(Box::new(FpgaSimBackend::new(vcu1525(), mode)));
+    for (s, v) in &w.symbols {
+        rt.executor().set_symbol(s, *v);
+    }
+    for (n, d) in &w.arrays {
+        rt.executor().set_array(n, d.clone());
+    }
+    let rep = rt.run()?;
+    let arrays = std::mem::take(&mut rt.executor().arrays);
+    let fifos = sdfg
+        .data
+        .values()
+        .filter(|d| matches!(d, DataDesc::Stream(_)))
+        .count() as u64;
+    Ok((FpgaReport::from_runtime(&rep, fifos), arrays))
+}
 
 /// Times a closure (median of `reps` runs).
 pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -71,10 +117,8 @@ pub fn fig13b(scale: usize) {
             println!("{:<16} {:>12}", k.name, "(skip)");
             continue;
         }
-        let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
-        let mut arrays: HashMap<String, Vec<f64>> = w.arrays.clone();
-        match run_gpu(&sdfg, &p100(), &syms, &mut arrays) {
-            Ok(rep) => {
+        match gpu_model(&w, &sdfg, &p100()) {
+            Ok((rep, arrays)) => {
                 // Correctness against the reference.
                 let reference = (k.reference)(&w);
                 sdfg_workloads::workload::assert_allclose(&w.check, &arrays, &reference, 1e-6);
@@ -110,27 +154,11 @@ pub fn fig13c(scale: usize) {
             println!("{:<16} {:>12}", k.name, "(skip)");
             continue;
         }
-        let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
-        let pipelined = run_fpga(
-            &sdfg,
-            &vcu1525(),
-            FpgaMode::Pipelined,
-            &syms,
-            &mut w.arrays.clone(),
-        );
-        let naive = run_fpga(
-            &sdfg,
-            &vcu1525(),
-            FpgaMode::NaiveHls,
-            &syms,
-            &mut w.arrays.clone(),
-        );
+        let pipelined = fpga_model(&w, &sdfg, FpgaMode::Pipelined);
+        let naive = fpga_model(&w, &sdfg, FpgaMode::NaiveHls);
         match (pipelined, naive) {
-            (Ok(pr), Ok(nr)) => {
-                // Correctness (run once more, checking outputs).
-                let mut arrays = w.arrays.clone();
-                let _ =
-                    run_fpga(&sdfg, &vcu1525(), FpgaMode::Pipelined, &syms, &mut arrays).unwrap();
+            (Ok((pr, arrays)), Ok((nr, _))) => {
+                // Correctness against the reference.
                 let reference = (k.reference)(&w);
                 sdfg_workloads::workload::assert_allclose(&w.check, &arrays, &reference, 1e-6);
                 println!(
@@ -279,10 +307,8 @@ fn gpu_kernel_row(name: &str, w: &Workload, dev: &DeviceProfile) {
         println!("{name:<10} (skip)");
         return;
     }
-    let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
-    let mut arrays = w.arrays.clone();
-    match run_gpu(&sdfg, dev, &syms, &mut arrays) {
-        Ok(rep) => println!(
+    match gpu_model(w, &sdfg, dev) {
+        Ok((rep, _)) => println!(
             "{:<10} {:>12.3} {:>12.3} {:>10.1}%",
             name,
             rep.time_s * 1e3,
@@ -326,22 +352,9 @@ pub fn fig14c() {
             println!("{name:<10} (skip)");
             continue;
         }
-        let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
-        let p = run_fpga(
-            &sdfg,
-            &vcu1525(),
-            FpgaMode::Pipelined,
-            &syms,
-            &mut w.arrays.clone(),
-        );
-        let n = run_fpga(
-            &sdfg,
-            &vcu1525(),
-            FpgaMode::NaiveHls,
-            &syms,
-            &mut w.arrays.clone(),
-        );
-        if let (Ok(p), Ok(n)) = (p, n) {
+        let p = fpga_model(&w, &sdfg, FpgaMode::Pipelined);
+        let n = fpga_model(&w, &sdfg, FpgaMode::NaiveHls);
+        if let (Ok((p, _)), Ok((n, _))) = (p, n) {
             println!(
                 "{:<10} {:>14.3} {:>14.3} {:>9.1}x",
                 name,
@@ -535,13 +548,11 @@ pub fn tab3(batch: usize) {
     for dev in [p100(), v100()] {
         for (label, p) in [("padded (CUBLAS proxy)", pad), ("SBSMM (specialized)", n)] {
             let w = sse::build_batched_gemm(batch, n, p);
-            let syms: Vec<(&str, i64)> = w.symbols.iter().map(|(s, v)| (s.as_str(), *v)).collect();
             let mut sdfg = w.sdfg.clone();
             if !apply_first(&mut sdfg, &GpuTransform, &Params::new()).unwrap_or(false) {
                 continue;
             }
-            let mut arrays = w.arrays.clone();
-            let rep = run_gpu(&sdfg, &dev, &syms, &mut arrays).expect("gpu model");
+            let (rep, _) = gpu_model(&w, &sdfg, &dev).expect("gpu model");
             // Useful flops are always the n×n computation.
             let useful = 2.0 * (batch * n * n * n) as f64;
             let executed = 2.0 * (batch * p * p * p) as f64;

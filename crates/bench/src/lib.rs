@@ -27,5 +27,7 @@
 
 pub mod bench_json;
 pub mod experiments;
+pub mod targets;
 
 pub use experiments::*;
+pub use targets::{targeted, Target};

@@ -1,0 +1,290 @@
+//! The `--target` axis: routing kernels through the heterogeneous
+//! runtime.
+//!
+//! `harness <kernels...> --target gpu|fpga|hetero` lowers each kernel
+//! with the device transform the target implies, runs it through
+//! [`sdfg_exec::Runtime`] with the matching simulator backends
+//! registered, and writes one `BENCH_<kernel>.json` with per-backend
+//! statistics (state visits, modeled compute/copy time, host↔device
+//! transfer bytes).
+//!
+//! Verification is two-sided: the targeted run must match the plain CPU
+//! executor on the untransformed SDFG **bit-for-bit** (device dispatch,
+//! transforms, and transfer staging must not change a single ulp), and
+//! must match the reference interpreter within a `1e-9` relative
+//! tolerance (the two engines legitimately differ in float accumulation
+//! order on a few kernels, so bitwise equality across engines is not
+//! required).
+
+use sdfg_core::Sdfg;
+use sdfg_exec::{Runtime, RuntimeReport};
+use sdfg_fpga_sim::{vcu1525, FpgaMode, FpgaSimBackend};
+use sdfg_gpu_sim::{p100, GpuSimBackend};
+use sdfg_transforms::{apply_first, FpgaTransform, GpuTransform, Params};
+use sdfg_workloads::polybench;
+use sdfg_workloads::workload::Workload;
+
+/// Where `--target` sends a kernel's device-scheduled scopes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// CPU only — the plain executor path (no transform, no device
+    /// backends).
+    Cpu,
+    /// GPU model: `GpuTransform` + the roofline simulator backend.
+    Gpu,
+    /// FPGA model: `FpgaTransform` + the pipelined cycle-model backend.
+    Fpga,
+    /// All backends registered; no transform is applied, so each state
+    /// runs wherever its existing schedules point.
+    Hetero,
+}
+
+impl Target {
+    /// Parses a `--target` value.
+    pub fn parse(s: &str) -> Option<Target> {
+        match s {
+            "cpu" => Some(Target::Cpu),
+            "gpu" => Some(Target::Gpu),
+            "fpga" => Some(Target::Fpga),
+            "hetero" => Some(Target::Hetero),
+            _ => None,
+        }
+    }
+
+    /// The `--target` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Target::Cpu => "cpu",
+            Target::Gpu => "gpu",
+            Target::Fpga => "fpga",
+            Target::Hetero => "hetero",
+        }
+    }
+}
+
+/// Lowers `sdfg` for the target: applies the device transform the target
+/// implies. A kernel the transform does not match is returned unchanged
+/// and will run on the CPU fallback backend.
+pub fn lower_for(sdfg: &Sdfg, target: Target) -> Sdfg {
+    let mut s = sdfg.clone();
+    match target {
+        Target::Cpu | Target::Hetero => {}
+        Target::Gpu => {
+            let _ = apply_first(&mut s, &GpuTransform, &Params::new());
+        }
+        Target::Fpga => {
+            let _ = apply_first(&mut s, &FpgaTransform, &Params::new());
+        }
+    }
+    s
+}
+
+/// Builds a runtime over `sdfg` with the backends this target needs.
+/// The CPU backend is always registered (index 0) as the fallback for
+/// host-scheduled states.
+pub fn runtime_for(sdfg: &Sdfg, target: Target) -> Runtime<'_> {
+    let rt = Runtime::new(sdfg);
+    match target {
+        Target::Cpu => rt,
+        Target::Gpu => rt.with_backend(Box::new(GpuSimBackend::new(p100()))),
+        Target::Fpga => rt.with_backend(Box::new(FpgaSimBackend::new(
+            vcu1525(),
+            FpgaMode::Pipelined,
+        ))),
+        Target::Hetero => rt
+            .with_backend(Box::new(GpuSimBackend::new(p100())))
+            .with_backend(Box::new(FpgaSimBackend::new(
+                vcu1525(),
+                FpgaMode::Pipelined,
+            ))),
+    }
+}
+
+/// One targeted, verified run.
+pub struct TargetRun {
+    /// The target that was requested.
+    pub target: Target,
+    /// The runtime's per-backend report.
+    pub report: RuntimeReport,
+    /// `check` arrays whose bits differ from the plain CPU executor on
+    /// the untransformed SDFG (0 = pass).
+    pub bitwise_mismatches: usize,
+    /// `check` arrays outside the `1e-9` relative tolerance against the
+    /// reference interpreter (0 = pass).
+    pub interp_mismatches: usize,
+}
+
+impl TargetRun {
+    /// Bitwise-identical to the CPU executor and within tolerance of the
+    /// interpreter.
+    pub fn verified(&self) -> bool {
+        self.bitwise_mismatches == 0 && self.interp_mismatches == 0
+    }
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn allclose(a: &[f64], b: &[f64], rel: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= rel * (1.0 + y.abs()))
+}
+
+/// Runs one workload under `target` and verifies every `check` array
+/// bit-for-bit against the plain CPU executor on the untransformed SDFG
+/// and within `1e-9` relative tolerance against the interpreter.
+pub fn run_workload_targeted(w: &Workload, target: Target) -> Result<TargetRun, String> {
+    let interp = w.run_interp().map_err(|e| format!("interpreter: {e}"))?;
+    let (cpu, _, _) = w.run_exec().map_err(|e| format!("cpu executor: {e}"))?;
+    let lowered = lower_for(&w.sdfg, target);
+    let mut rt = runtime_for(&lowered, target);
+    for (s, v) in &w.symbols {
+        rt.executor().set_symbol(s, *v);
+    }
+    for (n, d) in &w.arrays {
+        rt.executor().set_array(n, d.clone());
+    }
+    let report = rt.run().map_err(|e| format!("runtime: {e}"))?;
+    let mut bitwise_mismatches = 0;
+    let mut interp_mismatches = 0;
+    for name in &w.check {
+        let got = rt
+            .executor()
+            .try_array(name)
+            .ok_or_else(|| format!("output `{name}` missing after run"))?;
+        let base = cpu
+            .get(name)
+            .ok_or_else(|| format!("cpu executor produced no `{name}`"))?;
+        let want = interp
+            .get(name)
+            .ok_or_else(|| format!("interpreter produced no `{name}`"))?;
+        if !bits_equal(got, base) {
+            bitwise_mismatches += 1;
+        }
+        if !allclose(got, want, 1e-9) {
+            interp_mismatches += 1;
+        }
+    }
+    Ok(TargetRun {
+        target,
+        report,
+        bitwise_mismatches,
+        interp_mismatches,
+    })
+}
+
+/// The JSON fragment (no surrounding braces) with the target fields of a
+/// `BENCH_<kernel>.json`: the target, the verification verdict, and one
+/// entry per backend that saw at least one state.
+pub fn target_json_fields(run: &TargetRun) -> String {
+    let mut out = format!(
+        "\"target\": \"{}\",\n  \"target_verified\": {},\n  \"wall_ms\": {:.6},\n  \
+         \"backends\": [",
+        run.target.as_str(),
+        run.verified(),
+        run.report.wall_s * 1e3,
+    );
+    let active: Vec<_> = run
+        .report
+        .backends
+        .iter()
+        .filter(|b| b.state_visits > 0)
+        .collect();
+    for (i, b) in active.iter().enumerate() {
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"state_visits\": {}, \"scopes\": {}, \
+             \"compute_ms\": {:.6}, \"copy_ms\": {:.6}, \"transfer_ms\": {:.6}, \
+             \"h2d_bytes\": {}, \"d2h_bytes\": {}, \"modeled_flops\": {:.1}, \
+             \"cycles\": {}, \"pes\": {}}}{}",
+            b.name,
+            b.state_visits,
+            b.scope.scopes,
+            b.scope.compute_s * 1e3,
+            b.scope.copy_s * 1e3,
+            b.transfer_s * 1e3,
+            b.xfer.h2d_bytes,
+            b.xfer.d2h_bytes,
+            b.scope.flops,
+            b.scope.cycles,
+            b.scope.pes,
+            if i + 1 < active.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+/// The `harness <kernels...> --target T` mode: run each kernel through
+/// the heterogeneous runtime, print a per-backend table, write one
+/// `BENCH_<kernel>.json` per kernel, and exit non-zero if any kernel's
+/// outputs diverge from the interpreter.
+pub fn targeted(only: &[String], scale: usize, target: Target, json: bool) {
+    println!("# Targeted run (scale {scale}, target {})", target.as_str());
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>12} {:<8} backends",
+        "kernel", "verified", "modeled[ms]", "h2d[B]", "d2h[B]", ""
+    );
+    let mut matched = false;
+    let mut failed = false;
+    for k in polybench::all() {
+        if !only.is_empty() && !only.iter().any(|n| n == k.name) {
+            continue;
+        }
+        matched = true;
+        let w = (k.build)(scale);
+        match run_workload_targeted(&w, target) {
+            Ok(run) => {
+                if !run.verified() {
+                    failed = true;
+                }
+                let (h2d, d2h): (u64, u64) =
+                    run.report.backends.iter().fold((0, 0), |(h, d), b| {
+                        (h + b.xfer.h2d_bytes, d + b.xfer.d2h_bytes)
+                    });
+                let names: Vec<String> = run
+                    .report
+                    .backends
+                    .iter()
+                    .filter(|b| b.state_visits > 0)
+                    .map(|b| format!("{}({})", b.name, b.state_visits))
+                    .collect();
+                println!(
+                    "{:<16} {:>9} {:>12.4} {:>12} {:>12} {:<8} {}",
+                    k.name,
+                    if run.verified() { "yes" } else { "NO" },
+                    run.report.modeled_time_s() * 1e3,
+                    h2d,
+                    d2h,
+                    "",
+                    names.join(" ")
+                );
+                if json {
+                    let path = format!("BENCH_{}.json", k.name);
+                    let body = format!(
+                        "{{\n  \"kernel\": \"{}\",\n  \"scale\": {},\n  {}\n}}\n",
+                        k.name,
+                        scale,
+                        target_json_fields(&run)
+                    );
+                    std::fs::write(&path, body).expect("write bench json");
+                    eprintln!("  wrote {path}");
+                }
+            }
+            Err(e) => {
+                failed = true;
+                println!("{:<16} error: {e}", k.name);
+            }
+        }
+    }
+    if !matched {
+        let names: Vec<&str> = polybench::all().iter().map(|k| k.name).collect();
+        eprintln!("no kernel matched; known kernels: {}", names.join(", "));
+        std::process::exit(2);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

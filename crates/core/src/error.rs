@@ -73,6 +73,11 @@ pub enum SdfgError {
         /// Rendered executor error.
         message: String,
     },
+    /// A data container name did not resolve at runtime (`SDFG-X002`).
+    UnknownData {
+        /// The requested container name.
+        name: String,
+    },
     /// The reference interpreter failed (`SDFG-I001`).
     Interp {
         /// Rendered interpreter error.
@@ -123,6 +128,7 @@ impl SdfgError {
             SdfgError::ParamParse { .. } => "SDFG-P002",
             SdfgError::Frontend { .. } => "SDFG-F001",
             SdfgError::Exec { .. } => "SDFG-X001",
+            SdfgError::UnknownData { .. } => "SDFG-X002",
             SdfgError::Interp { .. } => "SDFG-I001",
             SdfgError::Optimization { .. } => "SDFG-O001",
         }
@@ -157,6 +163,9 @@ impl fmt::Display for SdfgError {
             }
             SdfgError::Frontend { line, message } => write!(f, "line {line}: {message}"),
             SdfgError::Exec { message } => write!(f, "executor: {message}"),
+            SdfgError::UnknownData { name } => {
+                write!(f, "unknown data container `{name}`")
+            }
             SdfgError::Interp { message } => write!(f, "interpreter: {message}"),
             SdfgError::Optimization { pass, message } => {
                 write!(f, "optimization pass `{pass}`: {message}")
@@ -199,6 +208,9 @@ mod tests {
         };
         assert_eq!(p.code(), "SDFG-P001");
         assert!(p.to_string().contains("`width`"));
+        let u = SdfgError::UnknownData { name: "A".into() };
+        assert_eq!(u.code(), "SDFG-X002");
+        assert!(u.to_string().contains("unknown data container `A`"));
     }
 
     #[test]

@@ -86,6 +86,18 @@ pub enum ValidationError {
         /// The schedule of the surrounding scope.
         schedule: crate::Schedule,
     },
+    /// Scope schedules nest illegally (e.g. a GPU thread-block map with no
+    /// enclosing GPU kernel, or device kinds interleaved).
+    BadScheduleNesting {
+        /// The state containing the scope.
+        state: StateId,
+        /// The offending scope entry node.
+        node: NodeId,
+        /// The schedule of the offending scope.
+        schedule: crate::Schedule,
+        /// Explanation.
+        message: String,
+    },
     /// A nested SDFG connector does not name a container of the nested SDFG.
     BadNestedConnector {
         /// The state containing the node.
@@ -145,6 +157,15 @@ impl fmt::Display for ValidationError {
             } => write!(
                 f,
                 "container `{name}` ({storage}) not accessible from {schedule} scope in state {state:?}"
+            ),
+            ValidationError::BadScheduleNesting {
+                state,
+                node,
+                schedule,
+                message,
+            } => write!(
+                f,
+                "scope {node:?} ({schedule}) in state {state:?} nests illegally: {message}"
             ),
             ValidationError::BadNestedConnector {
                 state,
@@ -361,6 +382,56 @@ fn validate_state(sdfg: &Sdfg, sid: StateId, errors: &mut Vec<ValidationError>) 
         }
     }
 
+    // Schedule nesting: thread-block maps need a GPU kernel ancestor, and
+    // device schedules of different kinds must not interleave.
+    for nid in state.graph.node_ids() {
+        let sched = match state.graph.node(nid) {
+            Node::MapEntry(m) => m.schedule,
+            Node::ConsumeEntry(c) => c.schedule,
+            _ => continue,
+        };
+        let ancestor_scheds: Vec<crate::Schedule> = tree
+            .ancestors(nid)
+            .into_iter()
+            .filter_map(|a| match state.graph.node(a) {
+                Node::MapEntry(m) => Some(m.schedule),
+                Node::ConsumeEntry(c) => Some(c.schedule),
+                _ => None,
+            })
+            .collect();
+        let bad = match sched {
+            crate::Schedule::GpuThreadBlock
+                if !ancestor_scheds.contains(&crate::Schedule::GpuDevice) =>
+            {
+                Some("thread-block scope has no enclosing GPU device map")
+            }
+            crate::Schedule::FpgaDevice
+                if ancestor_scheds.iter().any(|&s| {
+                    matches!(
+                        s,
+                        crate::Schedule::GpuDevice | crate::Schedule::GpuThreadBlock
+                    )
+                }) =>
+            {
+                Some("FPGA scope nested inside a GPU kernel")
+            }
+            crate::Schedule::GpuDevice
+                if ancestor_scheds.contains(&crate::Schedule::FpgaDevice) =>
+            {
+                Some("GPU kernel nested inside an FPGA scope")
+            }
+            _ => None,
+        };
+        if let Some(message) = bad {
+            errors.push(ValidationError::BadScheduleNesting {
+                state: sid,
+                node: nid,
+                schedule: sched,
+                message: message.into(),
+            });
+        }
+    }
+
     // Nested SDFGs: connectors must name nested containers; validate
     // recursively.
     for nid in state.graph.node_ids() {
@@ -506,6 +577,102 @@ mod tests {
         assert!(errs.iter().any(
             |e| matches!(e, ValidationError::StorageScheduleMismatch { name, .. } if name == "tmp")
         ));
+    }
+
+    /// A two-level map nest `outer(i) { inner(j) { t } }` over A → B with
+    /// the given scope schedules.
+    fn nested_schedule_sdfg(outer: crate::Schedule, inner: crate::Schedule) -> Sdfg {
+        let mut s = Sdfg::new("nest");
+        s.add_symbol("N");
+        s.add_array("A", &["N"], DType::F64);
+        s.add_array("B", &["N"], DType::F64);
+        let sid = s.add_state("main");
+        let st = s.state_mut(sid);
+        let a = st.add_access("A");
+        let b = st.add_access("B");
+        let mut om = MapScope::new("outer", vec!["i".into()], vec![SymRange::new(0, "N")]);
+        om.schedule = outer;
+        let (ome, omx) = st.add_map(om);
+        let mut im = MapScope::new("inner", vec!["j".into()], vec![SymRange::new(0, "N")]);
+        im.schedule = inner;
+        let (ime, imx) = st.add_map(im);
+        let t = st.add_tasklet("t", &["x"], &["y"], "y = x * 2");
+        st.add_edge(a, None, ome, Some("IN_A"), Memlet::parse("A", "0:N"));
+        st.add_edge(
+            ome,
+            Some("OUT_A"),
+            ime,
+            Some("IN_A"),
+            Memlet::parse("A", "i"),
+        );
+        st.add_edge(ime, Some("OUT_A"), t, Some("x"), Memlet::parse("A", "i"));
+        st.add_edge(t, Some("y"), imx, Some("IN_B"), Memlet::parse("B", "i"));
+        st.add_edge(
+            imx,
+            Some("OUT_B"),
+            omx,
+            Some("IN_B"),
+            Memlet::parse("B", "i"),
+        );
+        st.add_edge(omx, Some("OUT_B"), b, None, Memlet::parse("B", "0:N"));
+        s
+    }
+
+    #[test]
+    fn thread_block_map_requires_gpu_device_ancestor() {
+        // A lone thread-block map has no kernel to live in.
+        let mut s = valid_sdfg();
+        let sid = s.start.unwrap();
+        let st = s.state_mut(sid);
+        let me = st
+            .graph
+            .node_ids()
+            .find(|&n| st.graph.node(n).is_scope_entry())
+            .unwrap();
+        if let Node::MapEntry(m) = st.graph.node_mut(me) {
+            m.schedule = crate::Schedule::GpuThreadBlock;
+        }
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::BadScheduleNesting {
+                schedule: crate::Schedule::GpuThreadBlock,
+                ..
+            }
+        )));
+
+        // Properly nested under a GPU kernel, the same map is legal.
+        let s = nested_schedule_sdfg(crate::Schedule::GpuDevice, crate::Schedule::GpuThreadBlock);
+        let errs = s.validate().err().unwrap_or_default();
+        assert!(!errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadScheduleNesting { .. })));
+    }
+
+    #[test]
+    fn fpga_scope_rejected_inside_gpu_kernel() {
+        let s = nested_schedule_sdfg(crate::Schedule::GpuDevice, crate::Schedule::FpgaDevice);
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::BadScheduleNesting {
+                schedule: crate::Schedule::FpgaDevice,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn gpu_kernel_rejected_inside_fpga_scope() {
+        let s = nested_schedule_sdfg(crate::Schedule::FpgaDevice, crate::Schedule::GpuDevice);
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::BadScheduleNesting {
+                schedule: crate::Schedule::GpuDevice,
+                ..
+            }
+        )));
     }
 
     #[test]

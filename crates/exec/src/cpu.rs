@@ -1,0 +1,926 @@
+//! The CPU backend: map/consume scope execution on the thread pool,
+//! reduce and nested-SDFG nodes.
+
+use crate::buffer::SharedBuffer;
+use crate::copy::{exec_access, gather_symbolic, scatter_symbolic, scope_owns_container, wcr_fn};
+use crate::engine::Executor;
+use crate::engine::{Ctx, ExecError, Worker};
+use crate::tasklet::{run_tasklet_point, try_native_loop, try_vm_loop, BodyTasklet, WindowPlan};
+use parking_lot::Mutex;
+use sdfg_core::desc::DataDesc;
+use sdfg_core::scope::ScopeTree;
+use sdfg_core::{Node, Schedule, StateId, Wcr};
+use sdfg_graph::{EdgeId, NodeId};
+use sdfg_profile::{Mode as ProfMode, Span, SpanKey, Tier};
+use std::sync::atomic::Ordering;
+
+// --- map execution ----------------------------------------------------------------
+
+/// Body of a compiled map: either a straight-line list of tasklets or a
+/// generic subgraph executed per point.
+pub(crate) enum MapBody {
+    Tasklets(Vec<(NodeId, std::sync::Arc<BodyTasklet>)>),
+    Generic {
+        children: Vec<NodeId>,
+        /// Transients local to this scope → zeroed per iteration, allocated
+        /// thread-locally.
+        local_transients: Vec<(String, usize)>,
+        /// Access→exit write-back edges processed at iteration end.
+        writebacks: Vec<EdgeId>,
+    },
+}
+
+/// Everything launch-invariant about one map scope, cached per worker and
+/// (context-verified) across runs in the shared execution plan.
+pub(crate) struct MapPlan {
+    pub(crate) params: Vec<String>,
+    pub(crate) ranges: Vec<sdfg_symbolic::SymRange>,
+    #[allow(dead_code)] // kept for diagnostics/debug printing
+    pub(crate) schedule: Schedule,
+    /// Dynamic-range connector edges (gathered per launch).
+    pub(crate) dyn_edges: Vec<EdgeId>,
+    /// Iteration counts for the race analysis.
+    pub(crate) pcounts: Vec<i64>,
+    pub(crate) body: MapBody,
+}
+
+pub(crate) fn build_map_plan(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    entry: NodeId,
+    worker: &mut Worker,
+) -> Result<std::sync::Arc<MapPlan>, ExecError> {
+    if let Some(p) = worker.map_cache.get(&(sid.0, entry.0)) {
+        return Ok(p.clone());
+    }
+    // Shared cache probe: a map plan bakes in environment-derived values
+    // (iteration counts, window offsets, local-transient sizes, atomic
+    // flags), so reuse is gated on an equal compile context.
+    let shared_key = (sid.0, entry.0);
+    let cctx = worker.compile_ctx();
+    if let Some(p) = ctx.plan.map(shared_key, &cctx) {
+        worker.map_cache.insert(shared_key, p.clone());
+        return Ok(p);
+    }
+    let state = ctx.sdfg.state(sid);
+    let Node::MapEntry(scope) = state.graph.node(entry) else {
+        unreachable!()
+    };
+    let params = scope.params.clone();
+    let ranges = scope.ranges.clone();
+    let schedule = scope.schedule;
+    // Iteration counts for the race analysis: dynamic (parameter-dependent
+    // or connector-fed) ranges are treated as unbounded.
+    let mut pcounts = Vec::with_capacity(ranges.len());
+    for r in &ranges {
+        let dynamic = {
+            let mut syms = std::collections::BTreeSet::new();
+            r.collect_symbols(&mut syms);
+            syms.iter()
+                .any(|s| worker.pstack.contains(s) || !worker.env.contains_key(s))
+        };
+        let count = if dynamic {
+            i64::MAX / 4
+        } else {
+            r.eval_len(&worker.env).unwrap_or(i64::MAX / 4)
+        };
+        pcounts.push(count);
+    }
+    let dyn_edges: Vec<EdgeId> = state
+        .graph
+        .in_edges(entry)
+        .filter(|&e| {
+            let df = state.graph.edge(e);
+            df.dst_conn
+                .as_deref()
+                .is_some_and(|c| !c.starts_with("IN_"))
+                && !df.memlet.is_empty()
+        })
+        .collect();
+    // Children.
+    let order = state.topological_order();
+    let children: Vec<NodeId> = order
+        .into_iter()
+        .filter(|&c| tree.scope_of(c) == Some(entry))
+        .collect();
+    let all_tasklets = children
+        .iter()
+        .all(|&c| matches!(state.graph.node(c), Node::Tasklet { .. }));
+    let body = if all_tasklets && !children.is_empty() {
+        let mut ts = Vec::new();
+        for &c in &children {
+            ts.push((c, worker.tasklet(sid, c)?));
+        }
+        MapBody::Tasklets(ts)
+    } else {
+        // Thread-local transients: transient containers whose lifetime is
+        // entirely inside this scope.
+        let mut local_transients = Vec::new();
+        let mut writebacks = Vec::new();
+        let members = sdfg_core::scope::scope_members(state, entry);
+        for &c in members.iter() {
+            if let Some(data) = state.graph.node(c).access_data() {
+                let desc = ctx
+                    .sdfg
+                    .desc(data)
+                    .ok_or_else(|| ExecError::MissingArray(data.to_string()))?;
+                if desc.transient()
+                    && !local_transients.iter().any(|(n, _)| n == data)
+                    && scope_owns_container(ctx.sdfg, sid, &members, data)
+                {
+                    let mut size = 1i64;
+                    for d in desc.shape() {
+                        size = size.saturating_mul(d.eval(&worker.env)?.max(0));
+                    }
+                    local_transients.push((data.to_string(), size as usize));
+                }
+                for e in state.graph.out_edges(c) {
+                    let dst = state.graph.edge_dst(e);
+                    if state.graph.node(dst).exit_entry() == Some(entry)
+                        && !state.graph.edge(e).memlet.is_empty()
+                        && state.graph.edge(e).memlet.data_name() != data
+                    {
+                        writebacks.push(e);
+                    }
+                }
+            }
+        }
+        MapBody::Generic {
+            children,
+            local_transients,
+            writebacks,
+        }
+    };
+    let plan = std::sync::Arc::new(MapPlan {
+        params,
+        ranges,
+        schedule,
+        dyn_edges,
+        pcounts,
+        body,
+    });
+    ctx.plan.insert_map(shared_key, cctx, plan.clone());
+    worker.map_cache.insert(shared_key, plan.clone());
+    Ok(plan)
+}
+
+pub(crate) fn exec_map(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    entry: NodeId,
+    worker: &mut Worker,
+) -> Result<(), ExecError> {
+    ctx.stats.map_launches.fetch_add(1, Ordering::Relaxed);
+    let pkey = (sid.0, entry.0);
+    let pmode = match &ctx.prof {
+        Some(p) => p.map_mode(pkey),
+        None => ProfMode::Off,
+    };
+    let pstart = match (pmode, &ctx.prof) {
+        (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
+        _ => None,
+    };
+    let saved_cur_map = worker.cur_map;
+    if pmode == ProfMode::Timer {
+        worker.cur_map = Some(pkey);
+    }
+    // Closes the map measurement on the success paths (the restore of
+    // `cur_map` itself lives in `pop`, which runs on every exit).
+    let prof_close = |w: &mut Worker| match pmode {
+        ProfMode::Off => {}
+        ProfMode::Counter => {
+            if let Some(wp) = w.prof.as_mut() {
+                wp.maps.entry(pkey).or_default().bump();
+            }
+        }
+        ProfMode::Timer => {
+            if let (Some(p), Some(s)) = (&ctx.prof, pstart) {
+                let dur = p.collector.now_ns().saturating_sub(s);
+                if let Some(wp) = w.prof.as_mut() {
+                    wp.maps.entry(pkey).or_default().record(dur);
+                    wp.timeline.push(Span {
+                        key: SpanKey::Map {
+                            state: pkey.0,
+                            node: pkey.1,
+                        },
+                        worker: wp.worker,
+                        start_ns: s,
+                        dur_ns: dur,
+                    });
+                }
+            }
+        }
+    };
+    let state = ctx.sdfg.state(sid);
+    // Parallelism decision (made before compiling bodies so the WCR race
+    // analysis knows the chunked parameter). NOTE: compile caching means
+    // the decision must be stable per (worker, map) — it is, since it
+    // depends only on schedule/nesting.
+    let schedule = match state.graph.node(entry) {
+        Node::MapEntry(m) => m.schedule,
+        _ => unreachable!(),
+    };
+    let nparams = match state.graph.node(entry) {
+        Node::MapEntry(m) => m.params.len(),
+        _ => unreachable!(),
+    };
+    let base = worker.pstack.len();
+    let parallel = matches!(
+        schedule,
+        Schedule::CpuMulticore | Schedule::GpuDevice | Schedule::Mpi
+    ) && ctx.nthreads > 1
+        && nparams > 0
+        && !worker.nested;
+    let saved_chunk = worker.chunk_param;
+    if parallel {
+        worker.chunk_param = Some(base);
+    }
+    // Parameters must be on the stack BEFORE compiling the body: tasklet
+    // windows are solved as affine functions of the full parameter stack.
+    {
+        let Node::MapEntry(m) = state.graph.node(entry) else {
+            unreachable!()
+        };
+        worker.pstack.extend(m.params.iter().cloned());
+        worker.point.resize(base + m.params.len(), 0);
+    }
+    let plan = build_map_plan(ctx, sid, tree, entry, worker)?;
+    let params = &plan.params;
+    let ranges = &plan.ranges;
+    let body = &plan.body;
+    worker.pcounts.extend(plan.pcounts.iter().copied());
+    // Dynamic-range connectors (per launch).
+    for &e in &plan.dyn_edges {
+        let df = state.graph.edge(e);
+        let conn = df.dst_conn.clone().unwrap();
+        let m = df.memlet.clone();
+        let w = gather_symbolic(worker, m.data_name(), &m.subset)?;
+        worker.env.insert(conn, w[0].round() as i64);
+    }
+    // Outermost bound decides parallelism.
+    let parallel = matches!(
+        schedule,
+        Schedule::CpuMulticore | Schedule::GpuDevice | Schedule::Mpi
+    ) && ctx.nthreads > 1
+        && !params.is_empty()
+        && !worker.nested;
+    let pop = |w: &mut Worker| {
+        w.pstack.truncate(base);
+        w.point.truncate(base);
+        w.pcounts.truncate(base);
+        w.chunk_param = saved_chunk;
+        w.cur_map = saved_cur_map;
+    };
+    let (d0s, d0e, d0st, _) = ranges[0].eval(&worker.env)?;
+    if d0st <= 0 {
+        pop(worker);
+        return Err(ExecError::BadGraph("map step must be positive".into()));
+    }
+    let n0 = ((d0e - d0s) + d0st - 1).div_euclid(d0st).max(0) as usize;
+    if n0 == 0 {
+        pop(worker);
+        prof_close(worker);
+        return Ok(());
+    }
+    if !parallel || n0 == 1 {
+        let was_nested = worker.nested;
+        worker.nested = true;
+        // Env-free fast nest: constant bounds + fully-affine tasklet body
+        // lets the whole iteration space run on integer loops without
+        // symbolic evaluation or environment updates per point.
+        let r = if let Some(bounds) = env_free_bounds(&plan, worker) {
+            run_map_fast(ctx, sid, &plan, worker, base, &bounds)
+        } else {
+            run_map_serial(
+                ctx, sid, tree, params, ranges, body, worker, base, d0s, d0e, d0st,
+            )
+        };
+        worker.nested = was_nested;
+        pop(worker);
+        if r.is_ok() {
+            prof_close(worker);
+        }
+        return r;
+    }
+    ctx.stats.parallel_regions.fetch_add(1, Ordering::Relaxed);
+    // Chunk dim 0 across threads.
+    let nthreads = ctx.nthreads.min(n0);
+    let chunk = n0.div_ceil(nthreads);
+    let base_env = worker.env.clone();
+    let mut first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let lo = d0s + (t * chunk) as i64 * d0st;
+            let hi = (d0s + ((t + 1) * chunk) as i64 * d0st).min(d0e);
+            if lo >= d0e {
+                break;
+            }
+            let env = base_env.clone();
+            let body = &plan.body;
+            let params = &plan.params;
+            let ranges = &plan.ranges;
+            let first_err = &first_err;
+            let pstack = worker.pstack.clone();
+            let pcounts = worker.pcounts.clone();
+            scope.spawn(move || {
+                let mut w = Worker::new(ctx, env);
+                w.nested = true;
+                w.pstack = pstack;
+                w.pcounts = pcounts;
+                w.chunk_param = Some(base);
+                w.point = vec![0; w.pstack.len()];
+                // Timeline span per worker chunk (the parent records the
+                // aggregate launch; tiers attribute to this map here too).
+                let cstart = match (pmode, &ctx.prof) {
+                    (ProfMode::Timer, Some(p)) => {
+                        w.cur_map = Some(pkey);
+                        Some(p.collector.now_ns())
+                    }
+                    _ => None,
+                };
+                if let Err(e) = run_map_serial(
+                    ctx, sid, tree, params, ranges, body, &mut w, base, lo, hi, d0st,
+                ) {
+                    let mut slot = first_err.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+                if let (Some(s), Some(p)) = (cstart, &ctx.prof) {
+                    let dur = p.collector.now_ns().saturating_sub(s);
+                    if let Some(wp) = w.prof.as_mut() {
+                        wp.timeline.push(Span {
+                            key: SpanKey::Map {
+                                state: pkey.0,
+                                node: pkey.1,
+                            },
+                            worker: wp.worker,
+                            start_ns: s,
+                            dur_ns: dur,
+                        });
+                    }
+                }
+                w.flush_stats();
+            });
+        }
+    });
+    pop(worker);
+    match first_err.get_mut().take() {
+        Some(e) => Err(e),
+        None => {
+            prof_close(worker);
+            Ok(())
+        }
+    }
+}
+
+/// Checks whether a map can run entirely without per-iteration symbolic
+/// evaluation: every range bound evaluates now (no dependence on this
+/// map's own parameters) and every tasklet port/body is parameter-affine.
+pub(crate) fn env_free_bounds(plan: &MapPlan, worker: &Worker) -> Option<Vec<(i64, i64, i64)>> {
+    let MapBody::Tasklets(ts) = &plan.body else {
+        return None;
+    };
+    for (_, bt) in ts {
+        if !bt.prog.symbols.is_empty() {
+            return None;
+        }
+        let fast = |w: &WindowPlan| {
+            matches!(w, WindowPlan::Scalar(sv) if sv.is_fast()) || matches!(w, WindowPlan::Full)
+        };
+        if !bt.ins.iter().all(|p| !p.stream && fast(&p.window)) {
+            return None;
+        }
+        if !bt
+            .outs
+            .iter()
+            .all(|o| (fast(&o.window) || o.stream) && !matches!(o.wcr, Some(Wcr::Custom(_))))
+        {
+            return None;
+        }
+        // Full-window log outputs are fine; scalar ones handled above.
+        for o in &bt.outs {
+            if o.log && !matches!(o.window, WindowPlan::Full) {
+                return None;
+            }
+        }
+    }
+    // Range bounds must not reference this map's own parameters.
+    let own: std::collections::BTreeSet<&String> = plan.params.iter().collect();
+    let mut bounds = Vec::with_capacity(plan.ranges.len());
+    for r in &plan.ranges {
+        let mut syms = std::collections::BTreeSet::new();
+        r.collect_symbols(&mut syms);
+        if syms.iter().any(|s| own.contains(s)) {
+            return None;
+        }
+        let (s, e, st, _) = r.eval(&worker.env).ok()?;
+        if st <= 0 {
+            return None;
+        }
+        bounds.push((s, e, st));
+    }
+    Some(bounds)
+}
+
+/// Integer loop nest over constant bounds: the innermost dimension runs
+/// through the native/VM loops; middle dimensions update only the point
+/// vector.
+pub(crate) fn run_map_fast(
+    ctx: &Ctx,
+    sid: StateId,
+    plan: &MapPlan,
+    worker: &mut Worker,
+    base: usize,
+    bounds: &[(i64, i64, i64)],
+) -> Result<(), ExecError> {
+    let MapBody::Tasklets(ts) = &plan.body else {
+        unreachable!()
+    };
+    let nd = bounds.len();
+    if bounds.iter().any(|&(s, e, _)| s >= e) {
+        return Ok(());
+    }
+    // Initialize the point.
+    for (d, &(s, _, _)) in bounds.iter().enumerate() {
+        worker.point[base + d] = s;
+    }
+    let (is_, ie_, ist) = bounds[nd - 1];
+    let single = if ts.len() == 1 {
+        Some(ts[0].1.clone())
+    } else {
+        None
+    };
+    loop {
+        // Innermost dimension through the fast loops; fall back to
+        // per-point execution (still env-light: env only consulted by
+        // Symbolic plans, which env_free_bounds excluded).
+        let mut handled = false;
+        if let Some(t) = &single {
+            let t0 = worker.tier_clock();
+            if try_native_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
+                worker.tier_record(t0, Tier::NativeKernel);
+                handled = true;
+            } else if try_vm_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
+                worker.tier_record(t0, Tier::AffineVm);
+                handled = true;
+            }
+        }
+        if !handled {
+            let t0 = worker.tier_clock();
+            let mut v = is_;
+            while v < ie_ {
+                worker.point[base + nd - 1] = v;
+                for (_, bt) in ts {
+                    run_tasklet_point(ctx, sid, bt, worker, None)?;
+                }
+                v += ist;
+            }
+            worker.tier_record(t0, Tier::Symbolic);
+        }
+        // Odometer over the outer dims.
+        if nd == 1 {
+            return Ok(());
+        }
+        let mut d = nd - 1;
+        loop {
+            if d == 0 {
+                return Ok(());
+            }
+            d -= 1;
+            let (s, e, st) = bounds[d];
+            worker.point[base + d] += st;
+            if worker.point[base + d] < e {
+                break;
+            }
+            worker.point[base + d] = s;
+        }
+    }
+}
+
+/// Serial execution of dim 0 over `[lo, hi)`; inner dims recurse lazily.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_map_serial(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    params: &[String],
+    ranges: &[sdfg_symbolic::SymRange],
+    body: &MapBody,
+    worker: &mut Worker,
+    base: usize,
+    lo: i64,
+    hi: i64,
+    step: i64,
+) -> Result<(), ExecError> {
+    // Allocate thread-local transients.
+    if let MapBody::Generic {
+        local_transients, ..
+    } = body
+    {
+        for (name, size) in local_transients {
+            if !worker.locals.contains_key(name) {
+                let buf = SharedBuffer::new(worker.ctx.pool.acquire(*size));
+                worker.locals.insert(name.clone(), buf);
+            }
+        }
+    }
+    // Single-dimension tasklet body: attempt the native loop over the whole
+    // chunk, then the allocation-free VM loop.
+    if params.len() == 1 {
+        if let MapBody::Tasklets(ts) = body {
+            if ts.len() == 1 {
+                let t = ts[0].1.clone();
+                let t0 = worker.tier_clock();
+                if try_native_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
+                    worker.tier_record(t0, Tier::NativeKernel);
+                    return Ok(());
+                }
+                if try_vm_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
+                    worker.tier_record(t0, Tier::AffineVm);
+                    return Ok(());
+                }
+            }
+        }
+    }
+    // Single-dimension tasklet bodies falling through run per point on
+    // the symbolic path; multi-dimension nests attribute tiers at the
+    // innermost level (`map_inner_dims`).
+    let t0 = if params.len() == 1 && matches!(body, MapBody::Tasklets(_)) {
+        worker.tier_clock()
+    } else {
+        None
+    };
+    let mut v = lo;
+    while v < hi {
+        worker.point[base] = v;
+        worker.env.insert(params[0].clone(), v);
+        map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, 1)?;
+        v += step;
+    }
+    worker.tier_record(t0, Tier::Symbolic);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn map_inner_dims(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    params: &[String],
+    ranges: &[sdfg_symbolic::SymRange],
+    body: &MapBody,
+    worker: &mut Worker,
+    base: usize,
+    dim: usize,
+) -> Result<(), ExecError> {
+    if dim == params.len() {
+        return run_map_body(ctx, sid, tree, body, worker);
+    }
+    let (s, e, st, _) = ranges[dim].eval(&worker.env)?;
+    if st <= 0 {
+        return Err(ExecError::BadGraph("map step must be positive".into()));
+    }
+    // Innermost dimension with a tasklet-only body: attempt the native
+    // loop, then the allocation-free VM loop.
+    if dim == params.len() - 1 {
+        if let MapBody::Tasklets(ts) = body {
+            if ts.len() == 1 {
+                let t = ts[0].1.clone();
+                let t0 = worker.tier_clock();
+                if try_native_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
+                    worker.tier_record(t0, Tier::NativeKernel);
+                    return Ok(());
+                }
+                if try_vm_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
+                    worker.tier_record(t0, Tier::AffineVm);
+                    return Ok(());
+                }
+            }
+        }
+    }
+    // Innermost rows that fall through run on the per-point symbolic
+    // path; outer dimensions recurse without attributing time.
+    let t0 = if dim == params.len() - 1 && matches!(body, MapBody::Tasklets(_)) {
+        worker.tier_clock()
+    } else {
+        None
+    };
+    let mut v = s;
+    while v < e {
+        worker.point[base + dim] = v;
+        worker.env.insert(params[dim].clone(), v);
+        map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, dim + 1)?;
+        v += st;
+    }
+    worker.tier_record(t0, Tier::Symbolic);
+    Ok(())
+}
+
+pub(crate) fn run_map_body(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    body: &MapBody,
+    worker: &mut Worker,
+) -> Result<(), ExecError> {
+    match body {
+        MapBody::Tasklets(ts) => {
+            for (_, bt) in ts {
+                run_tasklet_point(ctx, sid, bt, worker, None)?;
+            }
+            Ok(())
+        }
+        MapBody::Generic {
+            children,
+            local_transients,
+            writebacks,
+        } => {
+            // Fresh scope-local transients per iteration.
+            for (name, _) in local_transients {
+                if let Some(b) = worker.locals.get(name) {
+                    unsafe {
+                        b.as_mut_slice().fill(0.0);
+                    }
+                }
+            }
+            for &c in children {
+                exec_scope_child(ctx, sid, tree, c, worker)?;
+            }
+            // Write-backs: local → global along access→exit edges.
+            for &e in writebacks {
+                let state = ctx.sdfg.state(sid);
+                let src = state.graph.edge_src(e);
+                let local_name = state.graph.node(src).access_data().unwrap().to_string();
+                let m = state.graph.edge(e).memlet.clone();
+                let global = m.data_name().to_string();
+                let local_is_stream =
+                    matches!(ctx.sdfg.desc(&local_name), Some(DataDesc::Stream(_)));
+                if local_is_stream {
+                    // Bulk flush into the global stream.
+                    let drained: Vec<f64> = {
+                        let mut q = ctx
+                            .streams
+                            .get(&local_name)
+                            .ok_or_else(|| ExecError::MissingArray(local_name.clone()))?
+                            .lock();
+                        q.drain(..).collect()
+                    };
+                    if !drained.is_empty() {
+                        ctx.streams
+                            .get(&global)
+                            .ok_or_else(|| ExecError::MissingArray(global.clone()))?
+                            .lock()
+                            .extend(drained);
+                    }
+                    continue;
+                }
+                let window = match &m.other_subset {
+                    Some(os) => gather_symbolic(worker, &local_name, os)?,
+                    None => worker.buf(&local_name)?.as_slice().to_vec(),
+                };
+                ctx.stats
+                    .elements_copied
+                    .fetch_add(window.len() as u64, Ordering::Relaxed);
+                if let Some(wp) = worker.prof.as_mut() {
+                    wp.bytes_moved += window.len() as u64 * std::mem::size_of::<f64>() as u64;
+                }
+                scatter_symbolic(worker, &global, &m.subset, &window, m.wcr.as_ref())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Executes a child node inside a generic map body.
+pub(crate) fn exec_scope_child(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    c: NodeId,
+    worker: &mut Worker,
+) -> Result<(), ExecError> {
+    let state = ctx.sdfg.state(sid);
+    match state.graph.node(c) {
+        Node::Tasklet { .. } => {
+            let bt = worker.tasklet(sid, c)?;
+            run_tasklet_point(ctx, sid, &bt, worker, None)
+        }
+        Node::Access { .. } => exec_access(ctx, sid, c, worker),
+        Node::MapEntry(_) => exec_map(ctx, sid, tree, c, worker),
+        Node::ConsumeEntry(_) => exec_consume(ctx, sid, tree, c, worker),
+        Node::MapExit { .. } | Node::ConsumeExit { .. } => Ok(()),
+        Node::Reduce { .. } => exec_reduce(ctx, sid, c, worker),
+        Node::NestedSdfg { .. } => exec_nested(ctx, sid, c, worker),
+    }
+}
+
+// --- other nodes --------------------------------------------------------------------
+
+pub(crate) fn exec_consume(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    entry: NodeId,
+    worker: &mut Worker,
+) -> Result<(), ExecError> {
+    let state = ctx.sdfg.state(sid);
+    let Node::ConsumeEntry(scope) = state.graph.node(entry) else {
+        unreachable!()
+    };
+    let pe_param = scope.pe_param.clone();
+    let stream_name = state
+        .graph
+        .in_edges(entry)
+        .filter_map(|e| state.graph.edge(e).memlet.data.clone())
+        .find(|d| matches!(ctx.sdfg.desc(d), Some(DataDesc::Stream(_))))
+        .ok_or_else(|| ExecError::BadGraph("consume scope without input stream".into()))?;
+    let order = state.topological_order();
+    let children: Vec<NodeId> = order
+        .into_iter()
+        .filter(|&c| tree.scope_of(c) == Some(entry))
+        .collect();
+    let mut iter = 0i64;
+    loop {
+        let v = {
+            let mut q = ctx
+                .streams
+                .get(&stream_name)
+                .ok_or_else(|| ExecError::MissingArray(stream_name.clone()))?
+                .lock();
+            q.pop_front()
+        };
+        let Some(v) = v else { break };
+        worker.env.insert(pe_param.clone(), iter);
+        iter += 1;
+        for &c in &children {
+            match ctx.sdfg.state(sid).graph.node(c) {
+                Node::Tasklet { .. } => {
+                    let bt = worker.tasklet(sid, c)?;
+                    run_tasklet_point(ctx, sid, &bt, worker, Some((&stream_name, v)))?;
+                }
+                _ => exec_scope_child(ctx, sid, tree, c, worker)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn exec_reduce(
+    ctx: &Ctx,
+    sid: StateId,
+    n: NodeId,
+    worker: &mut Worker,
+) -> Result<(), ExecError> {
+    let state = ctx.sdfg.state(sid);
+    let Node::Reduce {
+        wcr,
+        axes,
+        identity,
+    } = state.graph.node(n)
+    else {
+        unreachable!()
+    };
+    let f = wcr_fn(wcr)?;
+    let in_edge = state
+        .graph
+        .in_edges(n)
+        .next()
+        .ok_or_else(|| ExecError::BadGraph("reduce without input".into()))?;
+    let out_edge = state
+        .graph
+        .out_edges(n)
+        .next()
+        .ok_or_else(|| ExecError::BadGraph("reduce without output".into()))?;
+    let in_m = state.graph.edge(in_edge).memlet.clone();
+    let out_m = state.graph.edge(out_edge).memlet.clone();
+    let window = gather_symbolic(worker, in_m.data_name(), &in_m.subset)?;
+    let dims = in_m.subset.eval(&worker.env)?;
+    let sizes: Vec<usize> = dims
+        .iter()
+        .map(|&(s, e, st, _)| (((e - s) + st - 1) / st).max(0) as usize)
+        .collect();
+    let rank = sizes.len();
+    let reduce_axes: Vec<usize> = match axes {
+        Some(a) => a.clone(),
+        None => (0..rank).collect(),
+    };
+    let keep: Vec<usize> = (0..rank).filter(|d| !reduce_axes.contains(d)).collect();
+    let out_sizes: Vec<usize> = keep.iter().map(|&d| sizes[d]).collect();
+    let out_len = out_sizes.iter().product::<usize>().max(1);
+    let dtype = ctx
+        .sdfg
+        .desc(out_m.data_name())
+        .map(|d| d.dtype())
+        .unwrap_or(sdfg_core::DType::F64);
+    let init = identity.or_else(|| wcr.identity(dtype)).unwrap_or(0.0);
+    let mut acc = vec![init; out_len];
+    let mut out_strides = vec![1usize; out_sizes.len()];
+    for d in (0..out_sizes.len().saturating_sub(1)).rev() {
+        out_strides[d] = out_strides[d + 1] * out_sizes[d + 1];
+    }
+    let mut in_strides = vec![1usize; rank];
+    for d in (0..rank.saturating_sub(1)).rev() {
+        in_strides[d] = in_strides[d + 1] * sizes[d + 1];
+    }
+    for (flat, &v) in window.iter().enumerate() {
+        let mut pos = 0usize;
+        for (k, &d) in keep.iter().enumerate() {
+            pos += ((flat / in_strides[d]) % sizes[d]) * out_strides[k];
+        }
+        acc[pos] = f(acc[pos], v);
+    }
+    scatter_symbolic(
+        worker,
+        out_m.data_name(),
+        &out_m.subset,
+        &acc,
+        out_m.wcr.as_ref(),
+    )
+}
+
+pub(crate) fn exec_nested(
+    ctx: &Ctx,
+    sid: StateId,
+    n: NodeId,
+    worker: &mut Worker,
+) -> Result<(), ExecError> {
+    let state = ctx.sdfg.state(sid);
+    let Node::NestedSdfg {
+        sdfg: nested,
+        symbol_mapping,
+        inputs,
+        outputs,
+    } = state.graph.node(n)
+    else {
+        unreachable!()
+    };
+    let mut sub = Executor::new(nested);
+    sub.nthreads = 1; // nested parallelism is sequentialized
+                      // Inherit the caller's plan cache and buffer pool so repeated outer
+                      // runs also amortize the nested SDFG's lowering and allocations.
+    sub.plan_cache = ctx.plan_cache.clone();
+    sub.pool = ctx.pool.clone();
+    for (sym, expr) in symbol_mapping {
+        let v = expr.eval(&worker.env)?;
+        sub.symbols.insert(sym.clone(), v);
+    }
+    for e in state.graph.in_edges(n) {
+        let df = state.graph.edge(e);
+        let Some(conn) = &df.dst_conn else { continue };
+        if !inputs.contains(conn) {
+            continue;
+        }
+        let w = gather_symbolic(worker, df.memlet.data_name(), &df.memlet.subset)?;
+        sub.arrays.insert(conn.clone(), w);
+    }
+    sub.run()?;
+    for e in state.graph.out_edges(n) {
+        let df = state.graph.edge(e);
+        let Some(conn) = &df.src_conn else { continue };
+        if !outputs.contains(conn) {
+            continue;
+        }
+        let w = sub
+            .arrays
+            .get(conn)
+            .cloned()
+            .ok_or_else(|| ExecError::MissingArray(conn.clone()))?;
+        scatter_symbolic(worker, df.memlet.data_name(), &df.memlet.subset, &w, None)?;
+    }
+    Ok(())
+}
+
+/// The host backend: the crossbeam-style thread-pool executor this crate
+/// has always had, now behind the [`Backend`](crate::dispatch::Backend)
+/// trait. `run_scope` executes
+/// the state for real on worker threads (plan cache and buffer pool
+/// included) and reports measured wall time instead of a model.
+pub struct CpuBackend;
+
+impl crate::dispatch::Backend for CpuBackend {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn supports(&self, schedule: Schedule) -> bool {
+        matches!(schedule, Schedule::Sequential | Schedule::CpuMulticore)
+    }
+
+    fn run_scope(
+        &self,
+        rcx: &crate::dispatch::RunCtx<'_, '_>,
+        sid: StateId,
+    ) -> Result<crate::dispatch::ScopeStats, ExecError> {
+        let before = rcx.ctx.stats.map_launches.load(Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        rcx.run_functional(sid)?;
+        Ok(crate::dispatch::ScopeStats {
+            scopes: rcx.ctx.stats.map_launches.load(Ordering::Relaxed) - before,
+            compute_s: t0.elapsed().as_secs_f64(),
+            ..crate::dispatch::ScopeStats::default()
+        })
+    }
+}

@@ -1,26 +1,27 @@
 //! The execution engine: state machine driver, map compilation, parallel
 //! loop nests, native kernels.
 
-use crate::affine::{solve, Solved};
 use crate::buffer::SharedBuffer;
-use crate::plan::{CompileCtx, ExecutionPlan, PlanCache, PlanKey, StatePlan};
+use crate::cpu::MapPlan;
+use crate::dispatch::exec_state;
+use crate::plan::{CompileCtx, ExecutionPlan, PlanCache, PlanKey};
 use crate::pool::BufferPool;
+use crate::stats::{AtomicStats, Stats};
+use crate::tasklet::{compile_body_tasklet, BodyTasklet, OutPortPlan, WindowPlan};
 use parking_lot::Mutex;
 use sdfg_core::desc::DataDesc;
-use sdfg_core::scope::ScopeTree;
-use sdfg_core::{Instrument, Node, Schedule, Sdfg, StateId, Subset, Wcr};
-use sdfg_graph::{EdgeId, NodeId};
-use sdfg_lang::recognize::{apply_binop_kind, Operand, Pattern};
-use sdfg_lang::{LangError, OutPort, RuntimeError, TaskletProgram, TaskletVm};
+use sdfg_core::{Instrument, Node, Sdfg, StateId};
+use sdfg_graph::NodeId;
+use sdfg_lang::{LangError, RuntimeError, TaskletVm};
 use sdfg_profile::{
-    InstrumentationReport, Mode as ProfMode, ProfileCollector, Profiling, Span, SpanKey, Tier,
+    InstrumentationReport, Mode as ProfMode, ProfileCollector, Profiling, SpanKey, Tier,
     WorkerProfile,
 };
 use sdfg_symbolic::{Env, EvalError};
 use sdfg_transforms::{optimize_with_env, OptLevel, OptimizationReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 /// Executor failure.
@@ -78,8 +79,11 @@ impl std::error::Error for ExecError {}
 
 impl From<ExecError> for sdfg_core::SdfgError {
     fn from(e: ExecError) -> Self {
-        sdfg_core::SdfgError::Exec {
-            message: e.to_string(),
+        match e {
+            ExecError::MissingArray(name) => sdfg_core::SdfgError::UnknownData { name },
+            other => sdfg_core::SdfgError::Exec {
+                message: other.to_string(),
+            },
         }
     }
 }
@@ -97,60 +101,6 @@ impl From<LangError> for ExecError {
 impl From<RuntimeError> for ExecError {
     fn from(e: RuntimeError) -> Self {
         ExecError::Runtime(e)
-    }
-}
-
-/// Execution statistics (also feeds the accelerator simulators' models).
-#[derive(Clone, Debug, Default)]
-pub struct Stats {
-    /// Tasklet executions (map points × tasklets).
-    pub tasklet_points: u64,
-    /// Points executed through native kernels instead of the VM.
-    pub native_points: u64,
-    /// Elements moved by explicit copies (access-to-access, scope copies).
-    pub elements_copied: u64,
-    /// Map scope launches.
-    pub map_launches: u64,
-    /// Parallel regions entered (multicore-scheduled top-level maps).
-    pub parallel_regions: u64,
-    /// State executions.
-    pub states_executed: u64,
-    /// Per-state visit counts (state slot index → executions), for the
-    /// accelerator time models.
-    pub state_visits: Vec<(u32, u64)>,
-}
-
-#[derive(Default)]
-struct AtomicStats {
-    tasklet_points: AtomicU64,
-    native_points: AtomicU64,
-    elements_copied: AtomicU64,
-    map_launches: AtomicU64,
-    parallel_regions: AtomicU64,
-    states_executed: AtomicU64,
-    state_visits: Mutex<HashMap<u32, u64>>,
-}
-
-impl AtomicStats {
-    fn snapshot(&self) -> Stats {
-        Stats {
-            tasklet_points: self.tasklet_points.load(Ordering::Relaxed),
-            native_points: self.native_points.load(Ordering::Relaxed),
-            elements_copied: self.elements_copied.load(Ordering::Relaxed),
-            map_launches: self.map_launches.load(Ordering::Relaxed),
-            parallel_regions: self.parallel_regions.load(Ordering::Relaxed),
-            states_executed: self.states_executed.load(Ordering::Relaxed),
-            state_visits: {
-                let mut v: Vec<(u32, u64)> = self
-                    .state_visits
-                    .lock()
-                    .iter()
-                    .map(|(&k, &n)| (k, n))
-                    .collect();
-                v.sort_unstable();
-                v
-            },
-        }
     }
 }
 
@@ -175,10 +125,10 @@ pub struct Executor<'s> {
     pub last_report: Option<InstrumentationReport>,
     /// Cross-run plan cache (private per executor by default; shareable
     /// via [`Executor::with_plan_cache`]).
-    plan_cache: std::sync::Arc<PlanCache>,
+    pub(crate) plan_cache: std::sync::Arc<PlanCache>,
     /// Transient/scratch buffer pool (shareable via
     /// [`Executor::with_buffer_pool`]).
-    pool: std::sync::Arc<BufferPool>,
+    pub(crate) pool: std::sync::Arc<BufferPool>,
     /// Memoized content hash of the *active* graph — sound to compute once
     /// because the caller's SDFG sits behind an immutable borrow for the
     /// executor's whole lifetime, and the optimized copy is rebuilt (and
@@ -201,16 +151,16 @@ pub struct Executor<'s> {
 /// Pre-resolved profiling plan: per-scope modes are looked up once per
 /// state execution / map launch, never per point. `None` in `Ctx::prof`
 /// is the zero-overhead path.
-struct Prof {
-    collector: ProfileCollector,
-    state_modes: HashMap<u32, ProfMode>,
-    map_modes: HashMap<(u32, u32), ProfMode>,
-    next_worker: AtomicU32,
+pub(crate) struct Prof {
+    pub(crate) collector: ProfileCollector,
+    pub(crate) state_modes: HashMap<u32, ProfMode>,
+    pub(crate) map_modes: HashMap<(u32, u32), ProfMode>,
+    pub(crate) next_worker: AtomicU32,
 }
 
 impl Prof {
     /// Resolves SDFG annotations against the engine switch.
-    fn build(sdfg: &Sdfg, profiling: Profiling) -> Option<Prof> {
+    pub(crate) fn build(sdfg: &Sdfg, profiling: Profiling) -> Option<Prof> {
         if profiling == Profiling::Off {
             return None;
         }
@@ -257,40 +207,40 @@ impl Prof {
     }
 
     #[inline]
-    fn state_mode(&self, sid: u32) -> ProfMode {
+    pub(crate) fn state_mode(&self, sid: u32) -> ProfMode {
         self.state_modes.get(&sid).copied().unwrap_or(ProfMode::Off)
     }
 
     #[inline]
-    fn map_mode(&self, key: (u32, u32)) -> ProfMode {
+    pub(crate) fn map_mode(&self, key: (u32, u32)) -> ProfMode {
         self.map_modes.get(&key).copied().unwrap_or(ProfMode::Off)
     }
 }
 
 /// Shared run context.
-struct Ctx<'s> {
-    sdfg: &'s Sdfg,
+pub(crate) struct Ctx<'s> {
+    pub(crate) sdfg: &'s Sdfg,
     /// Buffer storage, indexable by slot for hot paths.
-    bufs: Vec<SharedBuffer>,
+    pub(crate) bufs: Vec<SharedBuffer>,
     /// Container name → slot in `bufs`.
-    buf_index: HashMap<String, usize>,
-    streams: HashMap<String, Mutex<VecDeque<f64>>>,
-    stats: AtomicStats,
-    nthreads: usize,
+    pub(crate) buf_index: HashMap<String, usize>,
+    pub(crate) streams: HashMap<String, Mutex<VecDeque<f64>>>,
+    pub(crate) stats: AtomicStats,
+    pub(crate) nthreads: usize,
     /// Profiling plan; `None` when profiling is off.
-    prof: Option<Prof>,
+    pub(crate) prof: Option<Prof>,
     /// The execution plan for this (SDFG, symbol bindings) pair: workers
     /// consult and populate it so lowering survives across runs.
-    plan: std::sync::Arc<ExecutionPlan>,
+    pub(crate) plan: std::sync::Arc<ExecutionPlan>,
     /// The cache the plan came from, inherited by nested SDFG executors.
-    plan_cache: std::sync::Arc<PlanCache>,
+    pub(crate) plan_cache: std::sync::Arc<PlanCache>,
     /// Scratch allocator for worker-local transients, shared with the
     /// executor's transient storage.
-    pool: std::sync::Arc<BufferPool>,
+    pub(crate) pool: std::sync::Arc<BufferPool>,
 }
 
 impl Ctx<'_> {
-    fn buf(&self, name: &str) -> Result<&SharedBuffer, ExecError> {
+    pub(crate) fn buf(&self, name: &str) -> Result<&SharedBuffer, ExecError> {
         self.buf_index
             .get(name)
             .map(|&i| &self.bufs[i])
@@ -300,46 +250,46 @@ impl Ctx<'_> {
 
 /// Per-worker state: VM, scratch env for symbolic fallbacks, thread-local
 /// transient overlays.
-struct Worker<'c, 's> {
-    ctx: &'c Ctx<'s>,
-    vm: TaskletVm,
-    env: Env,
-    locals: HashMap<String, SharedBuffer>,
-    log: Vec<(u32, f64)>,
+pub(crate) struct Worker<'c, 's> {
+    pub(crate) ctx: &'c Ctx<'s>,
+    pub(crate) vm: TaskletVm,
+    pub(crate) env: Env,
+    pub(crate) locals: HashMap<String, SharedBuffer>,
+    pub(crate) log: Vec<(u32, f64)>,
     /// True when executing inside a map body: nested maps run serially
     /// (nested parallelism is not profitable and would break thread-local
     /// transients).
-    nested: bool,
+    pub(crate) nested: bool,
     /// Stack of enclosing map parameters (names) and their current values.
-    pstack: Vec<String>,
-    point: Vec<i64>,
+    pub(crate) pstack: Vec<String>,
+    pub(crate) point: Vec<i64>,
     /// Iteration counts per stacked parameter (`i64::MAX/4` when dynamic),
     /// used by the WCR race analysis.
-    pcounts: Vec<i64>,
+    pub(crate) pcounts: Vec<i64>,
     /// Index (into `pstack`) of the chunk-partitioned parameter when this
     /// worker runs inside a parallel region; `None` = no concurrent writers.
-    chunk_param: Option<usize>,
+    pub(crate) chunk_param: Option<usize>,
     /// Per-worker compiled-tasklet cache, keyed by (state, node). Sound
     /// because interstate symbols are fixed for the lifetime of a worker
     /// (one state execution / one parallel chunk) and map parameters are
     /// compiled *as parameters*.
-    prog_cache: HashMap<(u32, u32), std::sync::Arc<BodyTasklet>>,
+    pub(crate) prog_cache: HashMap<(u32, u32), std::sync::Arc<BodyTasklet>>,
     /// Per-worker map-plan cache (same soundness argument): avoids
     /// re-deriving scope structure per launch of a nested map.
-    map_cache: HashMap<(u32, u32), std::sync::Arc<MapPlan>>,
+    pub(crate) map_cache: HashMap<(u32, u32), std::sync::Arc<MapPlan>>,
     /// Locally-accumulated statistics, flushed once per worker lifetime
     /// (keeps atomics out of inner loops).
-    st_points: u64,
-    st_native: u64,
+    pub(crate) st_points: u64,
+    pub(crate) st_native: u64,
     /// Lock-free profile, absorbed by the collector at `flush_stats`.
     /// `None` when profiling is off.
-    prof: Option<Box<WorkerProfile>>,
+    pub(crate) prof: Option<Box<WorkerProfile>>,
     /// Innermost enclosing Timer-mode map: tier attribution target.
-    cur_map: Option<(u32, u32)>,
+    pub(crate) cur_map: Option<(u32, u32)>,
 }
 
 impl<'c, 's> Worker<'c, 's> {
-    fn new(ctx: &'c Ctx<'s>, env: Env) -> Self {
+    pub(crate) fn new(ctx: &'c Ctx<'s>, env: Env) -> Self {
         let prof = ctx.prof.as_ref().map(|p| {
             Box::new(WorkerProfile::new(
                 p.next_worker.fetch_add(1, Ordering::Relaxed),
@@ -367,7 +317,7 @@ impl<'c, 's> Worker<'c, 's> {
 
     /// Flushes locally-accumulated statistics to the shared counters and
     /// hands the worker's profile to the collector (one lock, once).
-    fn flush_stats(&mut self) {
+    pub(crate) fn flush_stats(&mut self) {
         if self.st_points > 0 {
             self.ctx
                 .stats
@@ -397,7 +347,7 @@ impl<'c, 's> Worker<'c, 's> {
     /// Starts a tier measurement: `Some((start_ns, tasklet points so
     /// far))` only inside a Timer-instrumented map. One branch otherwise.
     #[inline]
-    fn tier_clock(&self) -> Option<(u64, u64)> {
+    pub(crate) fn tier_clock(&self) -> Option<(u64, u64)> {
         match (&self.cur_map, &self.ctx.prof) {
             (Some(_), Some(p)) => Some((p.collector.now_ns(), self.st_points)),
             _ => None,
@@ -408,7 +358,7 @@ impl<'c, 's> Worker<'c, 's> {
     /// count is the `st_points` delta, so it works for whole-chunk native
     /// loops and per-point fallbacks alike.
     #[inline]
-    fn tier_record(&mut self, t0: Option<(u64, u64)>, tier: Tier) {
+    pub(crate) fn tier_record(&mut self, t0: Option<(u64, u64)>, tier: Tier) {
         let Some((start, p0)) = t0 else { return };
         let Some(p) = &self.ctx.prof else { return };
         let ns = p.collector.now_ns().saturating_sub(start);
@@ -420,7 +370,7 @@ impl<'c, 's> Worker<'c, 's> {
 
     /// Compiles (or fetches) the tasklet at `n` against the current
     /// parameter stack.
-    fn tasklet(
+    pub(crate) fn tasklet(
         &mut self,
         sid: StateId,
         n: NodeId,
@@ -449,7 +399,7 @@ impl<'c, 's> Worker<'c, 's> {
     /// Fingerprint of everything compilation reads beyond the graph (see
     /// [`CompileCtx`]): the symbol environment, parameter stack, iteration
     /// counts, chunked parameter and local-transient overlays.
-    fn compile_ctx(&self) -> CompileCtx {
+    pub(crate) fn compile_ctx(&self) -> CompileCtx {
         let mut env: Vec<(String, i64)> = self.env.iter().map(|(k, &v)| (k.clone(), v)).collect();
         env.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let mut locals: Vec<String> = self.locals.keys().cloned().collect();
@@ -510,7 +460,7 @@ impl<'c, 's> Worker<'c, 's> {
     }
 
     /// Resolves a container, preferring thread-local overlays.
-    fn buf(&self, name: &str) -> Result<&SharedBuffer, ExecError> {
+    pub(crate) fn buf(&self, name: &str) -> Result<&SharedBuffer, ExecError> {
         if let Some(b) = self.locals.get(name) {
             return Ok(b);
         }
@@ -520,7 +470,11 @@ impl<'c, 's> Worker<'c, 's> {
     /// Slot-indexed buffer resolution for hot loops: valid whenever the
     /// worker has no local overlays (checked by the caller once per loop).
     #[inline]
-    fn buf_slot(&self, slot: Option<usize>, name: &str) -> Result<&SharedBuffer, ExecError> {
+    pub(crate) fn buf_slot(
+        &self,
+        slot: Option<usize>,
+        name: &str,
+    ) -> Result<&SharedBuffer, ExecError> {
         if self.locals.is_empty() {
             if let Some(i) = slot {
                 return Ok(&self.ctx.bufs[i]);
@@ -582,7 +536,7 @@ impl<'s> Executor<'s> {
 
     /// Builds the optimized copy if the opt level asks for one and it does
     /// not exist yet. On pipeline failure the original SDFG stays active.
-    fn ensure_optimized(&mut self) -> Result<(), ExecError> {
+    pub(crate) fn ensure_optimized(&mut self) -> Result<(), ExecError> {
         if self.opt_level == OptLevel::None || self.opt_sdfg.is_some() {
             return Ok(());
         }
@@ -666,10 +620,26 @@ impl<'s> Executor<'s> {
     }
 
     /// Reads an array after `run`.
+    ///
+    /// Panics when `name` is unknown; prefer [`Executor::try_array`] in
+    /// code that must report the failure instead.
     pub fn array(&self, name: &str) -> &[f64] {
-        self.arrays
-            .get(name)
+        self.try_array(name)
             .unwrap_or_else(|| panic!("array `{name}` not present"))
+    }
+
+    /// Reads an array after `run`, returning `None` when no container of
+    /// that name is bound (the non-panicking form of [`Executor::array`]).
+    pub fn try_array(&self, name: &str) -> Option<&[f64]> {
+        self.arrays.get(name).map(|v| v.as_slice())
+    }
+
+    /// The graph `run` executes: the optimized copy when one exists.
+    pub(crate) fn active_sdfg(&self) -> &Sdfg {
+        match &self.opt_sdfg {
+            Some(b) => b,
+            None => self.sdfg,
+        }
     }
 
     /// Runs the SDFG; returns execution statistics.
@@ -679,9 +649,21 @@ impl<'s> Executor<'s> {
     /// with unchanged bindings skips scope derivation, tasklet compilation
     /// and map planning entirely.
     pub fn run(&mut self) -> Result<Stats, ExecError> {
+        self.run_with(0, |ex, ctx| ex.drive(ctx))
+    }
+
+    /// Shared run protocol: optimize, allocate, lay out buffers, build the
+    /// run context, hand control to `drive`, then tear down and snapshot
+    /// statistics. [`Executor::run`] drives every state on the host;
+    /// [`crate::dispatch::Runtime`] substitutes its own per-backend drive
+    /// loop. `target_tag` partitions the plan cache by target assignment.
+    pub(crate) fn run_with<F>(&mut self, target_tag: u64, drive: F) -> Result<Stats, ExecError>
+    where
+        F: for<'a, 'b> FnOnce(&'a Self, &'b Ctx<'a>) -> Result<(), ExecError>,
+    {
         self.ensure_optimized()?;
         self.prepare()?;
-        let key = PlanKey::new(self.content_hash(), &self.symbols);
+        let key = PlanKey::new(self.content_hash(), &self.symbols).with_target(target_tag);
         let (plan, _cached) = self.plan_cache.lookup(key);
         // The graph this run executes: the optimized copy when one exists.
         // Borrowing the `opt_sdfg` field directly (not through a helper)
@@ -719,7 +701,7 @@ impl<'s> Executor<'s> {
             plan_cache: self.plan_cache.clone(),
             pool: self.pool.clone(),
         };
-        let result = self.drive(&ctx);
+        let result = drive(self, &ctx);
         // Move storage back even on error.
         self.arrays = names
             .into_iter()
@@ -751,39 +733,7 @@ impl<'s> Executor<'s> {
     }
 
     fn drive(&self, ctx: &Ctx<'_>) -> Result<(), ExecError> {
-        let Some(start) = ctx.sdfg.start else {
-            return Ok(());
-        };
-        let mut symbols = self.symbols.clone();
-        let mut cur: StateId = start;
-        let mut steps = 0usize;
-        loop {
-            steps += 1;
-            if steps > self.max_transitions {
-                return Err(ExecError::StepLimit(self.max_transitions));
-            }
-            exec_state(ctx, cur, &symbols)?;
-            ctx.stats.states_executed.fetch_add(1, Ordering::Relaxed);
-            *ctx.stats.state_visits.lock().entry(cur.0).or_insert(0) += 1;
-            let env = interstate_env(ctx, &symbols);
-            let mut next = None;
-            for e in ctx.sdfg.graph.out_edges(cur) {
-                let t = ctx.sdfg.graph.edge(e);
-                if t.condition.eval(&env)? {
-                    next = Some((ctx.sdfg.graph.edge_dst(e), t.assignments.clone()));
-                    break;
-                }
-            }
-            let Some((dst, assigns)) = next else {
-                return Ok(());
-            };
-            for (sym, expr) in &assigns {
-                let env = interstate_env(ctx, &symbols);
-                let v = expr.eval(&env)?;
-                symbols.insert(sym.clone(), v);
-            }
-            cur = dst;
-        }
+        crate::dispatch::drive_loop(self.max_transitions, &self.symbols, ctx, exec_state)
     }
 
     fn prepare(&mut self) -> Result<(), ExecError> {
@@ -866,2788 +816,4 @@ impl Drop for Executor<'_> {
             }
         }
     }
-}
-
-fn interstate_env(ctx: &Ctx, symbols: &Env) -> Env {
-    let mut env = symbols.clone();
-    for (name, q) in &ctx.streams {
-        env.insert(format!("len_{name}"), q.lock().len() as i64);
-    }
-    for (name, desc) in &ctx.sdfg.data {
-        let scalarish = match desc {
-            DataDesc::Scalar(_) => true,
-            DataDesc::Array(_) => ctx.buf(name).map(|b| b.len() == 1).unwrap_or(false),
-            DataDesc::Stream(_) => false,
-        };
-        if scalarish {
-            if let Ok(b) = ctx.buf(name) {
-                if !b.is_empty() {
-                    env.insert(name.clone(), b.read(0).round() as i64);
-                }
-            }
-        }
-    }
-    env
-}
-
-fn exec_state(ctx: &Ctx, sid: StateId, symbols: &Env) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    // Structural plan (scope tree + topological order): derived once per
-    // (SDFG, bindings) pair, reused on every later execution of the state.
-    let splan = match ctx.plan.state(sid.0) {
-        Some(p) => p,
-        None => {
-            let tree = sdfg_core::scope::scope_tree(state)
-                .map_err(|e| ExecError::BadGraph(e.to_string()))?;
-            let order = state.topological_order();
-            ctx.plan.insert_state(sid.0, StatePlan { tree, order })
-        }
-    };
-    let tree = &splan.tree;
-    let mut worker = Worker::new(ctx, symbols.clone());
-    let mode = match &ctx.prof {
-        Some(p) => p.state_mode(sid.0),
-        None => ProfMode::Off,
-    };
-    let start = match (mode, &ctx.prof) {
-        (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
-        _ => None,
-    };
-    let mut result = Ok(());
-    for &n in &splan.order {
-        if tree.scope_of(n).is_none() {
-            let r = exec_node(ctx, sid, tree, n, &mut worker, None);
-            if r.is_err() {
-                result = r;
-                break;
-            }
-        }
-    }
-    match mode {
-        ProfMode::Off => {}
-        ProfMode::Counter => {
-            if let Some(wp) = worker.prof.as_mut() {
-                wp.states.entry(sid.0).or_default().bump();
-            }
-        }
-        ProfMode::Timer => {
-            if let (Some(p), Some(s)) = (&ctx.prof, start) {
-                let dur = p.collector.now_ns().saturating_sub(s);
-                if let Some(wp) = worker.prof.as_mut() {
-                    wp.states.entry(sid.0).or_default().record(dur);
-                    wp.timeline.push(Span {
-                        key: SpanKey::State(sid.0),
-                        worker: wp.worker,
-                        start_ns: s,
-                        dur_ns: dur,
-                    });
-                }
-            }
-        }
-    }
-    worker.flush_stats();
-    result
-}
-
-/// Executes one node in the current worker. `stream_override` carries a
-/// consume-scope element.
-fn exec_node(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    n: NodeId,
-    worker: &mut Worker,
-    stream_override: Option<(&str, f64)>,
-) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    match state.graph.node(n) {
-        Node::Access { .. } => exec_access(ctx, sid, n, worker),
-        Node::Tasklet { .. } => {
-            let body = worker.tasklet(sid, n)?;
-            run_tasklet_point(ctx, sid, &body, worker, stream_override)
-        }
-        Node::MapEntry(_) => exec_map(ctx, sid, tree, n, worker),
-        Node::ConsumeEntry(_) => exec_consume(ctx, sid, tree, n, worker),
-        Node::MapExit { .. } | Node::ConsumeExit { .. } => Ok(()),
-        Node::Reduce { .. } => exec_reduce(ctx, sid, n, worker),
-        Node::NestedSdfg { .. } => exec_nested(ctx, sid, n, worker),
-    }
-}
-
-// --- copies -------------------------------------------------------------------
-
-/// Copies along access→access edges; also array↔stream transfers and
-/// copies arriving from scope entries (local-storage tiles).
-fn exec_access(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    let dst_name = state.graph.node(n).access_data().unwrap().to_string();
-    // Copies INTO this node from scope entries (local storage pattern):
-    // memlet names the *global* container; destination is this container.
-    let in_edges: Vec<EdgeId> = state.graph.in_edges(n).collect();
-    for e in in_edges {
-        let src = state.graph.edge_src(e);
-        let src_node = state.graph.node(src);
-        if !src_node.is_scope_entry() {
-            continue;
-        }
-        let m = state.graph.edge(e).memlet.clone();
-        if m.is_empty() {
-            continue;
-        }
-        let src_data = m.data_name().to_string();
-        if src_data == dst_name {
-            continue;
-        }
-        // Copy global window → whole local buffer (or other_subset).
-        copy_window(
-            ctx,
-            worker,
-            &src_data,
-            &m.subset,
-            &dst_name,
-            m.other_subset.as_ref(),
-        )?;
-    }
-    // Copies OUT of this node into other access nodes.
-    let out_edges: Vec<EdgeId> = state.graph.out_edges(n).collect();
-    for e in out_edges {
-        let dst = state.graph.edge_dst(e);
-        if !matches!(state.graph.node(dst), Node::Access { .. }) {
-            continue;
-        }
-        let dst_data = state.graph.node(dst).access_data().unwrap().to_string();
-        let m = state.graph.edge(e).memlet.clone();
-        if m.is_empty() {
-            continue;
-        }
-        let src_is_stream = matches!(ctx.sdfg.desc(&dst_name), Some(DataDesc::Stream(_)));
-        let dst_is_stream = matches!(ctx.sdfg.desc(&dst_data), Some(DataDesc::Stream(_)));
-        match (src_is_stream, dst_is_stream) {
-            (false, false) => copy_window(
-                ctx,
-                worker,
-                &dst_name,
-                &m.subset,
-                &dst_data,
-                m.other_subset.as_ref(),
-            )?,
-            (false, true) => {
-                let window = gather_symbolic(worker, &dst_name, &m.subset)?;
-                ctx.streams
-                    .get(&dst_data)
-                    .ok_or_else(|| ExecError::MissingArray(dst_data.clone()))?
-                    .lock()
-                    .extend(window);
-            }
-            (true, false) => {
-                let dst_subset = m.other_subset.clone().unwrap_or_else(|| m.subset.clone());
-                let dims = dst_subset.eval(&worker.env)?;
-                let capacity = count_elems(&dims);
-                let mut window;
-                {
-                    let mut q = ctx
-                        .streams
-                        .get(&dst_name)
-                        .ok_or_else(|| ExecError::MissingArray(dst_name.clone()))?
-                        .lock();
-                    let count = if m.dynamic {
-                        capacity.min(q.len())
-                    } else {
-                        capacity
-                    };
-                    window = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        window.push(q.pop_front().unwrap_or(0.0));
-                    }
-                }
-                if m.dynamic && window.len() < capacity {
-                    let prefix =
-                        Subset::new(vec![sdfg_symbolic::SymRange::new(0, window.len() as i64)]);
-                    scatter_symbolic(worker, &dst_data, &prefix, &window, None)?;
-                } else {
-                    scatter_symbolic(worker, &dst_data, &dst_subset, &window, None)?;
-                }
-            }
-            (true, true) => {
-                // Stream → stream: drain-append (LocalStream flushes).
-                let drained: Vec<f64> = {
-                    let mut q = ctx
-                        .streams
-                        .get(&dst_name)
-                        .ok_or_else(|| ExecError::MissingArray(dst_name.clone()))?
-                        .lock();
-                    q.drain(..).collect()
-                };
-                if !drained.is_empty() {
-                    ctx.streams
-                        .get(&dst_data)
-                        .ok_or_else(|| ExecError::MissingArray(dst_data.clone()))?
-                        .lock()
-                        .extend(drained);
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-fn copy_window(
-    ctx: &Ctx,
-    worker: &mut Worker,
-    src: &str,
-    src_subset: &Subset,
-    dst: &str,
-    dst_subset: Option<&Subset>,
-) -> Result<(), ExecError> {
-    let window = gather_symbolic(worker, src, src_subset)?;
-    ctx.stats
-        .elements_copied
-        .fetch_add(window.len() as u64, Ordering::Relaxed);
-    if let Some(wp) = worker.prof.as_mut() {
-        wp.bytes_moved += window.len() as u64 * std::mem::size_of::<f64>() as u64;
-    }
-    let full;
-    let dsub = match dst_subset {
-        Some(s) => s,
-        None => {
-            // Whole destination, derived from its descriptor.
-            let desc = ctx
-                .sdfg
-                .desc(dst)
-                .ok_or_else(|| ExecError::MissingArray(dst.to_string()))?;
-            full = Subset::full(desc.shape());
-            &full
-        }
-    };
-    scatter_symbolic(worker, dst, dsub, &window, None)
-}
-
-// --- symbolic windows (slow/correct path) --------------------------------------
-
-fn desc_strides(ctx: &Ctx, data: &str, env: &Env) -> Result<Vec<i64>, ExecError> {
-    match ctx.sdfg.desc(data) {
-        Some(DataDesc::Array(a)) => {
-            let mut out = Vec::with_capacity(a.strides.len());
-            for s in &a.strides {
-                out.push(s.eval(env)?);
-            }
-            Ok(out)
-        }
-        Some(DataDesc::Scalar(_)) => Ok(vec![]),
-        _ => Err(ExecError::BadGraph(format!(
-            "windowed access into non-array `{data}`"
-        ))),
-    }
-}
-
-fn gather_symbolic(worker: &Worker, data: &str, subset: &Subset) -> Result<Vec<f64>, ExecError> {
-    let strides = desc_strides(worker.ctx, data, &worker.env)?;
-    let dims = subset.eval(&worker.env)?;
-    let buf = worker.buf(data)?;
-    let mut out = Vec::with_capacity(count_elems(&dims));
-    for_each_offset(&dims, &strides, |off| out.push(buf.read(off)));
-    Ok(out)
-}
-
-fn scatter_symbolic(
-    worker: &Worker,
-    data: &str,
-    subset: &Subset,
-    window: &[f64],
-    wcr: Option<&Wcr>,
-) -> Result<(), ExecError> {
-    let strides = desc_strides(worker.ctx, data, &worker.env)?;
-    let dims = subset.eval(&worker.env)?;
-    let buf = worker.buf(data)?;
-    let mut i = 0usize;
-    match wcr {
-        None => for_each_offset(&dims, &strides, |off| {
-            buf.write(off, window[i]);
-            i += 1;
-        }),
-        Some(w) => {
-            let f = wcr_fn(w)?;
-            for_each_offset(&dims, &strides, |off| {
-                buf.atomic_combine(off, window[i], f);
-                i += 1;
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Builtin WCR as a plain function pointer (customs handled separately).
-fn wcr_fn(w: &Wcr) -> Result<fn(f64, f64) -> f64, ExecError> {
-    Ok(match w {
-        Wcr::Sum => |a, b| a + b,
-        Wcr::Product => |a, b| a * b,
-        Wcr::Min => f64::min,
-        Wcr::Max => f64::max,
-        Wcr::Custom(_) => {
-            return Err(ExecError::BadGraph(
-                "custom WCR is not supported by the parallel executor; \
-                 use the reference interpreter"
-                    .into(),
-            ))
-        }
-    })
-}
-
-/// True when every access to `data` in the whole SDFG lies inside the
-/// scope of `entry` in state `sid` — only then does the container have
-/// scope lifetime (fresh per iteration, thread-private).
-fn scope_owns_container(sdfg: &Sdfg, sid: StateId, members: &[NodeId], data: &str) -> bool {
-    for other_sid in sdfg.graph.node_ids() {
-        let other = sdfg.graph.node(other_sid);
-        for n in other.graph.node_ids() {
-            if other.graph.node(n).access_data() == Some(data)
-                && !(other_sid == sid && members.contains(&n))
-            {
-                return false;
-            }
-        }
-    }
-    true
-}
-
-fn count_elems(dims: &[(i64, i64, i64, i64)]) -> usize {
-    let mut n = 1usize;
-    for &(s, e, st, t) in dims {
-        let len = if st > 0 { ((e - s) + st - 1) / st } else { 0 };
-        n = n
-            .saturating_mul(len.max(0) as usize)
-            .saturating_mul(t.max(1) as usize);
-    }
-    n
-}
-
-fn for_each_offset(dims: &[(i64, i64, i64, i64)], strides: &[i64], mut f: impl FnMut(usize)) {
-    if dims.is_empty() {
-        f(0);
-        return;
-    }
-    let mut idx: Vec<i64> = dims.iter().map(|d| d.0).collect();
-    if dims.iter().any(|&(s, e, _, _)| s >= e) {
-        return;
-    }
-    loop {
-        let mut base = 0i64;
-        for (d, _) in dims.iter().enumerate() {
-            base += idx[d] * strides.get(d).copied().unwrap_or(1);
-        }
-        let tile = dims.last().map(|d| d.3.max(1)).unwrap_or(1);
-        for t in 0..tile {
-            let off = base + t;
-            if off >= 0 {
-                f(off as usize);
-            }
-        }
-        let mut d = dims.len();
-        loop {
-            if d == 0 {
-                return;
-            }
-            d -= 1;
-            idx[d] += dims[d].2;
-            if idx[d] < dims[d].1 {
-                break;
-            }
-            idx[d] = dims[d].0;
-        }
-    }
-}
-
-// --- compiled tasklet bodies ----------------------------------------------------
-
-/// Pre-solved window of one connector.
-#[derive(Clone, Debug)]
-enum WindowPlan {
-    /// Single element at an affine/const flat offset.
-    Scalar(Solved),
-    /// The whole (contiguous) container, passed by reference without
-    /// copying — the lowering of dynamic full-range memlets such as the
-    /// Appendix F indirection reads (`x(1)[:]`).
-    Full,
-    /// General strided window with pre-solved per-dim bounds.
-    Window {
-        dims: Vec<(Solved, Solved, Solved)>, // start, end, step
-        tile: i64,
-        strides: Vec<i64>,
-    },
-    /// Fallback: symbolic subset.
-    Dynamic(Subset),
-}
-
-impl WindowPlan {
-    fn is_scalar_fast(&self) -> bool {
-        matches!(self, WindowPlan::Scalar(s) if s.is_fast())
-    }
-}
-
-#[derive(Clone, Debug)]
-struct InPort {
-    data: String,
-    /// Slot in `Ctx::bufs` (fast path when the worker has no local
-    /// overlays).
-    slot: Option<usize>,
-    stream: bool,
-    window: WindowPlan,
-}
-
-#[derive(Clone, Debug)]
-struct OutPortPlan {
-    data: String,
-    /// Slot in `Ctx::bufs`.
-    slot: Option<usize>,
-    stream: bool,
-    wcr: Option<Wcr>,
-    window: WindowPlan,
-    /// Use the write-log port: sparse WCR writes into a larger window.
-    log: bool,
-    /// Whether WCR writes must be atomic (set by the worker's race
-    /// analysis; `true` is the safe default).
-    atomic: bool,
-}
-
-/// Native kernel plan for recognized single-statement tasklets with scalar
-/// affine ports.
-#[derive(Clone, Debug)]
-enum NativePlan {
-    /// One of the canonical binary/copy/FMA forms.
-    Pattern(Pattern),
-    /// A linear combination (stencil shape).
-    LinComb(sdfg_lang::recognize::LinComb),
-    /// A scaled product chain (tensor-contraction shape).
-    MulChain(sdfg_lang::recognize::MulChain),
-}
-
-pub(crate) struct BodyTasklet {
-    prog: TaskletProgram,
-    ins: Vec<InPort>,
-    outs: Vec<OutPortPlan>,
-    native: Option<NativePlan>,
-}
-
-#[cfg(test)]
-impl BodyTasklet {
-    /// Minimal instance for plan-cache unit tests.
-    pub(crate) fn test_dummy() -> BodyTasklet {
-        BodyTasklet {
-            prog: TaskletProgram::compile("o = 1", &[], &["o".to_string()])
-                .expect("trivial tasklet compiles"),
-            ins: Vec::new(),
-            outs: Vec::new(),
-            native: None,
-        }
-    }
-}
-
-/// Compiles a tasklet node's ports against the given map parameters.
-fn compile_body_tasklet(
-    ctx: &Ctx,
-    sid: StateId,
-    n: NodeId,
-    params: &[String],
-    env: &Env,
-) -> Result<BodyTasklet, ExecError> {
-    let state = ctx.sdfg.state(sid);
-    let Node::Tasklet {
-        name, code, lang, ..
-    } = state.graph.node(n)
-    else {
-        unreachable!()
-    };
-    if *lang != sdfg_core::TaskletLang::Python {
-        return Err(ExecError::ExternalTasklet(name.clone()));
-    }
-    let mut in_conns = Vec::new();
-    let mut ins = Vec::new();
-    for e in state.graph.in_edges(n) {
-        let df = state.graph.edge(e);
-        if df.memlet.is_empty() {
-            continue;
-        }
-        let Some(conn) = &df.dst_conn else { continue };
-        let data = df.memlet.data_name().to_string();
-        let stream = matches!(ctx.sdfg.desc(&data), Some(DataDesc::Stream(_)));
-        let window = plan_window(ctx, &data, &df.memlet.subset, params, env, stream)?;
-        in_conns.push(conn.clone());
-        let slot = ctx.buf_index.get(&data).copied();
-        ins.push(InPort {
-            data,
-            slot,
-            stream,
-            window,
-        });
-    }
-    let mut out_conns: Vec<String> = Vec::new();
-    let mut outs = Vec::new();
-    for e in state.graph.out_edges(n) {
-        let df = state.graph.edge(e);
-        if df.memlet.is_empty() {
-            continue;
-        }
-        let Some(conn) = &df.src_conn else { continue };
-        if out_conns.contains(conn) {
-            return Err(ExecError::BadGraph(format!(
-                "executor does not support fan-out from tasklet connector `{conn}`"
-            )));
-        }
-        let data = df.memlet.data_name().to_string();
-        let stream = matches!(ctx.sdfg.desc(&data), Some(DataDesc::Stream(_)));
-        let window = plan_window(ctx, &data, &df.memlet.subset, params, env, stream)?;
-        // Sparse WCR: conflict resolution over a multi-element window.
-        let window_big = !matches!(window, WindowPlan::Scalar(_));
-        let log = df.memlet.wcr.is_some() && window_big;
-        out_conns.push(conn.clone());
-        let slot = ctx.buf_index.get(&data).copied();
-        outs.push(OutPortPlan {
-            data,
-            slot,
-            stream,
-            wcr: df.memlet.wcr.clone(),
-            window,
-            log,
-            atomic: true,
-        });
-    }
-    let prog = TaskletProgram::compile(code, &in_conns, &out_conns)?;
-    // Native candidate?
-    let native = plan_native(&prog, &ins, &outs);
-    Ok(BodyTasklet {
-        prog,
-        ins,
-        outs,
-        native,
-    })
-}
-
-fn plan_native(prog: &TaskletProgram, ins: &[InPort], outs: &[OutPortPlan]) -> Option<NativePlan> {
-    if outs.len() != 1 || outs[0].stream || outs[0].log {
-        return None;
-    }
-    if !outs[0].window.is_scalar_fast() {
-        return None;
-    }
-    if outs[0]
-        .wcr
-        .as_ref()
-        .is_some_and(|w| matches!(w, Wcr::Custom(_)))
-    {
-        return None;
-    }
-    if !ins.iter().all(|p| !p.stream && p.window.is_scalar_fast()) {
-        return None;
-    }
-    if let Some(pattern) = sdfg_lang::recognize::recognize(&prog.body, &prog.inputs, &prog.outputs)
-    {
-        return Some(NativePlan::Pattern(pattern));
-    }
-    if let Some(lc) =
-        sdfg_lang::recognize::recognize_lincomb(&prog.body, &prog.inputs, &prog.outputs)
-    {
-        return Some(NativePlan::LinComb(lc));
-    }
-    sdfg_lang::recognize::recognize_mulchain(&prog.body, &prog.inputs, &prog.outputs)
-        .map(NativePlan::MulChain)
-}
-
-/// Pre-solves a memlet subset. Streams use a scalar placeholder.
-fn plan_window(
-    ctx: &Ctx,
-    data: &str,
-    subset: &Subset,
-    params: &[String],
-    env: &Env,
-    stream: bool,
-) -> Result<WindowPlan, ExecError> {
-    if stream {
-        return Ok(WindowPlan::Scalar(Solved::Const(0)));
-    }
-    let strides = match desc_strides(ctx, data, env) {
-        Ok(s) => s,
-        Err(_) => return Ok(WindowPlan::Dynamic(subset.clone())),
-    };
-    // Whole-container dynamic window: pass by reference, never copy.
-    if let Some(DataDesc::Array(arr)) = ctx.sdfg.desc(data) {
-        let is_full = subset.rank() == arr.shape.len()
-            && subset.dims.iter().zip(&arr.shape).all(|(r, sh)| {
-                r.start.is_zero() && r.step.is_one() && r.tile.is_one() && &r.end == sh
-            });
-        // Contiguity: canonical row-major strides.
-        let contiguous = arr.strides == sdfg_core::desc::row_major_strides(&arr.shape);
-        if is_full && contiguous {
-            return Ok(WindowPlan::Full);
-        }
-    }
-    // Scalar case: every dim is an index (end = start + 1) and tile 1.
-    let assume = sdfg_symbolic::expr::Assumptions::default();
-    let is_index = subset.dims.iter().all(|r| {
-        r.tile.is_one()
-            && r.step.is_one()
-            && (r.end.clone() - r.start.clone()).sym_cmp(&sdfg_symbolic::Expr::one(), &assume)
-                == Some(std::cmp::Ordering::Equal)
-    });
-    if is_index && subset.dims.len() == strides.len() {
-        // flat = Σ start_d * stride_d — combine solved starts.
-        let mut base = 0i64;
-        let mut coeffs = vec![0i64; params.len()];
-        let mut ok = true;
-        for (d, r) in subset.dims.iter().enumerate() {
-            match solve(&r.start, params, env) {
-                Solved::Const(v) => base += v * strides[d],
-                Solved::Affine { base: b, coeffs: c } => {
-                    base += b * strides[d];
-                    for (k, cv) in c.iter().enumerate() {
-                        coeffs[k] += cv * strides[d];
-                    }
-                }
-                Solved::Symbolic(_) => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok {
-            if coeffs.iter().all(|&c| c == 0) {
-                return Ok(WindowPlan::Scalar(Solved::Const(base)));
-            }
-            return Ok(WindowPlan::Scalar(Solved::Affine { base, coeffs }));
-        }
-        return Ok(WindowPlan::Dynamic(subset.clone()));
-    }
-    // General window: solve per-dim bounds.
-    let mut dims = Vec::with_capacity(subset.dims.len());
-    let mut tile = 1i64;
-    for r in &subset.dims {
-        let s = solve(&r.start, params, env);
-        let e = solve(&r.end, params, env);
-        let st = solve(&r.step, params, env);
-        if !(s.is_fast() && e.is_fast() && st.is_fast()) {
-            return Ok(WindowPlan::Dynamic(subset.clone()));
-        }
-        match solve(&r.tile, params, env) {
-            Solved::Const(t) => tile = tile.max(t),
-            _ => return Ok(WindowPlan::Dynamic(subset.clone())),
-        }
-        dims.push((s, e, st));
-    }
-    Ok(WindowPlan::Window {
-        dims,
-        tile,
-        strides,
-    })
-}
-
-// --- tasklet execution -----------------------------------------------------------
-
-/// Executes a compiled tasklet at one parameter point (or at top level with
-/// empty params).
-fn run_tasklet_point(
-    ctx: &Ctx,
-    _sid: StateId,
-    body: &BodyTasklet,
-    worker: &mut Worker,
-    stream_override: Option<(&str, f64)>,
-) -> Result<(), ExecError> {
-    worker.st_points += 1;
-    // Snapshot the parameter point (small, lives on the stack).
-    let mut point_buf = [0i64; 24];
-    let np = worker.point.len().min(24);
-    point_buf[..np].copy_from_slice(&worker.point[..np]);
-    let point: &[i64] = &point_buf[..np];
-    // Gather inputs into per-port buffers.
-    let nin = body.ins.len();
-    let mut scalar_ins = [0.0f64; 16];
-    let mut window_ins: Vec<Vec<f64>> = Vec::new();
-    /// How each input slot resolves at run time.
-    enum InRef {
-        Scalar(usize),
-        Win(usize),
-        /// Whole-container passthrough (port index; resolved inside the VM
-        /// scope so the borrow ends before outputs are scattered).
-        Full(usize),
-    }
-    let mut in_slices: Vec<InRef> = Vec::with_capacity(nin);
-    for (k, port) in body.ins.iter().enumerate() {
-        if port.stream {
-            let v = match stream_override {
-                Some((s, v)) if s == port.data => v,
-                _ => ctx
-                    .streams
-                    .get(&port.data)
-                    .ok_or_else(|| ExecError::MissingArray(port.data.clone()))?
-                    .lock()
-                    .pop_front()
-                    .unwrap_or(0.0),
-            };
-            if k < 16 {
-                scalar_ins[k] = v;
-                in_slices.push(InRef::Scalar(k));
-            } else {
-                window_ins.push(vec![v]);
-                in_slices.push(InRef::Win(window_ins.len() - 1));
-            }
-            continue;
-        }
-        match &port.window {
-            WindowPlan::Full if !worker.locals.contains_key(&port.data) => {
-                in_slices.push(InRef::Full(k));
-            }
-            WindowPlan::Full => {
-                // Thread-local container: copy (rare; locals are small).
-                let w = worker.buf(&port.data)?.as_slice().to_vec();
-                window_ins.push(w);
-                in_slices.push(InRef::Win(window_ins.len() - 1));
-            }
-            WindowPlan::Scalar(s) => {
-                let off = s.eval(point, &worker.env)?;
-                let v = worker.buf(&port.data)?.read(off.max(0) as usize);
-                if k < 16 {
-                    scalar_ins[k] = v;
-                    in_slices.push(InRef::Scalar(k));
-                } else {
-                    window_ins.push(vec![v]);
-                    in_slices.push(InRef::Win(window_ins.len() - 1));
-                }
-            }
-            WindowPlan::Window {
-                dims,
-                tile,
-                strides,
-            } => {
-                let mut evald = Vec::with_capacity(dims.len());
-                for (s, e, st) in dims {
-                    evald.push((
-                        s.eval(point, &worker.env)?,
-                        e.eval(point, &worker.env)?,
-                        st.eval(point, &worker.env)?,
-                        *tile,
-                    ));
-                }
-                let buf = worker.buf(&port.data)?;
-                let mut w = Vec::with_capacity(count_elems(&evald));
-                for_each_offset(&evald, strides, |off| w.push(buf.read(off)));
-                window_ins.push(w);
-                in_slices.push(InRef::Win(window_ins.len() - 1));
-            }
-            WindowPlan::Dynamic(subset) => {
-                let w = gather_symbolic(worker, &port.data, subset)?;
-                window_ins.push(w);
-                in_slices.push(InRef::Win(window_ins.len() - 1));
-            }
-        }
-    }
-    // Prepare outputs.
-    enum PreparedOut {
-        Mem {
-            buf: Vec<f64>,
-            dims: Vec<(i64, i64, i64, i64)>,
-            strides: Vec<i64>,
-            wcr: Option<Wcr>,
-            atomic: bool,
-            data: String,
-        },
-        ScalarDirect {
-            off: usize,
-            wcr: Option<Wcr>,
-            atomic: bool,
-            data: String,
-        },
-        Stream {
-            data: String,
-            buf: Vec<f64>,
-        },
-        Log {
-            data: String,
-            wcr: Wcr,
-            atomic: bool,
-            base_dims: Vec<(i64, i64, i64, i64)>,
-            strides: Vec<i64>,
-        },
-    }
-    let mut prepared: Vec<PreparedOut> = Vec::with_capacity(body.outs.len());
-    for port in &body.outs {
-        if port.stream {
-            prepared.push(PreparedOut::Stream {
-                data: port.data.clone(),
-                buf: Vec::new(),
-            });
-            continue;
-        }
-        if port.log {
-            let (dims, strides) = window_dims(worker, port, point)?;
-            prepared.push(PreparedOut::Log {
-                data: port.data.clone(),
-                wcr: port.wcr.clone().unwrap(),
-                atomic: port.atomic,
-                base_dims: dims,
-                strides,
-            });
-            continue;
-        }
-        match &port.window {
-            WindowPlan::Scalar(s) => {
-                let off = s.eval(point, &worker.env)?.max(0) as usize;
-                prepared.push(PreparedOut::ScalarDirect {
-                    off,
-                    wcr: port.wcr.clone(),
-                    atomic: port.atomic,
-                    data: port.data.clone(),
-                });
-            }
-            _ => {
-                let (dims, strides) = window_dims(worker, port, point)?;
-                let len = count_elems(&dims);
-                let buf = if port.wcr.is_some() {
-                    let dtype = ctx.sdfg.desc(&port.data).map(|d| d.dtype()).unwrap();
-                    let id = port
-                        .wcr
-                        .as_ref()
-                        .and_then(|w| w.identity(dtype))
-                        .unwrap_or(0.0);
-                    vec![id; len]
-                } else {
-                    // Prefill with current contents (partial writes).
-                    let b = worker.buf(&port.data)?;
-                    let mut w = Vec::with_capacity(len);
-                    for_each_offset(&dims, &strides, |off| w.push(b.read(off)));
-                    w
-                };
-                prepared.push(PreparedOut::Mem {
-                    buf,
-                    dims,
-                    strides,
-                    wcr: port.wcr.clone(),
-                    atomic: port.atomic,
-                    data: port.data.clone(),
-                });
-            }
-        }
-    }
-    // Run the VM.
-    {
-        let ins: Vec<&[f64]> = {
-            let mut v = Vec::with_capacity(in_slices.len());
-            for r in &in_slices {
-                v.push(match r {
-                    InRef::Scalar(k) => std::slice::from_ref(&scalar_ins[*k]),
-                    InRef::Win(i) => window_ins[*i].as_slice(),
-                    InRef::Full(k) => ctx.buf(&body.ins[*k].data)?.as_slice(),
-                });
-            }
-            v
-        };
-        // Scalar-direct outs need a stack slot.
-        let mut scalar_slots: Vec<[f64; 1]> = prepared
-            .iter()
-            .map(|p| match p {
-                PreparedOut::ScalarDirect {
-                    off,
-                    wcr: None,
-                    data,
-                    ..
-                } => {
-                    // Preserve read-modify-write semantics.
-                    [worker.buf(data).map(|b| b.read(*off)).unwrap_or(0.0)]
-                }
-                _ => [0.0],
-            })
-            .collect();
-        let mut logs: Vec<Vec<(u32, f64)>> = prepared
-            .iter()
-            .map(|p| {
-                if matches!(p, PreparedOut::Log { .. }) {
-                    std::mem::take(&mut worker.log)
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
-        {
-            let mut syms = Vec::with_capacity(body.prog.symbols.len());
-            for name in &body.prog.symbols {
-                let v = worker
-                    .env
-                    .get(name)
-                    .copied()
-                    .ok_or_else(|| EvalError::UnboundSymbol(name.clone()))?;
-                syms.push(v as f64);
-            }
-            let mut ports: Vec<OutPort> = Vec::with_capacity(prepared.len());
-            let mut slot_iter = scalar_slots.iter_mut();
-            let mut log_iter = logs.iter_mut();
-            for p in prepared.iter_mut() {
-                match p {
-                    PreparedOut::Mem { buf, .. } => ports.push(OutPort::Mem(buf)),
-                    PreparedOut::ScalarDirect { .. } => {
-                        ports.push(OutPort::Mem(slot_iter.next().unwrap()));
-                        let _ = log_iter.next();
-                        continue;
-                    }
-                    PreparedOut::Stream { buf, .. } => ports.push(OutPort::Stream(buf)),
-                    PreparedOut::Log { .. } => {
-                        let l = log_iter.next().unwrap();
-                        l.clear();
-                        ports.push(OutPort::Log(l));
-                        let _ = slot_iter.next();
-                        continue;
-                    }
-                }
-                let _ = slot_iter.next();
-                let _ = log_iter.next();
-            }
-            worker
-                .vm
-                .run_with_syms(&body.prog, &ins, &mut ports, &syms)?;
-        }
-        // Scatter.
-        for (i, p) in prepared.into_iter().enumerate() {
-            match p {
-                PreparedOut::Mem {
-                    buf,
-                    dims,
-                    strides,
-                    wcr,
-                    atomic,
-                    data,
-                } => {
-                    let b = worker.buf(&data)?;
-                    let mut k = 0usize;
-                    match &wcr {
-                        None => for_each_offset(&dims, &strides, |off| {
-                            b.write(off, buf[k]);
-                            k += 1;
-                        }),
-                        Some(w) => {
-                            let f = wcr_fn(w)?;
-                            if atomic {
-                                for_each_offset(&dims, &strides, |off| {
-                                    b.atomic_combine(off, buf[k], f);
-                                    k += 1;
-                                });
-                            } else {
-                                for_each_offset(&dims, &strides, |off| {
-                                    b.combine_plain(off, buf[k], f);
-                                    k += 1;
-                                });
-                            }
-                        }
-                    }
-                }
-                PreparedOut::ScalarDirect {
-                    off,
-                    wcr,
-                    atomic,
-                    data,
-                } => {
-                    let v = scalar_slots[i][0];
-                    let b = worker.buf(&data)?;
-                    match &wcr {
-                        None => b.write(off, v),
-                        Some(w) if atomic => b.atomic_combine(off, v, wcr_fn(w)?),
-                        Some(w) => b.combine_plain(off, v, wcr_fn(w)?),
-                    }
-                }
-                PreparedOut::Stream { data, buf } => {
-                    ctx.streams
-                        .get(&data)
-                        .ok_or_else(|| ExecError::MissingArray(data.clone()))?
-                        .lock()
-                        .extend(buf);
-                }
-                PreparedOut::Log {
-                    data,
-                    wcr,
-                    atomic,
-                    base_dims,
-                    strides,
-                } => {
-                    let _ = atomic; // sparse WCR stays atomic (offsets are
-                                    // data-dependent; the race analysis
-                                    // cannot clear them)
-                                    // Map window-relative offsets to global offsets. Fast
-                                    // path: contiguous full window (row-major, stride-1
-                                    // innermost) — global = base + rel.
-                    let f = wcr_fn(&wcr)?;
-                    let b = worker.buf(&data)?;
-                    let contiguous = is_contiguous(&base_dims, &strides);
-                    let log = std::mem::take(&mut logs[i]);
-                    if let Some(base) = contiguous {
-                        for &(rel, v) in &log {
-                            b.atomic_combine(base + rel as usize, v, f);
-                        }
-                    } else {
-                        // Precompute the offset table for this window.
-                        let mut table = Vec::with_capacity(count_elems(&base_dims));
-                        for_each_offset(&base_dims, &strides, |off| table.push(off));
-                        for &(rel, v) in &log {
-                            if let Some(&off) = table.get(rel as usize) {
-                                b.atomic_combine(off, v, f);
-                            }
-                        }
-                    }
-                    worker.log = log; // reuse allocation
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Per-dimension `(begin, end, step, tile)` bounds plus strides for one
-/// output window.
-type WindowDims = (Vec<(i64, i64, i64, i64)>, Vec<i64>);
-
-fn window_dims(
-    worker: &Worker,
-    port: &OutPortPlan,
-    point: &[i64],
-) -> Result<WindowDims, ExecError> {
-    match &port.window {
-        WindowPlan::Window {
-            dims,
-            tile,
-            strides,
-        } => {
-            let mut evald = Vec::with_capacity(dims.len());
-            for (s, e, st) in dims {
-                evald.push((
-                    s.eval(point, &worker.env)?,
-                    e.eval(point, &worker.env)?,
-                    st.eval(point, &worker.env)?,
-                    *tile,
-                ));
-            }
-            Ok((evald, strides.clone()))
-        }
-        WindowPlan::Scalar(s) => {
-            let off = s.eval(point, &worker.env)?;
-            Ok((vec![(off, off + 1, 1, 1)], vec![1]))
-        }
-        WindowPlan::Dynamic(subset) => {
-            let dims = subset.eval(&worker.env)?;
-            let strides = desc_strides(worker.ctx, &port.data, &worker.env)?;
-            Ok((dims, strides))
-        }
-        WindowPlan::Full => {
-            // Whole container (output side): derive dims from the shape.
-            let desc = worker
-                .ctx
-                .sdfg
-                .desc(&port.data)
-                .ok_or_else(|| ExecError::MissingArray(port.data.clone()))?;
-            let mut dims = Vec::new();
-            for sh in desc.shape() {
-                let n = sh.eval(&worker.env)?;
-                dims.push((0, n, 1, 1));
-            }
-            if dims.is_empty() {
-                dims.push((0, 1, 1, 1));
-            }
-            let strides = desc_strides(worker.ctx, &port.data, &worker.env)?;
-            Ok((dims, strides))
-        }
-    }
-}
-
-/// If the window is a dense row-major view (steps 1, strides matching a
-/// packed layout), returns the base offset so relative offsets add directly.
-fn is_contiguous(dims: &[(i64, i64, i64, i64)], strides: &[i64]) -> Option<usize> {
-    let mut expected_stride = 1i64;
-    for (d, &(s, e, st, t)) in dims.iter().enumerate().rev() {
-        if st != 1 || t > 1 {
-            return None;
-        }
-        if strides.get(d).copied().unwrap_or(1) != expected_stride {
-            return None;
-        }
-        expected_stride *= e - s;
-        let _ = s;
-    }
-    let mut base = 0i64;
-    for (d, &(s, ..)) in dims.iter().enumerate() {
-        base += s * strides.get(d).copied().unwrap_or(1);
-    }
-    if base < 0 {
-        None
-    } else {
-        Some(base as usize)
-    }
-}
-
-// --- map execution ----------------------------------------------------------------
-
-/// Body of a compiled map: either a straight-line list of tasklets or a
-/// generic subgraph executed per point.
-enum MapBody {
-    Tasklets(Vec<(NodeId, std::sync::Arc<BodyTasklet>)>),
-    Generic {
-        children: Vec<NodeId>,
-        /// Transients local to this scope → zeroed per iteration, allocated
-        /// thread-locally.
-        local_transients: Vec<(String, usize)>,
-        /// Access→exit write-back edges processed at iteration end.
-        writebacks: Vec<EdgeId>,
-    },
-}
-
-/// Everything launch-invariant about one map scope, cached per worker and
-/// (context-verified) across runs in the shared execution plan.
-pub(crate) struct MapPlan {
-    params: Vec<String>,
-    ranges: Vec<sdfg_symbolic::SymRange>,
-    #[allow(dead_code)] // kept for diagnostics/debug printing
-    schedule: Schedule,
-    /// Dynamic-range connector edges (gathered per launch).
-    dyn_edges: Vec<EdgeId>,
-    /// Iteration counts for the race analysis.
-    pcounts: Vec<i64>,
-    body: MapBody,
-}
-
-fn build_map_plan(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    entry: NodeId,
-    worker: &mut Worker,
-) -> Result<std::sync::Arc<MapPlan>, ExecError> {
-    if let Some(p) = worker.map_cache.get(&(sid.0, entry.0)) {
-        return Ok(p.clone());
-    }
-    // Shared cache probe: a map plan bakes in environment-derived values
-    // (iteration counts, window offsets, local-transient sizes, atomic
-    // flags), so reuse is gated on an equal compile context.
-    let shared_key = (sid.0, entry.0);
-    let cctx = worker.compile_ctx();
-    if let Some(p) = ctx.plan.map(shared_key, &cctx) {
-        worker.map_cache.insert(shared_key, p.clone());
-        return Ok(p);
-    }
-    let state = ctx.sdfg.state(sid);
-    let Node::MapEntry(scope) = state.graph.node(entry) else {
-        unreachable!()
-    };
-    let params = scope.params.clone();
-    let ranges = scope.ranges.clone();
-    let schedule = scope.schedule;
-    // Iteration counts for the race analysis: dynamic (parameter-dependent
-    // or connector-fed) ranges are treated as unbounded.
-    let mut pcounts = Vec::with_capacity(ranges.len());
-    for r in &ranges {
-        let dynamic = {
-            let mut syms = std::collections::BTreeSet::new();
-            r.collect_symbols(&mut syms);
-            syms.iter()
-                .any(|s| worker.pstack.contains(s) || !worker.env.contains_key(s))
-        };
-        let count = if dynamic {
-            i64::MAX / 4
-        } else {
-            r.eval_len(&worker.env).unwrap_or(i64::MAX / 4)
-        };
-        pcounts.push(count);
-    }
-    let dyn_edges: Vec<EdgeId> = state
-        .graph
-        .in_edges(entry)
-        .filter(|&e| {
-            let df = state.graph.edge(e);
-            df.dst_conn
-                .as_deref()
-                .is_some_and(|c| !c.starts_with("IN_"))
-                && !df.memlet.is_empty()
-        })
-        .collect();
-    // Children.
-    let order = state.topological_order();
-    let children: Vec<NodeId> = order
-        .into_iter()
-        .filter(|&c| tree.scope_of(c) == Some(entry))
-        .collect();
-    let all_tasklets = children
-        .iter()
-        .all(|&c| matches!(state.graph.node(c), Node::Tasklet { .. }));
-    let body = if all_tasklets && !children.is_empty() {
-        let mut ts = Vec::new();
-        for &c in &children {
-            ts.push((c, worker.tasklet(sid, c)?));
-        }
-        MapBody::Tasklets(ts)
-    } else {
-        // Thread-local transients: transient containers whose lifetime is
-        // entirely inside this scope.
-        let mut local_transients = Vec::new();
-        let mut writebacks = Vec::new();
-        let members = sdfg_core::scope::scope_members(state, entry);
-        for &c in members.iter() {
-            if let Some(data) = state.graph.node(c).access_data() {
-                let desc = ctx
-                    .sdfg
-                    .desc(data)
-                    .ok_or_else(|| ExecError::MissingArray(data.to_string()))?;
-                if desc.transient()
-                    && !local_transients.iter().any(|(n, _)| n == data)
-                    && scope_owns_container(ctx.sdfg, sid, &members, data)
-                {
-                    let mut size = 1i64;
-                    for d in desc.shape() {
-                        size = size.saturating_mul(d.eval(&worker.env)?.max(0));
-                    }
-                    local_transients.push((data.to_string(), size as usize));
-                }
-                for e in state.graph.out_edges(c) {
-                    let dst = state.graph.edge_dst(e);
-                    if state.graph.node(dst).exit_entry() == Some(entry)
-                        && !state.graph.edge(e).memlet.is_empty()
-                        && state.graph.edge(e).memlet.data_name() != data
-                    {
-                        writebacks.push(e);
-                    }
-                }
-            }
-        }
-        MapBody::Generic {
-            children,
-            local_transients,
-            writebacks,
-        }
-    };
-    let plan = std::sync::Arc::new(MapPlan {
-        params,
-        ranges,
-        schedule,
-        dyn_edges,
-        pcounts,
-        body,
-    });
-    ctx.plan.insert_map(shared_key, cctx, plan.clone());
-    worker.map_cache.insert(shared_key, plan.clone());
-    Ok(plan)
-}
-
-fn exec_map(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    entry: NodeId,
-    worker: &mut Worker,
-) -> Result<(), ExecError> {
-    ctx.stats.map_launches.fetch_add(1, Ordering::Relaxed);
-    let pkey = (sid.0, entry.0);
-    let pmode = match &ctx.prof {
-        Some(p) => p.map_mode(pkey),
-        None => ProfMode::Off,
-    };
-    let pstart = match (pmode, &ctx.prof) {
-        (ProfMode::Timer, Some(p)) => Some(p.collector.now_ns()),
-        _ => None,
-    };
-    let saved_cur_map = worker.cur_map;
-    if pmode == ProfMode::Timer {
-        worker.cur_map = Some(pkey);
-    }
-    // Closes the map measurement on the success paths (the restore of
-    // `cur_map` itself lives in `pop`, which runs on every exit).
-    let prof_close = |w: &mut Worker| match pmode {
-        ProfMode::Off => {}
-        ProfMode::Counter => {
-            if let Some(wp) = w.prof.as_mut() {
-                wp.maps.entry(pkey).or_default().bump();
-            }
-        }
-        ProfMode::Timer => {
-            if let (Some(p), Some(s)) = (&ctx.prof, pstart) {
-                let dur = p.collector.now_ns().saturating_sub(s);
-                if let Some(wp) = w.prof.as_mut() {
-                    wp.maps.entry(pkey).or_default().record(dur);
-                    wp.timeline.push(Span {
-                        key: SpanKey::Map {
-                            state: pkey.0,
-                            node: pkey.1,
-                        },
-                        worker: wp.worker,
-                        start_ns: s,
-                        dur_ns: dur,
-                    });
-                }
-            }
-        }
-    };
-    let state = ctx.sdfg.state(sid);
-    // Parallelism decision (made before compiling bodies so the WCR race
-    // analysis knows the chunked parameter). NOTE: compile caching means
-    // the decision must be stable per (worker, map) — it is, since it
-    // depends only on schedule/nesting.
-    let schedule = match state.graph.node(entry) {
-        Node::MapEntry(m) => m.schedule,
-        _ => unreachable!(),
-    };
-    let nparams = match state.graph.node(entry) {
-        Node::MapEntry(m) => m.params.len(),
-        _ => unreachable!(),
-    };
-    let base = worker.pstack.len();
-    let parallel = matches!(
-        schedule,
-        Schedule::CpuMulticore | Schedule::GpuDevice | Schedule::Mpi
-    ) && ctx.nthreads > 1
-        && nparams > 0
-        && !worker.nested;
-    let saved_chunk = worker.chunk_param;
-    if parallel {
-        worker.chunk_param = Some(base);
-    }
-    // Parameters must be on the stack BEFORE compiling the body: tasklet
-    // windows are solved as affine functions of the full parameter stack.
-    {
-        let Node::MapEntry(m) = state.graph.node(entry) else {
-            unreachable!()
-        };
-        worker.pstack.extend(m.params.iter().cloned());
-        worker.point.resize(base + m.params.len(), 0);
-    }
-    let plan = build_map_plan(ctx, sid, tree, entry, worker)?;
-    let params = &plan.params;
-    let ranges = &plan.ranges;
-    let body = &plan.body;
-    worker.pcounts.extend(plan.pcounts.iter().copied());
-    // Dynamic-range connectors (per launch).
-    for &e in &plan.dyn_edges {
-        let df = state.graph.edge(e);
-        let conn = df.dst_conn.clone().unwrap();
-        let m = df.memlet.clone();
-        let w = gather_symbolic(worker, m.data_name(), &m.subset)?;
-        worker.env.insert(conn, w[0].round() as i64);
-    }
-    // Outermost bound decides parallelism.
-    let parallel = matches!(
-        schedule,
-        Schedule::CpuMulticore | Schedule::GpuDevice | Schedule::Mpi
-    ) && ctx.nthreads > 1
-        && !params.is_empty()
-        && !worker.nested;
-    let pop = |w: &mut Worker| {
-        w.pstack.truncate(base);
-        w.point.truncate(base);
-        w.pcounts.truncate(base);
-        w.chunk_param = saved_chunk;
-        w.cur_map = saved_cur_map;
-    };
-    let (d0s, d0e, d0st, _) = ranges[0].eval(&worker.env)?;
-    if d0st <= 0 {
-        pop(worker);
-        return Err(ExecError::BadGraph("map step must be positive".into()));
-    }
-    let n0 = ((d0e - d0s) + d0st - 1).div_euclid(d0st).max(0) as usize;
-    if n0 == 0 {
-        pop(worker);
-        prof_close(worker);
-        return Ok(());
-    }
-    if !parallel || n0 == 1 {
-        let was_nested = worker.nested;
-        worker.nested = true;
-        // Env-free fast nest: constant bounds + fully-affine tasklet body
-        // lets the whole iteration space run on integer loops without
-        // symbolic evaluation or environment updates per point.
-        let r = if let Some(bounds) = env_free_bounds(&plan, worker) {
-            run_map_fast(ctx, sid, &plan, worker, base, &bounds)
-        } else {
-            run_map_serial(
-                ctx, sid, tree, params, ranges, body, worker, base, d0s, d0e, d0st,
-            )
-        };
-        worker.nested = was_nested;
-        pop(worker);
-        if r.is_ok() {
-            prof_close(worker);
-        }
-        return r;
-    }
-    ctx.stats.parallel_regions.fetch_add(1, Ordering::Relaxed);
-    // Chunk dim 0 across threads.
-    let nthreads = ctx.nthreads.min(n0);
-    let chunk = n0.div_ceil(nthreads);
-    let base_env = worker.env.clone();
-    let mut first_err: Mutex<Option<ExecError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for t in 0..nthreads {
-            let lo = d0s + (t * chunk) as i64 * d0st;
-            let hi = (d0s + ((t + 1) * chunk) as i64 * d0st).min(d0e);
-            if lo >= d0e {
-                break;
-            }
-            let env = base_env.clone();
-            let body = &plan.body;
-            let params = &plan.params;
-            let ranges = &plan.ranges;
-            let first_err = &first_err;
-            let pstack = worker.pstack.clone();
-            let pcounts = worker.pcounts.clone();
-            scope.spawn(move || {
-                let mut w = Worker::new(ctx, env);
-                w.nested = true;
-                w.pstack = pstack;
-                w.pcounts = pcounts;
-                w.chunk_param = Some(base);
-                w.point = vec![0; w.pstack.len()];
-                // Timeline span per worker chunk (the parent records the
-                // aggregate launch; tiers attribute to this map here too).
-                let cstart = match (pmode, &ctx.prof) {
-                    (ProfMode::Timer, Some(p)) => {
-                        w.cur_map = Some(pkey);
-                        Some(p.collector.now_ns())
-                    }
-                    _ => None,
-                };
-                if let Err(e) = run_map_serial(
-                    ctx, sid, tree, params, ranges, body, &mut w, base, lo, hi, d0st,
-                ) {
-                    let mut slot = first_err.lock();
-                    if slot.is_none() {
-                        *slot = Some(e);
-                    }
-                }
-                if let (Some(s), Some(p)) = (cstart, &ctx.prof) {
-                    let dur = p.collector.now_ns().saturating_sub(s);
-                    if let Some(wp) = w.prof.as_mut() {
-                        wp.timeline.push(Span {
-                            key: SpanKey::Map {
-                                state: pkey.0,
-                                node: pkey.1,
-                            },
-                            worker: wp.worker,
-                            start_ns: s,
-                            dur_ns: dur,
-                        });
-                    }
-                }
-                w.flush_stats();
-            });
-        }
-    });
-    pop(worker);
-    match first_err.get_mut().take() {
-        Some(e) => Err(e),
-        None => {
-            prof_close(worker);
-            Ok(())
-        }
-    }
-}
-
-/// Checks whether a map can run entirely without per-iteration symbolic
-/// evaluation: every range bound evaluates now (no dependence on this
-/// map's own parameters) and every tasklet port/body is parameter-affine.
-fn env_free_bounds(plan: &MapPlan, worker: &Worker) -> Option<Vec<(i64, i64, i64)>> {
-    let MapBody::Tasklets(ts) = &plan.body else {
-        return None;
-    };
-    for (_, bt) in ts {
-        if !bt.prog.symbols.is_empty() {
-            return None;
-        }
-        let fast = |w: &WindowPlan| {
-            matches!(w, WindowPlan::Scalar(sv) if sv.is_fast()) || matches!(w, WindowPlan::Full)
-        };
-        if !bt.ins.iter().all(|p| !p.stream && fast(&p.window)) {
-            return None;
-        }
-        if !bt
-            .outs
-            .iter()
-            .all(|o| (fast(&o.window) || o.stream) && !matches!(o.wcr, Some(Wcr::Custom(_))))
-        {
-            return None;
-        }
-        // Full-window log outputs are fine; scalar ones handled above.
-        for o in &bt.outs {
-            if o.log && !matches!(o.window, WindowPlan::Full) {
-                return None;
-            }
-        }
-    }
-    // Range bounds must not reference this map's own parameters.
-    let own: std::collections::BTreeSet<&String> = plan.params.iter().collect();
-    let mut bounds = Vec::with_capacity(plan.ranges.len());
-    for r in &plan.ranges {
-        let mut syms = std::collections::BTreeSet::new();
-        r.collect_symbols(&mut syms);
-        if syms.iter().any(|s| own.contains(s)) {
-            return None;
-        }
-        let (s, e, st, _) = r.eval(&worker.env).ok()?;
-        if st <= 0 {
-            return None;
-        }
-        bounds.push((s, e, st));
-    }
-    Some(bounds)
-}
-
-/// Integer loop nest over constant bounds: the innermost dimension runs
-/// through the native/VM loops; middle dimensions update only the point
-/// vector.
-fn run_map_fast(
-    ctx: &Ctx,
-    sid: StateId,
-    plan: &MapPlan,
-    worker: &mut Worker,
-    base: usize,
-    bounds: &[(i64, i64, i64)],
-) -> Result<(), ExecError> {
-    let MapBody::Tasklets(ts) = &plan.body else {
-        unreachable!()
-    };
-    let nd = bounds.len();
-    if bounds.iter().any(|&(s, e, _)| s >= e) {
-        return Ok(());
-    }
-    // Initialize the point.
-    for (d, &(s, _, _)) in bounds.iter().enumerate() {
-        worker.point[base + d] = s;
-    }
-    let (is_, ie_, ist) = bounds[nd - 1];
-    let single = if ts.len() == 1 {
-        Some(ts[0].1.clone())
-    } else {
-        None
-    };
-    loop {
-        // Innermost dimension through the fast loops; fall back to
-        // per-point execution (still env-light: env only consulted by
-        // Symbolic plans, which env_free_bounds excluded).
-        let mut handled = false;
-        if let Some(t) = &single {
-            let t0 = worker.tier_clock();
-            if try_native_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
-                worker.tier_record(t0, Tier::NativeKernel);
-                handled = true;
-            } else if try_vm_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
-                worker.tier_record(t0, Tier::AffineVm);
-                handled = true;
-            }
-        }
-        if !handled {
-            let t0 = worker.tier_clock();
-            let mut v = is_;
-            while v < ie_ {
-                worker.point[base + nd - 1] = v;
-                for (_, bt) in ts {
-                    run_tasklet_point(ctx, sid, bt, worker, None)?;
-                }
-                v += ist;
-            }
-            worker.tier_record(t0, Tier::Symbolic);
-        }
-        // Odometer over the outer dims.
-        if nd == 1 {
-            return Ok(());
-        }
-        let mut d = nd - 1;
-        loop {
-            if d == 0 {
-                return Ok(());
-            }
-            d -= 1;
-            let (s, e, st) = bounds[d];
-            worker.point[base + d] += st;
-            if worker.point[base + d] < e {
-                break;
-            }
-            worker.point[base + d] = s;
-        }
-    }
-}
-
-/// Serial execution of dim 0 over `[lo, hi)`; inner dims recurse lazily.
-#[allow(clippy::too_many_arguments)]
-fn run_map_serial(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    params: &[String],
-    ranges: &[sdfg_symbolic::SymRange],
-    body: &MapBody,
-    worker: &mut Worker,
-    base: usize,
-    lo: i64,
-    hi: i64,
-    step: i64,
-) -> Result<(), ExecError> {
-    // Allocate thread-local transients.
-    if let MapBody::Generic {
-        local_transients, ..
-    } = body
-    {
-        for (name, size) in local_transients {
-            if !worker.locals.contains_key(name) {
-                let buf = SharedBuffer::new(worker.ctx.pool.acquire(*size));
-                worker.locals.insert(name.clone(), buf);
-            }
-        }
-    }
-    // Single-dimension tasklet body: attempt the native loop over the whole
-    // chunk, then the allocation-free VM loop.
-    if params.len() == 1 {
-        if let MapBody::Tasklets(ts) = body {
-            if ts.len() == 1 {
-                let t = ts[0].1.clone();
-                let t0 = worker.tier_clock();
-                if try_native_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
-                    worker.tier_record(t0, Tier::NativeKernel);
-                    return Ok(());
-                }
-                if try_vm_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
-                    worker.tier_record(t0, Tier::AffineVm);
-                    return Ok(());
-                }
-            }
-        }
-    }
-    // Single-dimension tasklet bodies falling through run per point on
-    // the symbolic path; multi-dimension nests attribute tiers at the
-    // innermost level (`map_inner_dims`).
-    let t0 = if params.len() == 1 && matches!(body, MapBody::Tasklets(_)) {
-        worker.tier_clock()
-    } else {
-        None
-    };
-    let mut v = lo;
-    while v < hi {
-        worker.point[base] = v;
-        worker.env.insert(params[0].clone(), v);
-        map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, 1)?;
-        v += step;
-    }
-    worker.tier_record(t0, Tier::Symbolic);
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn map_inner_dims(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    params: &[String],
-    ranges: &[sdfg_symbolic::SymRange],
-    body: &MapBody,
-    worker: &mut Worker,
-    base: usize,
-    dim: usize,
-) -> Result<(), ExecError> {
-    if dim == params.len() {
-        return run_map_body(ctx, sid, tree, body, worker);
-    }
-    let (s, e, st, _) = ranges[dim].eval(&worker.env)?;
-    if st <= 0 {
-        return Err(ExecError::BadGraph("map step must be positive".into()));
-    }
-    // Innermost dimension with a tasklet-only body: attempt the native
-    // loop, then the allocation-free VM loop.
-    if dim == params.len() - 1 {
-        if let MapBody::Tasklets(ts) = body {
-            if ts.len() == 1 {
-                let t = ts[0].1.clone();
-                let t0 = worker.tier_clock();
-                if try_native_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
-                    worker.tier_record(t0, Tier::NativeKernel);
-                    return Ok(());
-                }
-                if try_vm_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
-                    worker.tier_record(t0, Tier::AffineVm);
-                    return Ok(());
-                }
-            }
-        }
-    }
-    // Innermost rows that fall through run on the per-point symbolic
-    // path; outer dimensions recurse without attributing time.
-    let t0 = if dim == params.len() - 1 && matches!(body, MapBody::Tasklets(_)) {
-        worker.tier_clock()
-    } else {
-        None
-    };
-    let mut v = s;
-    while v < e {
-        worker.point[base + dim] = v;
-        worker.env.insert(params[dim].clone(), v);
-        map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, dim + 1)?;
-        v += st;
-    }
-    worker.tier_record(t0, Tier::Symbolic);
-    Ok(())
-}
-
-fn run_map_body(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    body: &MapBody,
-    worker: &mut Worker,
-) -> Result<(), ExecError> {
-    match body {
-        MapBody::Tasklets(ts) => {
-            for (_, bt) in ts {
-                run_tasklet_point(ctx, sid, bt, worker, None)?;
-            }
-            Ok(())
-        }
-        MapBody::Generic {
-            children,
-            local_transients,
-            writebacks,
-        } => {
-            // Fresh scope-local transients per iteration.
-            for (name, _) in local_transients {
-                if let Some(b) = worker.locals.get(name) {
-                    unsafe {
-                        b.as_mut_slice().fill(0.0);
-                    }
-                }
-            }
-            for &c in children {
-                exec_scope_child(ctx, sid, tree, c, worker)?;
-            }
-            // Write-backs: local → global along access→exit edges.
-            for &e in writebacks {
-                let state = ctx.sdfg.state(sid);
-                let src = state.graph.edge_src(e);
-                let local_name = state.graph.node(src).access_data().unwrap().to_string();
-                let m = state.graph.edge(e).memlet.clone();
-                let global = m.data_name().to_string();
-                let local_is_stream =
-                    matches!(ctx.sdfg.desc(&local_name), Some(DataDesc::Stream(_)));
-                if local_is_stream {
-                    // Bulk flush into the global stream.
-                    let drained: Vec<f64> = {
-                        let mut q = ctx
-                            .streams
-                            .get(&local_name)
-                            .ok_or_else(|| ExecError::MissingArray(local_name.clone()))?
-                            .lock();
-                        q.drain(..).collect()
-                    };
-                    if !drained.is_empty() {
-                        ctx.streams
-                            .get(&global)
-                            .ok_or_else(|| ExecError::MissingArray(global.clone()))?
-                            .lock()
-                            .extend(drained);
-                    }
-                    continue;
-                }
-                let window = match &m.other_subset {
-                    Some(os) => gather_symbolic(worker, &local_name, os)?,
-                    None => worker.buf(&local_name)?.as_slice().to_vec(),
-                };
-                ctx.stats
-                    .elements_copied
-                    .fetch_add(window.len() as u64, Ordering::Relaxed);
-                if let Some(wp) = worker.prof.as_mut() {
-                    wp.bytes_moved += window.len() as u64 * std::mem::size_of::<f64>() as u64;
-                }
-                scatter_symbolic(worker, &global, &m.subset, &window, m.wcr.as_ref())?;
-            }
-            Ok(())
-        }
-    }
-}
-
-/// Executes a child node inside a generic map body.
-fn exec_scope_child(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    c: NodeId,
-    worker: &mut Worker,
-) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    match state.graph.node(c) {
-        Node::Tasklet { .. } => {
-            let bt = worker.tasklet(sid, c)?;
-            run_tasklet_point(ctx, sid, &bt, worker, None)
-        }
-        Node::Access { .. } => exec_access(ctx, sid, c, worker),
-        Node::MapEntry(_) => exec_map(ctx, sid, tree, c, worker),
-        Node::ConsumeEntry(_) => exec_consume(ctx, sid, tree, c, worker),
-        Node::MapExit { .. } | Node::ConsumeExit { .. } => Ok(()),
-        Node::Reduce { .. } => exec_reduce(ctx, sid, c, worker),
-        Node::NestedSdfg { .. } => exec_nested(ctx, sid, c, worker),
-    }
-}
-
-// --- native loops -------------------------------------------------------------------
-
-/// Runs the innermost dimension natively when the tasklet matches a
-/// recognized pattern with affine scalar ports. Returns `Some(())` when
-/// handled.
-#[allow(clippy::too_many_arguments)]
-fn try_native_loop(
-    _ctx: &Ctx,
-    bt: &BodyTasklet,
-    worker: &mut Worker,
-    dim: usize, // absolute index into the parameter stack
-    s: i64,
-    e: i64,
-    st: i64,
-) -> Result<Option<()>, ExecError> {
-    let Some(native) = &bt.native else {
-        return Ok(None);
-    };
-    if st <= 0 || s >= e {
-        return Ok(if s >= e { Some(()) } else { None });
-    }
-    let n = (((e - s) + st - 1) / st) as usize;
-    // Resolve base offsets and inner-dim coefficients (stack snapshot of
-    // the parameter point — this path runs once per inner-loop launch).
-    worker.point[dim] = s;
-    let mut point_buf = [0i64; 24];
-    let np = worker.point.len().min(24);
-    point_buf[..np].copy_from_slice(&worker.point[..np]);
-    let point: &[i64] = &point_buf[..np];
-    let resolve = |w: &WindowPlan, point: &[i64]| -> Option<(i64, i64)> {
-        match w {
-            WindowPlan::Scalar(sv) => {
-                let base = sv.eval(point, &Env::new()).ok()?;
-                let coeff = sv.coeff(dim)?;
-                Some((base, coeff * st))
-            }
-            _ => None,
-        }
-    };
-    let out = &bt.outs[0];
-    let Some((out_base, out_step)) = resolve(&out.window, point) else {
-        return Ok(None);
-    };
-    let mut in_bases = Vec::with_capacity(bt.ins.len());
-    for p in &bt.ins {
-        let Some(b) = resolve(&p.window, point) else {
-            return Ok(None);
-        };
-        in_bases.push(b);
-    }
-    worker.st_points += n as u64;
-    worker.st_native += n as u64;
-    let out_buf = worker.buf_slot(out.slot, &out.data)?;
-    // Linear combinations and product chains take dedicated loops.
-    if let NativePlan::LinComb(lc) = native {
-        return run_lincomb(
-            lc, n, out_buf, out_base, out_step, &in_bases, bt, worker, out,
-        )
-        .map(Some);
-    }
-    if let NativePlan::MulChain(mc) = native {
-        return run_mulchain(
-            mc, n, out_buf, out_base, out_step, &in_bases, bt, worker, out,
-        )
-        .map(Some);
-    }
-    let NativePlan::Pattern(pattern) = native else {
-        unreachable!()
-    };
-    let native = pattern;
-
-    // Operand fetcher.
-    let operand = |op: Operand| -> Result<(f64, i64, i64, &SharedBuffer), ExecError> {
-        match op {
-            Operand::Const(c) => Ok((c, 0, 0, out_buf)),
-            Operand::Input(i) => {
-                let (b, step) = in_bases[i];
-                Ok((0.0, b, step, worker.buf(&bt.ins[i].data)?))
-            }
-        }
-    };
-
-    match (native, &out.wcr) {
-        // Reduction into a loop-invariant scalar: accumulate in-register.
-        (pat, Some(w)) if out_step == 0 => {
-            let f = wcr_fn(w)?;
-            let mut acc_init = match w {
-                Wcr::Sum => 0.0,
-                Wcr::Product => 1.0,
-                Wcr::Min => f64::INFINITY,
-                Wcr::Max => f64::NEG_INFINITY,
-                Wcr::Custom(_) => return Ok(None),
-            };
-            // Monomorphic fast path for Sum reductions over products (the
-            // GEMM/dot inner loop): bounds-checked once, then raw reads.
-            if matches!(w, Wcr::Sum) {
-                if let Pattern::BinOp {
-                    op: sdfg_lang::recognize::BinOpKind::Mul,
-                    a: Operand::Input(ia),
-                    b: Operand::Input(ib),
-                } = pat
-                {
-                    let (ba, sa) = in_bases[*ia];
-                    let (bb, sb) = in_bases[*ib];
-                    let bufa = worker.buf_slot(bt.ins[*ia].slot, &bt.ins[*ia].data)?;
-                    let bufb = worker.buf_slot(bt.ins[*ib].slot, &bt.ins[*ib].data)?;
-                    let xs = bufa.as_slice();
-                    let ys = bufb.as_slice();
-                    let last_a = ba + (n as i64 - 1) * sa;
-                    let last_b = bb + (n as i64 - 1) * sb;
-                    let in_bounds = ba >= 0
-                        && bb >= 0
-                        && last_a >= 0
-                        && last_b >= 0
-                        && (ba.max(last_a) as usize) < xs.len()
-                        && (bb.max(last_b) as usize) < ys.len();
-                    if in_bounds {
-                        let mut acc = 0.0f64;
-                        if sa == 1 && sb == 1 {
-                            let xs = &xs[ba as usize..][..n];
-                            let ys = &ys[bb as usize..][..n];
-                            for (x, y) in xs.iter().zip(ys) {
-                                acc += x * y;
-                            }
-                        } else {
-                            let (mut ia2, mut ib2) = (ba, bb);
-                            for _ in 0..n {
-                                // SAFETY: bounds verified above for the
-                                // whole strided range.
-                                unsafe {
-                                    acc += xs.get_unchecked(ia2 as usize)
-                                        * ys.get_unchecked(ib2 as usize);
-                                }
-                                ia2 += sa;
-                                ib2 += sb;
-                            }
-                        }
-                        if out.atomic {
-                            out_buf.atomic_combine(out_base.max(0) as usize, acc, f);
-                        } else {
-                            out_buf.combine_plain(out_base.max(0) as usize, acc, f);
-                        }
-                        return Ok(Some(()));
-                    }
-                }
-            }
-            match pat {
-                Pattern::Copy { input } => {
-                    let (b, stp) = in_bases[*input];
-                    let buf = worker.buf_slot(bt.ins[*input].slot, &bt.ins[*input].data)?;
-                    for k in 0..n {
-                        let v = buf.read((b + k as i64 * stp).max(0) as usize);
-                        acc_init = f(acc_init, v);
-                    }
-                }
-                Pattern::Axpb { input, mul, add } => {
-                    let (b, stp) = in_bases[*input];
-                    let buf = worker.buf(&bt.ins[*input].data)?;
-                    for k in 0..n {
-                        let v = mul * buf.read((b + k as i64 * stp).max(0) as usize) + add;
-                        acc_init = f(acc_init, v);
-                    }
-                }
-                Pattern::BinOp { op, a, b } => {
-                    let (ca, ba, sa, bufa) = operand(*a)?;
-                    let (cb, bb, sb, bufb) = operand(*b)?;
-                    for k in 0..n {
-                        let xa = if sa == 0 && ba == 0 && matches!(a, Operand::Const(_)) {
-                            ca
-                        } else {
-                            bufa.read((ba + k as i64 * sa).max(0) as usize)
-                        };
-                        let xb = if sb == 0 && bb == 0 && matches!(b, Operand::Const(_)) {
-                            cb
-                        } else {
-                            bufb.read((bb + k as i64 * sb).max(0) as usize)
-                        };
-                        acc_init = f(acc_init, apply_binop_kind(*op, xa, xb));
-                    }
-                }
-                Pattern::Fma { a, b, c } => {
-                    let (ba, sa) = in_bases[*a];
-                    let (bb, sb) = in_bases[*b];
-                    let (bc, sc) = in_bases[*c];
-                    let bufa = worker.buf(&bt.ins[*a].data)?;
-                    let bufb = worker.buf(&bt.ins[*b].data)?;
-                    let bufc = worker.buf(&bt.ins[*c].data)?;
-                    for k in 0..n {
-                        let v = bufa.read((ba + k as i64 * sa).max(0) as usize)
-                            * bufb.read((bb + k as i64 * sb).max(0) as usize)
-                            + bufc.read((bc + k as i64 * sc).max(0) as usize);
-                        acc_init = f(acc_init, v);
-                    }
-                }
-            }
-            if out.atomic {
-                out_buf.atomic_combine(out_base.max(0) as usize, acc_init, f);
-            } else {
-                out_buf.combine_plain(out_base.max(0) as usize, acc_init, f);
-            }
-        }
-        // Element-wise, no conflicts: plain strided loop.
-        (pat, None) => {
-            run_elementwise(
-                pat, n, out_buf, out_base, out_step, &in_bases, bt, worker, None, true,
-            )?;
-        }
-        // Element-wise with WCR: combine per element (atomic only when the
-        // race analysis requires it).
-        (pat, Some(w)) => {
-            let f = wcr_fn(w)?;
-            run_elementwise(
-                pat,
-                n,
-                out_buf,
-                out_base,
-                out_step,
-                &in_bases,
-                bt,
-                worker,
-                Some(f),
-                out.atomic,
-            )?;
-        }
-    }
-    Ok(Some(()))
-}
-
-/// Allocation-free inner loop for unrecognized tasklets whose ports are all
-/// affine scalars: the bytecode VM runs per point with stack-resident
-/// buffers and pre-resolved offset strides.
-#[allow(clippy::too_many_arguments)]
-fn try_vm_loop(
-    ctx: &Ctx,
-    bt: &BodyTasklet,
-    worker: &mut Worker,
-    dim: usize,
-    s: i64,
-    e: i64,
-    st: i64,
-) -> Result<Option<()>, ExecError> {
-    const MAX_PORTS: usize = 12;
-    if bt.ins.len() > MAX_PORTS || bt.outs.len() > MAX_PORTS || bt.outs.is_empty() {
-        return Ok(None);
-    }
-    // Symbol-reading bodies: values must be loop-invariant here (the
-    // innermost parameter is not re-inserted into the env by this loop).
-    let innermost_name = worker.pstack.get(dim).cloned();
-    if bt
-        .prog
-        .symbols
-        .iter()
-        .any(|s| Some(s) == innermost_name.as_ref())
-    {
-        return Ok(None);
-    }
-    let mut symvals = Vec::with_capacity(bt.prog.symbols.len());
-    for name in &bt.prog.symbols {
-        let v = worker
-            .env
-            .get(name)
-            .copied()
-            .ok_or_else(|| EvalError::UnboundSymbol(name.clone()))?;
-        symvals.push(v as f64);
-    }
-    if st <= 0 || s >= e {
-        return Ok(if s >= e { Some(()) } else { None });
-    }
-    // Inputs: affine scalars or full-container passthroughs (no streams).
-    for p in &bt.ins {
-        if p.stream {
-            return Ok(None);
-        }
-        let ok = p.window.is_scalar_fast()
-            || (matches!(p.window, WindowPlan::Full) && !worker.locals.contains_key(&p.data));
-        if !ok {
-            return Ok(None);
-        }
-    }
-    // Outputs: affine scalars, streams (flushed per chunk), or contiguous
-    // write-log ports; no custom WCR.
-    for o in &bt.outs {
-        if matches!(o.wcr, Some(Wcr::Custom(_))) {
-            return Ok(None);
-        }
-        if o.stream {
-            continue;
-        }
-        if o.log {
-            // Only whole-container logs (contiguous, base 0).
-            if !matches!(o.window, WindowPlan::Full) {
-                return Ok(None);
-            }
-            continue;
-        }
-        if !o.window.is_scalar_fast() {
-            return Ok(None);
-        }
-    }
-    let n = (((e - s) + st - 1) / st) as usize;
-    worker.point[dim] = s;
-    let mut point_buf = [0i64; 24];
-    let np = worker.point.len().min(24);
-    point_buf[..np].copy_from_slice(&worker.point[..np]);
-    let point: &[i64] = &point_buf[..np];
-    let resolve = |w: &WindowPlan| -> Option<(i64, i64)> {
-        match w {
-            WindowPlan::Scalar(sv) => {
-                let base = sv.eval(point, &Env::new()).ok()?;
-                let coeff = sv.coeff(dim)?;
-                Some((base, coeff * st))
-            }
-            _ => None,
-        }
-    };
-    let mut in_off = [(0i64, 0i64); MAX_PORTS];
-    let mut in_full = [false; MAX_PORTS];
-    for (k, p) in bt.ins.iter().enumerate() {
-        if matches!(p.window, WindowPlan::Full) {
-            in_full[k] = true;
-            continue;
-        }
-        let Some(b) = resolve(&p.window) else {
-            return Ok(None);
-        };
-        in_off[k] = b;
-    }
-    #[derive(Clone, Copy, PartialEq)]
-    enum OutKind {
-        Scalar,
-        Stream,
-        Log,
-    }
-    let mut out_off = [(0i64, 0i64); MAX_PORTS];
-    let mut out_kind = [OutKind::Scalar; MAX_PORTS];
-    for (k, o) in bt.outs.iter().enumerate() {
-        if o.stream {
-            out_kind[k] = OutKind::Stream;
-            continue;
-        }
-        if o.log {
-            out_kind[k] = OutKind::Log;
-            continue;
-        }
-        let Some(b) = resolve(&o.window) else {
-            return Ok(None);
-        };
-        out_off[k] = b;
-    }
-    worker.st_points += n as u64;
-    // Split the worker borrow: buffers come from `locals` (or ctx), the VM
-    // is borrowed mutably alongside.
-    let wk = &mut *worker;
-    let locals = &wk.locals;
-    let vm = &mut wk.vm;
-    let getbuf = |slot: Option<usize>, name: &str| -> Result<&SharedBuffer, ExecError> {
-        if locals.is_empty() {
-            if let Some(i) = slot {
-                return Ok(&ctx.bufs[i]);
-            }
-        }
-        if let Some(b) = locals.get(name) {
-            Ok(b)
-        } else {
-            ctx.buf(name)
-        }
-    };
-    let mut in_bufs: Vec<&SharedBuffer> = Vec::with_capacity(bt.ins.len());
-    for p in &bt.ins {
-        in_bufs.push(getbuf(p.slot, &p.data)?);
-    }
-    // (buffer, wcr combiner, atomic?, log?) per output.
-    type OutBufRef<'a> = (
-        Option<&'a SharedBuffer>,
-        Option<fn(f64, f64) -> f64>,
-        bool,
-        bool,
-    );
-    let mut out_bufs: Vec<OutBufRef> = Vec::with_capacity(bt.outs.len());
-    for (k, o) in bt.outs.iter().enumerate() {
-        let f = match &o.wcr {
-            None => None,
-            Some(w) => Some(wcr_fn(w)?),
-        };
-        let buf = if out_kind[k] == OutKind::Stream {
-            None
-        } else {
-            Some(getbuf(o.slot, &o.data)?)
-        };
-        out_bufs.push((buf, f, o.wcr.is_none(), o.atomic));
-    }
-    let nin = bt.ins.len();
-    let nout = bt.outs.len();
-    let mut in_vals = [0.0f64; MAX_PORTS];
-    let mut out_vals = [[0.0f64; 1]; MAX_PORTS];
-    // Stream outputs accumulate locally and flush once per chunk; log
-    // outputs drain per point (their offsets alias the container).
-    let mut stream_bufs: Vec<Vec<f64>> = vec![Vec::new(); nout];
-    let mut log_bufs: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nout];
-    let prog = &bt.prog;
-    for k in 0..n {
-        for (i, buf) in in_bufs.iter().enumerate() {
-            if in_full[i] {
-                continue;
-            }
-            let (b, stp) = in_off[i];
-            in_vals[i] = buf.read((b + k as i64 * stp).max(0) as usize);
-        }
-        // Plain (non-WCR) scalar outputs keep read-modify-write semantics.
-        for (i, (buf, _, plain, _)) in out_bufs.iter().enumerate() {
-            if out_kind[i] != OutKind::Scalar {
-                continue;
-            }
-            let (b, stp) = out_off[i];
-            out_vals[i][0] = if *plain {
-                buf.unwrap().read((b + k as i64 * stp).max(0) as usize)
-            } else {
-                0.0
-            };
-        }
-        {
-            let mut in_refs = [&[][..]; MAX_PORTS];
-            for i in 0..nin {
-                in_refs[i] = if in_full[i] {
-                    in_bufs[i].as_slice()
-                } else {
-                    std::slice::from_ref(&in_vals[i])
-                };
-            }
-            let mut ports_buf: Vec<OutPort> = Vec::with_capacity(nout);
-            let mut sb_iter = stream_bufs.iter_mut();
-            let mut lb_iter = log_bufs.iter_mut();
-            for (i, ov) in out_vals.iter_mut().enumerate().take(nout) {
-                let sb = sb_iter.next().unwrap();
-                let lb = lb_iter.next().unwrap();
-                match out_kind[i] {
-                    OutKind::Scalar => ports_buf.push(OutPort::Mem(&mut ov[..])),
-                    OutKind::Stream => ports_buf.push(OutPort::Stream(sb)),
-                    OutKind::Log => {
-                        lb.clear();
-                        ports_buf.push(OutPort::Log(lb));
-                    }
-                }
-            }
-            vm.run_with_syms(prog, &in_refs[..nin], &mut ports_buf, &symvals)?;
-        }
-        for (i, (buf, f, _, atomic)) in out_bufs.iter().enumerate() {
-            match out_kind[i] {
-                OutKind::Scalar => {
-                    let buf = buf.unwrap();
-                    let (b, stp) = out_off[i];
-                    let off = (b + k as i64 * stp).max(0) as usize;
-                    match f {
-                        None => buf.write(off, out_vals[i][0]),
-                        Some(f) if *atomic => buf.atomic_combine(off, out_vals[i][0], f),
-                        Some(f) => buf.combine_plain(off, out_vals[i][0], f),
-                    }
-                }
-                OutKind::Stream => {} // flushed after the loop
-                OutKind::Log => {
-                    // Whole-container logs: relative == absolute offsets.
-                    let buf = buf.unwrap();
-                    if let Some(f) = f {
-                        for &(rel, v) in &log_bufs[i] {
-                            if *atomic {
-                                buf.atomic_combine(rel as usize, v, f);
-                            } else {
-                                buf.combine_plain(rel as usize, v, f);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    // Flush stream outputs once per chunk (order within a map is
-    // unspecified by the semantics).
-    for (i, sb) in stream_bufs.iter_mut().enumerate() {
-        if out_kind[i] == OutKind::Stream && !sb.is_empty() {
-            ctx.streams
-                .get(&bt.outs[i].data)
-                .ok_or_else(|| ExecError::MissingArray(bt.outs[i].data.clone()))?
-                .lock()
-                .extend(sb.drain(..));
-        }
-    }
-    Ok(Some(()))
-}
-
-/// Native loop for product-chain (tensor contraction) tasklets:
-/// `out (⊕=) scale · Π inᵢ`. The register-accumulation case
-/// (`out_step == 0` with a Sum WCR — the contraction inner loop) keeps the
-/// partial sum in a register and combines once.
-#[allow(clippy::too_many_arguments)]
-fn run_mulchain(
-    mc: &sdfg_lang::recognize::MulChain,
-    n: usize,
-    out_buf: &SharedBuffer,
-    out_base: i64,
-    out_step: i64,
-    in_bases: &[(i64, i64)],
-    bt: &BodyTasklet,
-    worker: &Worker,
-    out: &OutPortPlan,
-) -> Result<(), ExecError> {
-    const MAX: usize = 8;
-    if mc.slots.len() > MAX {
-        return Err(ExecError::BadGraph("mulchain arity overflow".into()));
-    }
-    let nt = mc.slots.len();
-    let mut bufs: [&[f64]; MAX] = [&[]; MAX];
-    let mut offs = [(0i64, 0i64); MAX];
-    let mut bounds_ok = true;
-    for (t, &slot) in mc.slots.iter().enumerate() {
-        let b = worker.buf_slot(bt.ins[slot].slot, &bt.ins[slot].data)?;
-        bufs[t] = b.as_slice();
-        offs[t] = in_bases[slot];
-        let (base, stp) = in_bases[slot];
-        let last = base + (n as i64 - 1) * stp;
-        bounds_ok &= base >= 0
-            && last >= 0
-            && !bufs[t].is_empty()
-            && (base.max(last) as usize) < bufs[t].len();
-    }
-    let scale = mc.scale;
-    let fetch = |t: usize, k: usize| -> f64 {
-        let (b, stp) = offs[t];
-        let idx = (b + k as i64 * stp).max(0) as usize;
-        bufs[t].get(idx).copied().unwrap_or(0.0)
-    };
-    match &out.wcr {
-        Some(w) if out_step == 0 => {
-            // Contraction inner loop: accumulate in a register.
-            let f = wcr_fn(w)?;
-            let mut acc = match w {
-                Wcr::Sum => 0.0,
-                Wcr::Product => 1.0,
-                Wcr::Min => f64::INFINITY,
-                Wcr::Max => f64::NEG_INFINITY,
-                Wcr::Custom(_) => unreachable!("filtered in plan_native"),
-            };
-            if bounds_ok && matches!(w, Wcr::Sum) {
-                for k in 0..n {
-                    let mut v = scale;
-                    for (t, b) in bufs.iter().enumerate().take(nt) {
-                        let (base, stp) = offs[t];
-                        // SAFETY: bounds checked for the whole range above.
-                        v *= unsafe { b.get_unchecked((base + k as i64 * stp) as usize) };
-                    }
-                    acc += v;
-                }
-            } else {
-                for k in 0..n {
-                    let mut v = scale;
-                    for t in 0..nt {
-                        v *= fetch(t, k);
-                    }
-                    acc = f(acc, v);
-                }
-            }
-            if out.atomic {
-                out_buf.atomic_combine(out_base.max(0) as usize, acc, f);
-            } else {
-                out_buf.combine_plain(out_base.max(0) as usize, acc, f);
-            }
-        }
-        wcr => {
-            let f = match wcr {
-                None => None,
-                Some(w) => Some(wcr_fn(w)?),
-            };
-            for k in 0..n {
-                let mut v = scale;
-                for t in 0..nt {
-                    v *= fetch(t, k);
-                }
-                let off = (out_base + k as i64 * out_step).max(0) as usize;
-                match (&f, out.atomic) {
-                    (None, _) => out_buf.write(off, v),
-                    (Some(f), true) => out_buf.atomic_combine(off, v, f),
-                    (Some(f), false) => out_buf.combine_plain(off, v, f),
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Native loop for linear-combination (stencil) tasklets.
-#[allow(clippy::too_many_arguments)]
-fn run_lincomb(
-    lc: &sdfg_lang::recognize::LinComb,
-    n: usize,
-    out_buf: &SharedBuffer,
-    out_base: i64,
-    out_step: i64,
-    in_bases: &[(i64, i64)],
-    bt: &BodyTasklet,
-    worker: &Worker,
-    out: &OutPortPlan,
-) -> Result<(), ExecError> {
-    const MAX_TERMS: usize = 12;
-    if lc.terms.len() > MAX_TERMS {
-        return Err(ExecError::BadGraph("lincomb arity overflow".into()));
-    }
-    let mut bufs: [&[f64]; MAX_TERMS] = [&[]; MAX_TERMS];
-    let mut offs = [(0i64, 0i64); MAX_TERMS];
-    let mut coef = [0.0f64; MAX_TERMS];
-    let nt = lc.terms.len();
-    let mut bounds_ok = out_base >= 0;
-    for (t, &(slot, c)) in lc.terms.iter().enumerate() {
-        let b = worker.buf_slot(bt.ins[slot].slot, &bt.ins[slot].data)?;
-        bufs[t] = b.as_slice();
-        offs[t] = in_bases[slot];
-        coef[t] = c;
-        let (base, stp) = in_bases[slot];
-        let last = base + (n as i64 - 1) * stp;
-        bounds_ok &= base >= 0 && last >= 0 && (base.max(last) as usize) < bufs[t].len().max(1);
-        bounds_ok &= !bufs[t].is_empty();
-    }
-    let out_last = out_base + (n as i64 - 1) * out_step;
-    bounds_ok &= out_last >= 0 && (out_base.max(out_last) as usize) < out_buf.len().max(1);
-    let bias = lc.bias;
-    let wcr = match &out.wcr {
-        None => None,
-        Some(w) => Some(wcr_fn(w)?),
-    };
-    if !bounds_ok {
-        // Safe fallback with per-element checks.
-        for k in 0..n {
-            let mut acc = bias;
-            for t in 0..nt {
-                let (b, stp) = offs[t];
-                let idx = (b + k as i64 * stp).max(0) as usize;
-                acc += coef[t] * bufs[t].get(idx).copied().unwrap_or(0.0);
-            }
-            let off = (out_base + k as i64 * out_step).max(0) as usize;
-            match (&wcr, out.atomic) {
-                (None, _) => out_buf.write(off, acc),
-                (Some(f), true) => out_buf.atomic_combine(off, acc, f),
-                (Some(f), false) => out_buf.combine_plain(off, acc, f),
-            }
-        }
-        return Ok(());
-    }
-    // Bounds verified: tight loop (plain writes only; WCR falls back).
-    if wcr.is_none() && out_step == 1 {
-        let dst = unsafe { &mut out_buf.as_mut_slice()[out_base as usize..][..n] };
-        for (k, d) in dst.iter_mut().enumerate() {
-            let mut acc = bias;
-            for t in 0..nt {
-                let (b, stp) = offs[t];
-                // SAFETY: whole strided range bounds-checked above.
-                acc += coef[t] * unsafe { bufs[t].get_unchecked((b + k as i64 * stp) as usize) };
-            }
-            *d = acc;
-        }
-        return Ok(());
-    }
-    for k in 0..n {
-        let mut acc = bias;
-        for t in 0..nt {
-            let (b, stp) = offs[t];
-            acc += coef[t] * unsafe { bufs[t].get_unchecked((b + k as i64 * stp) as usize) };
-        }
-        let off = (out_base + k as i64 * out_step) as usize;
-        match (&wcr, out.atomic) {
-            (None, _) => out_buf.write(off, acc),
-            (Some(f), true) => out_buf.atomic_combine(off, acc, f),
-            (Some(f), false) => out_buf.combine_plain(off, acc, f),
-        }
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_elementwise(
-    pat: &Pattern,
-    n: usize,
-    out_buf: &SharedBuffer,
-    out_base: i64,
-    out_step: i64,
-    in_bases: &[(i64, i64)],
-    bt: &BodyTasklet,
-    worker: &Worker,
-    wcr: Option<fn(f64, f64) -> f64>,
-    atomic: bool,
-) -> Result<(), ExecError> {
-    let emit = |k: usize, v: f64| {
-        let off = (out_base + k as i64 * out_step).max(0) as usize;
-        match wcr {
-            None => out_buf.write(off, v),
-            Some(f) if atomic => out_buf.atomic_combine(off, v, f),
-            Some(f) => out_buf.combine_plain(off, v, f),
-        }
-    };
-    match pat {
-        Pattern::Copy { input } => {
-            let (b, s) = in_bases[*input];
-            let buf = worker.buf(&bt.ins[*input].data)?;
-            // Contiguous fast path for LLVM.
-            if s == 1 && out_step == 1 && wcr.is_none() && b >= 0 && out_base >= 0 {
-                let src = buf.as_slice();
-                if (b as usize + n) <= src.len() && (out_base as usize + n) <= out_buf.len() {
-                    let dstslice = unsafe { &mut out_buf.as_mut_slice()[out_base as usize..][..n] };
-                    dstslice.copy_from_slice(&src[b as usize..][..n]);
-                    return Ok(());
-                }
-            }
-            for k in 0..n {
-                emit(k, buf.read((b + k as i64 * s).max(0) as usize));
-            }
-        }
-        Pattern::BinOp { op, a, b } => {
-            let fetch = |o: &Operand| -> Result<(bool, f64, i64, i64, &SharedBuffer), ExecError> {
-                match o {
-                    Operand::Const(c) => Ok((true, *c, 0, 0, out_buf)),
-                    Operand::Input(i) => {
-                        let (bb, ss) = in_bases[*i];
-                        Ok((false, 0.0, bb, ss, worker.buf(&bt.ins[*i].data)?))
-                    }
-                }
-            };
-            let (ca_const, ca, ba, sa, bufa) = fetch(a)?;
-            let (cb_const, cb, bb, sb, bufb) = fetch(b)?;
-            // Dense stride-1 fast path (both inputs, output contiguous).
-            if !ca_const
-                && !cb_const
-                && sa == 1
-                && sb == 1
-                && out_step == 1
-                && wcr.is_none()
-                && ba >= 0
-                && bb >= 0
-                && out_base >= 0
-            {
-                let xs = bufa.as_slice();
-                let ys = bufb.as_slice();
-                if ba as usize + n <= xs.len()
-                    && bb as usize + n <= ys.len()
-                    && out_base as usize + n <= out_buf.len()
-                {
-                    let dst = unsafe { &mut out_buf.as_mut_slice()[out_base as usize..][..n] };
-                    let xs = &xs[ba as usize..][..n];
-                    let ys = &ys[bb as usize..][..n];
-                    let op = *op;
-                    for ((d, x), y) in dst.iter_mut().zip(xs).zip(ys) {
-                        *d = apply_binop_kind(op, *x, *y);
-                    }
-                    return Ok(());
-                }
-            }
-            for k in 0..n {
-                let xa = if ca_const {
-                    ca
-                } else {
-                    bufa.read((ba + k as i64 * sa).max(0) as usize)
-                };
-                let xb = if cb_const {
-                    cb
-                } else {
-                    bufb.read((bb + k as i64 * sb).max(0) as usize)
-                };
-                emit(k, apply_binop_kind(*op, xa, xb));
-            }
-        }
-        Pattern::Fma { a, b, c } => {
-            let (ba, sa) = in_bases[*a];
-            let (bb, sb) = in_bases[*b];
-            let (bc, sc) = in_bases[*c];
-            let bufa = worker.buf(&bt.ins[*a].data)?;
-            let bufb = worker.buf(&bt.ins[*b].data)?;
-            let bufc = worker.buf(&bt.ins[*c].data)?;
-            for k in 0..n {
-                let v = bufa.read((ba + k as i64 * sa).max(0) as usize)
-                    * bufb.read((bb + k as i64 * sb).max(0) as usize)
-                    + bufc.read((bc + k as i64 * sc).max(0) as usize);
-                emit(k, v);
-            }
-        }
-        Pattern::Axpb { input, mul, add } => {
-            let (b, stp) = in_bases[*input];
-            let buf = worker.buf(&bt.ins[*input].data)?;
-            // Contiguous fast path (autovectorized scale/shift).
-            if stp == 1 && out_step == 1 && wcr.is_none() && b >= 0 && out_base >= 0 {
-                let src = buf.as_slice();
-                if b as usize + n <= src.len() && out_base as usize + n <= out_buf.len() {
-                    let dst = unsafe { &mut out_buf.as_mut_slice()[out_base as usize..][..n] };
-                    let src = &src[b as usize..][..n];
-                    let (m, a0) = (*mul, *add);
-                    for (d, x) in dst.iter_mut().zip(src) {
-                        *d = m * x + a0;
-                    }
-                    return Ok(());
-                }
-            }
-            for k in 0..n {
-                emit(
-                    k,
-                    mul * buf.read((b + k as i64 * stp).max(0) as usize) + add,
-                );
-            }
-        }
-    }
-    Ok(())
-}
-
-// --- other nodes --------------------------------------------------------------------
-
-fn exec_consume(
-    ctx: &Ctx,
-    sid: StateId,
-    tree: &ScopeTree,
-    entry: NodeId,
-    worker: &mut Worker,
-) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    let Node::ConsumeEntry(scope) = state.graph.node(entry) else {
-        unreachable!()
-    };
-    let pe_param = scope.pe_param.clone();
-    let stream_name = state
-        .graph
-        .in_edges(entry)
-        .filter_map(|e| state.graph.edge(e).memlet.data.clone())
-        .find(|d| matches!(ctx.sdfg.desc(d), Some(DataDesc::Stream(_))))
-        .ok_or_else(|| ExecError::BadGraph("consume scope without input stream".into()))?;
-    let order = state.topological_order();
-    let children: Vec<NodeId> = order
-        .into_iter()
-        .filter(|&c| tree.scope_of(c) == Some(entry))
-        .collect();
-    let mut iter = 0i64;
-    loop {
-        let v = {
-            let mut q = ctx
-                .streams
-                .get(&stream_name)
-                .ok_or_else(|| ExecError::MissingArray(stream_name.clone()))?
-                .lock();
-            q.pop_front()
-        };
-        let Some(v) = v else { break };
-        worker.env.insert(pe_param.clone(), iter);
-        iter += 1;
-        for &c in &children {
-            match ctx.sdfg.state(sid).graph.node(c) {
-                Node::Tasklet { .. } => {
-                    let bt = worker.tasklet(sid, c)?;
-                    run_tasklet_point(ctx, sid, &bt, worker, Some((&stream_name, v)))?;
-                }
-                _ => exec_scope_child(ctx, sid, tree, c, worker)?,
-            }
-        }
-    }
-    Ok(())
-}
-
-fn exec_reduce(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    let Node::Reduce {
-        wcr,
-        axes,
-        identity,
-    } = state.graph.node(n)
-    else {
-        unreachable!()
-    };
-    let f = wcr_fn(wcr)?;
-    let in_edge = state
-        .graph
-        .in_edges(n)
-        .next()
-        .ok_or_else(|| ExecError::BadGraph("reduce without input".into()))?;
-    let out_edge = state
-        .graph
-        .out_edges(n)
-        .next()
-        .ok_or_else(|| ExecError::BadGraph("reduce without output".into()))?;
-    let in_m = state.graph.edge(in_edge).memlet.clone();
-    let out_m = state.graph.edge(out_edge).memlet.clone();
-    let window = gather_symbolic(worker, in_m.data_name(), &in_m.subset)?;
-    let dims = in_m.subset.eval(&worker.env)?;
-    let sizes: Vec<usize> = dims
-        .iter()
-        .map(|&(s, e, st, _)| (((e - s) + st - 1) / st).max(0) as usize)
-        .collect();
-    let rank = sizes.len();
-    let reduce_axes: Vec<usize> = match axes {
-        Some(a) => a.clone(),
-        None => (0..rank).collect(),
-    };
-    let keep: Vec<usize> = (0..rank).filter(|d| !reduce_axes.contains(d)).collect();
-    let out_sizes: Vec<usize> = keep.iter().map(|&d| sizes[d]).collect();
-    let out_len = out_sizes.iter().product::<usize>().max(1);
-    let dtype = ctx
-        .sdfg
-        .desc(out_m.data_name())
-        .map(|d| d.dtype())
-        .unwrap_or(sdfg_core::DType::F64);
-    let init = identity.or_else(|| wcr.identity(dtype)).unwrap_or(0.0);
-    let mut acc = vec![init; out_len];
-    let mut out_strides = vec![1usize; out_sizes.len()];
-    for d in (0..out_sizes.len().saturating_sub(1)).rev() {
-        out_strides[d] = out_strides[d + 1] * out_sizes[d + 1];
-    }
-    let mut in_strides = vec![1usize; rank];
-    for d in (0..rank.saturating_sub(1)).rev() {
-        in_strides[d] = in_strides[d + 1] * sizes[d + 1];
-    }
-    for (flat, &v) in window.iter().enumerate() {
-        let mut pos = 0usize;
-        for (k, &d) in keep.iter().enumerate() {
-            pos += ((flat / in_strides[d]) % sizes[d]) * out_strides[k];
-        }
-        acc[pos] = f(acc[pos], v);
-    }
-    scatter_symbolic(
-        worker,
-        out_m.data_name(),
-        &out_m.subset,
-        &acc,
-        out_m.wcr.as_ref(),
-    )
-}
-
-fn exec_nested(ctx: &Ctx, sid: StateId, n: NodeId, worker: &mut Worker) -> Result<(), ExecError> {
-    let state = ctx.sdfg.state(sid);
-    let Node::NestedSdfg {
-        sdfg: nested,
-        symbol_mapping,
-        inputs,
-        outputs,
-    } = state.graph.node(n)
-    else {
-        unreachable!()
-    };
-    let mut sub = Executor::new(nested);
-    sub.nthreads = 1; // nested parallelism is sequentialized
-                      // Inherit the caller's plan cache and buffer pool so repeated outer
-                      // runs also amortize the nested SDFG's lowering and allocations.
-    sub.plan_cache = ctx.plan_cache.clone();
-    sub.pool = ctx.pool.clone();
-    for (sym, expr) in symbol_mapping {
-        let v = expr.eval(&worker.env)?;
-        sub.symbols.insert(sym.clone(), v);
-    }
-    for e in state.graph.in_edges(n) {
-        let df = state.graph.edge(e);
-        let Some(conn) = &df.dst_conn else { continue };
-        if !inputs.contains(conn) {
-            continue;
-        }
-        let w = gather_symbolic(worker, df.memlet.data_name(), &df.memlet.subset)?;
-        sub.arrays.insert(conn.clone(), w);
-    }
-    sub.run()?;
-    for e in state.graph.out_edges(n) {
-        let df = state.graph.edge(e);
-        let Some(conn) = &df.src_conn else { continue };
-        if !outputs.contains(conn) {
-            continue;
-        }
-        let w = sub
-            .arrays
-            .get(conn)
-            .cloned()
-            .ok_or_else(|| ExecError::MissingArray(conn.clone()))?;
-        scatter_symbolic(worker, df.memlet.data_name(), &df.memlet.subset, &w, None)?;
-    }
-    Ok(())
 }

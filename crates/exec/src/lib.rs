@@ -28,14 +28,22 @@
 
 pub mod affine;
 pub mod buffer;
+mod copy;
+mod cpu;
+pub mod dispatch;
 pub mod engine;
 pub mod plan;
 pub mod pool;
+pub mod stats;
+mod tasklet;
 
-pub use engine::{ExecError, Executor, Stats};
+pub use cpu::CpuBackend;
+pub use dispatch::{Backend, BackendStats, RunCtx, Runtime, RuntimeReport, ScopeStats};
+pub use engine::{ExecError, Executor};
 pub use plan::{CacheStats, PlanCache};
 pub use pool::{BufferPool, PoolStats};
 pub use sdfg_transforms::{OptLevel, OptimizationReport};
+pub use stats::Stats;
 // Re-export the profiling vocabulary so callers can enable instrumentation
 // and consume reports without naming `sdfg-profile` directly.
-pub use sdfg_profile::{InstrumentationReport, Profiling};
+pub use sdfg_profile::{BackendBytes, InstrumentationReport, Profiling};

@@ -33,7 +33,8 @@
 //! that populated them; if a later run binds a different set of arrays,
 //! slot-dependent artifacts are dropped (see `ExecutionPlan::ensure_layout`).
 
-use crate::engine::{BodyTasklet, MapPlan};
+use crate::cpu::MapPlan;
+use crate::tasklet::BodyTasklet;
 use parking_lot::Mutex;
 use sdfg_core::scope::ScopeTree;
 use sdfg_graph::NodeId;
@@ -54,15 +55,30 @@ pub struct PlanKey {
     pub sdfg_hash: u64,
     /// Initial symbol bindings, sorted by name.
     pub symbols: Vec<(String, i64)>,
+    /// Fingerprint of the state→backend assignment the plan was lowered
+    /// under (0 for plain CPU execution). The heterogeneous runtime lowers
+    /// scopes differently per target, so plans must not alias across
+    /// assignments.
+    pub target: u64,
 }
 
 impl PlanKey {
-    /// Builds a key from a content hash and an environment.
+    /// Builds a key from a content hash and an environment (CPU target).
     pub fn new(sdfg_hash: u64, symbols: &Env) -> PlanKey {
         let mut symbols: Vec<(String, i64)> =
             symbols.iter().map(|(k, &v)| (k.clone(), v)).collect();
         symbols.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        PlanKey { sdfg_hash, symbols }
+        PlanKey {
+            sdfg_hash,
+            symbols,
+            target: 0,
+        }
+    }
+
+    /// Tags the key with a target-assignment fingerprint.
+    pub fn with_target(mut self, target: u64) -> PlanKey {
+        self.target = target;
+        self
     }
 }
 
@@ -290,6 +306,17 @@ mod tests {
     }
 
     #[test]
+    fn target_assignment_partitions_plans() {
+        let cache = PlanCache::new();
+        let (_, hit) = cache.lookup(key(1, &[("N", 8)]));
+        assert!(!hit);
+        let (_, hit) = cache.lookup(key(1, &[("N", 8)]).with_target(42));
+        assert!(!hit, "different target assignment must miss");
+        let (_, hit) = cache.lookup(key(1, &[("N", 8)]).with_target(42));
+        assert!(hit, "same target assignment hits");
+    }
+
+    #[test]
     fn plan_key_is_order_insensitive() {
         let a = key(7, &[("A", 1), ("B", 2)]);
         let b = key(7, &[("B", 2), ("A", 1)]);
@@ -318,7 +345,7 @@ mod tests {
         plan.insert_tasklet(
             (0, 1),
             ctx.clone(),
-            Arc::new(crate::engine::BodyTasklet::test_dummy()),
+            Arc::new(crate::tasklet::BodyTasklet::test_dummy()),
         );
         assert!(plan.tasklet((0, 1), &ctx).is_some());
         // Same layout: artifacts survive.

@@ -1,0 +1,59 @@
+//! Execution statistics, shared by all backends.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Execution statistics (also feeds the accelerator simulators' models).
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Tasklet executions (map points × tasklets).
+    pub tasklet_points: u64,
+    /// Points executed through native kernels instead of the VM.
+    pub native_points: u64,
+    /// Elements moved by explicit copies (access-to-access, scope copies).
+    pub elements_copied: u64,
+    /// Map scope launches.
+    pub map_launches: u64,
+    /// Parallel regions entered (multicore-scheduled top-level maps).
+    pub parallel_regions: u64,
+    /// State executions.
+    pub states_executed: u64,
+    /// Per-state visit counts (state slot index → executions), for the
+    /// accelerator time models.
+    pub state_visits: Vec<(u32, u64)>,
+}
+
+#[derive(Default)]
+pub(crate) struct AtomicStats {
+    pub(crate) tasklet_points: AtomicU64,
+    pub(crate) native_points: AtomicU64,
+    pub(crate) elements_copied: AtomicU64,
+    pub(crate) map_launches: AtomicU64,
+    pub(crate) parallel_regions: AtomicU64,
+    pub(crate) states_executed: AtomicU64,
+    pub(crate) state_visits: Mutex<HashMap<u32, u64>>,
+}
+
+impl AtomicStats {
+    pub(crate) fn snapshot(&self) -> Stats {
+        Stats {
+            tasklet_points: self.tasklet_points.load(Ordering::Relaxed),
+            native_points: self.native_points.load(Ordering::Relaxed),
+            elements_copied: self.elements_copied.load(Ordering::Relaxed),
+            map_launches: self.map_launches.load(Ordering::Relaxed),
+            parallel_regions: self.parallel_regions.load(Ordering::Relaxed),
+            states_executed: self.states_executed.load(Ordering::Relaxed),
+            state_visits: {
+                let mut v: Vec<(u32, u64)> = self
+                    .state_visits
+                    .lock()
+                    .iter()
+                    .map(|(&k, &n)| (k, n))
+                    .collect();
+                v.sort_unstable();
+                v
+            },
+        }
+    }
+}

@@ -440,3 +440,40 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn try_array_is_total_and_missing_arrays_get_a_stable_code() {
+    let mut b = SdfgBuilder::new("vecadd");
+    b.symbol("N");
+    b.array("A", &["N"], DType::F64);
+    b.array("B", &["N"], DType::F64);
+    b.array("C", &["N"], DType::F64);
+    let st = b.state("main");
+    b.mapped_tasklet(
+        st,
+        "add",
+        &[("i", "0:N")],
+        &[("a", "A", "i"), ("b", "B", "i")],
+        "c = a + b",
+        &[("c", "C", "i")],
+    );
+    let sdfg = b.build().unwrap();
+    let mut ex = Executor::new(&sdfg);
+    ex.set_symbol("N", 4);
+    ex.set_array("A", vec![1.0; 4]);
+    ex.set_array("B", vec![2.0; 4]);
+    ex.set_array("C", vec![0.0; 4]);
+    ex.run().expect("exec runs");
+    assert_eq!(ex.try_array("C"), Some(&[3.0, 3.0, 3.0, 3.0][..]));
+    assert_eq!(ex.try_array("nope"), None);
+
+    // A run that dereferences an unprovided container surfaces the
+    // dedicated stable code at the SdfgError boundary.
+    let mut ex = Executor::new(&sdfg);
+    ex.set_symbol("N", 4);
+    ex.set_array("A", vec![1.0; 4]);
+    let err = ex.run().expect_err("missing arrays must not run");
+    let boundary: sdfg_core::SdfgError = err.into();
+    assert_eq!(boundary.code(), "SDFG-X002");
+    assert!(boundary.to_string().contains("unknown data container"));
+}

@@ -22,8 +22,8 @@
 
 use sdfg_core::desc::DataDesc;
 use sdfg_core::scope::scope_tree;
-use sdfg_core::{Node, Schedule, Sdfg};
-use sdfg_exec::{ExecError, Executor};
+use sdfg_core::{Node, Schedule, Sdfg, Storage};
+use sdfg_exec::{Backend, ExecError, RunCtx, Runtime, RuntimeReport, ScopeStats};
 use sdfg_lang::ast::{ExprAst, Stmt};
 use sdfg_symbolic::Env;
 use std::collections::HashMap;
@@ -85,7 +85,92 @@ pub struct FpgaReport {
     pub fifos: u64,
 }
 
-/// Runs an SDFG functionally and models its FPGA execution.
+/// The FPGA execution target behind the runtime's [`Backend`] trait:
+/// states whose top-level scopes carry [`Schedule::FpgaDevice`] route
+/// here. States execute for real on the host engine; the cycle model
+/// prices each top-level map as a hardware module, and off-chip traffic
+/// into `FpgaGlobal`/`FpgaLocal` storage is charged by the runtime at DDR
+/// bandwidth.
+pub struct FpgaSimBackend {
+    board: BoardProfile,
+    mode: FpgaMode,
+}
+
+impl FpgaSimBackend {
+    /// A backend modeling `board` under the given synthesis flavor.
+    pub fn new(board: BoardProfile, mode: FpgaMode) -> FpgaSimBackend {
+        FpgaSimBackend { board, mode }
+    }
+
+    /// The modeled board.
+    pub fn board(&self) -> &BoardProfile {
+        &self.board
+    }
+}
+
+impl Backend for FpgaSimBackend {
+    fn name(&self) -> &'static str {
+        "fpga-sim"
+    }
+
+    fn supports(&self, schedule: Schedule) -> bool {
+        matches!(schedule, Schedule::FpgaDevice)
+    }
+
+    fn owns_storage(&self, storage: Storage) -> bool {
+        matches!(storage, Storage::FpgaGlobal | Storage::FpgaLocal)
+    }
+
+    fn transfer_time(&self, bytes: f64) -> f64 {
+        bytes / self.board.ddr_bandwidth
+    }
+
+    fn run_scope(
+        &self,
+        rcx: &RunCtx<'_, '_>,
+        sid: sdfg_core::StateId,
+    ) -> Result<ScopeStats, ExecError> {
+        rcx.run_functional(sid)?;
+        let (cycles, local_bytes, pes, modules) =
+            model_state(rcx.sdfg(), sid, &self.board, self.mode, rcx.env())?;
+        Ok(ScopeStats {
+            scopes: modules,
+            compute_s: cycles as f64 / self.board.clock_hz,
+            copy_s: local_bytes / self.board.ddr_bandwidth,
+            bytes: local_bytes,
+            cycles,
+            pes,
+            ..ScopeStats::default()
+        })
+    }
+}
+
+impl FpgaReport {
+    /// Folds a heterogeneous-runtime report into the FPGA view (`fifos`
+    /// counts the SDFG's stream containers, supplied by the caller).
+    pub fn from_runtime(rep: &RuntimeReport, fifos: u64) -> FpgaReport {
+        let Some(f) = rep.backend("fpga-sim") else {
+            return FpgaReport {
+                fifos,
+                ..FpgaReport::default()
+            };
+        };
+        let transfer_bytes = f.xfer.total() as f64 + f.scope.bytes;
+        let transfer_time_s = f.transfer_s + f.scope.copy_s;
+        FpgaReport {
+            time_s: f.scope.compute_s + transfer_time_s,
+            cycles: f.scope.cycles,
+            transfer_time_s,
+            transfer_bytes,
+            pes: f.scope.pes,
+            fifos,
+        }
+    }
+}
+
+/// Runs an SDFG through the heterogeneous runtime with an
+/// [`FpgaSimBackend`] and folds the per-backend report into an
+/// [`FpgaReport`]. Results are bit-exact; only timing is modeled.
 pub fn run_fpga(
     sdfg: &Sdfg,
     board: &BoardProfile,
@@ -93,68 +178,64 @@ pub fn run_fpga(
     symbols: &[(&str, i64)],
     arrays: &mut HashMap<String, Vec<f64>>,
 ) -> Result<FpgaReport, ExecError> {
-    // Functional execution.
-    let mut ex = Executor::new(sdfg);
+    let mut rt =
+        Runtime::new(sdfg).with_backend(Box::new(FpgaSimBackend::new(board.clone(), mode)));
     for (s, v) in symbols {
-        ex.set_symbol(s, *v);
+        rt.executor().set_symbol(s, *v);
     }
     for (n, d) in arrays.iter() {
-        ex.set_array(n, d.clone());
+        rt.executor().set_array(n, d.clone());
     }
-    let stats = ex.run()?;
-    for (n, d) in ex.arrays.iter() {
+    let rep = rt.run()?;
+    for (n, d) in rt.executor().arrays.iter() {
         arrays.insert(n.clone(), d.clone());
     }
-    let env: Env = symbols.iter().map(|(s, v)| (s.to_string(), *v)).collect();
-    let visits: HashMap<u32, u64> = stats.state_visits.iter().copied().collect();
-    let mut rep = FpgaReport {
-        fifos: sdfg
-            .data
-            .values()
-            .filter(|d| matches!(d, DataDesc::Stream(_)))
-            .count() as u64,
-        ..FpgaReport::default()
-    };
-    for sid in sdfg.graph.node_ids() {
-        let nv = *visits.get(&sid.0).unwrap_or(&0);
-        if nv == 0 {
-            continue;
-        }
-        let (cycles, bytes, pes) = model_state(sdfg, sid, board, mode, &env)?;
-        rep.cycles += cycles * nv;
-        rep.transfer_bytes += bytes * nv as f64;
-        rep.pes = rep.pes.max(pes);
-    }
-    rep.transfer_time_s = rep.transfer_bytes / board.ddr_bandwidth;
-    rep.time_s = rep.cycles as f64 / board.clock_hz + rep.transfer_time_s;
-    Ok(rep)
+    let fifos = sdfg
+        .data
+        .values()
+        .filter(|d| matches!(d, DataDesc::Stream(_)))
+        .count() as u64;
+    Ok(FpgaReport::from_runtime(&rep, fifos))
 }
 
+/// Models one state: returns (cycles, device-local copy bytes, PE
+/// high-water, module count). Host↔device transfers are accounted by the
+/// runtime at schedule boundaries, not here.
 fn model_state(
     sdfg: &Sdfg,
     sid: sdfg_core::StateId,
     board: &BoardProfile,
     mode: FpgaMode,
     env: &Env,
-) -> Result<(u64, f64, u64), ExecError> {
+) -> Result<(u64, f64, u64, u64), ExecError> {
     let st = sdfg.state(sid);
     let tree = scope_tree(st).map_err(|e| ExecError::BadGraph(e.to_string()))?;
     let mut cycles = 0u64;
     let mut bytes = 0.0f64;
     let mut pes = 0u64;
+    let mut modules = 0u64;
     for n in st.graph.node_ids() {
         if tree.scope_of(n).is_some() {
             continue;
         }
         match st.graph.node(n) {
-            Node::Access { .. } => {
+            Node::Access { data } => {
+                // Device-local copies stream through the DDR banks.
                 for e in st.graph.out_edges(n) {
                     let dst = st.graph.edge_dst(e);
-                    if !matches!(st.graph.node(dst), Node::Access { .. }) {
+                    let Node::Access { data: dd } = st.graph.node(dst) else {
                         continue;
-                    }
+                    };
                     let m = &st.graph.edge(e).memlet;
                     if m.is_empty() {
+                        continue;
+                    }
+                    let dev = |name: &str| {
+                        sdfg.desc(name)
+                            .map(|d| d.storage().is_device())
+                            .unwrap_or(false)
+                    };
+                    if !(dev(data) && dev(dd)) {
                         continue;
                     }
                     let elems = m.subset.eval_volume(env).unwrap_or(0) as f64;
@@ -171,6 +252,7 @@ fn model_state(
                     Schedule::FpgaDevice | Schedule::CpuMulticore
                 ) =>
             {
+                modules += 1;
                 let (c, p) = model_module(sdfg, sid, n, board, mode, env)?;
                 // Separate connected components run concurrently
                 // (DATAFLOW); serialize conservatively within a state
@@ -182,7 +264,7 @@ fn model_state(
             _ => {}
         }
     }
-    Ok((cycles, bytes, pes))
+    Ok((cycles, bytes, pes, modules))
 }
 
 /// Models one top-level map as a hardware module.

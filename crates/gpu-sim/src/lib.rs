@@ -22,7 +22,7 @@
 
 use sdfg_core::scope::scope_tree;
 use sdfg_core::{Node, Schedule, Sdfg, Storage};
-use sdfg_exec::{ExecError, Executor};
+use sdfg_exec::{Backend, ExecError, RunCtx, Runtime, RuntimeReport, ScopeStats};
 use sdfg_lang::ast::{ExprAst, Stmt};
 use sdfg_symbolic::Env;
 use std::collections::HashMap;
@@ -101,86 +101,155 @@ impl GpuReport {
     }
 }
 
-/// Runs an SDFG functionally (on the CPU executor) and models its GPU time.
+/// The GPU execution target behind the runtime's [`Backend`] trait: states
+/// whose top-level scopes carry [`Schedule::GpuDevice`] (or
+/// `GpuThreadBlock`) route here. Each state executes for real on the host
+/// engine (bit-exact results) and the roofline model prices its kernels;
+/// host↔device traffic into `GpuGlobal`/`GpuShared` storage is charged by
+/// the runtime at this device's PCIe bandwidth.
+pub struct GpuSimBackend {
+    dev: DeviceProfile,
+}
+
+impl GpuSimBackend {
+    /// A backend modeling `dev`.
+    pub fn new(dev: DeviceProfile) -> GpuSimBackend {
+        GpuSimBackend { dev }
+    }
+
+    /// The modeled device.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.dev
+    }
+}
+
+impl Backend for GpuSimBackend {
+    fn name(&self) -> &'static str {
+        "gpu-sim"
+    }
+
+    fn supports(&self, schedule: Schedule) -> bool {
+        matches!(schedule, Schedule::GpuDevice | Schedule::GpuThreadBlock)
+    }
+
+    fn owns_storage(&self, storage: Storage) -> bool {
+        matches!(storage, Storage::GpuGlobal | Storage::GpuShared)
+    }
+
+    fn transfer_time(&self, bytes: f64) -> f64 {
+        bytes / self.dev.pcie_bandwidth
+    }
+
+    fn run_scope(
+        &self,
+        rcx: &RunCtx<'_, '_>,
+        sid: sdfg_core::StateId,
+    ) -> Result<ScopeStats, ExecError> {
+        rcx.run_functional(sid)?;
+        let m = model_state(rcx.sdfg(), sid, &self.dev, rcx.env())?;
+        Ok(ScopeStats {
+            scopes: m.kernels,
+            compute_s: m.kernel_t,
+            copy_s: m.copy_t,
+            flops: m.flops,
+            bytes: m.bytes,
+            ..ScopeStats::default()
+        })
+    }
+}
+
+impl GpuReport {
+    /// Folds a heterogeneous-runtime report into the GPU view: kernel time
+    /// covers compute plus device-local copies, copy time is the modeled
+    /// PCIe transfer time, and PCIe bytes are the runtime's host↔device
+    /// byte counters.
+    pub fn from_runtime(rep: &RuntimeReport) -> GpuReport {
+        let Some(g) = rep.backend("gpu-sim") else {
+            return GpuReport::default();
+        };
+        let kernel_time_s = g.scope.compute_s + g.scope.copy_s;
+        let copy_time_s = g.transfer_s;
+        GpuReport {
+            time_s: kernel_time_s + copy_time_s,
+            kernel_time_s,
+            copy_time_s,
+            flops: g.scope.flops,
+            bytes: g.scope.bytes,
+            pcie_bytes: g.xfer.total() as f64,
+            kernels: g.scope.scopes,
+        }
+    }
+}
+
+/// Runs an SDFG through the heterogeneous runtime with a [`GpuSimBackend`]
+/// and folds the per-backend report into a [`GpuReport`].
 ///
-/// `arrays` provides the inputs and receives the outputs.
+/// `arrays` provides the inputs and receives the outputs. Results are
+/// bit-exact (states execute on the host engine); only timing is modeled.
 pub fn run_gpu(
     sdfg: &Sdfg,
     dev: &DeviceProfile,
     symbols: &[(&str, i64)],
     arrays: &mut HashMap<String, Vec<f64>>,
 ) -> Result<GpuReport, ExecError> {
-    // Functional execution.
-    let mut ex = Executor::new(sdfg);
+    let mut rt = Runtime::new(sdfg).with_backend(Box::new(GpuSimBackend::new(dev.clone())));
     for (s, v) in symbols {
-        ex.set_symbol(s, *v);
+        rt.executor().set_symbol(s, *v);
     }
     for (n, d) in arrays.iter() {
-        ex.set_array(n, d.clone());
+        rt.executor().set_array(n, d.clone());
     }
-    let stats = ex.run()?;
-    for (n, d) in ex.arrays.iter() {
+    let rep = rt.run()?;
+    for (n, d) in rt.executor().arrays.iter() {
         arrays.insert(n.clone(), d.clone());
     }
-    // Model.
-    let env: Env = symbols.iter().map(|(s, v)| (s.to_string(), *v)).collect();
-    let visits: HashMap<u32, u64> = stats.state_visits.iter().copied().collect();
-    let mut rep = GpuReport::default();
-    for sid in sdfg.graph.node_ids() {
-        let n_visits = *visits.get(&sid.0).unwrap_or(&0) as f64;
-        if n_visits == 0.0 {
-            continue;
-        }
-        let (kernel_t, copy_t, flops, bytes, pcie, kernels) = model_state(sdfg, sid, dev, &env)?;
-        rep.kernel_time_s += kernel_t * n_visits;
-        rep.copy_time_s += copy_t * n_visits;
-        rep.flops += flops * n_visits;
-        rep.bytes += bytes * n_visits;
-        rep.pcie_bytes += pcie * n_visits;
-        rep.kernels += (kernels as f64 * n_visits) as u64;
-    }
-    rep.time_s = rep.kernel_time_s + rep.copy_time_s;
-    Ok(rep)
+    Ok(GpuReport::from_runtime(&rep))
 }
 
-/// Models one state: returns (kernel time, copy time, flops, device bytes,
-/// pcie bytes, kernel launches).
+/// What the roofline model says one execution of a state costs.
+struct StateModel {
+    kernel_t: f64,
+    copy_t: f64,
+    flops: f64,
+    bytes: f64,
+    kernels: u64,
+}
+
+/// Models one state: kernel launches plus *device-local* copies.
+/// Host↔device transfers are not modeled here — the runtime accounts them
+/// at schedule boundaries via [`Backend::transfer_time`].
 fn model_state(
     sdfg: &Sdfg,
     sid: sdfg_core::StateId,
     dev: &DeviceProfile,
     env: &Env,
-) -> Result<(f64, f64, f64, f64, f64, u64), ExecError> {
+) -> Result<StateModel, ExecError> {
     let st = sdfg.state(sid);
     let tree = scope_tree(st).map_err(|e| ExecError::BadGraph(e.to_string()))?;
-    let mut kernel_t = 0.0;
-    let mut copy_t = 0.0;
-    let mut flops = 0.0;
-    let mut bytes = 0.0;
-    let mut pcie = 0.0;
-    let mut kernels = 0u64;
+    let mut m = StateModel {
+        kernel_t: 0.0,
+        copy_t: 0.0,
+        flops: 0.0,
+        bytes: 0.0,
+        kernels: 0,
+    };
     for n in st.graph.node_ids() {
         if tree.scope_of(n).is_some() {
             continue;
         }
         match st.graph.node(n) {
             Node::Access { data } => {
-                // Host↔device copies.
+                // Device-local copies (e.g. `gpu_A` → `gpu_B`): read + write
+                // through device memory.
                 for e in st.graph.out_edges(n) {
                     let dst = st.graph.edge_dst(e);
                     let Node::Access { data: dd } = st.graph.node(dst) else {
                         continue;
                     };
-                    let m = &st.graph.edge(e).memlet;
-                    if m.is_empty() {
+                    let mem = &st.graph.edge(e).memlet;
+                    if mem.is_empty() {
                         continue;
                     }
-                    let elems = m.subset.eval_volume(env).unwrap_or(0) as f64;
-                    let elem_bytes = sdfg
-                        .desc(m.data_name())
-                        .map(|d| d.dtype().size_bytes() as f64)
-                        .unwrap_or(8.0);
-                    let moved = elems * elem_bytes;
                     let src_dev = sdfg
                         .desc(data)
                         .map(|d| d.storage().is_device())
@@ -189,26 +258,30 @@ fn model_state(
                         .desc(dd)
                         .map(|d| d.storage().is_device())
                         .unwrap_or(false);
-                    if src_dev != dst_dev {
-                        pcie += moved;
-                        copy_t += moved / dev.pcie_bandwidth;
-                    } else {
-                        bytes += 2.0 * moved;
-                        kernel_t += 2.0 * moved / dev.mem_bandwidth;
+                    if !(src_dev && dst_dev) {
+                        continue;
                     }
+                    let elems = mem.subset.eval_volume(env).unwrap_or(0) as f64;
+                    let elem_bytes = sdfg
+                        .desc(mem.data_name())
+                        .map(|d| d.dtype().size_bytes() as f64)
+                        .unwrap_or(8.0);
+                    let moved = elems * elem_bytes;
+                    m.bytes += 2.0 * moved;
+                    m.copy_t += 2.0 * moved / dev.mem_bandwidth;
                 }
             }
             Node::MapEntry(scope) if scope.schedule == Schedule::GpuDevice => {
-                kernels += 1;
+                m.kernels += 1;
                 let (f, b) = model_kernel(sdfg, sid, n, env, dev)?;
-                flops += f;
-                bytes += b;
-                kernel_t += (f / dev.peak_flops).max(b / dev.mem_bandwidth) + dev.launch_overhead;
+                m.flops += f;
+                m.bytes += b;
+                m.kernel_t += (f / dev.peak_flops).max(b / dev.mem_bandwidth) + dev.launch_overhead;
             }
             _ => {}
         }
     }
-    Ok((kernel_t, copy_t, flops, bytes, pcie, kernels))
+    Ok(m)
 }
 
 /// Models a kernel: total flops and effective device-memory bytes.

@@ -346,6 +346,24 @@ impl ExecCounters {
     }
 }
 
+/// Host↔device traffic recorded for one runtime backend: every transfer
+/// the heterogeneous dispatcher performs at a schedule boundary lands in
+/// one of these counters, attributed to the device side of the copy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendBytes {
+    /// Bytes moved host → device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device → host.
+    pub d2h_bytes: u64,
+}
+
+impl BackendBytes {
+    /// Total bytes crossing the host↔device boundary in either direction.
+    pub fn total(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+}
+
 /// The merged result of one instrumented run.
 #[derive(Debug, Default)]
 pub struct InstrumentationReport {
