@@ -44,6 +44,11 @@ pub struct BenchConfig {
     pub reps: usize,
     /// Untimed warm iterations before the warm measurement.
     pub warmup: usize,
+    /// Warm measurement batches (`--repeat`): the warm protocol runs
+    /// `repeat` batches of `reps` iterations each, reporting the overall
+    /// minimum as `warm_ms` and the median of per-batch minima as
+    /// `warm_median_ms` — a scheduler-noise-robust central estimate.
+    pub repeat: usize,
     /// Write one `BENCH_<kernel>.json` per kernel.
     pub json: bool,
     /// Gate against this baseline file.
@@ -67,6 +72,7 @@ impl Default for BenchConfig {
             scale: 24,
             reps: 15,
             warmup: 3,
+            repeat: 1,
             json: false,
             baseline: None,
             write_baseline: None,
@@ -82,8 +88,11 @@ pub struct BenchResult {
     pub kernel: String,
     /// Best cold-run time, milliseconds.
     pub cold_ms: f64,
-    /// Best warm-run time, milliseconds.
+    /// Best warm-run time, milliseconds (minimum over all batches).
     pub warm_ms: f64,
+    /// Median of per-batch warm minima, milliseconds. Equals `warm_ms`
+    /// when `--repeat` is 1 (a single batch).
+    pub warm_median_ms: f64,
     /// Plan-cache hit rate over the warm executor's lifetime.
     pub cache_hit_rate: f64,
     /// Buffer-pool reuse rate over the warm executor's lifetime.
@@ -97,6 +106,11 @@ pub struct BenchResult {
     pub opt_passes: Option<usize>,
     /// The interpreter-verified heterogeneous run (`--target` only).
     pub target_run: Option<TargetRun>,
+    /// Thread count the warm executor ran with.
+    pub nthreads: usize,
+    /// Work-stealing scheduler counters from the warm executor's pool
+    /// (`None` when the run stayed serial or used `SDFG_SCHED=static`).
+    pub sched: Option<sdfg_exec::SchedStats>,
 }
 
 impl BenchResult {
@@ -126,18 +140,24 @@ fn best_ms(xs: Vec<f64>) -> f64 {
     xs.into_iter().fold(f64::INFINITY, f64::min)
 }
 
+/// Median of a sample; the mean of the two middle elements for even
+/// lengths.
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    match xs.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => xs[n / 2],
+        n => (xs[n / 2 - 1] + xs[n / 2]) / 2.0,
+    }
+}
+
 /// Measures one kernel under the warm/cold protocol. With an opt level,
 /// a third measurement runs the same workload through the automatic
 /// optimization pipeline (same warmup, same executor-reuse discipline) so
 /// optimized and unoptimized warm times are directly comparable.
-pub fn bench_kernel(
-    name: &str,
-    scale: usize,
-    reps: usize,
-    warmup: usize,
-    opt: OptLevel,
-    target: Target,
-) -> BenchResult {
+pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
+    let (scale, reps, warmup) = (cfg.scale, cfg.reps, cfg.warmup);
+    let (opt, target) = (cfg.opt, cfg.target);
     let kernel = polybench::all()
         .into_iter()
         .find(|k| k.name == name)
@@ -154,20 +174,28 @@ pub fn bench_kernel(
         })
         .collect();
 
-    // Warm: one executor; lowering is paid once, then cached.
+    // Warm: one executor; lowering is paid once, then cached. `--repeat`
+    // runs several independent batches; each contributes its minimum.
     let mut ex = w.executor();
     for _ in 0..warmup.max(1) {
         ex.run().expect("warmup run");
     }
-    let warm: Vec<f64> = (0..reps.max(1))
+    let batch_mins: Vec<f64> = (0..cfg.repeat.max(1))
         .map(|_| {
-            let t0 = Instant::now();
-            ex.run().expect("warm run");
-            t0.elapsed().as_secs_f64() * 1e3
+            let batch: Vec<f64> = (0..reps.max(1))
+                .map(|_| {
+                    let t0 = Instant::now();
+                    ex.run().expect("warm run");
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            best_ms(batch)
         })
         .collect();
     let cache = ex.cache_stats();
     let pool = ex.pool_stats();
+    let nthreads = ex.nthreads;
+    let sched = ex.sched_stats();
 
     // Optimized warm: same protocol, with the pipeline applied on the
     // first run (its cost is warmup, like lowering).
@@ -201,33 +229,62 @@ pub fn bench_kernel(
     BenchResult {
         kernel: name.to_string(),
         cold_ms: best_ms(cold),
-        warm_ms: best_ms(warm),
+        warm_ms: best_ms(batch_mins.clone()),
+        warm_median_ms: median_ms(batch_mins),
         cache_hit_rate: cache.hit_rate(),
         pool_reuse_rate: pool.reuse_rate(),
         pool_bytes_reused: pool.bytes_reused,
         opt_warm_ms,
         opt_passes,
         target_run,
+        nthreads,
+        sched,
     }
 }
 
 fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
     let mut out = format!(
         "{{\n  \"kernel\": \"{}\",\n  \"scale\": {},\n  \"reps\": {},\n  \"warmup\": {},\n  \
-         \"cold_ms\": {:.6},\n  \"warm_ms\": {:.6},\n  \"speedup\": {:.3},\n  \
+         \"repeat\": {},\n  \"nthreads\": {},\n  \
+         \"cold_ms\": {:.6},\n  \"warm_ms\": {:.6},\n  \"warm_median_ms\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \
          \"plan_cache_hit_rate\": {:.4},\n  \"pool_reuse_rate\": {:.4},\n  \
          \"pool_bytes_reused\": {}",
         r.kernel,
         cfg.scale,
         cfg.reps,
         cfg.warmup,
+        cfg.repeat,
+        r.nthreads,
         r.cold_ms,
         r.warm_ms,
+        r.warm_median_ms,
         r.speedup(),
         r.cache_hit_rate,
         r.pool_reuse_rate,
         r.pool_bytes_reused,
     );
+    if let Some(s) = &r.sched {
+        out.push_str(&format!(
+            ",\n  \"sched\": {{\"nworkers\": {}, \"launches\": {}, \
+             \"tiles\": {}, \"steals\": {}, \"workers\": [",
+            s.nworkers,
+            s.launches,
+            s.total_tiles(),
+            s.total_steals(),
+        ));
+        for (i, wk) in s.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"worker\": {}, \"tiles\": {}, \"steals\": {}, \"idle_ms\": {:.3}}}{}",
+                wk.worker,
+                wk.tiles,
+                wk.steals,
+                wk.idle_ns as f64 / 1e6,
+                if i + 1 < s.workers.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("\n  ]}");
+    }
     if let (Some(opt_warm), Some(passes)) = (r.opt_warm_ms, r.opt_passes) {
         out.push_str(&format!(
             ",\n  \"opt_level\": \"{}\",\n  \"opt_warm_ms\": {:.6},\n  \
@@ -344,9 +401,10 @@ pub fn opt_gate(results: &[BenchResult]) -> Vec<String> {
 /// regression gate fails.
 pub fn run_bench(cfg: &BenchConfig) -> bool {
     println!(
-        "bench: scale {} | {} reps (best-of) | {} warmup{}\n",
+        "bench: scale {} | {} reps (best-of) x {} batches | {} warmup{}\n",
         cfg.scale,
         cfg.reps,
+        cfg.repeat.max(1),
         cfg.warmup,
         if cfg.opt == OptLevel::None {
             String::new()
@@ -360,27 +418,37 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
         format!(" {:>10} {:>8}", "opt ms", "opt spd")
     };
     println!(
-        "{:<16} {:>10} {:>10} {:>9} {:>10} {:>10}{opt_cols}",
-        "kernel", "cold ms", "warm ms", "speedup", "cache hit", "pool reuse"
+        "{:<16} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10}{opt_cols}",
+        "kernel", "cold ms", "warm ms", "median ms", "speedup", "cache hit", "pool reuse"
     );
     let results: Vec<BenchResult> = cfg
         .kernels
         .iter()
         .map(|name| {
-            let r = bench_kernel(name, cfg.scale, cfg.reps, cfg.warmup, cfg.opt, cfg.target);
+            let r = bench_kernel(name, cfg);
             let opt_cols = match (r.opt_warm_ms, r.opt_speedup()) {
                 (Some(o), Some(s)) => format!(" {o:>10.3} {s:>7.2}x"),
                 _ => String::new(),
             };
             println!(
-                "{:<16} {:>10.3} {:>10.3} {:>8.2}x {:>9.1}% {:>9.1}%{opt_cols}",
+                "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x {:>9.1}% {:>9.1}%{opt_cols}",
                 r.kernel,
                 r.cold_ms,
                 r.warm_ms,
+                r.warm_median_ms,
                 r.speedup(),
                 r.cache_hit_rate * 100.0,
                 r.pool_reuse_rate * 100.0
             );
+            if let Some(s) = &r.sched {
+                println!(
+                    "  sched: {} launches, {} tiles, {} steals across {} workers",
+                    s.launches,
+                    s.total_tiles(),
+                    s.total_steals(),
+                    s.nworkers
+                );
+            }
             if cfg.json {
                 let path = format!("BENCH_{}.json", r.kernel);
                 std::fs::write(&path, kernel_json(&r, cfg)).expect("write bench json");
@@ -460,12 +528,15 @@ mod tests {
             kernel: kernel.into(),
             cold_ms: cold,
             warm_ms: warm,
+            warm_median_ms: warm,
             cache_hit_rate: 0.9,
             pool_reuse_rate: 0.9,
             pool_bytes_reused: 1024,
             opt_warm_ms: None,
             opt_passes: None,
             target_run: None,
+            nthreads: 1,
+            sched: None,
         }
     }
 
@@ -504,6 +575,49 @@ mod tests {
         // Both stay parseable by the in-tree JSON reader.
         parse_json(&with).unwrap();
         parse_json(&without).unwrap();
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        assert!((median_ms(vec![1.0, 100.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median_ms(vec![4.0, 2.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(median_ms(vec![]), 0.0);
+    }
+
+    #[test]
+    fn kernel_json_includes_sched_counters_when_present() {
+        let cfg = BenchConfig::default();
+        let mut r = result("cholesky", 10.0, 1.0);
+        r.nthreads = 8;
+        r.sched = Some(sdfg_exec::SchedStats {
+            nworkers: 2,
+            launches: 7,
+            workers: vec![
+                sdfg_exec::SchedWorker {
+                    worker: 0,
+                    tiles: 5,
+                    steals: 0,
+                    idle_ns: 1_500_000,
+                },
+                sdfg_exec::SchedWorker {
+                    worker: 1,
+                    tiles: 3,
+                    steals: 2,
+                    idle_ns: 0,
+                },
+            ],
+        });
+        let j = kernel_json(&r, &cfg);
+        assert!(j.contains("\"nthreads\": 8"), "{j}");
+        assert!(j.contains("\"launches\": 7"), "{j}");
+        assert!(j.contains("\"tiles\": 8"), "{j}");
+        assert!(j.contains("\"steals\": 2"), "{j}");
+        assert!(j.contains("\"worker\": 1"), "{j}");
+        parse_json(&j).unwrap();
+        // Serial runs carry no sched block.
+        let plain = kernel_json(&result("gemm", 1.0, 0.1), &cfg);
+        assert!(!plain.contains("\"sched\""), "{plain}");
+        parse_json(&plain).unwrap();
     }
 
     #[test]

@@ -16,11 +16,16 @@
 //!
 //! ```text
 //! harness --bench [--kernels gemm,atax,bicg] [--scale S] [--reps R]
-//!         [--warmup W] [--json] [--baseline FILE] [--write-baseline FILE]
+//!         [--warmup W] [--repeat N] [--json] [--baseline FILE]
+//!         [--write-baseline FILE]
 //! ```
 //!
-//! `--json` writes one `BENCH_<kernel>.json` per kernel; `--baseline`
-//! gates warm times against the committed baseline and exits non-zero on
+//! `--repeat N` runs N independent warm batches and reports both the
+//! overall minimum (`warm_ms`) and the median of per-batch minima
+//! (`warm_median_ms`); `--json` writes one `BENCH_<kernel>.json` per
+//! kernel — including the work-stealing scheduler's per-worker
+//! tiles/steals counters when the run went parallel; `--baseline` gates
+//! warm times against the committed baseline and exits non-zero on
 //! regression (what CI's `bench-smoke` job does).
 //!
 //! With `--opt[=strict|aggressive]`, runs go through the automatic
@@ -83,10 +88,11 @@ fn main() {
     });
     // Positional (non-flag, non-flag-value) args are kernel names in the
     // bench/opt modes and the experiment name otherwise.
-    const VALUE_FLAGS: [&str; 7] = [
+    const VALUE_FLAGS: [&str; 8] = [
         "--scale",
         "--reps",
         "--warmup",
+        "--repeat",
         "--kernels",
         "--baseline",
         "--write-baseline",
@@ -121,6 +127,7 @@ fn main() {
         }
         cfg.reps = get("--reps", cfg.reps);
         cfg.warmup = get("--warmup", cfg.warmup);
+        cfg.repeat = get("--repeat", cfg.repeat);
         cfg.json = args.iter().any(|a| a == "--json");
         cfg.baseline = get_str("--baseline");
         cfg.write_baseline = get_str("--write-baseline");

@@ -229,6 +229,31 @@ pub fn targeted(only: &[String], scale: usize, target: Target, json: bool) {
     );
     let mut matched = false;
     let mut failed = false;
+    // `bfs` is not a Polybench kernel but the scheduler smoke job wants a
+    // data-driven, stream-and-WCR workload in the mix: run the Fig. 16
+    // SDFG on a road graph and verify against the native level-sync
+    // baseline. Exact equality is required — depths are small integers,
+    // so any scheduling bug shows up bitwise.
+    if only.iter().any(|n| n == "bfs") {
+        matched = true;
+        let g = sdfg_workloads::graphs::road(16, 12, 3);
+        let sdfg = sdfg_workloads::bfs::build_bfs();
+        let got = sdfg_workloads::bfs::run_bfs(&sdfg, &g, 0);
+        let want = sdfg_workloads::bfs::bfs_baseline(&g, 0);
+        let ok = got == want;
+        if !ok {
+            failed = true;
+        }
+        println!(
+            "{:<16} {:>9} {:>12} {:>12} {:>12} {:<8} cpu(baseline-checked)",
+            "bfs",
+            if ok { "yes" } else { "NO" },
+            "-",
+            "-",
+            "-",
+            ""
+        );
+    }
     for k in polybench::all() {
         if !only.is_empty() && !only.iter().any(|n| n == k.name) {
             continue;

@@ -80,10 +80,13 @@ pub(crate) fn build_map_plan(
             syms.iter()
                 .any(|s| worker.pstack.contains(s) || !worker.env.contains_key(s))
         };
+        // Static ranges must evaluate: a failure here is a real error
+        // (unbound symbol, malformed bound), not a reason to silently
+        // treat the dimension as unbounded and flip scheduling decisions.
         let count = if dynamic {
             i64::MAX / 4
         } else {
-            r.eval_len(&worker.env).unwrap_or(i64::MAX / 4)
+            r.eval_len(&worker.env)?
         };
         pcounts.push(count);
     }
@@ -227,14 +230,26 @@ pub(crate) fn exec_map(
         _ => unreachable!(),
     };
     let base = worker.pstack.len();
-    let parallel = matches!(
+    // Eligibility for parallel execution, decided BEFORE compiling bodies
+    // so the WCR race analysis knows the chunked parameter. The adaptive
+    // tuner may later downgrade an eligible launch to serial (atomic WCR
+    // in a serial run is merely conservative), but never the reverse —
+    // plain writes racing would be unsound. Under the work-stealing
+    // scheduler, nested maps are eligible too when the enclosing context
+    // is provably safe: no active parallel region (a second concurrent
+    // chunk axis would break the single-chunk race analysis), no
+    // thread-local transient overlays (stealing workers could not see
+    // them), and not already inside a pool tile.
+    let nested_ok = ctx.sched.is_some() && worker.chunk_param.is_none() && worker.locals.is_empty();
+    let eligible = matches!(
         schedule,
         Schedule::CpuMulticore | Schedule::GpuDevice | Schedule::Mpi
     ) && ctx.nthreads > 1
         && nparams > 0
-        && !worker.nested;
+        && (!worker.nested || nested_ok)
+        && !crate::sched::in_pool_worker();
     let saved_chunk = worker.chunk_param;
-    if parallel {
+    if eligible {
         worker.chunk_param = Some(base);
     }
     // Parameters must be on the stack BEFORE compiling the body: tasklet
@@ -259,13 +274,6 @@ pub(crate) fn exec_map(
         let w = gather_symbolic(worker, m.data_name(), &m.subset)?;
         worker.env.insert(conn, w[0].round() as i64);
     }
-    // Outermost bound decides parallelism.
-    let parallel = matches!(
-        schedule,
-        Schedule::CpuMulticore | Schedule::GpuDevice | Schedule::Mpi
-    ) && ctx.nthreads > 1
-        && !params.is_empty()
-        && !worker.nested;
     let pop = |w: &mut Worker| {
         w.pstack.truncate(base);
         w.point.truncate(base);
@@ -284,7 +292,50 @@ pub(crate) fn exec_map(
         prof_close(worker);
         return Ok(());
     }
-    if !parallel || n0 == 1 {
+    // --- work-stealing path (the default) -----------------------------------------
+    if let Some(pool) = ctx.sched.clone().filter(|_| eligible) {
+        let volume = (n0 as u64).saturating_mul(inner_points_estimate(&plan, n0));
+        let decision = ctx.plan.tuning.decide(pkey, volume, pool.nworkers());
+        let tiles = if decision.parallel && steal_deterministic(&plan.body) {
+            build_tiles(&plan, worker, (d0s, d0e, d0st), n0, decision.tiles)
+        } else {
+            None
+        };
+        let t0 = std::time::Instant::now();
+        let (r, workers) = match &tiles {
+            Some(ts) => {
+                ctx.stats.parallel_regions.fetch_add(1, Ordering::Relaxed);
+                let r = run_map_steal(ctx, sid, tree, &plan, worker, base, ts, &pool, pmode, pkey);
+                (r, pool.nworkers())
+            }
+            None => {
+                let was_nested = worker.nested;
+                worker.nested = true;
+                let r = if let Some(bounds) = env_free_bounds(&plan, worker) {
+                    run_map_fast(ctx, sid, &plan, worker, base, &bounds)
+                } else {
+                    run_map_serial(
+                        ctx, sid, tree, params, ranges, body, worker, base, d0s, d0e, d0st,
+                    )
+                };
+                worker.nested = was_nested;
+                (r, 1)
+            }
+        };
+        if r.is_ok() {
+            // Per-launch timing feedback. Serial samples are exact
+            // per-point costs; parallel samples divide ideal speedup back
+            // out, so they can only demote launches that are cheap even
+            // under perfect scaling.
+            ctx.plan
+                .tuning
+                .observe(pkey, volume, t0.elapsed().as_nanos() as u64, workers);
+        }
+        pop(worker);
+        return r.map(|()| prof_close(worker));
+    }
+    // --- legacy paths: serial, or `SDFG_SCHED=static` spawn-per-launch chunking ----
+    if !eligible || n0 == 1 {
         let was_nested = worker.nested;
         worker.nested = true;
         // Env-free fast nest: constant bounds + fully-affine tasklet body
@@ -371,6 +422,331 @@ pub(crate) fn exec_map(
         Some(e) => Err(e),
         None => {
             prof_close(worker);
+            Ok(())
+        }
+    }
+}
+
+/// Estimated points per dim-0 iteration from the plan's static iteration
+/// counts. Dynamic dimensions (data-dependent or parameter-dependent
+/// bounds, marked with the unbounded sentinel) are estimated at half the
+/// outer extent — exact on average for the triangular nests this feeds
+/// (cholesky, lu, trisolv).
+fn inner_points_estimate(plan: &MapPlan, n0: usize) -> u64 {
+    let mut prod = 1u64;
+    for &c in plan.pcounts.iter().skip(1) {
+        let est = if c >= i64::MAX / 8 {
+            (n0 as u64 / 2).max(1)
+        } else {
+            c.max(1) as u64
+        };
+        prod = prod.saturating_mul(est);
+    }
+    prod
+}
+
+/// Bitwise-determinism gate for the work-stealing path. Tiling reorders
+/// points across workers, which stays invisible exactly when no output
+/// combines across tiles: elided-atomic WCR writes are proven disjoint
+/// per dim-0 value (each element sees a single tile's serial order), but
+/// atomic WCR, shared stream pushes, and log appends all combine in
+/// arrival order. Generic subgraph bodies can lazily compile atomic
+/// tasklets inside a tile, so they are excluded wholesale. Launches that
+/// fail the gate run serially, keeping repeated runs bitwise identical
+/// regardless of steal timing (`SDFG_SCHED=static` retains the old
+/// opportunistic behaviour).
+fn steal_deterministic(body: &MapBody) -> bool {
+    match body {
+        MapBody::Tasklets(ts) => ts
+            .iter()
+            .all(|(_, bt)| bt.outs.iter().all(|o| !o.atomic && !o.stream && !o.log)),
+        MapBody::Generic { .. } => false,
+    }
+}
+
+/// The tiles of one parallel launch: contiguous pieces of the iteration
+/// space, executed by pool workers in work-stealing order.
+pub(crate) enum TileSet {
+    /// Dim-0 tiling: each tile is a `[lo, hi)` value range on the map's
+    /// own step grid. The general case — any body, WCR included, since
+    /// disjoint dim-0 ranges preserve the chunk-dominance race analysis
+    /// exactly like the legacy static chunks did.
+    Dim0 {
+        /// Dim-0 step.
+        step: i64,
+        /// Per-tile `[lo, hi)` value ranges.
+        ranges: Vec<(i64, i64)>,
+    },
+    /// Collapsed (dim0 × dim1) tiling for short outer dimensions
+    /// (`n0 < tile target`): tiles are ranges of the flattened index
+    /// space. Restricted to WCR-free tasklet bodies, because two flat
+    /// tiles can share a dim-0 value — which would break the
+    /// single-chunk-parameter privacy analysis conflict resolution
+    /// relies on.
+    Flat {
+        /// Dim-0 (start, step): value = start + index·step.
+        d0: (i64, i64),
+        /// Dim-1 (start, step, count).
+        d1: (i64, i64, u64),
+        /// Per-tile `[lo, hi)` ranges of flat indices (`i0·count + i1`).
+        ranges: Vec<(u64, u64)>,
+    },
+}
+
+impl TileSet {
+    fn len(&self) -> usize {
+        match self {
+            TileSet::Dim0 { ranges, .. } => ranges.len(),
+            TileSet::Flat { ranges, .. } => ranges.len(),
+        }
+    }
+}
+
+/// Splits `[0, n)` into at most `want` near-equal contiguous ranges.
+fn split_even(n: u64, want: usize) -> Vec<(u64, u64)> {
+    let want = (want as u64).clamp(1, n.max(1));
+    let per = n / want;
+    let rem = n % want;
+    let mut out = Vec::with_capacity(want as usize);
+    let mut start = 0u64;
+    for t in 0..want {
+        let len = per + u64::from(t < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Builds the tile set for a parallel launch, collapsing dims 0 and 1 when
+/// the outer dimension alone cannot produce the requested tile count.
+/// Returns `None` when no parallel decomposition exists (single-point
+/// outer dimension and no legal collapse).
+fn build_tiles(
+    plan: &MapPlan,
+    worker: &Worker,
+    d0: (i64, i64, i64),
+    n0: usize,
+    want: usize,
+) -> Option<TileSet> {
+    if n0 < want {
+        if let Some(ts) = try_collapse(plan, worker, d0, n0, want) {
+            return Some(ts);
+        }
+    }
+    if n0 > 1 {
+        let (d0s, _, d0st) = d0;
+        let ranges = split_even(n0 as u64, want)
+            .into_iter()
+            .map(|(a, b)| (d0s + a as i64 * d0st, d0s + b as i64 * d0st))
+            .collect();
+        Some(TileSet::Dim0 { step: d0st, ranges })
+    } else {
+        None
+    }
+}
+
+/// Attempts the dim-0/dim-1 collapse (see [`TileSet::Flat`] for why it is
+/// restricted to WCR-free tasklet bodies with launch-invariant dim-1
+/// bounds).
+fn try_collapse(
+    plan: &MapPlan,
+    worker: &Worker,
+    d0: (i64, i64, i64),
+    n0: usize,
+    want: usize,
+) -> Option<TileSet> {
+    if plan.params.len() < 2 {
+        return None;
+    }
+    let MapBody::Tasklets(ts) = &plan.body else {
+        return None;
+    };
+    if ts
+        .iter()
+        .any(|(_, bt)| bt.outs.iter().any(|o| o.wcr.is_some()))
+    {
+        return None;
+    }
+    // Dim 1 must not depend on any of the map's own parameters (so its
+    // bounds are launch-invariant) and must evaluate now.
+    let mut syms = std::collections::BTreeSet::new();
+    plan.ranges[1].collect_symbols(&mut syms);
+    if syms.iter().any(|s| plan.params.contains(s)) {
+        return None;
+    }
+    let (s1, e1, st1, _) = plan.ranges[1].eval(&worker.env).ok()?;
+    if st1 <= 0 {
+        return None;
+    }
+    let n1 = ((e1 - s1) + st1 - 1).div_euclid(st1).max(0) as u64;
+    if n1 <= 1 {
+        return None;
+    }
+    let total = (n0 as u64).saturating_mul(n1);
+    Some(TileSet::Flat {
+        d0: (d0.0, d0.2),
+        d1: (s1, st1, n1),
+        ranges: split_even(total, want),
+    })
+}
+
+/// Runs one parallel launch through the work-stealing pool. Per-slot
+/// workers are built lazily on first tile — reusing the pool's resident
+/// VM register file and env hash-map allocation — execute tiles as the
+/// deques drain, and are merged back on completion. The launcher's env,
+/// snapshotted once per launch, is the copy-on-write base; each tile
+/// writes only its own parameter bindings on top.
+#[allow(clippy::too_many_arguments)]
+fn run_map_steal(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    plan: &std::sync::Arc<MapPlan>,
+    worker: &Worker,
+    base: usize,
+    tiles: &TileSet,
+    pool: &std::sync::Arc<crate::sched::SchedPool>,
+    pmode: ProfMode,
+    pkey: (u32, u32),
+) -> Result<(), ExecError> {
+    struct SlotState<'c, 's> {
+        w: Worker<'c, 's>,
+        start_ns: Option<u64>,
+    }
+    let base_env = worker.env.clone();
+    let pstack = worker.pstack.clone();
+    let pcounts = worker.pcounts.clone();
+    let nslots = pool.nworkers();
+    let slots: Vec<Mutex<Option<SlotState>>> = (0..nslots).map(|_| Mutex::new(None)).collect();
+    let first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+    let tile_fn = |slot: usize, t: usize| {
+        // A failed tile poisons the launch: remaining tiles drain without
+        // executing so the pool's completion protocol still runs.
+        if first_err.lock().is_some() {
+            return;
+        }
+        let mut guard = slots[slot].lock();
+        let st = guard.get_or_insert_with(|| {
+            // Resident reuse: take the slot's parked VM and env buckets.
+            let mut res = pool.resident(slot).lock();
+            let vm = res.vm.take();
+            let mut env = std::mem::take(&mut res.env);
+            drop(res);
+            env.clone_from(&base_env);
+            let mut w = Worker::new(ctx, env);
+            if let Some(vm) = vm {
+                w.vm = vm;
+            }
+            w.nested = true;
+            w.pstack = pstack.clone();
+            w.pcounts = pcounts.clone();
+            w.chunk_param = Some(base);
+            w.point = vec![0; pstack.len()];
+            let start_ns = match (pmode, &ctx.prof) {
+                (ProfMode::Timer, Some(p)) => {
+                    w.cur_map = Some(pkey);
+                    Some(p.collector.now_ns())
+                }
+                _ => None,
+            };
+            SlotState { w, start_ns }
+        });
+        if let Err(e) = exec_tile(ctx, sid, tree, plan, &mut st.w, base, tiles, t) {
+            let mut first = first_err.lock();
+            if first.is_none() {
+                *first = Some(e);
+            }
+        }
+    };
+    pool.run(tiles.len(), &tile_fn);
+    // Merge: close timeline spans, flush stats, park VM/env for reuse.
+    for (i, cell) in slots.into_iter().enumerate() {
+        let Some(mut st) = cell.into_inner() else {
+            continue;
+        };
+        if let (Some(s0), Some(p)) = (st.start_ns, &ctx.prof) {
+            let dur = p.collector.now_ns().saturating_sub(s0);
+            if let Some(wp) = st.w.prof.as_mut() {
+                wp.timeline.push(Span {
+                    key: SpanKey::Map {
+                        state: pkey.0,
+                        node: pkey.1,
+                    },
+                    worker: wp.worker,
+                    start_ns: s0,
+                    dur_ns: dur,
+                });
+            }
+        }
+        st.w.flush_stats();
+        let Worker { vm, env, .. } = st.w;
+        let mut res = pool.resident(i).lock();
+        res.vm = Some(vm);
+        res.env = env;
+    }
+    first_err.into_inner().map_or(Ok(()), Err)
+}
+
+/// Executes one tile on a resident worker.
+#[allow(clippy::too_many_arguments)]
+fn exec_tile(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    plan: &MapPlan,
+    w: &mut Worker,
+    base: usize,
+    tiles: &TileSet,
+    t: usize,
+) -> Result<(), ExecError> {
+    match tiles {
+        TileSet::Dim0 { step, ranges } => {
+            let (lo, hi) = ranges[t];
+            run_map_serial(
+                ctx,
+                sid,
+                tree,
+                &plan.params,
+                &plan.ranges,
+                &plan.body,
+                w,
+                base,
+                lo,
+                hi,
+                *step,
+            )
+        }
+        TileSet::Flat { d0, d1, ranges } => {
+            let (flo, fhi) = ranges[t];
+            let (d0s, d0st) = *d0;
+            let (d1s, d1st, n1) = *d1;
+            // A flat tile may span several dim-0 rows: decode each row
+            // segment and run its dim-1 sub-range through the same loop
+            // nest the serial path uses.
+            let mut f = flo;
+            while f < fhi {
+                let i0 = f / n1;
+                let j0 = f % n1;
+                let jend = n1.min(j0 + (fhi - f));
+                let v0 = d0s + i0 as i64 * d0st;
+                w.point[base] = v0;
+                w.env.insert(plan.params[0].clone(), v0);
+                run_dim_span(
+                    ctx,
+                    sid,
+                    tree,
+                    &plan.params,
+                    &plan.ranges,
+                    &plan.body,
+                    w,
+                    base,
+                    1,
+                    d1s + j0 as i64 * d1st,
+                    d1s + jend as i64 * d1st,
+                    d1st,
+                )?;
+                f += jend - j0;
+            }
             Ok(())
         }
     }
@@ -527,41 +903,9 @@ pub(crate) fn run_map_serial(
             }
         }
     }
-    // Single-dimension tasklet body: attempt the native loop over the whole
-    // chunk, then the allocation-free VM loop.
-    if params.len() == 1 {
-        if let MapBody::Tasklets(ts) = body {
-            if ts.len() == 1 {
-                let t = ts[0].1.clone();
-                let t0 = worker.tier_clock();
-                if try_native_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
-                    worker.tier_record(t0, Tier::NativeKernel);
-                    return Ok(());
-                }
-                if try_vm_loop(ctx, &t, worker, base, lo, hi, step)?.is_some() {
-                    worker.tier_record(t0, Tier::AffineVm);
-                    return Ok(());
-                }
-            }
-        }
-    }
-    // Single-dimension tasklet bodies falling through run per point on
-    // the symbolic path; multi-dimension nests attribute tiers at the
-    // innermost level (`map_inner_dims`).
-    let t0 = if params.len() == 1 && matches!(body, MapBody::Tasklets(_)) {
-        worker.tier_clock()
-    } else {
-        None
-    };
-    let mut v = lo;
-    while v < hi {
-        worker.point[base] = v;
-        worker.env.insert(params[0].clone(), v);
-        map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, 1)?;
-        v += step;
-    }
-    worker.tier_record(t0, Tier::Symbolic);
-    Ok(())
+    run_dim_span(
+        ctx, sid, tree, params, ranges, body, worker, base, 0, lo, hi, step,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -583,6 +927,30 @@ pub(crate) fn map_inner_dims(
     if st <= 0 {
         return Err(ExecError::BadGraph("map step must be positive".into()));
     }
+    run_dim_span(
+        ctx, sid, tree, params, ranges, body, worker, base, dim, s, e, st,
+    )
+}
+
+/// Executes dimension `dim` of a map over an explicit `[lo, hi)` value
+/// span on a `step` grid, recursing into the remaining dims. This is the
+/// loop body of [`map_inner_dims`] with the bounds supplied by the caller,
+/// so scheduler tiles can run sub-ranges of a dimension.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_dim_span(
+    ctx: &Ctx,
+    sid: StateId,
+    tree: &ScopeTree,
+    params: &[String],
+    ranges: &[sdfg_symbolic::SymRange],
+    body: &MapBody,
+    worker: &mut Worker,
+    base: usize,
+    dim: usize,
+    lo: i64,
+    hi: i64,
+    step: i64,
+) -> Result<(), ExecError> {
     // Innermost dimension with a tasklet-only body: attempt the native
     // loop, then the allocation-free VM loop.
     if dim == params.len() - 1 {
@@ -590,11 +958,11 @@ pub(crate) fn map_inner_dims(
             if ts.len() == 1 {
                 let t = ts[0].1.clone();
                 let t0 = worker.tier_clock();
-                if try_native_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
+                if try_native_loop(ctx, &t, worker, base + dim, lo, hi, step)?.is_some() {
                     worker.tier_record(t0, Tier::NativeKernel);
                     return Ok(());
                 }
-                if try_vm_loop(ctx, &t, worker, base + dim, s, e, st)?.is_some() {
+                if try_vm_loop(ctx, &t, worker, base + dim, lo, hi, step)?.is_some() {
                     worker.tier_record(t0, Tier::AffineVm);
                     return Ok(());
                 }
@@ -608,12 +976,12 @@ pub(crate) fn map_inner_dims(
     } else {
         None
     };
-    let mut v = s;
-    while v < e {
+    let mut v = lo;
+    while v < hi {
         worker.point[base + dim] = v;
         worker.env.insert(params[dim].clone(), v);
         map_inner_dims(ctx, sid, tree, params, ranges, body, worker, base, dim + 1)?;
-        v += st;
+        v += step;
     }
     worker.tier_record(t0, Tier::Symbolic);
     Ok(())
@@ -858,9 +1226,22 @@ pub(crate) fn exec_nested(
         unreachable!()
     };
     let mut sub = Executor::new(nested);
-    sub.nthreads = 1; // nested parallelism is sequentialized
-                      // Inherit the caller's plan cache and buffer pool so repeated outer
-                      // runs also amortize the nested SDFG's lowering and allocations.
+    // Nested SDFGs share the caller's scheduler pool when the enclosing
+    // context is provably safe (same gate as nested maps): outside any
+    // parallel region, no thread-local overlays, not inside a pool tile.
+    // Otherwise nested parallelism is sequentialized as before.
+    let share_sched = ctx.sched.is_some()
+        && worker.chunk_param.is_none()
+        && worker.locals.is_empty()
+        && !crate::sched::in_pool_worker();
+    if share_sched {
+        sub.nthreads = ctx.nthreads;
+        sub.sched = ctx.sched.clone();
+    } else {
+        sub.nthreads = 1;
+    }
+    // Inherit the caller's plan cache and buffer pool so repeated outer
+    // runs also amortize the nested SDFG's lowering and allocations.
     sub.plan_cache = ctx.plan_cache.clone();
     sub.pool = ctx.pool.clone();
     for (sym, expr) in symbol_mapping {

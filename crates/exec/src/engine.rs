@@ -113,7 +113,9 @@ pub struct Executor<'s> {
     pub streams: HashMap<String, VecDeque<f64>>,
     /// Symbol bindings.
     pub symbols: Env,
-    /// Worker thread count (defaults to available parallelism).
+    /// Worker thread count (defaults to `SDFG_NTHREADS` when set, else
+    /// available parallelism); prefer [`Executor::set_nthreads`], which
+    /// also keeps the scheduler pool in sync.
     pub nthreads: usize,
     /// Maximum state transitions.
     pub max_transitions: usize,
@@ -129,6 +131,11 @@ pub struct Executor<'s> {
     /// Transient/scratch buffer pool (shareable via
     /// [`Executor::with_buffer_pool`]).
     pub(crate) pool: std::sync::Arc<BufferPool>,
+    /// The persistent work-stealing scheduler pool: built lazily on the
+    /// first `run` with `nthreads > 1` (and rebuilt if the thread count
+    /// changes), shared with nested-SDFG executors. `None` while serial
+    /// or under `SDFG_SCHED=static`.
+    pub(crate) sched: Option<std::sync::Arc<crate::sched::SchedPool>>,
     /// Memoized content hash of the *active* graph — sound to compute once
     /// because the caller's SDFG sits behind an immutable borrow for the
     /// executor's whole lifetime, and the optimized copy is rebuilt (and
@@ -237,6 +244,10 @@ pub(crate) struct Ctx<'s> {
     /// Scratch allocator for worker-local transients, shared with the
     /// executor's transient storage.
     pub(crate) pool: std::sync::Arc<BufferPool>,
+    /// Work-stealing scheduler for parallel map launches (`None` while
+    /// serial or under `SDFG_SCHED=static`, which selects the legacy
+    /// spawn-per-launch path).
+    pub(crate) sched: Option<std::sync::Arc<crate::sched::SchedPool>>,
 }
 
 impl Ctx<'_> {
@@ -256,9 +267,10 @@ pub(crate) struct Worker<'c, 's> {
     pub(crate) env: Env,
     pub(crate) locals: HashMap<String, SharedBuffer>,
     pub(crate) log: Vec<(u32, f64)>,
-    /// True when executing inside a map body: nested maps run serially
-    /// (nested parallelism is not profitable and would break thread-local
-    /// transients).
+    /// True when executing inside a map body. Nested maps run serially
+    /// unless the work-stealing scheduler is active and the enclosing
+    /// context is provably safe (serial outer region, no thread-local
+    /// transient overlays) — see the eligibility gate in `exec_map`.
     pub(crate) nested: bool,
     /// Stack of enclosing map parameters (names) and their current values.
     pub(crate) pstack: Vec<String>,
@@ -450,7 +462,8 @@ impl<'c, 's> Worker<'c, 's> {
             };
             let n = self.pcounts.get(d).copied().unwrap_or(i64::MAX / 4);
             span = span.saturating_add(
-                c.unsigned_abs().min(i64::MAX as u64 / 4) as i64 * (n.max(1) - 1).min(i64::MAX / 8),
+                (c.unsigned_abs().min(i64::MAX as u64 / 4) as i64)
+                    .saturating_mul((n.max(1) - 1).min(i64::MAX / 8)),
             );
             if span < 0 {
                 return true;
@@ -492,15 +505,18 @@ impl<'s> Executor<'s> {
             arrays: HashMap::new(),
             streams: HashMap::new(),
             symbols: Env::new(),
-            nthreads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            nthreads: crate::sched::env_nthreads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
             max_transitions: 10_000_000,
             stats: Stats::default(),
             profiling: Profiling::default(),
             last_report: None,
             plan_cache: std::sync::Arc::new(PlanCache::new()),
             pool: std::sync::Arc::new(BufferPool::new()),
+            sched: None,
             sdfg_hash: None,
             opt_level: OptLevel::None,
             opt_sdfg: None,
@@ -604,6 +620,23 @@ impl<'s> Executor<'s> {
         self
     }
 
+    /// Pins the worker-thread count for subsequent `run`s, overriding both
+    /// the `SDFG_NTHREADS` environment variable and the default of
+    /// available parallelism. The scheduler pool is rebuilt to match on
+    /// the next `run`.
+    pub fn set_nthreads(&mut self, n: usize) -> &mut Self {
+        self.nthreads = n.max(1);
+        self
+    }
+
+    /// Work-stealing scheduler counters: per-worker tiles/steals/idle plus
+    /// launch totals, cumulative for the pool (which nested executors
+    /// share). `None` until a `run` has built the pool — i.e. while
+    /// serial or under `SDFG_SCHED=static`.
+    pub fn sched_stats(&self) -> Option<crate::sched::SchedStats> {
+        self.sched.as_ref().map(|p| p.stats())
+    }
+
     /// Binds a symbol.
     pub fn set_symbol(&mut self, name: &str, value: i64) -> &mut Self {
         self.symbols.insert(name.to_string(), value);
@@ -663,6 +696,22 @@ impl<'s> Executor<'s> {
     {
         self.ensure_optimized()?;
         self.prepare()?;
+        // Keep the scheduler pool in sync with the requested thread count;
+        // `SDFG_SCHED=static` (or a serial run) disables it, which routes
+        // parallel maps down the legacy spawn-per-launch path.
+        let nthreads = self.nthreads.max(1);
+        if nthreads > 1 && crate::sched::sched_mode() == crate::sched::SchedMode::Steal {
+            let rebuild = match &self.sched {
+                Some(p) => p.nworkers() != nthreads,
+                None => true,
+            };
+            if rebuild {
+                self.sched = Some(std::sync::Arc::new(crate::sched::SchedPool::new(nthreads)));
+            }
+        } else {
+            self.sched = None;
+        }
+        let sched_before = self.sched.as_ref().map(|p| p.stats());
         let key = PlanKey::new(self.content_hash(), &self.symbols).with_target(target_tag);
         let (plan, _cached) = self.plan_cache.lookup(key);
         // The graph this run executes: the optimized copy when one exists.
@@ -700,6 +749,7 @@ impl<'s> Executor<'s> {
             plan,
             plan_cache: self.plan_cache.clone(),
             pool: self.pool.clone(),
+            sched: self.sched.clone(),
         };
         let result = drive(self, &ctx);
         // Move storage back even on error.
@@ -714,8 +764,26 @@ impl<'s> Executor<'s> {
             .map(|(k, v)| (k, v.into_inner()))
             .collect();
         self.stats = ctx.stats.snapshot();
+        // Scheduler counters are cumulative on the pool (which outlives
+        // runs and may be shared), so per-run numbers are deltas.
+        if let (Some(before), Some(pool)) = (&sched_before, &self.sched) {
+            let after = pool.stats();
+            self.stats.sched_tiles = after.total_tiles().saturating_sub(before.total_tiles());
+            self.stats.sched_steals = after.total_steals().saturating_sub(before.total_steals());
+        }
         let cache_stats = self.plan_cache.stats();
         let pool_stats = self.pool.stats();
+        let sched_workers = match &self.sched {
+            Some(pool) => {
+                let s = pool.stats();
+                if s.launches > 0 {
+                    s.workers
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
+        };
         self.last_report = ctx.prof.take().map(|p| {
             let wall = Duration::from_nanos(p.collector.now_ns());
             let mut report = p.collector.finish(wall);
@@ -726,6 +794,7 @@ impl<'s> Executor<'s> {
                 pool_reuses: pool_stats.reuses,
                 pool_bytes_reused: pool_stats.bytes_reused,
             };
+            report.sched = sched_workers;
             report
         });
         result?;

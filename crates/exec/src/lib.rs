@@ -15,8 +15,10 @@
 //! 3. **Symbolic fallback** — non-affine accesses (`t % 2` indexing,
 //!    data-dependent ranges) re-evaluate subsets per point.
 //!
-//! Concurrency follows the SDFG semantics: top-level CPU-multicore maps
-//! split their outermost dimension across threads; write-conflict
+//! Concurrency follows the SDFG semantics: CPU-multicore maps are tiled
+//! over their iteration space and scheduled on a persistent work-stealing
+//! pool ([`sched`]) with an adaptive grain size (set `SDFG_SCHED=static`
+//! for the legacy spawn-per-launch dim-0 chunking); write-conflict
 //! resolution lowers to atomic compare-exchange loops (the analogue of
 //! `#pragma omp atomic`); consume scopes drain a shared queue with
 //! termination detection. Correctness relies on the IR contract that map
@@ -34,6 +36,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod plan;
 pub mod pool;
+pub mod sched;
 pub mod stats;
 mod tasklet;
 
@@ -42,8 +45,9 @@ pub use dispatch::{Backend, BackendStats, RunCtx, Runtime, RuntimeReport, ScopeS
 pub use engine::{ExecError, Executor};
 pub use plan::{CacheStats, PlanCache};
 pub use pool::{BufferPool, PoolStats};
+pub use sched::{SchedPool, SchedStats};
 pub use sdfg_transforms::{OptLevel, OptimizationReport};
 pub use stats::Stats;
 // Re-export the profiling vocabulary so callers can enable instrumentation
 // and consume reports without naming `sdfg-profile` directly.
-pub use sdfg_profile::{BackendBytes, InstrumentationReport, Profiling};
+pub use sdfg_profile::{BackendBytes, InstrumentationReport, Profiling, SchedWorker};

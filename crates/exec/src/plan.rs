@@ -202,6 +202,12 @@ pub(crate) struct ExecutionPlan {
     tasklets: Variants<BodyTasklet>,
     /// Compiled map plans, same keying scheme.
     maps: Variants<MapPlan>,
+    /// Adaptive grain-size state for the work-stealing scheduler, keyed by
+    /// `(state, node)`. Lives here so per-launch timing feedback survives
+    /// exactly as long as the lowered plan does (and is shared across
+    /// executors sharing the cache). Purely a performance hint: losing it
+    /// only resets the tuner to its defaults.
+    pub(crate) tuning: crate::sched::Tuning,
 }
 
 impl ExecutionPlan {

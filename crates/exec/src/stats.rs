@@ -19,6 +19,10 @@ pub struct Stats {
     pub parallel_regions: u64,
     /// State executions.
     pub states_executed: u64,
+    /// Tiles executed by the work-stealing scheduler during this run.
+    pub sched_tiles: u64,
+    /// Tiles acquired by stealing during this run.
+    pub sched_steals: u64,
     /// Per-state visit counts (state slot index → executions), for the
     /// accelerator time models.
     pub state_visits: Vec<(u32, u64)>,
@@ -44,6 +48,11 @@ impl AtomicStats {
             map_launches: self.map_launches.load(Ordering::Relaxed),
             parallel_regions: self.parallel_regions.load(Ordering::Relaxed),
             states_executed: self.states_executed.load(Ordering::Relaxed),
+            // Filled in by `run_with` from the scheduler pool's counters
+            // (the pool outlives individual runs, so deltas are computed
+            // there, not here).
+            sched_tiles: 0,
+            sched_steals: 0,
             state_visits: {
                 let mut v: Vec<(u32, u64)> = self
                     .state_visits

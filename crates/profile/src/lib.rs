@@ -318,6 +318,7 @@ impl ProfileCollector {
             workers: m.workers,
             labels,
             exec: ExecCounters::default(),
+            sched: Vec::new(),
         }
     }
 }
@@ -344,6 +345,21 @@ impl ExecCounters {
     pub fn is_empty(&self) -> bool {
         *self == ExecCounters::default()
     }
+}
+
+/// One scheduler worker's cumulative counters, attached to a report by the
+/// engine when the work-stealing pool has run at least one parallel launch.
+/// Like [`ExecCounters`], these are cumulative over the pool's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedWorker {
+    /// Worker slot (0 is the launching thread).
+    pub worker: u32,
+    /// Tiles this worker executed.
+    pub tiles: u64,
+    /// Tiles acquired by stealing from another worker's deque.
+    pub steals: u64,
+    /// Time spent inside launches without a tile to run.
+    pub idle_ns: u64,
 }
 
 /// Host↔device traffic recorded for one runtime backend: every transfer
@@ -385,6 +401,9 @@ pub struct InstrumentationReport {
     pub labels: HashMap<SpanKey, String>,
     /// Plan-cache and buffer-pool counters (executor runs only).
     pub exec: ExecCounters,
+    /// Work-stealing scheduler counters per worker (executor runs that
+    /// entered at least one parallel region; empty otherwise).
+    pub sched: Vec<SchedWorker>,
 }
 
 impl InstrumentationReport {
@@ -546,6 +565,25 @@ impl InstrumentationReport {
                 e.pool_acquires,
                 human_bytes(e.pool_bytes_reused)
             ));
+        }
+        if !self.sched.is_empty() {
+            let tiles: u64 = self.sched.iter().map(|w| w.tiles).sum();
+            let steals: u64 = self.sched.iter().map(|w| w.steals).sum();
+            out.push_str(&format!(
+                "sched {} tiles / {} steals across {} workers\n",
+                tiles,
+                steals,
+                self.sched.len()
+            ));
+            for w in &self.sched {
+                out.push_str(&format!(
+                    "    worker {}: {} tiles, {} steals, {:.3} ms idle\n",
+                    w.worker,
+                    w.tiles,
+                    w.steals,
+                    w.idle_ns as f64 / 1e6
+                ));
+            }
         }
         out
     }
