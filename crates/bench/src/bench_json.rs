@@ -16,9 +16,11 @@
 //! [`TOLERANCE`] over its baseline, or if no kernel reaches the
 //! baseline's `min_speedup` warm-over-cold ratio.
 
+use crate::obs::{core_snapshot, CoreSnapshot};
 use crate::targets::{run_workload_targeted, target_json_fields, Target, TargetRun};
 use sdfg_core::serialize::parse_json;
 use sdfg_exec::OptLevel;
+use sdfg_profile::metrics::{log_buckets, Histogram};
 use sdfg_workloads::polybench;
 use std::time::Instant;
 
@@ -93,6 +95,11 @@ pub struct BenchResult {
     /// Median of per-batch warm minima, milliseconds. Equals `warm_ms`
     /// when `--repeat` is 1 (a single batch).
     pub warm_median_ms: f64,
+    /// 5th percentile of per-batch warm minima, milliseconds
+    /// (histogram-interpolated; meaningful with `--repeat` > 1).
+    pub warm_p05_ms: f64,
+    /// 95th percentile of per-batch warm minima, milliseconds.
+    pub warm_p95_ms: f64,
     /// Plan-cache hit rate over the warm executor's lifetime.
     pub cache_hit_rate: f64,
     /// Buffer-pool reuse rate over the warm executor's lifetime.
@@ -111,6 +118,9 @@ pub struct BenchResult {
     /// Work-stealing scheduler counters from the warm executor's pool
     /// (`None` when the run stayed serial or used `SDFG_SCHED=static`).
     pub sched: Option<sdfg_exec::SchedStats>,
+    /// Growth of the global core metric counters over this kernel's
+    /// measurement (launches, cache hits, bytes moved, ...).
+    pub metrics: CoreSnapshot,
 }
 
 impl BenchResult {
@@ -140,6 +150,19 @@ fn best_ms(xs: Vec<f64>) -> f64 {
     xs.into_iter().fold(f64::INFINITY, f64::min)
 }
 
+/// Interpolated percentile of a sample, computed through the metrics
+/// histogram type: samples are folded into a fine log-spaced bucket
+/// ladder (1 µs .. ~2 s at 12.5% resolution) and the quantile is read
+/// back with linear interpolation inside the hit bucket — the same
+/// estimator the Prometheus exposition's `le` buckets support.
+fn percentile_ms(xs: &[f64], q: f64) -> f64 {
+    let h = Histogram::with_bounds(&log_buckets(1e-3, 1.125, 128));
+    for &x in xs {
+        h.observe(x);
+    }
+    h.quantile(q)
+}
+
 /// Median of a sample; the mean of the two middle elements for even
 /// lengths.
 fn median_ms(mut xs: Vec<f64>) -> f64 {
@@ -163,6 +186,7 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         .find(|k| k.name == name)
         .unwrap_or_else(|| panic!("unknown kernel `{name}`"));
     let w = (kernel.build)(scale);
+    let metrics_before = core_snapshot();
 
     // Cold: a fresh executor (fresh plan cache, fresh pool) every time.
     let cold: Vec<f64> = (0..reps.max(1))
@@ -230,6 +254,8 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         kernel: name.to_string(),
         cold_ms: best_ms(cold),
         warm_ms: best_ms(batch_mins.clone()),
+        warm_p05_ms: percentile_ms(&batch_mins, 0.05),
+        warm_p95_ms: percentile_ms(&batch_mins, 0.95),
         warm_median_ms: median_ms(batch_mins),
         cache_hit_rate: cache.hit_rate(),
         pool_reuse_rate: pool.reuse_rate(),
@@ -239,6 +265,7 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         target_run,
         nthreads,
         sched,
+        metrics: core_snapshot().delta(&metrics_before),
     }
 }
 
@@ -264,6 +291,13 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
         r.pool_reuse_rate,
         r.pool_bytes_reused,
     );
+    if cfg.repeat > 1 {
+        out.push_str(&format!(
+            ",\n  \"warm_p05_ms\": {:.6},\n  \"warm_p95_ms\": {:.6}",
+            r.warm_p05_ms, r.warm_p95_ms
+        ));
+    }
+    out.push_str(&format!(",\n  \"metrics\": {}", r.metrics.json_block()));
     if let Some(s) = &r.sched {
         out.push_str(&format!(
             ",\n  \"sched\": {{\"nworkers\": {}, \"launches\": {}, \
@@ -440,6 +474,12 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
                 r.cache_hit_rate * 100.0,
                 r.pool_reuse_rate * 100.0
             );
+            if cfg.repeat > 1 {
+                println!(
+                    "  warm batches: p05 {:.3} ms | median {:.3} ms | p95 {:.3} ms",
+                    r.warm_p05_ms, r.warm_median_ms, r.warm_p95_ms
+                );
+            }
             if let Some(s) = &r.sched {
                 println!(
                     "  sched: {} launches, {} tiles, {} steals across {} workers",
@@ -529,6 +569,8 @@ mod tests {
             cold_ms: cold,
             warm_ms: warm,
             warm_median_ms: warm,
+            warm_p05_ms: warm,
+            warm_p95_ms: warm,
             cache_hit_rate: 0.9,
             pool_reuse_rate: 0.9,
             pool_bytes_reused: 1024,
@@ -537,6 +579,7 @@ mod tests {
             target_run: None,
             nthreads: 1,
             sched: None,
+            metrics: CoreSnapshot::default(),
         }
     }
 
@@ -582,6 +625,42 @@ mod tests {
         assert!((median_ms(vec![1.0, 100.0, 2.0]) - 2.0).abs() < 1e-12);
         assert!((median_ms(vec![4.0, 2.0]) - 3.0).abs() < 1e-12);
         assert_eq!(median_ms(vec![]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_sample() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect(); // 0.1..10.0
+        let p05 = percentile_ms(&xs, 0.05);
+        let p95 = percentile_ms(&xs, 0.95);
+        // Bucket interpolation at 12.5% resolution: loose but ordered.
+        assert!(p05 < p95, "p05 {p05} >= p95 {p95}");
+        assert!((0.2..=1.2).contains(&p05), "p05 {p05}");
+        assert!((8.0..=11.0).contains(&p95), "p95 {p95}");
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn kernel_json_carries_percentiles_and_metrics_block() {
+        let cfg = BenchConfig {
+            repeat: 8,
+            ..BenchConfig::default()
+        };
+        let mut r = result("gemm", 1.0, 0.5);
+        r.warm_p05_ms = 0.4;
+        r.warm_p95_ms = 0.9;
+        r.metrics.launches = 42;
+        r.metrics.bytes_h2d = 512;
+        let j = kernel_json(&r, &cfg);
+        assert!(j.contains("\"warm_p05_ms\": 0.400000"), "{j}");
+        assert!(j.contains("\"warm_p95_ms\": 0.900000"), "{j}");
+        assert!(j.contains("\"launches\": 42"), "{j}");
+        assert!(j.contains("\"h2d\": 512"), "{j}");
+        parse_json(&j).unwrap();
+        // A single batch carries the metrics block but no percentiles.
+        let single = kernel_json(&r, &BenchConfig::default());
+        assert!(!single.contains("warm_p05_ms"), "{single}");
+        assert!(single.contains("\"metrics\""), "{single}");
+        parse_json(&single).unwrap();
     }
 
     #[test]

@@ -53,12 +53,50 @@
 //! ```
 //!
 //! Kernel names may be given positionally or via `--kernels a,b`.
+//!
+//! Observability flags (any mode): `--metrics-out FILE` writes the
+//! Prometheus text exposition of the global metrics registry after the
+//! run; `--ledger FILE` appends one JSONL run record per executor run
+//! (same as `SDFG_RUN_LOG`); `--trace-out FILE` drains the flight
+//! recorder to a Chrome trace (implies full sampling unless
+//! `SDFG_TRACE_SAMPLE` is set). `harness obs-check metrics.prom
+//! ledger.jsonl [trace.json]` validates artifacts a previous run wrote —
+//! CI's `obs-smoke` job.
 
 use sdfg_bench as x;
 use sdfg_exec::OptLevel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("obs-check") {
+        let files: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+        let [metrics, ledger, rest @ ..] = files.as_slice() else {
+            eprintln!("usage: harness obs-check <metrics.prom> <ledger.jsonl> [trace.json]");
+            std::process::exit(2);
+        };
+        let ok = x::obs::obs_check(metrics, ledger, rest.first().copied());
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    let get_str = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let obs = x::obs::ObsConfig {
+        metrics_out: get_str("--metrics-out"),
+        ledger: get_str("--ledger"),
+        trace_out: get_str("--trace-out"),
+    };
+    obs.setup();
+    let code = dispatch(&args);
+    obs.finish();
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+fn dispatch(args: &[String]) -> i32 {
     let exp = args.first().map(String::as_str).unwrap_or("all");
     let get = |flag: &str, default: usize| -> usize {
         args.iter()
@@ -88,7 +126,7 @@ fn main() {
     });
     // Positional (non-flag, non-flag-value) args are kernel names in the
     // bench/opt modes and the experiment name otherwise.
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 11] = [
         "--scale",
         "--reps",
         "--warmup",
@@ -97,6 +135,9 @@ fn main() {
         "--baseline",
         "--write-baseline",
         "--target",
+        "--metrics-out",
+        "--ledger",
+        "--trace-out",
     ];
     let positionals: Vec<String> = args
         .iter()
@@ -137,10 +178,7 @@ fn main() {
         if let Some(t) = target {
             cfg.target = t;
         }
-        if !x::bench_json::run_bench(&cfg) {
-            std::process::exit(1);
-        }
-        return;
+        return if x::bench_json::run_bench(&cfg) { 0 } else { 1 };
     }
     if let Some(t) = target {
         let kernels = if let Some(list) = get_str("--kernels") {
@@ -149,7 +187,7 @@ fn main() {
             positionals.clone()
         };
         x::targeted(&kernels, if scale > 0 { scale } else { 24 }, t, true);
-        return;
+        return 0;
     }
     if let Some(level) = opt {
         let kernels = if let Some(list) = get_str("--kernels") {
@@ -163,7 +201,7 @@ fn main() {
             level,
             args.iter().any(|a| a == "--profile"),
         );
-        return;
+        return 0;
     }
     if args.iter().any(|a| a == "--profile") {
         // Known experiment names profile the whole suite; anything else
@@ -174,7 +212,7 @@ fn main() {
         ];
         let only = if EXPERIMENTS.contains(&exp) { "" } else { exp };
         x::profiled(only, if scale > 0 { scale } else { 100 });
-        return;
+        return 0;
     }
     let run = |name: &str| {
         let t0 = std::time::Instant::now();
@@ -208,4 +246,5 @@ fn main() {
     } else {
         run(exp);
     }
+    0
 }

@@ -680,6 +680,10 @@ pub fn optimized(only: &[String], scale: usize, level: sdfg_exec::OptLevel, prof
             if let Some(report) = ex.last_report.as_ref() {
                 print!("{}", report.hot_path_table());
             }
+        } else {
+            // Cheap counters are tracked even with profiling off; the
+            // footer costs nothing beyond a few atomic loads.
+            print!("{}", ex.counters_footer());
         }
         println!();
     }

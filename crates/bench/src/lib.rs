@@ -24,9 +24,15 @@
 //! `harness --bench` runs the warm/cold plan-cache protocol instead (see
 //! [`bench_json`]): JSON results per kernel plus a perf-regression gate
 //! against `bench/baseline.json` — the mode CI's `bench-smoke` job runs.
+//!
+//! Any mode accepts the observability flags (see [`obs`]):
+//! `--metrics-out` (Prometheus exposition), `--ledger` (JSONL run
+//! records), `--trace-out` (flight-recorder Chrome trace); `harness
+//! obs-check` validates the artifacts — CI's `obs-smoke` job.
 
 pub mod bench_json;
 pub mod experiments;
+pub mod obs;
 pub mod targets;
 
 pub use experiments::*;

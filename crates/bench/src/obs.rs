@@ -1,0 +1,378 @@
+//! Observability plumbing for the harness: the `--metrics-out`,
+//! `--ledger` and `--trace-out` flags, and the `obs-check` validation
+//! mode CI's `obs-smoke` job runs against the artifacts they produce.
+//!
+//! The flags arm the process-global sinks in `sdfg-profile` before the
+//! selected harness mode runs and drain them afterwards:
+//!
+//! * `--metrics-out FILE` writes the Prometheus text exposition of the
+//!   global [`sdfg_profile::metrics`] registry;
+//! * `--ledger FILE` points the run ledger at FILE (one JSONL record per
+//!   executor run, same as setting `SDFG_RUN_LOG`);
+//! * `--trace-out FILE` drains the flight recorder to a Chrome trace;
+//!   when `SDFG_TRACE_SAMPLE` is unset it implies full sampling.
+//!
+//! `harness obs-check metrics.prom ledger.jsonl [trace.json]` then
+//! re-parses the artifacts with the in-tree JSON reader and the
+//! exposition validator, failing loudly on malformed output or missing
+//! required metric families.
+
+use sdfg_core::serialize::parse_json;
+use sdfg_profile::metrics;
+use sdfg_profile::{flight, ledger};
+use std::path::Path;
+
+/// Metric families `obs-check` requires in an exposition produced by a
+/// bench run (the acceptance set from the observability design).
+pub const REQUIRED_FAMILIES: [&str; 5] = [
+    "sdfg_launches_total",
+    "sdfg_plan_cache_hits_total",
+    "sdfg_bytes_moved_total",
+    "sdfg_sched_steals_total",
+    "sdfg_launch_duration_ms",
+];
+
+/// Ledger-record fields every JSONL line must carry.
+const LEDGER_NUM_FIELDS: [&str; 10] = [
+    "seq",
+    "nthreads",
+    "wall_ms",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "pool_acquires",
+    "bytes_moved",
+    "sched_tiles",
+    "sched_steals",
+    "states_executed",
+];
+const LEDGER_STR_FIELDS: [&str; 3] = ["content_hash", "target", "opt_level"];
+
+/// Observability outputs requested on the harness command line.
+#[derive(Default)]
+pub struct ObsConfig {
+    /// Write the Prometheus exposition here after the run.
+    pub metrics_out: Option<String>,
+    /// Append one JSONL run record here per executor run.
+    pub ledger: Option<String>,
+    /// Drain the flight recorder to a Chrome trace here after the run.
+    pub trace_out: Option<String>,
+}
+
+impl ObsConfig {
+    /// Arms the process-global sinks before the harness mode runs.
+    pub fn setup(&self) {
+        if let Some(p) = &self.ledger {
+            ledger::set_path(Some(Path::new(p)));
+        }
+        if self.trace_out.is_some() && std::env::var("SDFG_TRACE_SAMPLE").is_err() {
+            flight::set_sample_rate(1.0);
+        }
+    }
+
+    /// Writes the requested artifacts after the harness mode finished.
+    pub fn finish(&self) {
+        if let Some(p) = &self.metrics_out {
+            let text = metrics::global().render_prometheus();
+            match std::fs::write(p, &text) {
+                Ok(()) => eprintln!("wrote metrics exposition {p}"),
+                Err(e) => eprintln!("cannot write metrics exposition {p}: {e}"),
+            }
+        }
+        if let Some(p) = &self.trace_out {
+            let lanes = flight::drain();
+            let events: usize = lanes.iter().map(|(_, evs)| evs.len()).sum();
+            match std::fs::write(p, flight::chrome_trace(&lanes)) {
+                Ok(()) => eprintln!("wrote flight-recorder trace {p} ({events} events)"),
+                Err(e) => eprintln!("cannot write trace {p}: {e}"),
+            }
+        }
+        if let Some(p) = &self.ledger {
+            eprintln!("run ledger at {p}");
+        }
+    }
+}
+
+/// A snapshot of the global core counters, used to attribute per-kernel
+/// deltas in `BENCH_<kernel>.json` (the counters themselves are
+/// process-cumulative).
+#[derive(Default, Clone, Copy)]
+pub struct CoreSnapshot {
+    pub launches: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    pub pool_acquires: u64,
+    pub pool_reuses: u64,
+    pub bytes_local: u64,
+    pub bytes_h2d: u64,
+    pub bytes_d2h: u64,
+    pub sched_tiles: u64,
+    pub sched_steals: u64,
+    pub states_executed: u64,
+}
+
+/// Reads the current totals of the global core metric handles.
+pub fn core_snapshot() -> CoreSnapshot {
+    let c = metrics::core();
+    CoreSnapshot {
+        launches: c.launches.get(),
+        plan_cache_hits: c.plan_cache_hits.get(),
+        plan_cache_misses: c.plan_cache_misses.get(),
+        pool_acquires: c.pool_acquires.get(),
+        pool_reuses: c.pool_reuses.get(),
+        bytes_local: c.bytes_local.get(),
+        bytes_h2d: c.bytes_h2d.get(),
+        bytes_d2h: c.bytes_d2h.get(),
+        sched_tiles: c.sched_tiles.get(),
+        sched_steals: c.sched_steals.get(),
+        states_executed: c.states_executed.get(),
+    }
+}
+
+impl CoreSnapshot {
+    /// Counter growth since `before` (saturating, counters only go up).
+    pub fn delta(&self, before: &CoreSnapshot) -> CoreSnapshot {
+        CoreSnapshot {
+            launches: self.launches.saturating_sub(before.launches),
+            plan_cache_hits: self.plan_cache_hits.saturating_sub(before.plan_cache_hits),
+            plan_cache_misses: self
+                .plan_cache_misses
+                .saturating_sub(before.plan_cache_misses),
+            pool_acquires: self.pool_acquires.saturating_sub(before.pool_acquires),
+            pool_reuses: self.pool_reuses.saturating_sub(before.pool_reuses),
+            bytes_local: self.bytes_local.saturating_sub(before.bytes_local),
+            bytes_h2d: self.bytes_h2d.saturating_sub(before.bytes_h2d),
+            bytes_d2h: self.bytes_d2h.saturating_sub(before.bytes_d2h),
+            sched_tiles: self.sched_tiles.saturating_sub(before.sched_tiles),
+            sched_steals: self.sched_steals.saturating_sub(before.sched_steals),
+            states_executed: self.states_executed.saturating_sub(before.states_executed),
+        }
+    }
+
+    /// The `"metrics": {...}` JSON object embedded per kernel.
+    pub fn json_block(&self) -> String {
+        format!(
+            "{{\"launches\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
+             \"pool_acquires\": {}, \"pool_reuses\": {}, \"states_executed\": {}, \
+             \"sched_tiles\": {}, \"sched_steals\": {}, \
+             \"bytes_moved\": {{\"local\": {}, \"h2d\": {}, \"d2h\": {}}}}}",
+            self.launches,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.pool_acquires,
+            self.pool_reuses,
+            self.states_executed,
+            self.sched_tiles,
+            self.sched_steals,
+            self.bytes_local,
+            self.bytes_h2d,
+            self.bytes_d2h,
+        )
+    }
+}
+
+/// Validates a Prometheus exposition: structurally well-formed and
+/// containing every [`REQUIRED_FAMILIES`] entry. Returns the failure
+/// messages (empty = pass).
+pub fn check_metrics(src: &str) -> Vec<String> {
+    match metrics::validate_exposition(src) {
+        Err(e) => vec![format!("malformed exposition: {e}")],
+        Ok(families) => REQUIRED_FAMILIES
+            .iter()
+            .filter(|f| !families.iter().any(|g| g == *f))
+            .map(|f| format!("missing required family `{f}`"))
+            .collect(),
+    }
+}
+
+/// Validates a run-ledger JSONL file: every non-empty line must parse as
+/// a JSON object carrying the full record schema. Returns the failure
+/// messages plus the number of valid records.
+pub fn check_ledger(src: &str) -> (Vec<String>, usize) {
+    let mut failures = Vec::new();
+    let mut records = 0usize;
+    for (ln, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = match parse_json(line) {
+            Ok(v) => v,
+            Err(e) => {
+                failures.push(format!("ledger line {}: not JSON: {e}", ln + 1));
+                continue;
+            }
+        };
+        let mut ok = true;
+        for f in LEDGER_NUM_FIELDS {
+            if rec.num_field(f).is_err() {
+                failures.push(format!("ledger line {}: missing numeric `{f}`", ln + 1));
+                ok = false;
+            }
+        }
+        for f in LEDGER_STR_FIELDS {
+            if rec.str_field(f).is_err() {
+                failures.push(format!("ledger line {}: missing string `{f}`", ln + 1));
+                ok = false;
+            }
+        }
+        if ok {
+            records += 1;
+        }
+    }
+    if records == 0 && failures.is_empty() {
+        failures.push("ledger holds no records".into());
+    }
+    (failures, records)
+}
+
+/// Validates a Chrome trace file: parseable JSON, either the bare
+/// event-array form this repo emits or an object with a `traceEvents`
+/// array. Returns failure messages plus the event count.
+pub fn check_trace(src: &str) -> (Vec<String>, usize) {
+    let events = parse_json(src).and_then(|root| match root {
+        sdfg_core::serialize::Json::Arr(events) => Ok(events.len()),
+        obj => obj.arr_field("traceEvents").map(<[_]>::len),
+    });
+    match events {
+        Ok(n) => (Vec::new(), n),
+        Err(e) => (vec![format!("malformed trace: {e}")], 0),
+    }
+}
+
+/// The `harness obs-check` entry point: validates a metrics exposition,
+/// a run ledger, and optionally a Chrome trace. Returns `false` when any
+/// artifact fails.
+pub fn obs_check(metrics_path: &str, ledger_path: &str, trace_path: Option<&str>) -> bool {
+    let mut ok = true;
+    let mut run = |label: &str, path: &str, check: &dyn Fn(&str) -> (Vec<String>, String)| {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("obs-check {label}: FAIL — cannot read `{path}`: {e}");
+                ok = false;
+                return;
+            }
+        };
+        let (failures, detail) = check(&src);
+        if failures.is_empty() {
+            println!("obs-check {label}: PASS ({detail}, {path})");
+        } else {
+            println!("obs-check {label}: FAIL ({path})");
+            for f in failures {
+                println!("  {f}");
+            }
+            ok = false;
+        }
+    };
+    run("metrics", metrics_path, &|src| {
+        let n = src.lines().filter(|l| !l.starts_with('#')).count();
+        (check_metrics(src), format!("{n} samples"))
+    });
+    run("ledger", ledger_path, &|src| {
+        let (failures, records) = check_ledger(src);
+        (failures, format!("{records} records"))
+    });
+    if let Some(p) = trace_path {
+        run("trace", p, &|src| {
+            let (failures, events) = check_trace(src);
+            (failures, format!("{events} events"))
+        });
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_global_registry_passes_check_metrics() {
+        // Touch the core handles so the families exist, then render.
+        let _ = metrics::core();
+        let text = metrics::global().render_prometheus();
+        let failures = check_metrics(&text);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn check_metrics_flags_missing_families() {
+        let text = "# TYPE sdfg_launches_total counter\nsdfg_launches_total 3\n";
+        let failures = check_metrics(text);
+        assert_eq!(failures.len(), REQUIRED_FAMILIES.len() - 1, "{failures:?}");
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("sdfg_launch_duration_ms")));
+    }
+
+    #[test]
+    fn real_ledger_record_passes_check_ledger() {
+        let mut rec = ledger::RunRecord {
+            content_hash: "00c0ffee00c0ffee".into(),
+            target: "cpu".into(),
+            opt_level: "None".into(),
+            nthreads: 4,
+            wall_ms: 0.125,
+            ..Default::default()
+        };
+        let line = rec.to_json();
+        rec.bytes_moved = 4096;
+        let two = format!("{line}\n{}\n", rec.to_json());
+        let (failures, records) = check_ledger(&two);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(records, 2);
+    }
+
+    #[test]
+    fn empty_or_malformed_ledger_fails() {
+        let (failures, records) = check_ledger("");
+        assert_eq!(records, 0);
+        assert_eq!(failures.len(), 1);
+        let (failures, _) = check_ledger("{\"seq\": 1}\n");
+        assert!(!failures.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_through_check_trace() {
+        let lanes = vec![(
+            0u32,
+            vec![sdfg_profile::flight::Event {
+                t_ns: 10,
+                dur_ns: 5,
+                kind: sdfg_profile::flight::EventKind::LaunchBegin,
+                a: 0,
+                b: 0,
+            }],
+        )];
+        let trace = flight::chrome_trace(&lanes);
+        let (failures, events) = check_trace(&trace);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(events >= 1);
+        let (failures, _) = check_trace("{\"no\": 1}");
+        assert!(!failures.is_empty());
+        // The object form is accepted too.
+        let (failures, events) = check_trace("{\"traceEvents\": [{\"ph\": \"M\"}]}");
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(events, 1);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_fieldwise() {
+        let before = CoreSnapshot {
+            launches: 2,
+            bytes_local: 100,
+            ..Default::default()
+        };
+        let after = CoreSnapshot {
+            launches: 5,
+            bytes_local: 350,
+            sched_tiles: 7,
+            ..Default::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.launches, 3);
+        assert_eq!(d.bytes_local, 250);
+        assert_eq!(d.sched_tiles, 7);
+        let j = d.json_block();
+        sdfg_core::serialize::parse_json(&j).unwrap();
+        assert!(j.contains("\"local\": 250"), "{j}");
+    }
+}

@@ -176,6 +176,12 @@ pub(crate) fn exec_map(
     worker: &mut Worker,
 ) -> Result<(), ExecError> {
     ctx.stats.map_launches.fetch_add(1, Ordering::Relaxed);
+    {
+        use sdfg_profile::flight;
+        if flight::enabled() {
+            flight::record(flight::EventKind::MapLaunch, sid.0 as u64, entry.0 as u64);
+        }
+    }
     let pkey = (sid.0, entry.0);
     let pmode = match &ctx.prof {
         Some(p) => p.map_mode(pkey),

@@ -147,6 +147,12 @@ pub(crate) fn drive_loop(
         ctx.stats
             .states_executed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        {
+            use sdfg_profile::flight;
+            if flight::enabled() {
+                flight::record(flight::EventKind::StateRun, cur.0 as u64, 0);
+            }
+        }
         *ctx.stats.state_visits.lock().entry(cur.0).or_insert(0) += 1;
         let env = interstate_env(ctx, &symbols);
         let mut next = None;
@@ -385,6 +391,9 @@ impl<'s> Runtime<'s> {
     /// [`crate::Executor::arrays`] exactly as for a plain run.
     pub fn run(&mut self) -> Result<RuntimeReport, ExecError> {
         let tag = self.target_tag()?;
+        // Label runs with the backend set so metrics/ledger entries from
+        // heterogeneous dispatch are distinguishable from plain CPU runs.
+        self.exec.run_target = self.backend_names().join("+");
         let mut report = RuntimeReport {
             backends: self
                 .backends
@@ -496,6 +505,23 @@ pub(crate) fn route_state(
 /// transfers when a device-routed state touches host-resident containers
 /// directly. Bytes land in the owning backend's [`BackendStats::xfer`] and
 /// time is charged via [`Backend::transfer_time`].
+/// Observability side of one host↔device transfer: per-run byte counters
+/// on the executor's stats plus a sampled flight-recorder event. The
+/// direction-labelled global metrics are added once per run (from the
+/// stats deltas) by `Executor::run_with`.
+fn account_transfer_obs(ctx: &Ctx<'_>, bytes: u64, h2d: bool) {
+    use sdfg_profile::flight;
+    use std::sync::atomic::Ordering;
+    if h2d {
+        ctx.stats.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    } else {
+        ctx.stats.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    if flight::enabled() {
+        flight::record(flight::EventKind::Transfer, bytes, (!h2d) as u64);
+    }
+}
+
 fn account_transfers(
     backends: &[Box<dyn Backend>],
     ctx: &Ctx<'_>,
@@ -546,6 +572,7 @@ fn account_transfers(
                     rep.backends[bi].xfer.d2h_bytes += bytes;
                 }
                 rep.backends[bi].transfer_s += backends[bi].transfer_time(bytes as f64);
+                account_transfer_obs(ctx, bytes, dst_dev);
             }
         }
         // Implicit transfers: a device-routed state dereferencing a
@@ -571,10 +598,12 @@ fn account_transfers(
             if read {
                 bs.xfer.h2d_bytes += bytes;
                 bs.transfer_s += backends[routed].transfer_time(bytes as f64);
+                account_transfer_obs(ctx, bytes, true);
             }
             if written {
                 bs.xfer.d2h_bytes += bytes;
                 bs.transfer_s += backends[routed].transfer_time(bytes as f64);
+                account_transfer_obs(ctx, bytes, false);
             }
         }
     }

@@ -153,6 +153,10 @@ pub struct Executor<'s> {
     /// arrays the caller bound): these are reset per run and returned to
     /// the pool on drop; caller-provided storage is never touched.
     owned_transients: HashSet<String>,
+    /// Backend label attached to this executor's runs in the metrics
+    /// registry and the run ledger (`"cpu"` unless a heterogeneous
+    /// [`crate::dispatch::Runtime`] drives it).
+    pub(crate) run_target: String,
 }
 
 /// Pre-resolved profiling plan: per-scope modes are looked up once per
@@ -522,6 +526,7 @@ impl<'s> Executor<'s> {
             opt_sdfg: None,
             opt_report: None,
             owned_transients: HashSet::new(),
+            run_target: "cpu".to_string(),
         }
     }
 
@@ -599,6 +604,40 @@ impl<'s> Executor<'s> {
     /// Buffer-pool counters (cumulative for the pool, which may be shared).
     pub fn pool_stats(&self) -> crate::pool::PoolStats {
         self.pool.stats()
+    }
+
+    /// The cheap always-on counters (plan cache, buffer pool) as one
+    /// [`sdfg_profile::ExecCounters`] — available regardless of the
+    /// profiling mode, including `Profiling::Off`.
+    pub fn exec_counters(&self) -> sdfg_profile::ExecCounters {
+        let cache = self.plan_cache.stats();
+        let pool = self.pool.stats();
+        sdfg_profile::ExecCounters {
+            plan_cache_hits: cache.hits,
+            plan_cache_misses: cache.misses,
+            pool_acquires: pool.acquires,
+            pool_reuses: pool.reuses,
+            pool_bytes_reused: pool.bytes_reused,
+        }
+    }
+
+    /// Renders the hot-path counters footer (plan-cache/pool counters and
+    /// per-worker scheduler lines) from the always-on counters. Unlike
+    /// [`Executor::last_report`], this never requires instrumentation to
+    /// be enabled: it works after a `Profiling::Off` run too.
+    pub fn counters_footer(&self) -> String {
+        let sched = match &self.sched {
+            Some(pool) => {
+                let s = pool.stats();
+                if s.launches > 0 {
+                    s.workers
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
+        };
+        sdfg_profile::counters_footer(&self.exec_counters(), &sched)
     }
 
     /// Stable content hash of the *active* graph — the optimized copy when
@@ -694,8 +733,18 @@ impl<'s> Executor<'s> {
     where
         F: for<'a, 'b> FnOnce(&'a Self, &'b Ctx<'a>) -> Result<(), ExecError>,
     {
+        use sdfg_profile::flight;
+        let run_t0 = std::time::Instant::now();
         self.ensure_optimized()?;
         self.prepare()?;
+        let chash = self.content_hash();
+        if flight::enabled() {
+            flight::record(flight::EventKind::LaunchBegin, chash, 0);
+        }
+        // Per-run counter deltas for the ledger: the cache and pool are
+        // cumulative (and possibly shared across executors).
+        let cache_before = self.plan_cache.stats();
+        let pool_before = self.pool.stats();
         // Keep the scheduler pool in sync with the requested thread count;
         // `SDFG_SCHED=static` (or a serial run) disables it, which routes
         // parallel maps down the legacy spawn-per-launch path.
@@ -712,7 +761,7 @@ impl<'s> Executor<'s> {
             self.sched = None;
         }
         let sched_before = self.sched.as_ref().map(|p| p.stats());
-        let key = PlanKey::new(self.content_hash(), &self.symbols).with_target(target_tag);
+        let key = PlanKey::new(chash, &self.symbols).with_target(target_tag);
         let (plan, _cached) = self.plan_cache.lookup(key);
         // The graph this run executes: the optimized copy when one exists.
         // Borrowing the `opt_sdfg` field directly (not through a helper)
@@ -785,7 +834,9 @@ impl<'s> Executor<'s> {
             None => Vec::new(),
         };
         self.last_report = ctx.prof.take().map(|p| {
-            let wall = Duration::from_nanos(p.collector.now_ns());
+            // Spans are process-epoch stamped; the run's wall time is the
+            // collector's own age (it is built at run start).
+            let wall = p.collector.elapsed();
             let mut report = p.collector.finish(wall);
             report.exec = sdfg_profile::ExecCounters {
                 plan_cache_hits: cache_stats.hits,
@@ -798,7 +849,94 @@ impl<'s> Executor<'s> {
             report
         });
         result?;
+        self.observe_run(chash, run_t0.elapsed(), &cache_before, &pool_before);
         Ok(self.stats.clone())
+    }
+
+    /// Always-on observability for one completed run: bumps the global
+    /// metrics registry, closes the flight-recorder launch span, and
+    /// appends the run-ledger record. Costs a handful of relaxed atomic
+    /// adds per run; the ledger/flight branches are single relaxed loads
+    /// when disabled.
+    fn observe_run(
+        &self,
+        chash: u64,
+        wall: Duration,
+        cache_before: &crate::plan::CacheStats,
+        pool_before: &crate::pool::PoolStats,
+    ) {
+        use sdfg_profile::{flight, ledger, metrics};
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let s = &self.stats;
+        let m = metrics::core();
+        if self.run_target == "cpu" {
+            m.launches.inc();
+            m.launch_duration_ms.observe(wall_ms);
+        } else {
+            // Non-default backend sets are rare (one resolution per run,
+            // off the tile hot path), so resolve the labelled series here.
+            let g = metrics::global();
+            g.counter(
+                "sdfg_launches_total",
+                "Executor/runtime run invocations by backend.",
+                &[("backend", &self.run_target)],
+            )
+            .inc();
+            g.histogram(
+                "sdfg_launch_duration_ms",
+                "End-to-end wall time of executor runs, milliseconds.",
+                &[("backend", &self.run_target)],
+                &metrics::default_duration_buckets_ms(),
+            )
+            .observe(wall_ms);
+        }
+        let local_bytes = s.elements_copied.saturating_mul(8);
+        if local_bytes > 0 {
+            m.bytes_local.add(local_bytes);
+        }
+        if s.h2d_bytes > 0 {
+            m.bytes_h2d.add(s.h2d_bytes);
+        }
+        if s.d2h_bytes > 0 {
+            m.bytes_d2h.add(s.d2h_bytes);
+        }
+        if s.states_executed > 0 {
+            m.states_executed.add(s.states_executed);
+        }
+        let par = s.parallel_regions.min(s.map_launches);
+        if par > 0 {
+            m.map_launches_par.add(par);
+        }
+        if s.map_launches > par {
+            m.map_launches_seq.add(s.map_launches - par);
+        }
+        if flight::enabled() {
+            flight::record(flight::EventKind::LaunchEnd, chash, s.states_executed);
+        }
+        if ledger::enabled() {
+            let cache_after = self.plan_cache.stats();
+            let pool_after = self.pool.stats();
+            let mut rec = ledger::RunRecord {
+                seq: 0,
+                content_hash: format!("{chash:016x}"),
+                target: self.run_target.clone(),
+                opt_level: format!("{:?}", self.opt_level),
+                nthreads: self.nthreads.max(1),
+                wall_ms,
+                plan_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+                plan_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+                pool_acquires: pool_after.acquires.saturating_sub(pool_before.acquires),
+                pool_reuses: pool_after.reuses.saturating_sub(pool_before.reuses),
+                bytes_moved: local_bytes,
+                h2d_bytes: s.h2d_bytes,
+                d2h_bytes: s.d2h_bytes,
+                sched_tiles: s.sched_tiles,
+                sched_steals: s.sched_steals,
+                states_executed: s.states_executed,
+                map_launches: s.map_launches,
+            };
+            ledger::append(&mut rec);
+        }
     }
 
     fn drive(&self, ctx: &Ctx<'_>) -> Result<(), ExecError> {

@@ -77,12 +77,22 @@ impl BufferPool {
     /// Returns a zeroed buffer of exactly `len` elements, recycling a
     /// parked buffer of the matching size class when one is available.
     pub fn acquire(&self, len: usize) -> Vec<f64> {
+        use sdfg_profile::flight;
         self.acquires.fetch_add(1, Ordering::Relaxed);
+        sdfg_profile::metrics::core().pool_acquires.inc();
         let class = Self::class(len);
         let recycled = self.bins.lock().get_mut(&class).and_then(Vec::pop);
+        if flight::enabled() {
+            flight::record(
+                flight::EventKind::PoolAcquire,
+                len as u64,
+                recycled.is_some() as u64,
+            );
+        }
         match recycled {
             Some(mut v) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
+                sdfg_profile::metrics::core().pool_reuses.inc();
                 self.bytes_reused
                     .fetch_add((len * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
                 self.bytes_held.fetch_sub(
@@ -107,9 +117,13 @@ impl BufferPool {
     /// happens on the acquire side. Buffers beyond the per-class retention
     /// cap (or with no capacity) are dropped.
     pub fn release(&self, v: Vec<f64>) {
+        use sdfg_profile::flight;
         let cap = v.capacity();
         if cap == 0 {
             return;
+        }
+        if flight::enabled() {
+            flight::record(flight::EventKind::PoolRelease, cap as u64, 0);
         }
         // Bin by the largest power of two the capacity can serve, so a
         // future `acquire` popping this buffer never reallocates.

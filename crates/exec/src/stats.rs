@@ -23,6 +23,10 @@ pub struct Stats {
     pub sched_tiles: u64,
     /// Tiles acquired by stealing during this run.
     pub sched_steals: u64,
+    /// Bytes transferred host → device by the heterogeneous runtime.
+    pub h2d_bytes: u64,
+    /// Bytes transferred device → host by the heterogeneous runtime.
+    pub d2h_bytes: u64,
     /// Per-state visit counts (state slot index → executions), for the
     /// accelerator time models.
     pub state_visits: Vec<(u32, u64)>,
@@ -36,6 +40,8 @@ pub(crate) struct AtomicStats {
     pub(crate) map_launches: AtomicU64,
     pub(crate) parallel_regions: AtomicU64,
     pub(crate) states_executed: AtomicU64,
+    pub(crate) h2d_bytes: AtomicU64,
+    pub(crate) d2h_bytes: AtomicU64,
     pub(crate) state_visits: Mutex<HashMap<u32, u64>>,
 }
 
@@ -53,6 +59,8 @@ impl AtomicStats {
             // there, not here).
             sched_tiles: 0,
             sched_steals: 0,
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
             state_visits: {
                 let mut v: Vec<(u32, u64)> = self
                     .state_visits

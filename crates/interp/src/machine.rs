@@ -11,7 +11,6 @@ use sdfg_profile::{
 use sdfg_symbolic::{Env, EvalError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::time::Duration;
 
 /// Interpreter failure.
 #[derive(Debug)]
@@ -260,16 +259,28 @@ impl<'s> Interpreter<'s> {
 
     /// Runs the SDFG to completion.
     pub fn run(&mut self) -> Result<(), InterpError> {
+        use sdfg_profile::flight;
+        let run_t0 = std::time::Instant::now();
         self.prepare()?;
         self.prof = InterpProf::build(self.sdfg, self.profiling);
         let result = self.run_states();
         if let Some(p) = self.prof.take() {
             let InterpProf { collector, wp, .. } = p;
-            let wall = Duration::from_nanos(collector.now_ns());
+            // Spans are process-epoch stamped; the run's wall time is the
+            // collector's own age.
+            let wall = collector.elapsed();
             if !wp.is_empty() {
                 collector.absorb(wp);
             }
             self.last_report = Some(collector.finish(wall));
+        }
+        if result.is_ok() {
+            sdfg_profile::metrics::core().interp_runs.inc();
+            if flight::enabled() {
+                let dur = run_t0.elapsed().as_nanos() as u64;
+                let t0 = sdfg_profile::epoch_ns().saturating_sub(dur);
+                flight::record_span(flight::EventKind::InterpRun, t0, dur, 0, 0);
+            }
         }
         result
     }

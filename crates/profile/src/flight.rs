@@ -1,0 +1,421 @@
+//! Flight recorder: bounded per-worker ring buffers of compact
+//! structured events.
+//!
+//! Each thread that records owns a private ring (registered globally on
+//! first use) holding the most recent [`RING_CAP`] events; old events
+//! are overwritten, so the recorder always answers "what happened just
+//! now" without unbounded memory. Recording is sampled: the
+//! `SDFG_TRACE_SAMPLE` environment variable (a rate in `(0, 1]`; unset
+//! or `0` disables) is folded into a per-thread stride, so a disabled
+//! recorder costs one relaxed atomic load per call site and an enabled
+//! one records every ⌈1/rate⌉-th event per thread.
+//!
+//! Timestamps come from the shared process epoch
+//! ([`crate::process_epoch`]), so events from every thread, executor,
+//! and nested SDFG land on one timeline. [`drain`] empties all rings;
+//! [`chrome_trace`] and [`jsonl`] render the drained events.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::epoch_ns;
+
+/// Per-thread ring capacity (events). 64 Ki × 40 B ≈ 2.5 MiB per
+/// recording thread, bounded regardless of run length.
+pub const RING_CAP: usize = 65536;
+
+/// What happened. Payload meaning (`a`, `b`) is per-kind and documented
+/// on each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Executor run began; `a` = low 64 bits of the SDFG content hash.
+    LaunchBegin,
+    /// Executor run ended; `a` = content hash, `b` = states executed.
+    LaunchEnd,
+    /// One scheduler tile ran; `a` = tile index, `b` = points.
+    TileRun,
+    /// A tile was stolen; `a` = victim worker slot.
+    Steal,
+    /// Plan-cache hit; `a` = plan hash.
+    PlanCacheHit,
+    /// Plan-cache miss (fresh lowering); `a` = plan hash.
+    PlanCacheMiss,
+    /// Buffer-pool acquire; `a` = length, `b` = 1 if served by reuse.
+    PoolAcquire,
+    /// Buffer-pool release; `a` = capacity.
+    PoolRelease,
+    /// Host↔device transfer; `a` = bytes, `b` = 0 for h2d / 1 for d2h.
+    Transfer,
+    /// Optimization pass applied; `a` = pass index in the pipeline.
+    OptApplied,
+    /// Optimization pass rolled back; `a` = pass index.
+    OptRolledBack,
+    /// One state executed; `a` = state id.
+    StateRun,
+    /// One map scope launched; `a` = state id, `b` = map-entry node id.
+    MapLaunch,
+    /// Interpreter run completed; `a` = states executed.
+    InterpRun,
+}
+
+impl EventKind {
+    /// Short name used in rendered output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::LaunchBegin => "launch_begin",
+            EventKind::LaunchEnd => "launch_end",
+            EventKind::TileRun => "tile_run",
+            EventKind::Steal => "steal",
+            EventKind::PlanCacheHit => "cache_hit",
+            EventKind::PlanCacheMiss => "cache_miss",
+            EventKind::PoolAcquire => "pool_acquire",
+            EventKind::PoolRelease => "pool_release",
+            EventKind::Transfer => "transfer",
+            EventKind::OptApplied => "opt_applied",
+            EventKind::OptRolledBack => "opt_rolled_back",
+            EventKind::StateRun => "state_run",
+            EventKind::MapLaunch => "map_launch",
+            EventKind::InterpRun => "interp_run",
+        }
+    }
+}
+
+/// One recorded event. 40 bytes, `Copy`, no heap.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Nanoseconds since the process epoch.
+    pub t_ns: u64,
+    /// Duration (0 for instant events).
+    pub dur_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload.
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+struct Ring {
+    lane: u32,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Sampling stride: 0 = disabled, N = record every Nth event per
+/// thread. `u32::MAX` marks "not yet resolved from the environment".
+static STRIDE: AtomicU32 = AtomicU32::new(u32::MAX);
+
+fn rate_to_stride(rate: f64) -> u32 {
+    if !rate.is_finite() || rate <= 0.0 {
+        0
+    } else if rate >= 1.0 {
+        1
+    } else {
+        (1.0 / rate).round().max(1.0).min(u32::MAX as f64 - 1.0) as u32
+    }
+}
+
+fn stride() -> u32 {
+    let s = STRIDE.load(Ordering::Relaxed);
+    if s != u32::MAX {
+        return s;
+    }
+    let v = std::env::var("SDFG_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(rate_to_stride)
+        .unwrap_or(0);
+    STRIDE.store(v, Ordering::Relaxed);
+    v
+}
+
+/// True when the recorder is capturing (cheap; callers may skip
+/// payload computation when false).
+#[inline]
+pub fn enabled() -> bool {
+    stride() != 0
+}
+
+/// Programmatically sets the sampling rate (overrides
+/// `SDFG_TRACE_SAMPLE`). `0.0` disables, `1.0` records everything.
+pub fn set_sample_rate(rate: f64) {
+    STRIDE.store(rate_to_stride(rate), Ordering::Relaxed);
+}
+
+thread_local! {
+    static LANE_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+    static SAMPLE_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn with_ring(f: impl FnOnce(&Ring)) {
+    LANE_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+            let ring = Arc::new(Ring {
+                lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed),
+                buf: Mutex::new(VecDeque::with_capacity(64)),
+            });
+            rings()
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(ring.clone());
+            ring
+        });
+        f(ring);
+    });
+}
+
+fn push(ev: Event) {
+    with_ring(|ring| {
+        let mut buf = ring.buf.lock().unwrap_or_else(|p| p.into_inner());
+        if buf.len() >= RING_CAP {
+            buf.pop_front();
+        }
+        buf.push_back(ev);
+    });
+}
+
+/// Applies the per-thread sampling stride; true when this event should
+/// be recorded.
+fn sampled() -> bool {
+    let s = stride();
+    if s == 0 {
+        return false;
+    }
+    SAMPLE_COUNT.with(|c| {
+        let n = c.get();
+        c.set(n + 1);
+        n % s as u64 == 0
+    })
+}
+
+/// Records an instant event (subject to sampling).
+#[inline]
+pub fn record(kind: EventKind, a: u64, b: u64) {
+    if !sampled() {
+        return;
+    }
+    push(Event {
+        t_ns: epoch_ns(),
+        dur_ns: 0,
+        kind,
+        a,
+        b,
+    });
+}
+
+/// Records a closed span that started at `t0_ns` (process-epoch
+/// relative) and lasted `dur_ns` (subject to sampling).
+#[inline]
+pub fn record_span(kind: EventKind, t0_ns: u64, dur_ns: u64, a: u64, b: u64) {
+    if !sampled() {
+        return;
+    }
+    push(Event {
+        t_ns: t0_ns,
+        dur_ns,
+        kind,
+        a,
+        b,
+    });
+}
+
+/// Drains every ring, returning `(lane, events)` per recording thread,
+/// sorted by lane. Rings stay registered; subsequent events accumulate
+/// for the next drain.
+pub fn drain() -> Vec<(u32, Vec<Event>)> {
+    let rings = rings().lock().unwrap_or_else(|p| p.into_inner());
+    let mut out: Vec<(u32, Vec<Event>)> = rings
+        .iter()
+        .map(|r| {
+            let mut buf = r.buf.lock().unwrap_or_else(|p| p.into_inner());
+            (r.lane, buf.drain(..).collect())
+        })
+        .collect();
+    out.sort_by_key(|(lane, _)| *lane);
+    out
+}
+
+/// Renders drained events as a Chrome trace-event JSON array (`pid` 0,
+/// one `tid` per lane): complete (`"X"`) events for spans, instant
+/// (`"i"`) events otherwise.
+pub fn chrome_trace(lanes: &[(u32, Vec<Event>)]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push_ev = |ev: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&ev);
+    };
+    push_ev(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+         \"args\":{\"name\":\"sdfg flight recorder\"}}"
+            .to_string(),
+    );
+    for (lane, events) in lanes {
+        push_ev(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{lane},\
+             \"args\":{{\"name\":\"lane {lane}\"}}}}"
+        ));
+        for ev in events {
+            let common = format!(
+                "\"name\":\"{}\",\"cat\":\"flight\",\"pid\":0,\"tid\":{lane},\
+                 \"ts\":{:.3},\"args\":{{\"a\":{},\"b\":{}}}",
+                ev.kind.name(),
+                ev.t_ns as f64 / 1e3,
+                ev.a,
+                ev.b
+            );
+            if ev.dur_ns > 0 {
+                push_ev(format!(
+                    "{{{common},\"ph\":\"X\",\"dur\":{:.3}}}",
+                    ev.dur_ns as f64 / 1e3
+                ));
+            } else {
+                push_ev(format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}"));
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders drained events as JSONL: one object per event with `lane`,
+/// `t_ns`, `dur_ns`, `kind`, `a`, `b`.
+pub fn jsonl(lanes: &[(u32, Vec<Event>)]) -> String {
+    let mut out = String::new();
+    for (lane, events) in lanes {
+        for ev in events {
+            out.push_str(&format!(
+                "{{\"lane\":{lane},\"t_ns\":{},\"dur_ns\":{},\"kind\":\"{}\",\
+                 \"a\":{},\"b\":{}}}\n",
+                ev.t_ns,
+                ev.dur_ns,
+                ev.kind.name(),
+                ev.a,
+                ev.b
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All flight tests share process-global state (stride + rings), so
+    // they run under one lock to stay order-independent.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = serial();
+        set_sample_rate(0.0);
+        drain();
+        record(EventKind::Steal, 1, 2);
+        assert!(drain().iter().all(|(_, evs)| evs.is_empty()));
+    }
+
+    #[test]
+    fn rate_one_records_everything_and_drain_empties() {
+        let _g = serial();
+        set_sample_rate(1.0);
+        drain();
+        record(EventKind::PlanCacheHit, 7, 0);
+        record_span(EventKind::TileRun, 100, 50, 3, 64);
+        let lanes = drain();
+        let evs: Vec<&Event> = lanes.iter().flat_map(|(_, e)| e).collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::PlanCacheHit);
+        assert_eq!((evs[1].t_ns, evs[1].dur_ns, evs[1].b), (100, 50, 64));
+        // Drained means gone.
+        assert!(drain().iter().all(|(_, e)| e.is_empty()));
+        set_sample_rate(0.0);
+    }
+
+    #[test]
+    fn sampling_stride_thins_events() {
+        let _g = serial();
+        set_sample_rate(0.25); // stride 4
+        drain();
+        // Fresh thread so the sample counter starts at 0.
+        std::thread::spawn(|| {
+            for i in 0..100 {
+                record(EventKind::Steal, i, 0);
+            }
+        })
+        .join()
+        .unwrap();
+        let n: usize = drain().iter().map(|(_, e)| e.len()).sum();
+        assert_eq!(n, 25);
+        set_sample_rate(0.0);
+    }
+
+    #[test]
+    fn renders_chrome_and_jsonl() {
+        let lanes = vec![(
+            3u32,
+            vec![
+                Event {
+                    t_ns: 1500,
+                    dur_ns: 0,
+                    kind: EventKind::Steal,
+                    a: 1,
+                    b: 0,
+                },
+                Event {
+                    t_ns: 2000,
+                    dur_ns: 500,
+                    kind: EventKind::TileRun,
+                    a: 9,
+                    b: 64,
+                },
+            ],
+        )];
+        let trace = chrome_trace(&lanes);
+        assert!(trace.starts_with("[\n"));
+        assert!(trace.trim_end().ends_with(']'));
+        assert!(!trace.contains(",\n]"));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"tid\":3"));
+        let jl = jsonl(&lanes);
+        assert_eq!(jl.lines().count(), 2);
+        assert!(jl.contains("\"kind\":\"tile_run\""));
+        assert!(jl.contains("\"dur_ns\":500"));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = serial();
+        set_sample_rate(1.0);
+        drain();
+        std::thread::spawn(|| {
+            for i in 0..(RING_CAP + 10) {
+                record(EventKind::StateRun, i as u64, 0);
+            }
+        })
+        .join()
+        .unwrap();
+        let lanes = drain();
+        let evs: Vec<&Event> = lanes.iter().flat_map(|(_, e)| e).collect();
+        assert_eq!(evs.len(), RING_CAP);
+        // Oldest events were dropped, newest kept.
+        assert_eq!(evs.last().unwrap().a, (RING_CAP + 9) as u64);
+        set_sample_rate(0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Run ledger: an append-only JSONL history of executor runs.
+//!
+//! When enabled (the `SDFG_RUN_LOG` environment variable, or
+//! [`set_path`] — e.g. the harness `--ledger` flag), every
+//! `Executor::run` / `Runtime` dispatch appends exactly one JSON object
+//! line describing the run: what ran (content hash, target, opt level,
+//! thread count), how long it took, and the per-run deltas of the cheap
+//! counters (cache hits, pool reuse, bytes moved, scheduler
+//! tiles/steals). The format is one self-contained JSON object per
+//! line, so downstream consumers (the planned autotuner and service
+//! PRs) can tail it without any framing protocol.
+//!
+//! Disabled is the default and costs one relaxed atomic load per run.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One run's record. All counter fields are per-run deltas, not
+/// executor-lifetime totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunRecord {
+    /// Process-wide run sequence number (0-based, assigned on append).
+    pub seq: u64,
+    /// SDFG content hash (hex, as produced by the executor).
+    pub content_hash: String,
+    /// Target assignment ("cpu", or the runtime's backend set).
+    pub target: String,
+    /// Optimization level the executor ran with.
+    pub opt_level: String,
+    /// Worker threads configured for the run.
+    pub nthreads: usize,
+    /// End-to-end wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Plan-cache hits during this run.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses during this run.
+    pub plan_cache_misses: u64,
+    /// Buffer-pool acquisitions during this run.
+    pub pool_acquires: u64,
+    /// Acquisitions served by recycling during this run.
+    pub pool_reuses: u64,
+    /// Bytes moved by local copies/writebacks.
+    pub bytes_moved: u64,
+    /// Bytes moved host → device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device → host.
+    pub d2h_bytes: u64,
+    /// Scheduler tiles executed.
+    pub sched_tiles: u64,
+    /// Scheduler tiles acquired by stealing.
+    pub sched_steals: u64,
+    /// States executed.
+    pub states_executed: u64,
+    /// Map scopes launched.
+    pub map_launches: u64,
+}
+
+impl RunRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"content_hash\":\"{}\",\"target\":\"{}\",\
+             \"opt_level\":\"{}\",\"nthreads\":{},\"wall_ms\":{:.6},\
+             \"plan_cache_hits\":{},\"plan_cache_misses\":{},\
+             \"pool_acquires\":{},\"pool_reuses\":{},\
+             \"bytes_moved\":{},\"h2d_bytes\":{},\"d2h_bytes\":{},\
+             \"sched_tiles\":{},\"sched_steals\":{},\
+             \"states_executed\":{},\"map_launches\":{}}}",
+            self.seq,
+            escape(&self.content_hash),
+            escape(&self.target),
+            escape(&self.opt_level),
+            self.nthreads,
+            self.wall_ms,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.pool_acquires,
+            self.pool_reuses,
+            self.bytes_moved,
+            self.h2d_bytes,
+            self.d2h_bytes,
+            self.sched_tiles,
+            self.sched_steals,
+            self.states_executed,
+            self.map_launches,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Sink {
+    /// None = disabled. `set_path` wins over the environment.
+    path: Mutex<Option<PathBuf>>,
+    /// Fast-path flag mirroring `path.is_some()`.
+    enabled: AtomicBool,
+    seq: AtomicU64,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let path = std::env::var_os("SDFG_RUN_LOG")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        Sink {
+            enabled: AtomicBool::new(path.is_some()),
+            path: Mutex::new(path),
+            seq: AtomicU64::new(0),
+        }
+    })
+}
+
+/// True when runs are being recorded (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    sink().enabled.load(Ordering::Relaxed)
+}
+
+/// Points the ledger at `path` (append mode; created if missing), or
+/// disables it with `None`. Overrides `SDFG_RUN_LOG`.
+pub fn set_path(path: Option<&Path>) {
+    let s = sink();
+    *s.path.lock().unwrap_or_else(|p| p.into_inner()) = path.map(Path::to_path_buf);
+    s.enabled.store(path.is_some(), Ordering::Relaxed);
+}
+
+/// The active ledger path, if any.
+pub fn path() -> Option<PathBuf> {
+    sink()
+        .path
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+}
+
+/// Appends one record (assigning its `seq`), returning the sequence
+/// number. A no-op returning `None` when disabled; I/O errors are
+/// reported once on stderr and otherwise swallowed — observability must
+/// never fail a run.
+pub fn append(rec: &mut RunRecord) -> Option<u64> {
+    let s = sink();
+    if !s.enabled.load(Ordering::Relaxed) {
+        return None;
+    }
+    let path = s.path.lock().unwrap_or_else(|p| p.into_inner()).clone()?;
+    rec.seq = s.seq.fetch_add(1, Ordering::Relaxed);
+    let line = rec.to_json();
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = res {
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "sdfg-profile: run ledger write to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+    Some(rec.seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_valid_minimal_json() {
+        let rec = RunRecord {
+            content_hash: "00ff".into(),
+            target: "cpu".into(),
+            opt_level: "O2\"x".into(),
+            nthreads: 4,
+            wall_ms: 1.25,
+            plan_cache_hits: 1,
+            ..Default::default()
+        };
+        let j = rec.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"content_hash\":\"00ff\""));
+        assert!(j.contains("\"opt_level\":\"O2\\\"x\""));
+        assert!(j.contains("\"wall_ms\":1.250000"));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn append_writes_one_line_per_record_with_increasing_seq() {
+        let dir = std::env::temp_dir().join(format!("sdfg-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        set_path(Some(&path));
+        assert!(enabled());
+        let mut a = RunRecord::default();
+        let mut b = RunRecord::default();
+        let sa = append(&mut a).unwrap();
+        let sb = append(&mut b).unwrap();
+        assert!(sb > sa);
+        set_path(None);
+        assert!(!enabled());
+        assert!(append(&mut RunRecord::default()).is_none());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

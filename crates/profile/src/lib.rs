@@ -17,10 +17,52 @@
 //! Scopes are identified by compact [`SpanKey`]s; human-readable labels
 //! are registered separately (once, at plan time) so the hot path never
 //! allocates strings.
+//!
+//! # Observability subsystem
+//!
+//! Beyond on-demand span profiling, this crate hosts three always-available
+//! observability layers (see DESIGN.md § Observability):
+//!
+//! * [`metrics`] — a process-global registry of counters/gauges/histograms
+//!   with sharded atomics and Prometheus text exposition.
+//! * [`flight`] — a sampled flight recorder of compact structured events
+//!   in bounded per-thread rings (`SDFG_TRACE_SAMPLE`).
+//! * [`ledger`] — an append-only JSONL record of every executor run
+//!   (`SDFG_RUN_LOG`).
+//!
+//! All three share one monotonic clock base ([`process_epoch`]) with the
+//! span profiler, so every artifact lands on the same timeline.
+
+pub mod flight;
+pub mod ledger;
+pub mod metrics;
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The shared monotonic clock base: one `Instant` per process, fixed on
+/// first use. Every collector, worker, and flight-recorder lane stamps
+/// times against this epoch, so spans from nested executors and
+/// concurrent runs align on one timeline.
+pub fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process epoch.
+pub fn epoch_ns() -> u64 {
+    process_epoch().elapsed().as_nanos() as u64
+}
+
+/// Allocates the next trace process id (`pid` in Chrome traces): each
+/// collector — hence each executor run, nested ones included — gets a
+/// distinct pid while sharing the common time base.
+fn next_pid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// How a scope is instrumented. Mirrors `sdfg_core::Instrument` (the
 /// core crate owns the annotation; this crate owns the semantics).
@@ -182,7 +224,7 @@ pub struct Span {
     pub key: SpanKey,
     /// Worker index (0 = the driving thread).
     pub worker: u32,
-    /// Start offset from the collector's epoch, ns.
+    /// Start offset from the shared process epoch, ns.
     pub start_ns: u64,
     /// Duration, ns.
     pub dur_ns: u64,
@@ -232,7 +274,13 @@ impl WorkerProfile {
 /// [`finish`]: ProfileCollector::finish
 #[derive(Debug)]
 pub struct ProfileCollector {
+    /// When this collector was created (for [`elapsed`]); span
+    /// timestamps use the shared [`process_epoch`] instead.
+    ///
+    /// [`elapsed`]: ProfileCollector::elapsed
     t0: Instant,
+    /// Trace process id: distinct per collector, shared time base.
+    pid: u32,
     labels: Mutex<HashMap<SpanKey, String>>,
     merged: Mutex<Merged>,
 }
@@ -254,23 +302,38 @@ impl Default for ProfileCollector {
 }
 
 impl ProfileCollector {
-    /// A collector whose epoch is "now".
+    /// A new collector stamping spans against the shared process epoch.
     pub fn new() -> ProfileCollector {
+        // Touch the epoch first so `now_ns` is never called on an
+        // uninitialised clock base.
+        let _ = process_epoch();
         ProfileCollector {
             t0: Instant::now(),
+            pid: next_pid(),
             labels: Mutex::new(HashMap::new()),
             merged: Mutex::new(Merged::default()),
         }
     }
 
-    /// The collector's epoch; workers compute span offsets against it.
+    /// The shared clock base; workers compute span offsets against it.
     pub fn epoch(&self) -> Instant {
-        self.t0
+        process_epoch()
     }
 
-    /// Nanoseconds elapsed since the epoch.
+    /// Nanoseconds since the shared process epoch (span timestamps).
     pub fn now_ns(&self) -> u64 {
-        self.t0.elapsed().as_nanos() as u64
+        epoch_ns()
+    }
+
+    /// Wall time since this collector was created (per-run, not
+    /// process-wide — what drivers report as the run's wall time).
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+
+    /// This collector's trace process id.
+    pub fn pid(&self) -> u32 {
+        self.pid
     }
 
     /// Registers a human-readable label for a scope (idempotent; called
@@ -319,6 +382,7 @@ impl ProfileCollector {
             labels,
             exec: ExecCounters::default(),
             sched: Vec::new(),
+            pid: self.pid,
         }
     }
 }
@@ -404,6 +468,47 @@ pub struct InstrumentationReport {
     /// Work-stealing scheduler counters per worker (executor runs that
     /// entered at least one parallel region; empty otherwise).
     pub sched: Vec<SchedWorker>,
+    /// Trace process id of the collector that produced this report.
+    pub pid: u32,
+}
+
+/// Renders the always-on counters footer — plan-cache/pool counters and
+/// per-worker scheduler lines. This is exactly the footer
+/// [`InstrumentationReport::hot_path_table`] appends, exposed standalone
+/// so callers can surface the cheap counters even when profiling is
+/// `Off` and no report exists. Empty when nothing was recorded.
+pub fn counters_footer(exec: &ExecCounters, sched: &[SchedWorker]) -> String {
+    let mut out = String::new();
+    if !exec.is_empty() {
+        out.push_str(&format!(
+            "plan cache {} hit / {} miss | pool {} of {} acquires recycled ({})\n",
+            exec.plan_cache_hits,
+            exec.plan_cache_misses,
+            exec.pool_reuses,
+            exec.pool_acquires,
+            human_bytes(exec.pool_bytes_reused)
+        ));
+    }
+    if !sched.is_empty() {
+        let tiles: u64 = sched.iter().map(|w| w.tiles).sum();
+        let steals: u64 = sched.iter().map(|w| w.steals).sum();
+        out.push_str(&format!(
+            "sched {} tiles / {} steals across {} workers\n",
+            tiles,
+            steals,
+            sched.len()
+        ));
+        for w in sched {
+            out.push_str(&format!(
+                "    worker {}: {} tiles, {} steals, {:.3} ms idle\n",
+                w.worker,
+                w.tiles,
+                w.steals,
+                w.idle_ns as f64 / 1e6
+            ));
+        }
+    }
+    out
 }
 
 impl InstrumentationReport {
@@ -555,36 +660,7 @@ impl InstrumentationReport {
             self.state_total().as_secs_f64() * 1e3,
             human_bytes(self.bytes_moved)
         ));
-        if !self.exec.is_empty() {
-            let e = &self.exec;
-            out.push_str(&format!(
-                "plan cache {} hit / {} miss | pool {} of {} acquires recycled ({})\n",
-                e.plan_cache_hits,
-                e.plan_cache_misses,
-                e.pool_reuses,
-                e.pool_acquires,
-                human_bytes(e.pool_bytes_reused)
-            ));
-        }
-        if !self.sched.is_empty() {
-            let tiles: u64 = self.sched.iter().map(|w| w.tiles).sum();
-            let steals: u64 = self.sched.iter().map(|w| w.steals).sum();
-            out.push_str(&format!(
-                "sched {} tiles / {} steals across {} workers\n",
-                tiles,
-                steals,
-                self.sched.len()
-            ));
-            for w in &self.sched {
-                out.push_str(&format!(
-                    "    worker {}: {} tiles, {} steals, {:.3} ms idle\n",
-                    w.worker,
-                    w.tiles,
-                    w.steals,
-                    w.idle_ns as f64 / 1e6
-                ));
-            }
-        }
+        out.push_str(&counters_footer(&self.exec, &self.sched));
         out
     }
 
@@ -593,8 +669,20 @@ impl InstrumentationReport {
     /// metadata naming each worker lane. Load via `chrome://tracing` or
     /// <https://ui.perfetto.dev>.
     pub fn chrome_trace(&self) -> String {
+        // Timestamps are process-epoch relative and the pid is unique
+        // per collector, so traces from nested executors concatenate
+        // into one aligned multi-process timeline.
+        let pid = self.pid;
         let mut out = String::from("[\n");
         let mut first = true;
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"executor {pid}\"}}}}"
+            ),
+        );
         let mut workers: Vec<u32> = self.timeline.iter().map(|s| s.worker).collect();
         workers.sort_unstable();
         workers.dedup();
@@ -603,7 +691,7 @@ impl InstrumentationReport {
                 &mut out,
                 &mut first,
                 &format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
                      \"args\":{{\"name\":\"worker {}\"}}}}",
                     w, w
                 ),
@@ -619,7 +707,7 @@ impl InstrumentationReport {
                 &mut first,
                 &format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
-                     \"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                     \"dur\":{:.3},\"pid\":{pid},\"tid\":{}}}",
                     json_escape(&self.label(span.key)),
                     cat,
                     span.start_ns as f64 / 1e3,
@@ -796,6 +884,45 @@ mod tests {
         assert_eq!(r.maps[&(0, 1)].count, 1);
         assert_eq!(r.bytes_moved, 4096);
         assert!(r.hot_path_table().contains("4.00 KiB"));
+    }
+
+    #[test]
+    fn collectors_share_one_epoch_but_get_distinct_pids() {
+        let a = ProfileCollector::new();
+        let b = ProfileCollector::new();
+        assert_eq!(a.epoch(), b.epoch(), "one process-wide clock base");
+        assert_ne!(a.pid(), b.pid(), "one pid per collector");
+        // now_ns is epoch-relative for both, so later reads are larger
+        // regardless of which collector reads.
+        let t1 = a.now_ns();
+        let t2 = b.now_ns();
+        assert!(t2 >= t1);
+        let ra = a.finish(Duration::from_micros(1));
+        let trace = ra.chrome_trace();
+        assert!(trace.contains(&format!("\"pid\":{}", ra.pid)));
+        assert!(trace.contains("process_name"));
+    }
+
+    #[test]
+    fn counters_footer_renders_without_a_report() {
+        let exec = ExecCounters {
+            plan_cache_hits: 3,
+            plan_cache_misses: 1,
+            pool_acquires: 4,
+            pool_reuses: 2,
+            pool_bytes_reused: 2048,
+        };
+        let sched = [SchedWorker {
+            worker: 0,
+            tiles: 10,
+            steals: 2,
+            idle_ns: 1_000_000,
+        }];
+        let footer = counters_footer(&exec, &sched);
+        assert!(footer.contains("plan cache 3 hit / 1 miss"));
+        assert!(footer.contains("2.00 KiB"));
+        assert!(footer.contains("sched 10 tiles / 2 steals across 1 workers"));
+        assert!(counters_footer(&ExecCounters::default(), &[]).is_empty());
     }
 
     #[test]
