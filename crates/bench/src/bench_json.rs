@@ -65,6 +65,9 @@ pub struct BenchConfig {
     /// target (`--target`): adds an interpreter-verified run and
     /// per-backend statistics to the JSON, and gates on verification.
     pub target: Target,
+    /// Tuning database consulted when `opt` is [`OptLevel::Tuned`]
+    /// (`--db`); defaults to `bench/tuned.json`.
+    pub tuned_db: Option<String>,
 }
 
 impl Default for BenchConfig {
@@ -80,6 +83,7 @@ impl Default for BenchConfig {
             write_baseline: None,
             opt: OptLevel::None,
             target: Target::Cpu,
+            tuned_db: None,
         }
     }
 }
@@ -111,6 +115,9 @@ pub struct BenchResult {
     pub opt_warm_ms: Option<f64>,
     /// Transformations the pipeline fired for this kernel (`--opt` only).
     pub opt_passes: Option<usize>,
+    /// Whether the tuning database had an entry for this kernel
+    /// (`--opt=tuned` only; `false` = fell back to `aggressive`).
+    pub tuned_hit: Option<bool>,
     /// The interpreter-verified heterogeneous run (`--target` only).
     pub target_run: Option<TargetRun>,
     /// Thread count the warm executor ran with.
@@ -165,13 +172,40 @@ fn percentile_ms(xs: &[f64], q: f64) -> f64 {
 
 /// Median of a sample; the mean of the two middle elements for even
 /// lengths.
-fn median_ms(mut xs: Vec<f64>) -> f64 {
+pub(crate) fn median_ms(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(f64::total_cmp);
     match xs.len() {
         0 => 0.0,
         n if n % 2 == 1 => xs[n / 2],
         n => (xs[n / 2 - 1] + xs[n / 2]) / 2.0,
     }
+}
+
+/// The warm measurement protocol as a library (shared with the
+/// autotuner): `warmup` untimed runs, then `repeat` batches of `reps`
+/// timed runs each; returns the per-batch minima. `best_ms` of the result
+/// is the bench `warm_ms`; [`median_ms`] of it is `warm_median_ms`.
+pub(crate) fn warm_batch_mins(
+    ex: &mut sdfg_exec::Executor,
+    warmup: usize,
+    reps: usize,
+    repeat: usize,
+) -> Vec<f64> {
+    for _ in 0..warmup.max(1) {
+        ex.run().expect("warmup run");
+    }
+    (0..repeat.max(1))
+        .map(|_| {
+            let batch: Vec<f64> = (0..reps.max(1))
+                .map(|_| {
+                    let t0 = Instant::now();
+                    ex.run().expect("warm run");
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            best_ms(batch)
+        })
+        .collect()
 }
 
 /// Measures one kernel under the warm/cold protocol. With an opt level,
@@ -201,45 +235,32 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
     // Warm: one executor; lowering is paid once, then cached. `--repeat`
     // runs several independent batches; each contributes its minimum.
     let mut ex = w.executor();
-    for _ in 0..warmup.max(1) {
-        ex.run().expect("warmup run");
-    }
-    let batch_mins: Vec<f64> = (0..cfg.repeat.max(1))
-        .map(|_| {
-            let batch: Vec<f64> = (0..reps.max(1))
-                .map(|_| {
-                    let t0 = Instant::now();
-                    ex.run().expect("warm run");
-                    t0.elapsed().as_secs_f64() * 1e3
-                })
-                .collect();
-            best_ms(batch)
-        })
-        .collect();
+    let batch_mins = warm_batch_mins(&mut ex, warmup, reps, cfg.repeat);
     let cache = ex.cache_stats();
     let pool = ex.pool_stats();
     let nthreads = ex.nthreads;
     let sched = ex.sched_stats();
 
     // Optimized warm: same protocol, with the pipeline applied on the
-    // first run (its cost is warmup, like lowering).
-    let (opt_warm_ms, opt_passes) = if opt == OptLevel::None {
-        (None, None)
+    // first run (its cost is warmup, like lowering). `--opt=tuned` points
+    // the executor at the tuning database instead of a static level.
+    let (opt_warm_ms, opt_passes, tuned_hit) = if opt == OptLevel::None {
+        (None, None, None)
     } else {
         let mut ox = w.executor();
-        ox.set_opt_level(opt);
-        for _ in 0..warmup.max(1) {
-            ox.run().expect("optimized warmup run");
+        if opt == OptLevel::Tuned {
+            let db = cfg
+                .tuned_db
+                .clone()
+                .unwrap_or_else(|| "bench/tuned.json".into());
+            ox.set_tuning_db(db);
+        } else {
+            ox.set_opt_level(opt);
         }
-        let opt_warm: Vec<f64> = (0..reps.max(1))
-            .map(|_| {
-                let t0 = Instant::now();
-                ox.run().expect("optimized warm run");
-                t0.elapsed().as_secs_f64() * 1e3
-            })
-            .collect();
+        let opt_warm = warm_batch_mins(&mut ox, warmup, reps, 1);
         let passes = ox.opt_report().map(|r| r.applied.len()).unwrap_or(0);
-        (Some(best_ms(opt_warm)), Some(passes))
+        let hit = (opt == OptLevel::Tuned).then(|| ox.tuned_config().is_some());
+        (Some(best_ms(opt_warm)), Some(passes), hit)
     };
 
     // Targeted: one heterogeneous-runtime run, verified bit-for-bit
@@ -262,6 +283,7 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         pool_bytes_reused: pool.bytes_reused,
         opt_warm_ms,
         opt_passes,
+        tuned_hit,
         target_run,
         nthreads,
         sched,
@@ -328,6 +350,17 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
             r.opt_speedup().unwrap_or(0.0),
             passes,
         ));
+        // `--opt=tuned` also reports the spec'd tuned_* aliases plus
+        // whether the database actually had an entry.
+        if cfg.opt == OptLevel::Tuned {
+            out.push_str(&format!(
+                ",\n  \"tuned_warm_ms\": {:.6},\n  \"tuned_speedup\": {:.3},\n  \
+                 \"tuned_hit\": {}",
+                opt_warm,
+                r.opt_speedup().unwrap_or(0.0),
+                r.tuned_hit.unwrap_or(false),
+            ));
+        }
     }
     if let Some(run) = &r.target_run {
         out.push_str(&format!(",\n  {}", target_json_fields(run)));
@@ -336,25 +369,32 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
     out
 }
 
+/// Renders a baseline in canonical form: keys sorted alphabetically at
+/// both levels and kernel entries sorted by name, so `--update-baseline`
+/// rewrites are byte-stable regardless of CLI kernel order. The stored
+/// `warm_ms` is the noise-robust warm median (equal to the batch minimum
+/// when `--repeat` is 1), matching what [`gate`] compares against.
 fn baseline_json(results: &[BenchResult], cfg: &BenchConfig, min_speedup: f64) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"scale\": {},\n  \"reps\": {},\n  \"warmup\": {},\n  \"min_speedup\": {:.1},\n",
-        cfg.scale, cfg.reps, cfg.warmup, min_speedup
-    ));
-    out.push_str("  \"kernels\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    let mut sorted: Vec<&BenchResult> = results.iter().collect();
+    sorted.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+    let mut out = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in sorted.iter().enumerate() {
+        let warm = r.warm_median_ms;
+        let speedup = if warm > 0.0 { r.cold_ms / warm } else { 0.0 };
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"cold_ms\": {:.6}, \"warm_ms\": {:.6}, \
-             \"speedup\": {:.3}}}{}\n",
-            r.kernel,
+            "    {{\"cold_ms\": {:.6}, \"kernel\": \"{}\", \"speedup\": {:.3}, \
+             \"warm_ms\": {:.6}}}{}\n",
             r.cold_ms,
-            r.warm_ms,
-            r.speedup(),
-            if i + 1 < results.len() { "," } else { "" }
+            r.kernel,
+            speedup,
+            warm,
+            if i + 1 < sorted.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&format!(
+        "  ],\n  \"min_speedup\": {:.1},\n  \"reps\": {},\n  \"scale\": {},\n  \"warmup\": {}\n}}\n",
+        min_speedup, cfg.reps, cfg.scale, cfg.warmup
+    ));
     out
 }
 
@@ -377,34 +417,61 @@ fn parse_baseline(src: &str) -> Result<Baseline, String> {
     })
 }
 
-/// Gates `results` against a baseline file's contents. Returns the list
-/// of failure messages (empty = pass).
-pub fn gate(results: &[BenchResult], baseline_src: &str) -> Result<Vec<String>, String> {
+/// The regression gate's verdict: hard failures (regressions, missing
+/// speedup) plus advisories — kernels *faster* than the baseline beyond
+/// the same noise envelope, which should prompt a `--update-baseline`
+/// refresh rather than fail CI.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Gate-failing messages (empty = pass).
+    pub failures: Vec<String>,
+    /// Non-failing suggestions (stale-baseline improvements).
+    pub advisories: Vec<String>,
+}
+
+/// Gates `results` against a baseline file's contents.
+///
+/// The gated statistic is `warm_median_ms` — the noise-robust central
+/// estimate when `--repeat` is active, identical to `warm_ms` for a
+/// single batch — and the `TOLERANCE`/`ABS_SLACK_MS` noise envelope is
+/// applied symmetrically: a kernel above the envelope is a failure, one
+/// below it is an advisory to refresh the baseline.
+pub fn gate(results: &[BenchResult], baseline_src: &str) -> Result<GateReport, String> {
     let base = parse_baseline(baseline_src)?;
-    let mut failures = Vec::new();
+    let mut report = GateReport::default();
     for (name, base_warm) in &base.warm_ms {
         let Some(r) = results.iter().find(|r| &r.kernel == name) else {
             continue; // baseline covers more kernels than this run
         };
+        let warm = r.warm_median_ms;
         let limit = base_warm * (1.0 + TOLERANCE) + ABS_SLACK_MS;
-        if r.warm_ms > limit {
-            failures.push(format!(
-                "{name}: warm {:.3} ms exceeds baseline {:.3} ms +{:.0}% (limit {:.3} ms)",
-                r.warm_ms,
+        let floor = base_warm * (1.0 - TOLERANCE) - ABS_SLACK_MS;
+        if warm > limit {
+            report.failures.push(format!(
+                "{name}: warm median {:.3} ms exceeds baseline {:.3} ms +{:.0}% (limit {:.3} ms)",
+                warm,
                 base_warm,
                 TOLERANCE * 100.0,
                 limit
+            ));
+        } else if warm < floor {
+            report.advisories.push(format!(
+                "{name}: warm median {:.3} ms beats baseline {:.3} ms by more than {:.0}% — \
+                 refresh with `--bench --update-baseline`",
+                warm,
+                base_warm,
+                TOLERANCE * 100.0
             ));
         }
     }
     let best = results.iter().map(BenchResult::speedup).fold(0.0, f64::max);
     if best < base.min_speedup {
-        failures.push(format!(
+        report.failures.push(format!(
             "best warm-over-cold speedup {best:.2}x is below required {:.1}x",
             base.min_speedup
         ));
     }
-    Ok(failures)
+    Ok(report)
 }
 
 /// Gates `--opt` results: at least one kernel's optimized warm time must
@@ -429,6 +496,138 @@ pub fn opt_gate(results: &[BenchResult]) -> Vec<String> {
             )
         })
         .collect()
+}
+
+/// CI's `baseline-check`: validates that the committed baseline parses
+/// and carries the expected schema, that every committed `BENCH_*.json`
+/// artifact under `bench_dir` parses with the *current* result schema
+/// (including the `--repeat` percentile fields and the `metrics` block),
+/// and that the baseline covers every such kernel. Returns failure
+/// messages (empty = pass).
+pub fn baseline_check(baseline_path: &str, bench_dir: &str) -> Result<Vec<String>, String> {
+    let src = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+    let root = parse_json(&src).map_err(|e| format!("baseline does not parse: {e}"))?;
+    let mut failures = Vec::new();
+    for key in ["scale", "reps", "warmup", "min_speedup"] {
+        if root.num_field(key).is_err() {
+            failures.push(format!("baseline missing numeric `{key}`"));
+        }
+    }
+    let mut covered = std::collections::HashSet::new();
+    match root.arr_field("kernels") {
+        Ok(ks) => {
+            for k in ks {
+                match k.str_field("kernel") {
+                    Ok(name) => {
+                        covered.insert(name.to_string());
+                        for key in ["cold_ms", "warm_ms", "speedup"] {
+                            if k.num_field(key).is_err() {
+                                failures.push(format!(
+                                    "baseline kernel `{name}` missing numeric `{key}`"
+                                ));
+                            }
+                        }
+                    }
+                    Err(e) => failures.push(format!("baseline kernel entry without name: {e}")),
+                }
+            }
+        }
+        Err(e) => failures.push(format!("baseline missing `kernels`: {e}")),
+    }
+
+    let mut artifacts: Vec<std::path::PathBuf> = std::fs::read_dir(bench_dir)
+        .map_err(|e| format!("cannot read `{bench_dir}`: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    artifacts.sort();
+    for path in &artifacts {
+        let display = path.display();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("cannot read `{display}`: {e}"));
+                continue;
+            }
+        };
+        let j = match parse_json(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                failures.push(format!("`{display}` does not parse: {e}"));
+                continue;
+            }
+        };
+        let name = match j.str_field("kernel") {
+            Ok(n) => n.to_string(),
+            Err(e) => {
+                failures.push(format!("`{display}` missing `kernel`: {e}"));
+                continue;
+            }
+        };
+        for key in [
+            "scale",
+            "reps",
+            "warmup",
+            "repeat",
+            "nthreads",
+            "cold_ms",
+            "warm_ms",
+            "warm_median_ms",
+            "speedup",
+            "plan_cache_hit_rate",
+            "pool_reuse_rate",
+            "pool_bytes_reused",
+        ] {
+            if j.num_field(key).is_err() {
+                failures.push(format!("`{display}` missing numeric `{key}`"));
+            }
+        }
+        if j.num_field("repeat").is_ok_and(|r| r > 1.0) {
+            for key in ["warm_p05_ms", "warm_p95_ms"] {
+                if j.num_field(key).is_err() {
+                    failures.push(format!(
+                        "`{display}` has repeat > 1 but no `{key}` percentile"
+                    ));
+                }
+            }
+        }
+        if j.get("metrics").is_none() {
+            failures.push(format!("`{display}` missing the `metrics` block"));
+        }
+        if !covered.contains(&name) {
+            failures.push(format!(
+                "baseline does not cover kernel `{name}` (committed artifact `{display}`)"
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// Runs the `baseline-check` subcommand, printing the verdict; returns
+/// `false` on failure.
+pub fn run_baseline_check(baseline_path: &str, bench_dir: &str) -> bool {
+    match baseline_check(baseline_path, bench_dir) {
+        Ok(failures) if failures.is_empty() => {
+            println!("baseline-check: PASS ({baseline_path} vs {bench_dir}/BENCH_*.json)");
+            true
+        }
+        Ok(failures) => {
+            println!("baseline-check: FAIL");
+            for f in &failures {
+                println!("  {f}");
+            }
+            false
+        }
+        Err(e) => {
+            println!("baseline-check: FAIL — {e}");
+            false
+        }
+    }
 }
 
 /// Runs the `--bench` mode end to end; returns `false` when the
@@ -540,15 +739,19 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
         let src = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read baseline `{path}`: {e}"));
         match gate(&results, &src) {
-            Ok(failures) if failures.is_empty() => {
-                println!("\nbench gate: PASS (vs {path})");
-            }
-            Ok(failures) => {
-                println!("\nbench gate: FAIL (vs {path})");
-                for f in &failures {
-                    println!("  {f}");
+            Ok(report) => {
+                for a in &report.advisories {
+                    println!("\nbench gate advisory: {a}");
                 }
-                ok = false;
+                if report.failures.is_empty() {
+                    println!("\nbench gate: PASS (vs {path})");
+                } else {
+                    println!("\nbench gate: FAIL (vs {path})");
+                    for f in &report.failures {
+                        println!("  {f}");
+                    }
+                    ok = false;
+                }
             }
             Err(e) => {
                 println!("\nbench gate: FAIL — malformed baseline `{path}`: {e}");
@@ -576,6 +779,7 @@ mod tests {
             pool_bytes_reused: 1024,
             opt_warm_ms: None,
             opt_passes: None,
+            tuned_hit: None,
             target_run: None,
             nthreads: 1,
             sched: None,
@@ -705,8 +909,9 @@ mod tests {
             {"kernel": "gemm", "cold_ms": 1.0, "warm_ms": 0.10, "speedup": 10.0}
         ]}"#;
         // 20% slower than baseline warm + speedup 8x: inside the gate.
-        let failures = gate(&[result("gemm", 0.96, 0.12)], base).unwrap();
-        assert!(failures.is_empty(), "{failures:?}");
+        let report = gate(&[result("gemm", 0.96, 0.12)], base).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.advisories.is_empty(), "{:?}", report.advisories);
     }
 
     #[test]
@@ -715,9 +920,35 @@ mod tests {
             {"kernel": "gemm", "cold_ms": 10.0, "warm_ms": 1.0, "speedup": 10.0}
         ]}"#;
         // Limit is 1.0 * 1.3 + slack; 1.6 ms is over it.
-        let failures = gate(&[result("gemm", 10.0, 1.6)], base).unwrap();
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("exceeds baseline"));
+        let report = gate(&[result("gemm", 10.0, 1.6)], base).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("exceeds baseline"));
+    }
+
+    #[test]
+    fn gate_uses_the_warm_median_not_the_batch_minimum() {
+        let base = r#"{"min_speedup": 1.0, "kernels": [
+            {"kernel": "gemm", "cold_ms": 10.0, "warm_ms": 1.0, "speedup": 10.0}
+        ]}"#;
+        // Batch minimum inside the limit but median far over it: the
+        // median is what gates (`--repeat` makes them diverge).
+        let mut r = result("gemm", 10.0, 1.0);
+        r.warm_median_ms = 2.0;
+        let report = gate(&[r], base).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("2.000"));
+    }
+
+    #[test]
+    fn gate_flags_large_improvements_as_advisory_not_failure() {
+        let base = r#"{"min_speedup": 1.0, "kernels": [
+            {"kernel": "gemm", "cold_ms": 10.0, "warm_ms": 2.0, "speedup": 10.0}
+        ]}"#;
+        // Floor is 2.0 * 0.7 - 0.25 = 1.15 ms; 0.5 ms is far under it.
+        let report = gate(&[result("gemm", 10.0, 0.5)], base).unwrap();
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.advisories.len(), 1);
+        assert!(report.advisories[0].contains("--update-baseline"));
     }
 
     #[test]
@@ -725,9 +956,9 @@ mod tests {
         let base = r#"{"min_speedup": 5.0, "kernels": [
             {"kernel": "gemm", "cold_ms": 1.0, "warm_ms": 1.0, "speedup": 1.0}
         ]}"#;
-        let failures = gate(&[result("gemm", 1.0, 1.0)], base).unwrap();
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("below required"));
+        let report = gate(&[result("gemm", 1.0, 1.0)], base).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("below required"));
     }
 
     #[test]
@@ -737,9 +968,96 @@ mod tests {
         let src = baseline_json(&rs, &cfg, DEFAULT_MIN_SPEEDUP);
         let base = parse_baseline(&src).unwrap();
         assert_eq!(base.warm_ms.len(), 2);
-        assert_eq!(base.warm_ms[0].0, "gemm");
-        assert!((base.warm_ms[0].1 - 0.2).abs() < 1e-9);
+        // Canonical form sorts kernel entries by name.
+        assert_eq!(base.warm_ms[0].0, "atax");
+        assert!((base.warm_ms[0].1 - 0.1).abs() < 1e-9);
         assert!((base.min_speedup - DEFAULT_MIN_SPEEDUP).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_json_is_canonical_and_byte_stable() {
+        let cfg = BenchConfig::default();
+        let fwd = baseline_json(
+            &[result("gemm", 2.0, 0.2), result("atax", 1.0, 0.1)],
+            &cfg,
+            DEFAULT_MIN_SPEEDUP,
+        );
+        let rev = baseline_json(
+            &[result("atax", 1.0, 0.1), result("gemm", 2.0, 0.2)],
+            &cfg,
+            DEFAULT_MIN_SPEEDUP,
+        );
+        assert_eq!(fwd, rev, "kernel order must not affect the bytes");
+        // Keys appear in sorted order at both levels.
+        let k = fwd.find("\"kernels\"").unwrap();
+        let m = fwd.find("\"min_speedup\"").unwrap();
+        let r = fwd.find("\"reps\"").unwrap();
+        let s = fwd.find("\"scale\"").unwrap();
+        let w = fwd.find("\"warmup\"").unwrap();
+        assert!(k < m && m < r && r < s && s < w, "{fwd}");
+        assert!(fwd.find("\"cold_ms\"").unwrap() < fwd.find("\"kernel\"").unwrap());
+    }
+
+    #[test]
+    fn kernel_json_carries_tuned_aliases_only_at_opt_tuned() {
+        let tuned_cfg = BenchConfig {
+            opt: OptLevel::Tuned,
+            ..BenchConfig::default()
+        };
+        let mut r = opt_result("atax", 1.0, 0.5);
+        r.tuned_hit = Some(true);
+        let j = kernel_json(&r, &tuned_cfg);
+        assert!(j.contains("\"opt_level\": \"tuned\""), "{j}");
+        assert!(j.contains("\"tuned_warm_ms\": 0.500000"), "{j}");
+        assert!(j.contains("\"tuned_speedup\": 2.000"), "{j}");
+        assert!(j.contains("\"tuned_hit\": true"), "{j}");
+        parse_json(&j).unwrap();
+        // Plain --opt=aggressive carries no tuned_* fields.
+        let agg = BenchConfig {
+            opt: OptLevel::Aggressive,
+            ..BenchConfig::default()
+        };
+        let j = kernel_json(&opt_result("atax", 1.0, 0.5), &agg);
+        assert!(!j.contains("tuned_warm_ms"), "{j}");
+    }
+
+    #[test]
+    fn baseline_check_validates_schema_and_coverage() {
+        let dir = std::env::temp_dir().join(format!("sdfg-basecheck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_path = dir.join("baseline.json");
+        let cfg = BenchConfig::default();
+        let rs = vec![result("gemm", 2.0, 0.2)];
+        std::fs::write(&base_path, baseline_json(&rs, &cfg, DEFAULT_MIN_SPEEDUP)).unwrap();
+        // A current-schema artifact for a covered kernel: clean pass.
+        std::fs::write(
+            dir.join("BENCH_gemm.json"),
+            kernel_json(&result("gemm", 2.0, 0.2), &cfg),
+        )
+        .unwrap();
+        let failures = baseline_check(base_path.to_str().unwrap(), dir.to_str().unwrap()).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        // An artifact for a kernel the baseline does not cover: failure.
+        std::fs::write(
+            dir.join("BENCH_lu.json"),
+            kernel_json(&result("lu", 2.0, 0.2), &cfg),
+        )
+        .unwrap();
+        let failures = baseline_check(base_path.to_str().unwrap(), dir.to_str().unwrap()).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("does not cover kernel `lu`"));
+        // An artifact missing current-schema fields: failure.
+        std::fs::write(dir.join("BENCH_lu.json"), "{\"kernel\": \"lu\"}").unwrap();
+        let failures = baseline_check(base_path.to_str().unwrap(), dir.to_str().unwrap()).unwrap();
+        assert!(
+            failures.iter().any(|f| f.contains("missing numeric")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("`metrics`")),
+            "{failures:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

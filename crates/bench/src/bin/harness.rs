@@ -25,12 +25,30 @@
 //! (`warm_median_ms`); `--json` writes one `BENCH_<kernel>.json` per
 //! kernel — including the work-stealing scheduler's per-worker
 //! tiles/steals counters when the run went parallel; `--baseline` gates
-//! warm times against the committed baseline and exits non-zero on
-//! regression (what CI's `bench-smoke` job does).
+//! warm medians against the committed baseline and exits non-zero on
+//! regression (what CI's smoke job does); `--update-baseline` rewrites
+//! `bench/baseline.json` in canonical sorted-key form from this run.
+//! `harness baseline-check` validates the committed baseline and
+//! `BENCH_*.json` artifacts against the current schema.
 //!
-//! With `--opt[=strict|aggressive]`, runs go through the automatic
+//! With `--autotune`, the harness runs the measurement-driven autotuner
+//! over the named kernels instead:
+//!
+//! ```text
+//! harness atax trisolv --autotune [--budget N] [--db bench/tuned.json]
+//!         [--scale S] [--reps R] [--warmup W] [--repeat N]
+//! ```
+//!
+//! Each kernel's knob search is scored by the warm-median protocol,
+//! candidates are verified bitwise against the untuned executor, and the
+//! winner (never slower than `aggressive`) is persisted into the tuning
+//! database, where `--opt=tuned` runs pick it up.
+//!
+//! With `--opt[=strict|aggressive|tuned]`, runs go through the automatic
 //! optimization pipeline (strict fixpoint, then cost-hint-driven
-//! heuristics at `aggressive`, the default level):
+//! heuristics at `aggressive`, the default level; `tuned` replays the
+//! tuning-database entry for the graph, falling back to `aggressive` on
+//! a miss):
 //!
 //! ```text
 //! harness atax bicg --opt            # print optimization reports,
@@ -61,7 +79,7 @@
 //! recorder to a Chrome trace (implies full sampling unless
 //! `SDFG_TRACE_SAMPLE` is set). `harness obs-check metrics.prom
 //! ledger.jsonl [trace.json]` validates artifacts a previous run wrote —
-//! CI's `obs-smoke` job.
+//! part of CI's smoke job.
 
 use sdfg_bench as x;
 use sdfg_exec::OptLevel;
@@ -75,6 +93,15 @@ fn main() {
             std::process::exit(2);
         };
         let ok = x::obs::obs_check(metrics, ledger, rest.first().copied());
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    if args.first().map(String::as_str) == Some("baseline-check") {
+        let baseline = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("bench/baseline.json");
+        let dir = args.get(2).map(String::as_str).unwrap_or("bench");
+        let ok = x::bench_json::run_baseline_check(baseline, dir);
         std::process::exit(if ok { 0 } else { 1 });
     }
     let get_str = |flag: &str| -> Option<String> {
@@ -118,7 +145,7 @@ fn dispatch(args: &[String]) -> i32 {
         } else {
             a.strip_prefix("--opt=").map(|lvl| {
                 OptLevel::parse(lvl).unwrap_or_else(|| {
-                    eprintln!("unknown opt level `{lvl}` (none|strict|aggressive)");
+                    eprintln!("unknown opt level `{lvl}` (none|strict|aggressive|tuned)");
                     std::process::exit(2);
                 })
             })
@@ -126,7 +153,7 @@ fn dispatch(args: &[String]) -> i32 {
     });
     // Positional (non-flag, non-flag-value) args are kernel names in the
     // bench/opt modes and the experiment name otherwise.
-    const VALUE_FLAGS: [&str; 11] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--scale",
         "--reps",
         "--warmup",
@@ -138,6 +165,8 @@ fn dispatch(args: &[String]) -> i32 {
         "--metrics-out",
         "--ledger",
         "--trace-out",
+        "--budget",
+        "--db",
     ];
     let positionals: Vec<String> = args
         .iter()
@@ -156,6 +185,29 @@ fn dispatch(args: &[String]) -> i32 {
             std::process::exit(2);
         })
     });
+    if args.iter().any(|a| a == "--autotune") {
+        let mut cfg = x::autotune::TuneConfig::default();
+        if let Some(list) = get_str("--kernels") {
+            cfg.kernels = list.split(',').map(str::to_string).collect();
+        } else if !positionals.is_empty() {
+            cfg.kernels = positionals.clone();
+        }
+        if scale > 0 {
+            cfg.scale = scale;
+        }
+        cfg.reps = get("--reps", cfg.reps);
+        cfg.warmup = get("--warmup", cfg.warmup);
+        cfg.repeat = get("--repeat", cfg.repeat);
+        cfg.budget = get("--budget", cfg.budget);
+        if let Some(db) = get_str("--db") {
+            cfg.db = db;
+        }
+        return if x::autotune::run_autotune(&cfg) {
+            0
+        } else {
+            1
+        };
+    }
     if args.iter().any(|a| a == "--bench") {
         let mut cfg = x::bench_json::BenchConfig::default();
         if let Some(list) = get_str("--kernels") {
@@ -172,6 +224,10 @@ fn dispatch(args: &[String]) -> i32 {
         cfg.json = args.iter().any(|a| a == "--json");
         cfg.baseline = get_str("--baseline");
         cfg.write_baseline = get_str("--write-baseline");
+        if args.iter().any(|a| a == "--update-baseline") {
+            cfg.write_baseline = Some("bench/baseline.json".into());
+        }
+        cfg.tuned_db = get_str("--db");
         if let Some(level) = opt {
             cfg.opt = level;
         }

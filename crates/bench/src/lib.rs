@@ -28,8 +28,15 @@
 //! Any mode accepts the observability flags (see [`obs`]):
 //! `--metrics-out` (Prometheus exposition), `--ledger` (JSONL run
 //! records), `--trace-out` (flight-recorder Chrome trace); `harness
-//! obs-check` validates the artifacts — CI's `obs-smoke` job.
+//! obs-check` validates the artifacts — CI's smoke job.
+//!
+//! `harness <kernels> --autotune` runs the measurement-driven autotuner
+//! (see [`autotune`]): a knob search scored by the warm-median protocol,
+//! persisting winners into `bench/tuned.json` for `--opt=tuned` runs.
+//! `harness baseline-check` validates the committed baseline and
+//! `BENCH_*.json` artifacts against the current schema.
 
+pub mod autotune;
 pub mod bench_json;
 pub mod experiments;
 pub mod obs;

@@ -47,6 +47,18 @@ const LEDGER_NUM_FIELDS: [&str; 10] = [
 ];
 const LEDGER_STR_FIELDS: [&str; 3] = ["content_hash", "target", "opt_level"];
 
+/// Fields an `"record":"autotune_trial"` ledger line must carry (the
+/// autotuner shares the run ledger's file and sequence space).
+const TRIAL_NUM_FIELDS: [&str; 4] = ["seq", "nthreads", "warm_ms", "best_ms"];
+const TRIAL_STR_FIELDS: [&str; 6] = [
+    "kernel",
+    "content_hash",
+    "target",
+    "stage",
+    "candidate",
+    "outcome",
+];
+
 /// Observability outputs requested on the harness command line.
 #[derive(Default)]
 pub struct ObsConfig {
@@ -185,8 +197,10 @@ pub fn check_metrics(src: &str) -> Vec<String> {
 }
 
 /// Validates a run-ledger JSONL file: every non-empty line must parse as
-/// a JSON object carrying the full record schema. Returns the failure
-/// messages plus the number of valid records.
+/// a JSON object carrying the full record schema — the run-record schema
+/// by default, or the autotune-trial schema when the line carries the
+/// `"record":"autotune_trial"` discriminator. Returns the failure
+/// messages plus the number of valid records (runs + trials).
 pub fn check_ledger(src: &str) -> (Vec<String>, usize) {
     let mut failures = Vec::new();
     let mut records = 0usize;
@@ -202,17 +216,30 @@ pub fn check_ledger(src: &str) -> (Vec<String>, usize) {
             }
         };
         let mut ok = true;
-        for f in LEDGER_NUM_FIELDS {
+        let is_trial = rec.str_field("record") == Ok("autotune_trial");
+        let (num_fields, str_fields): (&[&str], &[&str]) = if is_trial {
+            (&TRIAL_NUM_FIELDS, &TRIAL_STR_FIELDS)
+        } else {
+            (&LEDGER_NUM_FIELDS, &LEDGER_STR_FIELDS)
+        };
+        for f in num_fields {
             if rec.num_field(f).is_err() {
                 failures.push(format!("ledger line {}: missing numeric `{f}`", ln + 1));
                 ok = false;
             }
         }
-        for f in LEDGER_STR_FIELDS {
+        for f in str_fields {
             if rec.str_field(f).is_err() {
                 failures.push(format!("ledger line {}: missing string `{f}`", ln + 1));
                 ok = false;
             }
+        }
+        if is_trial && rec.obj_field("config").is_err() {
+            failures.push(format!(
+                "ledger line {}: trial record missing `config` object",
+                ln + 1
+            ));
+            ok = false;
         }
         if ok {
             records += 1;
@@ -319,6 +346,43 @@ mod tests {
         let (failures, records) = check_ledger(&two);
         assert!(failures.is_empty(), "{failures:?}");
         assert_eq!(records, 2);
+    }
+
+    #[test]
+    fn mixed_run_and_trial_records_pass_check_ledger() {
+        let run = ledger::RunRecord {
+            content_hash: "00c0ffee".into(),
+            target: "cpu".into(),
+            opt_level: "tuned".into(),
+            nthreads: 4,
+            ..Default::default()
+        };
+        let trial = ledger::TrialRecord {
+            kernel: "atax".into(),
+            content_hash: "00c0ffee".into(),
+            target: "cpu".into(),
+            nthreads: 4,
+            stage: "fusion".into(),
+            candidate: "fusion=off".into(),
+            config_json: "{\"fusion\":false}".into(),
+            warm_ms: 0.5,
+            best_ms: 0.4,
+            outcome: "no_gain".into(),
+            ..Default::default()
+        };
+        let src = format!("{}\n{}\n", run.to_json(), trial.to_json());
+        let (failures, records) = check_ledger(&src);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(records, 2);
+        // A trial line missing its config object fails.
+        let bad = trial
+            .to_json()
+            .replace(",\"config\":{\"fusion\":false}", "");
+        let (failures, _) = check_ledger(&bad);
+        assert!(
+            failures.iter().any(|f| f.contains("config")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Integration tests for the measurement-driven autotuner: tuning-DB
+//! round-trips through the executor, `OptLevel::Tuned` semantic
+//! equivalence against the reference interpreter, and budget-bounded
+//! search that never persists a config slower than `Aggressive`.
+
+use sdfg_bench::autotune::{tune_kernel, TuneConfig};
+use sdfg_exec::{OptLevel, TuneEntry, TuneKey, TunedConfig, TuningDb};
+use sdfg_workloads::polybench;
+use sdfg_workloads::workload::assert_allclose;
+
+const SCALE: usize = 8;
+
+fn kernel(name: &str) -> sdfg_workloads::workload::Workload {
+    let k = polybench::all()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("unknown kernel `{name}`"));
+    (k.build)(SCALE)
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sdfg-autotune-{tag}-{}.json", std::process::id()))
+}
+
+/// An entry written through `TuningDb::save` is found again by a fresh
+/// executor pointed at the file, and the tuned configuration is applied.
+#[test]
+fn db_roundtrip_through_executor() {
+    let w = kernel("atax");
+    let chash = sdfg_core::serialize::content_hash(&w.sdfg);
+    let nthreads = w.executor().nthreads.max(1) as u32;
+    let cfg = TunedConfig {
+        seq_threshold: 1 << 20, // sequentialize everything at this scale
+        ..TunedConfig::default()
+    };
+    let mut db = TuningDb::new();
+    db.insert(TuneEntry {
+        key: TuneKey {
+            content_hash: chash,
+            target: "cpu".into(),
+            nthreads,
+        },
+        kernel: "atax".into(),
+        config: cfg.clone(),
+        tuned_warm_ms: 0.5,
+        baseline_warm_ms: 0.6,
+        trials: 3,
+    });
+    let path = tmp_path("roundtrip");
+    db.save(&path).unwrap();
+
+    let mut ex = w.executor();
+    ex.set_tuning_db(&path);
+    ex.run().expect("tuned run");
+    assert_eq!(ex.opt_level(), OptLevel::Tuned);
+    assert_eq!(ex.tuned_config(), Some(&cfg), "db entry must be applied");
+    let want = w.run_interp().expect("interpreter");
+    let got = w
+        .check
+        .iter()
+        .map(|c| (c.clone(), ex.array(c).to_vec()))
+        .collect();
+    assert_allclose(&w.check, &got, &want, 1e-9);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A schema-version bump is rejected cleanly with a message naming the
+/// version, and the executor surfaces it as an optimization error rather
+/// than silently falling back.
+#[test]
+fn schema_bump_is_rejected_cleanly() {
+    let db = TuningDb::new();
+    let bumped = db.to_json().replace(
+        &format!("\"schema\": {}", sdfg_transforms::autotune::SCHEMA_VERSION),
+        "\"schema\": 999",
+    );
+    let err = TuningDb::parse(&bumped).unwrap_err();
+    assert!(err.contains("schema version 999"), "{err}");
+
+    let path = tmp_path("schema");
+    std::fs::write(&path, &bumped).unwrap();
+    let w = kernel("atax");
+    let mut ex = w.executor();
+    ex.set_tuning_db(&path);
+    let run_err = ex.run().expect_err("bumped schema must fail the run");
+    assert!(run_err.to_string().contains("schema version"), "{run_err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A stale content hash (the graph changed since tuning) is a natural
+/// miss: the executor falls back to the `Aggressive` pipeline and still
+/// matches the interpreter.
+#[test]
+fn stale_content_hash_is_a_miss_with_aggressive_fallback() {
+    let w = kernel("trisolv");
+    let nthreads = w.executor().nthreads.max(1) as u32;
+    let mut db = TuningDb::new();
+    db.insert(TuneEntry {
+        key: TuneKey {
+            content_hash: 0xdead_beef, // not this graph's hash
+            target: "cpu".into(),
+            nthreads,
+        },
+        kernel: "trisolv".into(),
+        config: TunedConfig::default(),
+        tuned_warm_ms: 0.5,
+        baseline_warm_ms: 0.6,
+        trials: 1,
+    });
+    let path = tmp_path("stale");
+    db.save(&path).unwrap();
+
+    let mut ex = w.executor();
+    ex.set_tuning_db(&path);
+    ex.run().expect("fallback run");
+    assert_eq!(ex.tuned_config(), None, "stale hash must miss");
+    let report = ex.opt_report().expect("fallback still optimizes");
+    assert_eq!(report.level, OptLevel::Aggressive);
+    let want = w.run_interp().expect("interpreter");
+    let got = w
+        .check
+        .iter()
+        .map(|c| (c.clone(), ex.array(c).to_vec()))
+        .collect();
+    assert_allclose(&w.check, &got, &want, 1e-9);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `OptLevel::Tuned` with explicit non-default configurations matches the
+/// reference interpreter on three Polybench kernels.
+#[test]
+fn tuned_configs_match_the_interpreter_on_three_kernels() {
+    let configs = [
+        TunedConfig {
+            fusion: false,
+            ..TunedConfig::default()
+        },
+        TunedConfig {
+            tile_sizes: vec![16],
+            ..TunedConfig::default()
+        },
+        TunedConfig {
+            seq_threshold: 1 << 20,
+            vector_width: 8,
+            grain_ns: 5_000,
+            ..TunedConfig::default()
+        },
+    ];
+    for name in ["gemm", "atax", "trisolv"] {
+        let w = kernel(name);
+        let want = w.run_interp().expect("interpreter");
+        for cfg in &configs {
+            let mut ex = w.executor();
+            ex.set_tuned_config(cfg.clone());
+            ex.run()
+                .unwrap_or_else(|e| panic!("{name} with {cfg}: {e}"));
+            let got = w
+                .check
+                .iter()
+                .map(|c| (c.clone(), ex.array(c).to_vec()))
+                .collect();
+            assert_allclose(&w.check, &got, &want, 1e-9);
+        }
+    }
+}
+
+/// The search driver terminates under a tiny budget and never persists a
+/// configuration slower than the `Aggressive` baseline it measured.
+#[test]
+fn budget_exhaustion_terminates_and_never_persists_a_loser() {
+    let path = tmp_path("budget");
+    let _ = std::fs::remove_file(&path);
+    let cfg = TuneConfig {
+        kernels: vec!["atax".into()],
+        scale: SCALE,
+        reps: 2,
+        warmup: 1,
+        repeat: 1,
+        budget: 2,
+        db: path.to_str().unwrap().to_string(),
+    };
+    let outcome = tune_kernel("atax", &cfg).expect("tuning succeeds");
+    assert!(outcome.trials <= 2, "budget exceeded: {}", outcome.trials);
+    assert!(
+        outcome.tuned_warm_ms <= outcome.baseline_warm_ms,
+        "winner {} ms slower than baseline {} ms",
+        outcome.tuned_warm_ms,
+        outcome.baseline_warm_ms
+    );
+    // The persisted entry carries the same invariant.
+    let db = TuningDb::load(&path).unwrap().expect("db written");
+    assert_eq!(db.len(), 1);
+    let entry = &db.entries()[0];
+    assert_eq!(entry.kernel, "atax");
+    assert!(entry.tuned_warm_ms <= entry.baseline_warm_ms);
+    assert!(entry.trials <= 2);
+    let _ = std::fs::remove_file(&path);
+}

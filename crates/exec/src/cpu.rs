@@ -301,7 +301,10 @@ pub(crate) fn exec_map(
     // --- work-stealing path (the default) -----------------------------------------
     if let Some(pool) = ctx.sched.clone().filter(|_| eligible) {
         let volume = (n0 as u64).saturating_mul(inner_points_estimate(&plan, n0));
-        let decision = ctx.plan.tuning.decide(pkey, volume, pool.nworkers());
+        let decision = ctx
+            .plan
+            .tuning
+            .decide(pkey, volume, pool.nworkers(), ctx.grain_ns);
         let tiles = if decision.parallel && steal_deterministic(&plan.body) {
             build_tiles(&plan, worker, (d0s, d0e, d0st), n0, decision.tiles)
         } else {

@@ -18,7 +18,9 @@ use sdfg_profile::{
     WorkerProfile,
 };
 use sdfg_symbolic::{Env, EvalError};
-use sdfg_transforms::{optimize_with_env, OptLevel, OptimizationReport};
+use sdfg_transforms::{
+    optimize_tuned, optimize_with_env, OptLevel, OptimizationReport, TunedConfig, TuningDb,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -149,6 +151,16 @@ pub struct Executor<'s> {
     opt_sdfg: Option<Box<Sdfg>>,
     /// Report from the pipeline run that produced `opt_sdfg`.
     opt_report: Option<OptimizationReport>,
+    /// Tuning database consulted under [`OptLevel::Tuned`] (set via
+    /// [`Executor::set_tuning_db`]; defaults to the `SDFG_TUNED_DB`
+    /// environment variable when unset).
+    tuning_db_path: Option<std::path::PathBuf>,
+    /// Explicit tuned configuration ([`Executor::set_tuned_config`]);
+    /// takes precedence over any database lookup.
+    tuned_cfg: Option<TunedConfig>,
+    /// Scheduler grain override from the tuned configuration in effect
+    /// (resolved together with `opt_sdfg`).
+    grain_ns: Option<u64>,
     /// Transient containers this executor allocated itself (as opposed to
     /// arrays the caller bound): these are reset per run and returned to
     /// the pool on drop; caller-provided storage is never touched.
@@ -252,6 +264,11 @@ pub(crate) struct Ctx<'s> {
     /// serial or under `SDFG_SCHED=static`, which selects the legacy
     /// spawn-per-launch path).
     pub(crate) sched: Option<std::sync::Arc<crate::sched::SchedPool>>,
+    /// Per-tile time-target override for the steal scheduler's grain
+    /// controller, from the active tuned configuration. Carried per run
+    /// (not stored in the shared `ExecutionPlan`) so a cached plan can
+    /// serve executors with different tunings.
+    pub(crate) grain_ns: Option<u64>,
 }
 
 impl Ctx<'_> {
@@ -525,6 +542,9 @@ impl<'s> Executor<'s> {
             opt_level: OptLevel::None,
             opt_sdfg: None,
             opt_report: None,
+            tuning_db_path: None,
+            tuned_cfg: None,
+            grain_ns: None,
             owned_transients: HashSet::new(),
             run_target: "cpu".to_string(),
         }
@@ -538,9 +558,7 @@ impl<'s> Executor<'s> {
     pub fn set_opt_level(&mut self, level: OptLevel) -> &mut Self {
         if level != self.opt_level {
             self.opt_level = level;
-            self.opt_sdfg = None;
-            self.opt_report = None;
-            self.sdfg_hash = None;
+            self.discard_optimized();
         }
         self
     }
@@ -555,19 +573,98 @@ impl<'s> Executor<'s> {
         self.opt_report.as_ref()
     }
 
+    /// Points [`OptLevel::Tuned`] runs at a tuning database
+    /// (`bench/tuned.json`). Implies `set_opt_level(OptLevel::Tuned)`.
+    /// Without this (or the `SDFG_TUNED_DB` environment variable), tuned
+    /// runs always miss and fall back to `Aggressive`.
+    pub fn set_tuning_db(&mut self, path: impl Into<std::path::PathBuf>) -> &mut Self {
+        self.tuning_db_path = Some(path.into());
+        self.opt_level = OptLevel::Tuned;
+        self.discard_optimized();
+        self
+    }
+
+    /// Installs an explicit tuned configuration, bypassing any database
+    /// lookup (the search driver uses this to measure candidates). Implies
+    /// `set_opt_level(OptLevel::Tuned)`.
+    pub fn set_tuned_config(&mut self, cfg: TunedConfig) -> &mut Self {
+        self.tuned_cfg = Some(cfg);
+        self.opt_level = OptLevel::Tuned;
+        self.discard_optimized();
+        self
+    }
+
+    /// The tuned configuration a `run` resolved (explicit or from the
+    /// database); `None` before the first tuned run or after a miss.
+    pub fn tuned_config(&self) -> Option<&TunedConfig> {
+        self.tuned_cfg.as_ref()
+    }
+
+    /// Drops the optimized copy (and everything keyed off it) so the next
+    /// `run` rebuilds it under the current level/config/thread count.
+    fn discard_optimized(&mut self) {
+        self.opt_sdfg = None;
+        self.opt_report = None;
+        self.sdfg_hash = None;
+        self.grain_ns = None;
+    }
+
     /// Builds the optimized copy if the opt level asks for one and it does
     /// not exist yet. On pipeline failure the original SDFG stays active.
+    ///
+    /// Under [`OptLevel::Tuned`] the measured configuration is resolved
+    /// first — an explicit [`Executor::set_tuned_config`] wins, otherwise
+    /// the tuning database is consulted with the *unoptimized* graph's
+    /// content hash, the run target and the thread count. A database miss
+    /// (or no database at all) degrades to the `Aggressive` pipeline; an
+    /// unreadable or schema-incompatible database is an error.
     pub(crate) fn ensure_optimized(&mut self) -> Result<(), ExecError> {
         if self.opt_level == OptLevel::None || self.opt_sdfg.is_some() {
             return Ok(());
         }
         let mut opt = Box::new(self.sdfg.clone());
-        let report = optimize_with_env(&mut opt, self.opt_level, &self.symbols)
-            .map_err(|e| ExecError::Optimization(e.to_string()))?;
+        let report = if self.opt_level == OptLevel::Tuned {
+            match self.resolve_tuned_config()? {
+                Some(cfg) => {
+                    let r = optimize_tuned(&mut opt, &cfg, &self.symbols)
+                        .map_err(|e| ExecError::Optimization(e.to_string()))?;
+                    self.grain_ns = (cfg.grain_ns > 0).then_some(cfg.grain_ns);
+                    self.tuned_cfg = Some(cfg);
+                    r
+                }
+                None => optimize_with_env(&mut opt, OptLevel::Aggressive, &self.symbols)
+                    .map_err(|e| ExecError::Optimization(e.to_string()))?,
+            }
+        } else {
+            optimize_with_env(&mut opt, self.opt_level, &self.symbols)
+                .map_err(|e| ExecError::Optimization(e.to_string()))?
+        };
         self.sdfg_hash = None;
         self.opt_report = Some(report);
         self.opt_sdfg = Some(opt);
         Ok(())
+    }
+
+    /// The tuned configuration for this run: explicit config, else a
+    /// database lookup keyed by `(content_hash, target, nthreads)`.
+    fn resolve_tuned_config(&self) -> Result<Option<TunedConfig>, ExecError> {
+        if let Some(cfg) = &self.tuned_cfg {
+            return Ok(Some(cfg.clone()));
+        }
+        let path = match &self.tuning_db_path {
+            Some(p) => p.clone(),
+            None => match std::env::var_os("SDFG_TUNED_DB").filter(|v| !v.is_empty()) {
+                Some(v) => std::path::PathBuf::from(v),
+                None => return Ok(None),
+            },
+        };
+        let db = TuningDb::load(&path)
+            .map_err(ExecError::Optimization)?
+            .unwrap_or_default();
+        let chash = sdfg_core::serialize::content_hash(self.sdfg);
+        Ok(db
+            .lookup(chash, &self.run_target, self.nthreads.max(1) as u32)
+            .map(|e| e.config.clone()))
     }
 
     /// Shares a plan cache with other executors, so lowering one SDFG once
@@ -664,7 +761,13 @@ impl<'s> Executor<'s> {
     /// available parallelism. The scheduler pool is rebuilt to match on
     /// the next `run`.
     pub fn set_nthreads(&mut self, n: usize) -> &mut Self {
-        self.nthreads = n.max(1);
+        let n = n.max(1);
+        if n != self.nthreads && self.opt_level == OptLevel::Tuned && self.tuned_cfg.is_none() {
+            // The tuning-DB key includes the thread count; re-resolve on
+            // the next run. An explicit config is thread-count-agnostic.
+            self.discard_optimized();
+        }
+        self.nthreads = n;
         self
     }
 
@@ -799,6 +902,7 @@ impl<'s> Executor<'s> {
             plan_cache: self.plan_cache.clone(),
             pool: self.pool.clone(),
             sched: self.sched.clone(),
+            grain_ns: self.grain_ns,
         };
         let result = drive(self, &ctx);
         // Move storage back even on error.

@@ -46,7 +46,9 @@ pub use engine::{ExecError, Executor};
 pub use plan::{CacheStats, PlanCache};
 pub use pool::{BufferPool, PoolStats};
 pub use sched::{SchedPool, SchedStats};
-pub use sdfg_transforms::{OptLevel, OptimizationReport};
+pub use sdfg_transforms::{
+    OptLevel, OptimizationReport, TuneEntry, TuneKey, TunedConfig, TuningDb,
+};
 pub use stats::Stats;
 // Re-export the profiling vocabulary so callers can enable instrumentation
 // and consume reports without naming `sdfg-profile` directly.

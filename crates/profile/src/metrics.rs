@@ -522,6 +522,15 @@ pub struct CoreMetrics {
     pub opt_rolled_back: Counter,
     /// `sdfg_interp_runs_total`.
     pub interp_runs: Counter,
+    /// `sdfg_autotune_trials_total{outcome="improved"}` — trial beat the
+    /// incumbent configuration.
+    pub autotune_improved: Counter,
+    /// `sdfg_autotune_trials_total{outcome="no_gain"}` — trial measured
+    /// correct but not faster.
+    pub autotune_no_gain: Counter,
+    /// `sdfg_autotune_trials_total{outcome="rejected"}` — trial discarded
+    /// (optimization failed or results diverged from the reference).
+    pub autotune_rejected: Counter,
 }
 
 /// The process-global core handles.
@@ -607,6 +616,16 @@ fn core_handles() -> &'static CoreMetrics {
             "Reference-interpreter run invocations.",
             &[],
         );
+        let autotune = |outcome: &str| {
+            r.counter(
+                "sdfg_autotune_trials_total",
+                "Autotuner trials by outcome (improved, no_gain, rejected).",
+                &[("outcome", outcome)],
+            )
+        };
+        let autotune_improved = autotune("improved");
+        let autotune_no_gain = autotune("no_gain");
+        let autotune_rejected = autotune("rejected");
         CoreMetrics {
             registry: r,
             launches,
@@ -626,6 +645,9 @@ fn core_handles() -> &'static CoreMetrics {
             opt_applied,
             opt_rolled_back,
             interp_runs,
+            autotune_improved,
+            autotune_no_gain,
+            autotune_rejected,
         }
     })
 }

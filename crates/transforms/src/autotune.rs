@@ -1,0 +1,694 @@
+//! Measurement-driven autotuning: a persisted tuning database plus a
+//! knob-parameterized replay of the heuristic phase.
+//!
+//! The SC19 paper's workflow is a performance engineer iterating
+//! *transform → measure → keep or revert*; [`crate::pipeline`] automates
+//! the transform step with static cost hints, and this module closes the
+//! loop with measurement. A search driver (in `sdfg-bench`) explores the
+//! knob space described by [`TunedConfig`] / [`default_stages`], times each
+//! candidate with the warm-median bench protocol, and persists the winner
+//! into a [`TuningDb`] keyed by `(content_hash, target, nthreads)`. The
+//! executor's `OptLevel::Tuned` then looks the entry up at plan time and
+//! replays it via [`optimize_tuned`]; a database miss falls back to the
+//! `Aggressive` pipeline.
+//!
+//! The database is schema-versioned canonical JSON (sorted keys, sorted
+//! entries) so diffs stay reviewable when it is committed to a repo.
+
+use crate::framework::{by_name, CostHint, Params, TMatch, Transformation};
+use crate::pipeline::{
+    count_nodes, observe_pass, record_skip, validate_after, OptLevel, OptimizationReport,
+    MAX_HEURISTIC_APPS,
+};
+use sdfg_core::serialize::{content_hash, json_escape, parse_json, Json};
+use sdfg_core::{Schedule, Sdfg, SdfgError};
+use sdfg_symbolic::Env;
+use std::collections::HashSet;
+use std::fmt;
+use std::path::Path;
+
+/// Version of the on-disk tuning-database format. Bumped on any change to
+/// the entry layout; [`TuningDb::parse`] rejects a mismatch outright
+/// (stale measurements silently reinterpreted under a new schema are worse
+/// than a cold database).
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One point in the autotuner's search space: the knob settings that
+/// parameterize [`optimize_tuned`]'s replay of the heuristic phase plus
+/// the scheduler's grain target.
+///
+/// `Default` is the `Aggressive`-equivalent configuration — replaying it
+/// produces the same graph the static pipeline would.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TunedConfig {
+    /// Run the MapFusion pass (cost-gated, as in the static pipeline).
+    pub fusion: bool,
+    /// Force MapTiling with these tile sizes on top-level multicore maps.
+    /// Empty (the default) leaves tiling to the cost hint, which declines
+    /// it on this runtime.
+    pub tile_sizes: Vec<usize>,
+    /// Vectorization width; `1` disables the pass.
+    pub vector_width: u32,
+    /// Iteration-count threshold below which a top-level multicore map is
+    /// sequentialized (`MapToForLoop`); `0` never sequentializes.
+    pub seq_threshold: i64,
+    /// Steal-scheduler per-tile time target in nanoseconds; `0` keeps the
+    /// scheduler's built-in default. Plumbed to the executor, not a graph
+    /// rewrite.
+    pub grain_ns: u64,
+}
+
+impl Default for TunedConfig {
+    fn default() -> TunedConfig {
+        TunedConfig {
+            fusion: true,
+            tile_sizes: Vec::new(),
+            vector_width: 4,
+            seq_threshold: crate::flow_transforms::SEQUENTIALIZE_BELOW_POINTS,
+            grain_ns: 0,
+        }
+    }
+}
+
+impl fmt::Display for TunedConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fusion={} tiles={:?} width={} seq<{} grain={}",
+            if self.fusion { "on" } else { "off" },
+            self.tile_sizes,
+            self.vector_width,
+            self.seq_threshold,
+            if self.grain_ns == 0 {
+                "default".to_string()
+            } else {
+                format!("{}ns", self.grain_ns)
+            },
+        )
+    }
+}
+
+impl TunedConfig {
+    /// Canonical JSON object (sorted keys).
+    pub fn to_json(&self) -> String {
+        let tiles: Vec<String> = self.tile_sizes.iter().map(|t| t.to_string()).collect();
+        format!(
+            "{{\"fusion\":{},\"grain_ns\":{},\"seq_threshold\":{},\"tile_sizes\":[{}],\"vector_width\":{}}}",
+            self.fusion,
+            self.grain_ns,
+            self.seq_threshold,
+            tiles.join(","),
+            self.vector_width,
+        )
+    }
+
+    /// Parses the object written by [`TunedConfig::to_json`]. Missing keys
+    /// are an error — the schema version gates compatibility, not
+    /// per-field defaulting.
+    pub fn from_json(j: &Json) -> Result<TunedConfig, String> {
+        let tiles = j
+            .arr_field("tile_sizes")?
+            .iter()
+            .map(|t| match t {
+                Json::Num(n) if *n >= 0.0 => Ok(*n as usize),
+                other => Err(format!("bad tile size {other:?}")),
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        Ok(TunedConfig {
+            fusion: j.bool_field("fusion")?,
+            tile_sizes: tiles,
+            vector_width: j.num_field("vector_width")? as u32,
+            seq_threshold: j.num_field("seq_threshold")? as i64,
+            grain_ns: j.num_field("grain_ns")? as u64,
+        })
+    }
+}
+
+/// A single knob mutation the search driver can apply to a candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Knob {
+    /// Set [`TunedConfig::fusion`].
+    Fusion(bool),
+    /// Set [`TunedConfig::tile_sizes`].
+    TileSizes(Vec<usize>),
+    /// Set [`TunedConfig::vector_width`].
+    VectorWidth(u32),
+    /// Set [`TunedConfig::seq_threshold`].
+    SeqThreshold(i64),
+    /// Set [`TunedConfig::grain_ns`].
+    GrainNs(u64),
+}
+
+impl Knob {
+    /// Applies the mutation.
+    pub fn apply(&self, cfg: &mut TunedConfig) {
+        match self {
+            Knob::Fusion(b) => cfg.fusion = *b,
+            Knob::TileSizes(ts) => cfg.tile_sizes = ts.clone(),
+            Knob::VectorWidth(w) => cfg.vector_width = *w,
+            Knob::SeqThreshold(t) => cfg.seq_threshold = *t,
+            Knob::GrainNs(g) => cfg.grain_ns = *g,
+        }
+    }
+
+    /// Short label for trial logs (`seq<16384`, `tiles=[32]`, …).
+    pub fn label(&self) -> String {
+        match self {
+            Knob::Fusion(b) => format!("fusion={}", if *b { "on" } else { "off" }),
+            Knob::TileSizes(ts) => format!("tiles={ts:?}"),
+            Knob::VectorWidth(w) => format!("width={w}"),
+            Knob::SeqThreshold(t) => format!("seq<{t}"),
+            Knob::GrainNs(g) => format!("grain={g}ns"),
+        }
+    }
+}
+
+/// The default coordinate-descent search space: one stage per knob, in the
+/// order the knobs interact least (structure first, scheduler grain last).
+/// Within a stage the driver tries each candidate against the incumbent
+/// and keeps the best; the `Aggressive`-equivalent default value of each
+/// knob is the incumbent's starting point and is not re-listed.
+pub fn default_stages() -> Vec<(&'static str, Vec<Knob>)> {
+    vec![
+        (
+            "seq_threshold",
+            vec![
+                Knob::SeqThreshold(1024),
+                Knob::SeqThreshold(16384),
+                Knob::SeqThreshold(65536),
+            ],
+        ),
+        ("fusion", vec![Knob::Fusion(false)]),
+        (
+            "vector_width",
+            vec![Knob::VectorWidth(1), Knob::VectorWidth(8)],
+        ),
+        (
+            "tile_sizes",
+            vec![
+                Knob::TileSizes(vec![16]),
+                Knob::TileSizes(vec![32]),
+                Knob::TileSizes(vec![64]),
+            ],
+        ),
+        (
+            "grain_ns",
+            vec![Knob::GrainNs(5_000), Knob::GrainNs(80_000)],
+        ),
+    ]
+}
+
+/// The lookup key for a tuned entry: the *unoptimized* graph's content
+/// hash plus the execution context the measurement was taken in. Any graph
+/// edit changes the hash, so a stale entry is structurally a miss.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// [`content_hash`] of the unoptimized SDFG.
+    pub content_hash: u64,
+    /// Backend target tag (`cpu`, `gpu`, `fpga`, `hetero`).
+    pub target: String,
+    /// Worker-thread count the measurement used (grain and
+    /// sequentialization thresholds are thread-count-sensitive).
+    pub nthreads: u32,
+}
+
+/// One persisted tuning result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneEntry {
+    /// Lookup key.
+    pub key: TuneKey,
+    /// Kernel name, for humans reading the database.
+    pub kernel: String,
+    /// The winning configuration.
+    pub config: TunedConfig,
+    /// Warm-median milliseconds of the winner.
+    pub tuned_warm_ms: f64,
+    /// Warm-median milliseconds of the `Aggressive` baseline it beat (or
+    /// tied — the driver never persists a slower config).
+    pub baseline_warm_ms: f64,
+    /// Number of measured trials behind this entry.
+    pub trials: u32,
+}
+
+/// The persistent per-kernel tuning database (`bench/tuned.json`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TuningDb {
+    entries: Vec<TuneEntry>,
+}
+
+impl TuningDb {
+    /// An empty database.
+    pub fn new() -> TuningDb {
+        TuningDb::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in canonical order.
+    pub fn entries(&self) -> &[TuneEntry] {
+        &self.entries
+    }
+
+    /// Looks up the entry for a graph/context. A hash from an edited graph
+    /// simply finds nothing: stale entries are misses, not errors.
+    pub fn lookup(&self, content_hash: u64, target: &str, nthreads: u32) -> Option<&TuneEntry> {
+        self.entries.iter().find(|e| {
+            e.key.content_hash == content_hash
+                && e.key.target == target
+                && e.key.nthreads == nthreads
+        })
+    }
+
+    /// Inserts an entry, replacing any existing entry with the same key
+    /// (last measurement wins), and keeps the canonical sort order.
+    pub fn insert(&mut self, entry: TuneEntry) {
+        self.entries.retain(|e| e.key != entry.key);
+        self.entries.push(entry);
+        self.entries.sort_by(|a, b| {
+            (&a.kernel, &a.key.target, a.key.nthreads, a.key.content_hash).cmp(&(
+                &b.kernel,
+                &b.key.target,
+                b.key.nthreads,
+                b.key.content_hash,
+            ))
+        });
+    }
+
+    /// Canonical JSON: sorted keys, entries in canonical order, one entry
+    /// per line so database diffs review like ledgers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n\"schema\": {SCHEMA_VERSION},\n\"entries\": ["
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{{\"baseline_warm_ms\":{},\"config\":{},\"content_hash\":\"{:016x}\",\"kernel\":\"{}\",\"nthreads\":{},\"target\":\"{}\",\"trials\":{},\"tuned_warm_ms\":{}}}",
+                e.baseline_warm_ms,
+                e.config.to_json(),
+                e.key.content_hash,
+                json_escape(&e.kernel),
+                e.key.nthreads,
+                json_escape(&e.key.target),
+                e.trials,
+                e.tuned_warm_ms,
+            ));
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+
+    /// Parses a database, rejecting a schema-version mismatch cleanly (the
+    /// caller should treat that as "retune", never as "reinterpret").
+    pub fn parse(src: &str) -> Result<TuningDb, String> {
+        let j = parse_json(src)?;
+        let schema = j.num_field("schema")? as i64;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "tuning DB schema version {schema} != supported {SCHEMA_VERSION}; \
+                 delete the database and re-run --autotune"
+            ));
+        }
+        let mut db = TuningDb::new();
+        for e in j.arr_field("entries")? {
+            let hash_hex = e.str_field("content_hash")?;
+            let content_hash = u64::from_str_radix(hash_hex, 16)
+                .map_err(|_| format!("bad content_hash {hash_hex:?}"))?;
+            db.insert(TuneEntry {
+                key: TuneKey {
+                    content_hash,
+                    target: e.str_field("target")?.to_string(),
+                    nthreads: e.num_field("nthreads")? as u32,
+                },
+                kernel: e.str_field("kernel")?.to_string(),
+                config: TunedConfig::from_json(e.get("config").ok_or("entry missing `config`")?)?,
+                tuned_warm_ms: e.num_field("tuned_warm_ms")?,
+                baseline_warm_ms: e.num_field("baseline_warm_ms")?,
+                trials: e.num_field("trials")? as u32,
+            });
+        }
+        Ok(db)
+    }
+
+    /// Loads a database from disk. A missing file is `Ok(None)` (cold
+    /// database); an unreadable or schema-incompatible file is an error.
+    pub fn load(path: &Path) -> Result<Option<TuningDb>, String> {
+        if !path.exists() {
+            return Ok(None);
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        TuningDb::parse(&src).map(Some)
+    }
+
+    /// Writes the database in canonical form.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// How a pass in the tuned replay decides whether a match fires.
+enum Gate {
+    /// Defer to the transformation's own cost hint (pipeline behaviour).
+    Cost,
+    /// Fire on every top-level multicore map not already tiled, ignoring
+    /// the cost hint (the measurement *is* the cost model here).
+    ForcedTiling,
+    /// Sequentialize top-level multicore maps below this iteration count.
+    Sequentialize(i64),
+}
+
+/// True when `entry` heads a top-level `CpuMulticore` map scope.
+fn top_level_multicore(sdfg: &Sdfg, m: &TMatch, entry: sdfg_graph::NodeId) -> bool {
+    let st = sdfg.state(m.state);
+    if crate::helpers::scope_of(st, entry).schedule != Schedule::CpuMulticore {
+        return false;
+    }
+    match sdfg_core::scope::scope_tree(st) {
+        Ok(tree) => tree.scope_of(entry).is_none(),
+        Err(_) => false,
+    }
+}
+
+/// Evaluates whether a gate admits the match.
+fn gate_admits(gate: &Gate, t: &dyn Transformation, sdfg: &Sdfg, m: &TMatch, env: &Env) -> bool {
+    match gate {
+        Gate::Cost => matches!(
+            t.cost_hint(sdfg, m, env),
+            CostHint::Beneficial | CostHint::Neutral
+        ),
+        Gate::ForcedTiling => {
+            let Ok(entry) = m.try_node("map") else {
+                return false;
+            };
+            if !top_level_multicore(sdfg, m, entry) {
+                return false;
+            }
+            // Tiling prepends `<param>_tile` dimensions; their presence
+            // marks a map this replay already tiled (keeps the pass
+            // idempotent without tracking node identity across rewrites).
+            !crate::helpers::scope_of(sdfg.state(m.state), entry)
+                .params
+                .iter()
+                .any(|p| p.ends_with("_tile"))
+        }
+        Gate::Sequentialize(threshold) => {
+            let Ok(entry) = m.try_node("map") else {
+                return false;
+            };
+            if !top_level_multicore(sdfg, m, entry) {
+                return false;
+            }
+            let mut points: i64 = 1;
+            for r in &crate::helpers::scope_of(sdfg.state(m.state), entry).ranges {
+                match r.eval_len(env) {
+                    Ok(l) => points = points.saturating_mul(l.max(0)),
+                    Err(_) => return false,
+                }
+            }
+            points < *threshold
+        }
+    }
+}
+
+/// Replays the heuristic phase under a measured configuration: strict
+/// fixpoint first (always safe), then the knob-gated passes. Structure
+/// mirrors [`crate::pipeline::optimize_with_env`] — snapshot/rollback on
+/// failing applications, content-hash cycle guard, same report shape —
+/// but the knobs replace the static cost hints where the search measured
+/// an alternative.
+pub fn optimize_tuned(
+    sdfg: &mut Sdfg,
+    cfg: &TunedConfig,
+    env: &Env,
+) -> Result<OptimizationReport, SdfgError> {
+    let mut report = crate::pipeline::optimize_with_env(sdfg, OptLevel::Strict, env)?;
+    report.level = OptLevel::Tuned;
+
+    // Knob-gated pass list, in pipeline order.
+    let mut passes: Vec<(&'static str, Params, Gate)> = Vec::new();
+    passes.push(("MapCollapse", Params::new(), Gate::Cost));
+    if cfg.fusion {
+        passes.push(("MapFusion", Params::new(), Gate::Cost));
+    }
+    if cfg.tile_sizes.iter().any(|&t| t > 1) {
+        passes.push((
+            "MapTiling",
+            Params::new().with("tile_sizes", cfg.tile_sizes.clone()),
+            Gate::ForcedTiling,
+        ));
+    }
+    if cfg.vector_width > 1 {
+        passes.push((
+            "Vectorization",
+            Params::new().with("width", cfg.vector_width as i64),
+            Gate::Cost,
+        ));
+    }
+    if cfg.seq_threshold > 0 {
+        passes.push((
+            "MapToForLoop",
+            Params::new(),
+            Gate::Sequentialize(cfg.seq_threshold),
+        ));
+    }
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(content_hash(sdfg));
+    for (name, params, gate) in &passes {
+        let t = by_name(name).expect("tuned pass list names a registered transformation");
+        let mut apps = 0usize;
+        'transform: while apps < MAX_HEURISTIC_APPS {
+            let matches = t.find(sdfg);
+            if matches.is_empty() {
+                break;
+            }
+            let mut fired_this_pass = false;
+            for m in &matches {
+                if !gate_admits(gate, t.as_ref(), sdfg, m, env) {
+                    record_skip(&mut report.skipped, name, "tuned config: gated off".into());
+                    continue;
+                }
+                let snapshot = sdfg.clone();
+                let outcome = t
+                    .apply(sdfg, m, params)
+                    .map(|()| sdfg_core::propagate::propagate_sdfg(sdfg))
+                    .and_then(|()| validate_after(sdfg, name));
+                match outcome {
+                    Ok(()) => {
+                        let h = content_hash(sdfg);
+                        if !seen.insert(h) {
+                            *sdfg = snapshot;
+                            observe_pass(false, report.applied.len());
+                            record_skip(
+                                &mut report.skipped,
+                                name,
+                                "cycle guard: rewrite repeated a prior graph state".into(),
+                            );
+                            break 'transform;
+                        }
+                        report
+                            .applied
+                            .push(crate::chain::AppliedStep::from_match(name, m));
+                        report.heuristic_applied += 1;
+                        observe_pass(true, report.applied.len() - 1);
+                        apps += 1;
+                        fired_this_pass = true;
+                        break;
+                    }
+                    Err(e) => {
+                        *sdfg = snapshot;
+                        observe_pass(false, report.applied.len());
+                        record_skip(&mut report.skipped, name, format!("rolled back: {e}"));
+                    }
+                }
+            }
+            if !fired_this_pass {
+                break;
+            }
+        }
+    }
+
+    report.states_after = sdfg.graph.node_count();
+    report.nodes_after = count_nodes(sdfg);
+    report.hash_after = content_hash(sdfg);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfg_core::DType;
+    use sdfg_frontend::SdfgBuilder;
+
+    fn two_state_chain() -> Sdfg {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", &["N"], DType::F64);
+        b.transient("T", &["N"], DType::F64);
+        b.array("B", &["N"], DType::F64);
+        let s1 = b.state("one");
+        b.mapped_tasklet(
+            s1,
+            "t1",
+            &[("i", "0:N")],
+            &[("a", "A", "i")],
+            "o = a * 2",
+            &[("o", "T", "i")],
+        );
+        let s2 = b.state("two");
+        b.mapped_tasklet(
+            s2,
+            "t2",
+            &[("j", "0:N")],
+            &[("t", "T", "j")],
+            "o = t + 1",
+            &[("o", "B", "j")],
+        );
+        b.transition(s1, s2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let cfg = TunedConfig {
+            fusion: false,
+            tile_sizes: vec![32, 8],
+            vector_width: 8,
+            seq_threshold: 16384,
+            grain_ns: 5000,
+        };
+        let j = parse_json(&cfg.to_json()).unwrap();
+        assert_eq!(TunedConfig::from_json(&j).unwrap(), cfg);
+        // Default round-trips too.
+        let d = TunedConfig::default();
+        let j = parse_json(&d.to_json()).unwrap();
+        assert_eq!(TunedConfig::from_json(&j).unwrap(), d);
+    }
+
+    #[test]
+    fn db_roundtrip_and_lookup() {
+        let mut db = TuningDb::new();
+        db.insert(TuneEntry {
+            key: TuneKey {
+                content_hash: 0xdeadbeef,
+                target: "cpu".into(),
+                nthreads: 8,
+            },
+            kernel: "atax".into(),
+            config: TunedConfig::default(),
+            tuned_warm_ms: 1.25,
+            baseline_warm_ms: 1.5,
+            trials: 8,
+        });
+        let text = db.to_json();
+        let back = TuningDb::parse(&text).unwrap();
+        assert_eq!(back, db);
+        assert!(back.lookup(0xdeadbeef, "cpu", 8).is_some());
+        // Stale hash, other target, other thread count: all misses.
+        assert!(back.lookup(0xdeadbef0, "cpu", 8).is_none());
+        assert!(back.lookup(0xdeadbeef, "gpu", 8).is_none());
+        assert!(back.lookup(0xdeadbeef, "cpu", 4).is_none());
+    }
+
+    #[test]
+    fn db_insert_replaces_same_key() {
+        let key = TuneKey {
+            content_hash: 1,
+            target: "cpu".into(),
+            nthreads: 2,
+        };
+        let mut db = TuningDb::new();
+        let mut e = TuneEntry {
+            key: key.clone(),
+            kernel: "k".into(),
+            config: TunedConfig::default(),
+            tuned_warm_ms: 2.0,
+            baseline_warm_ms: 2.0,
+            trials: 1,
+        };
+        db.insert(e.clone());
+        e.tuned_warm_ms = 1.0;
+        db.insert(e);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.lookup(1, "cpu", 2).unwrap().tuned_warm_ms, 1.0);
+    }
+
+    #[test]
+    fn schema_version_bump_rejected() {
+        let text = TuningDb::new()
+            .to_json()
+            .replace(&format!("\"schema\": {SCHEMA_VERSION}"), "\"schema\": 999");
+        let err = TuningDb::parse(&text).unwrap_err();
+        assert!(err.contains("schema version 999"), "{err}");
+    }
+
+    #[test]
+    fn default_config_matches_aggressive_pipeline() {
+        let env = sdfg_symbolic::env(&[("N", 13)]);
+        let mut tuned = two_state_chain();
+        let rt = optimize_tuned(&mut tuned, &TunedConfig::default(), &env).unwrap();
+        let mut agg = two_state_chain();
+        let ra = crate::pipeline::optimize_with_env(&mut agg, OptLevel::Aggressive, &env).unwrap();
+        assert_eq!(
+            rt.hash_after, ra.hash_after,
+            "default tuned replay must reproduce the aggressive graph\n{rt}\n{ra}"
+        );
+    }
+
+    #[test]
+    fn forced_tiling_fires_and_validates() {
+        // Large N so MapToForLoop leaves the multicore map parallel.
+        let env = sdfg_symbolic::env(&[("N", 100_000)]);
+        let cfg = TunedConfig {
+            tile_sizes: vec![32],
+            ..TunedConfig::default()
+        };
+        let mut sdfg = two_state_chain();
+        let r = optimize_tuned(&mut sdfg, &cfg, &env).unwrap();
+        assert!(
+            r.applied.steps.iter().any(|s| s.transform == "MapTiling"),
+            "{r}"
+        );
+        sdfg.validate().unwrap();
+        // Idempotent: the `_tile` marker keeps a second replay from
+        // re-tiling the already-tiled maps.
+        let mut again = sdfg.clone();
+        let r2 = optimize_tuned(&mut again, &cfg, &env).unwrap();
+        assert!(
+            !r2.applied.steps.iter().any(|s| s.transform == "MapTiling"),
+            "{r2}"
+        );
+    }
+
+    #[test]
+    fn knob_stages_cover_every_field() {
+        let stages = default_stages();
+        let mut cfg = TunedConfig::default();
+        for (_, knobs) in &stages {
+            for k in knobs {
+                k.apply(&mut cfg);
+            }
+        }
+        let d = TunedConfig::default();
+        assert_ne!(cfg.fusion, d.fusion);
+        assert_ne!(cfg.tile_sizes, d.tile_sizes);
+        assert_ne!(cfg.vector_width, d.vector_width);
+        assert_ne!(cfg.seq_threshold, d.seq_threshold);
+        assert_ne!(cfg.grain_ns, d.grain_ns);
+    }
+}
