@@ -5,9 +5,9 @@
 //! knob stages of [`sdfg_transforms::autotune::default_stages`] — serial
 //! threshold, fusion, vectorization width, forced tile sizes, scheduler
 //! grain — using the bench harness's warm-median protocol as the
-//! objective (same warmup, same executor-reuse discipline, same
+//! objective (same warmup, same session-reuse discipline, same
 //! batch-minimum/median estimator as `--bench --repeat`). Every candidate
-//! is verified **bitwise** against the untuned executor before it is
+//! is verified **bitwise** against the untuned session before it is
 //! measured; a mismatch rejects the candidate outright.
 //!
 //! The incumbent starts at the `Aggressive`-equivalent default
@@ -16,7 +16,8 @@
 //! persisted winner is never slower than `Aggressive`. Winners land in
 //! the tuning database (`bench/tuned.json` by default) keyed by
 //! `(content_hash, target, nthreads)`; `--opt=tuned` and
-//! [`sdfg_exec::Executor::set_tuning_db`] pick them up at plan time.
+//! [`sdfg_exec::SessionBuilder::tuning_db`] pick them up at compile
+//! time.
 //!
 //! Each measured trial increments `sdfg_autotune_trials_total{outcome}`
 //! and, when the run ledger is enabled, appends an `autotune_trial`
@@ -24,7 +25,7 @@
 //! observability artifacts.
 
 use crate::bench_json::{median_ms, warm_batch_mins};
-use sdfg_exec::{Executor, OptLevel, TuneEntry, TuneKey, TunedConfig, TuningDb};
+use sdfg_exec::{OptLevel, SessionBuilder, TuneEntry, TuneKey, TunedConfig, TuningDb};
 use sdfg_profile::{ledger, metrics};
 use sdfg_transforms::autotune::default_stages;
 use sdfg_workloads::polybench;
@@ -93,19 +94,18 @@ impl TuneOutcome {
     }
 }
 
-/// Runs the workload once on a fresh executor (configured by `setup`) and
+/// Runs the workload once on a fresh session (configured by `setup`) and
 /// returns the checked output containers.
 fn outputs_once(
     w: &Workload,
-    setup: impl FnOnce(&mut Executor),
+    setup: impl FnOnce(SessionBuilder) -> SessionBuilder,
 ) -> Result<HashMap<String, Vec<f64>>, String> {
-    let mut ex = w.executor();
-    setup(&mut ex);
-    ex.run().map_err(|e| e.to_string())?;
-    Ok(w.check
+    let session = setup(w.session()).build().map_err(|e| e.to_string())?;
+    let out = session.run(w.bindings()).map_err(|e| e.to_string())?;
+    w.check
         .iter()
-        .map(|c| (c.clone(), ex.array(c).to_vec()))
-        .collect())
+        .map(|c| Ok((c.clone(), out.array(c).map_err(|e| e.to_string())?.to_vec())))
+        .collect()
 }
 
 /// Bitwise comparison of checked outputs: every element must match in its
@@ -120,13 +120,22 @@ fn bits_equal(a: &HashMap<String, Vec<f64>>, b: &HashMap<String, Vec<f64>>) -> b
         })
 }
 
-/// Warm-median measurement of a fresh executor configured by `setup` —
+/// Warm-median measurement of a fresh session configured by `setup` —
 /// the bench protocol (`--repeat` batches of best-of-`reps`) reused as a
 /// library.
-fn measure(w: &Workload, cfg: &TuneConfig, setup: impl FnOnce(&mut Executor)) -> f64 {
-    let mut ex = w.executor();
-    setup(&mut ex);
-    median_ms(warm_batch_mins(&mut ex, cfg.warmup, cfg.reps, cfg.repeat))
+fn measure(
+    w: &Workload,
+    cfg: &TuneConfig,
+    setup: impl FnOnce(SessionBuilder) -> SessionBuilder,
+) -> f64 {
+    let session = setup(w.session()).build().expect("session");
+    median_ms(warm_batch_mins(
+        &session,
+        w.bindings(),
+        cfg.warmup,
+        cfg.reps,
+        cfg.repeat,
+    ))
 }
 
 /// Bumps the outcome counter and appends the ledger trial record.
@@ -151,17 +160,20 @@ pub fn tune_kernel(name: &str, cfg: &TuneConfig) -> Result<TuneOutcome, String> 
         .ok_or_else(|| format!("unknown kernel `{name}`"))?;
     let w = (kernel.build)(cfg.scale);
     let chash = sdfg_core::serialize::content_hash(&w.sdfg);
-    let nthreads = w.executor().nthreads.max(1);
+    let nthreads = w
+        .session()
+        .build()
+        .map_err(|e| e.to_string())?
+        .nthreads()
+        .max(1);
 
-    // The correctness oracle: the untuned (OptLevel::None) executor.
-    let reference = outputs_once(&w, |_| {})?;
+    // The correctness oracle: the untuned (OptLevel::None) session.
+    let reference = outputs_once(&w, |b| b)?;
 
     // The incumbent: the Aggressive-equivalent default configuration,
     // measured through the real Aggressive pipeline path.
     let mut best = TunedConfig::default();
-    let baseline_ms = measure(&w, cfg, |ex| {
-        ex.set_opt_level(OptLevel::Aggressive);
-    });
+    let baseline_ms = measure(&w, cfg, |b| b.opt_level(OptLevel::Aggressive));
     let mut best_ms = baseline_ms;
     println!(
         "autotune {name}: scale {} | {} reps x {} batches | budget {} | baseline {:.3} ms",
@@ -202,9 +214,7 @@ pub fn tune_kernel(name: &str, cfg: &TuneConfig) -> Result<TuneOutcome, String> 
             let label = knob.label();
             // Verify before measuring: a candidate that changes results
             // is discarded no matter how fast it is.
-            let got = outputs_once(&w, |ex| {
-                ex.set_tuned_config(candidate.clone());
-            })?;
+            let got = outputs_once(&w, |b| b.tuned_config(candidate.clone()))?;
             if !bits_equal(&got, &reference) {
                 rejected += 1;
                 record_trial(trial_rec(
@@ -213,9 +223,7 @@ pub fn tune_kernel(name: &str, cfg: &TuneConfig) -> Result<TuneOutcome, String> 
                 println!("  [{stage}] {label}: REJECTED (outputs differ from untuned)");
                 continue;
             }
-            let warm = measure(&w, cfg, |ex| {
-                ex.set_tuned_config(candidate.clone());
-            });
+            let warm = measure(&w, cfg, |b| b.tuned_config(candidate.clone()));
             let outcome = if warm < best_ms {
                 "improved"
             } else {
@@ -255,12 +263,15 @@ pub fn tune_kernel(name: &str, cfg: &TuneConfig) -> Result<TuneOutcome, String> 
         cfg.db
     );
 
-    // Round-trip: a fresh executor must find the entry in the saved
+    // Round-trip: a fresh session must find the entry in the saved
     // database and reproduce the untuned outputs bitwise.
-    let mut tx = w.executor();
-    tx.set_tuning_db(db_path);
-    tx.run().map_err(|e| e.to_string())?;
-    if tx.tuned_config() != Some(&best) {
+    let tuned = w
+        .session()
+        .tuning_db(db_path)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let out = tuned.run(w.bindings()).map_err(|e| e.to_string())?;
+    if tuned.tuned_config().as_ref() != Some(&best) {
         return Err(format!(
             "round-trip failed for `{name}`: saved entry not found by lookup"
         ));
@@ -268,8 +279,8 @@ pub fn tune_kernel(name: &str, cfg: &TuneConfig) -> Result<TuneOutcome, String> 
     let got: HashMap<String, Vec<f64>> = w
         .check
         .iter()
-        .map(|c| (c.clone(), tx.array(c).to_vec()))
-        .collect();
+        .map(|c| Ok::<_, String>((c.clone(), out.array(c).map_err(|e| e.to_string())?.to_vec())))
+        .collect::<Result<_, _>>()?;
     if !bits_equal(&got, &reference) {
         return Err(format!(
             "round-trip failed for `{name}`: tuned outputs differ from untuned"

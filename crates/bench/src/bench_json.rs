@@ -185,22 +185,32 @@ pub(crate) fn median_ms(mut xs: Vec<f64>) -> f64 {
 /// autotuner): `warmup` untimed runs, then `repeat` batches of `reps`
 /// timed runs each; returns the per-batch minima. `best_ms` of the result
 /// is the bench `warm_ms`; [`median_ms`] of it is `warm_median_ms`.
+///
+/// One session, many invokes: compilation and planning are paid during
+/// warmup and cached, and each run's outputs feed the next run's inputs
+/// in place ([`sdfg_exec::Outputs::into_bindings`]) — the same
+/// state-reuse discipline the legacy executor-reuse protocol had.
 pub(crate) fn warm_batch_mins(
-    ex: &mut sdfg_exec::Executor,
+    session: &sdfg_exec::Session,
+    bindings: sdfg_exec::Bindings,
     warmup: usize,
     reps: usize,
     repeat: usize,
 ) -> Vec<f64> {
+    let mut b = bindings;
     for _ in 0..warmup.max(1) {
-        ex.run().expect("warmup run");
+        b = session.run(b).expect("warmup run").into_bindings();
     }
     (0..repeat.max(1))
         .map(|_| {
             let batch: Vec<f64> = (0..reps.max(1))
                 .map(|_| {
+                    let inputs = std::mem::take(&mut b);
                     let t0 = Instant::now();
-                    ex.run().expect("warm run");
-                    t0.elapsed().as_secs_f64() * 1e3
+                    let out = session.run(inputs).expect("warm run");
+                    let dt = t0.elapsed().as_secs_f64() * 1e3;
+                    b = out.into_bindings();
+                    dt
                 })
                 .collect();
             best_ms(batch)
@@ -222,44 +232,52 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
     let w = (kernel.build)(scale);
     let metrics_before = core_snapshot();
 
-    // Cold: a fresh executor (fresh plan cache, fresh pool) every time.
+    // Cold: a fresh session (fresh plan cache, fresh pool) every time.
+    // The timed region spans `build()` plus the first run, so every
+    // one-time cost — validation, content hashing, lowering, planning —
+    // is paid inside the measurement, exactly as the legacy executor's
+    // first `run()` paid it.
     let cold: Vec<f64> = (0..reps.max(1))
         .map(|_| {
-            let mut ex = w.executor();
+            let builder = w.session();
+            let inputs = w.bindings();
             let t0 = Instant::now();
-            ex.run().expect("cold run");
+            let session = builder.build().expect("session");
+            session.run(inputs).expect("cold run");
             t0.elapsed().as_secs_f64() * 1e3
         })
         .collect();
 
-    // Warm: one executor; lowering is paid once, then cached. `--repeat`
+    // Warm: one session; lowering is paid once, then cached. `--repeat`
     // runs several independent batches; each contributes its minimum.
-    let mut ex = w.executor();
-    let batch_mins = warm_batch_mins(&mut ex, warmup, reps, cfg.repeat);
-    let cache = ex.cache_stats();
-    let pool = ex.pool_stats();
-    let nthreads = ex.nthreads;
-    let sched = ex.sched_stats();
+    let session = w.session().build().expect("session");
+    let batch_mins = warm_batch_mins(&session, w.bindings(), warmup, reps, cfg.repeat);
+    let cache = session.cache_stats();
+    let pool = session.pool_stats();
+    let nthreads = session.nthreads();
+    let sched = session.sched_stats();
 
-    // Optimized warm: same protocol, with the pipeline applied on the
-    // first run (its cost is warmup, like lowering). `--opt=tuned` points
-    // the executor at the tuning database instead of a static level.
+    // Optimized warm: same protocol, with the pipeline applied at
+    // compile time (its cost is warmup, like lowering). `--opt=tuned`
+    // points the session at the tuning database instead of a static
+    // level.
     let (opt_warm_ms, opt_passes, tuned_hit) = if opt == OptLevel::None {
         (None, None, None)
     } else {
-        let mut ox = w.executor();
+        let mut builder = w.session();
         if opt == OptLevel::Tuned {
             let db = cfg
                 .tuned_db
                 .clone()
                 .unwrap_or_else(|| "bench/tuned.json".into());
-            ox.set_tuning_db(db);
+            builder = builder.tuning_db(db);
         } else {
-            ox.set_opt_level(opt);
+            builder = builder.opt_level(opt);
         }
-        let opt_warm = warm_batch_mins(&mut ox, warmup, reps, 1);
-        let passes = ox.opt_report().map(|r| r.applied.len()).unwrap_or(0);
-        let hit = (opt == OptLevel::Tuned).then(|| ox.tuned_config().is_some());
+        let osession = builder.build().expect("session");
+        let opt_warm = warm_batch_mins(&osession, w.bindings(), warmup, reps, 1);
+        let passes = osession.opt_report().map(|r| r.applied.len()).unwrap_or(0);
+        let hit = (opt == OptLevel::Tuned).then(|| osession.tuned_config().is_some());
         (Some(best_ms(opt_warm)), Some(passes), hit)
     };
 

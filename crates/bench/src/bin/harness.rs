@@ -80,6 +80,11 @@
 //! `SDFG_TRACE_SAMPLE` is set). `harness obs-check metrics.prom
 //! ledger.jsonl [trace.json]` validates artifacts a previous run wrote —
 //! part of CI's smoke job.
+//!
+//! `harness emit-sdfg <kernel> [--scale N]` prints a kernel's serialized
+//! SDFG, and `harness emit-invoke <kernel> [--scale N]` prints an
+//! invoke-request body with its input bindings — the payloads CI's
+//! `serve-smoke` step curls at a live `sdfg-serve` instance.
 
 use sdfg_bench as x;
 use sdfg_exec::OptLevel;
@@ -94,6 +99,33 @@ fn main() {
         };
         let ok = x::obs::obs_check(metrics, ledger, rest.first().copied());
         std::process::exit(if ok { 0 } else { 1 });
+    }
+    if let Some(mode @ ("emit-sdfg" | "emit-invoke")) = args.first().map(String::as_str) {
+        let Some(kernel) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("usage: harness {mode} <kernel> [--scale N]");
+            std::process::exit(2);
+        };
+        let scale = args
+            .iter()
+            .position(|a| a == "--scale")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        let emitted = if mode == "emit-sdfg" {
+            x::emit::emit_sdfg(kernel, scale)
+        } else {
+            x::emit::emit_invoke(kernel, scale)
+        };
+        match emitted {
+            Ok(text) => {
+                print!("{text}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{mode}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if args.first().map(String::as_str) == Some("baseline-check") {
         let baseline = args

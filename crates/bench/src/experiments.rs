@@ -655,35 +655,43 @@ pub fn optimized(only: &[String], scale: usize, level: sdfg_exec::OptLevel, prof
                 continue;
             }
         };
-        let mut ex = w.executor();
-        ex.set_opt_level(level);
+        let mut builder = w.session().opt_level(level);
         if profile {
-            ex.enable_profiling(sdfg_exec::Profiling::ForceTimers);
+            builder = builder.profiling(sdfg_exec::Profiling::ForceTimers);
         }
+        let session = match builder.build() {
+            Ok(s) => s,
+            Err(e) => {
+                println!("## {}: session build failed: {e}", k.name);
+                continue;
+            }
+        };
         let t0 = Instant::now();
-        if let Err(e) = ex.run() {
-            println!("## {}: optimized run failed: {e}", k.name);
-            continue;
-        }
+        let out = match session.run(w.bindings()) {
+            Ok(out) => out,
+            Err(e) => {
+                println!("## {}: optimized run failed: {e}", k.name);
+                continue;
+            }
+        };
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let got = std::mem::take(&mut ex.arrays);
-        sdfg_workloads::workload::assert_allclose(&w.check, &got, &want, 1e-9);
+        sdfg_workloads::workload::assert_allclose(&w.check, out.arrays(), &want, 1e-9);
         println!(
             "## {} — wall {wall_ms:.3} ms, outputs match interpreter",
             k.name
         );
-        match ex.opt_report() {
+        match session.opt_report() {
             Some(r) => print!("{r}"),
             None => println!("(no optimization report)"),
         }
         if profile {
-            if let Some(report) = ex.last_report.as_ref() {
+            if let Some(report) = out.report() {
                 print!("{}", report.hot_path_table());
             }
         } else {
             // Cheap counters are tracked even with profiling off; the
             // footer costs nothing beyond a few atomic loads.
-            print!("{}", ex.counters_footer());
+            print!("{}", session.counters_footer());
         }
         println!();
     }

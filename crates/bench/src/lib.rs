@@ -38,6 +38,7 @@
 
 pub mod autotune;
 pub mod bench_json;
+pub mod emit;
 pub mod experiments;
 pub mod obs;
 pub mod targets;

@@ -1,5 +1,5 @@
 //! Integration tests for the measurement-driven autotuner: tuning-DB
-//! round-trips through the executor, `OptLevel::Tuned` semantic
+//! round-trips through the session, `OptLevel::Tuned` semantic
 //! equivalence against the reference interpreter, and budget-bounded
 //! search that never persists a config slower than `Aggressive`.
 
@@ -23,12 +23,12 @@ fn tmp_path(tag: &str) -> std::path::PathBuf {
 }
 
 /// An entry written through `TuningDb::save` is found again by a fresh
-/// executor pointed at the file, and the tuned configuration is applied.
+/// session pointed at the file, and the tuned configuration is applied.
 #[test]
-fn db_roundtrip_through_executor() {
+fn db_roundtrip_through_session() {
     let w = kernel("atax");
     let chash = sdfg_core::serialize::content_hash(&w.sdfg);
-    let nthreads = w.executor().nthreads.max(1) as u32;
+    let nthreads = w.session().build().unwrap().nthreads().max(1) as u32;
     let cfg = TunedConfig {
         seq_threshold: 1 << 20, // sequentialize everything at this scale
         ..TunedConfig::default()
@@ -49,23 +49,21 @@ fn db_roundtrip_through_executor() {
     let path = tmp_path("roundtrip");
     db.save(&path).unwrap();
 
-    let mut ex = w.executor();
-    ex.set_tuning_db(&path);
-    ex.run().expect("tuned run");
-    assert_eq!(ex.opt_level(), OptLevel::Tuned);
-    assert_eq!(ex.tuned_config(), Some(&cfg), "db entry must be applied");
+    let session = w.session().tuning_db(&path).build().unwrap();
+    let out = session.run(w.bindings()).expect("tuned run");
+    assert_eq!(session.opt_level(), OptLevel::Tuned);
+    assert_eq!(
+        session.tuned_config(),
+        Some(cfg),
+        "db entry must be applied"
+    );
     let want = w.run_interp().expect("interpreter");
-    let got = w
-        .check
-        .iter()
-        .map(|c| (c.clone(), ex.array(c).to_vec()))
-        .collect();
-    assert_allclose(&w.check, &got, &want, 1e-9);
+    assert_allclose(&w.check, out.arrays(), &want, 1e-9);
     let _ = std::fs::remove_file(&path);
 }
 
 /// A schema-version bump is rejected cleanly with a message naming the
-/// version, and the executor surfaces it as an optimization error rather
+/// version, and the session surfaces it as an optimization error rather
 /// than silently falling back.
 #[test]
 fn schema_bump_is_rejected_cleanly() {
@@ -80,20 +78,22 @@ fn schema_bump_is_rejected_cleanly() {
     let path = tmp_path("schema");
     std::fs::write(&path, &bumped).unwrap();
     let w = kernel("atax");
-    let mut ex = w.executor();
-    ex.set_tuning_db(&path);
-    let run_err = ex.run().expect_err("bumped schema must fail the run");
+    let session = w.session().tuning_db(&path).build().unwrap();
+    let run_err = match session.run(w.bindings()) {
+        Ok(_) => panic!("bumped schema must fail the run"),
+        Err(e) => e,
+    };
     assert!(run_err.to_string().contains("schema version"), "{run_err}");
     let _ = std::fs::remove_file(&path);
 }
 
 /// A stale content hash (the graph changed since tuning) is a natural
-/// miss: the executor falls back to the `Aggressive` pipeline and still
+/// miss: the session falls back to the `Aggressive` pipeline and still
 /// matches the interpreter.
 #[test]
 fn stale_content_hash_is_a_miss_with_aggressive_fallback() {
     let w = kernel("trisolv");
-    let nthreads = w.executor().nthreads.max(1) as u32;
+    let nthreads = w.session().build().unwrap().nthreads().max(1) as u32;
     let mut db = TuningDb::new();
     db.insert(TuneEntry {
         key: TuneKey {
@@ -110,19 +110,13 @@ fn stale_content_hash_is_a_miss_with_aggressive_fallback() {
     let path = tmp_path("stale");
     db.save(&path).unwrap();
 
-    let mut ex = w.executor();
-    ex.set_tuning_db(&path);
-    ex.run().expect("fallback run");
-    assert_eq!(ex.tuned_config(), None, "stale hash must miss");
-    let report = ex.opt_report().expect("fallback still optimizes");
+    let session = w.session().tuning_db(&path).build().unwrap();
+    let out = session.run(w.bindings()).expect("fallback run");
+    assert_eq!(session.tuned_config(), None, "stale hash must miss");
+    let report = session.opt_report().expect("fallback still optimizes");
     assert_eq!(report.level, OptLevel::Aggressive);
     let want = w.run_interp().expect("interpreter");
-    let got = w
-        .check
-        .iter()
-        .map(|c| (c.clone(), ex.array(c).to_vec()))
-        .collect();
-    assert_allclose(&w.check, &got, &want, 1e-9);
+    assert_allclose(&w.check, out.arrays(), &want, 1e-9);
     let _ = std::fs::remove_file(&path);
 }
 
@@ -150,16 +144,11 @@ fn tuned_configs_match_the_interpreter_on_three_kernels() {
         let w = kernel(name);
         let want = w.run_interp().expect("interpreter");
         for cfg in &configs {
-            let mut ex = w.executor();
-            ex.set_tuned_config(cfg.clone());
-            ex.run()
+            let session = w.session().tuned_config(cfg.clone()).build().unwrap();
+            let out = session
+                .run(w.bindings())
                 .unwrap_or_else(|e| panic!("{name} with {cfg}: {e}"));
-            let got = w
-                .check
-                .iter()
-                .map(|c| (c.clone(), ex.array(c).to_vec()))
-                .collect();
-            assert_allclose(&w.check, &got, &want, 1e-9);
+            assert_allclose(&w.check, out.arrays(), &want, 1e-9);
         }
     }
 }

@@ -54,7 +54,7 @@ fn strict_level_terminates_on_all_polybench_seeds() {
     }
 }
 
-/// Acceptance criterion: the optimized executor produces outputs identical
+/// Acceptance criterion: the optimized session produces outputs identical
 /// to the reference interpreter (run on the untransformed SDFG) for every
 /// bundled kernel, at both opt levels.
 #[test]
@@ -65,29 +65,25 @@ fn optimized_outputs_match_interpreter_on_all_kernels() {
             .run_interp()
             .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", k.name));
         for level in [OptLevel::Strict, OptLevel::Aggressive] {
-            let mut ex = w.executor();
-            ex.set_opt_level(level);
-            ex.run()
+            let session = w.session().opt_level(level).build().unwrap();
+            let out = session
+                .run(w.bindings())
                 .unwrap_or_else(|e| panic!("{}: optimized run failed: {e}", k.name));
-            let got = std::mem::take(&mut ex.arrays);
-            assert_allclose(&w.check, &got, &want, 1e-9);
+            assert_allclose(&w.check, out.arrays(), &want, 1e-9);
         }
     }
 }
 
-/// Optimized and unoptimized executors agree with each other too (same
+/// Optimized and unoptimized sessions agree with each other too (same
 /// workload, same bindings — only the opt level differs).
 #[test]
-fn optimized_executor_matches_unoptimized_executor() {
+fn optimized_session_matches_unoptimized_session() {
     for k in polybench::all() {
         let w = (k.build)(SCALE);
-        let mut plain = w.executor();
-        plain.run().unwrap();
-        let want = std::mem::take(&mut plain.arrays);
-        let mut opt = w.executor();
-        opt.set_opt_level(OptLevel::Aggressive);
-        opt.run().unwrap();
-        let got = std::mem::take(&mut opt.arrays);
+        let plain = w.session().build().unwrap();
+        let want = plain.run(w.bindings()).unwrap().into_arrays();
+        let opt = w.session().opt_level(OptLevel::Aggressive).build().unwrap();
+        let got = opt.run(w.bindings()).unwrap().into_arrays();
         assert_allclose(&w.check, &got, &want, 1e-12);
     }
 }
@@ -104,27 +100,28 @@ fn plan_cache_misses_and_rekeys_after_optimization() {
     let w = (kernel.build)(SCALE);
     let cache = std::sync::Arc::new(PlanCache::new());
 
-    let mut plain = w.executor();
-    plain.with_plan_cache(cache.clone());
+    let plain = w.session().plan_cache(cache.clone()).build().unwrap();
     let unopt_hash = plain.content_hash();
-    plain.run().unwrap();
-    plain.run().unwrap();
+    plain.run(w.bindings()).unwrap();
+    plain.run(w.bindings()).unwrap();
     let warm = cache.stats();
     assert!(warm.hits >= 1, "second unoptimized run should hit");
 
-    let mut opt = w.executor();
-    opt.with_plan_cache(cache.clone());
-    opt.set_opt_level(OptLevel::Aggressive);
-    opt.run().unwrap();
+    let opt = w
+        .session()
+        .plan_cache(cache.clone())
+        .opt_level(OptLevel::Aggressive)
+        .build()
+        .unwrap();
+    opt.run(w.bindings()).unwrap();
     let rekeyed = cache.stats();
-    let opt_hash = opt.content_hash();
     let report = opt.opt_report().expect("pipeline ran");
+    let opt_hash = report.hash_after;
     assert!(report.changed(), "pipeline should rewrite atax");
     assert_ne!(
         unopt_hash, opt_hash,
         "optimized graph must hash differently"
     );
-    assert_eq!(report.hash_after, opt_hash);
     assert_eq!(report.hash_before, unopt_hash);
     assert_eq!(
         rekeyed.misses,
@@ -132,12 +129,12 @@ fn plan_cache_misses_and_rekeys_after_optimization() {
         "optimized graph must miss the warm cache exactly once"
     );
 
-    opt.run().unwrap();
+    opt.run(w.bindings()).unwrap();
     let rewarmed = cache.stats();
     assert!(rewarmed.hits > rekeyed.hits, "optimized plan is cached too");
     assert_eq!(rewarmed.misses, rekeyed.misses);
 
-    // Dropping back to no optimization restores the original cache key.
-    opt.set_opt_level(OptLevel::None);
+    // The session's public handle stays the *submitted* graph's hash no
+    // matter what level it compiles at — that is the registry key.
     assert_eq!(opt.content_hash(), unopt_hash);
 }

@@ -23,14 +23,18 @@ use std::collections::HashMap;
 
 const SCALE: usize = 24;
 
-/// Runs `w` on the executor with an explicit thread count; returns the
+/// Runs `w` through a session with an explicit thread count; returns the
 /// checked output arrays.
 fn run_at(w: &Workload, nthreads: usize) -> HashMap<String, Vec<f64>> {
-    let mut ex = w.executor();
-    ex.set_nthreads(nthreads);
-    ex.run()
-        .unwrap_or_else(|e| panic!("exec ({nthreads} threads): {e}"));
-    std::mem::take(&mut ex.arrays)
+    let session = w
+        .session()
+        .nthreads(nthreads)
+        .build()
+        .unwrap_or_else(|e| panic!("session ({nthreads} threads): {e}"));
+    session
+        .run(w.bindings())
+        .unwrap_or_else(|e| panic!("exec ({nthreads} threads): {e}"))
+        .into_arrays()
 }
 
 fn bits(xs: &[f64]) -> Vec<u64> {
@@ -129,10 +133,10 @@ fn pool_actually_tiles_and_counts_work() {
         .find(|k| k.name == "gemm")
         .unwrap();
     let w = (k.build)(64);
-    let mut ex = w.executor();
-    ex.set_nthreads(8);
-    let stats = ex.run().expect("gemm runs");
-    let sched = ex
+    let session = w.session().nthreads(8).build().expect("session");
+    let out = session.run(w.bindings()).expect("gemm runs");
+    let stats = out.stats().clone();
+    let sched = session
         .sched_stats()
         .expect("8-thread run builds the steal pool");
     assert_eq!(sched.nworkers, 8);

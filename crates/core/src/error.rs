@@ -78,6 +78,36 @@ pub enum SdfgError {
         /// The requested container name.
         name: String,
     },
+    /// A bound array's element count does not match the container's
+    /// declared shape under the bound symbols (`SDFG-X003`).
+    ShapeMismatch {
+        /// Container name.
+        name: String,
+        /// Element count the shape evaluates to.
+        expected: usize,
+        /// Element count actually provided.
+        got: usize,
+    },
+    /// A run exceeded its wall-clock deadline and was cancelled between
+    /// state executions (`SDFG-X004`).
+    Timeout {
+        /// The deadline budget in milliseconds.
+        ms: u64,
+    },
+    /// A serialized program exceeded the deserializer's configured size
+    /// limit (`SDFG-S001`).
+    PayloadTooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+        /// The payload size in bytes.
+        got: usize,
+    },
+    /// A serialized program failed to deserialize (`SDFG-S002`). The
+    /// message carries the byte offset and line/column of the defect.
+    Serialize {
+        /// Rendered parse/decode error with position info.
+        message: String,
+    },
     /// The reference interpreter failed (`SDFG-I001`).
     Interp {
         /// Rendered interpreter error.
@@ -129,6 +159,10 @@ impl SdfgError {
             SdfgError::Frontend { .. } => "SDFG-F001",
             SdfgError::Exec { .. } => "SDFG-X001",
             SdfgError::UnknownData { .. } => "SDFG-X002",
+            SdfgError::ShapeMismatch { .. } => "SDFG-X003",
+            SdfgError::Timeout { .. } => "SDFG-X004",
+            SdfgError::PayloadTooLarge { .. } => "SDFG-S001",
+            SdfgError::Serialize { .. } => "SDFG-S002",
             SdfgError::Interp { .. } => "SDFG-I001",
             SdfgError::Optimization { .. } => "SDFG-O001",
         }
@@ -166,6 +200,19 @@ impl fmt::Display for SdfgError {
             SdfgError::UnknownData { name } => {
                 write!(f, "unknown data container `{name}`")
             }
+            SdfgError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array `{name}`: shape evaluates to {expected} elements, got {got}"
+            ),
+            SdfgError::Timeout { ms } => write!(f, "run exceeded the {ms} ms deadline"),
+            SdfgError::PayloadTooLarge { limit, got } => {
+                write!(f, "payload of {got} bytes exceeds the {limit}-byte limit")
+            }
+            SdfgError::Serialize { message } => write!(f, "deserialization: {message}"),
             SdfgError::Interp { message } => write!(f, "interpreter: {message}"),
             SdfgError::Optimization { pass, message } => {
                 write!(f, "optimization pass `{pass}`: {message}")

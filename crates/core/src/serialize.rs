@@ -444,14 +444,50 @@ impl Json {
 }
 
 /// Parses a standalone JSON document into a [`Json`] value.
+///
+/// Every parse failure reports the byte offset and 1-based line/column of
+/// the offending input, so callers can surface actionable diagnostics for
+/// documents received over the wire.
 pub fn parse_json(src: &str) -> Result<Json, String> {
     let mut p = JsonParser::new(src);
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.src.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
+        return Err(p.err_at(p.pos, "trailing garbage"));
     }
     Ok(v)
+}
+
+/// Default size limit for serialized programs received over the wire:
+/// 16 MiB, far above any graph this workspace produces but small enough
+/// to shed hostile payloads before parsing.
+pub const DEFAULT_MAX_PROGRAM_BYTES: usize = 16 << 20;
+
+/// Parses a JSON document from untrusted input, rejecting payloads above
+/// `max_bytes` before the parser ever runs.
+pub fn parse_json_limited(src: &str, max_bytes: usize) -> Result<Json, String> {
+    if src.len() > max_bytes {
+        return Err(format!(
+            "payload of {} bytes exceeds the {}-byte limit",
+            src.len(),
+            max_bytes
+        ));
+    }
+    parse_json(src)
+}
+
+/// Deserializes an SDFG from untrusted wire input with a size limit,
+/// reporting typed [`crate::SdfgError`]s: oversize payloads fail with
+/// `SDFG-S001` before parsing, malformed documents with a message that
+/// carries the byte offset and line/column of the defect.
+pub fn from_json_limited(src: &str, max_bytes: usize) -> Result<Sdfg, crate::SdfgError> {
+    if src.len() > max_bytes {
+        return Err(crate::SdfgError::PayloadTooLarge {
+            limit: max_bytes,
+            got: src.len(),
+        });
+    }
+    from_json(src).map_err(|message| crate::SdfgError::Serialize { message })
 }
 
 struct JsonParser<'a> {
@@ -473,6 +509,23 @@ impl<'a> JsonParser<'a> {
         }
     }
 
+    /// Renders `msg` with the byte offset and 1-based line/column of
+    /// `pos` — every parse failure goes through here so malformed input
+    /// is always reported with its position.
+    fn err_at(&self, pos: usize, msg: &str) -> String {
+        let pos = pos.min(self.src.len());
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.src[..pos] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        format!("{msg} at byte {pos} (line {line}, column {col})")
+    }
+
     fn peek(&mut self) -> Option<u8> {
         self.skip_ws();
         self.src.get(self.pos).copied()
@@ -484,11 +537,13 @@ impl<'a> JsonParser<'a> {
                 self.pos += 1;
                 Ok(())
             }
-            other => Err(format!(
-                "expected `{}` at byte {}, found {:?}",
-                b as char,
+            other => Err(self.err_at(
                 self.pos,
-                other.map(|c| c as char)
+                &format!(
+                    "expected `{}`, found {:?}",
+                    b as char,
+                    other.map(|c| c as char)
+                ),
             )),
         }
     }
@@ -502,7 +557,7 @@ impl<'a> JsonParser<'a> {
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+            other => Err(self.err_at(self.pos, &format!("unexpected {other:?}"))),
         }
     }
 
@@ -512,7 +567,7 @@ impl<'a> JsonParser<'a> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.err_at(self.pos, "invalid literal"))
         }
     }
 
@@ -531,7 +586,7 @@ impl<'a> JsonParser<'a> {
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
             .map(Json::Num)
-            .ok_or_else(|| format!("invalid number at byte {start}"))
+            .ok_or_else(|| self.err_at(start, "invalid number"))
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -539,14 +594,14 @@ impl<'a> JsonParser<'a> {
         let mut out = String::new();
         loop {
             let Some(&b) = self.src.get(self.pos) else {
-                return Err("unterminated string".into());
+                return Err(self.err_at(self.pos, "unterminated string"));
             };
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
                     let Some(&esc) = self.src.get(self.pos) else {
-                        return Err("unterminated escape".into());
+                        return Err(self.err_at(self.pos, "unterminated escape"));
                     };
                     self.pos += 1;
                     match esc {
@@ -563,13 +618,21 @@ impl<'a> JsonParser<'a> {
                                 .src
                                 .get(self.pos..self.pos + 4)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("bad \\u escape")?;
+                                .ok_or_else(|| self.err_at(self.pos, "bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
+                                .map_err(|_| self.err_at(self.pos, "bad \\u escape"))?;
                             self.pos += 4;
-                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err_at(self.pos, "bad \\u codepoint"))?,
+                            );
                         }
-                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                        other => {
+                            return Err(self.err_at(
+                                self.pos - 1,
+                                &format!("bad escape `\\{}`", other as char),
+                            ))
+                        }
                     }
                 }
                 _ => {
@@ -581,7 +644,7 @@ impl<'a> JsonParser<'a> {
                     }
                     out.push_str(
                         std::str::from_utf8(&self.src[start..end])
-                            .map_err(|_| "invalid UTF-8".to_string())?,
+                            .map_err(|_| self.err_at(start, "invalid UTF-8"))?,
                     );
                     self.pos = end;
                 }
@@ -604,7 +667,11 @@ impl<'a> JsonParser<'a> {
                     self.pos += 1;
                     return Ok(Json::Arr(out));
                 }
-                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                other => {
+                    return Err(
+                        self.err_at(self.pos, &format!("expected `,` or `]`, found {other:?}"))
+                    )
+                }
             }
         }
     }
@@ -627,7 +694,11 @@ impl<'a> JsonParser<'a> {
                     self.pos += 1;
                     return Ok(Json::Obj(out));
                 }
-                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                other => {
+                    return Err(
+                        self.err_at(self.pos, &format!("expected `,` or `}}`, found {other:?}"))
+                    )
+                }
             }
         }
     }

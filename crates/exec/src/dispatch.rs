@@ -143,6 +143,14 @@ pub(crate) fn drive_loop(
         if steps > max_transitions {
             return Err(ExecError::StepLimit(max_transitions));
         }
+        // Cancellation point: an expired wall-clock deadline aborts the
+        // run *between* states, so the shared plan cache and buffer pool
+        // only ever observe complete state executions.
+        if let Some(d) = ctx.deadline {
+            if std::time::Instant::now() >= d {
+                return Err(ExecError::Timeout(ctx.deadline_ms));
+            }
+        }
         visit(ctx, cur, &symbols)?;
         ctx.stats
             .states_executed

@@ -50,6 +50,10 @@ pub enum ExecError {
     ExternalTasklet(String),
     /// State machine transition limit exceeded.
     StepLimit(usize),
+    /// The run's wall-clock deadline expired between state executions
+    /// (set through [`crate::session::Session::run_deadline`]). Carries
+    /// the budget in milliseconds.
+    Timeout(u64),
     /// Structural problem.
     BadGraph(String),
     /// The automatic optimization pipeline failed (the original SDFG is
@@ -71,6 +75,7 @@ impl fmt::Display for ExecError {
             ExecError::Runtime(e) => write!(f, "tasklet execution: {e}"),
             ExecError::ExternalTasklet(n) => write!(f, "external tasklet `{n}`"),
             ExecError::StepLimit(n) => write!(f, "exceeded {n} transitions"),
+            ExecError::Timeout(ms) => write!(f, "exceeded the {ms} ms deadline"),
             ExecError::BadGraph(m) => write!(f, "malformed graph: {m}"),
             ExecError::Optimization(m) => write!(f, "optimization: {m}"),
         }
@@ -83,6 +88,16 @@ impl From<ExecError> for sdfg_core::SdfgError {
     fn from(e: ExecError) -> Self {
         match e {
             ExecError::MissingArray(name) => sdfg_core::SdfgError::UnknownData { name },
+            ExecError::SizeMismatch {
+                name,
+                expected,
+                got,
+            } => sdfg_core::SdfgError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            },
+            ExecError::Timeout(ms) => sdfg_core::SdfgError::Timeout { ms },
             other => sdfg_core::SdfgError::Exec {
                 message: other.to_string(),
             },
@@ -142,29 +157,41 @@ pub struct Executor<'s> {
     /// because the caller's SDFG sits behind an immutable borrow for the
     /// executor's whole lifetime, and the optimized copy is rebuilt (and
     /// this memo cleared) whenever the opt level changes.
-    sdfg_hash: Option<u64>,
+    pub(crate) sdfg_hash: Option<u64>,
     /// Requested optimization level for `run` (default: none).
-    opt_level: OptLevel,
+    pub(crate) opt_level: OptLevel,
     /// The optimized copy of the SDFG, built lazily on the first `run`
     /// after [`Executor::set_opt_level`]. `None` means "execute the
     /// caller's graph as-is". Boxed so the executor stays cheap to move.
     opt_sdfg: Option<Box<Sdfg>>,
     /// Report from the pipeline run that produced `opt_sdfg`.
-    opt_report: Option<OptimizationReport>,
+    pub(crate) opt_report: Option<OptimizationReport>,
     /// Tuning database consulted under [`OptLevel::Tuned`] (set via
     /// [`Executor::set_tuning_db`]; defaults to the `SDFG_TUNED_DB`
     /// environment variable when unset).
     tuning_db_path: Option<std::path::PathBuf>,
     /// Explicit tuned configuration ([`Executor::set_tuned_config`]);
     /// takes precedence over any database lookup.
-    tuned_cfg: Option<TunedConfig>,
+    pub(crate) tuned_cfg: Option<TunedConfig>,
     /// Scheduler grain override from the tuned configuration in effect
     /// (resolved together with `opt_sdfg`).
-    grain_ns: Option<u64>,
+    pub(crate) grain_ns: Option<u64>,
+    /// Set by [`crate::session::Session`] when the borrowed graph is
+    /// *already* the output of the optimization pipeline: `run` must not
+    /// optimize again, but `opt_level`/`opt_report`/`tuned_cfg` still
+    /// describe the pipeline that produced it (for reports and the run
+    /// ledger).
+    pub(crate) preoptimized: bool,
+    /// Wall-clock deadline for the next `run`: checked between state
+    /// executions, so an expired deadline cancels the run with
+    /// [`ExecError::Timeout`] without tearing down mid-state.
+    pub(crate) deadline: Option<std::time::Instant>,
+    /// Millisecond budget behind `deadline` (for the error message).
+    pub(crate) deadline_ms: u64,
     /// Transient containers this executor allocated itself (as opposed to
     /// arrays the caller bound): these are reset per run and returned to
     /// the pool on drop; caller-provided storage is never touched.
-    owned_transients: HashSet<String>,
+    pub(crate) owned_transients: HashSet<String>,
     /// Backend label attached to this executor's runs in the metrics
     /// registry and the run ledger (`"cpu"` unless a heterogeneous
     /// [`crate::dispatch::Runtime`] drives it).
@@ -269,6 +296,11 @@ pub(crate) struct Ctx<'s> {
     /// (not stored in the shared `ExecutionPlan`) so a cached plan can
     /// serve executors with different tunings.
     pub(crate) grain_ns: Option<u64>,
+    /// Wall-clock deadline for this run; the drive loop checks it between
+    /// state executions and cancels with [`ExecError::Timeout`].
+    pub(crate) deadline: Option<std::time::Instant>,
+    /// Millisecond budget behind `deadline` (for the error message).
+    pub(crate) deadline_ms: u64,
 }
 
 impl Ctx<'_> {
@@ -545,6 +577,9 @@ impl<'s> Executor<'s> {
             tuning_db_path: None,
             tuned_cfg: None,
             grain_ns: None,
+            preoptimized: false,
+            deadline: None,
+            deadline_ms: 0,
             owned_transients: HashSet::new(),
             run_target: "cpu".to_string(),
         }
@@ -555,6 +590,13 @@ impl<'s> Executor<'s> {
     /// the symbol bindings in effect then); changing the level discards the
     /// optimized copy and the content-hash memo, so the plan cache re-keys
     /// on the optimized graph's hash.
+    ///
+    /// **Deprecated** in favor of
+    /// [`SessionBuilder::opt_level`](crate::session::SessionBuilder::opt_level):
+    /// the session facade configures everything up front and compiles
+    /// once, where this mutate-after-construct path invalidates state.
+    /// Kept (hidden) for the engine's own internals.
+    #[doc(hidden)]
     pub fn set_opt_level(&mut self, level: OptLevel) -> &mut Self {
         if level != self.opt_level {
             self.opt_level = level;
@@ -577,6 +619,10 @@ impl<'s> Executor<'s> {
     /// (`bench/tuned.json`). Implies `set_opt_level(OptLevel::Tuned)`.
     /// Without this (or the `SDFG_TUNED_DB` environment variable), tuned
     /// runs always miss and fall back to `Aggressive`.
+    ///
+    /// **Deprecated** in favor of
+    /// [`SessionBuilder::tuning_db`](crate::session::SessionBuilder::tuning_db).
+    #[doc(hidden)]
     pub fn set_tuning_db(&mut self, path: impl Into<std::path::PathBuf>) -> &mut Self {
         self.tuning_db_path = Some(path.into());
         self.opt_level = OptLevel::Tuned;
@@ -587,6 +633,10 @@ impl<'s> Executor<'s> {
     /// Installs an explicit tuned configuration, bypassing any database
     /// lookup (the search driver uses this to measure candidates). Implies
     /// `set_opt_level(OptLevel::Tuned)`.
+    ///
+    /// **Deprecated** in favor of
+    /// [`SessionBuilder::tuned_config`](crate::session::SessionBuilder::tuned_config).
+    #[doc(hidden)]
     pub fn set_tuned_config(&mut self, cfg: TunedConfig) -> &mut Self {
         self.tuned_cfg = Some(cfg);
         self.opt_level = OptLevel::Tuned;
@@ -619,7 +669,7 @@ impl<'s> Executor<'s> {
     /// (or no database at all) degrades to the `Aggressive` pipeline; an
     /// unreadable or schema-incompatible database is an error.
     pub(crate) fn ensure_optimized(&mut self) -> Result<(), ExecError> {
-        if self.opt_level == OptLevel::None || self.opt_sdfg.is_some() {
+        if self.preoptimized || self.opt_level == OptLevel::None || self.opt_sdfg.is_some() {
             return Ok(());
         }
         let mut opt = Box::new(self.sdfg.clone());
@@ -760,6 +810,10 @@ impl<'s> Executor<'s> {
     /// the `SDFG_NTHREADS` environment variable and the default of
     /// available parallelism. The scheduler pool is rebuilt to match on
     /// the next `run`.
+    ///
+    /// **Deprecated** in favor of
+    /// [`SessionBuilder::nthreads`](crate::session::SessionBuilder::nthreads).
+    #[doc(hidden)]
     pub fn set_nthreads(&mut self, n: usize) -> &mut Self {
         let n = n.max(1);
         if n != self.nthreads && self.opt_level == OptLevel::Tuned && self.tuned_cfg.is_none() {
@@ -903,6 +957,8 @@ impl<'s> Executor<'s> {
             pool: self.pool.clone(),
             sched: self.sched.clone(),
             grain_ns: self.grain_ns,
+            deadline: self.deadline,
+            deadline_ms: self.deadline_ms,
         };
         let result = drive(self, &ctx);
         // Move storage back even on error.
@@ -1038,6 +1094,9 @@ impl<'s> Executor<'s> {
                 sched_steals: s.sched_steals,
                 states_executed: s.states_executed,
                 map_launches: s.map_launches,
+                // Tenant/request tags are stamped from the thread's
+                // request scope by `ledger::append`.
+                ..Default::default()
             };
             ledger::append(&mut rec);
         }

@@ -37,6 +37,7 @@ pub mod engine;
 pub mod plan;
 pub mod pool;
 pub mod sched;
+pub mod session;
 pub mod stats;
 mod tasklet;
 
@@ -49,6 +50,7 @@ pub use sched::{SchedPool, SchedStats};
 pub use sdfg_transforms::{
     OptLevel, OptimizationReport, TuneEntry, TuneKey, TunedConfig, TuningDb,
 };
+pub use session::{shared_scheduler, Bindings, Outputs, Session, SessionBuilder};
 pub use stats::Stats;
 // Re-export the profiling vocabulary so callers can enable instrumentation
 // and consume reports without naming `sdfg-profile` directly.

@@ -55,19 +55,25 @@ pub struct RunRecord {
     pub states_executed: u64,
     /// Map scopes launched.
     pub map_launches: u64,
+    /// Serving-layer tenant the run belonged to (empty outside a request
+    /// scope; omitted from the JSON when empty).
+    pub tenant: String,
+    /// Serving-layer request id (empty outside a request scope; omitted
+    /// from the JSON when empty).
+    pub request_id: String,
 }
 
 impl RunRecord {
     /// Renders the record as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"seq\":{},\"content_hash\":\"{}\",\"target\":\"{}\",\
              \"opt_level\":\"{}\",\"nthreads\":{},\"wall_ms\":{:.6},\
              \"plan_cache_hits\":{},\"plan_cache_misses\":{},\
              \"pool_acquires\":{},\"pool_reuses\":{},\
              \"bytes_moved\":{},\"h2d_bytes\":{},\"d2h_bytes\":{},\
              \"sched_tiles\":{},\"sched_steals\":{},\
-             \"states_executed\":{},\"map_launches\":{}}}",
+             \"states_executed\":{},\"map_launches\":{}",
             self.seq,
             escape(&self.content_hash),
             escape(&self.target),
@@ -85,7 +91,17 @@ impl RunRecord {
             self.sched_steals,
             self.states_executed,
             self.map_launches,
-        )
+        );
+        // Request tags are additive so existing ledger consumers (which
+        // check only the required fields) keep parsing batch-run records.
+        if !self.tenant.is_empty() {
+            out.push_str(&format!(",\"tenant\":\"{}\"", escape(&self.tenant)));
+        }
+        if !self.request_id.is_empty() {
+            out.push_str(&format!(",\"request_id\":\"{}\"", escape(&self.request_id)));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -162,6 +178,39 @@ fn escape(s: &str) -> String {
     out
 }
 
+thread_local! {
+    /// The serving layer's active (tenant, request id) pair for this
+    /// thread; see [`request_scope`].
+    static REQUEST_SCOPE: std::cell::RefCell<Option<(String, String)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// RAII guard from [`request_scope`]: clears (or restores) the thread's
+/// request tags on drop.
+pub struct RequestScope {
+    prev: Option<(String, String)>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST_SCOPE.with(|scope| *scope.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Tags every [`RunRecord`] appended from this thread with a tenant and
+/// request id until the returned guard drops. The serving layer wraps
+/// each request's execution in one of these, so engine-level ledger
+/// appends (which know nothing about HTTP) come out attributed. Scopes
+/// nest; the previous scope is restored on drop.
+pub fn request_scope(tenant: &str, request_id: &str) -> RequestScope {
+    let prev = REQUEST_SCOPE.with(|scope| {
+        scope
+            .borrow_mut()
+            .replace((tenant.to_string(), request_id.to_string()))
+    });
+    RequestScope { prev }
+}
+
 struct Sink {
     /// None = disabled. `set_path` wins over the environment.
     path: Mutex<Option<PathBuf>>,
@@ -215,6 +264,16 @@ pub fn append(rec: &mut RunRecord) -> Option<u64> {
     let s = sink();
     if !s.enabled.load(Ordering::Relaxed) {
         return None;
+    }
+    // Stamp the thread's active request scope (serving layer) unless the
+    // caller tagged the record itself.
+    if rec.tenant.is_empty() && rec.request_id.is_empty() {
+        REQUEST_SCOPE.with(|scope| {
+            if let Some((tenant, request_id)) = &*scope.borrow() {
+                rec.tenant = tenant.clone();
+                rec.request_id = request_id.clone();
+            }
+        });
     }
     let path = s.path.lock().unwrap_or_else(|p| p.into_inner()).clone()?;
     rec.seq = s.seq.fetch_add(1, Ordering::Relaxed);

@@ -477,7 +477,7 @@ impl MetricsRegistry {
 }
 
 /// The process-global registry, with the core SDFG metric families
-/// pre-registered (see [`core`]) so required families render even at
+/// pre-registered (see [`core()`]) so required families render even at
 /// zero.
 pub fn global() -> &'static MetricsRegistry {
     &core_handles().registry
@@ -536,6 +536,74 @@ pub struct CoreMetrics {
 /// The process-global core handles.
 pub fn core() -> &'static CoreMetrics {
     core_handles()
+}
+
+/// Pre-resolved handles for the serving layer's metric families
+/// (`crates/serve`). Registered in the same global registry as the core
+/// families, so one `GET /metrics` exposition carries both. Resolved
+/// lazily — batch processes that never serve pay nothing.
+pub struct ServeMetrics {
+    /// `sdfg_serve_requests_total{endpoint="submit"}`.
+    pub requests_submit: Counter,
+    /// `sdfg_serve_requests_total{endpoint="invoke"}`.
+    pub requests_invoke: Counter,
+    /// `sdfg_serve_requests_total{endpoint="other"}` — metrics, health,
+    /// listings, and anything unrecognized.
+    pub requests_other: Counter,
+    /// `sdfg_serve_rejected_total{reason="queue_full"}` — admission-queue
+    /// overflow, shed with 429.
+    pub rejected_queue: Counter,
+    /// `sdfg_serve_rejected_total{reason="tenant_cap"}` — per-tenant
+    /// in-flight cap, shed with 429.
+    pub rejected_tenant: Counter,
+    /// `sdfg_serve_rejected_total{reason="timeout"}` — invoke cancelled at
+    /// its wall-clock deadline, reported as 504.
+    pub rejected_timeout: Counter,
+    /// `sdfg_serve_inflight` — invokes currently executing or queued.
+    pub inflight: Gauge,
+    /// `sdfg_serve_request_duration_ms` — end-to-end invoke latency.
+    pub request_duration_ms: Histogram,
+}
+
+/// The process-global serving-layer handles.
+pub fn serve() -> &'static ServeMetrics {
+    static SERVE: OnceLock<ServeMetrics> = OnceLock::new();
+    SERVE.get_or_init(|| {
+        let r = global();
+        let endpoint = |which: &str| {
+            r.counter(
+                "sdfg_serve_requests_total",
+                "Serving-layer requests by endpoint.",
+                &[("endpoint", which)],
+            )
+        };
+        let rejected = |reason: &str| {
+            r.counter(
+                "sdfg_serve_rejected_total",
+                "Serving-layer requests shed, by reason (queue_full, tenant_cap, timeout).",
+                &[("reason", reason)],
+            )
+        };
+        ServeMetrics {
+            requests_submit: endpoint("submit"),
+            requests_invoke: endpoint("invoke"),
+            requests_other: endpoint("other"),
+            rejected_queue: rejected("queue_full"),
+            rejected_tenant: rejected("tenant_cap"),
+            rejected_timeout: rejected("timeout"),
+            inflight: r.gauge(
+                "sdfg_serve_inflight",
+                "Invoke requests currently queued or executing.",
+                &[],
+            ),
+            request_duration_ms: r.histogram(
+                "sdfg_serve_request_duration_ms",
+                "End-to-end invoke latency at the serving layer, milliseconds.",
+                &[],
+                &default_duration_buckets_ms(),
+            ),
+        }
+    })
 }
 
 fn core_handles() -> &'static CoreMetrics {

@@ -1,0 +1,194 @@
+//! Bounded admission for invoke requests: a global in-flight cap with a
+//! small wait queue, plus per-tenant in-flight caps. Built on
+//! `Mutex`+`Condvar` so shedding decisions are exact (no sampling, no
+//! racy fast paths): a request either holds a [`Permit`] or it was
+//! rejected with a typed [`Reject`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The wait queue is at its configured depth → HTTP 429.
+    QueueFull,
+    /// The tenant is already at its in-flight cap → HTTP 429.
+    TenantCap,
+    /// The request's deadline expired while queued → HTTP 504.
+    Timeout,
+}
+
+struct State {
+    /// Requests currently holding a permit (executing).
+    running: usize,
+    /// Requests blocked in `admit` waiting for a permit.
+    queued: usize,
+    /// Per-tenant count of running + queued requests.
+    per_tenant: HashMap<String, usize>,
+}
+
+/// The admission controller shared by all connection threads.
+pub struct Admission {
+    /// Maximum concurrently executing invokes.
+    max_inflight: usize,
+    /// Maximum invokes allowed to wait for a permit beyond the cap.
+    queue_depth: usize,
+    /// Maximum running + queued invokes per tenant.
+    tenant_cap: usize,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+impl Admission {
+    /// Creates a controller. All limits are clamped to at least
+    /// 1 in-flight (a server that can admit nothing is a misconfiguration,
+    /// not a policy).
+    pub fn new(max_inflight: usize, queue_depth: usize, tenant_cap: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+            tenant_cap: tenant_cap.max(1),
+            state: Mutex::new(State {
+                running: 0,
+                queued: 0,
+                per_tenant: HashMap::new(),
+            }),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Tries to admit one invoke for `tenant`, blocking until a permit
+    /// frees up or `deadline` passes. Tenant counts include queued
+    /// requests, so a single tenant cannot monopolize the wait queue.
+    pub fn admit(self: &Arc<Admission>, tenant: &str, deadline: Instant) -> Result<Permit, Reject> {
+        let mut st = self.state.lock().unwrap();
+        let tenant_count = st.per_tenant.get(tenant).copied().unwrap_or(0);
+        if tenant_count >= self.tenant_cap {
+            return Err(Reject::TenantCap);
+        }
+        if st.running >= self.max_inflight {
+            if st.queued >= self.queue_depth {
+                return Err(Reject::QueueFull);
+            }
+            st.queued += 1;
+            *st.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    st.queued -= 1;
+                    Admission::drop_tenant(&mut st, tenant);
+                    return Err(Reject::Timeout);
+                }
+                let (next, timed_out) = self.freed.wait_timeout(st, deadline - now).unwrap();
+                st = next;
+                if st.running < self.max_inflight {
+                    st.queued -= 1;
+                    st.running += 1;
+                    return Ok(Permit {
+                        admission: Arc::clone(self),
+                        tenant: tenant.to_string(),
+                    });
+                }
+                if timed_out.timed_out() && Instant::now() >= deadline {
+                    st.queued -= 1;
+                    Admission::drop_tenant(&mut st, tenant);
+                    return Err(Reject::Timeout);
+                }
+            }
+        }
+        st.running += 1;
+        *st.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        Ok(Permit {
+            admission: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    fn drop_tenant(st: &mut State, tenant: &str) {
+        if let Some(n) = st.per_tenant.get_mut(tenant) {
+            *n -= 1;
+            if *n == 0 {
+                st.per_tenant.remove(tenant);
+            }
+        }
+    }
+
+    /// Running + queued invokes, for diagnostics.
+    pub fn inflight(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.running + st.queued
+    }
+}
+
+/// RAII admission permit: releasing it (on drop, including panics and
+/// error paths) wakes one queued waiter, so a failed invoke can never
+/// leak capacity.
+pub struct Permit {
+    admission: Arc<Admission>,
+    tenant: String,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.admission.state.lock().unwrap();
+        st.running -= 1;
+        Admission::drop_tenant(&mut st, &self.tenant);
+        drop(st);
+        self.admission.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(50)
+    }
+
+    #[test]
+    fn admits_up_to_cap_then_queue_fills() {
+        let a = Admission::new(1, 0, 8);
+        let p = a.admit("t", soon()).unwrap();
+        assert!(matches!(a.admit("t2", soon()), Err(Reject::QueueFull)));
+        drop(p);
+        let _p2 = a.admit("t2", soon()).unwrap();
+    }
+
+    #[test]
+    fn tenant_cap_counts_queued() {
+        let a = Admission::new(1, 4, 1);
+        let _p = a.admit("t", soon()).unwrap();
+        // Same tenant again: at cap even though the queue has room.
+        assert!(matches!(a.admit("t", soon()), Err(Reject::TenantCap)));
+    }
+
+    #[test]
+    fn queued_waiter_times_out() {
+        let a = Admission::new(1, 4, 8);
+        let _p = a.admit("t", soon()).unwrap();
+        let t0 = Instant::now();
+        assert!(matches!(
+            a.admit("t2", Instant::now() + Duration::from_millis(30)),
+            Err(Reject::Timeout)
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn permit_drop_wakes_waiter() {
+        let a = Admission::new(1, 4, 8);
+        let p = a.admit("t", soon()).unwrap();
+        let a2 = Arc::clone(&a);
+        let h = std::thread::spawn(move || {
+            a2.admit("t2", Instant::now() + Duration::from_secs(5))
+                .is_ok()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(p);
+        assert!(h.join().unwrap());
+        assert_eq!(a.inflight(), 0);
+    }
+}

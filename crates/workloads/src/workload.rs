@@ -77,6 +77,27 @@ impl Workload {
         ex
     }
 
+    /// Starts a [`sdfg_exec::SessionBuilder`] over a clone of this
+    /// workload's SDFG — the compile-once/invoke-many construction path
+    /// the harness, bench and autotuner share with the serving layer.
+    pub fn session(&self) -> sdfg_exec::SessionBuilder {
+        sdfg_exec::Session::builder(self.sdfg.clone())
+    }
+
+    /// This workload's symbols and arrays as typed [`sdfg_exec::Bindings`]
+    /// for a session invoke (arrays copied, so the workload stays
+    /// reusable).
+    pub fn bindings(&self) -> sdfg_exec::Bindings {
+        let mut b = sdfg_exec::Bindings::new();
+        for (s, v) in &self.symbols {
+            b = b.symbol(s, *v);
+        }
+        for (n, d) in &self.arrays {
+            b = b.array(n, d);
+        }
+        b
+    }
+
     /// Runs on the optimizing executor; returns outputs, stats and wall
     /// time.
     pub fn run_exec(&self) -> Result<ExecRun, ExecError> {
