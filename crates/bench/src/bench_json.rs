@@ -128,6 +128,14 @@ pub struct BenchResult {
     /// Growth of the global core metric counters over this kernel's
     /// measurement (launches, cache hits, bytes moved, ...).
     pub metrics: CoreSnapshot,
+    /// Best warm-run time with the JIT lowering tier enabled,
+    /// milliseconds. `None` for targeted (non-CPU) measurements.
+    /// `cold_ms`/`warm_ms` are always measured with the tier disabled so
+    /// they stay comparable across baselines predating the JIT.
+    pub jit_warm_ms: Option<f64>,
+    /// Wall-clock milliseconds spent inside the C compiler for this
+    /// kernel's measurement (0 when every kernel came from a cache).
+    pub jit_compile_ms: Option<f64>,
 }
 
 impl BenchResult {
@@ -145,6 +153,15 @@ impl BenchResult {
     pub fn opt_speedup(&self) -> Option<f64> {
         match self.opt_warm_ms {
             Some(o) if o > 0.0 => Some(self.warm_ms / o),
+            _ => None,
+        }
+    }
+
+    /// Interpreted-warm over JIT-warm speedup (>1 = the JIT tier helped),
+    /// when a JIT measurement exists.
+    pub fn jit_speedup(&self) -> Option<f64> {
+        match self.jit_warm_ms {
+            Some(j) if j > 0.0 => Some(self.warm_ms / j),
             _ => None,
         }
     }
@@ -237,9 +254,12 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
     // one-time cost — validation, content hashing, lowering, planning —
     // is paid inside the measurement, exactly as the legacy executor's
     // first `run()` paid it.
+    // The interpreted-tier measurements pin the JIT off, so `cold_ms` and
+    // `warm_ms` stay comparable with baselines recorded before the JIT
+    // tier existed; the JIT leg below measures the tier separately.
     let cold: Vec<f64> = (0..reps.max(1))
         .map(|_| {
-            let builder = w.session();
+            let builder = w.session().jit(false);
             let inputs = w.bindings();
             let t0 = Instant::now();
             let session = builder.build().expect("session");
@@ -250,7 +270,7 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
 
     // Warm: one session; lowering is paid once, then cached. `--repeat`
     // runs several independent batches; each contributes its minimum.
-    let session = w.session().build().expect("session");
+    let session = w.session().jit(false).build().expect("session");
     let batch_mins = warm_batch_mins(&session, w.bindings(), warmup, reps, cfg.repeat);
     let cache = session.cache_stats();
     let pool = session.pool_stats();
@@ -281,6 +301,19 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         (Some(best_ms(opt_warm)), Some(passes), hit)
     };
 
+    // JIT: same warm protocol with the native-code tier enabled. Kernel
+    // compilation (when the artifact cache is cold) is paid in warmup,
+    // like lowering; the compiler wall-clock is reported separately.
+    let (jit_warm_ms, jit_compile_ms) = if target == Target::Cpu {
+        let jit_before = sdfg_exec::jit::stats();
+        let jsession = w.session().jit(true).build().expect("session");
+        let jit_mins = warm_batch_mins(&jsession, w.bindings(), warmup, reps, cfg.repeat);
+        let compile_ms = sdfg_exec::jit::stats().compile_ms - jit_before.compile_ms;
+        (Some(best_ms(jit_mins)), Some(compile_ms as f64))
+    } else {
+        (None, None)
+    };
+
     // Targeted: one heterogeneous-runtime run, verified bit-for-bit
     // against the interpreter, carrying per-backend statistics.
     let target_run = if target == Target::Cpu {
@@ -306,6 +339,8 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         nthreads,
         sched,
         metrics: core_snapshot().delta(&metrics_before),
+        jit_warm_ms,
+        jit_compile_ms,
     }
 }
 
@@ -379,6 +414,15 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
                 r.tuned_hit.unwrap_or(false),
             ));
         }
+    }
+    if let (Some(jit_warm), Some(compile_ms)) = (r.jit_warm_ms, r.jit_compile_ms) {
+        out.push_str(&format!(
+            ",\n  \"jit_warm_ms\": {:.6},\n  \"jit_speedup\": {:.3},\n  \
+             \"jit_compile_ms\": {:.3}",
+            jit_warm,
+            r.jit_speedup().unwrap_or(0.0),
+            compile_ms,
+        ));
     }
     if let Some(run) = &r.target_run {
         out.push_str(&format!(",\n  {}", target_json_fields(run)));
@@ -801,6 +845,8 @@ mod tests {
             target_run: None,
             nthreads: 1,
             sched: None,
+            jit_warm_ms: None,
+            jit_compile_ms: None,
             metrics: CoreSnapshot::default(),
         }
     }

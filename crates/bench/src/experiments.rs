@@ -586,6 +586,29 @@ pub fn tab5(scale: usize) {
     }
 }
 
+/// Renders the per-map lowering decisions as a table: which tier each
+/// map body was compiled to at plan-build time, and — when the JIT tier
+/// was considered but declined — the recorded reason.
+fn lowering_table(lowerings: &[sdfg_exec::MapLowering]) -> String {
+    if lowerings.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("lowering decisions\n");
+    out.push_str(&format!(
+        "{:<32} {:>10}  {}\n",
+        "map", "tier", "jit fallback reason"
+    ));
+    for l in lowerings {
+        out.push_str(&format!(
+            "{:<32} {:>10}  {}\n",
+            format!("s{}/n{} {}", l.state, l.node, l.label),
+            l.tier,
+            l.jit_reason.as_deref().unwrap_or("-")
+        ));
+    }
+    out
+}
+
 /// `--profile` mode: runs each Polybench kernel once with instrumentation
 /// forced on every state and map scope, prints the sorted hot-path table,
 /// and writes one Chrome trace-event JSON per kernel (load the file in
@@ -601,7 +624,7 @@ pub fn profiled(only: &str, scale: usize) {
         }
         matched = true;
         let w = (k.build)(scale);
-        let (_, _, _, report) = match w.run_exec_profiled() {
+        let (_, _, _, report, lowerings) = match w.run_exec_profiled() {
             Ok(r) => r,
             Err(e) => {
                 println!("## {}: failed: {e}", k.name);
@@ -616,6 +639,7 @@ pub fn profiled(only: &str, scale: usize) {
             report.map_coverage() * 100.0
         );
         print!("{}", report.hot_path_table());
+        print!("{}", lowering_table(&lowerings));
         let path = format!("trace-{}.json", k.name);
         match std::fs::write(&path, report.chrome_trace()) {
             Ok(()) => println!("chrome trace written to {path}"),

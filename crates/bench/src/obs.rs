@@ -24,12 +24,15 @@ use std::path::Path;
 
 /// Metric families `obs-check` requires in an exposition produced by a
 /// bench run (the acceptance set from the observability design).
-pub const REQUIRED_FAMILIES: [&str; 5] = [
+pub const REQUIRED_FAMILIES: [&str; 8] = [
     "sdfg_launches_total",
     "sdfg_plan_cache_hits_total",
     "sdfg_bytes_moved_total",
     "sdfg_sched_steals_total",
     "sdfg_launch_duration_ms",
+    "sdfg_jit_compiles_total",
+    "sdfg_jit_cache_hits_total",
+    "sdfg_jit_fallbacks_total",
 ];
 
 /// Ledger-record fields every JSONL line must carry.
@@ -58,6 +61,11 @@ const TRIAL_STR_FIELDS: [&str; 6] = [
     "candidate",
     "outcome",
 ];
+
+/// Fields a `"record":"jit_fallback"` ledger line must carry (appended by
+/// the executor when the JIT tier declines or fails to compile a map).
+const JIT_FALLBACK_NUM_FIELDS: [&str; 1] = ["seq"];
+const JIT_FALLBACK_STR_FIELDS: [&str; 4] = ["content_hash", "map", "reason", "detail"];
 
 /// Observability outputs requested on the harness command line.
 #[derive(Default)]
@@ -217,8 +225,11 @@ pub fn check_ledger(src: &str) -> (Vec<String>, usize) {
         };
         let mut ok = true;
         let is_trial = rec.str_field("record") == Ok("autotune_trial");
+        let is_jit_fallback = rec.str_field("record") == Ok("jit_fallback");
         let (num_fields, str_fields): (&[&str], &[&str]) = if is_trial {
             (&TRIAL_NUM_FIELDS, &TRIAL_STR_FIELDS)
+        } else if is_jit_fallback {
+            (&JIT_FALLBACK_NUM_FIELDS, &JIT_FALLBACK_STR_FIELDS)
         } else {
             (&LEDGER_NUM_FIELDS, &LEDGER_STR_FIELDS)
         };
@@ -381,6 +392,27 @@ mod tests {
         let (failures, _) = check_ledger(&bad);
         assert!(
             failures.iter().any(|f| f.contains("config")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn jit_fallback_records_pass_check_ledger() {
+        let rec = ledger::JitFallbackRecord {
+            seq: 0,
+            content_hash: "00c0ffee".into(),
+            map: "mm_contract".into(),
+            reason: "no_compiler".into(),
+            detail: String::new(),
+        };
+        let (failures, records) = check_ledger(&format!("{}\n", rec.to_json()));
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(records, 1);
+        // A fallback line without its reason fails.
+        let bad = rec.to_json().replace(",\"reason\":\"no_compiler\"", "");
+        let (failures, _) = check_ledger(&bad);
+        assert!(
+            failures.iter().any(|f| f.contains("reason")),
             "{failures:?}"
         );
     }

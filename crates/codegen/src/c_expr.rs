@@ -168,6 +168,148 @@ pub fn expr_to_c(e: &ExprAst) -> String {
     }
 }
 
+// --- VM-exact emission (JIT tier) --------------------------------------------
+
+/// Formats an `f64` as a C literal that parses back to the same bits:
+/// Rust's shortest-round-trip `{:?}` output is decimal, and C's correctly
+/// rounded `strtod` recovers the original double exactly. Non-finite
+/// values (unreachable from the tasklet parser, but cheap to handle) are
+/// spelled as constant expressions.
+pub fn c_f64(v: f64) -> String {
+    if v.is_nan() {
+        "(0.0 / 0.0)".to_string()
+    } else if v == f64::INFINITY {
+        "(1.0 / 0.0)".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "(-1.0 / 0.0)".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders a tasklet expression as C with *bitwise* `sdfg_lang::vm`
+/// semantics, for the JIT tier. [`expr_to_c`] favors idiomatic C for human
+/// inspection and diverges from the VM on several operators, so the JIT
+/// cannot reuse it; this function maps every node to exactly the
+/// arithmetic the VM performs:
+///
+/// * `%` is `a - floor(a / b) * b` (the VM's Python modulo), emitted as
+///   the `sdfg_mod` helper — not `fmod` with sign adjustment, which is not
+///   bit-identical for all operands.
+/// * `//` is `floor(a / b)`, not C integer division.
+/// * `and`/`or` have Python *value* semantics (`a and b` yields `a` when
+///   `a == 0.0`, else `b`), not C's `1`/`0` — emitted as `sdfg_and` /
+///   `sdfg_or` helpers. The tasklet language has no side effects, so
+///   evaluating both operands (vs. the VM's short-circuit jumps) is
+///   value-identical.
+/// * `int(x)` truncates toward zero on doubles (`trunc`), with no integer
+///   cast that would wrap large magnitudes.
+/// * n-ary `min`/`max` fold left through `fmin`/`fmax`, matching
+///   `f64::min`/`f64::max`.
+/// * Comparisons, `not`, and ternary/`if` conditions produce and test
+///   `1.0`/`0.0` doubles.
+///
+/// `resolve` maps a connector/local/symbol name to the C lvalue holding
+/// it; indexed accesses and unresolvable names yield `Err` with a
+/// human-readable reason (recorded upstream as the JIT fallback reason).
+pub fn vm_expr_to_c(
+    e: &ExprAst,
+    resolve: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    Ok(match e {
+        ExprAst::Num(v) => c_f64(*v),
+        ExprAst::Name(n) => resolve(n)?,
+        ExprAst::Index(n, _) => return Err(format!("indexed access to `{n}`")),
+        ExprAst::Bin(BinOp::Pow, a, b) => format!(
+            "pow({}, {})",
+            vm_expr_to_c(a, resolve)?,
+            vm_expr_to_c(b, resolve)?
+        ),
+        ExprAst::Bin(BinOp::FloorDiv, a, b) => format!(
+            "floor({} / {})",
+            vm_expr_to_c(a, resolve)?,
+            vm_expr_to_c(b, resolve)?
+        ),
+        ExprAst::Bin(BinOp::Mod, a, b) => format!(
+            "sdfg_mod({}, {})",
+            vm_expr_to_c(a, resolve)?,
+            vm_expr_to_c(b, resolve)?
+        ),
+        ExprAst::Bin(op, a, b) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::FloorDiv | BinOp::Mod | BinOp::Pow => unreachable!("handled above"),
+            };
+            format!(
+                "({} {o} {})",
+                vm_expr_to_c(a, resolve)?,
+                vm_expr_to_c(b, resolve)?
+            )
+        }
+        ExprAst::Cmp(op, a, b) => {
+            let o = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            format!(
+                "(({} {o} {}) ? 1.0 : 0.0)",
+                vm_expr_to_c(a, resolve)?,
+                vm_expr_to_c(b, resolve)?
+            )
+        }
+        ExprAst::Neg(a) => format!("(-({}))", vm_expr_to_c(a, resolve)?),
+        ExprAst::Not(a) => format!("(({}) == 0.0 ? 1.0 : 0.0)", vm_expr_to_c(a, resolve)?),
+        ExprAst::And(a, b) => format!(
+            "sdfg_and({}, {})",
+            vm_expr_to_c(a, resolve)?,
+            vm_expr_to_c(b, resolve)?
+        ),
+        ExprAst::Or(a, b) => format!(
+            "sdfg_or({}, {})",
+            vm_expr_to_c(a, resolve)?,
+            vm_expr_to_c(b, resolve)?
+        ),
+        ExprAst::Call(f, args) => match f {
+            Builtin::Min | Builtin::Max => {
+                let name = if *f == Builtin::Min { "fmin" } else { "fmax" };
+                let mut acc = vm_expr_to_c(&args[0], resolve)?;
+                for arg in &args[1..] {
+                    acc = format!("{name}({acc}, {})", vm_expr_to_c(arg, resolve)?);
+                }
+                acc
+            }
+            _ => {
+                let name = match f {
+                    Builtin::Abs => "fabs",
+                    Builtin::Sqrt => "sqrt",
+                    Builtin::Exp => "exp",
+                    Builtin::Log => "log",
+                    Builtin::Sin => "sin",
+                    Builtin::Cos => "cos",
+                    Builtin::Floor => "floor",
+                    Builtin::Ceil => "ceil",
+                    Builtin::Int => "trunc",
+                    Builtin::Min | Builtin::Max => unreachable!("handled above"),
+                };
+                format!("{name}({})", vm_expr_to_c(&args[0], resolve)?)
+            }
+        },
+        ExprAst::Ternary { cond, then, els } => format!(
+            "(({}) != 0.0 ? {} : {})",
+            vm_expr_to_c(cond, resolve)?,
+            vm_expr_to_c(then, resolve)?,
+            vm_expr_to_c(els, resolve)?
+        ),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +344,42 @@ mod tests {
         let e = sdfg_symbolic::parse_expr("2*i + N - 1").unwrap();
         let c = sym_to_c(&e);
         assert!(c.contains('N') && c.contains('i'));
+    }
+
+    #[test]
+    fn c_f64_round_trips() {
+        for v in [0.0, -0.0, 0.2, 1.0, -3.5, 1e300, 1e-300, 0.1 + 0.2] {
+            let s = c_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+        assert_eq!(c_f64(f64::INFINITY), "(1.0 / 0.0)");
+    }
+
+    fn vm_c(code: &str) -> Result<String, String> {
+        let body = parse_tasklet(code).unwrap();
+        let Stmt::Assign { value, .. } = &body[0] else {
+            panic!("expected assignment");
+        };
+        vm_expr_to_c(value, &|n| Ok(n.to_string()))
+    }
+
+    #[test]
+    fn vm_exact_operators() {
+        assert_eq!(vm_c("o = a % b").unwrap(), "sdfg_mod(a, b)");
+        assert_eq!(vm_c("o = a // b").unwrap(), "floor(a / b)");
+        assert_eq!(vm_c("o = a and b").unwrap(), "sdfg_and(a, b)");
+        assert_eq!(vm_c("o = a or b").unwrap(), "sdfg_or(a, b)");
+        assert_eq!(vm_c("o = int(a)").unwrap(), "trunc(a)");
+        assert_eq!(vm_c("o = min(a, b, c)").unwrap(), "fmin(fmin(a, b), c)");
+        assert_eq!(vm_c("o = a < b").unwrap(), "((a < b) ? 1.0 : 0.0)");
+        assert_eq!(vm_c("o = not a").unwrap(), "((a) == 0.0 ? 1.0 : 0.0)");
+        assert_eq!(vm_c("o = b if a else c").unwrap(), "((a) != 0.0 ? b : c)");
+        assert_eq!(vm_c("o = a ** b").unwrap(), "pow(a, b)");
+    }
+
+    #[test]
+    fn vm_exact_rejects_indexing() {
+        assert!(vm_c("o = w[0] + a").is_err());
     }
 }

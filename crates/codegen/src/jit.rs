@@ -1,0 +1,586 @@
+//! JIT kernel emission: standalone C translation units for recognized map
+//! bodies. The executor (`sdfg-exec`) compiles the source with the probed
+//! system C compiler into a shared object and `dlopen`s it; this module
+//! only produces text.
+//!
+//! # ABI contract
+//!
+//! Every kernel exports a single entry point, [`JIT_ENTRY`]:
+//!
+//! ```c
+//! void sdfg_kernel(const double *const *ins,  const long long *in_off,
+//!                  const long long *in_stp,   double *const *outs,
+//!                  const long long *out_off,  const long long *out_stp,
+//!                  const double *syms,        long long n);
+//! ```
+//!
+//! The caller resolves each port's affine scalar window to a
+//! `(base offset, stride)` pair for the innermost loop dimension and
+//! pre-validates that every address the kernel will touch is in bounds —
+//! the generated code performs **no bounds checks**. Iteration
+//! `k ∈ [0, n)` reads input `i` at `ins[i][in_off[i] + k*in_stp[i]]` and
+//! addresses output `j` at `outs[j][out_off[j] + k*out_stp[j]]`. `syms[s]`
+//! holds the value of the tasklet program's `symbols[s]`.
+//!
+//! # Bitwise discipline
+//!
+//! A JIT run must be bitwise identical to the tier it replaces, so:
+//!
+//! * the executor compiles kernels with `-ffp-contract=off` (Rust never
+//!   contracts `a*b + c` into an FMA, so the C must not either);
+//! * recognized native shapes mirror the executor's micro-kernels
+//!   statement for statement (see `crate::cpu`);
+//! * unrecognized bodies mirror the tasklet VM via
+//!   [`crate::c_expr::vm_expr_to_c`];
+//! * programs whose VM execution could observe *stale register state*
+//!   (a local read on a path that did not assign it — the VM's register
+//!   file persists across map points) are rejected and fall back.
+//!
+//! Anything this module cannot prove bitwise-equivalent yields
+//! `Err(reason)`; the executor records the reason and falls back to the
+//! next tier, which is always correct.
+
+use crate::c_expr::vm_expr_to_c;
+use crate::cpu::{lincomb_value_c, mulchain_value_c, pattern_value_c};
+use sdfg_lang::ast::{BinOp, Stmt};
+use sdfg_lang::recognize::{LinComb, MulChain, Pattern};
+use sdfg_lang::TaskletProgram;
+use std::fmt::Write as _;
+
+/// Name of the exported kernel entry point.
+pub const JIT_ENTRY: &str = "sdfg_kernel";
+
+/// WCR reduction operators the JIT supports (`Wcr::Custom` is rejected
+/// upstream, before a spec is built).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JitWcrOp {
+    /// `old + new`
+    Sum,
+    /// `old * new`
+    Product,
+    /// `fmin(old, new)`
+    Min,
+    /// `fmax(old, new)`
+    Max,
+}
+
+impl JitWcrOp {
+    fn combine(&self, old: &str, new: &str) -> String {
+        match self {
+            JitWcrOp::Sum => format!("({old} + {new})"),
+            JitWcrOp::Product => format!("({old} * {new})"),
+            JitWcrOp::Min => format!("fmin({old}, {new})"),
+            JitWcrOp::Max => format!("fmax({old}, {new})"),
+        }
+    }
+}
+
+/// How the kernel updates one output port per iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JitOutMode {
+    /// Plain store: `out[off] = v` (native element-wise without WCR).
+    Write,
+    /// Read-modify-write: the output local is seeded from memory before
+    /// the body runs and stored back after — the affine VM's protocol for
+    /// plain (non-WCR) scalar outputs.
+    ReadModifyWrite,
+    /// WCR combine per iteration: `out[off] = f(out[off], v)`. Only valid
+    /// when the executor's race analysis proved the write race-free
+    /// (non-atomic); atomic WCR cannot be mirrored in plain C.
+    CombinePerPoint(JitWcrOp),
+    /// Register accumulation for a loop-invariant WCR output (stride 0):
+    /// the caller seeds `outs[j][out_off[j]]` with the reduction identity,
+    /// the kernel folds into it once per iteration and stores it back, and
+    /// the caller performs the final — possibly atomic — combine into the
+    /// real array. Only valid for native single-output shapes.
+    Accumulate(JitWcrOp),
+}
+
+/// The body shape to emit, as decided by the lowering pipeline.
+pub enum JitBody<'a> {
+    /// Recognized canonical pattern (native micro-kernel mirror).
+    Pattern(Pattern),
+    /// Linear combination (stencil) shape.
+    LinComb(&'a LinComb),
+    /// Product chain (contraction) shape.
+    MulChain(&'a MulChain),
+    /// Unrecognized body: mirror the tasklet VM statement by statement.
+    Program(&'a TaskletProgram),
+}
+
+/// Everything the emitter needs to produce one kernel.
+pub struct JitSpec<'a> {
+    /// Body shape.
+    pub body: JitBody<'a>,
+    /// Number of input ports (slot order).
+    pub n_inputs: usize,
+    /// Update mode per output port (slot order).
+    pub outs: &'a [JitOutMode],
+}
+
+/// Emits the complete C translation unit for a kernel, or the reason it
+/// cannot be emitted bitwise-faithfully.
+pub fn emit_jit_kernel(spec: &JitSpec<'_>) -> Result<String, String> {
+    if spec.outs.is_empty() {
+        return Err("no output ports".into());
+    }
+    let acc = spec
+        .outs
+        .iter()
+        .any(|m| matches!(m, JitOutMode::Accumulate(_)));
+    if acc && (spec.outs.len() != 1 || matches!(spec.body, JitBody::Program(_))) {
+        return Err("register accumulation requires a single native output".into());
+    }
+    let mut src = String::new();
+    src.push_str("#include <math.h>\n\n");
+    src.push_str(
+        "static double sdfg_mod(double a, double b) { return a - floor(a / b) * b; }\n\
+         static double sdfg_and(double a, double b) { return a == 0.0 ? a : b; }\n\
+         static double sdfg_or(double a, double b) { return a != 0.0 ? a : b; }\n\n",
+    );
+    let _ = writeln!(
+        src,
+        "void {JIT_ENTRY}(const double *const *ins, const long long *in_off,\n\
+         \x20               const long long *in_stp, double *const *outs,\n\
+         \x20               const long long *out_off, const long long *out_stp,\n\
+         \x20               const double *syms, long long n) {{"
+    );
+    src.push_str(
+        "  (void)ins; (void)in_off; (void)in_stp; (void)outs;\n\
+         \x20 (void)out_off; (void)out_stp; (void)syms;\n",
+    );
+    if acc {
+        let JitOutMode::Accumulate(op) = spec.outs[0] else {
+            unreachable!()
+        };
+        src.push_str("  double acc = outs[0][out_off[0]];\n");
+        src.push_str("  for (long long k = 0; k < n; ++k) {\n");
+        emit_input_loads(&mut src, spec.n_inputs);
+        emit_native_value(&mut src, &spec.body)?;
+        let _ = writeln!(src, "    acc = {};", op.combine("acc", "val"));
+        src.push_str("  }\n  outs[0][out_off[0]] = acc;\n");
+    } else {
+        src.push_str("  for (long long k = 0; k < n; ++k) {\n");
+        emit_input_loads(&mut src, spec.n_inputs);
+        match &spec.body {
+            JitBody::Program(prog) => emit_vm_body(&mut src, prog, spec.outs)?,
+            native => {
+                emit_native_value(&mut src, native)?;
+                emit_out_update(&mut src, 0, &spec.outs[0], "val")?;
+            }
+        }
+        src.push_str("  }\n");
+    }
+    src.push_str("}\n");
+    Ok(src)
+}
+
+fn emit_input_loads(src: &mut String, n_inputs: usize) {
+    for i in 0..n_inputs {
+        let _ = writeln!(
+            src,
+            "    const double v{i} = ins[{i}][in_off[{i}] + k * in_stp[{i}]];"
+        );
+    }
+}
+
+fn emit_native_value(src: &mut String, body: &JitBody<'_>) -> Result<(), String> {
+    match body {
+        JitBody::Pattern(p) => {
+            let _ = writeln!(src, "    double val = {};", pattern_value_c(p));
+        }
+        JitBody::LinComb(lc) => src.push_str(&lincomb_value_c(lc, "    ")),
+        JitBody::MulChain(mc) => src.push_str(&mulchain_value_c(mc, "    ")),
+        JitBody::Program(_) => return Err("program body has no native value".into()),
+    }
+    Ok(())
+}
+
+/// Emits the per-iteration store for output `j` whose body value is in
+/// C variable `val`.
+fn emit_out_update(src: &mut String, j: usize, mode: &JitOutMode, val: &str) -> Result<(), String> {
+    match mode {
+        JitOutMode::Write | JitOutMode::ReadModifyWrite => {
+            let _ = writeln!(
+                src,
+                "    outs[{j}][out_off[{j}] + k * out_stp[{j}]] = {val};"
+            );
+        }
+        JitOutMode::CombinePerPoint(op) => {
+            let _ = writeln!(
+                src,
+                "    {{ const long long o = out_off[{j}] + k * out_stp[{j}];\n\
+                 \x20     outs[{j}][o] = {}; }}",
+                op.combine(&format!("outs[{j}][o]"), val)
+            );
+        }
+        JitOutMode::Accumulate(_) => return Err("accumulate handled separately".into()),
+    }
+    Ok(())
+}
+
+// --- VM-mirror body emission --------------------------------------------------
+
+/// Emits an unrecognized tasklet body as C statements that mirror the
+/// bytecode VM. Output locals `o{j}` are seeded per the output mode
+/// (memory for read-modify-write, `0.0` for WCR — exactly the affine VM
+/// loop's protocol) and flushed after the body.
+fn emit_vm_body(
+    src: &mut String,
+    prog: &TaskletProgram,
+    outs: &[JitOutMode],
+) -> Result<(), String> {
+    if outs.len() != prog.outputs.len() {
+        return Err("output arity mismatch".into());
+    }
+    // Seed output locals.
+    for (j, mode) in outs.iter().enumerate() {
+        match mode {
+            JitOutMode::ReadModifyWrite => {
+                let _ = writeln!(
+                    src,
+                    "    double o{j} = outs[{j}][out_off[{j}] + k * out_stp[{j}]];"
+                );
+            }
+            JitOutMode::Write | JitOutMode::CombinePerPoint(_) => {
+                let _ = writeln!(src, "    double o{j} = 0.0;");
+            }
+            JitOutMode::Accumulate(_) => {
+                return Err("register accumulation on a VM-mirror body".into())
+            }
+        }
+    }
+    // Declare locals up front (VM registers start zeroed); assignments in
+    // the body are definite-assignment checked, so the initializer is only
+    // observable where the VM would also observe a fresh zero register.
+    let mut all_locals: Vec<String> = Vec::new();
+    collect_locals(&prog.body, prog, &mut all_locals);
+    for l in &all_locals {
+        let _ = writeln!(src, "    double l_{l} = 0.0;");
+    }
+    let mut st = VmEmitState {
+        prog,
+        declared: Vec::new(),
+        definite: Vec::new(),
+    };
+    for s in &prog.body {
+        st.emit_stmt(s, "    ", src)?;
+    }
+    // Flush output locals.
+    for (j, mode) in outs.iter().enumerate() {
+        emit_out_update(src, j, mode, &format!("o{j}"))?;
+    }
+    Ok(())
+}
+
+/// Collects every local name the body defines (assignment targets that are
+/// not output connectors), in first-definition order.
+fn collect_locals(body: &[Stmt], prog: &TaskletProgram, acc: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { target, .. } => {
+                if !prog.outputs.contains(target)
+                    && !prog.inputs.contains(target)
+                    && !acc.contains(target)
+                {
+                    acc.push(target.clone());
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                collect_locals(then, prog, acc);
+                collect_locals(els, prog, acc);
+            }
+            Stmt::Push { .. } => {}
+        }
+    }
+}
+
+/// Walks the body in the same textual order as the bytecode compiler,
+/// tracking which locals exist (`declared`, governing name resolution) and
+/// which are definitely assigned on every path (`definite`, guarding
+/// against the VM's cross-point register persistence).
+struct VmEmitState<'a> {
+    prog: &'a TaskletProgram,
+    declared: Vec<String>,
+    definite: Vec<String>,
+}
+
+impl VmEmitState<'_> {
+    /// Resolution order must match the bytecode compiler: inputs, then
+    /// locals declared so far, then outputs, then SDFG symbols.
+    fn resolve_read(&self, n: &str) -> Result<String, String> {
+        if let Some(i) = self.prog.inputs.iter().position(|x| x == n) {
+            return Ok(format!("v{i}"));
+        }
+        if self.declared.iter().any(|l| l == n) {
+            if !self.definite.iter().any(|l| l == n) {
+                return Err(format!(
+                    "local `{n}` may be read unassigned (stale VM register)"
+                ));
+            }
+            return Ok(format!("l_{n}"));
+        }
+        if let Some(j) = self.prog.outputs.iter().position(|x| x == n) {
+            return Ok(format!("o{j}"));
+        }
+        if let Some(s) = self.prog.symbols.iter().position(|x| x == n) {
+            return Ok(format!("syms[{s}]"));
+        }
+        Err(format!("unresolved name `{n}`"))
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt, ind: &str, src: &mut String) -> Result<(), String> {
+        match s {
+            Stmt::Push { stream, .. } => Err(format!("stream push to `{stream}`")),
+            Stmt::Assign {
+                index: Some(_),
+                target,
+                ..
+            } => Err(format!("indexed store to `{target}`")),
+            Stmt::Assign {
+                target,
+                index: None,
+                op,
+                value,
+            } => {
+                // The compiler resolves the RHS before defining the target
+                // local, so emit it under the current scope first.
+                let rhs = {
+                    let resolve = |n: &str| self.resolve_read(n);
+                    vm_expr_to_c(value, &resolve)?
+                };
+                let lhs = if let Some(j) = self.prog.outputs.iter().position(|x| x == target) {
+                    format!("o{j}")
+                } else if self.prog.inputs.contains(target) {
+                    return Err(format!("assignment to input `{target}`"));
+                } else {
+                    if !self.declared.contains(target) {
+                        if op.is_some() {
+                            return Err(format!("augmented assignment to undefined `{target}`"));
+                        }
+                        self.declared.push(target.clone());
+                    }
+                    if !self.definite.contains(target) {
+                        self.definite.push(target.clone());
+                    }
+                    format!("l_{target}")
+                };
+                match op {
+                    None => {
+                        let _ = writeln!(src, "{ind}{lhs} = {rhs};");
+                    }
+                    Some(op) => {
+                        // `t op= v` runs as `t = apply_bin(op, t, v)`.
+                        let e = match op {
+                            BinOp::Add => format!("({lhs} + {rhs})"),
+                            BinOp::Sub => format!("({lhs} - {rhs})"),
+                            BinOp::Mul => format!("({lhs} * {rhs})"),
+                            BinOp::Div => format!("({lhs} / {rhs})"),
+                            BinOp::FloorDiv => format!("floor({lhs} / {rhs})"),
+                            BinOp::Mod => format!("sdfg_mod({lhs}, {rhs})"),
+                            BinOp::Pow => format!("pow({lhs}, {rhs})"),
+                        };
+                        let _ = writeln!(src, "{ind}{lhs} = {e};");
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let c = {
+                    let resolve = |n: &str| self.resolve_read(n);
+                    vm_expr_to_c(cond, &resolve)?
+                };
+                let _ = writeln!(src, "{ind}if (({c}) != 0.0) {{");
+                let outer_definite = self.definite.clone();
+                let inner = format!("{ind}  ");
+                for s in then {
+                    self.emit_stmt(s, &inner, src)?;
+                }
+                let then_definite = std::mem::replace(&mut self.definite, outer_definite.clone());
+                let _ = writeln!(src, "{ind}}} else {{");
+                for s in els {
+                    self.emit_stmt(s, &inner, src)?;
+                }
+                let els_definite = std::mem::take(&mut self.definite);
+                // Only locals assigned on *both* paths are definite after
+                // the branch.
+                self.definite = outer_definite;
+                for l in &then_definite {
+                    if els_definite.contains(l) && !self.definite.contains(l) {
+                        self.definite.push(l.clone());
+                    }
+                }
+                let _ = writeln!(src, "{ind}}}");
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfg_lang::recognize::{BinOpKind, Operand};
+
+    fn prog(code: &str, ins: &[&str], outs: &[&str]) -> TaskletProgram {
+        let ins: Vec<String> = ins.iter().map(|s| s.to_string()).collect();
+        let outs: Vec<String> = outs.iter().map(|s| s.to_string()).collect();
+        TaskletProgram::compile(code, &ins, &outs).unwrap()
+    }
+
+    #[test]
+    fn emits_accumulating_pattern_kernel() {
+        let spec = JitSpec {
+            body: JitBody::Pattern(Pattern::BinOp {
+                op: BinOpKind::Mul,
+                a: Operand::Input(0),
+                b: Operand::Input(1),
+            }),
+            n_inputs: 2,
+            outs: &[JitOutMode::Accumulate(JitWcrOp::Sum)],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("void sdfg_kernel("));
+        assert!(src.contains("double acc = outs[0][out_off[0]];"));
+        assert!(src.contains("double val = (v0 * v1);"));
+        assert!(src.contains("acc = (acc + val);"));
+        assert!(src.contains("outs[0][out_off[0]] = acc;"));
+    }
+
+    #[test]
+    fn emits_elementwise_and_combine_kernels() {
+        let spec = JitSpec {
+            body: JitBody::Pattern(Pattern::Axpb {
+                input: 0,
+                mul: 2.0,
+                add: -1.5,
+            }),
+            n_inputs: 1,
+            outs: &[JitOutMode::Write],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("double val = (2.0 * v0 + -1.5);"));
+        assert!(src.contains("outs[0][out_off[0] + k * out_stp[0]] = val;"));
+
+        let spec = JitSpec {
+            body: JitBody::Pattern(Pattern::Copy { input: 0 }),
+            n_inputs: 1,
+            outs: &[JitOutMode::CombinePerPoint(JitWcrOp::Max)],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("fmax(outs[0][o], val)"));
+    }
+
+    #[test]
+    fn emits_lincomb_and_mulchain() {
+        let lc = LinComb {
+            terms: vec![(0, 1.0), (1, -2.0), (2, 1.0)],
+            bias: 0.5,
+        };
+        let spec = JitSpec {
+            body: JitBody::LinComb(&lc),
+            n_inputs: 3,
+            outs: &[JitOutMode::Write],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("double val = 0.5;"));
+        assert!(src.contains("val += 1.0 * v0;"));
+        assert!(src.contains("val += -2.0 * v1;"));
+
+        let mc = MulChain {
+            slots: vec![0, 1, 2],
+            scale: -1.0,
+        };
+        let spec = JitSpec {
+            body: JitBody::MulChain(&mc),
+            n_inputs: 3,
+            outs: &[JitOutMode::Accumulate(JitWcrOp::Sum)],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("double val = -1.0;"));
+        assert!(src.contains("val *= v0;"));
+    }
+
+    #[test]
+    fn emits_vm_mirror_program() {
+        let p = prog("t = a * a\no = t + b % a", &["a", "b"], &["o"]);
+        let spec = JitSpec {
+            body: JitBody::Program(&p),
+            n_inputs: 2,
+            outs: &[JitOutMode::ReadModifyWrite],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("double o0 = outs[0][out_off[0] + k * out_stp[0]];"));
+        assert!(src.contains("l_t = (v0 * v0);"));
+        assert!(src.contains("o0 = (l_t + sdfg_mod(v1, v0));"));
+        assert!(src.contains("static double sdfg_mod"));
+    }
+
+    #[test]
+    fn vm_mirror_branches_and_symbols() {
+        let p = prog(
+            "if a > 0:\n    s = 1.0\nelse:\n    s = -1.0\no = s * N",
+            &["a"],
+            &["o"],
+        );
+        assert_eq!(p.symbols, vec!["N".to_string()]);
+        let spec = JitSpec {
+            body: JitBody::Program(&p),
+            n_inputs: 1,
+            outs: &[JitOutMode::CombinePerPoint(JitWcrOp::Sum)],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("if ((((v0 > 0.0) ? 1.0 : 0.0)) != 0.0) {"));
+        assert!(src.contains("o0 = (l_s * syms[0]);"));
+    }
+
+    #[test]
+    fn rejects_conditionally_assigned_local() {
+        // `t` is only assigned when the branch is taken; the VM would read
+        // a stale register on other points, which C cannot mirror.
+        let p = prog("if a > 0:\n    t = a\no = t + 1", &["a"], &["o"]);
+        let spec = JitSpec {
+            body: JitBody::Program(&p),
+            n_inputs: 1,
+            outs: &[JitOutMode::ReadModifyWrite],
+        };
+        let err = emit_jit_kernel(&spec).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn rejects_indexed_ports_and_bad_shapes() {
+        let p = prog("o = w[0] + w[1]", &["w"], &["o"]);
+        let spec = JitSpec {
+            body: JitBody::Program(&p),
+            n_inputs: 1,
+            outs: &[JitOutMode::ReadModifyWrite],
+        };
+        assert!(emit_jit_kernel(&spec).is_err());
+
+        // Accumulate is native-only.
+        let p2 = prog("o = a + 1", &["a"], &["o"]);
+        let spec = JitSpec {
+            body: JitBody::Program(&p2),
+            n_inputs: 1,
+            outs: &[JitOutMode::Accumulate(JitWcrOp::Sum)],
+        };
+        assert!(emit_jit_kernel(&spec).is_err());
+    }
+
+    #[test]
+    fn branch_joined_locals_are_definite() {
+        let p = prog(
+            "if a > 0:\n    t = a\nelse:\n    t = -a\no = t",
+            &["a"],
+            &["o"],
+        );
+        let spec = JitSpec {
+            body: JitBody::Program(&p),
+            n_inputs: 1,
+            outs: &[JitOutMode::ReadModifyWrite],
+        };
+        let src = emit_jit_kernel(&spec).unwrap();
+        assert!(src.contains("o0 = l_t;"));
+    }
+}

@@ -28,6 +28,7 @@ pub mod c_expr;
 pub mod cpu;
 pub mod fpga;
 pub mod gpu;
+pub mod jit;
 pub mod statemachine;
 
 pub(crate) use cpu::flat_index as cpu_flat_index;

@@ -5,6 +5,7 @@ use crate::buffer::SharedBuffer;
 use crate::copy::{exec_access, gather_symbolic, scatter_symbolic, scope_owns_container, wcr_fn};
 use crate::engine::Executor;
 use crate::engine::{Ctx, ExecError, Worker};
+use crate::lower::{try_jit_loop, Lowered};
 use crate::tasklet::{run_tasklet_point, try_native_loop, try_vm_loop, BodyTasklet, WindowPlan};
 use parking_lot::Mutex;
 use sdfg_core::desc::DataDesc;
@@ -19,7 +20,9 @@ use std::sync::atomic::Ordering;
 /// Body of a compiled map: either a straight-line list of tasklets or a
 /// generic subgraph executed per point.
 pub(crate) enum MapBody {
-    Tasklets(Vec<(NodeId, std::sync::Arc<BodyTasklet>)>),
+    /// Straight-line tasklets plus the lowering-tier decision made for
+    /// them at plan-build time (see [`crate::lower`]).
+    Tasklets(Vec<(NodeId, std::sync::Arc<BodyTasklet>)>, Lowered),
     Generic {
         children: Vec<NodeId>,
         /// Transients local to this scope → zeroed per iteration, allocated
@@ -33,6 +36,8 @@ pub(crate) enum MapBody {
 /// Everything launch-invariant about one map scope, cached per worker and
 /// (context-verified) across runs in the shared execution plan.
 pub(crate) struct MapPlan {
+    /// Scope label (for the lowering report and fallback records).
+    pub(crate) label: String,
     pub(crate) params: Vec<String>,
     pub(crate) ranges: Vec<sdfg_symbolic::SymRange>,
     #[allow(dead_code)] // kept for diagnostics/debug printing
@@ -42,6 +47,23 @@ pub(crate) struct MapPlan {
     /// Iteration counts for the race analysis.
     pub(crate) pcounts: Vec<i64>,
     pub(crate) body: MapBody,
+}
+
+impl MapPlan {
+    /// The lowering-report row for this plan.
+    pub(crate) fn lowering_entry(&self, sid: u32, nid: u32) -> crate::lower::MapLowering {
+        let (tier, jit_reason) = match &self.body {
+            MapBody::Tasklets(_, l) => (l.tier.name(), l.jit_reason.clone()),
+            MapBody::Generic { .. } => (crate::lower::LowerTier::Symbolic.name(), None),
+        };
+        crate::lower::MapLowering {
+            state: sid,
+            node: nid,
+            label: self.label.clone(),
+            tier,
+            jit_reason,
+        }
+    }
 }
 
 pub(crate) fn build_map_plan(
@@ -115,7 +137,8 @@ pub(crate) fn build_map_plan(
         for &c in &children {
             ts.push((c, worker.tasklet(sid, c)?));
         }
-        MapBody::Tasklets(ts)
+        let lowered = crate::lower::decide_lowering(ctx, worker, &scope.label, &ts, &pcounts);
+        MapBody::Tasklets(ts, lowered)
     } else {
         // Thread-local transients: transient containers whose lifetime is
         // entirely inside this scope.
@@ -156,6 +179,7 @@ pub(crate) fn build_map_plan(
         }
     };
     let plan = std::sync::Arc::new(MapPlan {
+        label: scope.label.clone(),
         params,
         ranges,
         schedule,
@@ -466,7 +490,7 @@ fn inner_points_estimate(plan: &MapPlan, n0: usize) -> u64 {
 /// opportunistic behaviour).
 fn steal_deterministic(body: &MapBody) -> bool {
     match body {
-        MapBody::Tasklets(ts) => ts
+        MapBody::Tasklets(ts, _) => ts
             .iter()
             .all(|(_, bt)| bt.outs.iter().all(|o| !o.atomic && !o.stream && !o.log)),
         MapBody::Generic { .. } => false,
@@ -567,7 +591,7 @@ fn try_collapse(
     if plan.params.len() < 2 {
         return None;
     }
-    let MapBody::Tasklets(ts) = &plan.body else {
+    let MapBody::Tasklets(ts, _) = &plan.body else {
         return None;
     };
     if ts
@@ -765,7 +789,7 @@ fn exec_tile(
 /// evaluation: every range bound evaluates now (no dependence on this
 /// map's own parameters) and every tasklet port/body is parameter-affine.
 pub(crate) fn env_free_bounds(plan: &MapPlan, worker: &Worker) -> Option<Vec<(i64, i64, i64)>> {
-    let MapBody::Tasklets(ts) = &plan.body else {
+    let MapBody::Tasklets(ts, _) = &plan.body else {
         return None;
     };
     for (_, bt) in ts {
@@ -821,7 +845,7 @@ pub(crate) fn run_map_fast(
     base: usize,
     bounds: &[(i64, i64, i64)],
 ) -> Result<(), ExecError> {
-    let MapBody::Tasklets(ts) = &plan.body else {
+    let MapBody::Tasklets(ts, lowered) = &plan.body else {
         unreachable!()
     };
     let nd = bounds.len();
@@ -845,7 +869,10 @@ pub(crate) fn run_map_fast(
         let mut handled = false;
         if let Some(t) = &single {
             let t0 = worker.tier_clock();
-            if try_native_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
+            if try_jit_loop(ctx, lowered, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
+                worker.tier_record(t0, Tier::Jit);
+                handled = true;
+            } else if try_native_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
                 worker.tier_record(t0, Tier::NativeKernel);
                 handled = true;
             } else if try_vm_loop(ctx, t, worker, base + nd - 1, is_, ie_, ist)?.is_some() {
@@ -963,10 +990,14 @@ pub(crate) fn run_dim_span(
     // Innermost dimension with a tasklet-only body: attempt the native
     // loop, then the allocation-free VM loop.
     if dim == params.len() - 1 {
-        if let MapBody::Tasklets(ts) = body {
+        if let MapBody::Tasklets(ts, lowered) = body {
             if ts.len() == 1 {
                 let t = ts[0].1.clone();
                 let t0 = worker.tier_clock();
+                if try_jit_loop(ctx, lowered, &t, worker, base + dim, lo, hi, step)?.is_some() {
+                    worker.tier_record(t0, Tier::Jit);
+                    return Ok(());
+                }
                 if try_native_loop(ctx, &t, worker, base + dim, lo, hi, step)?.is_some() {
                     worker.tier_record(t0, Tier::NativeKernel);
                     return Ok(());
@@ -980,7 +1011,7 @@ pub(crate) fn run_dim_span(
     }
     // Innermost rows that fall through run on the per-point symbolic
     // path; outer dimensions recurse without attributing time.
-    let t0 = if dim == params.len() - 1 && matches!(body, MapBody::Tasklets(_)) {
+    let t0 = if dim == params.len() - 1 && matches!(body, MapBody::Tasklets(..)) {
         worker.tier_clock()
     } else {
         None
@@ -1004,7 +1035,7 @@ pub(crate) fn run_map_body(
     worker: &mut Worker,
 ) -> Result<(), ExecError> {
     match body {
-        MapBody::Tasklets(ts) => {
+        MapBody::Tasklets(ts, _) => {
             for (_, bt) in ts {
                 run_tasklet_point(ctx, sid, bt, worker, None)?;
             }
@@ -1235,6 +1266,9 @@ pub(crate) fn exec_nested(
         unreachable!()
     };
     let mut sub = Executor::new(nested);
+    // The nested run inherits the enclosing run's JIT decision, so a
+    // JIT-off differential run stays JIT-off all the way down.
+    sub.jit = Some(ctx.jit);
     // Nested SDFGs share the caller's scheduler pool when the enclosing
     // context is provably safe (same gate as nested maps): outside any
     // parallel region, no thread-local overlays, not inside a pool tile.

@@ -196,6 +196,13 @@ pub struct Executor<'s> {
     /// registry and the run ledger (`"cpu"` unless a heterogeneous
     /// [`crate::dispatch::Runtime`] drives it).
     pub(crate) run_target: String,
+    /// JIT tier request for subsequent runs: `None` follows the tuned
+    /// configuration (default on), `Some` overrides it. The `SDFG_JIT`
+    /// environment variable gates the tier globally either way.
+    pub(crate) jit: Option<bool>,
+    /// The execution plan consulted by the last `run` (feeds
+    /// [`Executor::lowering_report`]).
+    pub(crate) last_plan: Option<std::sync::Arc<ExecutionPlan>>,
 }
 
 /// Pre-resolved profiling plan: per-scope modes are looked up once per
@@ -301,6 +308,10 @@ pub(crate) struct Ctx<'s> {
     pub(crate) deadline: Option<std::time::Instant>,
     /// Millisecond budget behind `deadline` (for the error message).
     pub(crate) deadline_ms: u64,
+    /// Whether the JIT lowering tier is enabled for this run (also part of
+    /// the plan's compile fingerprint, so lowerings never alias across
+    /// configurations).
+    pub(crate) jit: bool,
 }
 
 impl Ctx<'_> {
@@ -346,6 +357,7 @@ pub(crate) struct Worker<'c, 's> {
     /// (keeps atomics out of inner loops).
     pub(crate) st_points: u64,
     pub(crate) st_native: u64,
+    pub(crate) st_jit: u64,
     /// Lock-free profile, absorbed by the collector at `flush_stats`.
     /// `None` when profiling is off.
     pub(crate) prof: Option<Box<WorkerProfile>>,
@@ -375,6 +387,7 @@ impl<'c, 's> Worker<'c, 's> {
             map_cache: HashMap::new(),
             st_points: 0,
             st_native: 0,
+            st_jit: 0,
             prof,
             cur_map: None,
         }
@@ -396,6 +409,13 @@ impl<'c, 's> Worker<'c, 's> {
                 .native_points
                 .fetch_add(self.st_native, Ordering::Relaxed);
             self.st_native = 0;
+        }
+        if self.st_jit > 0 {
+            self.ctx
+                .stats
+                .jit_points
+                .fetch_add(self.st_jit, Ordering::Relaxed);
+            self.st_jit = 0;
         }
         if let (Some(wp), Some(p)) = (self.prof.take(), self.ctx.prof.as_ref()) {
             if !wp.is_empty() {
@@ -475,6 +495,7 @@ impl<'c, 's> Worker<'c, 's> {
             pcounts: self.pcounts.clone(),
             chunk: self.chunk_param,
             locals,
+            jit: self.ctx.jit,
         }
     }
 
@@ -582,6 +603,8 @@ impl<'s> Executor<'s> {
             deadline_ms: 0,
             owned_transients: HashSet::new(),
             run_target: "cpu".to_string(),
+            jit: None,
+            last_plan: None,
         }
     }
 
@@ -881,6 +904,30 @@ impl<'s> Executor<'s> {
         self.run_with(0, |ex, ctx| ex.drive(ctx))
     }
 
+    /// Enables or disables the JIT native-code lowering tier for
+    /// subsequent runs, overriding the tuned configuration. The `SDFG_JIT`
+    /// environment variable still gates the tier globally.
+    ///
+    /// **Deprecated** in favor of
+    /// [`SessionBuilder::jit`](crate::session::SessionBuilder::jit); kept
+    /// (hidden) for the engine's own internals.
+    #[doc(hidden)]
+    pub fn set_jit(&mut self, on: bool) -> &mut Self {
+        self.jit = Some(on);
+        self
+    }
+
+    /// Per-map lowering decisions recorded by the last `run`: which tier
+    /// each map body was lowered to (`jit`, `native`, `affine-vm`,
+    /// `symbolic`) and, when the JIT tier was enabled but declined, why.
+    /// Empty before the first run (or when no map was planned).
+    pub fn lowering_report(&self) -> Vec<crate::lower::MapLowering> {
+        self.last_plan
+            .as_ref()
+            .map(|p| p.lowerings())
+            .unwrap_or_default()
+    }
+
     /// Shared run protocol: optimize, allocate, lay out buffers, build the
     /// run context, hand control to `drive`, then tear down and snapshot
     /// statistics. [`Executor::run`] drives every state on the host;
@@ -920,6 +967,13 @@ impl<'s> Executor<'s> {
         let sched_before = self.sched.as_ref().map(|p| p.stats());
         let key = PlanKey::new(chash, &self.symbols).with_target(target_tag);
         let (plan, _cached) = self.plan_cache.lookup(key);
+        self.last_plan = Some(plan.clone());
+        // JIT tier enablement: the environment gate wins, then the explicit
+        // override, then the tuned configuration (default on).
+        let jit = crate::jit::env_enabled()
+            && self
+                .jit
+                .unwrap_or_else(|| self.tuned_cfg.as_ref().is_none_or(|c| c.jit));
         // The graph this run executes: the optimized copy when one exists.
         // Borrowing the `opt_sdfg` field directly (not through a helper)
         // keeps the later per-field writes below legal.
@@ -959,6 +1013,7 @@ impl<'s> Executor<'s> {
             grain_ns: self.grain_ns,
             deadline: self.deadline,
             deadline_ms: self.deadline_ms,
+            jit,
         };
         let result = drive(self, &ctx);
         // Move storage back even on error.

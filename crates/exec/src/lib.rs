@@ -34,6 +34,8 @@ mod copy;
 mod cpu;
 pub mod dispatch;
 pub mod engine;
+pub mod jit;
+pub mod lower;
 pub mod plan;
 pub mod pool;
 pub mod sched;
@@ -44,6 +46,7 @@ mod tasklet;
 pub use cpu::CpuBackend;
 pub use dispatch::{Backend, BackendStats, RunCtx, Runtime, RuntimeReport, ScopeStats};
 pub use engine::{ExecError, Executor};
+pub use lower::{LowerTier, MapLowering};
 pub use plan::{CacheStats, PlanCache};
 pub use pool::{BufferPool, PoolStats};
 pub use sched::{SchedPool, SchedStats};

@@ -186,6 +186,9 @@ pub(crate) struct CompileCtx {
     pub chunk: Option<usize>,
     /// Names of thread-local transient overlays (sorted).
     pub locals: Vec<String>,
+    /// Whether the JIT lowering tier was enabled for this run: plans
+    /// lowered with and without compiled kernels must not alias.
+    pub jit: bool,
 }
 
 /// Compiled variants for one program point, each tagged with the context
@@ -289,6 +292,22 @@ impl ExecutionPlan {
             variants.push((ctx, plan));
         }
     }
+
+    /// Lowering decisions of every cached map plan, sorted by (state,
+    /// node). When a map was compiled under several contexts, the most
+    /// recently recorded variant speaks for it.
+    pub fn lowerings(&self) -> Vec<crate::lower::MapLowering> {
+        let map = self.maps.lock();
+        let mut out: Vec<crate::lower::MapLowering> = map
+            .iter()
+            .filter_map(|(&(sid, nid), variants)| {
+                let (_, plan) = variants.last()?;
+                Some(plan.lowering_entry(sid, nid))
+            })
+            .collect();
+        out.sort_by_key(|e| (e.state, e.node));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +375,7 @@ mod tests {
             pcounts: Vec::new(),
             chunk: None,
             locals: Vec::new(),
+            jit: false,
         };
         plan.insert_tasklet(
             (0, 1),

@@ -181,6 +181,7 @@ pub struct SessionBuilder {
     max_transitions: usize,
     tuning_db: Option<std::path::PathBuf>,
     tuned_cfg: Option<TunedConfig>,
+    jit: Option<bool>,
     profiling: Profiling,
     plan_cache: Option<Arc<PlanCache>>,
     pool: Option<Arc<BufferPool>>,
@@ -200,6 +201,7 @@ impl SessionBuilder {
             max_transitions: 10_000_000,
             tuning_db: None,
             tuned_cfg: None,
+            jit: None,
             profiling: Profiling::default(),
             plan_cache: None,
             pool: None,
@@ -229,6 +231,17 @@ impl SessionBuilder {
     pub fn tuned_config(mut self, cfg: TunedConfig) -> SessionBuilder {
         self.tuned_cfg = Some(cfg);
         self.opt = OptLevel::Tuned;
+        self
+    }
+
+    /// Forces the JIT native-code lowering tier on or off for every
+    /// invoke, overriding the tuned configuration (which defaults to on).
+    /// The `SDFG_JIT` environment variable still gates the tier globally:
+    /// `SDFG_JIT=off` wins over `jit(true)`. Disabling the tier never
+    /// changes results — lowering falls back to the interpreted tiers,
+    /// bit for bit.
+    pub fn jit(mut self, on: bool) -> SessionBuilder {
+        self.jit = Some(on);
         self
     }
 
@@ -293,6 +306,7 @@ impl SessionBuilder {
             max_transitions: self.max_transitions,
             tuning_db: self.tuning_db,
             tuned_cfg: self.tuned_cfg,
+            jit: self.jit,
             profiling: self.profiling,
             plan_cache: self.plan_cache.unwrap_or_default(),
             pool: self.pool.unwrap_or_default(),
@@ -324,6 +338,7 @@ pub struct Session {
     max_transitions: usize,
     tuning_db: Option<std::path::PathBuf>,
     tuned_cfg: Option<TunedConfig>,
+    jit: Option<bool>,
     profiling: Profiling,
     plan_cache: Arc<PlanCache>,
     pool: Arc<BufferPool>,
@@ -371,6 +386,7 @@ impl Session {
         ex.opt_level = self.opt;
         ex.opt_report = compiled.report.clone();
         ex.tuned_cfg = compiled.tuned.clone();
+        ex.jit = self.jit;
         ex.grain_ns = compiled.grain_ns;
         ex.sdfg_hash = Some(compiled.hash);
         if let Some((at, ms)) = deadline {

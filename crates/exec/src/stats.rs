@@ -11,6 +11,8 @@ pub struct Stats {
     pub tasklet_points: u64,
     /// Points executed through native kernels instead of the VM.
     pub native_points: u64,
+    /// Points executed through JIT-compiled native code.
+    pub jit_points: u64,
     /// Elements moved by explicit copies (access-to-access, scope copies).
     pub elements_copied: u64,
     /// Map scope launches.
@@ -36,6 +38,7 @@ pub struct Stats {
 pub(crate) struct AtomicStats {
     pub(crate) tasklet_points: AtomicU64,
     pub(crate) native_points: AtomicU64,
+    pub(crate) jit_points: AtomicU64,
     pub(crate) elements_copied: AtomicU64,
     pub(crate) map_launches: AtomicU64,
     pub(crate) parallel_regions: AtomicU64,
@@ -50,6 +53,7 @@ impl AtomicStats {
         Stats {
             tasklet_points: self.tasklet_points.load(Ordering::Relaxed),
             native_points: self.native_points.load(Ordering::Relaxed),
+            jit_points: self.jit_points.load(Ordering::Relaxed),
             elements_copied: self.elements_copied.load(Ordering::Relaxed),
             map_launches: self.map_launches.load(Ordering::Relaxed),
             parallel_regions: self.parallel_regions.load(Ordering::Relaxed),

@@ -35,7 +35,7 @@ pub(crate) enum WindowPlan {
 }
 
 impl WindowPlan {
-    fn is_scalar_fast(&self) -> bool {
+    pub(crate) fn is_scalar_fast(&self) -> bool {
         matches!(self, WindowPlan::Scalar(s) if s.is_fast())
     }
 }

@@ -260,11 +260,32 @@ fn stats_report_native_points() {
     ex.set_array("C", vec![0.0; 4096]);
     let stats = ex.run().unwrap();
     assert_eq!(stats.tasklet_points, 4096);
+    // A hot, recognized body takes a compiled tier: the JIT when a system
+    // C compiler is available, the native micro-kernel otherwise.
     assert_eq!(
-        stats.native_points, 4096,
-        "simple add must take the native path"
+        stats.native_points + stats.jit_points,
+        4096,
+        "simple add must take a compiled path (native or JIT)"
     );
     assert!(ex.array("C").iter().all(|&v| v == 3.0));
+
+    // With the JIT tier disabled the same map lands on the micro-kernel.
+    let mut ex2 = Executor::new(&sdfg);
+    ex2.set_jit(false);
+    ex2.set_symbol("N", 4096);
+    ex2.set_array("A", vec![1.0; 4096]);
+    ex2.set_array("B", vec![2.0; 4096]);
+    ex2.set_array("C", vec![0.0; 4096]);
+    let stats2 = ex2.run().unwrap();
+    assert_eq!(stats2.jit_points, 0, "set_jit(false) disables the JIT tier");
+    assert_eq!(
+        stats2.native_points, 4096,
+        "simple add must take the native path"
+    );
+    assert!(ex2.array("C").iter().all(|&v| v == 3.0));
+    let report = ex2.lowering_report();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report[0].tier, "native");
 }
 
 proptest! {

@@ -164,6 +164,41 @@ impl TrialRecord {
     }
 }
 
+/// One JIT-tier fallback event: a map body that was eligible for native
+/// compilation but ran in the VM tier instead. Shares the ledger file and
+/// sequence space with run records, carrying a `"record":"jit_fallback"`
+/// discriminator as its first field.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JitFallbackRecord {
+    /// Process-wide ledger sequence number (assigned on append).
+    pub seq: u64,
+    /// Content hash (hex) of the graph whose map fell back.
+    pub content_hash: String,
+    /// Map label (state/entry-node scope name) when known.
+    pub map: String,
+    /// Why the JIT tier was not used (`no_compiler`, `compile_failed`,
+    /// `dlopen_failed`, `disabled`, ...).
+    pub reason: String,
+    /// Free-form detail (compiler stderr excerpt, dlerror text; may be
+    /// empty).
+    pub detail: String,
+}
+
+impl JitFallbackRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"record\":\"jit_fallback\",\"seq\":{},\"content_hash\":\"{}\",\
+             \"map\":\"{}\",\"reason\":\"{}\",\"detail\":\"{}\"}}",
+            self.seq,
+            escape(&self.content_hash),
+            escape(&self.map),
+            escape(&self.reason),
+            escape(&self.detail),
+        )
+    }
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -323,9 +358,52 @@ pub fn append_trial(rec: &mut TrialRecord) -> Option<u64> {
     Some(rec.seq)
 }
 
+/// Appends one JIT-fallback record (assigning its `seq` from the shared
+/// sequence), returning the sequence number. No-op when the ledger is
+/// disabled; I/O errors are swallowed like [`append`]'s.
+pub fn append_jit_fallback(rec: &mut JitFallbackRecord) -> Option<u64> {
+    let s = sink();
+    if !s.enabled.load(Ordering::Relaxed) {
+        return None;
+    }
+    let path = s.path.lock().unwrap_or_else(|p| p.into_inner()).clone()?;
+    rec.seq = s.seq.fetch_add(1, Ordering::Relaxed);
+    let line = rec.to_json();
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = res {
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "sdfg-profile: run ledger write to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+    Some(rec.seq)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jit_fallback_record_renders_discriminated_json() {
+        let rec = JitFallbackRecord {
+            seq: 0,
+            content_hash: "aa01".into(),
+            map: "mult[i,j]".into(),
+            reason: "no_compiler".into(),
+            detail: "cc: not found".into(),
+        };
+        let j = rec.to_json();
+        assert!(j.starts_with("{\"record\":\"jit_fallback\""));
+        assert!(j.contains("\"reason\":\"no_compiler\""));
+        assert!(!j.contains('\n'));
+    }
 
     #[test]
     fn trial_record_renders_discriminated_json() {

@@ -98,21 +98,29 @@ pub enum Profiling {
 /// applicable tier per map launch).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tier {
+    /// JIT-compiled native code (`cc`-compiled shared object).
+    Jit = 0,
     /// Recognised kernel pattern executed as a native Rust loop.
-    NativeKernel = 0,
+    NativeKernel = 1,
     /// Compiled affine bytecode loop in the expression VM.
-    AffineVm = 1,
+    AffineVm = 2,
     /// Per-point symbolic evaluation fallback.
-    Symbolic = 2,
+    Symbolic = 3,
 }
 
 impl Tier {
     /// All tiers, in display order.
-    pub const ALL: [Tier; 3] = [Tier::NativeKernel, Tier::AffineVm, Tier::Symbolic];
+    pub const ALL: [Tier; 4] = [
+        Tier::Jit,
+        Tier::NativeKernel,
+        Tier::AffineVm,
+        Tier::Symbolic,
+    ];
 
     /// Short human-readable name.
     pub fn name(self) -> &'static str {
         match self {
+            Tier::Jit => "jit",
             Tier::NativeKernel => "native",
             Tier::AffineVm => "affine-vm",
             Tier::Symbolic => "symbolic",
@@ -191,9 +199,9 @@ impl ScopeStat {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TierBreakdown {
     /// Map points executed per tier (indexed by `Tier as usize`).
-    pub points: [u64; 3],
+    pub points: [u64; 4],
     /// Wall-clock ns spent per tier (0 under counter mode).
-    pub ns: [u64; 3],
+    pub ns: [u64; 4],
 }
 
 impl TierBreakdown {
@@ -205,7 +213,7 @@ impl TierBreakdown {
 
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &TierBreakdown) {
-        for i in 0..3 {
+        for i in 0..4 {
             self.points[i] += other.points[i];
             self.ns[i] += other.ns[i];
         }

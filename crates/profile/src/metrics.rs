@@ -531,6 +531,15 @@ pub struct CoreMetrics {
     /// `sdfg_autotune_trials_total{outcome="rejected"}` — trial discarded
     /// (optimization failed or results diverged from the reference).
     pub autotune_rejected: Counter,
+    /// `sdfg_jit_compiles_total` — map bodies compiled to native code by
+    /// the JIT tier (cache misses that invoked the system C compiler).
+    pub jit_compiles: Counter,
+    /// `sdfg_jit_cache_hits_total` — JIT kernel requests served from the
+    /// in-process registry or the on-disk artifact cache.
+    pub jit_cache_hits: Counter,
+    /// `sdfg_jit_fallbacks_total` — JIT-eligible bodies that fell back to
+    /// the VM tier (no compiler, failed compile/dlopen, or `SDFG_JIT=off`).
+    pub jit_fallbacks: Counter,
 }
 
 /// The process-global core handles.
@@ -694,6 +703,21 @@ fn core_handles() -> &'static CoreMetrics {
         let autotune_improved = autotune("improved");
         let autotune_no_gain = autotune("no_gain");
         let autotune_rejected = autotune("rejected");
+        let jit_compiles = r.counter(
+            "sdfg_jit_compiles_total",
+            "Map bodies compiled to native code by the JIT tier.",
+            &[],
+        );
+        let jit_cache_hits = r.counter(
+            "sdfg_jit_cache_hits_total",
+            "JIT kernel requests served from the in-process or on-disk cache.",
+            &[],
+        );
+        let jit_fallbacks = r.counter(
+            "sdfg_jit_fallbacks_total",
+            "JIT-eligible map bodies that fell back to the VM tier.",
+            &[],
+        );
         CoreMetrics {
             registry: r,
             launches,
@@ -716,6 +740,9 @@ fn core_handles() -> &'static CoreMetrics {
             autotune_improved,
             autotune_no_gain,
             autotune_rejected,
+            jit_compiles,
+            jit_cache_hits,
+            jit_fallbacks,
         }
     })
 }

@@ -31,7 +31,7 @@ use std::path::Path;
 /// the entry layout; [`TuningDb::parse`] rejects a mismatch outright
 /// (stale measurements silently reinterpreted under a new schema are worse
 /// than a cold database).
-pub const SCHEMA_VERSION: i64 = 1;
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// One point in the autotuner's search space: the knob settings that
 /// parameterize [`optimize_tuned`]'s replay of the heuristic phase plus
@@ -56,6 +56,11 @@ pub struct TunedConfig {
     /// scheduler's built-in default. Plumbed to the executor, not a graph
     /// rewrite.
     pub grain_ns: u64,
+    /// Allow the executor's JIT native-code tier for hot map bodies.
+    /// Plumbed to the executor (not a graph rewrite); the executor still
+    /// needs a working C compiler and `SDFG_JIT` unset/on for the tier to
+    /// engage.
+    pub jit: bool,
 }
 
 impl Default for TunedConfig {
@@ -66,6 +71,7 @@ impl Default for TunedConfig {
             vector_width: 4,
             seq_threshold: crate::flow_transforms::SEQUENTIALIZE_BELOW_POINTS,
             grain_ns: 0,
+            jit: true,
         }
     }
 }
@@ -74,7 +80,7 @@ impl fmt::Display for TunedConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fusion={} tiles={:?} width={} seq<{} grain={}",
+            "fusion={} tiles={:?} width={} seq<{} grain={} jit={}",
             if self.fusion { "on" } else { "off" },
             self.tile_sizes,
             self.vector_width,
@@ -84,6 +90,7 @@ impl fmt::Display for TunedConfig {
             } else {
                 format!("{}ns", self.grain_ns)
             },
+            if self.jit { "on" } else { "off" },
         )
     }
 }
@@ -93,9 +100,10 @@ impl TunedConfig {
     pub fn to_json(&self) -> String {
         let tiles: Vec<String> = self.tile_sizes.iter().map(|t| t.to_string()).collect();
         format!(
-            "{{\"fusion\":{},\"grain_ns\":{},\"seq_threshold\":{},\"tile_sizes\":[{}],\"vector_width\":{}}}",
+            "{{\"fusion\":{},\"grain_ns\":{},\"jit\":{},\"seq_threshold\":{},\"tile_sizes\":[{}],\"vector_width\":{}}}",
             self.fusion,
             self.grain_ns,
+            self.jit,
             self.seq_threshold,
             tiles.join(","),
             self.vector_width,
@@ -120,6 +128,7 @@ impl TunedConfig {
             vector_width: j.num_field("vector_width")? as u32,
             seq_threshold: j.num_field("seq_threshold")? as i64,
             grain_ns: j.num_field("grain_ns")? as u64,
+            jit: j.bool_field("jit")?,
         })
     }
 }
@@ -137,6 +146,8 @@ pub enum Knob {
     SeqThreshold(i64),
     /// Set [`TunedConfig::grain_ns`].
     GrainNs(u64),
+    /// Set [`TunedConfig::jit`].
+    Jit(bool),
 }
 
 impl Knob {
@@ -148,6 +159,7 @@ impl Knob {
             Knob::VectorWidth(w) => cfg.vector_width = *w,
             Knob::SeqThreshold(t) => cfg.seq_threshold = *t,
             Knob::GrainNs(g) => cfg.grain_ns = *g,
+            Knob::Jit(b) => cfg.jit = *b,
         }
     }
 
@@ -159,6 +171,7 @@ impl Knob {
             Knob::VectorWidth(w) => format!("width={w}"),
             Knob::SeqThreshold(t) => format!("seq<{t}"),
             Knob::GrainNs(g) => format!("grain={g}ns"),
+            Knob::Jit(b) => format!("jit={}", if *b { "on" } else { "off" }),
         }
     }
 }
@@ -195,6 +208,7 @@ pub fn default_stages() -> Vec<(&'static str, Vec<Knob>)> {
             "grain_ns",
             vec![Knob::GrainNs(5_000), Knob::GrainNs(80_000)],
         ),
+        ("jit", vec![Knob::Jit(false)]),
     ]
 }
 
@@ -571,6 +585,7 @@ mod tests {
             vector_width: 8,
             seq_threshold: 16384,
             grain_ns: 5000,
+            jit: false,
         };
         let j = parse_json(&cfg.to_json()).unwrap();
         assert_eq!(TunedConfig::from_json(&j).unwrap(), cfg);
@@ -690,5 +705,6 @@ mod tests {
         assert_ne!(cfg.vector_width, d.vector_width);
         assert_ne!(cfg.seq_threshold, d.seq_threshold);
         assert_ne!(cfg.grain_ns, d.grain_ns);
+        assert_ne!(cfg.jit, d.jit);
     }
 }

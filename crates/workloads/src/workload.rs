@@ -1,7 +1,7 @@
 //! The uniform workload wrapper used by tests, examples and benches.
 
 use sdfg_core::Sdfg;
-use sdfg_exec::{ExecError, Executor, InstrumentationReport, Profiling, Stats};
+use sdfg_exec::{ExecError, Executor, InstrumentationReport, MapLowering, Profiling, Stats};
 use sdfg_interp::{InterpError, Interpreter};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -23,13 +23,15 @@ pub struct Workload {
 /// What [`Workload::run_exec`] returns: outputs, stats and wall time.
 pub type ExecRun = (HashMap<String, Vec<f64>>, Stats, Duration);
 
-/// What [`Workload::run_exec_profiled`] returns: outputs, stats, wall time
-/// and the instrumentation report.
+/// What [`Workload::run_exec_profiled`] returns: outputs, stats, wall
+/// time, the instrumentation report, and the per-map lowering decisions
+/// (which tier each map body compiled to, and why the JIT declined).
 pub type ProfiledExecRun = (
     HashMap<String, Vec<f64>>,
     Stats,
     Duration,
     InstrumentationReport,
+    Vec<MapLowering>,
 );
 
 impl Workload {
@@ -133,7 +135,8 @@ impl Workload {
             .last_report
             .take()
             .expect("profiled run produces a report");
-        Ok((std::mem::take(&mut ex.arrays), stats, dt, report))
+        let lowerings = ex.lowering_report();
+        Ok((std::mem::take(&mut ex.arrays), stats, dt, report, lowerings))
     }
 
     /// Runs on the reference interpreter; returns outputs.

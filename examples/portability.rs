@@ -23,10 +23,10 @@ fn main() {
     let t0 = Instant::now();
     let (cpu_out, stats, _) = w.run_exec().expect("cpu run");
     println!(
-        "CPU     : {:>9.2} ms  ({} points, {} native)",
+        "CPU     : {:>9.2} ms  ({} points, {} compiled)",
         t0.elapsed().as_secs_f64() * 1e3,
         stats.tasklet_points,
-        stats.native_points
+        stats.native_points + stats.jit_points
     );
 
     // GPU: GPUTransform + the P100 model.

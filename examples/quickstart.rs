@@ -49,9 +49,9 @@ def saxpy(X: dace.float64[N], Y: dace.float64[N]):
 
     assert_eq!(interp.array("Y"), exec.array("Y"), "engines agree");
     println!(
-        "ran {} map points ({} through native kernels); Y[7] = {}",
+        "ran {} map points ({} through compiled tiers); Y[7] = {}",
         stats.tasklet_points,
-        stats.native_points,
+        stats.native_points + stats.jit_points,
         exec.array("Y")[7]
     );
     let _ = DType::F64;
