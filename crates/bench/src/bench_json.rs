@@ -136,6 +136,12 @@ pub struct BenchResult {
     /// Wall-clock milliseconds spent inside the C compiler for this
     /// kernel's measurement (0 when every kernel came from a cache).
     pub jit_compile_ms: Option<f64>,
+    /// Whole-nest native kernel invocations during the JIT measurement
+    /// (collapsed interstate loops plus tile→nest-call dispatches).
+    pub nest_calls: Option<u64>,
+    /// Map-body points executed inside nest kernels during the JIT
+    /// measurement.
+    pub nest_points: Option<u64>,
 }
 
 impl BenchResult {
@@ -304,14 +310,21 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
     // JIT: same warm protocol with the native-code tier enabled. Kernel
     // compilation (when the artifact cache is cold) is paid in warmup,
     // like lowering; the compiler wall-clock is reported separately.
-    let (jit_warm_ms, jit_compile_ms) = if target == Target::Cpu {
+    let (jit_warm_ms, jit_compile_ms, nest_calls, nest_points) = if target == Target::Cpu {
         let jit_before = sdfg_exec::jit::stats();
+        let nest_before = core_snapshot();
         let jsession = w.session().jit(true).build().expect("session");
         let jit_mins = warm_batch_mins(&jsession, w.bindings(), warmup, reps, cfg.repeat);
         let compile_ms = sdfg_exec::jit::stats().compile_ms - jit_before.compile_ms;
-        (Some(best_ms(jit_mins)), Some(compile_ms as f64))
+        let nests = core_snapshot().delta(&nest_before);
+        (
+            Some(best_ms(jit_mins)),
+            Some(compile_ms as f64),
+            Some(nests.nest_calls),
+            Some(nests.nest_points),
+        )
     } else {
-        (None, None)
+        (None, None, None, None)
     };
 
     // Targeted: one heterogeneous-runtime run, verified bit-for-bit
@@ -341,6 +354,8 @@ pub fn bench_kernel(name: &str, cfg: &BenchConfig) -> BenchResult {
         metrics: core_snapshot().delta(&metrics_before),
         jit_warm_ms,
         jit_compile_ms,
+        nest_calls,
+        nest_points,
     }
 }
 
@@ -418,10 +433,12 @@ fn kernel_json(r: &BenchResult, cfg: &BenchConfig) -> String {
     if let (Some(jit_warm), Some(compile_ms)) = (r.jit_warm_ms, r.jit_compile_ms) {
         out.push_str(&format!(
             ",\n  \"jit_warm_ms\": {:.6},\n  \"jit_speedup\": {:.3},\n  \
-             \"jit_compile_ms\": {:.3}",
+             \"jit_compile_ms\": {:.3},\n  \"nest_calls\": {},\n  \"nest_points\": {}",
             jit_warm,
             r.jit_speedup().unwrap_or(0.0),
             compile_ms,
+            r.nest_calls.unwrap_or(0),
+            r.nest_points.unwrap_or(0),
         ));
     }
     if let Some(run) = &r.target_run {
@@ -750,6 +767,14 @@ pub fn run_bench(cfg: &BenchConfig) -> bool {
                     s.nworkers
                 );
             }
+            if let (Some(jit), Some(calls)) = (r.jit_speedup(), r.nest_calls) {
+                println!(
+                    "  jit: {jit:.2}x over interpreted warm | {calls} nest calls, {} nest points | \
+                     {} interstate evals",
+                    r.nest_points.unwrap_or(0),
+                    r.metrics.interstate_evals,
+                );
+            }
             if cfg.json {
                 let path = format!("BENCH_{}.json", r.kernel);
                 std::fs::write(&path, kernel_json(&r, cfg)).expect("write bench json");
@@ -847,6 +872,8 @@ mod tests {
             sched: None,
             jit_warm_ms: None,
             jit_compile_ms: None,
+            nest_calls: None,
+            nest_points: None,
             metrics: CoreSnapshot::default(),
         }
     }

@@ -24,7 +24,7 @@ use std::path::Path;
 
 /// Metric families `obs-check` requires in an exposition produced by a
 /// bench run (the acceptance set from the observability design).
-pub const REQUIRED_FAMILIES: [&str; 8] = [
+pub const REQUIRED_FAMILIES: [&str; 11] = [
     "sdfg_launches_total",
     "sdfg_plan_cache_hits_total",
     "sdfg_bytes_moved_total",
@@ -33,10 +33,13 @@ pub const REQUIRED_FAMILIES: [&str; 8] = [
     "sdfg_jit_compiles_total",
     "sdfg_jit_cache_hits_total",
     "sdfg_jit_fallbacks_total",
+    "sdfg_nest_calls_total",
+    "sdfg_nest_points_total",
+    "sdfg_interstate_evals_total",
 ];
 
 /// Ledger-record fields every JSONL line must carry.
-const LEDGER_NUM_FIELDS: [&str; 10] = [
+const LEDGER_NUM_FIELDS: [&str; 13] = [
     "seq",
     "nthreads",
     "wall_ms",
@@ -47,6 +50,9 @@ const LEDGER_NUM_FIELDS: [&str; 10] = [
     "sched_tiles",
     "sched_steals",
     "states_executed",
+    "nest_calls",
+    "nest_points",
+    "interstate_evals",
 ];
 const LEDGER_STR_FIELDS: [&str; 3] = ["content_hash", "target", "opt_level"];
 
@@ -128,6 +134,9 @@ pub struct CoreSnapshot {
     pub sched_tiles: u64,
     pub sched_steals: u64,
     pub states_executed: u64,
+    pub nest_calls: u64,
+    pub nest_points: u64,
+    pub interstate_evals: u64,
 }
 
 /// Reads the current totals of the global core metric handles.
@@ -145,6 +154,9 @@ pub fn core_snapshot() -> CoreSnapshot {
         sched_tiles: c.sched_tiles.get(),
         sched_steals: c.sched_steals.get(),
         states_executed: c.states_executed.get(),
+        nest_calls: c.nest_calls.get(),
+        nest_points: c.nest_points.get(),
+        interstate_evals: c.interstate_evals.get(),
     }
 }
 
@@ -165,6 +177,11 @@ impl CoreSnapshot {
             sched_tiles: self.sched_tiles.saturating_sub(before.sched_tiles),
             sched_steals: self.sched_steals.saturating_sub(before.sched_steals),
             states_executed: self.states_executed.saturating_sub(before.states_executed),
+            nest_calls: self.nest_calls.saturating_sub(before.nest_calls),
+            nest_points: self.nest_points.saturating_sub(before.nest_points),
+            interstate_evals: self
+                .interstate_evals
+                .saturating_sub(before.interstate_evals),
         }
     }
 
@@ -174,6 +191,7 @@ impl CoreSnapshot {
             "{{\"launches\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
              \"pool_acquires\": {}, \"pool_reuses\": {}, \"states_executed\": {}, \
              \"sched_tiles\": {}, \"sched_steals\": {}, \
+             \"nest_calls\": {}, \"nest_points\": {}, \"interstate_evals\": {}, \
              \"bytes_moved\": {{\"local\": {}, \"h2d\": {}, \"d2h\": {}}}}}",
             self.launches,
             self.plan_cache_hits,
@@ -183,6 +201,9 @@ impl CoreSnapshot {
             self.states_executed,
             self.sched_tiles,
             self.sched_steals,
+            self.nest_calls,
+            self.nest_points,
+            self.interstate_evals,
             self.bytes_local,
             self.bytes_h2d,
             self.bytes_d2h,

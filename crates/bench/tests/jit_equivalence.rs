@@ -15,10 +15,11 @@ use std::collections::HashMap;
 
 const SCALE: usize = 24;
 
-fn run_with_jit(w: &Workload, jit: bool) -> HashMap<String, Vec<f64>> {
+fn run_with_jit(w: &Workload, jit: bool, nthreads: usize) -> HashMap<String, Vec<f64>> {
     let session = w
         .session()
         .jit(jit)
+        .nthreads(nthreads)
         .build()
         .unwrap_or_else(|e| panic!("{}: session build failed: {e}", w.name));
     session
@@ -46,13 +47,17 @@ fn bitwise_mismatches(
     bad
 }
 
-#[test]
-fn polybench_bitwise_identical_with_jit_on_and_off() {
+/// The gate itself: every Polybench kernel, JIT on vs off, at serial,
+/// 2-thread and oversubscribed 8-thread configurations. The thread sweep
+/// pins the whole-nest paths — the serial loop collapse, the serial-map
+/// admission gate, and the parallel tile→nest-call dispatch on the steal
+/// scheduler — against the interpreted tiers, bit for bit.
+fn gate_at(nthreads: usize) {
     let mut failures = Vec::new();
     for k in polybench::all() {
         let w = (k.build)(SCALE);
-        let on = run_with_jit(&w, true);
-        let off = run_with_jit(&w, false);
+        let on = run_with_jit(&w, true, nthreads);
+        let off = run_with_jit(&w, false, nthreads);
         let bad = bitwise_mismatches(&w.check, &on, &off);
         if bad > 0 {
             failures.push(format!("{}: {bad} bitwise mismatches", k.name));
@@ -60,9 +65,24 @@ fn polybench_bitwise_identical_with_jit_on_and_off() {
     }
     assert!(
         failures.is_empty(),
-        "JIT tier diverged from the interpreted tiers:\n{}",
+        "JIT tier diverged from the interpreted tiers at {nthreads} threads:\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn polybench_bitwise_identical_with_jit_on_and_off() {
+    gate_at(1);
+}
+
+#[test]
+fn polybench_bitwise_identical_at_two_threads() {
+    gate_at(2);
+}
+
+#[test]
+fn polybench_bitwise_identical_at_eight_threads() {
+    gate_at(8);
 }
 
 #[test]

@@ -39,6 +39,45 @@
 //! Anything this module cannot prove bitwise-equivalent yields
 //! `Err(reason)`; the executor records the reason and falls back to the
 //! next tier, which is always correct.
+//!
+//! # Nest ABI (v2)
+//!
+//! Whole map nests — including nests whose inner bounds are affine in
+//! outer iteration variables (triangular, banded, trapezoidal) and bodies
+//! of several tasklets with intra-nest dependencies — compile to a second
+//! entry point, [`NEST_ENTRY`]:
+//!
+//! ```c
+//! void sdfg_nest(double *const *bufs, const long long *geo,
+//!                const double *syms,  const long long *bnd,
+//!                long long lo0, long long hi0, long long *npts);
+//! ```
+//!
+//! * `bufs` — one base pointer per bound container slot.
+//! * `geo` — port geometry, one row of `2 + D` entries per port
+//!   (`D` = nest dimension count): `[buf, base, c0 … c_{D-1}]`. Port `p`
+//!   at point `(i0 … i_{D-1})` addresses
+//!   `bufs[geo[pS]][geo[pS+1] + Σ_d i_d·geo[pS+2+d]]` with `S = 2+D`.
+//!   The caller folds symbol values into `base` and pre-validates that
+//!   every reachable address is in bounds — the kernel performs **no
+//!   bounds checks**.
+//! * `bnd` — affine loop bounds, two rows of `1 + D` entries per
+//!   dimension (lower then upper, upper exclusive):
+//!   `[const, k0 … k_{D-1}]`; dimension `d` iterates
+//!   `i_d ∈ [const_lo + Σ_{e<d} i_e·k_e, const_hi + Σ_{e<d} i_e·k_e)`
+//!   with unit step. Dimension 0 ignores its `bnd` rows: its range is the
+//!   `[lo0, hi0)` tile arguments, which is how the steal scheduler
+//!   dispatches one native call per outer-dimension tile.
+//! * `npts` — out-param: number of tasklet executions performed, for the
+//!   caller's instrumentation counters.
+//!
+//! The body is a [`NestSpec`] tree of loops and tasklet calls emitted in
+//! dependency order. Each call mirrors the executor's per-point protocol
+//! exactly (same statement order, same `-ffp-contract=off` discipline);
+//! register accumulation ([`JitOutMode::Accumulate`]) is emitted only as
+//! the dedicated reduction-loop form, whose final combine is skipped for
+//! empty ranges exactly like the native tier's early return. Atomic WCR
+//! stays in Rust: nests containing atomic writes are declined upstream.
 
 use crate::c_expr::vm_expr_to_c;
 use crate::cpu::{lincomb_value_c, mulchain_value_c, pattern_value_c};
@@ -49,6 +88,9 @@ use std::fmt::Write as _;
 
 /// Name of the exported kernel entry point.
 pub const JIT_ENTRY: &str = "sdfg_kernel";
+
+/// Name of the exported nest entry point (ABI v2).
+pub const NEST_ENTRY: &str = "sdfg_nest";
 
 /// WCR reduction operators the JIT supports (`Wcr::Custom` is rejected
 /// upstream, before a spec is built).
@@ -118,6 +160,28 @@ pub struct JitSpec<'a> {
     pub outs: &'a [JitOutMode],
 }
 
+/// Shared C preamble: includes and the helper functions mirroring the
+/// bytecode VM's non-trivial binary operators.
+fn emit_preamble(src: &mut String) {
+    src.push_str("#include <math.h>\n\n");
+    src.push_str(
+        "static double sdfg_mod(double a, double b) { return a - floor(a / b) * b; }\n\
+         static double sdfg_and(double a, double b) { return a == 0.0 ? a : b; }\n\
+         static double sdfg_or(double a, double b) { return a != 0.0 ? a : b; }\n\n",
+    );
+}
+
+/// Addressing scheme for one emission site: how input slot `i` is loaded
+/// and how output slot `j` resolves to a `(base pointer, offset)` pair.
+/// The v1 kernel addresses ports through `(off, stp)` arrays over the loop
+/// variable `k`; nest kernels address ports through `geo` rows over the
+/// nest iteration variables.
+struct AddrCtx<'x> {
+    ind: &'x str,
+    in_expr: &'x dyn Fn(usize) -> String,
+    out_ref: &'x dyn Fn(usize) -> (String, String),
+}
+
 /// Emits the complete C translation unit for a kernel, or the reason it
 /// cannot be emitted bitwise-faithfully.
 pub fn emit_jit_kernel(spec: &JitSpec<'_>) -> Result<String, String> {
@@ -132,12 +196,7 @@ pub fn emit_jit_kernel(spec: &JitSpec<'_>) -> Result<String, String> {
         return Err("register accumulation requires a single native output".into());
     }
     let mut src = String::new();
-    src.push_str("#include <math.h>\n\n");
-    src.push_str(
-        "static double sdfg_mod(double a, double b) { return a - floor(a / b) * b; }\n\
-         static double sdfg_and(double a, double b) { return a == 0.0 ? a : b; }\n\
-         static double sdfg_or(double a, double b) { return a != 0.0 ? a : b; }\n\n",
-    );
+    emit_preamble(&mut src);
     let _ = writeln!(
         src,
         "void {JIT_ENTRY}(const double *const *ins, const long long *in_off,\n\
@@ -149,24 +208,36 @@ pub fn emit_jit_kernel(spec: &JitSpec<'_>) -> Result<String, String> {
         "  (void)ins; (void)in_off; (void)in_stp; (void)outs;\n\
          \x20 (void)out_off; (void)out_stp; (void)syms;\n",
     );
+    let in_expr = |i: usize| format!("ins[{i}][in_off[{i}] + k * in_stp[{i}]]");
+    let out_ref = |j: usize| {
+        (
+            format!("outs[{j}]"),
+            format!("out_off[{j}] + k * out_stp[{j}]"),
+        )
+    };
+    let actx = AddrCtx {
+        ind: "    ",
+        in_expr: &in_expr,
+        out_ref: &out_ref,
+    };
     if acc {
         let JitOutMode::Accumulate(op) = spec.outs[0] else {
             unreachable!()
         };
         src.push_str("  double acc = outs[0][out_off[0]];\n");
         src.push_str("  for (long long k = 0; k < n; ++k) {\n");
-        emit_input_loads(&mut src, spec.n_inputs);
-        emit_native_value(&mut src, &spec.body)?;
+        emit_input_loads(&mut src, spec.n_inputs, &actx);
+        emit_native_value(&mut src, &spec.body, actx.ind)?;
         let _ = writeln!(src, "    acc = {};", op.combine("acc", "val"));
         src.push_str("  }\n  outs[0][out_off[0]] = acc;\n");
     } else {
         src.push_str("  for (long long k = 0; k < n; ++k) {\n");
-        emit_input_loads(&mut src, spec.n_inputs);
+        emit_input_loads(&mut src, spec.n_inputs, &actx);
         match &spec.body {
-            JitBody::Program(prog) => emit_vm_body(&mut src, prog, spec.outs)?,
+            JitBody::Program(prog) => emit_vm_body(&mut src, prog, spec.outs, &actx)?,
             native => {
-                emit_native_value(&mut src, native)?;
-                emit_out_update(&mut src, 0, &spec.outs[0], "val")?;
+                emit_native_value(&mut src, native, actx.ind)?;
+                emit_out_update(&mut src, 0, &spec.outs[0], "val", &actx)?;
             }
         }
         src.push_str("  }\n");
@@ -175,22 +246,20 @@ pub fn emit_jit_kernel(spec: &JitSpec<'_>) -> Result<String, String> {
     Ok(src)
 }
 
-fn emit_input_loads(src: &mut String, n_inputs: usize) {
+fn emit_input_loads(src: &mut String, n_inputs: usize, actx: &AddrCtx<'_>) {
+    let ind = actx.ind;
     for i in 0..n_inputs {
-        let _ = writeln!(
-            src,
-            "    const double v{i} = ins[{i}][in_off[{i}] + k * in_stp[{i}]];"
-        );
+        let _ = writeln!(src, "{ind}const double v{i} = {};", (actx.in_expr)(i));
     }
 }
 
-fn emit_native_value(src: &mut String, body: &JitBody<'_>) -> Result<(), String> {
+fn emit_native_value(src: &mut String, body: &JitBody<'_>, ind: &str) -> Result<(), String> {
     match body {
         JitBody::Pattern(p) => {
-            let _ = writeln!(src, "    double val = {};", pattern_value_c(p));
+            let _ = writeln!(src, "{ind}double val = {};", pattern_value_c(p));
         }
-        JitBody::LinComb(lc) => src.push_str(&lincomb_value_c(lc, "    ")),
-        JitBody::MulChain(mc) => src.push_str(&mulchain_value_c(mc, "    ")),
+        JitBody::LinComb(lc) => src.push_str(&lincomb_value_c(lc, ind)),
+        JitBody::MulChain(mc) => src.push_str(&mulchain_value_c(mc, ind)),
         JitBody::Program(_) => return Err("program body has no native value".into()),
     }
     Ok(())
@@ -198,20 +267,24 @@ fn emit_native_value(src: &mut String, body: &JitBody<'_>) -> Result<(), String>
 
 /// Emits the per-iteration store for output `j` whose body value is in
 /// C variable `val`.
-fn emit_out_update(src: &mut String, j: usize, mode: &JitOutMode, val: &str) -> Result<(), String> {
+fn emit_out_update(
+    src: &mut String,
+    j: usize,
+    mode: &JitOutMode,
+    val: &str,
+    actx: &AddrCtx<'_>,
+) -> Result<(), String> {
+    let ind = actx.ind;
+    let (ptr, off) = (actx.out_ref)(j);
     match mode {
         JitOutMode::Write | JitOutMode::ReadModifyWrite => {
-            let _ = writeln!(
-                src,
-                "    outs[{j}][out_off[{j}] + k * out_stp[{j}]] = {val};"
-            );
+            let _ = writeln!(src, "{ind}{ptr}[{off}] = {val};");
         }
         JitOutMode::CombinePerPoint(op) => {
             let _ = writeln!(
                 src,
-                "    {{ const long long o = out_off[{j}] + k * out_stp[{j}];\n\
-                 \x20     outs[{j}][o] = {}; }}",
-                op.combine(&format!("outs[{j}][o]"), val)
+                "{ind}{{ const long long o = {off};\n{ind}  {ptr}[o] = {}; }}",
+                op.combine(&format!("{ptr}[o]"), val)
             );
         }
         JitOutMode::Accumulate(_) => return Err("accumulate handled separately".into()),
@@ -229,21 +302,21 @@ fn emit_vm_body(
     src: &mut String,
     prog: &TaskletProgram,
     outs: &[JitOutMode],
+    actx: &AddrCtx<'_>,
 ) -> Result<(), String> {
     if outs.len() != prog.outputs.len() {
         return Err("output arity mismatch".into());
     }
+    let ind = actx.ind;
     // Seed output locals.
     for (j, mode) in outs.iter().enumerate() {
         match mode {
             JitOutMode::ReadModifyWrite => {
-                let _ = writeln!(
-                    src,
-                    "    double o{j} = outs[{j}][out_off[{j}] + k * out_stp[{j}]];"
-                );
+                let (ptr, off) = (actx.out_ref)(j);
+                let _ = writeln!(src, "{ind}double o{j} = {ptr}[{off}];");
             }
             JitOutMode::Write | JitOutMode::CombinePerPoint(_) => {
-                let _ = writeln!(src, "    double o{j} = 0.0;");
+                let _ = writeln!(src, "{ind}double o{j} = 0.0;");
             }
             JitOutMode::Accumulate(_) => {
                 return Err("register accumulation on a VM-mirror body".into())
@@ -256,7 +329,7 @@ fn emit_vm_body(
     let mut all_locals: Vec<String> = Vec::new();
     collect_locals(&prog.body, prog, &mut all_locals);
     for l in &all_locals {
-        let _ = writeln!(src, "    double l_{l} = 0.0;");
+        let _ = writeln!(src, "{ind}double l_{l} = 0.0;");
     }
     let mut st = VmEmitState {
         prog,
@@ -264,11 +337,11 @@ fn emit_vm_body(
         definite: Vec::new(),
     };
     for s in &prog.body {
-        st.emit_stmt(s, "    ", src)?;
+        st.emit_stmt(s, ind, src)?;
     }
     // Flush output locals.
     for (j, mode) in outs.iter().enumerate() {
-        emit_out_update(src, j, mode, &format!("o{j}"))?;
+        emit_out_update(src, j, mode, &format!("o{j}"), actx)?;
     }
     Ok(())
 }
@@ -415,6 +488,282 @@ impl VmEmitState<'_> {
             }
         }
     }
+}
+
+// --- whole-nest emission (ABI v2) --------------------------------------------
+
+/// One output binding of a nest tasklet: which global port it writes and
+/// how (see [`JitOutMode`]).
+pub struct NestOut {
+    /// Global port index (row into `geo`).
+    pub port: usize,
+    /// Update mode. `Accumulate` is only valid when the enclosing loop's
+    /// body is exactly this call — the emitter produces the dedicated
+    /// reduction-loop form.
+    pub mode: JitOutMode,
+}
+
+/// One tasklet call site inside the nest.
+pub struct NestTasklet<'a> {
+    /// Body shape, as for [`JitSpec`].
+    pub body: JitBody<'a>,
+    /// Global port index per input slot (row into `geo`).
+    pub ins: Vec<usize>,
+    /// Output bindings in slot order.
+    pub outs: Vec<NestOut>,
+}
+
+/// Loop structure of the nest, emitted in order (= dependency order: the
+/// recognizer only builds specs whose textual order is a valid topological
+/// order of the intra-nest dependencies).
+pub enum NestItem {
+    /// `for (i{dim} = lo_d; i{dim} < hi_d; ++i{dim}) { body }` with the
+    /// bounds taken from the kernel's `bnd` rows (affine in enclosing
+    /// iteration variables). `dim` 0 is reserved for the tile loop.
+    Loop {
+        /// Nest dimension this loop iterates.
+        dim: usize,
+        /// Loop body.
+        body: Vec<NestItem>,
+    },
+    /// Execute `tasklets[idx]` at the current iteration point.
+    Call(usize),
+}
+
+/// Everything the emitter needs to produce one nest kernel.
+pub struct NestSpec<'a> {
+    /// Number of nest dimensions (outermost/tile dimension included).
+    pub ndims: usize,
+    /// Number of port rows in `geo`.
+    pub nports: usize,
+    /// Call sites referenced by [`NestItem::Call`].
+    pub tasklets: Vec<NestTasklet<'a>>,
+    /// Kernel body, nested directly inside the dimension-0 tile loop.
+    pub body: Vec<NestItem>,
+}
+
+/// C literal for a reduction identity (bitwise-identical to the
+/// executor's `f64` seeds, including the infinities).
+fn wcr_identity_c(op: JitWcrOp) -> &'static str {
+    match op {
+        JitWcrOp::Sum => "0.0",
+        JitWcrOp::Product => "1.0",
+        JitWcrOp::Min => "INFINITY",
+        JitWcrOp::Max => "-INFINITY",
+    }
+}
+
+/// `(base pointer, offset)` C expressions for port `p` at the iteration
+/// point spanned by `scope` (the dims of all enclosing loops, in order).
+fn nest_port_ref(ndims: usize, p: usize, scope: &[usize]) -> (String, String) {
+    let row = p * (2 + ndims);
+    let ptr = format!("bufs[geo[{row}]]");
+    let mut off = format!("geo[{}]", row + 1);
+    for &d in scope {
+        let _ = write!(off, " + i{d} * geo[{}]", row + 2 + d);
+    }
+    (ptr, off)
+}
+
+/// C expression for the lower (`hi = false`) or upper (`hi = true`) bound
+/// of dimension `d`, affine in the enclosing iteration variables.
+fn nest_bound_expr(ndims: usize, d: usize, hi: bool, scope: &[usize]) -> String {
+    let row = (2 * d + hi as usize) * (1 + ndims);
+    let mut e = format!("bnd[{row}]");
+    for &s in scope {
+        let _ = write!(e, " + i{s} * bnd[{}]", row + 1 + s);
+    }
+    e
+}
+
+/// Emits the complete C translation unit for a nest kernel, or the reason
+/// it cannot be emitted bitwise-faithfully.
+pub fn emit_nest_kernel(spec: &NestSpec<'_>) -> Result<String, String> {
+    if spec.ndims == 0 {
+        return Err("nest has no dimensions".into());
+    }
+    if spec.body.is_empty() || spec.tasklets.is_empty() {
+        return Err("empty nest body".into());
+    }
+    for t in &spec.tasklets {
+        for &p in t.ins.iter().chain(t.outs.iter().map(|o| &o.port)) {
+            if p >= spec.nports {
+                return Err("port index out of range".into());
+            }
+        }
+    }
+    let mut src = String::new();
+    emit_preamble(&mut src);
+    let _ = writeln!(
+        src,
+        "void {NEST_ENTRY}(double *const *bufs, const long long *geo,\n\
+         \x20             const double *syms, const long long *bnd,\n\
+         \x20             long long lo0, long long hi0, long long *npts) {{"
+    );
+    src.push_str("  (void)bufs; (void)geo; (void)syms; (void)bnd;\n");
+    src.push_str("  long long cnt = 0;\n");
+    src.push_str("  for (long long i0 = lo0; i0 < hi0; ++i0) {\n");
+    let mut scope = vec![0usize];
+    emit_nest_items(&mut src, spec, &spec.body, &mut scope, "    ")?;
+    src.push_str("  }\n  *npts = cnt;\n}\n");
+    Ok(src)
+}
+
+/// If `body` is exactly one call whose single output accumulates, returns
+/// `(call index, op)` so the enclosing loop uses the reduction form.
+fn accumulate_form(spec: &NestSpec<'_>, body: &[NestItem]) -> Option<(usize, JitWcrOp)> {
+    let [NestItem::Call(t)] = body else {
+        return None;
+    };
+    let tk = spec.tasklets.get(*t)?;
+    if tk.outs.len() != 1 {
+        return None;
+    }
+    match tk.outs[0].mode {
+        JitOutMode::Accumulate(op) => Some((*t, op)),
+        _ => None,
+    }
+}
+
+fn emit_nest_items(
+    src: &mut String,
+    spec: &NestSpec<'_>,
+    items: &[NestItem],
+    scope: &mut Vec<usize>,
+    ind: &str,
+) -> Result<(), String> {
+    for item in items {
+        match item {
+            NestItem::Call(t) => emit_nest_call(src, spec, *t, scope, ind)?,
+            NestItem::Loop { dim, body } => {
+                let d = *dim;
+                if d == 0 || d >= spec.ndims {
+                    return Err(format!("bad nest dimension {d}"));
+                }
+                if scope.contains(&d) {
+                    return Err(format!("nest dimension {d} reused"));
+                }
+                let lo = nest_bound_expr(spec.ndims, d, false, scope);
+                let hi = nest_bound_expr(spec.ndims, d, true, scope);
+                let _ = writeln!(src, "{ind}{{");
+                let _ = writeln!(src, "{ind}  const long long lo{d} = {lo};");
+                let _ = writeln!(src, "{ind}  const long long hi{d} = {hi};");
+                if let Some((t, op)) = accumulate_form(spec, body) {
+                    // Reduction loop: identity-seeded register, final
+                    // combine into memory — skipped entirely for empty
+                    // ranges, mirroring the native tier's early return.
+                    let tk = &spec.tasklets[t];
+                    if matches!(tk.body, JitBody::Program(_)) {
+                        return Err("register accumulation on a VM-mirror body".into());
+                    }
+                    let _ = writeln!(src, "{ind}  if (lo{d} < hi{d}) {{");
+                    let _ = writeln!(src, "{ind}    double acc = {};", wcr_identity_c(op));
+                    let _ = writeln!(
+                        src,
+                        "{ind}    for (long long i{d} = lo{d}; i{d} < hi{d}; ++i{d}) {{"
+                    );
+                    scope.push(d);
+                    let inner = format!("{ind}      ");
+                    {
+                        let ndims = spec.ndims;
+                        let in_expr = |i: usize| {
+                            let (ptr, off) = nest_port_ref(ndims, tk.ins[i], scope);
+                            format!("{ptr}[{off}]")
+                        };
+                        let out_ref =
+                            |_j: usize| -> (String, String) { unreachable!("accumulate out") };
+                        let actx = AddrCtx {
+                            ind: &inner,
+                            in_expr: &in_expr,
+                            out_ref: &out_ref,
+                        };
+                        emit_input_loads(src, tk.ins.len(), &actx);
+                        emit_native_value(src, &tk.body, &inner)?;
+                    }
+                    let _ = writeln!(src, "{inner}acc = {};", op.combine("acc", "val"));
+                    let _ = writeln!(src, "{inner}++cnt;");
+                    scope.pop();
+                    let _ = writeln!(src, "{ind}    }}");
+                    // The out port is loop-invariant (its dim-`d`
+                    // coefficient is zero), so address it in the outer
+                    // scope.
+                    let (ptr, off) = nest_port_ref(spec.ndims, tk.outs[0].port, scope);
+                    let _ = writeln!(src, "{ind}    {{ const long long o = {off};");
+                    let _ = writeln!(
+                        src,
+                        "{ind}      {ptr}[o] = {}; }}",
+                        op.combine(&format!("{ptr}[o]"), "acc")
+                    );
+                    let _ = writeln!(src, "{ind}  }}");
+                } else {
+                    let _ = writeln!(
+                        src,
+                        "{ind}  for (long long i{d} = lo{d}; i{d} < hi{d}; ++i{d}) {{"
+                    );
+                    scope.push(d);
+                    let inner = format!("{ind}    ");
+                    emit_nest_items(src, spec, body, scope, &inner)?;
+                    scope.pop();
+                    let _ = writeln!(src, "{ind}  }}");
+                }
+                let _ = writeln!(src, "{ind}}}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emits one tasklet call at the current iteration point. Mirrors the
+/// per-point tiers statement for statement; `Accumulate` outputs are
+/// rejected here (they are only legal as a whole reduction loop).
+fn emit_nest_call(
+    src: &mut String,
+    spec: &NestSpec<'_>,
+    t: usize,
+    scope: &[usize],
+    ind: &str,
+) -> Result<(), String> {
+    let tk = spec
+        .tasklets
+        .get(t)
+        .ok_or_else(|| format!("bad call index {t}"))?;
+    if tk
+        .outs
+        .iter()
+        .any(|o| matches!(o.mode, JitOutMode::Accumulate(_)))
+    {
+        return Err("accumulate output outside a reduction loop".into());
+    }
+    let _ = writeln!(src, "{ind}{{");
+    let inner = format!("{ind}  ");
+    let ndims = spec.ndims;
+    let in_expr = |i: usize| {
+        let (ptr, off) = nest_port_ref(ndims, tk.ins[i], scope);
+        format!("{ptr}[{off}]")
+    };
+    let out_ref = |j: usize| nest_port_ref(ndims, tk.outs[j].port, scope);
+    let actx = AddrCtx {
+        ind: &inner,
+        in_expr: &in_expr,
+        out_ref: &out_ref,
+    };
+    emit_input_loads(src, tk.ins.len(), &actx);
+    match &tk.body {
+        JitBody::Program(prog) => {
+            let modes: Vec<JitOutMode> = tk.outs.iter().map(|o| o.mode).collect();
+            emit_vm_body(src, prog, &modes, &actx)?;
+        }
+        native => {
+            if tk.outs.len() != 1 {
+                return Err("native nest call requires a single output".into());
+            }
+            emit_native_value(src, native, &inner)?;
+            emit_out_update(src, 0, &tk.outs[0].mode, "val", &actx)?;
+        }
+    }
+    let _ = writeln!(src, "{inner}++cnt;");
+    let _ = writeln!(src, "{ind}}}");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -582,5 +931,127 @@ mod tests {
         };
         let src = emit_jit_kernel(&spec).unwrap();
         assert!(src.contains("o0 = l_t;"));
+    }
+
+    // --- nest kernels (ABI v2) ------------------------------------------------
+
+    #[test]
+    fn emits_triangular_reduction_nest() {
+        // The cholesky inner-state shape: a triangular reduction loop
+        // feeding a per-point division tasklet.
+        //   for i1 in [bnd(1)]:                # affine in i0
+        //     acc over i2 in [bnd(2)]:         # A[i,j] += -A[i,k]*A[j,k]
+        //     A[i,j] = A[i,j] / A[j,j]         # program body
+        let mc = MulChain {
+            slots: vec![0, 1],
+            scale: -1.0,
+        };
+        let div = prog("o = a / b", &["a", "b"], &["o"]);
+        let spec = NestSpec {
+            ndims: 3,
+            nports: 6,
+            tasklets: vec![
+                NestTasklet {
+                    body: JitBody::MulChain(&mc),
+                    ins: vec![0, 1],
+                    outs: vec![NestOut {
+                        port: 2,
+                        mode: JitOutMode::Accumulate(JitWcrOp::Sum),
+                    }],
+                },
+                NestTasklet {
+                    body: JitBody::Program(&div),
+                    ins: vec![3, 4],
+                    outs: vec![NestOut {
+                        port: 5,
+                        mode: JitOutMode::Write,
+                    }],
+                },
+            ],
+            body: vec![NestItem::Loop {
+                dim: 1,
+                body: vec![
+                    NestItem::Loop {
+                        dim: 2,
+                        body: vec![NestItem::Call(0)],
+                    },
+                    NestItem::Call(1),
+                ],
+            }],
+        };
+        let src = emit_nest_kernel(&spec).unwrap();
+        assert!(src.contains("void sdfg_nest("));
+        assert!(src.contains("for (long long i0 = lo0; i0 < hi0; ++i0)"));
+        // dim-1 bounds: rows 2 (lo) and 3 (hi) of width 4, affine in i0.
+        assert!(src.contains("const long long lo1 = bnd[8] + i0 * bnd[9];"));
+        assert!(src.contains("const long long hi1 = bnd[12] + i0 * bnd[13];"));
+        // The reduction is identity-seeded and guarded against empty ranges.
+        assert!(src.contains("if (lo2 < hi2) {"));
+        assert!(src.contains("double acc = 0.0;"));
+        assert!(src.contains("acc = (acc + val);"));
+        // Final combine mirrors combine_plain: old + acc.
+        assert!(src.contains("[o] = (bufs[geo[10]][o] + acc); }"));
+        // The division call loads through geo rows 3/4 (width 5) and
+        // stores through row 5.
+        assert!(
+            src.contains("const double v0 = bufs[geo[15]][geo[16] + i0 * geo[17] + i1 * geo[18]];")
+        );
+        assert!(src.contains("o0 = (v0 / v1);"));
+        assert!(src.contains("bufs[geo[25]][geo[26] + i0 * geo[27] + i1 * geo[28]] = o0;"));
+        assert!(src.contains("*npts = cnt;"));
+    }
+
+    #[test]
+    fn nest_min_identity_is_infinity() {
+        let spec = NestSpec {
+            ndims: 2,
+            nports: 2,
+            tasklets: vec![NestTasklet {
+                body: JitBody::Pattern(Pattern::Copy { input: 0 }),
+                ins: vec![0],
+                outs: vec![NestOut {
+                    port: 1,
+                    mode: JitOutMode::Accumulate(JitWcrOp::Min),
+                }],
+            }],
+            body: vec![NestItem::Loop {
+                dim: 1,
+                body: vec![NestItem::Call(0)],
+            }],
+        };
+        let src = emit_nest_kernel(&spec).unwrap();
+        assert!(src.contains("double acc = INFINITY;"));
+        assert!(src.contains("fmin(bufs[geo[4]][o], acc)"));
+    }
+
+    #[test]
+    fn nest_rejects_bad_shapes() {
+        let mk = |body: Vec<NestItem>| NestSpec {
+            ndims: 2,
+            nports: 2,
+            tasklets: vec![NestTasklet {
+                body: JitBody::Pattern(Pattern::Copy { input: 0 }),
+                ins: vec![0],
+                outs: vec![NestOut {
+                    port: 1,
+                    mode: JitOutMode::Accumulate(JitWcrOp::Sum),
+                }],
+            }],
+            body,
+        };
+        // Accumulate outside its reduction loop.
+        assert!(emit_nest_kernel(&mk(vec![NestItem::Call(0)])).is_err());
+        // Dimension 0 is the tile loop; reusing it is a bug.
+        assert!(emit_nest_kernel(&mk(vec![NestItem::Loop {
+            dim: 0,
+            body: vec![NestItem::Call(0)],
+        }]))
+        .is_err());
+        // Out-of-range dimension.
+        assert!(emit_nest_kernel(&mk(vec![NestItem::Loop {
+            dim: 2,
+            body: vec![NestItem::Call(0)],
+        }]))
+        .is_err());
     }
 }

@@ -338,7 +338,17 @@ pub(crate) fn exec_map(
         let (r, workers) = match &tiles {
             Some(ts) => {
                 ctx.stats.parallel_regions.fetch_add(1, Ordering::Relaxed);
-                let r = run_map_steal(ctx, sid, tree, &plan, worker, base, ts, &pool, pmode, pkey);
+                // Whole-nest fast path: one native call per tile running
+                // the full inner nest; falls through to the per-row steal
+                // path on any decline.
+                let r = match crate::nest::try_map_nest_steal(
+                    ctx, &plan, worker, base, pkey, ts, &pool,
+                ) {
+                    Some(r) => r,
+                    None => {
+                        run_map_steal(ctx, sid, tree, &plan, worker, base, ts, &pool, pmode, pkey)
+                    }
+                };
                 (r, pool.nworkers())
             }
             None => {

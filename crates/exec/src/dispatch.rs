@@ -19,18 +19,12 @@ pub(crate) fn interstate_env(ctx: &Ctx, symbols: &Env) -> Env {
     for (name, q) in &ctx.streams {
         env.insert(format!("len_{name}"), q.lock().len() as i64);
     }
-    for (name, desc) in &ctx.sdfg.data {
-        let scalarish = match desc {
-            DataDesc::Scalar(_) => true,
-            DataDesc::Array(_) => ctx.buf(name).map(|b| b.len() == 1).unwrap_or(false),
-            DataDesc::Stream(_) => false,
-        };
-        if scalarish {
-            if let Ok(b) = ctx.buf(name) {
-                if !b.is_empty() {
-                    env.insert(name.clone(), b.read(0).round() as i64);
-                }
-            }
+    // Scalarish containers were classified once at run setup
+    // (`Ctx::scalarish`); only their current values are read here.
+    for (name, slot) in &ctx.scalarish {
+        let b = &ctx.bufs[*slot];
+        if !b.is_empty() {
+            env.insert(name.clone(), b.read(0).round() as i64);
         }
     }
     env
@@ -130,6 +124,7 @@ pub(crate) fn drive_loop(
     max_transitions: usize,
     init_symbols: &Env,
     ctx: &Ctx<'_>,
+    collapse: bool,
     mut visit: impl FnMut(&Ctx<'_>, StateId, &Env) -> Result<(), ExecError>,
 ) -> Result<(), ExecError> {
     let Some(start) = ctx.sdfg.start else {
@@ -162,22 +157,41 @@ pub(crate) fn drive_loop(
             }
         }
         *ctx.stats.state_visits.lock().entry(cur.0).or_insert(0) += 1;
-        let env = interstate_env(ctx, &symbols);
+        // Whole-nest collapse: if `cur` guards a recognized state-machine
+        // loop, run every remaining iteration as one native call and let
+        // the normal edge scan below take the exit edge.
+        if collapse && ctx.nest_jit {
+            crate::nest::try_collapse_loop(ctx, cur, &mut symbols);
+        }
+        // One environment per transition: condition scan and assignments
+        // share it, with assigned symbols folded in incrementally. A
+        // rebuild is only needed when an assignment target is shadowed by
+        // a container value in the interstate environment.
+        let mut env = interstate_env(ctx, &symbols);
         let mut next = None;
+        let mut evals = 0u64;
         for e in ctx.sdfg.graph.out_edges(cur) {
             let t = ctx.sdfg.graph.edge(e);
+            evals += 1;
             if t.condition.eval(&env)? {
                 next = Some((ctx.sdfg.graph.edge_dst(e), t.assignments.clone()));
                 break;
             }
         }
+        ctx.stats
+            .interstate_evals
+            .fetch_add(evals, std::sync::atomic::Ordering::Relaxed);
         let Some((dst, assigns)) = next else {
             return Ok(());
         };
         for (sym, expr) in &assigns {
-            let env = interstate_env(ctx, &symbols);
             let v = expr.eval(&env)?;
             symbols.insert(sym.clone(), v);
+            if ctx.shadow.contains(sym) {
+                env = interstate_env(ctx, &symbols);
+            } else {
+                env.insert(sym.clone(), v);
+            }
         }
         cur = dst;
     }
@@ -419,7 +433,10 @@ impl<'s> Runtime<'s> {
         let rep = &mut report;
         let t0 = std::time::Instant::now();
         let stats = self.exec.run_with(tag, |ex, ctx| {
-            drive_loop(max_transitions, &ex.symbols, ctx, |ctx, sid, env| {
+            // No loop collapse here: the heterogeneous runtime routes
+            // states to backends per schedule, and a collapsed loop could
+            // span states belonging to different targets.
+            drive_loop(max_transitions, &ex.symbols, ctx, false, |ctx, sid, env| {
                 let bidx = match routes.get(&sid.0) {
                     Some(&i) => i,
                     None => {

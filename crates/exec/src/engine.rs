@@ -312,6 +312,20 @@ pub(crate) struct Ctx<'s> {
     /// the plan's compile fingerprint, so lowerings never alias across
     /// configurations).
     pub(crate) jit: bool,
+    /// Whether whole-nest JIT lowering (loop collapse, tile→nest-call
+    /// dispatch) is enabled: `jit` plus the tuned nest knob.
+    pub(crate) nest_jit: bool,
+    /// Content hash of the executed SDFG, for fallback-ledger records.
+    pub(crate) chash: u64,
+    /// Containers whose values the interstate environment exposes as
+    /// pseudo-symbols (scalars and one-element arrays), precomputed as
+    /// (name, slot) so the drive loop's per-transition environment build
+    /// does not rescan every data descriptor.
+    pub(crate) scalarish: Vec<(String, usize)>,
+    /// Names the interstate environment overrides on top of the symbol
+    /// table (scalarish containers and stream lengths): an interstate
+    /// assignment to one of these forces an environment rebuild.
+    pub(crate) shadow: std::collections::HashSet<String>,
 }
 
 impl Ctx<'_> {
@@ -994,6 +1008,27 @@ impl<'s> Executor<'s> {
             buf_index.insert(k.clone(), i);
             bufs.push(SharedBuffer::new(self.arrays.remove(k).unwrap()));
         }
+        // Containers the interstate environment exposes as pseudo-symbols
+        // (mirrors `dispatch::interstate_env`'s per-call classification).
+        let mut scalarish: Vec<(String, usize)> = Vec::new();
+        for (name, desc) in &sdfg.data {
+            let is_scalarish = match desc {
+                DataDesc::Scalar(_) => true,
+                DataDesc::Array(_) => buf_index.get(name).is_some_and(|&i| bufs[i].len() == 1),
+                DataDesc::Stream(_) => false,
+            };
+            if is_scalarish {
+                if let Some(&i) = buf_index.get(name) {
+                    scalarish.push((name.clone(), i));
+                }
+            }
+        }
+        let mut shadow: std::collections::HashSet<String> =
+            scalarish.iter().map(|(n, _)| n.clone()).collect();
+        for name in self.streams.keys() {
+            shadow.insert(format!("len_{name}"));
+        }
+        let nest_jit = jit && self.tuned_cfg.as_ref().is_none_or(|c| c.nest_jit);
         let mut ctx = Ctx {
             sdfg,
             bufs,
@@ -1014,6 +1049,10 @@ impl<'s> Executor<'s> {
             deadline: self.deadline,
             deadline_ms: self.deadline_ms,
             jit,
+            nest_jit,
+            chash,
+            scalarish,
+            shadow,
         };
         let result = drive(self, &ctx);
         // Move storage back even on error.
@@ -1118,6 +1157,15 @@ impl<'s> Executor<'s> {
         if s.states_executed > 0 {
             m.states_executed.add(s.states_executed);
         }
+        if s.nest_calls > 0 {
+            m.nest_calls.add(s.nest_calls);
+        }
+        if s.nest_points > 0 {
+            m.nest_points.add(s.nest_points);
+        }
+        if s.interstate_evals > 0 {
+            m.interstate_evals.add(s.interstate_evals);
+        }
         let par = s.parallel_regions.min(s.map_launches);
         if par > 0 {
             m.map_launches_par.add(par);
@@ -1149,6 +1197,9 @@ impl<'s> Executor<'s> {
                 sched_steals: s.sched_steals,
                 states_executed: s.states_executed,
                 map_launches: s.map_launches,
+                nest_calls: s.nest_calls,
+                nest_points: s.nest_points,
+                interstate_evals: s.interstate_evals,
                 // Tenant/request tags are stamped from the thread's
                 // request scope by `ledger::append`.
                 ..Default::default()
@@ -1158,7 +1209,7 @@ impl<'s> Executor<'s> {
     }
 
     fn drive(&self, ctx: &Ctx<'_>) -> Result<(), ExecError> {
-        crate::dispatch::drive_loop(self.max_transitions, &self.symbols, ctx, exec_state)
+        crate::dispatch::drive_loop(self.max_transitions, &self.symbols, ctx, true, exec_state)
     }
 
     fn prepare(&mut self) -> Result<(), ExecError> {

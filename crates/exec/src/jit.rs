@@ -41,7 +41,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// native tiers.
 pub const CFLAGS: &[&str] = &["-O2", "-fPIC", "-shared", "-ffp-contract=off"];
 
-/// The fixed kernel ABI (see `sdfg_codegen::jit` for the contract).
+/// ABI generation tag mixed into every [`kernel_hash`]: bumping it
+/// invalidates all cached artifacts at once (v2 added the nest entry
+/// point and its widened signature).
+const ABI_TAG: &str = "sdfg-jit-abi-v2";
+
+/// The fixed per-body kernel ABI (see `sdfg_codegen::jit` for the
+/// contract).
 pub type JitFn = unsafe extern "C" fn(
     ins: *const *const f64,
     in_off: *const i64,
@@ -53,25 +59,61 @@ pub type JitFn = unsafe extern "C" fn(
     n: i64,
 );
 
+/// The whole-nest kernel ABI (v2; see `sdfg_codegen::jit` for the
+/// `geo`/`bnd` layout contract).
+pub type NestFn = unsafe extern "C" fn(
+    bufs: *const *mut f64,
+    geo: *const i64,
+    syms: *const f64,
+    bnd: *const i64,
+    lo0: i64,
+    hi0: i64,
+    npts: *mut i64,
+);
+
 /// A loaded, callable kernel. The underlying shared object stays mapped
-/// for the life of the process.
+/// for the life of the process. Holds the raw entry-point address; the
+/// typed accessors transmute it to the ABI the kernel was compiled for
+/// (the loader resolves [`sdfg_codegen::jit::JIT_ENTRY`] or
+/// [`sdfg_codegen::jit::NEST_ENTRY`], so a given kernel only ever has one
+/// valid accessor — callers keep body kernels and nest kernels in
+/// separate plan fields).
 pub struct JitKernel {
     /// Content hash the artifact was cached under.
     pub hash: u64,
-    func: JitFn,
+    sym: *mut std::os::raw::c_void,
 }
 
+// SAFETY: `sym` is the address of immutable, process-lifetime mapped code;
+// calling it concurrently is the whole point (parallel tiles).
+unsafe impl Send for JitKernel {}
+unsafe impl Sync for JitKernel {}
+
 impl JitKernel {
-    /// The kernel entry point.
+    /// The per-body kernel entry point.
     ///
     /// # Safety contract (for callers)
     ///
     /// The generated code performs no bounds checks: every
     /// `off + k*stp` for `k ∈ [0, n)` must be a valid index into the
     /// corresponding slice, and `syms` must hold one value per program
-    /// symbol.
+    /// symbol. Only valid on kernels loaded through [`JIT_ENTRY`]'s
+    /// compile path ([`get_or_compile`]).
+    ///
+    /// [`JIT_ENTRY`]: sdfg_codegen::jit::JIT_ENTRY
     pub fn func(&self) -> JitFn {
-        self.func
+        // SAFETY: the loader resolved this symbol from a kernel emitted
+        // against the v1 signature.
+        unsafe { std::mem::transmute::<*mut std::os::raw::c_void, JitFn>(self.sym) }
+    }
+
+    /// The whole-nest entry point. Only valid on kernels loaded through
+    /// [`get_or_compile_nest`]; the caller must pre-validate every
+    /// address the nest can reach (the kernel performs no bounds checks).
+    pub fn nest_func(&self) -> NestFn {
+        // SAFETY: the loader resolved this symbol from a kernel emitted
+        // against the v2 nest signature.
+        unsafe { std::mem::transmute::<*mut std::os::raw::c_void, NestFn>(self.sym) }
     }
 }
 
@@ -150,6 +192,8 @@ pub fn kernel_hash(source: &str, cc: &CcInfo) -> u64 {
         h
     }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = mix(h, ABI_TAG.as_bytes());
+    h = mix(h, &[0]);
     h = mix(h, source.as_bytes());
     h = mix(h, &[0]);
     h = mix(h, cc.version.as_bytes());
@@ -245,6 +289,18 @@ fn registry() -> &'static Mutex<HashMap<u64, Slot>> {
 /// first compilation and share its result — including its failure, so a
 /// broken kernel is not retried every launch).
 pub fn get_or_compile(source: &str) -> Result<Arc<JitKernel>, String> {
+    get_or_compile_entry(source, sdfg_codegen::jit::JIT_ENTRY)
+}
+
+/// [`get_or_compile`] for whole-nest kernels: same registry and artifact
+/// cache, but the loader resolves the v2 [`NEST_ENTRY`] symbol.
+///
+/// [`NEST_ENTRY`]: sdfg_codegen::jit::NEST_ENTRY
+pub fn get_or_compile_nest(source: &str) -> Result<Arc<JitKernel>, String> {
+    get_or_compile_entry(source, sdfg_codegen::jit::NEST_ENTRY)
+}
+
+fn get_or_compile_entry(source: &str, entry: &str) -> Result<Arc<JitKernel>, String> {
     let cc = cc().ok_or_else(|| "no C compiler found (cc/gcc/clang)".to_string())?;
     let hash = kernel_hash(source, cc);
     let slot: Slot = {
@@ -254,7 +310,7 @@ pub fn get_or_compile(source: &str) -> Result<Arc<JitKernel>, String> {
     let mut fresh = false;
     let res = slot.get_or_init(|| {
         fresh = true;
-        load_or_compile_in(&cache_dir(), source, cc, hash)
+        load_or_compile_in(&cache_dir(), source, cc, hash, entry)
     });
     if !fresh && res.is_ok() {
         cells().cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -271,10 +327,11 @@ pub(crate) fn load_or_compile_in(
     source: &str,
     cc: &CcInfo,
     hash: u64,
+    entry: &str,
 ) -> Result<Arc<JitKernel>, String> {
     let so_path = dir.join(format!("{hash:016x}.so"));
     if so_path.exists() {
-        match load_kernel(&so_path, hash) {
+        match load_kernel(&so_path, hash, entry) {
             Ok(k) => {
                 cells().cache_hits.fetch_add(1, Ordering::Relaxed);
                 sdfg_profile::metrics::core().jit_cache_hits.inc();
@@ -287,7 +344,7 @@ pub(crate) fn load_or_compile_in(
         }
     }
     compile_into(dir, source, cc, hash)?;
-    load_kernel(&so_path, hash)
+    load_kernel(&so_path, hash, entry)
         .inspect_err(|_| {
             let _ = std::fs::remove_file(&so_path);
         })
@@ -346,11 +403,11 @@ mod dl {
 }
 
 #[cfg(unix)]
-fn load_kernel(so_path: &Path, hash: u64) -> Result<Arc<JitKernel>, String> {
+fn load_kernel(so_path: &Path, hash: u64, entry: &str) -> Result<Arc<JitKernel>, String> {
     use std::ffi::{CStr, CString};
     let path = CString::new(so_path.to_string_lossy().as_bytes())
         .map_err(|_| "NUL in artifact path".to_string())?;
-    let entry = CString::new(sdfg_codegen::jit::JIT_ENTRY).expect("static name");
+    let entry_c = CString::new(entry).map_err(|_| "NUL in entry name".to_string())?;
     // SAFETY: plain libdl calls; the handle is intentionally leaked so the
     // mapped code outlives every plan that may cache the function pointer.
     unsafe {
@@ -359,17 +416,12 @@ fn load_kernel(so_path: &Path, hash: u64) -> Result<Arc<JitKernel>, String> {
         if handle.is_null() {
             return Err(dl_error_string());
         }
-        let sym = dl::dlsym(handle, entry.as_ptr());
+        let sym = dl::dlsym(handle, entry_c.as_ptr());
         if sym.is_null() {
-            return Err(format!(
-                "symbol `{}` missing: {}",
-                sdfg_codegen::jit::JIT_ENTRY,
-                dl_error_string()
-            ));
+            return Err(format!("symbol `{entry}` missing: {}", dl_error_string()));
         }
-        let func: JitFn = std::mem::transmute::<*mut std::os::raw::c_void, JitFn>(sym);
         let _ = CStr::from_ptr(path.as_ptr()); // keep the binding obviously alive
-        Ok(Arc::new(JitKernel { hash, func }))
+        Ok(Arc::new(JitKernel { hash, sym }))
     }
 }
 
@@ -387,7 +439,7 @@ fn dl_error_string() -> String {
 }
 
 #[cfg(not(unix))]
-fn load_kernel(_so_path: &Path, _hash: u64) -> Result<Arc<JitKernel>, String> {
+fn load_kernel(_so_path: &Path, _hash: u64, _entry: &str) -> Result<Arc<JitKernel>, String> {
     Err("dynamic loading unsupported on this platform".to_string())
 }
 
@@ -461,7 +513,7 @@ mod tests {
         let Some(cc) = cc() else { return };
         let dir = test_dir("abi");
         let hash = kernel_hash(SRC, cc);
-        let kern = load_or_compile_in(&dir, SRC, cc, hash).unwrap();
+        let kern = load_or_compile_in(&dir, SRC, cc, hash, sdfg_codegen::jit::JIT_ENTRY).unwrap();
         let input = [0.0, 1.0, 2.5, -3.0];
         let mut out = [0.0; 4];
         call(&kern, &input, &mut out);
@@ -484,7 +536,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(&so, b"not a shared object").unwrap();
         let before = stats();
-        let kern = load_or_compile_in(&dir, SRC, cc, hash).unwrap();
+        let kern = load_or_compile_in(&dir, SRC, cc, hash, sdfg_codegen::jit::JIT_ENTRY).unwrap();
         let mut out = [0.0];
         call(&kern, &[4.0], &mut out);
         assert_eq!(out, [9.0]);
@@ -497,7 +549,7 @@ mod tests {
         assert!(so.exists(), "artifact persisted");
 
         // Warm hit: the artifact is mapped without invoking the compiler.
-        load_or_compile_in(&dir, SRC, cc, hash).unwrap();
+        load_or_compile_in(&dir, SRC, cc, hash, sdfg_codegen::jit::JIT_ENTRY).unwrap();
         let after_hit = stats();
         assert_eq!(after_hit.compiles, after_miss.compiles, "hit: no compile");
         assert_eq!(after_hit.cache_hits, after_miss.cache_hits + 1);
@@ -534,5 +586,68 @@ mod tests {
         let before = stats().fallbacks;
         record_fallback(0xabcd, "state0/map", "unsupported_body", "indexed access");
         assert_eq!(stats().fallbacks, before + 1);
+    }
+
+    #[test]
+    fn nest_kernel_roundtrip_triangular() {
+        // Emit a real triangular nest through the v2 emitter, compile it,
+        // and run one tile: for i ∈ [0,4), for j ∈ [0,i): A[4i+j] += 1·1.
+        use sdfg_codegen::jit::{
+            emit_nest_kernel, JitBody, JitOutMode, JitWcrOp, NestItem, NestOut, NestSpec,
+            NestTasklet,
+        };
+        use sdfg_lang::recognize::{BinOpKind, Operand, Pattern};
+        if cc().is_none() {
+            return;
+        }
+        let spec = NestSpec {
+            ndims: 2,
+            nports: 1,
+            tasklets: vec![NestTasklet {
+                body: JitBody::Pattern(Pattern::BinOp {
+                    op: BinOpKind::Add,
+                    a: Operand::Const(0.5),
+                    b: Operand::Const(0.5),
+                }),
+                ins: vec![],
+                outs: vec![NestOut {
+                    port: 0,
+                    mode: JitOutMode::CombinePerPoint(JitWcrOp::Sum),
+                }],
+            }],
+            body: vec![NestItem::Loop {
+                dim: 1,
+                body: vec![NestItem::Call(0)],
+            }],
+        };
+        let src = emit_nest_kernel(&spec).unwrap();
+        let kern = get_or_compile_nest(&src).unwrap();
+        let mut a = [0.0f64; 16];
+        let bufs = [a.as_mut_ptr()];
+        // geo row (width 4): buf 0, base 0, coeffs (4, 1) → A[4i+j].
+        let geo = [0i64, 0, 4, 1];
+        // bnd rows (width 3): dim-0 rows unused; dim 1 is j ∈ [0, i).
+        let bnd = [0i64, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0];
+        let mut npts = 0i64;
+        // SAFETY: geometry above stays inside `a` for i ∈ [0,4).
+        unsafe {
+            (kern.nest_func())(
+                bufs.as_ptr(),
+                geo.as_ptr(),
+                std::ptr::null(),
+                bnd.as_ptr(),
+                0,
+                4,
+                &mut npts,
+            );
+        }
+        // Strict lower triangle of the 4×4 view gets +1.
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if j < i { 1.0 } else { 0.0 };
+                assert_eq!(a[4 * i + j], want, "A[{i}][{j}]");
+            }
+        }
+        assert_eq!(npts, 6);
     }
 }

@@ -36,6 +36,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod jit;
 pub mod lower;
+mod nest;
 pub mod plan;
 pub mod pool;
 pub mod sched;

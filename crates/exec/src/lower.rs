@@ -307,7 +307,7 @@ pub(crate) fn decide_lowering(
     let innermost_dim = worker.pstack.len().saturating_sub(1);
     match jit_candidate(bt, innermost_dim, innermost) {
         Err(reason) => {
-            jit::record_fallback(0, label, "unsupported_body", &reason);
+            jit::record_fallback(ctx.chash, label, "unsupported_body", &reason);
             Lowered {
                 tier,
                 jit: None,
@@ -321,7 +321,7 @@ pub(crate) fn decide_lowering(
                 jit_reason: None,
             },
             Err(e) => {
-                jit::record_fallback(0, label, compile_error_kind(&e), &e);
+                jit::record_fallback(ctx.chash, label, compile_error_kind(&e), &e);
                 Lowered {
                     tier,
                     jit: None,

@@ -1,0 +1,1111 @@
+//! Whole-map-nest JIT lowering (ABI v2).
+//!
+//! PR 9's JIT tier compiles the *innermost* dimension of a hot map; every
+//! enclosing loop level — state-machine loops with interstate back edges,
+//! outer map dimensions — still runs through the interpreter, one state
+//! transition or one kernel launch per row. This module recognizes two
+//! larger shapes and hands each to `codegen::jit`'s nest emitter as a
+//! single C kernel:
+//!
+//! * **State-machine loops** (`try_collapse_loop`): a guard state with a
+//!   `var < end` / `!(var < end)` edge pair whose body is a straight
+//!   chain of single-map or point-tasklet states stepping `var` by one.
+//!   The whole loop — all iterations, all body states — collapses into
+//!   one native call, turning cholesky's ~253k interpreted transitions
+//!   into a handful of calls.
+//! * **Standalone multi-dimensional maps** (`try_map_nest_steal`): the
+//!   steal scheduler's dim-0 tiles each become one native call running
+//!   the full inner nest instead of one interpreted row per outer index.
+//!
+//! Inner bounds may be affine in outer iteration variables (triangular
+//! `k < j`, banded, trapezoidal) and in mutable interstate symbols; both
+//! are carried as coefficient rows in the kernel's `bnd`/`geo` tables and
+//! resolved per launch. Bitwise discipline is inherited from the v1 tier:
+//! the emitter mirrors the interpreter statement for statement, and every
+//! candidate is only admitted when the interpreter would have executed
+//! the same statements in the same order (see the serial-collapse gate).
+
+use crate::affine::{solve, Solved};
+use crate::cpu::{MapBody, MapPlan, TileSet};
+use crate::engine::{Ctx, ExecError, Worker};
+use crate::lower::MapLowering;
+use crate::plan::StatePlan;
+use crate::sched::SchedPool;
+use crate::tasklet::{compile_body_tasklet, BodyTasklet, NativePlan, WindowPlan};
+use sdfg_codegen::jit::{
+    emit_nest_kernel, JitBody, JitOutMode, JitWcrOp, NestItem, NestOut, NestSpec, NestTasklet,
+};
+use sdfg_core::cond::{BoolExpr, CmpOp};
+use sdfg_core::{InterstateEdge, Node, Schedule, Sdfg, State, StateId, Wcr};
+use sdfg_graph::{EdgeId, NodeId};
+use sdfg_symbolic::{Env, Expr};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+// --- affine forms over the nest's global dimension space ---------------------
+
+/// An affine index or bound: `base + Σ coeff·dim + Σ coeff·symbol`, where
+/// the dims are nest iteration variables (compiled into the kernel's
+/// coefficient tables) and the symbols are mutable interstate symbols
+/// (folded into the base at launch time).
+#[derive(Debug)]
+pub(crate) struct NestAffine {
+    base: i64,
+    /// `(global dim index, coefficient)`, ascending by dim.
+    dims: Vec<(usize, i64)>,
+    /// `(mutable symbol, coefficient)`.
+    muts: Vec<(String, i64)>,
+}
+
+impl NestAffine {
+    fn from_solved(s: &Solved, site: &Site) -> Option<NestAffine> {
+        match s {
+            Solved::Const(v) => Some(NestAffine {
+                base: *v,
+                dims: Vec::new(),
+                muts: Vec::new(),
+            }),
+            Solved::Affine { base, coeffs } => {
+                let mut dims = Vec::new();
+                let mut muts = Vec::new();
+                for (i, &c) in coeffs.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    match site.dim_of.get(i)? {
+                        Some(d) => dims.push((*d, c)),
+                        None => muts.push((site.names[i].clone(), c)),
+                    }
+                }
+                dims.sort_by_key(|&(d, _)| d);
+                Some(NestAffine {
+                    base: *base,
+                    dims,
+                    muts,
+                })
+            }
+            Solved::Symbolic(_) => None,
+        }
+    }
+
+    /// The launch-time constant part: base plus the mutable-symbol terms.
+    /// `None` on an unbound symbol or i64 overflow.
+    fn base_at(&self, env: &Env) -> Option<i64> {
+        let mut acc = self.base;
+        for (name, c) in &self.muts {
+            acc = acc.checked_add(c.checked_mul(*env.get(name)?)?)?;
+        }
+        Some(acc)
+    }
+
+    fn coeff(&self, d: usize) -> i64 {
+        self.dims
+            .iter()
+            .find(|&&(dd, _)| dd == d)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+}
+
+/// A compile site: the parameter list tasklets and bounds are solved
+/// against. Scope dims come first (in nest order), then every mutable
+/// interstate symbol not shadowed by a scope dim — so affine dependence
+/// on either kind is captured as a coefficient instead of being baked in
+/// from the current environment.
+struct Site {
+    names: Vec<String>,
+    /// Global dim per parameter position; `None` = mutable symbol.
+    dim_of: Vec<Option<usize>>,
+}
+
+/// Every symbol assigned by any interstate edge: these change during a
+/// run, so their values must never be folded into cached artifacts.
+fn mutable_symbols(sdfg: &Sdfg) -> BTreeSet<String> {
+    let mut m = BTreeSet::new();
+    for sid in sdfg.graph.node_ids() {
+        for e in sdfg.graph.out_edges(sid) {
+            for (name, _) in &sdfg.graph.edge(e).assignments {
+                m.insert(name.clone());
+            }
+        }
+    }
+    m
+}
+
+// --- nest plans --------------------------------------------------------------
+
+/// One `geo` row: a container access whose flat offset is affine in the
+/// nest dims and mutable symbols.
+pub(crate) struct NestPort {
+    slot: usize,
+    addr: NestAffine,
+}
+
+/// One tasklet call site.
+pub(crate) struct NestCall {
+    bt: Arc<BodyTasklet>,
+    /// Emit the VM-mirror program body even when a native recognition
+    /// exists: per-point interpreter contexts always run the VM, and the
+    /// kernel must follow the same statement order to stay bitwise.
+    program: bool,
+    ins: Vec<usize>,
+    outs: Vec<usize>,
+    modes: Vec<JitOutMode>,
+}
+
+impl NestCall {
+    fn jit_body(&self) -> JitBody<'_> {
+        if self.program {
+            return JitBody::Program(&self.bt.prog);
+        }
+        match self.bt.native.as_ref().expect("native body") {
+            NativePlan::Pattern(p) => JitBody::Pattern(*p),
+            NativePlan::LinComb(lc) => JitBody::LinComb(lc),
+            NativePlan::MulChain(mc) => JitBody::MulChain(mc),
+        }
+    }
+}
+
+/// A compiled nest kernel plus everything needed to marshal a launch.
+pub(crate) struct NestCore {
+    pub(crate) ndims: usize,
+    ports: Vec<NestPort>,
+    /// `(lo, hi)` per dim `1..ndims` (index `d - 1`); dim 0 is the tile
+    /// range passed per call.
+    bounds: Vec<(NestAffine, NestAffine)>,
+    calls: Vec<NestCall>,
+    /// Common symbol table of every VM-mirror body, resolved per launch.
+    syms: Vec<String>,
+    kernel: Arc<crate::jit::JitKernel>,
+    /// Lowering-report rows for the maps this nest absorbed.
+    pub(crate) rows: Vec<MapLowering>,
+}
+
+/// A collapsible state-machine loop: guard state, loop variable, end
+/// expression, compiled nest.
+pub(crate) struct LoopNestPlan {
+    pub(crate) var: String,
+    pub(crate) end: Expr,
+    pub(crate) core: NestCore,
+}
+
+/// A standalone multi-dim map compiled as a nest, dispatched per tile.
+pub(crate) struct MapNestPlan {
+    pub(crate) core: NestCore,
+}
+
+/// Marshalled launch arguments, shared by every tile of one launch (only
+/// the `[lo0, hi0)` tile range varies per call).
+pub(crate) struct NestArgs {
+    bufs: Vec<*mut f64>,
+    geo: Vec<i64>,
+    syms: Vec<f64>,
+    bnd: Vec<i64>,
+    /// Whether dim-0 tiles are provably write-disjoint (every output's
+    /// dim-0 term dominates the reach of all inner dims), making parallel
+    /// tile dispatch bitwise order-independent.
+    pub(crate) parallel_ok: bool,
+}
+
+// The raw buffer pointers alias the executor's `SharedBuffer`s, whose
+// aliasing discipline (disjoint tiles / race-checked WCR) is established
+// by the launch validation before any tile runs.
+unsafe impl Send for NestArgs {}
+unsafe impl Sync for NestArgs {}
+
+// --- builder -----------------------------------------------------------------
+
+struct NestBuilder<'c, 's> {
+    ctx: &'c Ctx<'s>,
+    /// Interstate environment minus every mutable symbol: exactly the
+    /// launch-invariant bindings, safe to bake into cached plans.
+    env0: Env,
+    muts: BTreeSet<String>,
+    /// Global dim names, outermost first (`dims[0]` = tile dimension).
+    dims: Vec<String>,
+    /// Dims enclosing every body state (the loop variable for collapsed
+    /// loops; empty for standalone maps, whose dims are all their own).
+    outer: Vec<usize>,
+    bounds: Vec<(NestAffine, NestAffine)>,
+    ports: Vec<NestPort>,
+    calls: Vec<NestCall>,
+    body: Vec<NestItem>,
+    syms: Option<Vec<String>>,
+    rows: Vec<MapLowering>,
+    /// Whether map states must pass the serial-collapse gate (true for
+    /// state-machine loops, whose body the interpreter runs serially).
+    serial_gate: bool,
+}
+
+impl<'c, 's> NestBuilder<'c, 's> {
+    fn new(ctx: &'c Ctx<'s>, symbols: &Env, serial_gate: bool) -> Self {
+        let muts = mutable_symbols(ctx.sdfg);
+        let mut env0 = symbols.clone();
+        for m in &muts {
+            env0.remove(m);
+        }
+        NestBuilder {
+            ctx,
+            env0,
+            muts,
+            dims: Vec::new(),
+            outer: Vec::new(),
+            bounds: Vec::new(),
+            ports: Vec::new(),
+            calls: Vec::new(),
+            body: Vec::new(),
+            syms: None,
+            rows: Vec::new(),
+            serial_gate,
+        }
+    }
+
+    fn alloc_dim(&mut self, name: &str) -> Result<usize, String> {
+        if self.dims.iter().any(|d| d == name) {
+            return Err(format!("shadowed iteration variable `{name}`"));
+        }
+        self.dims.push(name.to_string());
+        Ok(self.dims.len() - 1)
+    }
+
+    /// The compile site for a body element enclosed by `scope` dims.
+    fn site(&self, scope: &[usize]) -> Site {
+        let mut names: Vec<String> = scope.iter().map(|&d| self.dims[d].clone()).collect();
+        let mut dim_of: Vec<Option<usize>> = scope.iter().map(|&d| Some(d)).collect();
+        for m in &self.muts {
+            if !names.iter().any(|n| n == m) {
+                names.push(m.clone());
+                dim_of.push(None);
+            }
+        }
+        Site { names, dim_of }
+    }
+
+    fn add_port(&mut self, data: &str, w: &WindowPlan, site: &Site) -> Result<usize, String> {
+        let WindowPlan::Scalar(sv) = w else {
+            return Err("non-scalar memlet window".into());
+        };
+        let addr = NestAffine::from_solved(sv, site)
+            .ok_or_else(|| "symbolic memlet offset".to_string())?;
+        let slot = *self
+            .ctx
+            .buf_index
+            .get(data)
+            .ok_or_else(|| format!("unbound container `{data}`"))?;
+        self.ports.push(NestPort { slot, addr });
+        Ok(self.ports.len() - 1)
+    }
+
+    fn push_call(
+        &mut self,
+        bt: Arc<BodyTasklet>,
+        program: bool,
+        modes: Vec<JitOutMode>,
+        site: &Site,
+    ) -> Result<usize, String> {
+        if program {
+            // The enclosing dims are C loop variables, frozen per launch
+            // in `syms` — a body reading one as a symbol would see the
+            // launch-time value instead of the per-point value.
+            for s in &bt.prog.symbols {
+                let is_dim = site
+                    .names
+                    .iter()
+                    .zip(&site.dim_of)
+                    .any(|(n, d)| d.is_some() && n == s);
+                if is_dim {
+                    return Err(format!("body reads iteration variable `{s}` as a symbol"));
+                }
+            }
+            // `emit_vm_body` indexes `syms` by each program's own symbol
+            // positions, so every VM-mirror body must share one table.
+            match &self.syms {
+                None => self.syms = Some(bt.prog.symbols.clone()),
+                Some(t) if *t == bt.prog.symbols => {}
+                Some(_) => return Err("differing symbol tables across nest tasklets".into()),
+            }
+        }
+        let mut ins = Vec::with_capacity(bt.ins.len());
+        for p in &bt.ins {
+            if p.stream {
+                return Err("stream input".into());
+            }
+            ins.push(self.add_port(&p.data, &p.window, site)?);
+        }
+        let mut outs = Vec::with_capacity(bt.outs.len());
+        for o in &bt.outs {
+            if o.stream {
+                return Err("stream output".into());
+            }
+            if o.log {
+                return Err("write-log output".into());
+            }
+            outs.push(self.add_port(&o.data, &o.window, site)?);
+        }
+        self.calls.push(NestCall {
+            bt,
+            program,
+            ins,
+            outs,
+            modes,
+        });
+        Ok(self.calls.len() - 1)
+    }
+
+    /// Adds one state of a collapsed loop body: a chain of point tasklets
+    /// or a single all-tasklet map scope.
+    fn add_state(&mut self, sid: StateId) -> Result<(), String> {
+        let state = self.ctx.sdfg.state(sid);
+        let splan = match self.ctx.plan.state(sid.0) {
+            Some(p) => p,
+            None => {
+                let tree = sdfg_core::scope::scope_tree(state).map_err(|e| e.to_string())?;
+                let order = state.topological_order();
+                self.ctx.plan.insert_state(sid.0, StatePlan { tree, order })
+            }
+        };
+        let mut tasklets = Vec::new();
+        let mut entries = Vec::new();
+        for &n in &splan.order {
+            if splan.tree.scope_of(n).is_some() {
+                continue;
+            }
+            match state.graph.node(n) {
+                Node::Access { .. } => check_access(state, n)?,
+                Node::Tasklet { .. } => tasklets.push(n),
+                Node::MapEntry(_) => entries.push(n),
+                Node::MapExit { .. } => {}
+                _ => return Err("unsupported node kind in loop body".into()),
+            }
+        }
+        match (tasklets.len(), entries.len()) {
+            (_, 0) => {
+                for t in tasklets {
+                    self.add_point_tasklet(sid, t)?;
+                }
+                Ok(())
+            }
+            (0, 1) => self.add_map(sid, entries[0], state, &splan),
+            _ => Err("state mixes maps and point tasklets".into()),
+        }
+    }
+
+    /// A top-level tasklet executed once per dim-0 iteration, mirrored as
+    /// a VM body (the interpreter always runs these through the VM).
+    fn add_point_tasklet(&mut self, sid: StateId, n: NodeId) -> Result<(), String> {
+        let site = self.site(&self.outer.clone());
+        let bt = compile_body_tasklet(self.ctx, sid, n, &site.names, &self.env0)
+            .map_err(|e| e.to_string())?;
+        let modes = point_modes(&bt)?;
+        let idx = self.push_call(Arc::new(bt), true, modes, &site)?;
+        self.body.push(NestItem::Call(idx));
+        Ok(())
+    }
+
+    fn add_map(
+        &mut self,
+        sid: StateId,
+        entry: NodeId,
+        state: &State,
+        splan: &StatePlan,
+    ) -> Result<(), String> {
+        let Node::MapEntry(scope) = state.graph.node(entry) else {
+            return Err("not a map entry".into());
+        };
+        if !matches!(
+            scope.schedule,
+            Schedule::CpuMulticore | Schedule::Sequential
+        ) {
+            return Err(format!("unsupported schedule {:?}", scope.schedule));
+        }
+        if scope.params.is_empty() || scope.params.len() != scope.ranges.len() {
+            return Err("malformed map ranges".into());
+        }
+        for e in state.graph.in_edges(entry) {
+            let df = state.graph.edge(e);
+            let dynamic = df
+                .dst_conn
+                .as_deref()
+                .is_some_and(|c| !c.starts_with("IN_"));
+            if dynamic && !df.memlet.is_empty() {
+                return Err("dynamic-range connector".into());
+            }
+        }
+        let children: Vec<NodeId> = splan
+            .order
+            .iter()
+            .copied()
+            .filter(|&n| splan.tree.scope_of(n) == Some(entry))
+            .collect();
+        if children.is_empty()
+            || children
+                .iter()
+                .any(|&n| !matches!(state.graph.node(n), Node::Tasklet { .. }))
+        {
+            return Err("map body is not straight-line tasklets".into());
+        }
+        let d_base = self.dims.len();
+        for p in &scope.params {
+            self.alloc_dim(p)?;
+        }
+        for (m, r) in scope.ranges.iter().enumerate() {
+            let d = d_base + m;
+            let mut sc = self.outer.clone();
+            sc.extend(d_base..d);
+            let site = self.site(&sc);
+            if !matches!(solve(&r.step, &site.names, &self.env0), Solved::Const(1)) {
+                return Err("non-unit map step".into());
+            }
+            if !matches!(solve(&r.tile, &site.names, &self.env0), Solved::Const(1)) {
+                return Err("tiled map range".into());
+            }
+            let lo = NestAffine::from_solved(&solve(&r.start, &site.names, &self.env0), &site)
+                .ok_or_else(|| "non-affine map bound".to_string())?;
+            let hi = NestAffine::from_solved(&solve(&r.end, &site.names, &self.env0), &site)
+                .ok_or_else(|| "non-affine map bound".to_string())?;
+            if d > 0 {
+                self.bounds.push((lo, hi));
+            }
+        }
+        let mut sc = self.outer.clone();
+        sc.extend(d_base..d_base + scope.params.len());
+        let site = self.site(&sc);
+        let mut bts = Vec::with_capacity(children.len());
+        for &c in &children {
+            let bt = compile_body_tasklet(self.ctx, sid, c, &site.names, &self.env0)
+                .map_err(|e| e.to_string())?;
+            bts.push(Arc::new(bt));
+        }
+        if self.serial_gate {
+            // Collapse absorbs the map into one serial native call, so it
+            // is only admissible when the interpreter would also have run
+            // it serially: Sequential schedule, or a loop-invariant WCR
+            // output over the chunk dimension — the exact condition that
+            // makes the write atomic and fails the scheduler's
+            // determinism gate, forcing the serial path.
+            let p0 = self.outer.len();
+            let serial = scope.schedule == Schedule::Sequential
+                || bts.iter().any(|bt| {
+                    bt.outs.iter().any(|o| {
+                    o.wcr.is_some()
+                        && matches!(&o.window, WindowPlan::Scalar(sv) if sv.coeff(p0) == Some(0))
+                })
+                });
+            if !serial {
+                return Err("parallel-profitable map (left on the steal scheduler)".into());
+            }
+        }
+        let innermost_pos = self.outer.len() + scope.params.len() - 1;
+        let mut items = Vec::new();
+        if bts.len() == 1 {
+            let bt = bts.into_iter().next().expect("one tasklet");
+            let (program, modes) = innermost_modes(&bt, innermost_pos)?;
+            items.push(NestItem::Call(self.push_call(bt, program, modes, &site)?));
+        } else {
+            for bt in bts {
+                let modes = point_modes(&bt)?;
+                items.push(NestItem::Call(self.push_call(bt, true, modes, &site)?));
+            }
+        }
+        for d in (d_base..d_base + scope.params.len()).rev() {
+            if d == 0 {
+                // The kernel's own tile loop iterates dim 0.
+                continue;
+            }
+            items = vec![NestItem::Loop {
+                dim: d,
+                body: items,
+            }];
+        }
+        self.body.extend(items);
+        self.rows.push(MapLowering {
+            state: sid.0,
+            node: entry.0,
+            label: scope.label.clone(),
+            tier: "jit",
+            jit_reason: None,
+        });
+        Ok(())
+    }
+
+    fn finish(self) -> Result<NestCore, String> {
+        let NestBuilder {
+            dims,
+            bounds,
+            ports,
+            calls,
+            body,
+            syms,
+            rows,
+            ..
+        } = self;
+        if calls.is_empty() {
+            return Err("empty nest".into());
+        }
+        let ndims = dims.len();
+        let tasklets: Vec<NestTasklet<'_>> = calls
+            .iter()
+            .map(|c| NestTasklet {
+                body: c.jit_body(),
+                ins: c.ins.clone(),
+                outs: c
+                    .outs
+                    .iter()
+                    .zip(&c.modes)
+                    .map(|(&port, &mode)| NestOut { port, mode })
+                    .collect(),
+            })
+            .collect();
+        let spec = NestSpec {
+            ndims,
+            nports: ports.len(),
+            tasklets,
+            body,
+        };
+        let src = emit_nest_kernel(&spec)?;
+        drop(spec);
+        let kernel = crate::jit::get_or_compile_nest(&src)?;
+        Ok(NestCore {
+            ndims,
+            ports,
+            bounds,
+            calls,
+            syms: syms.unwrap_or_default(),
+            kernel,
+            rows,
+        })
+    }
+}
+
+/// Rejects access nodes whose edges the interpreter would execute as
+/// copies (`exec_access`): container-to-container out-edges and
+/// local-storage writes from a scope entry.
+fn check_access(state: &State, n: NodeId) -> Result<(), String> {
+    let data = state.graph.node(n).access_data().unwrap_or_default();
+    for e in state.graph.out_edges(n) {
+        let df = state.graph.edge(e);
+        if df.memlet.is_empty() {
+            continue;
+        }
+        if matches!(
+            state.graph.node(state.graph.edge_dst(e)),
+            Node::Access { .. }
+        ) {
+            return Err("container-to-container copy in nest body".into());
+        }
+    }
+    for e in state.graph.in_edges(n) {
+        let df = state.graph.edge(e);
+        if df.memlet.is_empty() {
+            continue;
+        }
+        if state.graph.node(state.graph.edge_src(e)).is_scope_entry()
+            && df.memlet.data_name() != data
+        {
+            return Err("local-storage copy in nest body".into());
+        }
+    }
+    Ok(())
+}
+
+fn wcr_op(w: &Wcr) -> Option<JitWcrOp> {
+    match w {
+        Wcr::Sum => Some(JitWcrOp::Sum),
+        Wcr::Product => Some(JitWcrOp::Product),
+        Wcr::Min => Some(JitWcrOp::Min),
+        Wcr::Max => Some(JitWcrOp::Max),
+        Wcr::Custom(_) => None,
+    }
+}
+
+/// Output modes for the sole tasklet of a map scope — the position the v1
+/// tier's try-in-order dispatch handles, mirrored mode for mode (minus
+/// the atomic restriction: nest calls over one tile are serial, and
+/// parallel dispatch is separately guarded by the launch-time
+/// write-disjointness check).
+fn innermost_modes(
+    bt: &BodyTasklet,
+    innermost_pos: usize,
+) -> Result<(bool, Vec<JitOutMode>), String> {
+    if bt.outs.is_empty() {
+        return Err("no output ports".into());
+    }
+    let mut modes = Vec::with_capacity(bt.outs.len());
+    for o in &bt.outs {
+        let coeff = match &o.window {
+            WindowPlan::Scalar(sv) => sv.coeff(innermost_pos),
+            _ => None,
+        };
+        let mode = match &o.wcr {
+            None => {
+                if bt.native.is_some() {
+                    JitOutMode::Write
+                } else {
+                    // The VM seeds plain scalar outputs from memory.
+                    JitOutMode::ReadModifyWrite
+                }
+            }
+            Some(w) => {
+                let op = wcr_op(w).ok_or("custom WCR")?;
+                let accumulates = coeff == Some(0)
+                    && matches!(
+                        bt.native,
+                        Some(NativePlan::Pattern(_)) | Some(NativePlan::MulChain(_))
+                    );
+                if accumulates {
+                    JitOutMode::Accumulate(op)
+                } else {
+                    JitOutMode::CombinePerPoint(op)
+                }
+            }
+        };
+        modes.push(mode);
+    }
+    Ok((bt.native.is_none(), modes))
+}
+
+/// Output modes for a tasklet the interpreter executes through
+/// `run_tasklet_point` (top-level tasklets; every tasklet of a multi-body
+/// map): always the VM protocol — plain outputs are seeded from memory,
+/// WCR outputs combine per point.
+fn point_modes(bt: &BodyTasklet) -> Result<Vec<JitOutMode>, String> {
+    if bt.outs.is_empty() {
+        return Err("no output ports".into());
+    }
+    let mut modes = Vec::with_capacity(bt.outs.len());
+    for o in &bt.outs {
+        modes.push(match &o.wcr {
+            None => JitOutMode::ReadModifyWrite,
+            Some(w) => JitOutMode::CombinePerPoint(wcr_op(w).ok_or("custom WCR")?),
+        });
+    }
+    Ok(modes)
+}
+
+/// Maps a build-decline reason onto the taxonomy surfaced by the fallback
+/// ledger and `sdfg_jit_fallbacks_total`.
+fn decline_kind(reason: &str) -> &'static str {
+    let r = reason;
+    if r.contains("compiler") || r.contains("compile") || r.contains("dlopen") {
+        "nest-compile-failed"
+    } else if r.contains("bound")
+        || r.contains("step")
+        || r.contains("tiled")
+        || r.contains("offset")
+    {
+        "nest-nonaffine-bounds"
+    } else if r.contains("state")
+        || r.contains("edge")
+        || r.contains("guard")
+        || r.contains("schedule")
+        || r.contains("scheduler")
+        || r.contains("node")
+        || r.contains("copy")
+        || r.contains("variable `")
+    {
+        "nest-unsupported-structure"
+    } else {
+        "nest-unsupported-body"
+    }
+}
+
+// --- state-machine loop recognition ------------------------------------------
+
+fn loop_edge(e: &InterstateEdge) -> Option<(String, Expr)> {
+    if !e.assignments.is_empty() {
+        return None;
+    }
+    if let BoolExpr::Cmp(CmpOp::Lt, Expr::Sym(v), end) = &e.condition {
+        return Some((v.clone(), end.clone()));
+    }
+    None
+}
+
+fn build_loop_nest(ctx: &Ctx, guard: StateId, symbols: &Env) -> Result<LoopNestPlan, String> {
+    let sdfg = ctx.sdfg;
+    let edges: Vec<EdgeId> = sdfg.graph.out_edges(guard).collect();
+    let [e0, e1] = edges[..] else {
+        return Err("guard state needs exactly two out edges".into());
+    };
+    let (body_e, exit_e, var, end) = match (loop_edge(sdfg.graph.edge(e0)), sdfg.graph.edge(e1)) {
+        (Some((v, end)), _) => (e0, e1, v, end),
+        _ => match loop_edge(sdfg.graph.edge(e1)) {
+            Some((v, end)) => (e1, e0, v, end),
+            None => return Err("guard edges are not a `var < end` pair".into()),
+        },
+    };
+    let body_cond = sdfg.graph.edge(body_e).condition.clone();
+    if sdfg.graph.edge(exit_e).condition != BoolExpr::Not(Box::new(body_cond)) {
+        return Err("exit edge is not the guard's negation".into());
+    }
+    // The guard must read pure interstate symbols: container-backed or
+    // stream-length names would make the collapsed trip count diverge
+    // from the interpreter's per-iteration re-evaluation.
+    let hygienic = |s: &str| -> bool { !sdfg.data.contains_key(s) && !s.starts_with("len_") };
+    if !hygienic(&var) {
+        return Err("loop variable shadows a container".into());
+    }
+    let mut free = BTreeSet::new();
+    end.collect_symbols(&mut free);
+    if free.iter().any(|s| s == &var || !hygienic(s)) {
+        return Err("loop bound reads a container or the loop variable".into());
+    }
+    // Walk the body: a straight chain of states returning to the guard,
+    // whose back edge steps `var` by exactly one.
+    let mut body_states = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::from([guard.0]);
+    let mut cur = sdfg.graph.edge_dst(body_e);
+    let back_edge = loop {
+        if !seen.insert(cur.0) {
+            return Err("loop body revisits a state".into());
+        }
+        body_states.push(cur);
+        if body_states.len() > 8 {
+            return Err("loop body chain too long".into());
+        }
+        let outs: Vec<EdgeId> = sdfg.graph.out_edges(cur).collect();
+        let [e] = outs[..] else {
+            return Err("loop body state branches".into());
+        };
+        let ie = sdfg.graph.edge(e);
+        if !ie.condition.is_always() {
+            return Err("conditional edge inside loop body".into());
+        }
+        if sdfg.graph.edge_dst(e) == guard {
+            break e;
+        }
+        if !ie.assignments.is_empty() {
+            return Err("assignment on interior loop edge".into());
+        }
+        cur = sdfg.graph.edge_dst(e);
+    };
+    let back = sdfg.graph.edge(back_edge);
+    let [(avar, aexpr)] = &back.assignments[..] else {
+        return Err("back edge must step exactly the loop variable".into());
+    };
+    if avar != &var {
+        return Err("back edge steps a different symbol".into());
+    }
+    let probe = |v: i64| {
+        let mut env = Env::new();
+        env.insert(var.clone(), v);
+        aexpr.eval(&env).ok()
+    };
+    if probe(0) != Some(1) || probe(3) != Some(4) || probe(7) != Some(8) {
+        return Err("non-unit loop increment".into());
+    }
+    let mut b = NestBuilder::new(ctx, symbols, true);
+    b.alloc_dim(&var)?;
+    b.outer = vec![0];
+    for sid in body_states {
+        b.add_state(sid)?;
+    }
+    let core = b.finish()?;
+    Ok(LoopNestPlan { var, end, core })
+}
+
+/// Collapse hook, called by the drive loop after executing `cur` (when
+/// the JIT tier is enabled): if `cur` is the guard of a recognized loop,
+/// run every remaining iteration as one native call and advance the loop
+/// variable to its exit value. On any decline — structural, compile, or
+/// launch-time — the interpreter path proceeds unchanged.
+pub(crate) fn try_collapse_loop(ctx: &Ctx, cur: StateId, symbols: &mut Env) {
+    // Loop guards are empty states with exactly two successors (body and
+    // exit); everything else leaves immediately — without recording a
+    // fallback, so init/exit glue states do not pollute the ledger.
+    if ctx.sdfg.state(cur).graph.node_count() != 0 || ctx.sdfg.graph.out_edges(cur).count() != 2 {
+        return;
+    }
+    // The serial-collapse gate reasons about the steal scheduler's
+    // behaviour; under the legacy spawn-per-launch scheduler a map it
+    // admits could still have run in parallel.
+    if ctx.sched.is_none() && ctx.nthreads > 1 {
+        return;
+    }
+    let cached = ctx.plan.loop_nest(cur.0);
+    let plan = match cached {
+        Some(Ok(p)) => p,
+        Some(Err(_)) => return,
+        None => {
+            let res = build_loop_nest(ctx, cur, symbols).map(Arc::new);
+            if let Err(reason) = &res {
+                let label = format!("loop@{}", ctx.sdfg.state(cur).label);
+                crate::jit::record_fallback(ctx.chash, &label, decline_kind(reason), reason);
+            }
+            match ctx.plan.insert_loop_nest(cur.0, res) {
+                Ok(p) => p,
+                Err(_) => return,
+            }
+        }
+    };
+    let Some(&lo0) = symbols.get(&plan.var) else {
+        return;
+    };
+    let Ok(hi0) = plan.end.eval(symbols) else {
+        return;
+    };
+    if lo0 >= hi0 {
+        return;
+    }
+    let Some(args) = marshal(ctx, &plan.core, symbols, lo0, hi0) else {
+        return;
+    };
+    let npts = run_nest(&plan.core, &args, lo0, hi0);
+    let st = &ctx.stats;
+    st.tasklet_points.fetch_add(npts as u64, Ordering::Relaxed);
+    st.jit_points.fetch_add(npts as u64, Ordering::Relaxed);
+    st.nest_calls.fetch_add(1, Ordering::Relaxed);
+    st.nest_points.fetch_add(npts as u64, Ordering::Relaxed);
+    // A unit-step loop exits with `var == hi0`; the normal edge scan then
+    // takes the exit edge and applies its assignments.
+    symbols.insert(plan.var.clone(), hi0);
+}
+
+// --- standalone map nests ----------------------------------------------------
+
+fn build_map_nest(
+    ctx: &Ctx,
+    pkey: (u32, u32),
+    plan: &MapPlan,
+    env: &Env,
+) -> Result<MapNestPlan, String> {
+    let MapBody::Tasklets(ts, _) = &plan.body else {
+        return Err("generic map body".into());
+    };
+    let [(tnode, _)] = &ts[..] else {
+        return Err("multi-tasklet standalone map".into());
+    };
+    let mut b = NestBuilder::new(ctx, env, false);
+    for p in &plan.params {
+        b.alloc_dim(p)?;
+    }
+    for (d, r) in plan.ranges.iter().enumerate() {
+        let sc: Vec<usize> = (0..d).collect();
+        let site = b.site(&sc);
+        if !matches!(solve(&r.step, &site.names, &b.env0), Solved::Const(1)) {
+            return Err("non-unit map step".into());
+        }
+        if !matches!(solve(&r.tile, &site.names, &b.env0), Solved::Const(1)) {
+            return Err("tiled map range".into());
+        }
+        if d > 0 {
+            let lo = NestAffine::from_solved(&solve(&r.start, &site.names, &b.env0), &site)
+                .ok_or_else(|| "non-affine map bound".to_string())?;
+            let hi = NestAffine::from_solved(&solve(&r.end, &site.names, &b.env0), &site)
+                .ok_or_else(|| "non-affine map bound".to_string())?;
+            b.bounds.push((lo, hi));
+        }
+    }
+    let sc: Vec<usize> = (0..plan.params.len()).collect();
+    let site = b.site(&sc);
+    let bt = compile_body_tasklet(ctx, NodeId(pkey.0), *tnode, &site.names, &b.env0)
+        .map_err(|e| e.to_string())?;
+    let (program, modes) = innermost_modes(&bt, plan.params.len() - 1)?;
+    let idx = b.push_call(Arc::new(bt), program, modes, &site)?;
+    let mut items = vec![NestItem::Call(idx)];
+    for d in (1..plan.params.len()).rev() {
+        items = vec![NestItem::Loop {
+            dim: d,
+            body: items,
+        }];
+    }
+    b.body = items;
+    b.rows.push(MapLowering {
+        state: pkey.0,
+        node: pkey.1,
+        label: plan.label.clone(),
+        tier: "jit",
+        jit_reason: None,
+    });
+    let core = b.finish()?;
+    Ok(MapNestPlan { core })
+}
+
+/// Steal-scheduler hook: run a multi-dim map's tiles as whole-nest native
+/// calls (one per tile) instead of one interpreted dispatch per outer
+/// index. Returns `None` to fall through to the per-row steal path — the
+/// launch, including its write-disjointness proof, must validate before
+/// any tile runs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_map_nest_steal(
+    ctx: &Ctx,
+    plan: &MapPlan,
+    worker: &Worker,
+    base: usize,
+    pkey: (u32, u32),
+    tiles: &TileSet,
+    pool: &SchedPool,
+) -> Option<Result<(), ExecError>> {
+    if !ctx.nest_jit {
+        return None;
+    }
+    let TileSet::Dim0 { step: 1, ranges } = tiles else {
+        return None;
+    };
+    if ranges.is_empty() || base != 0 || !worker.locals.is_empty() || !plan.dyn_edges.is_empty() {
+        return None;
+    }
+    let MapBody::Tasklets(ts, _) = &plan.body else {
+        return None;
+    };
+    if ts.len() != 1 || plan.params.len() < 2 {
+        return None;
+    }
+    let core = match ctx.plan.map_nest(pkey) {
+        Some(Ok(p)) => p,
+        Some(Err(_)) => return None,
+        None => {
+            let res = build_map_nest(ctx, pkey, plan, &worker.env).map(Arc::new);
+            if let Err(reason) = &res {
+                crate::jit::record_fallback(ctx.chash, &plan.label, decline_kind(reason), reason);
+            }
+            match ctx.plan.insert_map_nest(pkey, res) {
+                Ok(p) => p,
+                Err(_) => return None,
+            }
+        }
+    };
+    let lo0 = ranges.first()?.0;
+    let hi0 = ranges.last()?.1;
+    let args = marshal(ctx, &core.core, &worker.env, lo0, hi0)?;
+    if !args.parallel_ok {
+        return None;
+    }
+    let total = std::sync::atomic::AtomicI64::new(0);
+    let core_ref = &core.core;
+    let args_ref = &args;
+    let tile_fn = |_slot: usize, t: usize| {
+        let (lo, hi) = ranges[t];
+        let n = run_nest(core_ref, args_ref, lo, hi);
+        total.fetch_add(n, Ordering::Relaxed);
+    };
+    pool.run(ranges.len(), &tile_fn);
+    let n = total.load(Ordering::Relaxed) as u64;
+    let st = &ctx.stats;
+    st.tasklet_points.fetch_add(n, Ordering::Relaxed);
+    st.jit_points.fetch_add(n, Ordering::Relaxed);
+    st.nest_calls
+        .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+    st.nest_points.fetch_add(n, Ordering::Relaxed);
+    Some(Ok(()))
+}
+
+// --- launch marshalling ------------------------------------------------------
+
+/// `[min, max]` of an affine form over the per-dim iteration intervals.
+fn affine_interval(base: i128, a: &NestAffine, ivals: &[(i128, i128)]) -> (i128, i128) {
+    let mut lo = base;
+    let mut hi = base;
+    for &(d, c) in &a.dims {
+        let c = c as i128;
+        let (x, y) = ivals[d];
+        if c >= 0 {
+            lo += c * x;
+            hi += c * y;
+        } else {
+            lo += c * y;
+            hi += c * x;
+        }
+    }
+    (lo, hi)
+}
+
+/// Resolves launch-time constants and validates the launch: every port
+/// offset must stay in bounds over a conservative superset of the
+/// iteration space (so the interpreter's defensive clamps can never fire
+/// on an admitted launch), every symbol must be bound, and the
+/// write-disjointness of dim-0 tiles is established for the parallel
+/// path. `None` falls back to the interpreter bitwise-identically.
+fn marshal(ctx: &Ctx, core: &NestCore, env: &Env, lo0: i64, hi0: i64) -> Option<NestArgs> {
+    let ndims = core.ndims;
+    // Per-dim iteration intervals, ascending: dim d's bounds only read
+    // dims < d, so each interval closes over the previous ones.
+    let mut ivals: Vec<(i128, i128)> = Vec::with_capacity(ndims);
+    ivals.push((lo0 as i128, (hi0 - 1) as i128));
+    for d in 1..ndims {
+        let (lo, hi) = &core.bounds[d - 1];
+        let lo_b = lo.base_at(env)? as i128;
+        let hi_b = hi.base_at(env)? as i128;
+        let (lo_min, _) = affine_interval(lo_b, lo, &ivals);
+        let (_, hi_max) = affine_interval(hi_b, hi, &ivals);
+        let a = lo_min;
+        ivals.push((a, (hi_max - 1).max(a)));
+    }
+    let mut syms = Vec::with_capacity(core.syms.len());
+    for s in &core.syms {
+        syms.push(*env.get(s)? as f64);
+    }
+    let mut bufs = Vec::with_capacity(core.ports.len());
+    let mut geo = Vec::with_capacity(core.ports.len() * (2 + ndims));
+    for (p, port) in core.ports.iter().enumerate() {
+        let buf = ctx.bufs.get(port.slot)?;
+        let len = buf.len() as i128;
+        let base = port.addr.base_at(env)?;
+        let (omin, omax) = affine_interval(base as i128, &port.addr, &ivals);
+        if omin < 0 || omax >= len {
+            return None;
+        }
+        bufs.push(unsafe { buf.as_mut_slice() }.as_mut_ptr());
+        geo.push(p as i64);
+        geo.push(base);
+        for d in 0..ndims {
+            geo.push(port.addr.coeff(d));
+        }
+    }
+    let mut bnd = vec![0i64; 2 * ndims * (1 + ndims)];
+    for d in 1..ndims {
+        let (lo, hi) = &core.bounds[d - 1];
+        let lr = (2 * d) * (1 + ndims);
+        let hr = (2 * d + 1) * (1 + ndims);
+        bnd[lr] = lo.base_at(env)?;
+        bnd[hr] = hi.base_at(env)?;
+        for k in 0..ndims {
+            bnd[lr + 1 + k] = lo.coeff(k);
+            bnd[hr + 1 + k] = hi.coeff(k);
+        }
+    }
+    // Tiles are write-disjoint when, for every output, one dim-0 step
+    // moves the offset further than the whole reach of the inner dims:
+    // |c0| > Σ |c_d|·span_d implies two different i0 values can never
+    // alias, so tile execution order is unobservable.
+    let parallel_ok = core.calls.iter().all(|c| {
+        c.outs.iter().all(|&p| {
+            let a = &core.ports[p].addr;
+            let c0 = (a.coeff(0) as i128).abs();
+            if c0 == 0 {
+                return false;
+            }
+            let mut reach: i128 = 0;
+            for (d, &(x, y)) in ivals.iter().enumerate().take(ndims).skip(1) {
+                reach += (a.coeff(d) as i128).abs() * (y - x).max(0);
+            }
+            c0 > reach
+        })
+    });
+    Some(NestArgs {
+        bufs,
+        geo,
+        syms,
+        bnd,
+        parallel_ok,
+    })
+}
+
+/// One native call: runs the full inner nest for dim-0 range `[lo0, hi0)`
+/// and returns the number of tasklet executions.
+fn run_nest(core: &NestCore, args: &NestArgs, lo0: i64, hi0: i64) -> i64 {
+    let mut npts: i64 = 0;
+    unsafe {
+        (core.kernel.nest_func())(
+            args.bufs.as_ptr(),
+            args.geo.as_ptr(),
+            args.syms.as_ptr(),
+            args.bnd.as_ptr(),
+            lo0,
+            hi0,
+            &mut npts,
+        )
+    };
+    npts
+}

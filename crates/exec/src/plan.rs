@@ -202,6 +202,10 @@ pub(crate) struct StatePlan {
     pub order: Vec<NodeId>,
 }
 
+/// Cache of whole-nest lowerings keyed by `K`; `Err` caches a decline
+/// reason so each recognizer runs once per plan.
+type NestCache<K, P> = Mutex<HashMap<K, Result<Arc<P>, String>>>;
+
 /// The cached lowering of one (SDFG, symbol bindings) pair.
 #[derive(Default)]
 pub(crate) struct ExecutionPlan {
@@ -214,6 +218,14 @@ pub(crate) struct ExecutionPlan {
     tasklets: Variants<BodyTasklet>,
     /// Compiled map plans, same keying scheme.
     maps: Variants<MapPlan>,
+    /// Whole-nest lowerings of state-machine loops, keyed by guard state
+    /// id. `Err` caches a decline so the recognizer runs once per plan.
+    /// Built from launch-invariant bindings only (mutable interstate
+    /// symbols are carried as coefficients), so no per-context variants
+    /// are needed; only JIT-enabled runs consult these.
+    loop_nests: NestCache<u32, crate::nest::LoopNestPlan>,
+    /// Whole-nest lowerings of standalone maps, keyed by (state, node).
+    map_nests: NestCache<(u32, u32), crate::nest::MapNestPlan>,
     /// Adaptive grain-size state for the work-stealing scheduler, keyed by
     /// `(state, node)`. Lives here so per-launch timing feedback survives
     /// exactly as long as the lowered plan does (and is shared across
@@ -235,6 +247,8 @@ impl ExecutionPlan {
             Some(_) => {
                 self.tasklets.lock().clear();
                 self.maps.lock().clear();
+                self.loop_nests.lock().clear();
+                self.map_nests.lock().clear();
                 *layout = Some(names.to_vec());
             }
             None => *layout = Some(names.to_vec()),
@@ -293,18 +307,76 @@ impl ExecutionPlan {
         }
     }
 
+    /// Cached whole-nest lowering (or decline) of a state-machine loop.
+    pub(crate) fn loop_nest(
+        &self,
+        sid: u32,
+    ) -> Option<Result<Arc<crate::nest::LoopNestPlan>, String>> {
+        self.loop_nests.lock().get(&sid).cloned()
+    }
+
+    /// Records (get-or-insert) a loop-nest build result.
+    pub(crate) fn insert_loop_nest(
+        &self,
+        sid: u32,
+        res: Result<Arc<crate::nest::LoopNestPlan>, String>,
+    ) -> Result<Arc<crate::nest::LoopNestPlan>, String> {
+        self.loop_nests.lock().entry(sid).or_insert(res).clone()
+    }
+
+    /// Cached whole-nest lowering (or decline) of a standalone map.
+    pub(crate) fn map_nest(
+        &self,
+        key: (u32, u32),
+    ) -> Option<Result<Arc<crate::nest::MapNestPlan>, String>> {
+        self.map_nests.lock().get(&key).cloned()
+    }
+
+    /// Records (get-or-insert) a map-nest build result.
+    pub(crate) fn insert_map_nest(
+        &self,
+        key: (u32, u32),
+        res: Result<Arc<crate::nest::MapNestPlan>, String>,
+    ) -> Result<Arc<crate::nest::MapNestPlan>, String> {
+        self.map_nests.lock().entry(key).or_insert(res).clone()
+    }
+
     /// Lowering decisions of every cached map plan, sorted by (state,
     /// node). When a map was compiled under several contexts, the most
-    /// recently recorded variant speaks for it.
+    /// recently recorded variant speaks for it; maps absorbed into a
+    /// whole-nest kernel report the `jit` tier regardless of (or in the
+    /// absence of) their per-map plan.
     pub fn lowerings(&self) -> Vec<crate::lower::MapLowering> {
         let map = self.maps.lock();
-        let mut out: Vec<crate::lower::MapLowering> = map
+        let mut rows: HashMap<(u32, u32), crate::lower::MapLowering> = map
             .iter()
             .filter_map(|(&(sid, nid), variants)| {
                 let (_, plan) = variants.last()?;
-                Some(plan.lowering_entry(sid, nid))
+                Some(((sid, nid), plan.lowering_entry(sid, nid)))
             })
             .collect();
+        drop(map);
+        for nest in self
+            .loop_nests
+            .lock()
+            .values()
+            .filter_map(|r| r.as_ref().ok())
+        {
+            for row in &nest.core.rows {
+                rows.insert((row.state, row.node), row.clone());
+            }
+        }
+        for nest in self
+            .map_nests
+            .lock()
+            .values()
+            .filter_map(|r| r.as_ref().ok())
+        {
+            for row in &nest.core.rows {
+                rows.insert((row.state, row.node), row.clone());
+            }
+        }
+        let mut out: Vec<crate::lower::MapLowering> = rows.into_values().collect();
         out.sort_by_key(|e| (e.state, e.node));
         out
     }

@@ -13,6 +13,14 @@ pub struct Stats {
     pub native_points: u64,
     /// Points executed through JIT-compiled native code.
     pub jit_points: u64,
+    /// Whole-nest native calls (collapsed state-machine loops and
+    /// tile-dispatched map nests).
+    pub nest_calls: u64,
+    /// Points executed inside whole-nest native calls (subset of
+    /// `jit_points`).
+    pub nest_points: u64,
+    /// Interstate edge condition evaluations performed by the drive loop.
+    pub interstate_evals: u64,
     /// Elements moved by explicit copies (access-to-access, scope copies).
     pub elements_copied: u64,
     /// Map scope launches.
@@ -39,6 +47,9 @@ pub(crate) struct AtomicStats {
     pub(crate) tasklet_points: AtomicU64,
     pub(crate) native_points: AtomicU64,
     pub(crate) jit_points: AtomicU64,
+    pub(crate) nest_calls: AtomicU64,
+    pub(crate) nest_points: AtomicU64,
+    pub(crate) interstate_evals: AtomicU64,
     pub(crate) elements_copied: AtomicU64,
     pub(crate) map_launches: AtomicU64,
     pub(crate) parallel_regions: AtomicU64,
@@ -54,6 +65,9 @@ impl AtomicStats {
             tasklet_points: self.tasklet_points.load(Ordering::Relaxed),
             native_points: self.native_points.load(Ordering::Relaxed),
             jit_points: self.jit_points.load(Ordering::Relaxed),
+            nest_calls: self.nest_calls.load(Ordering::Relaxed),
+            nest_points: self.nest_points.load(Ordering::Relaxed),
+            interstate_evals: self.interstate_evals.load(Ordering::Relaxed),
             elements_copied: self.elements_copied.load(Ordering::Relaxed),
             map_launches: self.map_launches.load(Ordering::Relaxed),
             parallel_regions: self.parallel_regions.load(Ordering::Relaxed),

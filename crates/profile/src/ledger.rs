@@ -55,6 +55,13 @@ pub struct RunRecord {
     pub states_executed: u64,
     /// Map scopes launched.
     pub map_launches: u64,
+    /// Whole-nest native kernel invocations (collapsed loops + tile
+    /// dispatches).
+    pub nest_calls: u64,
+    /// Map-body points executed inside nest kernels.
+    pub nest_points: u64,
+    /// Interstate edge conditions evaluated by the state-machine driver.
+    pub interstate_evals: u64,
     /// Serving-layer tenant the run belonged to (empty outside a request
     /// scope; omitted from the JSON when empty).
     pub tenant: String,
@@ -73,7 +80,8 @@ impl RunRecord {
              \"pool_acquires\":{},\"pool_reuses\":{},\
              \"bytes_moved\":{},\"h2d_bytes\":{},\"d2h_bytes\":{},\
              \"sched_tiles\":{},\"sched_steals\":{},\
-             \"states_executed\":{},\"map_launches\":{}",
+             \"states_executed\":{},\"map_launches\":{},\
+             \"nest_calls\":{},\"nest_points\":{},\"interstate_evals\":{}",
             self.seq,
             escape(&self.content_hash),
             escape(&self.target),
@@ -91,6 +99,9 @@ impl RunRecord {
             self.sched_steals,
             self.states_executed,
             self.map_launches,
+            self.nest_calls,
+            self.nest_points,
+            self.interstate_evals,
         );
         // Request tags are additive so existing ledger consumers (which
         // check only the required fields) keep parsing batch-run records.

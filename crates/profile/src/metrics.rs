@@ -540,6 +540,16 @@ pub struct CoreMetrics {
     /// `sdfg_jit_fallbacks_total` — JIT-eligible bodies that fell back to
     /// the VM tier (no compiler, failed compile/dlopen, or `SDFG_JIT=off`).
     pub jit_fallbacks: Counter,
+    /// `sdfg_nest_calls_total` — whole-nest native kernel invocations
+    /// (collapsed interstate loops plus tile→nest-call map dispatches).
+    pub nest_calls: Counter,
+    /// `sdfg_nest_points_total` — map-body points executed inside
+    /// whole-nest native kernels.
+    pub nest_points: Counter,
+    /// `sdfg_interstate_evals_total` — interstate edge conditions
+    /// evaluated by the state-machine driver (collapsed loops skip their
+    /// per-iteration share).
+    pub interstate_evals: Counter,
 }
 
 /// The process-global core handles.
@@ -718,6 +728,21 @@ fn core_handles() -> &'static CoreMetrics {
             "JIT-eligible map bodies that fell back to the VM tier.",
             &[],
         );
+        let nest_calls = r.counter(
+            "sdfg_nest_calls_total",
+            "Whole-nest native kernel invocations (loop collapses and tile dispatches).",
+            &[],
+        );
+        let nest_points = r.counter(
+            "sdfg_nest_points_total",
+            "Map-body points executed inside whole-nest native kernels.",
+            &[],
+        );
+        let interstate_evals = r.counter(
+            "sdfg_interstate_evals_total",
+            "Interstate edge conditions evaluated by the state-machine driver.",
+            &[],
+        );
         CoreMetrics {
             registry: r,
             launches,
@@ -743,6 +768,9 @@ fn core_handles() -> &'static CoreMetrics {
             jit_compiles,
             jit_cache_hits,
             jit_fallbacks,
+            nest_calls,
+            nest_points,
+            interstate_evals,
         }
     })
 }

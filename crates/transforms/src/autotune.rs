@@ -31,7 +31,7 @@ use std::path::Path;
 /// the entry layout; [`TuningDb::parse`] rejects a mismatch outright
 /// (stale measurements silently reinterpreted under a new schema are worse
 /// than a cold database).
-pub const SCHEMA_VERSION: i64 = 2;
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// One point in the autotuner's search space: the knob settings that
 /// parameterize [`optimize_tuned`]'s replay of the heuristic phase plus
@@ -61,6 +61,10 @@ pub struct TunedConfig {
     /// needs a working C compiler and `SDFG_JIT` unset/on for the tier to
     /// engage.
     pub jit: bool,
+    /// Allow whole-nest JIT lowering (state-machine loop collapse and
+    /// tile-to-nest-kernel dispatch) on top of the per-map JIT tier.
+    /// Ignored when `jit` is off.
+    pub nest_jit: bool,
 }
 
 impl Default for TunedConfig {
@@ -72,6 +76,7 @@ impl Default for TunedConfig {
             seq_threshold: crate::flow_transforms::SEQUENTIALIZE_BELOW_POINTS,
             grain_ns: 0,
             jit: true,
+            nest_jit: true,
         }
     }
 }
@@ -80,7 +85,7 @@ impl fmt::Display for TunedConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fusion={} tiles={:?} width={} seq<{} grain={} jit={}",
+            "fusion={} tiles={:?} width={} seq<{} grain={} jit={} nest={}",
             if self.fusion { "on" } else { "off" },
             self.tile_sizes,
             self.vector_width,
@@ -91,6 +96,7 @@ impl fmt::Display for TunedConfig {
                 format!("{}ns", self.grain_ns)
             },
             if self.jit { "on" } else { "off" },
+            if self.nest_jit { "on" } else { "off" },
         )
     }
 }
@@ -100,10 +106,11 @@ impl TunedConfig {
     pub fn to_json(&self) -> String {
         let tiles: Vec<String> = self.tile_sizes.iter().map(|t| t.to_string()).collect();
         format!(
-            "{{\"fusion\":{},\"grain_ns\":{},\"jit\":{},\"seq_threshold\":{},\"tile_sizes\":[{}],\"vector_width\":{}}}",
+            "{{\"fusion\":{},\"grain_ns\":{},\"jit\":{},\"nest_jit\":{},\"seq_threshold\":{},\"tile_sizes\":[{}],\"vector_width\":{}}}",
             self.fusion,
             self.grain_ns,
             self.jit,
+            self.nest_jit,
             self.seq_threshold,
             tiles.join(","),
             self.vector_width,
@@ -129,6 +136,7 @@ impl TunedConfig {
             seq_threshold: j.num_field("seq_threshold")? as i64,
             grain_ns: j.num_field("grain_ns")? as u64,
             jit: j.bool_field("jit")?,
+            nest_jit: j.bool_field("nest_jit")?,
         })
     }
 }
@@ -148,6 +156,8 @@ pub enum Knob {
     GrainNs(u64),
     /// Set [`TunedConfig::jit`].
     Jit(bool),
+    /// Set [`TunedConfig::nest_jit`].
+    NestJit(bool),
 }
 
 impl Knob {
@@ -160,6 +170,7 @@ impl Knob {
             Knob::SeqThreshold(t) => cfg.seq_threshold = *t,
             Knob::GrainNs(g) => cfg.grain_ns = *g,
             Knob::Jit(b) => cfg.jit = *b,
+            Knob::NestJit(b) => cfg.nest_jit = *b,
         }
     }
 
@@ -172,6 +183,7 @@ impl Knob {
             Knob::SeqThreshold(t) => format!("seq<{t}"),
             Knob::GrainNs(g) => format!("grain={g}ns"),
             Knob::Jit(b) => format!("jit={}", if *b { "on" } else { "off" }),
+            Knob::NestJit(b) => format!("nest={}", if *b { "on" } else { "off" }),
         }
     }
 }
@@ -209,6 +221,7 @@ pub fn default_stages() -> Vec<(&'static str, Vec<Knob>)> {
             vec![Knob::GrainNs(5_000), Knob::GrainNs(80_000)],
         ),
         ("jit", vec![Knob::Jit(false)]),
+        ("nest_jit", vec![Knob::NestJit(false)]),
     ]
 }
 
@@ -586,6 +599,7 @@ mod tests {
             seq_threshold: 16384,
             grain_ns: 5000,
             jit: false,
+            nest_jit: false,
         };
         let j = parse_json(&cfg.to_json()).unwrap();
         assert_eq!(TunedConfig::from_json(&j).unwrap(), cfg);
